@@ -1,0 +1,185 @@
+//! The Branch Direction Table.
+
+use asbr_isa::{Cond, Reg, NUM_REGS};
+
+/// One BDT row: pre-evaluated condition bits and the validity counter of
+/// one architectural register (paper Fig. 8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct BdtEntry {
+    /// Direction bits in [`Cond::bit`] order.
+    bits: u8,
+    /// In-flight writers of this register; the pre-evaluated bits are only
+    /// trustworthy when zero (paper Sec. 4).
+    writers: u8,
+}
+
+fn bits_for(value: i32) -> u8 {
+    let mut bits = 0u8;
+    for cond in Cond::ALL {
+        if cond.eval(value) {
+            bits |= 1 << cond.bit();
+        }
+    }
+    bits
+}
+
+/// The Branch Direction Table: early-evaluated branch conditions for every
+/// architectural register.
+///
+/// *Early condition evaluation* (paper Fig. 3): every time a register value
+/// is published from the datapath, all supported zero-comparisons are
+/// evaluated at once and latched, so a later branch fold needs no register
+/// file read and no comparison.
+///
+/// The *validity counter* per register counts decoded-but-unpublished
+/// writers; a fold is only legal while the counter is zero.
+///
+/// # Examples
+///
+/// ```
+/// use asbr_core::Bdt;
+/// use asbr_isa::{Cond, Reg};
+///
+/// let mut bdt = Bdt::new();
+/// let r = Reg::new(5);
+/// bdt.note_fetch_writer(r);
+/// assert!(!bdt.is_valid(r));       // writer in flight
+/// bdt.publish(r, -3i32 as u32);
+/// assert!(bdt.is_valid(r));
+/// assert!(bdt.direction(r, Cond::Ltz));
+/// assert!(!bdt.direction(r, Cond::Gez));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bdt {
+    entries: [BdtEntry; NUM_REGS],
+}
+
+impl Bdt {
+    /// A BDT for the architectural reset state (all registers zero).
+    #[must_use]
+    pub fn new() -> Bdt {
+        Bdt { entries: [BdtEntry { bits: bits_for(0), writers: 0 }; NUM_REGS] }
+    }
+
+    /// Overrides the latched value of `reg` (e.g. a runtime-initialised
+    /// stack pointer) without touching its validity counter.
+    pub fn prime(&mut self, reg: Reg, value: u32) {
+        self.entries[usize::from(reg)].bits = bits_for(value as i32);
+    }
+
+    /// A decoded instruction writing `reg` entered the pipeline.
+    pub fn note_fetch_writer(&mut self, reg: Reg) {
+        let e = &mut self.entries[usize::from(reg)];
+        e.writers = e.writers.saturating_add(1);
+    }
+
+    /// An announced writer of `reg` was squashed before publishing.
+    pub fn note_squash_writer(&mut self, reg: Reg) {
+        let e = &mut self.entries[usize::from(reg)];
+        debug_assert!(e.writers > 0, "squash without a matching fetch");
+        e.writers = e.writers.saturating_sub(1);
+    }
+
+    /// The oldest in-flight writer of `reg` produced `value`: evaluate and
+    /// latch every condition, release one validity count.
+    pub fn publish(&mut self, reg: Reg, value: u32) {
+        let e = &mut self.entries[usize::from(reg)];
+        debug_assert!(e.writers > 0, "publish without a matching fetch");
+        e.writers = e.writers.saturating_sub(1);
+        e.bits = bits_for(value as i32);
+    }
+
+    /// Whether the pre-evaluated conditions of `reg` are trustworthy (no
+    /// writer in flight).
+    #[must_use]
+    pub fn is_valid(&self, reg: Reg) -> bool {
+        self.entries[usize::from(reg)].writers == 0
+    }
+
+    /// The pre-evaluated direction of `cond` applied to `reg`.
+    ///
+    /// Meaningful only while [`Bdt::is_valid`] holds — exactly the paper's
+    /// `PredicateStorage(DI)` lookup.
+    #[must_use]
+    pub fn direction(&self, reg: Reg, cond: Cond) -> bool {
+        self.entries[usize::from(reg)].bits & (1 << cond.bit()) != 0
+    }
+}
+
+impl Default for Bdt {
+    fn default() -> Bdt {
+        Bdt::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reset_state_reflects_zero() {
+        let bdt = Bdt::new();
+        let r = Reg::new(7);
+        assert!(bdt.is_valid(r));
+        assert!(bdt.direction(r, Cond::Eq));
+        assert!(bdt.direction(r, Cond::Lez));
+        assert!(bdt.direction(r, Cond::Gez));
+        assert!(!bdt.direction(r, Cond::Ne));
+        assert!(!bdt.direction(r, Cond::Ltz));
+        assert!(!bdt.direction(r, Cond::Gtz));
+    }
+
+    #[test]
+    fn counter_blocks_until_publish() {
+        let mut bdt = Bdt::new();
+        let r = Reg::new(3);
+        bdt.note_fetch_writer(r);
+        bdt.note_fetch_writer(r);
+        assert!(!bdt.is_valid(r));
+        bdt.publish(r, 5);
+        assert!(!bdt.is_valid(r), "second writer still in flight");
+        bdt.publish(r, 9);
+        assert!(bdt.is_valid(r));
+        assert!(bdt.direction(r, Cond::Gtz));
+    }
+
+    #[test]
+    fn squash_releases_counter_without_updating_bits() {
+        let mut bdt = Bdt::new();
+        let r = Reg::new(4);
+        bdt.publish_prime_for_test(r, 1);
+        bdt.note_fetch_writer(r);
+        bdt.note_squash_writer(r);
+        assert!(bdt.is_valid(r));
+        assert!(bdt.direction(r, Cond::Gtz), "old value survives the squash");
+    }
+
+    #[test]
+    fn prime_sets_bits_only() {
+        let mut bdt = Bdt::new();
+        let r = Reg::SP;
+        bdt.prime(r, 0x00F0_0000);
+        assert!(bdt.is_valid(r));
+        assert!(bdt.direction(r, Cond::Gtz));
+    }
+
+    #[test]
+    fn bits_match_cond_eval_for_many_values() {
+        let mut bdt = Bdt::new();
+        let r = Reg::new(9);
+        for v in [-2_000_000, -1, 0, 1, 42, i32::MAX, i32::MIN] {
+            bdt.note_fetch_writer(r);
+            bdt.publish(r, v as u32);
+            for cond in Cond::ALL {
+                assert_eq!(bdt.direction(r, cond), cond.eval(v), "{cond} on {v}");
+            }
+        }
+    }
+
+    impl Bdt {
+        fn publish_prime_for_test(&mut self, reg: Reg, value: i32) {
+            self.note_fetch_writer(reg);
+            self.publish(reg, value as u32);
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! The Branch Identification Table.
+
+use core::fmt;
+
+use asbr_asm::Program;
+use asbr_isa::{Cond, Instr, Reg, INSTR_BYTES};
+
+/// One BIT entry (paper Sec. 7): everything the fetch stage needs to fold
+/// the branch at `pc` with certainty.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BitEntry {
+    /// Address of the branch (the table's **PC** field; matched against
+    /// the fetch PC).
+    pub pc: u32,
+    /// The *Branch Target Instruction* (the table's `inst1`), replacing
+    /// the branch when its condition pre-resolves taken.
+    pub taken_instr: Instr,
+    /// The *Branch Fall-through Instruction* (`inst2`), replacing the
+    /// branch when it pre-resolves not-taken.
+    pub fall_instr: Instr,
+    /// The *Branch Target Address* (the table's **BA** field).
+    pub target: u32,
+    /// The *Direction Index*: which Branch Direction Table row and
+    /// condition bit decide this branch.
+    pub di: (Reg, Cond),
+}
+
+/// Error building a [`BitEntry`] from a program image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BitBuildError {
+    /// The word at `pc` is not inside the text segment.
+    OutOfText {
+        /// The offending address.
+        pc: u32,
+    },
+    /// The instruction at `pc` is not a zero-comparison conditional
+    /// branch — the only family the Branch Direction Table can resolve.
+    NotFoldableBranch {
+        /// The offending address.
+        pc: u32,
+    },
+    /// Target or fall-through instruction lies outside the text segment.
+    EdgeOutOfText {
+        /// The address of the missing replacement instruction.
+        addr: u32,
+    },
+}
+
+impl fmt::Display for BitBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BitBuildError::OutOfText { pc } => {
+                write!(f, "address {pc:#010x} is outside the text segment")
+            }
+            BitBuildError::NotFoldableBranch { pc } => write!(
+                f,
+                "instruction at {pc:#010x} is not a zero-comparison conditional branch"
+            ),
+            BitBuildError::EdgeOutOfText { addr } => write!(
+                f,
+                "replacement instruction at {addr:#010x} is outside the text segment"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BitBuildError {}
+
+impl BitEntry {
+    /// Statically pre-decodes the BIT entry for the branch at `pc` — the
+    /// paper's compile-time extraction of BA, DI, BTA, BTI and BFI.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BitBuildError`] if `pc` is not a zero-comparison
+    /// conditional branch inside the text segment, or if its target or
+    /// fall-through instruction cannot be fetched from the image.
+    pub fn from_program(program: &Program, pc: u32) -> Result<BitEntry, BitBuildError> {
+        let instr = program
+            .instr_at(pc)
+            .ok_or(BitBuildError::OutOfText { pc })?;
+        let Instr::BranchZ { cond, rs, off } = instr else {
+            return Err(BitBuildError::NotFoldableBranch { pc });
+        };
+        let target = asbr_isa::BranchInfo { zero_compare: Some((cond, rs)), off }.target(pc);
+        let taken_instr = program
+            .instr_at(target)
+            .ok_or(BitBuildError::EdgeOutOfText { addr: target })?;
+        let fall_addr = pc + INSTR_BYTES;
+        let fall_instr = program
+            .instr_at(fall_addr)
+            .ok_or(BitBuildError::EdgeOutOfText { addr: fall_addr })?;
+        Ok(BitEntry { pc, taken_instr, fall_instr, target, di: (rs, cond) })
+    }
+}
+
+/// Error installing more entries than a BIT bank holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InstallError {
+    /// Bank capacity.
+    pub capacity: usize,
+    /// Entries offered.
+    pub offered: usize,
+}
+
+impl fmt::Display for InstallError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} entries offered to a {}-entry BIT bank", self.offered, self.capacity)
+    }
+}
+
+impl std::error::Error for InstallError {}
+
+/// One Branch Identification Table bank: a small fully-associative match
+/// on the fetch PC.
+///
+/// "Since only the most frequently executed branches within the important
+/// application loops are targeted, a small number of BIT entries would
+/// suffice" (paper Sec. 7) — the paper's evaluation uses 16.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bit {
+    capacity: usize,
+    entries: Vec<BitEntry>,
+}
+
+impl Bit {
+    /// Creates an empty bank with room for `capacity` entries.
+    #[must_use]
+    pub fn new(capacity: usize) -> Bit {
+        Bit { capacity, entries: Vec::new() }
+    }
+
+    /// Bank capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Installed entries.
+    #[must_use]
+    pub fn entries(&self) -> &[BitEntry] {
+        &self.entries
+    }
+
+    /// Replaces the bank contents.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InstallError`] when `entries` exceeds the capacity.
+    pub fn install(&mut self, entries: Vec<BitEntry>) -> Result<(), InstallError> {
+        if entries.len() > self.capacity {
+            return Err(InstallError { capacity: self.capacity, offered: entries.len() });
+        }
+        self.entries = entries;
+        Ok(())
+    }
+
+    /// Content-addressed lookup by fetch PC.
+    #[must_use]
+    pub fn lookup(&self, pc: u32) -> Option<&BitEntry> {
+        self.entries.iter().find(|e| e.pc == pc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asbr_asm::assemble;
+
+    fn prog() -> Program {
+        assemble(
+            "
+            main:   li   r4, 3
+            loop:   addi r4, r4, -1
+                    nop
+            br:     bnez r4, loop
+            after:  halt
+            ",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn entry_extraction() {
+        let p = prog();
+        let pc = p.symbol("br").unwrap();
+        let e = BitEntry::from_program(&p, pc).unwrap();
+        assert_eq!(e.target, p.symbol("loop").unwrap());
+        assert_eq!(e.di, (Reg::new(4), Cond::Ne));
+        assert_eq!(e.taken_instr, p.instr_at(p.symbol("loop").unwrap()).unwrap());
+        assert_eq!(e.fall_instr, Instr::Halt);
+    }
+
+    #[test]
+    fn non_branch_is_rejected() {
+        let p = prog();
+        let e = BitEntry::from_program(&p, p.symbol("main").unwrap()).unwrap_err();
+        assert!(matches!(e, BitBuildError::NotFoldableBranch { .. }));
+    }
+
+    #[test]
+    fn out_of_text_is_rejected() {
+        let p = prog();
+        assert!(matches!(
+            BitEntry::from_program(&p, 0x4),
+            Err(BitBuildError::OutOfText { .. })
+        ));
+    }
+
+    #[test]
+    fn fallthrough_at_text_end_is_rejected() {
+        let p = assemble("main: beqz r2, main").unwrap();
+        let e = BitEntry::from_program(&p, p.entry()).unwrap_err();
+        assert!(matches!(e, BitBuildError::EdgeOutOfText { .. }), "{e}");
+    }
+
+    #[test]
+    fn bank_lookup_and_capacity() {
+        let p = prog();
+        let e = BitEntry::from_program(&p, p.symbol("br").unwrap()).unwrap();
+        let mut bank = Bit::new(2);
+        bank.install(vec![e]).unwrap();
+        assert_eq!(bank.lookup(e.pc), Some(&e));
+        assert_eq!(bank.lookup(e.pc + 4), None);
+        let err = bank.install(vec![e, e, e]).unwrap_err();
+        assert_eq!(err.capacity, 2);
+        assert!(err.to_string().contains("3 entries"));
+    }
+}

@@ -1,0 +1,284 @@
+//! The customization image: serialized branch information.
+//!
+//! Paper Sec. 7: "The branch information must be redefined and exploited
+//! by the processor in the same way as the program code. … The *branch
+//! information* is loaded into the processor core in a similar way as the
+//! program code." This module defines that artifact — a compact binary
+//! image of the BIT banks and unit configuration that a system loader can
+//! ship next to the program binary and re-flash between application runs
+//! (the paper's post-manufacturing re-customization).
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! magic "ASBR" | version u16 | publish u8 | bank_ctrl u8 | banks u16 | capacity u16
+//! per bank: count u16, count x { pc u32, bti u32, bfi u32, bta u32, reg u8, cond u8 }
+//! ```
+
+use core::fmt;
+
+use asbr_isa::{Cond, Instr, Reg};
+use asbr_sim::PublishPoint;
+
+use crate::{AsbrConfig, AsbrUnit, BitEntry};
+
+const MAGIC: &[u8; 4] = b"ASBR";
+const VERSION: u16 = 1;
+
+/// Error decoding a customization image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeImageError {
+    /// The magic bytes are wrong — not a customization image.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u16),
+    /// The image ends mid-field.
+    Truncated,
+    /// A field holds an invalid value (bad publish point, condition code,
+    /// register, or instruction word).
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for DecodeImageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeImageError::BadMagic => f.write_str("not an ASBR customization image"),
+            DecodeImageError::BadVersion(v) => write!(f, "unsupported image version {v}"),
+            DecodeImageError::Truncated => f.write_str("truncated customization image"),
+            DecodeImageError::Corrupt(what) => write!(f, "corrupt image field: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeImageError {}
+
+fn publish_code(p: PublishPoint) -> u8 {
+    match p {
+        PublishPoint::Execute => 0,
+        PublishPoint::Mem => 1,
+        PublishPoint::Commit => 2,
+    }
+}
+
+fn publish_from(code: u8) -> Option<PublishPoint> {
+    match code {
+        0 => Some(PublishPoint::Execute),
+        1 => Some(PublishPoint::Mem),
+        2 => Some(PublishPoint::Commit),
+        _ => None,
+    }
+}
+
+fn cond_code(c: Cond) -> u8 {
+    c.bit() as u8
+}
+
+fn cond_from(code: u8) -> Option<Cond> {
+    Cond::ALL.get(usize::from(code)).copied()
+}
+
+/// Serializes a unit's configuration and installed BIT banks.
+#[must_use]
+pub fn encode_image(unit: &AsbrUnit) -> Vec<u8> {
+    let cfg = unit.config();
+    let banks = unit.banks();
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.push(publish_code(cfg.publish));
+    out.push(cfg.bank_ctrl);
+    out.extend_from_slice(&(banks.len() as u16).to_le_bytes());
+    out.extend_from_slice(&(cfg.bit_entries as u16).to_le_bytes());
+    for bank in banks {
+        out.extend_from_slice(&(bank.entries().len() as u16).to_le_bytes());
+        for e in bank.entries() {
+            out.extend_from_slice(&e.pc.to_le_bytes());
+            out.extend_from_slice(&e.taken_instr.encode().to_le_bytes());
+            out.extend_from_slice(&e.fall_instr.encode().to_le_bytes());
+            out.extend_from_slice(&e.target.to_le_bytes());
+            out.push(e.di.0.index());
+            out.push(cond_code(e.di.1));
+        }
+    }
+    out
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeImageError> {
+        let end = self.pos.checked_add(n).ok_or(DecodeImageError::Truncated)?;
+        let slice = self.bytes.get(self.pos..end).ok_or(DecodeImageError::Truncated)?;
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, DecodeImageError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, DecodeImageError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeImageError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+}
+
+/// Decodes a customization image into a ready [`AsbrUnit`].
+///
+/// # Errors
+///
+/// Returns [`DecodeImageError`] for malformed images; see the variants.
+pub fn decode_image(bytes: &[u8]) -> Result<AsbrUnit, DecodeImageError> {
+    let mut r = Reader { bytes, pos: 0 };
+    if r.take(4)? != MAGIC {
+        return Err(DecodeImageError::BadMagic);
+    }
+    let version = r.u16()?;
+    if version != VERSION {
+        return Err(DecodeImageError::BadVersion(version));
+    }
+    let publish = publish_from(r.u8()?).ok_or(DecodeImageError::Corrupt("publish point"))?;
+    let bank_ctrl = r.u8()?;
+    let banks = usize::from(r.u16()?);
+    let capacity = usize::from(r.u16()?);
+    if banks == 0 {
+        return Err(DecodeImageError::Corrupt("zero banks"));
+    }
+    let mut unit = AsbrUnit::new(AsbrConfig {
+        bit_entries: capacity,
+        banks,
+        publish,
+        bank_ctrl,
+    });
+    for bank in 0..banks {
+        let count = usize::from(r.u16()?);
+        let mut entries = Vec::with_capacity(count);
+        for _ in 0..count {
+            let pc = r.u32()?;
+            let taken_instr = Instr::decode(r.u32()?)
+                .map_err(|_| DecodeImageError::Corrupt("target instruction"))?;
+            let fall_instr = Instr::decode(r.u32()?)
+                .map_err(|_| DecodeImageError::Corrupt("fall-through instruction"))?;
+            let target = r.u32()?;
+            let reg = Reg::try_new(r.u8()?).ok_or(DecodeImageError::Corrupt("register"))?;
+            let cond = cond_from(r.u8()?).ok_or(DecodeImageError::Corrupt("condition"))?;
+            entries.push(BitEntry { pc, taken_instr, fall_instr, target, di: (reg, cond) });
+        }
+        unit.install(bank, entries)
+            .map_err(|_| DecodeImageError::Corrupt("bank over capacity"))?;
+    }
+    Ok(unit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asbr_asm::assemble;
+
+    fn sample_unit() -> AsbrUnit {
+        let prog = assemble(
+            "
+            main:   li   r4, 5
+            l1:     addi r4, r4, -1
+                    nop
+                    nop
+            b1:     bnez r4, l1
+                    li   r9, 1
+                    ctrlw 0, r9
+                    li   r4, 5
+            l2:     addi r4, r4, -1
+                    nop
+                    nop
+            b2:     bnez r4, l2
+                    halt
+            ",
+        )
+        .unwrap();
+        let mut unit = AsbrUnit::new(AsbrConfig {
+            bit_entries: 4,
+            banks: 2,
+            publish: PublishPoint::Execute,
+            bank_ctrl: 0,
+        });
+        unit.install(0, vec![BitEntry::from_program(&prog, prog.symbol("b1").unwrap()).unwrap()])
+            .unwrap();
+        unit.install(1, vec![BitEntry::from_program(&prog, prog.symbol("b2").unwrap()).unwrap()])
+            .unwrap();
+        unit
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let unit = sample_unit();
+        let image = encode_image(&unit);
+        let back = decode_image(&image).unwrap();
+        assert_eq!(back.config(), unit.config());
+        for (a, b) in unit.banks().iter().zip(back.banks()) {
+            assert_eq!(a.entries(), b.entries());
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert_eq!(decode_image(b"NOPE").unwrap_err(), DecodeImageError::BadMagic);
+        assert_eq!(decode_image(b"AS").unwrap_err(), DecodeImageError::Truncated);
+        let mut img = encode_image(&sample_unit());
+        img.truncate(img.len() - 1);
+        assert_eq!(decode_image(&img).unwrap_err(), DecodeImageError::Truncated);
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        let mut img = encode_image(&sample_unit());
+        img[4] = 0xFF;
+        assert!(matches!(decode_image(&img).unwrap_err(), DecodeImageError::BadVersion(_)));
+    }
+
+    #[test]
+    fn rejects_corrupt_condition() {
+        let img = encode_image(&sample_unit());
+        let mut bad = img.clone();
+        let last = bad.len() - 1; // final byte is a condition code
+        bad[last] = 0x7F;
+        assert_eq!(decode_image(&bad).unwrap_err(), DecodeImageError::Corrupt("condition"));
+    }
+
+    #[test]
+    fn decoded_unit_folds_like_the_original() {
+        use asbr_bpred::PredictorKind;
+        use asbr_sim::{Pipeline, PipelineConfig};
+
+        let prog = assemble(
+            "
+            main:   li   r4, 100
+            loop:   addi r4, r4, -1
+                    nop
+                    nop
+            br:     bnez r4, loop
+                    halt
+            ",
+        )
+        .unwrap();
+        let mut unit = AsbrUnit::new(AsbrConfig::default());
+        unit.install(0, vec![BitEntry::from_program(&prog, prog.symbol("br").unwrap()).unwrap()])
+            .unwrap();
+        let reloaded = decode_image(&encode_image(&unit)).unwrap();
+
+        let mut pipe = Pipeline::with_hooks(
+            PipelineConfig::default(),
+            PredictorKind::NotTaken.build(),
+            reloaded,
+        );
+        pipe.load(&prog);
+        pipe.run().unwrap();
+        assert!(pipe.hooks().stats().folds() > 90);
+    }
+}

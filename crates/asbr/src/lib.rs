@@ -1,0 +1,78 @@
+#![warn(missing_docs)]
+
+//! Application-Specific Branch Resolution (ASBR).
+//!
+//! This crate is the reproduction of the primary contribution of
+//! *"Speeding Up Control-Dominated Applications through Microarchitectural
+//! Customizations in Embedded Processors"* (Petrov & Orailoglu, DAC 2001):
+//! a small, late-customizable fetch-stage unit that **folds conditional
+//! branches out of the instruction stream** using statically extracted
+//! application information.
+//!
+//! Hardware structures (paper Secs. 4 and 7):
+//!
+//! * [`BitEntry`] / [`Bit`] — the **Branch Identification Table**. Each
+//!   entry carries the branch address (PC), the *Branch Target
+//!   Instruction* and *Branch Fall-through Instruction* (`inst1`/`inst2`),
+//!   the *Branch Target Address*, and a *Direction Index* naming the
+//!   predicate register and condition. Entries are extracted statically
+//!   from the program image ([`BitEntry::from_program`]) — the paper's
+//!   "pre-decoded during compile time and provided to the branch
+//!   resolution logic".
+//! * [`Bdt`] — the **Branch Direction Table** (paper Fig. 8): one entry
+//!   per architectural register holding the pre-evaluated direction bit
+//!   for every supported zero-comparison condition plus a *validity
+//!   counter* tracking in-flight writers (paper Sec. 4's register-usage
+//!   counters).
+//! * [`AsbrUnit`] — wires both into the pipeline's fetch stage by
+//!   implementing [`asbr_sim::FetchHooks`]: *early condition evaluation*
+//!   on register publish, fold-with-certainty at fetch, and multiple BIT
+//!   banks switched by a control-register write (paper Sec. 7's scheme for
+//!   applications with more loops than BIT entries).
+//!
+//! # Examples
+//!
+//! Fold the single branch of a countdown loop and run it on the
+//! cycle-accurate pipeline:
+//!
+//! ```
+//! use asbr_asm::assemble;
+//! use asbr_bpred::PredictorKind;
+//! use asbr_core::{AsbrConfig, AsbrUnit, BitEntry};
+//! use asbr_sim::{Pipeline, PipelineConfig, PublishPoint};
+//!
+//! let prog = assemble("
+//! main:   li   r4, 100
+//! loop:   addi r4, r4, -1
+//!         nop
+//!         nop
+//!         nop
+//!         bnez r4, loop
+//!         halt
+//! ")?;
+//! let branch_pc = prog.symbol("loop").unwrap() + 16; // the bnez
+//! let entry = BitEntry::from_program(&prog, branch_pc)?;
+//! let mut unit = AsbrUnit::new(AsbrConfig::default());
+//! unit.install(0, vec![entry])?;
+//!
+//! let mut pipe = Pipeline::with_hooks(
+//!     PipelineConfig::default(),
+//!     PredictorKind::NotTaken.build(),
+//!     unit,
+//! );
+//! pipe.load(&prog);
+//! let summary = pipe.run()?;
+//! let unit = pipe.into_hooks();
+//! assert!(unit.stats().folds() > 90, "almost every iteration folds");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod bdt;
+mod bit;
+mod image;
+mod unit;
+
+pub use bdt::Bdt;
+pub use bit::{Bit, BitBuildError, BitEntry, InstallError};
+pub use image::{decode_image, encode_image, DecodeImageError};
+pub use unit::{AsbrConfig, AsbrStats, AsbrUnit, BDT_BITS, BIT_ENTRY_BITS};

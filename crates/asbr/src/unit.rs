@@ -1,0 +1,475 @@
+//! The ASBR fetch-stage unit.
+
+use asbr_asm::{Program, STACK_TOP};
+use asbr_isa::{Reg, INSTR_BYTES};
+use asbr_sim::{FetchHooks, Folded, PublishPoint};
+
+use crate::{Bdt, Bit, BitEntry, InstallError};
+
+/// Configuration of an [`AsbrUnit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AsbrConfig {
+    /// Entries per BIT bank. The paper evaluates with 16 (Sec. 8).
+    pub bit_entries: usize,
+    /// Number of BIT banks ("additional copies of BITs", paper Sec. 7).
+    pub banks: usize,
+    /// Pipeline point at which register values are published to the early
+    /// condition evaluation (paper Sec. 5.2's threshold knob).
+    pub publish: PublishPoint,
+    /// Control register whose writes select the active bank.
+    pub bank_ctrl: u8,
+}
+
+impl Default for AsbrConfig {
+    /// The paper's configuration: one 16-entry BIT, publishes on the
+    /// EX/MEM forwarding path (threshold 3).
+    fn default() -> AsbrConfig {
+        AsbrConfig { bit_entries: 16, banks: 1, publish: PublishPoint::Mem, bank_ctrl: 0 }
+    }
+}
+
+/// Storage bits of one BIT entry: PC (32) + BTI (32) + BFI (32) +
+/// BTA (32) + direction index (5-bit register + 3-bit condition), as laid
+/// out in paper Sec. 7 — "a linear growth in hardware complexity per
+/// branch" (Sec. 6).
+pub const BIT_ENTRY_BITS: u64 = 32 + 32 + 32 + 32 + 5 + 3;
+
+/// Storage bits of the Branch Direction Table: per architectural
+/// register, one direction bit per supported condition plus a 3-bit
+/// validity counter (paper Fig. 8 shows the per-register layout).
+pub const BDT_BITS: u64 = 32 * (6 + 3);
+
+impl AsbrConfig {
+    /// Total ASBR storage in bits (all BIT banks + the BDT).
+    #[must_use]
+    pub fn storage_bits(&self) -> u64 {
+        self.banks as u64 * self.bit_entries as u64 * BIT_ENTRY_BITS + BDT_BITS
+    }
+}
+
+/// Fold statistics accumulated by an [`AsbrUnit`] during a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AsbrStats {
+    /// Folds that pre-resolved taken (branch replaced by its target
+    /// instruction).
+    pub folds_taken: u64,
+    /// Folds that pre-resolved not-taken (branch replaced by its
+    /// fall-through instruction).
+    pub folds_fallthrough: u64,
+    /// BIT hits that could *not* fold because the predicate register had
+    /// a writer in flight (validity counter non-zero) — these branches
+    /// fall back to the auxiliary predictor.
+    pub blocked_invalid: u64,
+    /// Active-bank switches via the control register.
+    pub bank_switches: u64,
+}
+
+impl AsbrStats {
+    /// Total folded branches.
+    #[must_use]
+    pub fn folds(&self) -> u64 {
+        self.folds_taken + self.folds_fallthrough
+    }
+
+    /// Fraction of BIT hits that folded (vs. blocked), in `[0, 1]`;
+    /// `1.0` when the BIT never hit.
+    #[must_use]
+    pub fn fold_rate(&self) -> f64 {
+        let hits = self.folds() + self.blocked_invalid;
+        if hits == 0 {
+            1.0
+        } else {
+            self.folds() as f64 / hits as f64
+        }
+    }
+}
+
+/// The Application-Specific Branch Resolution unit.
+///
+/// Implements [`FetchHooks`]: plugged into
+/// [`asbr_sim::Pipeline::with_hooks`], it receives every fetched word,
+/// folds the branches installed in the active BIT bank whose predicate is
+/// pre-resolved in the [`Bdt`], and is kept coherent by the pipeline's
+/// writer/publish/squash notifications.
+///
+/// See the crate-level example for end-to-end use.
+#[derive(Debug, Clone)]
+pub struct AsbrUnit {
+    cfg: AsbrConfig,
+    banks: Vec<Bit>,
+    active: usize,
+    bdt: Bdt,
+    stats: AsbrStats,
+}
+
+impl AsbrUnit {
+    /// Creates a unit with empty BIT banks.
+    ///
+    /// The stack-pointer row of the BDT is primed with the ABI's initial
+    /// stack top, mirroring the simulator's reset state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.banks` is zero.
+    #[must_use]
+    pub fn new(cfg: AsbrConfig) -> AsbrUnit {
+        assert!(cfg.banks > 0, "at least one BIT bank is required");
+        let mut bdt = Bdt::new();
+        bdt.prime(Reg::SP, STACK_TOP);
+        AsbrUnit {
+            cfg,
+            banks: vec![Bit::new(cfg.bit_entries); cfg.banks],
+            active: 0,
+            bdt,
+            stats: AsbrStats::default(),
+        }
+    }
+
+    /// Builds a unit and installs entries for `branch_pcs` (extracted from
+    /// `program`) into bank 0 — the common single-loop case.
+    ///
+    /// # Errors
+    ///
+    /// Returns the extraction error of [`BitEntry::from_program`] boxed as
+    /// a string, or the [`InstallError`] when too many branches are given.
+    pub fn for_branches(
+        cfg: AsbrConfig,
+        program: &Program,
+        branch_pcs: &[u32],
+    ) -> Result<AsbrUnit, String> {
+        let mut unit = AsbrUnit::new(cfg);
+        let entries = branch_pcs
+            .iter()
+            .map(|&pc| BitEntry::from_program(program, pc).map_err(|e| e.to_string()))
+            .collect::<Result<Vec<_>, _>>()?;
+        unit.install(0, entries).map_err(|e| e.to_string())?;
+        Ok(unit)
+    }
+
+    /// Installs `entries` into BIT bank `bank`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InstallError`] when `entries` exceeds the bank capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank` does not exist.
+    pub fn install(&mut self, bank: usize, entries: Vec<BitEntry>) -> Result<(), InstallError> {
+        self.banks[bank].install(entries)
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> AsbrConfig {
+        self.cfg
+    }
+
+    /// Fold statistics.
+    #[must_use]
+    pub fn stats(&self) -> AsbrStats {
+        self.stats
+    }
+
+    /// Index of the active BIT bank.
+    #[must_use]
+    pub fn active_bank(&self) -> usize {
+        self.active
+    }
+
+    /// All BIT banks (for inspection and image serialization).
+    #[must_use]
+    pub fn banks(&self) -> &[Bit] {
+        &self.banks
+    }
+
+    /// Read access to the Branch Direction Table (for tests/diagnostics).
+    #[must_use]
+    pub fn bdt(&self) -> &Bdt {
+        &self.bdt
+    }
+}
+
+impl FetchHooks for AsbrUnit {
+    fn publish_point(&self) -> PublishPoint {
+        self.cfg.publish
+    }
+
+    fn try_fold(&mut self, pc: u32, _word: u32) -> Option<Folded> {
+        // The PC-field match *is* the identification: "the existence of
+        // the PC field in BIT is the factor that determines that the
+        // instruction is a branch" (paper Sec. 7).
+        let entry = self.banks[self.active].lookup(pc)?;
+        let (reg, cond) = entry.di;
+        if !self.bdt.is_valid(reg) {
+            // Predicate writer in flight on this path: cannot fold now
+            // (paper Sec. 4's condition-dependency variance handling).
+            self.stats.blocked_invalid += 1;
+            return None;
+        }
+        let taken = self.bdt.direction(reg, cond);
+        let folded = if taken {
+            self.stats.folds_taken += 1;
+            Folded {
+                replacement: entry.taken_instr,
+                replacement_pc: entry.target,
+                next_pc: entry.target + INSTR_BYTES,
+                taken: true,
+            }
+        } else {
+            self.stats.folds_fallthrough += 1;
+            Folded {
+                replacement: entry.fall_instr,
+                replacement_pc: pc + INSTR_BYTES,
+                next_pc: pc + 2 * INSTR_BYTES,
+                taken: false,
+            }
+        };
+        Some(folded)
+    }
+
+    fn note_fetch_writer(&mut self, reg: Reg) {
+        self.bdt.note_fetch_writer(reg);
+    }
+
+    fn note_squash_writer(&mut self, reg: Reg) {
+        self.bdt.note_squash_writer(reg);
+    }
+
+    fn note_publish(&mut self, reg: Reg, value: u32) {
+        self.bdt.publish(reg, value);
+    }
+
+    fn note_ctrl_write(&mut self, ctrl: u8, value: u32) {
+        if ctrl == self.cfg.bank_ctrl {
+            let bank = (value as usize) % self.banks.len();
+            if bank != self.active {
+                self.active = bank;
+                self.stats.bank_switches += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asbr_asm::assemble;
+    use asbr_bpred::PredictorKind;
+    use asbr_isa::Instr;
+    use asbr_sim::{Pipeline, PipelineConfig};
+
+    /// A countdown loop whose back-edge predicate (`r4`) is computed four
+    /// slots before the branch — comfortably above every threshold.
+    const FOLDABLE_LOOP: &str = "
+        main:   li   r4, 200
+                li   r2, 0
+        loop:   addi r4, r4, -1
+                addi r2, r2, 1
+                nop
+                nop
+        br:     bnez r4, loop
+                halt
+    ";
+
+    fn pipeline_with_unit(
+        src: &str,
+        publish: PublishPoint,
+        branch_syms: &[&str],
+    ) -> (Pipeline<AsbrUnit>, asbr_asm::Program) {
+        let prog = assemble(src).unwrap();
+        let pcs: Vec<u32> =
+            branch_syms.iter().map(|s| prog.symbol(s).expect("branch label")).collect();
+        let unit = AsbrUnit::for_branches(
+            AsbrConfig { publish, ..AsbrConfig::default() },
+            &prog,
+            &pcs,
+        )
+        .unwrap();
+        let mut pipe = Pipeline::with_hooks(
+            PipelineConfig::default(),
+            PredictorKind::NotTaken.build(),
+            unit,
+        );
+        pipe.load(&prog);
+        (pipe, prog)
+    }
+
+    #[test]
+    fn folds_dominate_on_a_distant_predicate() {
+        let (mut pipe, _) = pipeline_with_unit(FOLDABLE_LOOP, PublishPoint::Mem, &["br"]);
+        let summary = pipe.run().unwrap();
+        let stats = pipe.hooks().stats();
+        assert!(stats.folds() >= 195, "{stats:?}");
+        assert_eq!(summary.stats.folded_branches, stats.folds());
+        // The loop result is still correct.
+        assert_eq!(pipe.reg(Reg::V0), 200);
+    }
+
+    #[test]
+    fn folding_beats_the_baseline() {
+        let prog = assemble(FOLDABLE_LOOP).unwrap();
+        let mut base =
+            Pipeline::new(PipelineConfig::default(), PredictorKind::NotTaken.build());
+        base.load(&prog);
+        let base_run = base.run().unwrap();
+
+        let (mut pipe, _) = pipeline_with_unit(FOLDABLE_LOOP, PublishPoint::Mem, &["br"]);
+        let asbr_run = pipe.run().unwrap();
+
+        assert!(
+            asbr_run.stats.cycles < base_run.stats.cycles,
+            "asbr {} vs baseline {}",
+            asbr_run.stats.cycles,
+            base_run.stats.cycles
+        );
+        // Folded branches never enter the pipe: fewer instructions pass
+        // through (the paper's power argument).
+        assert!(asbr_run.stats.retired < base_run.stats.retired);
+    }
+
+    #[test]
+    fn tight_loop_blocks_under_commit_publish() {
+        // Predicate computed immediately before the branch: no publish
+        // point can fold it (distance 0 < threshold 2).
+        let tight = "
+            main:   li   r4, 100
+            loop:   addi r4, r4, -1
+            br:     bnez r4, loop
+                    halt
+        ";
+        let (mut pipe, _) = pipeline_with_unit(tight, PublishPoint::Execute, &["br"]);
+        pipe.run().unwrap();
+        let stats = pipe.hooks().stats();
+        assert_eq!(stats.folds_taken, 0, "{stats:?}");
+        assert!(stats.blocked_invalid >= 99);
+    }
+
+    #[test]
+    fn publish_point_thresholds_order_fold_rates() {
+        // Distance-2 loop: foldable at Execute (threshold 2), blocked at
+        // Mem (3) and Commit (4).
+        let dist2 = "
+            main:   li   r4, 100
+            loop:   addi r4, r4, -1
+                    nop
+                    nop
+            br:     bnez r4, loop
+                    halt
+        ";
+        let mut folds = Vec::new();
+        for publish in [PublishPoint::Execute, PublishPoint::Mem, PublishPoint::Commit] {
+            let (mut pipe, _) = pipeline_with_unit(dist2, publish, &["br"]);
+            pipe.run().unwrap();
+            folds.push(pipe.hooks().stats().folds());
+        }
+        assert!(folds[0] >= folds[1] && folds[1] >= folds[2], "{folds:?}");
+        assert!(folds[0] >= 95, "execute-point folds nearly always: {folds:?}");
+        assert_eq!(folds[2], 0, "commit-point cannot fold distance-2: {folds:?}");
+    }
+
+    #[test]
+    fn folded_execution_matches_baseline_output() {
+        let src = "
+            main:   li   r8, 0xFFFF0000
+            loop:   lw   r9, 4(r8)
+                    nop
+                    nop
+                    nop
+            br:     beqz r9, done
+                    lw   r10, 0(r8)
+                    sll  r10, r10, 2
+                    sw   r10, 8(r8)
+                    j    loop
+            done:   halt
+        ";
+        let prog = assemble(src).unwrap();
+        let input: Vec<i32> = (0..500).map(|i| i * 3 - 700).collect();
+
+        let mut base = Pipeline::new(PipelineConfig::default(), PredictorKind::NotTaken.build());
+        base.load(&prog);
+        base.feed_input(input.iter().copied());
+        let b = base.run().unwrap();
+
+        let unit = AsbrUnit::for_branches(
+            AsbrConfig::default(),
+            &prog,
+            &[prog.symbol("br").unwrap()],
+        )
+        .unwrap();
+        let mut pipe = Pipeline::with_hooks(
+            PipelineConfig::default(),
+            PredictorKind::NotTaken.build(),
+            unit,
+        );
+        pipe.load(&prog);
+        pipe.feed_input(input.iter().copied());
+        let a = pipe.run().unwrap();
+
+        assert_eq!(a.output, b.output, "folding must never change results");
+        assert!(pipe.hooks().stats().folds() > 400);
+    }
+
+    #[test]
+    fn bank_switching_via_ctrlw() {
+        // Two phases, each with its own loop branch; a 1-entry BIT can
+        // only cover both via bank switching.
+        let src = "
+            main:   li   r4, 50
+                    li   r2, 0
+        l1:         addi r4, r4, -1
+                    nop
+                    nop
+        b1:         bnez r4, l1
+                    li   r9, 1
+                    ctrlw 0, r9
+                    li   r4, 50
+        l2:         addi r4, r4, -1
+                    nop
+                    nop
+        b2:         bnez r4, l2
+                    halt
+        ";
+        let prog = assemble(src).unwrap();
+        let mut unit = AsbrUnit::new(AsbrConfig {
+            bit_entries: 1,
+            banks: 2,
+            ..AsbrConfig::default()
+        });
+        unit.install(0, vec![BitEntry::from_program(&prog, prog.symbol("b1").unwrap()).unwrap()])
+            .unwrap();
+        unit.install(1, vec![BitEntry::from_program(&prog, prog.symbol("b2").unwrap()).unwrap()])
+            .unwrap();
+        let mut pipe = Pipeline::with_hooks(
+            PipelineConfig::default(),
+            PredictorKind::NotTaken.build(),
+            unit,
+        );
+        pipe.load(&prog);
+        pipe.run().unwrap();
+        let stats = pipe.hooks().stats();
+        assert_eq!(pipe.hooks().active_bank(), 1);
+        assert_eq!(stats.bank_switches, 1);
+        assert!(stats.folds() >= 90, "both loops fold: {stats:?}");
+    }
+
+    #[test]
+    fn replacement_instruction_is_the_real_target() {
+        let prog = assemble(FOLDABLE_LOOP).unwrap();
+        let e = BitEntry::from_program(&prog, prog.symbol("br").unwrap()).unwrap();
+        assert_eq!(e.taken_instr, prog.instr_at(prog.symbol("loop").unwrap()).unwrap());
+        assert_eq!(e.fall_instr, Instr::Halt);
+    }
+
+    #[test]
+    fn fold_rate_accounts_blocked() {
+        let s = AsbrStats {
+            folds_taken: 6,
+            folds_fallthrough: 2,
+            blocked_invalid: 2,
+            bank_switches: 0,
+        };
+        assert!((s.fold_rate() - 0.8).abs() < 1e-12);
+        assert_eq!(AsbrStats::default().fold_rate(), 1.0);
+    }
+}

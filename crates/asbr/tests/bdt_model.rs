@@ -1,0 +1,76 @@
+//! Property test: the Branch Direction Table against a trivial reference
+//! model under arbitrary fetch/publish/squash event interleavings.
+//!
+//! Invariants (paper Sec. 4):
+//! * `is_valid` exactly when no announced writer is outstanding;
+//! * whenever valid, every direction bit equals `cond.eval(last published
+//!   value)`.
+
+use asbr_core::Bdt;
+use asbr_isa::{Cond, Reg};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    Fetch(u8),
+    PublishOldest(u8, i32),
+    SquashNewest(u8),
+}
+
+fn arb_event() -> impl Strategy<Value = Event> {
+    prop_oneof![
+        (1u8..32).prop_map(Event::Fetch),
+        (1u8..32, any::<i32>()).prop_map(|(r, v)| Event::PublishOldest(r, v)),
+        (1u8..32).prop_map(Event::SquashNewest),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn bdt_matches_reference_model(events in proptest::collection::vec(arb_event(), 0..200)) {
+        let mut bdt = Bdt::new();
+        // Reference model: per register, outstanding count + last value.
+        let mut outstanding = [0u32; 32];
+        let mut value = [0i32; 32];
+
+        for ev in events {
+            match ev {
+                Event::Fetch(r) => {
+                    bdt.note_fetch_writer(Reg::new(r));
+                    outstanding[r as usize] += 1;
+                }
+                Event::PublishOldest(r, v) => {
+                    // Publishes only happen for announced writers.
+                    if outstanding[r as usize] > 0 {
+                        bdt.publish(Reg::new(r), v as u32);
+                        outstanding[r as usize] -= 1;
+                        value[r as usize] = v;
+                    }
+                }
+                Event::SquashNewest(r) => {
+                    if outstanding[r as usize] > 0 {
+                        bdt.note_squash_writer(Reg::new(r));
+                        outstanding[r as usize] -= 1;
+                    }
+                }
+            }
+            for r in 1..32u8 {
+                let reg = Reg::new(r);
+                prop_assert_eq!(
+                    bdt.is_valid(reg),
+                    outstanding[r as usize] == 0,
+                    "validity mismatch on r{}", r
+                );
+                if bdt.is_valid(reg) {
+                    for cond in Cond::ALL {
+                        prop_assert_eq!(
+                            bdt.direction(reg, cond),
+                            cond.eval(value[r as usize]),
+                            "direction bit mismatch on r{} {}", r, cond
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

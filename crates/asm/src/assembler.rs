@@ -1,0 +1,914 @@
+//! The two-pass assembler core.
+
+use core::fmt;
+use std::collections::HashMap;
+
+use asbr_isa::{Cond, Instr, MemWidth, Reg};
+
+use crate::operand::{check_i16, check_u16, parse_int, parse_mem, parse_reg, split_operands};
+use crate::{Program, DATA_BASE, TEXT_BASE};
+
+/// An assembly error, carrying the 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    line: u32,
+    msg: String,
+}
+
+impl AsmError {
+    fn new(line: u32, msg: impl Into<String>) -> AsmError {
+        AsmError { line, msg: msg.into() }
+    }
+
+    /// The 1-based source line of the error.
+    #[must_use]
+    pub fn line(&self) -> u32 {
+        self.line
+    }
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Segment {
+    Text,
+    Data,
+}
+
+/// One instruction statement awaiting pass-2 encoding.
+#[derive(Debug)]
+struct Pending {
+    addr: u32,
+    line: u32,
+    mnemonic: String,
+    ops: Vec<String>,
+}
+
+/// Assembles a source string into a [`Program`].
+///
+/// # Errors
+///
+/// Returns [`AsmError`] (with the offending line number) on unknown
+/// mnemonics or directives, malformed operands, out-of-range immediates or
+/// branch displacements, duplicate or undefined labels.
+pub fn assemble(source: &str) -> Result<Program, AsmError> {
+    let mut symbols: HashMap<String, u32> = HashMap::new();
+    let mut pending: Vec<Pending> = Vec::new();
+    let mut text_base = TEXT_BASE;
+    let mut data_base = DATA_BASE;
+    let mut text_words = 0u32; // cursor, in words, relative to text_base
+    let mut data: Vec<u8> = Vec::new();
+    let mut segment = Segment::Text;
+    let mut text_base_fixed = false;
+    let mut data_base_fixed = false;
+
+    // ---- pass 1: layout, labels, pseudo sizing -------------------------
+    for (idx, raw) in source.lines().enumerate() {
+        let line_no = idx as u32 + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (labels, stmt) = take_labels(line);
+        // Data directives self-align; pad *before* binding labels so a
+        // label on the same line names the aligned object.
+        if segment == Segment::Data {
+            let (dir, _) = split_word(stmt.trim().strip_prefix('.').unwrap_or(""));
+            let align = match dir {
+                "word" => 4,
+                "half" => 2,
+                _ => 1,
+            };
+            while !data.len().is_multiple_of(align) {
+                data.push(0);
+            }
+        }
+        for label in labels {
+            let addr = match segment {
+                Segment::Text => text_base + 4 * text_words,
+                Segment::Data => data_base + data.len() as u32,
+            };
+            if !is_ident(label) {
+                return Err(AsmError::new(line_no, format!("invalid label `{label}`")));
+            }
+            if symbols.insert(label.to_owned(), addr).is_some() {
+                return Err(AsmError::new(line_no, format!("duplicate label `{label}`")));
+            }
+        }
+        let stmt = stmt.trim();
+        if stmt.is_empty() {
+            continue;
+        }
+
+        if let Some(rest) = stmt.strip_prefix('.') {
+            let (dir, body) = split_word(rest);
+            let ops = split_operands(body);
+            match dir {
+                "text" | "data" => {
+                    let new_seg = if dir == "text" { Segment::Text } else { Segment::Data };
+                    if let Some(addr_s) = ops.first() {
+                        let addr = parse_int(addr_s)
+                            .and_then(|v| u32::try_from(v).ok())
+                            .ok_or_else(|| AsmError::new(line_no, "bad segment address"))?;
+                        if addr % 4 != 0 {
+                            return Err(AsmError::new(line_no, "segment address must be word-aligned"));
+                        }
+                        match new_seg {
+                            Segment::Text => {
+                                if text_base_fixed || text_words > 0 {
+                                    return Err(AsmError::new(
+                                        line_no,
+                                        "text base must be set before any text",
+                                    ));
+                                }
+                                text_base = addr;
+                                text_base_fixed = true;
+                            }
+                            Segment::Data => {
+                                if data_base_fixed || !data.is_empty() {
+                                    return Err(AsmError::new(
+                                        line_no,
+                                        "data base must be set before any data",
+                                    ));
+                                }
+                                data_base = addr;
+                                data_base_fixed = true;
+                            }
+                        }
+                    }
+                    segment = new_seg;
+                }
+                "globl" | "global" | "ent" | "end" => {}
+                "word" | "half" | "byte" | "space" | "align" => {
+                    if segment != Segment::Data {
+                        return Err(AsmError::new(
+                            line_no,
+                            format!(".{dir} is only supported in the data segment"),
+                        ));
+                    }
+                    emit_data(dir, &ops, &mut data, line_no)?;
+                }
+                "ascii" | "asciiz" => {
+                    if segment != Segment::Data {
+                        return Err(AsmError::new(
+                            line_no,
+                            format!(".{dir} is only supported in the data segment"),
+                        ));
+                    }
+                    // Strings may contain commas: parse the raw body.
+                    let s = parse_string(body.trim())
+                        .map_err(|m| AsmError::new(line_no, m))?;
+                    data.extend_from_slice(s.as_bytes());
+                    if dir == "asciiz" {
+                        data.push(0);
+                    }
+                }
+                other => {
+                    return Err(AsmError::new(line_no, format!("unknown directive `.{other}`")));
+                }
+            }
+            continue;
+        }
+
+        // An instruction (or pseudo). Determine its encoded size now so
+        // labels after it resolve correctly.
+        if segment != Segment::Text {
+            return Err(AsmError::new(line_no, "instructions are only allowed in .text"));
+        }
+        let (mnemonic, body) = split_word(stmt);
+        let mnemonic = mnemonic.to_ascii_lowercase();
+        let ops = split_operands(body);
+        let words = pseudo_size(&mnemonic, &ops).map_err(|m| AsmError::new(line_no, m))?;
+        pending.push(Pending {
+            addr: text_base + 4 * text_words,
+            line: line_no,
+            mnemonic,
+            ops,
+        });
+        text_words += words;
+    }
+
+    // ---- pass 2: encode -------------------------------------------------
+    let mut text: Vec<u32> = Vec::with_capacity(text_words as usize);
+    let mut lines: Vec<u32> = Vec::with_capacity(text_words as usize);
+    for p in &pending {
+        debug_assert_eq!(text_base + 4 * text.len() as u32, p.addr, "pass-1 sizing drift");
+        let instrs =
+            encode_stmt(p, &symbols).map_err(|m| AsmError::new(p.line, m))?;
+        for i in instrs {
+            text.push(i.encode());
+            lines.push(p.line);
+        }
+    }
+
+    let entry = symbols.get("main").copied().unwrap_or(text_base);
+    Ok(Program { text_base, text, data_base, data, entry, symbols, lines })
+}
+
+/// Parses a double-quoted string literal with `\n`, `\t`, `\0`, `\\`,
+/// `\"` escapes.
+fn parse_string(body: &str) -> Result<String, String> {
+    let inner = body
+        .strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .ok_or_else(|| format!("expected a quoted string, found `{body}`"))?;
+    let mut out = String::with_capacity(inner.len());
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some('t') => out.push('\t'),
+            Some('0') => out.push('\0'),
+            Some('\\') => out.push('\\'),
+            Some('"') => out.push('"'),
+            other => return Err(format!("unsupported escape `\\{}`", other.unwrap_or(' '))),
+        }
+    }
+    Ok(out)
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find(['#', ';']) {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+/// Peels leading `label:` prefixes off a line.
+fn take_labels(mut line: &str) -> (Vec<&str>, &str) {
+    let mut labels = Vec::new();
+    loop {
+        let trimmed = line.trim_start();
+        match trimmed.find(':') {
+            Some(i) if is_ident(&trimmed[..i]) => {
+                labels.push(&trimmed[..i]);
+                line = &trimmed[i + 1..];
+            }
+            _ => return (labels, line),
+        }
+    }
+}
+
+fn is_ident(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == '.')
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.' || c == '$')
+}
+
+fn split_word(s: &str) -> (&str, &str) {
+    match s.find(char::is_whitespace) {
+        Some(i) => (&s[..i], &s[i..]),
+        None => (s, ""),
+    }
+}
+
+fn emit_data(dir: &str, ops: &[String], data: &mut Vec<u8>, line: u32) -> Result<(), AsmError> {
+    let int = |s: &String| {
+        parse_int(s).ok_or_else(|| AsmError::new(line, format!("bad integer `{s}`")))
+    };
+    match dir {
+        "word" => {
+            while !data.len().is_multiple_of(4) {
+                data.push(0);
+            }
+            for op in ops {
+                let v = int(op)?;
+                data.extend_from_slice(&(v as u32).to_le_bytes());
+            }
+        }
+        "half" => {
+            while !data.len().is_multiple_of(2) {
+                data.push(0);
+            }
+            for op in ops {
+                let v = int(op)?;
+                data.extend_from_slice(&(v as u16).to_le_bytes());
+            }
+        }
+        "byte" => {
+            for op in ops {
+                data.push(int(op)? as u8);
+            }
+        }
+        "space" => {
+            let n = ops
+                .first()
+                .map(int)
+                .transpose()?
+                .and_then(|v| usize::try_from(v).ok())
+                .ok_or_else(|| AsmError::new(line, ".space needs a non-negative size"))?;
+            data.resize(data.len() + n, 0);
+        }
+        "align" => {
+            let p = ops
+                .first()
+                .map(int)
+                .transpose()?
+                .and_then(|v| u32::try_from(v).ok())
+                .filter(|&p| p <= 12)
+                .ok_or_else(|| AsmError::new(line, ".align needs a power in 0..=12"))?;
+            let align = 1usize << p;
+            while !data.len().is_multiple_of(align) {
+                data.push(0);
+            }
+        }
+        _ => unreachable!("caller matched the directive"),
+    }
+    Ok(())
+}
+
+/// Number of instruction words a (pseudo-)instruction expands to.
+fn pseudo_size(mnemonic: &str, ops: &[String]) -> Result<u32, String> {
+    Ok(match mnemonic {
+        "li" => {
+            let imm = ops
+                .get(1)
+                .and_then(|s| parse_int(s))
+                .ok_or_else(|| "li needs `reg, integer`".to_owned())?;
+            li_words(imm)
+        }
+        "la" => 2,
+        // Comparison branches expand to slt + a zero-compare branch.
+        "bge" | "bgt" | "ble" | "blt" => 2,
+        _ => 1,
+    })
+}
+
+fn li_words(imm: i64) -> u32 {
+    if (-32768..=32767).contains(&imm) {
+        1
+    } else {
+        let v = imm as u32;
+        if v & 0xFFFF == 0 {
+            1
+        } else {
+            2
+        }
+    }
+}
+
+/// Resolves an operand that may be a label or an integer to its value.
+fn value_of(op: &str, symbols: &HashMap<String, u32>) -> Result<i64, String> {
+    if let Some(v) = parse_int(op) {
+        return Ok(v);
+    }
+    // `sym+n` / `sym-n` arithmetic.
+    if let Some(i) = op[1..].find(['+', '-']).map(|i| i + 1) {
+        let (sym, rest) = op.split_at(i);
+        let base = symbols
+            .get(sym.trim())
+            .copied()
+            .ok_or_else(|| format!("undefined symbol `{}`", sym.trim()))?;
+        let rest = rest.trim();
+        let rest = rest.strip_prefix('+').unwrap_or(rest);
+        let delta = parse_int(rest).ok_or_else(|| format!("bad offset in `{op}`"))?;
+        return Ok(i64::from(base) + delta);
+    }
+    symbols
+        .get(op)
+        .map(|&v| i64::from(v))
+        .ok_or_else(|| format!("undefined symbol `{op}`"))
+}
+
+fn branch_off(
+    op: &str,
+    addr: u32,
+    symbols: &HashMap<String, u32>,
+) -> Result<i16, String> {
+    // Numeric operands are raw word displacements; labels are resolved.
+    if let Some(v) = parse_int(op) {
+        return check_i16(v, "branch offset");
+    }
+    let target = value_of(op, symbols)?;
+    let delta = target - (i64::from(addr) + 4);
+    if delta % 4 != 0 {
+        return Err(format!("branch target `{op}` is not word-aligned"));
+    }
+    check_i16(delta / 4, "branch displacement")
+}
+
+fn need(ops: &[String], n: usize, mnemonic: &str) -> Result<(), String> {
+    if ops.len() == n {
+        Ok(())
+    } else {
+        Err(format!("{mnemonic} expects {n} operand(s), found {}", ops.len()))
+    }
+}
+
+fn encode_stmt(p: &Pending, symbols: &HashMap<String, u32>) -> Result<Vec<Instr>, String> {
+    let ops = &p.ops;
+    let m = p.mnemonic.as_str();
+    let reg = |i: usize| parse_reg(&ops[i]);
+    let r3 = |f: fn(Reg, Reg, Reg) -> Instr| -> Result<Vec<Instr>, String> {
+        need(ops, 3, m)?;
+        Ok(vec![f(reg(0)?, reg(1)?, reg(2)?)])
+    };
+
+    let out = match m {
+        // --- three-register ALU ---
+        "add" => return r3(|rd, rs, rt| Instr::Add { rd, rs, rt }),
+        "addu" => return r3(|rd, rs, rt| Instr::Add { rd, rs, rt }),
+        "sub" => return r3(|rd, rs, rt| Instr::Sub { rd, rs, rt }),
+        "subu" => return r3(|rd, rs, rt| Instr::Sub { rd, rs, rt }),
+        "and" => return r3(|rd, rs, rt| Instr::And { rd, rs, rt }),
+        "or" => return r3(|rd, rs, rt| Instr::Or { rd, rs, rt }),
+        "xor" => return r3(|rd, rs, rt| Instr::Xor { rd, rs, rt }),
+        "nor" => return r3(|rd, rs, rt| Instr::Nor { rd, rs, rt }),
+        "slt" => return r3(|rd, rs, rt| Instr::Slt { rd, rs, rt }),
+        "sltu" => return r3(|rd, rs, rt| Instr::Sltu { rd, rs, rt }),
+        "mul" | "mult" => return r3(|rd, rs, rt| Instr::Mul { rd, rs, rt }),
+        "div" => return r3(|rd, rs, rt| Instr::Div { rd, rs, rt }),
+        "rem" => return r3(|rd, rs, rt| Instr::Rem { rd, rs, rt }),
+        "sllv" => return r3(|rd, rt, rs| Instr::Sllv { rd, rt, rs }),
+        "srlv" => return r3(|rd, rt, rs| Instr::Srlv { rd, rt, rs }),
+        "srav" => return r3(|rd, rt, rs| Instr::Srav { rd, rt, rs }),
+
+        // --- immediate shifts ---
+        "sll" | "srl" | "sra" => {
+            need(ops, 3, m)?;
+            let rd = reg(0)?;
+            let rt = reg(1)?;
+            let sh = parse_int(&ops[2])
+                .filter(|&v| (0..32).contains(&v))
+                .ok_or_else(|| format!("shift amount must be 0..32, found `{}`", ops[2]))?
+                as u8;
+            vec![match m {
+                "sll" => Instr::Sll { rd, rt, shamt: sh },
+                "srl" => Instr::Srl { rd, rt, shamt: sh },
+                _ => Instr::Sra { rd, rt, shamt: sh },
+            }]
+        }
+
+        // --- ALU immediates ---
+        "addi" | "addiu" | "slti" | "sltiu" => {
+            need(ops, 3, m)?;
+            let rt = reg(0)?;
+            let rs = reg(1)?;
+            let imm = check_i16(value_of(&ops[2], symbols)?, "immediate")?;
+            vec![match m {
+                "addi" | "addiu" => Instr::Addi { rt, rs, imm },
+                "slti" => Instr::Slti { rt, rs, imm },
+                _ => Instr::Sltiu { rt, rs, imm },
+            }]
+        }
+        "subi" => {
+            need(ops, 3, m)?;
+            let imm = check_i16(-value_of(&ops[2], symbols)?, "immediate")?;
+            vec![Instr::Addi { rt: reg(0)?, rs: reg(1)?, imm }]
+        }
+        "andi" | "ori" | "xori" => {
+            need(ops, 3, m)?;
+            let rt = reg(0)?;
+            let rs = reg(1)?;
+            let imm = check_u16(value_of(&ops[2], symbols)?, "immediate")?;
+            vec![match m {
+                "andi" => Instr::Andi { rt, rs, imm },
+                "ori" => Instr::Ori { rt, rs, imm },
+                _ => Instr::Xori { rt, rs, imm },
+            }]
+        }
+        "lui" => {
+            need(ops, 2, m)?;
+            let imm = check_u16(value_of(&ops[1], symbols)?, "immediate")?;
+            vec![Instr::Lui { rt: reg(0)?, imm }]
+        }
+
+        // --- loads/stores ---
+        "lb" | "lbu" | "lh" | "lhu" | "lw" | "sb" | "sh" | "sw" => {
+            need(ops, 2, m)?;
+            let rt = reg(0)?;
+            let (off, rs) = parse_mem(&ops[1])?;
+            let off = check_i16(off, "memory offset")?;
+            vec![match m {
+                "lb" => Instr::Load { rt, rs, off, width: MemWidth::Byte, unsigned: false },
+                "lbu" => Instr::Load { rt, rs, off, width: MemWidth::Byte, unsigned: true },
+                "lh" => Instr::Load { rt, rs, off, width: MemWidth::Half, unsigned: false },
+                "lhu" => Instr::Load { rt, rs, off, width: MemWidth::Half, unsigned: true },
+                "lw" => Instr::Load { rt, rs, off, width: MemWidth::Word, unsigned: false },
+                "sb" => Instr::Store { rt, rs, off, width: MemWidth::Byte },
+                "sh" => Instr::Store { rt, rs, off, width: MemWidth::Half },
+                _ => Instr::Store { rt, rs, off, width: MemWidth::Word },
+            }]
+        }
+
+        // --- branches ---
+        "beqz" | "bnez" | "blez" | "bgtz" | "bltz" | "bgez" => {
+            need(ops, 2, m)?;
+            let cond = match m {
+                "beqz" => Cond::Eq,
+                "bnez" => Cond::Ne,
+                "blez" => Cond::Lez,
+                "bgtz" => Cond::Gtz,
+                "bltz" => Cond::Ltz,
+                _ => Cond::Gez,
+            };
+            vec![Instr::BranchZ { cond, rs: reg(0)?, off: branch_off(&ops[1], p.addr, symbols)? }]
+        }
+        "beq" | "bne" => {
+            need(ops, 3, m)?;
+            let rs = reg(0)?;
+            let rt = reg(1)?;
+            let off = branch_off(&ops[2], p.addr, symbols)?;
+            vec![if m == "beq" { Instr::Beq { rs, rt, off } } else { Instr::Bne { rs, rt, off } }]
+        }
+        // Two-register comparison branches (pseudo): `slt at, ...` then a
+        // zero-compare branch on `at`.
+        //   blt rs, rt  taken iff rs <  rt  -> slt at, rs, rt ; bnez at
+        //   bge rs, rt  taken iff rs >= rt  -> slt at, rs, rt ; beqz at
+        //   bgt rs, rt  taken iff rs >  rt  -> slt at, rt, rs ; bnez at
+        //   ble rs, rt  taken iff rs <= rt  -> slt at, rt, rs ; beqz at
+        "bge" | "bgt" | "ble" | "blt" => {
+            need(ops, 3, m)?;
+            let rs = reg(0)?;
+            let rt = reg(1)?;
+            // The branch occupies the second word.
+            let off = branch_off(&ops[2], p.addr + 4, symbols)?;
+            let (a, b, cond) = match m {
+                "blt" => (rs, rt, Cond::Ne),
+                "bge" => (rs, rt, Cond::Eq),
+                "bgt" => (rt, rs, Cond::Ne),
+                _ => (rt, rs, Cond::Eq), // ble
+            };
+            vec![
+                Instr::Slt { rd: Reg::AT, rs: a, rt: b },
+                Instr::BranchZ { cond, rs: Reg::AT, off },
+            ]
+        }
+
+        // --- jumps ---
+        "j" | "jal" | "b" => {
+            need(ops, 1, m)?;
+            let target = value_of(&ops[0], symbols)?;
+            let target = u32::try_from(target)
+                .map_err(|_| format!("jump target `{}` out of range", ops[0]))?;
+            if target % 4 != 0 {
+                return Err(format!("jump target `{}` is not word-aligned", ops[0]));
+            }
+            if (target & 0xF000_0000) != (p.addr & 0xF000_0000) {
+                return Err("jump target outside the current 256MB region".to_owned());
+            }
+            let field = (target >> 2) & 0x03FF_FFFF;
+            vec![if m == "jal" { Instr::Jal { target: field } } else { Instr::J { target: field } }]
+        }
+        "jr" => {
+            need(ops, 1, m)?;
+            vec![Instr::Jr { rs: reg(0)? }]
+        }
+        "jalr" => match ops.len() {
+            1 => vec![Instr::Jalr { rd: Reg::RA, rs: reg(0)? }],
+            2 => vec![Instr::Jalr { rd: reg(0)?, rs: reg(1)? }],
+            n => return Err(format!("jalr expects 1 or 2 operands, found {n}")),
+        },
+
+        // --- system ---
+        "ctrlw" => {
+            need(ops, 2, m)?;
+            let ctrl = parse_int(&ops[0])
+                .filter(|&v| (0..32).contains(&v))
+                .ok_or_else(|| "control register index must be 0..32".to_owned())?
+                as u8;
+            vec![Instr::CtrlW { ctrl, rs: reg(1)? }]
+        }
+        "halt" => {
+            need(ops, 0, m)?;
+            vec![Instr::Halt]
+        }
+        "nop" => {
+            need(ops, 0, m)?;
+            vec![Instr::NOP]
+        }
+
+        // --- pseudo-instructions ---
+        "li" => {
+            need(ops, 2, m)?;
+            let rt = reg(0)?;
+            let imm = parse_int(&ops[1]).ok_or_else(|| "li needs an integer".to_owned())?;
+            expand_li(rt, imm)?
+        }
+        "la" => {
+            need(ops, 2, m)?;
+            let rt = reg(0)?;
+            let v = value_of(&ops[1], symbols)?;
+            let v = u32::try_from(v).map_err(|_| format!("address `{}` out of range", ops[1]))?;
+            vec![
+                Instr::Lui { rt, imm: (v >> 16) as u16 },
+                Instr::Ori { rt, rs: rt, imm: (v & 0xFFFF) as u16 },
+            ]
+        }
+        "move" => {
+            need(ops, 2, m)?;
+            vec![Instr::Or { rd: reg(0)?, rs: reg(1)?, rt: Reg::ZERO }]
+        }
+        "neg" => {
+            need(ops, 2, m)?;
+            vec![Instr::Sub { rd: reg(0)?, rs: Reg::ZERO, rt: reg(1)? }]
+        }
+        "not" => {
+            need(ops, 2, m)?;
+            vec![Instr::Nor { rd: reg(0)?, rs: reg(1)?, rt: Reg::ZERO }]
+        }
+
+        other => return Err(format!("unknown mnemonic `{other}`")),
+    };
+    Ok(out)
+}
+
+fn expand_li(rt: Reg, imm: i64) -> Result<Vec<Instr>, String> {
+    if !(-0x8000_0000..=0xFFFF_FFFF).contains(&imm) {
+        return Err(format!("li immediate {imm} does not fit in 32 bits"));
+    }
+    if (-32768..=32767).contains(&imm) {
+        return Ok(vec![Instr::Addi { rt, rs: Reg::ZERO, imm: imm as i16 }]);
+    }
+    let v = imm as u32;
+    let hi = (v >> 16) as u16;
+    let lo = (v & 0xFFFF) as u16;
+    if lo == 0 {
+        Ok(vec![Instr::Lui { rt, imm: hi }])
+    } else {
+        Ok(vec![Instr::Lui { rt, imm: hi }, Instr::Ori { rt, rs: rt, imm: lo }])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assemble;
+
+    #[test]
+    fn minimal_program() {
+        let p = assemble("main: halt").unwrap();
+        assert_eq!(p.text().len(), 1);
+        assert_eq!(p.instr_at(p.entry()), Some(Instr::Halt));
+    }
+
+    #[test]
+    fn labels_and_branches_resolve() {
+        let p = assemble(
+            "
+            .text
+            main:
+                addi r2, r0, 3
+            loop:
+                addi r2, r2, -1
+                bnez r2, loop
+                halt
+            ",
+        )
+        .unwrap();
+        let bnez_pc = p.text_base() + 8;
+        match p.instr_at(bnez_pc) {
+            Some(Instr::BranchZ { cond: Cond::Ne, off, .. }) => assert_eq!(off, -2),
+            other => panic!("expected bnez, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn forward_references_resolve() {
+        let p = assemble(
+            "
+            main:   beqz r2, done
+                    nop
+            done:   halt
+            ",
+        )
+        .unwrap();
+        match p.instr_at(p.text_base()) {
+            Some(Instr::BranchZ { off, .. }) => assert_eq!(off, 1),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn li_sizes() {
+        assert_eq!(li_words(5), 1);
+        assert_eq!(li_words(-5), 1);
+        assert_eq!(li_words(0x10000), 1); // lui only
+        assert_eq!(li_words(0x12345), 2);
+        let p = assemble("main: li r2, 0x12345\nhalt").unwrap();
+        assert_eq!(p.text().len(), 3);
+    }
+
+    #[test]
+    fn la_loads_data_address() {
+        let p = assemble(
+            "
+            main:   la r5, tbl
+                    lw r2, 4(r5)
+                    halt
+            .data
+            tbl:    .word 10, 20
+            ",
+        )
+        .unwrap();
+        let tbl = p.symbol("tbl").unwrap();
+        assert_eq!(tbl, p.data_base());
+        match p.instr_at(p.text_base()) {
+            Some(Instr::Lui { imm, .. }) => assert_eq!(u32::from(imm), tbl >> 16),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(&p.data()[..4], &10u32.to_le_bytes());
+    }
+
+    #[test]
+    fn data_directives_align() {
+        let p = assemble(
+            "
+            main: halt
+            .data
+            a:  .byte 1
+            b:  .half 2
+            c:  .word 3
+            d:  .space 3
+            e:  .align 2
+            f:  .word 4
+            ",
+        )
+        .unwrap();
+        let base = p.data_base();
+        assert_eq!(p.symbol("a"), Some(base));
+        assert_eq!(p.symbol("b"), Some(base + 2)); // aligned up from 1
+        assert_eq!(p.symbol("c"), Some(base + 4));
+        assert_eq!(p.symbol("d"), Some(base + 8));
+        assert_eq!(p.symbol("f"), Some(base + 12)); // 11 aligned to 12
+    }
+
+    #[test]
+    fn duplicate_label_is_an_error() {
+        let e = assemble("x: nop\nx: nop").unwrap_err();
+        assert_eq!(e.line(), 2);
+        assert!(e.to_string().contains("duplicate"));
+    }
+
+    #[test]
+    fn undefined_symbol_is_an_error() {
+        let e = assemble("main: j nowhere").unwrap_err();
+        assert!(e.to_string().contains("undefined symbol"));
+    }
+
+    #[test]
+    fn branch_out_of_range_is_an_error() {
+        let mut src = String::from("main: beqz r2, far\n");
+        for _ in 0..40000 {
+            src.push_str("nop\n");
+        }
+        src.push_str("far: halt\n");
+        let e = assemble(&src).unwrap_err();
+        assert!(e.to_string().contains("displacement"));
+    }
+
+    #[test]
+    fn unknown_mnemonic_reports_line() {
+        let e = assemble("\n\n frobnicate r1, r2\n").unwrap_err();
+        assert_eq!(e.line(), 3);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let p = assemble("# header\n  ; also comment\nmain: halt # trailing\n").unwrap();
+        assert_eq!(p.text().len(), 1);
+    }
+
+    #[test]
+    fn custom_segment_bases() {
+        let p = assemble(
+            "
+            .text 0x2000
+            main: halt
+            .data 0x8000
+            x: .word 1
+            ",
+        )
+        .unwrap();
+        assert_eq!(p.text_base(), 0x2000);
+        assert_eq!(p.symbol("x"), Some(0x8000));
+    }
+
+    #[test]
+    fn pseudo_expansions() {
+        let p = assemble(
+            "
+            main:
+                move r2, r3
+                neg  r4, r5
+                not  r6, r7
+                subi r8, r8, 4
+                b    main
+                halt
+            ",
+        )
+        .unwrap();
+        assert_eq!(p.instr_at(p.text_base()),
+            Some(Instr::Or { rd: Reg::V0, rs: Reg::V1, rt: Reg::ZERO }));
+        assert_eq!(p.instr_at(p.text_base() + 12),
+            Some(Instr::Addi { rt: Reg::new(8), rs: Reg::new(8), imm: -4 }));
+    }
+
+    #[test]
+    fn multiple_labels_same_address() {
+        let p = assemble("a: b: halt").unwrap();
+        assert_eq!(p.symbol("a"), p.symbol("b"));
+    }
+
+    #[test]
+    fn instructions_in_data_segment_rejected() {
+        let e = assemble(".data\n nop").unwrap_err();
+        assert!(e.to_string().contains("only allowed in .text"));
+    }
+
+    #[test]
+    fn ctrlw_parses() {
+        let p = assemble("main: ctrlw 0, r9\nhalt").unwrap();
+        assert_eq!(p.instr_at(p.text_base()), Some(Instr::CtrlW { ctrl: 0, rs: Reg::new(9) }));
+    }
+
+    #[test]
+    fn comparison_pseudo_branches() {
+        let p = assemble(
+            "
+            main:   li   r4, 5
+                    li   r5, 9
+            top:    blt  r4, r5, less
+                    nop
+            less:   bge  r5, r4, main
+                    halt
+            ",
+        )
+        .unwrap();
+        let top = p.symbol("top").unwrap();
+        assert_eq!(
+            p.instr_at(top),
+            Some(Instr::Slt { rd: Reg::AT, rs: Reg::new(4), rt: Reg::new(5) })
+        );
+        match p.instr_at(top + 4) {
+            Some(Instr::BranchZ { cond: Cond::Ne, rs: Reg::AT, off }) => {
+                // Branch at top+4, target `less` at top+12: off = 1.
+                assert_eq!(off, 1);
+            }
+            other => panic!("{other:?}"),
+        }
+        // bgt/ble swap operands.
+        let q = assemble("main: bgt r2, r3, main\n ble r2, r3, main\n halt").unwrap();
+        assert_eq!(
+            q.instr_at(q.text_base()),
+            Some(Instr::Slt { rd: Reg::AT, rs: Reg::new(3), rt: Reg::new(2) })
+        );
+    }
+
+    #[test]
+    fn ascii_directives() {
+        let p = assemble(
+            "
+            main: halt
+            .data
+            s1:   .asciiz \"hi, there\\n\"
+            s2:   .ascii  \"ab\"
+            end:  .byte 7
+            ",
+        )
+        .unwrap();
+        let base = p.symbol("s1").unwrap();
+        assert_eq!(base, p.data_base());
+        let d = p.data();
+        assert_eq!(&d[..10], b"hi, there\n");
+        assert_eq!(d[10], 0, "asciiz terminator");
+        assert_eq!(p.symbol("s2"), Some(base + 11));
+        assert_eq!(&d[11..13], b"ab");
+        assert_eq!(p.symbol("end"), Some(base + 13));
+    }
+
+    #[test]
+    fn bad_string_is_an_error() {
+        assert!(assemble(".data\n .asciiz nope").is_err());
+        assert!(assemble(".data\n .asciiz \"bad \\q escape\"").is_err());
+    }
+
+    #[test]
+    fn symbol_arithmetic() {
+        let p = assemble(
+            "
+            main: la r5, tbl+8
+                  halt
+            .data
+            tbl: .word 1,2,3
+            ",
+        )
+        .unwrap();
+        match p.instr_at(p.text_base() + 4) {
+            Some(Instr::Ori { imm, .. }) => {
+                assert_eq!(u32::from(imm), (p.symbol("tbl").unwrap() + 8) & 0xFFFF);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,67 @@
+#![warn(missing_docs)]
+
+//! A two-pass assembler for the ASBR embedded ISA.
+//!
+//! The paper's guest programs were MediaBench C sources compiled by gcc for
+//! SimpleScalar. Our from-scratch substrate instead assembles hand-ported
+//! assembly sources (see the `asbr-workloads` crate) into a loadable
+//! [`Program`] image.
+//!
+//! Supported syntax (MIPS-flavoured):
+//!
+//! ```text
+//!         .text               # switch to the text segment
+//! main:   li    r4, 1000      # pseudo-instruction (expands to 1-2 words)
+//!         la    r5, table     # load address of a data symbol (2 words)
+//! loop:   lw    r2, 0(r5)
+//!         addi  r4, r4, -1
+//!         bnez  r4, loop      # zero-comparison branch to a label
+//!         halt
+//!         .data
+//! table:  .word 1, 2, 3
+//!         .space 64
+//! ```
+//!
+//! * comments run from `#` or `;` to end of line;
+//! * registers accept `rN`, `$N`, and ABI aliases (`sp`, `a0`, …);
+//! * immediates are decimal or `0x…` hexadecimal, optionally negated;
+//! * directives: `.text [addr]`, `.data [addr]`, `.word`, `.half`,
+//!   `.byte`, `.space n`, `.align p` (align to `2^p`), `.ascii`/`.asciiz`
+//!   (quoted strings with `\n \t \0 \\ \"` escapes), `.globl` (accepted,
+//!   ignored);
+//! * pseudo-instructions: `li`, `la`, `move`, `neg`, `not`, `b`, `nop`,
+//!   `subi`, `jalr rs` (single-operand form links to `ra`), and the
+//!   two-register comparison branches `blt`/`bge`/`bgt`/`ble` (expanding
+//!   to `slt $at` + a zero-compare branch).
+//!
+//! Execution starts at the `main` label when present, otherwise at the
+//! start of the text segment.
+//!
+//! # Examples
+//!
+//! ```
+//! use asbr_asm::assemble;
+//!
+//! let prog = assemble("
+//!     .text
+//! main:   addi r2, r0, 5
+//!         halt
+//! ")?;
+//! assert_eq!(prog.text().len(), 2);
+//! assert_eq!(prog.entry(), prog.text_base());
+//! # Ok::<(), asbr_asm::AsmError>(())
+//! ```
+
+mod assembler;
+mod operand;
+mod program;
+
+pub use assembler::{assemble, AsmError};
+pub use program::Program;
+
+/// Default base address of the text segment.
+pub const TEXT_BASE: u32 = 0x0000_1000;
+/// Default base address of the data segment.
+pub const DATA_BASE: u32 = 0x0010_0000;
+/// Initial stack pointer handed to guests (full-descending stack).
+pub const STACK_TOP: u32 = 0x00F0_0000;

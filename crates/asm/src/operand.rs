@@ -1,0 +1,112 @@
+//! Operand scanning helpers shared by the assembler passes.
+
+use asbr_isa::Reg;
+
+/// Splits a statement body into comma-separated operand strings, trimming
+/// whitespace. `lw r2, 0(r5)` yields `["r2", "0(r5)"]`.
+pub(crate) fn split_operands(body: &str) -> Vec<String> {
+    if body.trim().is_empty() {
+        return Vec::new();
+    }
+    body.split(',').map(|s| s.trim().to_owned()).collect()
+}
+
+/// Parses a register operand.
+pub(crate) fn parse_reg(s: &str) -> Result<Reg, String> {
+    s.parse::<Reg>().map_err(|e| e.to_string())
+}
+
+/// Parses a decimal or `0x…` hexadecimal integer literal (optionally
+/// negated). Returns `None` if `s` is not numeric — the caller may then
+/// treat it as a symbol.
+pub(crate) fn parse_int(s: &str) -> Option<i64> {
+    let (neg, body) = match s.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, s),
+    };
+    let magnitude = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X"))
+    {
+        i64::from_str_radix(hex, 16).ok()?
+    } else if body.chars().all(|c| c.is_ascii_digit()) && !body.is_empty() {
+        body.parse::<i64>().ok()?
+    } else {
+        return None;
+    };
+    Some(if neg { -magnitude } else { magnitude })
+}
+
+/// Parses a `offset(base)` memory operand into `(offset, base)`.
+pub(crate) fn parse_mem(s: &str) -> Result<(i64, Reg), String> {
+    let open = s.find('(').ok_or_else(|| format!("expected `off(reg)`, found `{s}`"))?;
+    let close = s
+        .rfind(')')
+        .filter(|&c| c > open)
+        .ok_or_else(|| format!("unclosed parenthesis in `{s}`"))?;
+    let off_str = s[..open].trim();
+    let off = if off_str.is_empty() {
+        0
+    } else {
+        parse_int(off_str).ok_or_else(|| format!("bad offset `{off_str}`"))?
+    };
+    let base = parse_reg(s[open + 1..close].trim())?;
+    Ok((off, base))
+}
+
+/// Range-checks a signed 16-bit immediate.
+pub(crate) fn check_i16(v: i64, what: &str) -> Result<i16, String> {
+    i16::try_from(v).map_err(|_| format!("{what} {v} does not fit in 16 signed bits"))
+}
+
+/// Range-checks an unsigned 16-bit immediate (negative values are accepted
+/// as their 16-bit two's-complement pattern for convenience).
+pub(crate) fn check_u16(v: i64, what: &str) -> Result<u16, String> {
+    if (0..=0xFFFF).contains(&v) {
+        Ok(v as u16)
+    } else if (-32768..0).contains(&v) {
+        Ok((v as i16) as u16)
+    } else {
+        Err(format!("{what} {v} does not fit in 16 bits"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operands_split_and_trim() {
+        assert_eq!(split_operands(" r2 , 0(r5) "), vec!["r2", "0(r5)"]);
+        assert!(split_operands("   ").is_empty());
+    }
+
+    #[test]
+    fn ints_decimal_hex_negative() {
+        assert_eq!(parse_int("42"), Some(42));
+        assert_eq!(parse_int("-42"), Some(-42));
+        assert_eq!(parse_int("0x10"), Some(16));
+        assert_eq!(parse_int("-0x10"), Some(-16));
+        assert_eq!(parse_int("0Xff"), Some(255));
+        assert_eq!(parse_int("label"), None);
+        assert_eq!(parse_int(""), None);
+        assert_eq!(parse_int("12ab"), None);
+    }
+
+    #[test]
+    fn mem_operands() {
+        assert_eq!(parse_mem("8(r29)").unwrap(), (8, Reg::SP));
+        assert_eq!(parse_mem("(sp)").unwrap(), (0, Reg::SP));
+        assert_eq!(parse_mem("-4(r30)").unwrap(), (-4, Reg::FP));
+        assert!(parse_mem("8").is_err());
+        assert!(parse_mem("8(r5").is_err());
+        assert!(parse_mem("x(r5)").is_err());
+    }
+
+    #[test]
+    fn immediate_ranges() {
+        assert_eq!(check_i16(-32768, "imm").unwrap(), -32768);
+        assert!(check_i16(32768, "imm").is_err());
+        assert_eq!(check_u16(0xFFFF, "imm").unwrap(), 0xFFFF);
+        assert_eq!(check_u16(-1, "imm").unwrap(), 0xFFFF);
+        assert!(check_u16(0x10000, "imm").is_err());
+    }
+}

@@ -1,0 +1,206 @@
+//! The assembled program image.
+
+use std::collections::HashMap;
+
+use asbr_isa::Instr;
+use asbr_mem::Memory;
+
+/// A loadable program: encoded text, initialised data, entry point, and
+/// the symbol table.
+///
+/// Produced by [`crate::assemble`]; consumed by the simulators via
+/// [`Program::load_into`].
+#[derive(Debug, Clone)]
+pub struct Program {
+    pub(crate) text_base: u32,
+    pub(crate) text: Vec<u32>,
+    pub(crate) data_base: u32,
+    pub(crate) data: Vec<u8>,
+    pub(crate) entry: u32,
+    pub(crate) symbols: HashMap<String, u32>,
+    /// Source line of each text word (1-based), parallel to `text`.
+    pub(crate) lines: Vec<u32>,
+}
+
+impl Program {
+    /// Base address of the text segment.
+    #[must_use]
+    pub fn text_base(&self) -> u32 {
+        self.text_base
+    }
+
+    /// Encoded instruction words in text order.
+    #[must_use]
+    pub fn text(&self) -> &[u32] {
+        &self.text
+    }
+
+    /// Base address of the data segment.
+    #[must_use]
+    pub fn data_base(&self) -> u32 {
+        self.data_base
+    }
+
+    /// Initialised data bytes.
+    #[must_use]
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Execution entry point (the `main` label, or the text base).
+    #[must_use]
+    pub fn entry(&self) -> u32 {
+        self.entry
+    }
+
+    /// Looks up a label's address.
+    #[must_use]
+    pub fn symbol(&self, name: &str) -> Option<u32> {
+        self.symbols.get(name).copied()
+    }
+
+    /// All `(label, address)` pairs in unspecified order.
+    pub fn symbols(&self) -> impl Iterator<Item = (&str, u32)> {
+        self.symbols.iter().map(|(n, &a)| (n.as_str(), a))
+    }
+
+    /// The label at exactly `addr`, preferring the alphabetically first
+    /// when several coincide.
+    #[must_use]
+    pub fn symbol_at(&self, addr: u32) -> Option<&str> {
+        self.symbols
+            .iter()
+            .filter(|&(_, &a)| a == addr)
+            .map(|(n, _)| n.as_str())
+            .min()
+    }
+
+    /// Address one past the last text word.
+    #[must_use]
+    pub fn text_end(&self) -> u32 {
+        self.text_base + 4 * self.text.len() as u32
+    }
+
+    /// Whether `pc` lies inside the text segment.
+    #[must_use]
+    pub fn contains_pc(&self, pc: u32) -> bool {
+        (self.text_base..self.text_end()).contains(&pc) && pc.is_multiple_of(4)
+    }
+
+    /// The decoded instruction at `pc`, if `pc` is inside the text segment
+    /// and decodes cleanly.
+    #[must_use]
+    pub fn instr_at(&self, pc: u32) -> Option<Instr> {
+        if !self.contains_pc(pc) {
+            return None;
+        }
+        let idx = ((pc - self.text_base) / 4) as usize;
+        Instr::decode(self.text[idx]).ok()
+    }
+
+    /// Source line (1-based) of the instruction at `pc`.
+    #[must_use]
+    pub fn line_of(&self, pc: u32) -> Option<u32> {
+        if !self.contains_pc(pc) {
+            return None;
+        }
+        self.lines.get(((pc - self.text_base) / 4) as usize).copied()
+    }
+
+    /// Returns a copy of this program with its text words replaced —
+    /// used by same-length rewriting passes (e.g. the ASBR predicate
+    /// hoisting scheduler), which preserve every label address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` has a different length from the current text.
+    #[must_use]
+    pub fn clone_with_text(&self, words: Vec<u32>) -> Program {
+        assert_eq!(words.len(), self.text.len(), "rewrites must preserve text length");
+        Program { text: words, ..self.clone() }
+    }
+
+    /// Copies text and data into a memory.
+    pub fn load_into(&self, mem: &mut Memory) {
+        mem.write_words(self.text_base, &self.text)
+            .expect("text base is word-aligned");
+        mem.write_bytes(self.data_base, &self.data);
+    }
+
+    /// Disassembles the whole text segment, one `addr: instr` line each,
+    /// with label annotations — a debugging aid.
+    #[must_use]
+    pub fn disassemble(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (i, &word) in self.text.iter().enumerate() {
+            let pc = self.text_base + 4 * i as u32;
+            if let Some(label) = self.symbol_at(pc) {
+                let _ = writeln!(out, "{label}:");
+            }
+            match Instr::decode(word) {
+                Ok(instr) => {
+                    let _ = writeln!(out, "  {pc:#010x}: {instr}");
+                }
+                Err(_) => {
+                    let _ = writeln!(out, "  {pc:#010x}: .word {word:#010x}");
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Program {
+        Program {
+            text_base: 0x1000,
+            text: vec![
+                Instr::Addi { rt: asbr_isa::Reg::V0, rs: asbr_isa::Reg::ZERO, imm: 7 }.encode(),
+                Instr::Halt.encode(),
+            ],
+            data_base: 0x2000,
+            data: vec![1, 2, 3],
+            entry: 0x1000,
+            symbols: [("main".to_owned(), 0x1000_u32)].into_iter().collect(),
+            lines: vec![1, 2],
+        }
+    }
+
+    #[test]
+    fn pc_containment() {
+        let p = sample();
+        assert!(p.contains_pc(0x1000));
+        assert!(p.contains_pc(0x1004));
+        assert!(!p.contains_pc(0x1008));
+        assert!(!p.contains_pc(0x1002));
+        assert!(!p.contains_pc(0x0FFC));
+    }
+
+    #[test]
+    fn instr_lookup_and_lines() {
+        let p = sample();
+        assert_eq!(p.instr_at(0x1004), Some(Instr::Halt));
+        assert_eq!(p.instr_at(0x1008), None);
+        assert_eq!(p.line_of(0x1004), Some(2));
+    }
+
+    #[test]
+    fn load_into_memory() {
+        let p = sample();
+        let mut m = Memory::new();
+        p.load_into(&mut m);
+        assert_eq!(m.read_u32(0x1004).unwrap(), Instr::Halt.encode());
+        assert_eq!(m.read_u8(0x2002), 3);
+    }
+
+    #[test]
+    fn disassembly_mentions_labels() {
+        let d = sample().disassemble();
+        assert!(d.contains("main:"));
+        assert!(d.contains("halt"));
+    }
+}

@@ -1,0 +1,104 @@
+//! Property tests for the assembler: generated programs must assemble,
+//! lay out densely, and decode back to the same instruction count; data
+//! layouts must respect alignment invariants.
+
+use asbr_asm::assemble;
+use asbr_isa::Instr;
+use proptest::prelude::*;
+
+fn arb_line() -> impl Strategy<Value = String> {
+    prop_oneof![
+        (2u8..26, 2u8..26, 2u8..26)
+            .prop_map(|(a, b, c)| format!("add r{a}, r{b}, r{c}")),
+        (2u8..26, 2u8..26, any::<i16>()).prop_map(|(a, b, i)| format!("addi r{a}, r{b}, {i}")),
+        (2u8..26, 2u8..26, 0u8..32).prop_map(|(a, b, s)| format!("sll r{a}, r{b}, {s}")),
+        (2u8..26, any::<u16>()).prop_map(|(a, i)| format!("ori r{a}, r{a}, {i}")),
+        (2u8..26, -4i32..16).prop_map(|(a, o)| format!("lw r{a}, {}(r29)", o * 4)),
+        Just("nop".to_owned()),
+    ]
+}
+
+fn arb_data() -> impl Strategy<Value = String> {
+    prop_oneof![
+        proptest::collection::vec(any::<i32>(), 1..5)
+            .prop_map(|v| format!(".word {}", v.iter().map(ToString::to_string).collect::<Vec<_>>().join(", "))),
+        proptest::collection::vec(any::<i16>(), 1..5)
+            .prop_map(|v| format!(".half {}", v.iter().map(ToString::to_string).collect::<Vec<_>>().join(", "))),
+        (1u8..9).prop_map(|n| format!(".space {n}")),
+        (0u8..4).prop_map(|p| format!(".align {p}")),
+        Just(".byte 1, 2, 3".to_owned()),
+    ]
+}
+
+proptest! {
+    /// Any straight-line instruction sequence assembles to exactly one
+    /// word per line, every word decodes, and the entry point is `main`.
+    #[test]
+    fn straight_line_programs_assemble_densely(lines in proptest::collection::vec(arb_line(), 1..40)) {
+        let mut src = String::from("main:\n");
+        for l in &lines {
+            src.push_str("        ");
+            src.push_str(l);
+            src.push('\n');
+        }
+        src.push_str("        halt\n");
+        let prog = assemble(&src).expect("generated program assembles");
+        prop_assert_eq!(prog.text().len(), lines.len() + 1);
+        for &w in prog.text() {
+            prop_assert!(Instr::decode(w).is_ok());
+        }
+        prop_assert_eq!(prog.entry(), prog.symbol("main").unwrap());
+    }
+
+    /// Data directives preserve natural alignment for every labelled
+    /// object and never place objects before the data base.
+    #[test]
+    fn data_layout_respects_alignment(items in proptest::collection::vec(arb_data(), 1..20)) {
+        let mut src = String::from("main: halt\n.data\n");
+        for (i, item) in items.iter().enumerate() {
+            src.push_str(&format!("lbl{i}: {item}\n"));
+        }
+        let prog = assemble(&src).expect("assembles");
+        for (i, item) in items.iter().enumerate() {
+            let addr = prog.symbol(&format!("lbl{i}")).expect("label exists");
+            prop_assert!(addr >= prog.data_base());
+            if item.starts_with(".word") {
+                prop_assert_eq!(addr % 4, 0, "word label misaligned");
+            }
+            if item.starts_with(".half") {
+                prop_assert_eq!(addr % 2, 0, "half label misaligned");
+            }
+        }
+    }
+
+    /// Branches to labels always land on word-aligned in-text addresses
+    /// after round-tripping through the encoder.
+    #[test]
+    fn branch_targets_resolve_in_text(fillers in 0usize..60, back in any::<bool>()) {
+        let mut src = String::from("main:\n");
+        if back {
+            src.push_str("target: nop\n");
+        }
+        for _ in 0..fillers {
+            src.push_str("        nop\n");
+        }
+        src.push_str("        beqz r2, target\n");
+        if !back {
+            for _ in 0..3 {
+                src.push_str("        nop\n");
+            }
+            src.push_str("target: nop\n");
+        }
+        src.push_str("        halt\n");
+        let prog = assemble(&src).expect("assembles");
+        let branch_pc = prog.text_base() + 4 * (fillers as u32 + u32::from(back));
+        match prog.instr_at(branch_pc) {
+            Some(Instr::BranchZ { off, .. }) => {
+                let info = asbr_isa::BranchInfo { zero_compare: None, off };
+                let target = info.target(branch_pc);
+                prop_assert_eq!(Some(target), prog.symbol("target"));
+            }
+            other => prop_assert!(false, "expected branch, got {:?}", other),
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Ablation benches: BIT capacity, publish threshold, scheduling, and
+//! BIT-bank sweeps (DESIGN.md ablations A, B, C, E) on the ADPCM encoder.
+
+use asbr_bench::BENCH_SAMPLES;
+use asbr_bpred::PredictorKind;
+use asbr_experiments::ablation;
+use asbr_experiments::runner::{run_asbr, AsbrOptions};
+use asbr_sim::PublishPoint;
+use asbr_workloads::Workload;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bit_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_bit_size");
+    group.sample_size(10);
+    let w = Workload::AdpcmEncode;
+    let pts =
+        ablation::bit_size(w, BENCH_SAMPLES, &[1, 2, 4, 8, 16, 32]).expect("ablation runs");
+    println!("\nAblation A (BIT size) series:");
+    for p in &pts {
+        println!("  {:<8} cycles {:>9} folds {:>8}", p.setting, p.cycles, p.folds);
+    }
+    for n in [1usize, 4, 16] {
+        group.bench_function(format!("bit_{n}"), |b| {
+            b.iter(|| {
+                run_asbr(
+                    w,
+                    PredictorKind::Bimodal { entries: 512 },
+                    BENCH_SAMPLES,
+                    AsbrOptions { bit_entries: n, ..AsbrOptions::default() },
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn threshold(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_threshold");
+    group.sample_size(10);
+    let w = Workload::AdpcmEncode;
+    let pts = ablation::publish_point(w, BENCH_SAMPLES).expect("ablation runs");
+    println!("\nAblation B (publish point) series:");
+    for p in &pts {
+        println!(
+            "  {:<24} cycles {:>9} folds {:>8} blocked {:>8}",
+            p.setting, p.cycles, p.folds, p.blocked
+        );
+    }
+    for publish in [PublishPoint::Execute, PublishPoint::Mem, PublishPoint::Commit] {
+        group.bench_function(format!("{publish:?}"), |b| {
+            b.iter(|| {
+                run_asbr(
+                    w,
+                    PredictorKind::Bimodal { entries: 512 },
+                    BENCH_SAMPLES,
+                    AsbrOptions { publish, ..AsbrOptions::default() },
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn scheduling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_scheduling");
+    group.sample_size(10);
+    let w = Workload::AdpcmEncode;
+    let pts = ablation::scheduling(w, BENCH_SAMPLES).expect("ablation runs");
+    println!("\nAblation C (scheduling) series:");
+    for p in &pts {
+        println!("  {:<12} cycles {:>9} folds {:>8}", p.setting, p.cycles, p.folds);
+    }
+    for hoist in [false, true] {
+        group.bench_function(if hoist { "scheduled" } else { "unscheduled" }, |b| {
+            b.iter(|| {
+                run_asbr(
+                    w,
+                    PredictorKind::Bimodal { entries: 512 },
+                    BENCH_SAMPLES,
+                    AsbrOptions { hoist, ..AsbrOptions::default() },
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn banks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_banks");
+    group.sample_size(10);
+    let (banked, single) = ablation::bank_switching(500).expect("ablation runs");
+    println!("\nAblation E (BIT banks) series: banked {banked} folds, single {single} folds");
+    group.bench_function("two_phase_switching", |b| {
+        b.iter(|| ablation::bank_switching(500));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bit_size, threshold, scheduling, banks);
+criterion_main!(benches);

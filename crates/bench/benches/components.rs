@@ -1,0 +1,136 @@
+//! Component microbenches: the hardware-structure models and substrate
+//! costs underlying the figure benches.
+
+use asbr_asm::assemble;
+use asbr_bpred::{Bimodal, Btb, Gshare, Predictor};
+use asbr_core::{AsbrConfig, AsbrUnit, Bdt, BitEntry};
+use asbr_isa::{Instr, Reg};
+use asbr_mem::{Cache, CacheConfig};
+use asbr_sim::{FetchHooks, Interp, Pipeline, PipelineConfig};
+use asbr_workloads::Workload;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn predictors(c: &mut Criterion) {
+    let mut group = c.benchmark_group("predictors");
+    let pcs: Vec<u32> = (0..256).map(|i| 0x1000 + i * 4).collect();
+    group.bench_function("bimodal_2048_predict_update", |b| {
+        let mut p = Bimodal::new(2048);
+        let mut i = 0usize;
+        b.iter(|| {
+            let pc = pcs[i % pcs.len()];
+            let t = p.predict(pc);
+            p.update(pc, !t);
+            i += 1;
+        });
+    });
+    group.bench_function("gshare_11_2048_predict_update", |b| {
+        let mut p = Gshare::new(11, 2048);
+        let mut i = 0usize;
+        b.iter(|| {
+            let pc = pcs[i % pcs.len()];
+            let t = p.predict(pc);
+            p.update(pc, t);
+            i += 1;
+        });
+    });
+    group.bench_function("btb_2048_lookup_update", |b| {
+        let mut btb = Btb::new(2048);
+        let mut i = 0usize;
+        b.iter(|| {
+            let pc = pcs[i % pcs.len()];
+            if btb.lookup(pc).is_none() {
+                btb.update(pc, pc + 0x40);
+            }
+            i += 1;
+        });
+    });
+    group.finish();
+}
+
+fn asbr_unit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("asbr_unit");
+    let prog = assemble(
+        "
+        main:   li   r4, 1
+                nop
+                nop
+                nop
+        br:     bnez r4, main
+                halt
+        ",
+    )
+    .expect("assembles");
+    let entry = BitEntry::from_program(&prog, prog.symbol("br").unwrap()).expect("entry");
+    group.bench_function("try_fold_hit", |b| {
+        let mut unit = AsbrUnit::new(AsbrConfig::default());
+        unit.install(0, vec![entry]).unwrap();
+        b.iter(|| black_box(unit.try_fold(entry.pc, 0)));
+    });
+    group.bench_function("try_fold_miss", |b| {
+        let mut unit = AsbrUnit::new(AsbrConfig::default());
+        unit.install(0, vec![entry]).unwrap();
+        b.iter(|| black_box(unit.try_fold(0xDEAD_0000, 0)));
+    });
+    group.bench_function("bdt_publish", |b| {
+        let mut bdt = Bdt::new();
+        let r = Reg::new(7);
+        let mut v = 0i32;
+        b.iter(|| {
+            bdt.note_fetch_writer(r);
+            bdt.publish(r, v as u32);
+            v = v.wrapping_add(1);
+        });
+    });
+    group.finish();
+}
+
+fn substrates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrates");
+    group.bench_function("cache_8k_access", |b| {
+        let mut cache = Cache::new(CacheConfig::dcache_8k());
+        let mut addr = 0u32;
+        b.iter(|| {
+            black_box(cache.access(addr));
+            addr = addr.wrapping_add(36);
+        });
+    });
+    group.bench_function("decode_encode_word", |b| {
+        let word = Instr::Addi { rt: Reg::new(3), rs: Reg::new(4), imm: -7 }.encode();
+        b.iter(|| Instr::decode(black_box(word)).map(|i| i.encode()));
+    });
+    let src = Workload::AdpcmEncode.source();
+    group.bench_function("assemble_adpcm_encoder", |b| {
+        b.iter(|| assemble(black_box(&src)).expect("assembles"));
+    });
+    group.finish();
+}
+
+fn simulators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulators");
+    group.sample_size(20);
+    let w = Workload::AdpcmEncode;
+    let prog = w.program();
+    let input = w.input(100);
+    group.bench_function("interp_adpcm_100", |b| {
+        b.iter(|| {
+            let mut it = Interp::new(&prog);
+            it.feed_input(input.iter().copied());
+            it.run(100_000_000).expect("halts")
+        });
+    });
+    group.bench_function("pipeline_adpcm_100", |b| {
+        b.iter(|| {
+            let mut pipe = Pipeline::new(
+                PipelineConfig::default(),
+                asbr_bpred::PredictorKind::Bimodal { entries: 2048 }.build(),
+            );
+            pipe.load(&prog);
+            pipe.feed_input(input.iter().copied());
+            pipe.run().expect("halts")
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, predictors, asbr_unit, substrates, simulators);
+criterion_main!(benches);

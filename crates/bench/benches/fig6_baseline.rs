@@ -1,0 +1,46 @@
+//! Figure 6 bench: baseline pipeline runs for every benchmark × predictor.
+//!
+//! Regenerates the Figure 6 series (cycles / CPI / accuracy per cell) at
+//! bench scale, printing the rows once, and measures the simulator's
+//! throughput per cell.
+
+use asbr_bench::{baseline_predictors, slug, BENCH_SAMPLES};
+use asbr_bpred::PredictorKind;
+use asbr_sim::{Pipeline, PipelineConfig};
+use asbr_workloads::Workload;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn run_cell(w: Workload, kind: PredictorKind, input: &[i32]) -> (u64, f64, f64) {
+    let mut pipe = Pipeline::new(PipelineConfig::default(), kind.build());
+    pipe.load(&w.program());
+    pipe.feed_input(input.iter().copied());
+    let s = pipe.run().expect("bench run halts");
+    (s.stats.cycles, s.stats.cpi(), s.stats.accuracy())
+}
+
+fn fig6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_baseline");
+    group.sample_size(10);
+    println!("\nFigure 6 series at {BENCH_SAMPLES} samples:");
+    for w in Workload::ALL {
+        let input = w.input(BENCH_SAMPLES);
+        for (label, kind) in baseline_predictors() {
+            let (cycles, cpi, acc) = run_cell(w, kind, &input);
+            println!(
+                "  {:<14} {:<10} cycles {:>9}  CPI {:.2}  acc {:.0}%",
+                w.name(),
+                label,
+                cycles,
+                cpi,
+                acc * 100.0
+            );
+            group.bench_function(format!("{}/{}", slug(w), label.replace(' ', "_")), |b| {
+                b.iter(|| run_cell(w, kind, &input));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig6);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Figures 7/9/10 bench: the profiling pass producing the per-branch
+//! statistics tables, for each benchmark.
+//!
+//! Prints each table's series (selected branches with exec counts and
+//! per-predictor accuracies) once, and measures the profiling pass.
+
+use asbr_bench::{slug, BENCH_SAMPLES};
+use asbr_bpred::PredictorKind;
+use asbr_profile::{profile, select_branches, SelectionConfig};
+use asbr_workloads::Workload;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn branch_tables(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_9_10_branch_stats");
+    group.sample_size(10);
+    for w in Workload::ALL {
+        let program = w.program();
+        let input = w.input(BENCH_SAMPLES);
+        let report =
+            profile(&program, &input, &PredictorKind::BASELINES).expect("profiles");
+        let picks = select_branches(&report, &program, &SelectionConfig::default());
+        println!("\n{} selected branches at {BENCH_SAMPLES} samples:", w.name());
+        for (i, pc) in picks.iter().enumerate() {
+            let b = report.branch(*pc).expect("profiled");
+            println!(
+                "  br{i} @{pc:#08x}: exec {:>7}  nt {:.2}  bimodal {:.2}  gshare {:.2}",
+                b.exec, b.accuracy[0], b.accuracy[1], b.accuracy[2]
+            );
+        }
+        group.bench_function(slug(w), |b| {
+            b.iter(|| {
+                let r = profile(&program, &input, &PredictorKind::BASELINES).expect("profiles");
+                select_branches(&r, &program, &SelectionConfig::default())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, branch_tables);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Scope-extension bench: the additional control-dominated kernels
+//! (CRC-32, frame-protocol parser, G.711 µ-law) under baseline and ASBR,
+//! with the improvement series printed once.
+
+use asbr_experiments::scope;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn scope_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scope_kernels");
+    group.sample_size(10);
+    let rows = scope::table(500).expect("scope runs");
+    println!("\nScope-extension series at 500-unit scale:");
+    for r in &rows {
+        println!(
+            "  {:<24} baseline {:>8} asbr {:>8}  gain {:>5.1}%  folds {:>7}",
+            r.kernel,
+            r.baseline_cycles,
+            r.asbr_cycles,
+            r.improvement * 100.0,
+            r.folds
+        );
+        assert!(r.output_ok, "{} diverged", r.kernel);
+    }
+    group.bench_function("full_table_500", |b| {
+        b.iter(|| scope::table(500));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, scope_kernels);
+criterion_main!(benches);

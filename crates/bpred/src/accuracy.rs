@@ -1,0 +1,163 @@
+//! Per-branch prediction accuracy accounting.
+//!
+//! The paper's Figures 7, 9 and 10 report, for each selected branch, its
+//! execution count and the accuracy each general-purpose predictor achieves
+//! on it. [`AccuracyTracker`] collects exactly that.
+
+use std::collections::HashMap;
+
+/// Counters for one static branch (identified by its PC).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BranchRecord {
+    /// Dynamic executions.
+    pub executed: u64,
+    /// Executions predicted correctly.
+    pub correct: u64,
+    /// Executions that were taken.
+    pub taken: u64,
+}
+
+impl BranchRecord {
+    /// Prediction accuracy in `[0, 1]`; `0.0` when never executed.
+    #[must_use]
+    pub fn accuracy(&self) -> f64 {
+        if self.executed == 0 {
+            0.0
+        } else {
+            self.correct as f64 / self.executed as f64
+        }
+    }
+
+    /// Fraction of executions that were taken.
+    #[must_use]
+    pub fn taken_rate(&self) -> f64 {
+        if self.executed == 0 {
+            0.0
+        } else {
+            self.taken as f64 / self.executed as f64
+        }
+    }
+}
+
+/// Accumulates per-branch and aggregate prediction outcomes.
+///
+/// # Examples
+///
+/// ```
+/// use asbr_bpred::AccuracyTracker;
+///
+/// let mut t = AccuracyTracker::new();
+/// t.record(0x40, true, true);   // predicted taken, was taken
+/// t.record(0x40, false, true);  // predicted not-taken, was taken
+/// assert_eq!(t.branch(0x40).unwrap().executed, 2);
+/// assert_eq!(t.overall_accuracy(), 0.5);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct AccuracyTracker {
+    branches: HashMap<u32, BranchRecord>,
+    total: BranchRecord,
+}
+
+impl AccuracyTracker {
+    /// Creates an empty tracker.
+    #[must_use]
+    pub fn new() -> AccuracyTracker {
+        AccuracyTracker::default()
+    }
+
+    /// Records one dynamic branch: the direction that was predicted and
+    /// the direction that actually resolved.
+    pub fn record(&mut self, pc: u32, predicted_taken: bool, taken: bool) {
+        let rec = self.branches.entry(pc).or_default();
+        for r in [rec, &mut self.total] {
+            r.executed += 1;
+            r.taken += u64::from(taken);
+            r.correct += u64::from(predicted_taken == taken);
+        }
+    }
+
+    /// The record for the branch at `pc`, if it ever executed.
+    #[must_use]
+    pub fn branch(&self, pc: u32) -> Option<&BranchRecord> {
+        self.branches.get(&pc)
+    }
+
+    /// Aggregate record over all branches.
+    #[must_use]
+    pub fn total(&self) -> BranchRecord {
+        self.total
+    }
+
+    /// Aggregate accuracy over all dynamic branches (the paper's `Acc`
+    /// column in Figure 6).
+    #[must_use]
+    pub fn overall_accuracy(&self) -> f64 {
+        self.total.accuracy()
+    }
+
+    /// Iterates over `(pc, record)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &BranchRecord)> {
+        self.branches.iter().map(|(&pc, r)| (pc, r))
+    }
+
+    /// Branches sorted by descending execution count — the "most frequently
+    /// executed" view used when selecting ASBR candidates.
+    #[must_use]
+    pub fn hottest(&self) -> Vec<(u32, BranchRecord)> {
+        let mut v: Vec<_> = self.branches.iter().map(|(&pc, &r)| (pc, r)).collect();
+        v.sort_by(|a, b| b.1.executed.cmp(&a.1.executed).then(a.0.cmp(&b.0)));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_tracker_reports_zero() {
+        let t = AccuracyTracker::new();
+        assert_eq!(t.overall_accuracy(), 0.0);
+        assert!(t.branch(0).is_none());
+        assert_eq!(t.total().executed, 0);
+    }
+
+    #[test]
+    fn per_branch_and_total_stay_consistent() {
+        let mut t = AccuracyTracker::new();
+        t.record(0x10, true, true);
+        t.record(0x10, true, false);
+        t.record(0x20, false, false);
+        let a = t.branch(0x10).unwrap();
+        let b = t.branch(0x20).unwrap();
+        assert_eq!(a.executed + b.executed, t.total().executed);
+        assert_eq!(a.correct + b.correct, t.total().correct);
+        assert_eq!(a.taken + b.taken, t.total().taken);
+        assert!((t.overall_accuracy() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn taken_rate() {
+        let mut t = AccuracyTracker::new();
+        t.record(0x10, false, true);
+        t.record(0x10, false, true);
+        t.record(0x10, false, false);
+        assert!((t.branch(0x10).unwrap().taken_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hottest_orders_by_execution_count() {
+        let mut t = AccuracyTracker::new();
+        for _ in 0..5 {
+            t.record(0x30, false, false);
+        }
+        for _ in 0..9 {
+            t.record(0x10, false, false);
+        }
+        t.record(0x20, false, false);
+        let hot = t.hottest();
+        assert_eq!(hot[0].0, 0x10);
+        assert_eq!(hot[1].0, 0x30);
+        assert_eq!(hot[2].0, 0x20);
+    }
+}

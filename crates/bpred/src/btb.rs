@@ -1,0 +1,230 @@
+//! Branch target buffer.
+
+use core::fmt;
+
+/// BTB lookup/update statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BtbStats {
+    /// Lookups performed.
+    pub lookups: u64,
+    /// Lookups that returned a target.
+    pub hits: u64,
+}
+
+impl BtbStats {
+    /// Hit rate in `[0, 1]`; `1.0` when there were no lookups.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            1.0
+        } else {
+            self.hits as f64 / self.lookups as f64
+        }
+    }
+}
+
+impl fmt::Display for BtbStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} lookups, {:.2}% hit", self.lookups, self.hit_rate() * 100.0)
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct BtbEntry {
+    valid: bool,
+    tag: u32,
+    target: u32,
+}
+
+/// A direct-mapped branch target buffer.
+///
+/// Caches the target address of taken branches so the fetch stage can
+/// redirect on a taken prediction. A taken-predicted branch *without* a BTB
+/// entry cannot redirect and is fetched fall-through (fixed at execute) —
+/// which is why the paper scales the BTB with the predictor (2048 entries
+/// baseline, a quarter of that for the ASBR auxiliary predictors).
+///
+/// # Examples
+///
+/// ```
+/// use asbr_bpred::Btb;
+///
+/// let mut btb = Btb::new(64);
+/// assert_eq!(btb.lookup(0x100), None);
+/// btb.update(0x100, 0x200);
+/// assert_eq!(btb.lookup(0x100), Some(0x200));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Btb {
+    entries: Vec<BtbEntry>,
+    stats: BtbStats,
+}
+
+impl Btb {
+    /// Creates an empty BTB with `entries` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is zero or not a power of two.
+    #[must_use]
+    pub fn new(entries: usize) -> Btb {
+        assert!(entries.is_power_of_two(), "BTB entries must be a power of two");
+        Btb { entries: vec![BtbEntry::default(); entries], stats: BtbStats::default() }
+    }
+
+    fn slot(&self, pc: u32) -> usize {
+        ((pc >> 2) as usize) & (self.entries.len() - 1)
+    }
+
+    /// Looks up the cached target for the branch at `pc`.
+    pub fn lookup(&mut self, pc: u32) -> Option<u32> {
+        self.stats.lookups += 1;
+        let e = self.entries[self.slot(pc)];
+        if e.valid && e.tag == pc {
+            self.stats.hits += 1;
+            Some(e.target)
+        } else {
+            None
+        }
+    }
+
+    /// Installs/refreshes the target of a resolved taken branch.
+    pub fn update(&mut self, pc: u32, target: u32) {
+        let slot = self.slot(pc);
+        self.entries[slot] = BtbEntry { valid: true, tag: pc, target };
+    }
+
+    /// Number of slots.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Storage cost in bits of a BTB with `entries` slots: a full 32-bit
+    /// tag, a 32-bit target and a valid bit per entry.
+    #[must_use]
+    pub fn storage_bits(entries: usize) -> u64 {
+        entries as u64 * (32 + 32 + 1)
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> BtbStats {
+        self.stats
+    }
+}
+
+/// A return-address stack predicting `jr ra` targets.
+///
+/// Not part of the paper's baseline (embedded cores of the era rarely had
+/// one); provided as an optional microarchitectural extension so the
+/// harness can measure how much of the call-heavy G.721's overhead is
+/// return-flush cost rather than conditional-branch cost.
+///
+/// # Examples
+///
+/// ```
+/// use asbr_bpred::ReturnStack;
+///
+/// let mut ras = ReturnStack::new(8);
+/// ras.push(0x104);
+/// assert_eq!(ras.pop(), Some(0x104));
+/// assert_eq!(ras.pop(), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReturnStack {
+    stack: Vec<u32>,
+    capacity: usize,
+}
+
+impl ReturnStack {
+    /// Creates an empty stack holding up to `capacity` return addresses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> ReturnStack {
+        assert!(capacity > 0, "return stack needs at least one entry");
+        ReturnStack { stack: Vec::with_capacity(capacity), capacity }
+    }
+
+    /// Records a call's return address; the oldest entry is dropped when
+    /// full (circular behaviour, matching hardware).
+    pub fn push(&mut self, return_addr: u32) {
+        if self.stack.len() == self.capacity {
+            self.stack.remove(0);
+        }
+        self.stack.push(return_addr);
+    }
+
+    /// Predicts the target of a return.
+    pub fn pop(&mut self) -> Option<u32> {
+        self.stack.pop()
+    }
+
+    /// Current depth.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ras_lifo_order() {
+        let mut ras = ReturnStack::new(4);
+        ras.push(0x10);
+        ras.push(0x20);
+        assert_eq!(ras.pop(), Some(0x20));
+        assert_eq!(ras.pop(), Some(0x10));
+        assert_eq!(ras.pop(), None);
+    }
+
+    #[test]
+    fn ras_overflow_drops_oldest() {
+        let mut ras = ReturnStack::new(2);
+        ras.push(1);
+        ras.push(2);
+        ras.push(3);
+        assert_eq!(ras.depth(), 2);
+        assert_eq!(ras.pop(), Some(3));
+        assert_eq!(ras.pop(), Some(2));
+        assert_eq!(ras.pop(), None, "1 was dropped on overflow");
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut b = Btb::new(16);
+        assert_eq!(b.lookup(0x40), None);
+        b.update(0x40, 0x100);
+        assert_eq!(b.lookup(0x40), Some(0x100));
+        assert_eq!(b.stats().lookups, 2);
+        assert_eq!(b.stats().hits, 1);
+    }
+
+    #[test]
+    fn conflicting_branches_evict() {
+        let mut b = Btb::new(4);
+        b.update(0x00, 0xA0);
+        b.update(0x10, 0xB0); // same slot in a 4-entry BTB
+        assert_eq!(b.lookup(0x00), None, "evicted by the aliasing branch");
+        assert_eq!(b.lookup(0x10), Some(0xB0));
+    }
+
+    #[test]
+    fn tag_prevents_false_hits() {
+        let mut b = Btb::new(4);
+        b.update(0x00, 0xA0);
+        assert_eq!(b.lookup(0x20), None, "same slot, different tag");
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        let _ = Btb::new(3);
+    }
+}

@@ -1,0 +1,65 @@
+#![warn(missing_docs)]
+
+//! General-purpose branch predictors for the ASBR baseline architecture.
+//!
+//! The paper (Sec. 8) compares ASBR against three general-purpose
+//! predictors:
+//!
+//! * **not taken** — "the default in many embedded processors that lack
+//!   branch predictors";
+//! * **bimodal** — 2048 two-bit saturating counters + a 2048-entry branch
+//!   target buffer ([McFarling, TN-36]);
+//! * **gshare** — a two-level global-history predictor with an 11-bit
+//!   history register, a 2048-entry pattern history table, and a
+//!   2048-entry BTB.
+//!
+//! and, for Figure 11, small *auxiliary* bimodal predictors (512/256
+//! entries with a quarter-size BTB) covering the branches ASBR does not
+//! fold.
+//!
+//! This crate provides those predictors behind the [`Predictor`] trait, a
+//! parameterized [`Btb`], per-branch [`AccuracyTracker`] accounting, and a
+//! [`PredictorKind`] configuration enum used by the experiment harness.
+//!
+//! # Examples
+//!
+//! ```
+//! use asbr_bpred::{Predictor, PredictorKind};
+//!
+//! let mut p = PredictorKind::Bimodal { entries: 512 }.build();
+//! // A heavily-biased branch trains quickly:
+//! for _ in 0..4 { let _ = p.predict(0x40); p.update(0x40, true); }
+//! assert!(p.predict(0x40));
+//! ```
+
+mod accuracy;
+mod btb;
+mod predictors;
+
+pub use accuracy::{AccuracyTracker, BranchRecord};
+pub use btb::{Btb, BtbStats, ReturnStack};
+pub use predictors::{
+    Bimodal, Gshare, Local, NotTaken, PredictorKind, StaticPerBranch, Taken, Tournament,
+};
+
+/// A dynamic conditional-branch direction predictor.
+///
+/// `predict` is consulted in the fetch stage; `update` is applied when the
+/// branch resolves in the execute stage. Implementations are free to keep
+/// global state (e.g. gshare's history register), which `update` advances
+/// in program order — accurate for an in-order, single-issue pipeline where
+/// branches resolve before the next branch is predicted... except for the
+/// 1–2 cycle window the pipeline itself models; this matches the classic
+/// trace-driven evaluation style of the paper.
+pub trait Predictor {
+    /// Predicted direction (`true` = taken) for a conditional branch at
+    /// `pc`.
+    fn predict(&mut self, pc: u32) -> bool;
+
+    /// Trains the predictor with the resolved direction of the branch at
+    /// `pc`.
+    fn update(&mut self, pc: u32, taken: bool);
+
+    /// Short human-readable name, e.g. `"gshare"` or `"bi-512"`.
+    fn name(&self) -> &str;
+}

@@ -1,0 +1,65 @@
+//! Property tests over the predictor implementations.
+
+use asbr_bpred::{Bimodal, Btb, Gshare, Predictor};
+use proptest::prelude::*;
+
+proptest! {
+    /// A 2-bit counter table converges on any constant-direction branch
+    /// within two updates and stays converged.
+    #[test]
+    fn bimodal_converges_on_bias(pc in any::<u32>(), taken in any::<bool>()) {
+        let mut p = Bimodal::new(1024);
+        for _ in 0..4 {
+            p.update(pc, taken);
+        }
+        for _ in 0..16 {
+            prop_assert_eq!(p.predict(pc), taken);
+            p.update(pc, taken);
+        }
+    }
+
+    /// gshare locks onto any short periodic pattern (period <= history).
+    #[test]
+    fn gshare_learns_short_periods(period in 1usize..6, phase in 0usize..6) {
+        let mut g = Gshare::new(8, 4096);
+        let pattern: Vec<bool> = (0..period).map(|i| (i + phase) % 2 == 0).collect();
+        let mut wrong_tail = 0;
+        for i in 0..600 {
+            let t = pattern[i % period];
+            let pred = g.predict(0x4000);
+            if i >= 500 && pred != t {
+                wrong_tail += 1;
+            }
+            g.update(0x4000, t);
+        }
+        prop_assert_eq!(wrong_tail, 0, "gshare failed to lock onto period {}", period);
+    }
+
+    /// Prediction is a pure read: consecutive predicts without an update
+    /// agree.
+    #[test]
+    fn predict_is_idempotent(pcs in proptest::collection::vec(any::<u32>(), 1..50)) {
+        let mut b = Bimodal::new(256);
+        let mut g = Gshare::new(9, 512);
+        for pc in pcs {
+            prop_assert_eq!(b.predict(pc), b.predict(pc));
+            prop_assert_eq!(g.predict(pc), g.predict(pc));
+        }
+    }
+
+    /// The BTB returns exactly the last installed target for a PC, or
+    /// nothing after an aliasing eviction — never a wrong target.
+    #[test]
+    fn btb_never_lies(ops in proptest::collection::vec((any::<u16>(), any::<u32>()), 1..200)) {
+        let mut btb = Btb::new(64);
+        let mut model = std::collections::HashMap::new();
+        for (pc16, target) in ops {
+            let pc = u32::from(pc16) << 2;
+            btb.update(pc, target);
+            model.insert(pc, target);
+            if let Some(hit) = btb.lookup(pc) {
+                prop_assert_eq!(hit, model[&pc]);
+            }
+        }
+    }
+}

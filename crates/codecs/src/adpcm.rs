@@ -1,0 +1,271 @@
+//! IMA ADPCM coder/decoder (MediaBench `adpcm.c`, Intel/DVI variant).
+
+/// Quantizer step-index adaptation table.
+pub(crate) const INDEX_TABLE: [i32; 16] =
+    [-1, -1, -1, -1, 2, 4, 6, 8, -1, -1, -1, -1, 2, 4, 6, 8];
+
+/// Quantizer step sizes (89 entries).
+pub(crate) const STEPSIZE_TABLE: [i32; 89] = [
+    7, 8, 9, 10, 11, 12, 13, 14, 16, 17, 19, 21, 23, 25, 28, 31, 34, 37, 41, 45, 50, 55, 60, 66,
+    73, 80, 88, 97, 107, 118, 130, 143, 157, 173, 190, 209, 230, 253, 279, 307, 337, 371, 408,
+    449, 494, 544, 598, 658, 724, 796, 876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066,
+    2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358, 5894, 6484, 7132, 7845, 8630,
+    9493, 10442, 11487, 12635, 13899, 15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794,
+    32767,
+];
+
+/// Persistent coder/decoder state (`struct adpcm_state`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdpcmState {
+    /// Previous predicted/reconstructed value.
+    pub valprev: i16,
+    /// Index into the step-size table.
+    pub index: i32,
+}
+
+impl AdpcmState {
+    /// The all-zero reset state.
+    #[must_use]
+    pub fn new() -> AdpcmState {
+        AdpcmState::default()
+    }
+}
+
+/// Encodes 16-bit PCM samples into packed 4-bit ADPCM codes
+/// (two per output byte, first sample in the high nibble — MediaBench's
+/// `adpcm_coder`).
+///
+/// An odd trailing sample flushes with a zero low nibble, as the original
+/// does.
+#[must_use]
+pub fn adpcm_encode(input: &[i16], state: &mut AdpcmState) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len().div_ceil(2));
+    let mut valpred = i32::from(state.valprev);
+    let mut index = state.index;
+    let mut step = STEPSIZE_TABLE[index as usize];
+    let mut outputbuffer = 0u8;
+    let mut bufferstep = true;
+
+    for &sample in input {
+        let val = i32::from(sample);
+
+        // Step 1 - compute difference with previous value.
+        let mut diff = val - valpred;
+        let sign = if diff < 0 { 8 } else { 0 };
+        if sign != 0 {
+            diff = -diff;
+        }
+
+        // Step 2 - divide and clamp (unrolled division-by-trial).
+        let mut delta = 0;
+        let mut vpdiff = step >> 3;
+        if diff >= step {
+            delta = 4;
+            diff -= step;
+            vpdiff += step;
+        }
+        step >>= 1;
+        if diff >= step {
+            delta |= 2;
+            diff -= step;
+            vpdiff += step;
+        }
+        step >>= 1;
+        if diff >= step {
+            delta |= 1;
+            vpdiff += step;
+        }
+
+        // Step 3 - update previous value.
+        if sign != 0 {
+            valpred -= vpdiff;
+        } else {
+            valpred += vpdiff;
+        }
+
+        // Step 4 - clamp previous value to 16 bits.
+        valpred = valpred.clamp(-32768, 32767);
+
+        // Step 5 - assemble value, update index and step.
+        delta |= sign;
+        index += INDEX_TABLE[delta as usize];
+        index = index.clamp(0, 88);
+        step = STEPSIZE_TABLE[index as usize];
+
+        // Step 6 - output value (nibble packing).
+        if bufferstep {
+            outputbuffer = ((delta << 4) & 0xF0) as u8;
+        } else {
+            out.push((delta & 0x0F) as u8 | outputbuffer);
+        }
+        bufferstep = !bufferstep;
+    }
+    if !bufferstep {
+        out.push(outputbuffer);
+    }
+
+    state.valprev = valpred as i16;
+    state.index = index;
+    out
+}
+
+/// Decodes packed 4-bit ADPCM codes back to `n_samples` PCM samples
+/// (MediaBench's `adpcm_decoder`).
+///
+/// # Panics
+///
+/// Panics if `input` holds fewer than `n_samples` nibbles.
+#[must_use]
+pub fn adpcm_decode(input: &[u8], n_samples: usize, state: &mut AdpcmState) -> Vec<i16> {
+    assert!(
+        input.len() * 2 >= n_samples,
+        "need {} nibbles, have {}",
+        n_samples,
+        input.len() * 2
+    );
+    let mut out = Vec::with_capacity(n_samples);
+    let mut valpred = i32::from(state.valprev);
+    let mut index = state.index;
+    let mut step = STEPSIZE_TABLE[index as usize];
+    let mut inputbuffer = 0u8;
+    let mut bufferstep = false;
+    let mut inp = input.iter();
+
+    for _ in 0..n_samples {
+        // Step 1 - get the delta value.
+        let delta: i32 = if bufferstep {
+            i32::from(inputbuffer & 0x0F)
+        } else {
+            inputbuffer = *inp.next().expect("length checked above");
+            i32::from(inputbuffer >> 4)
+        };
+        bufferstep = !bufferstep;
+
+        // Step 2 - find new index value (for later).
+        index += INDEX_TABLE[delta as usize];
+        index = index.clamp(0, 88);
+
+        // Step 3 - separate sign and magnitude.
+        let sign = delta & 8;
+        let delta = delta & 7;
+
+        // Step 4 - compute difference and new predicted value.
+        let mut vpdiff = step >> 3;
+        if delta & 4 != 0 {
+            vpdiff += step;
+        }
+        if delta & 2 != 0 {
+            vpdiff += step >> 1;
+        }
+        if delta & 1 != 0 {
+            vpdiff += step >> 2;
+        }
+        if sign != 0 {
+            valpred -= vpdiff;
+        } else {
+            valpred += vpdiff;
+        }
+
+        // Step 5 - clamp output value.
+        valpred = valpred.clamp(-32768, 32767);
+
+        // Step 6 - update step value.
+        step = STEPSIZE_TABLE[index as usize];
+
+        out.push(valpred as i16);
+    }
+
+    state.valprev = valpred as i16;
+    state.index = index;
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hand_computed_first_codes() {
+        // input 100: delta walks 4|2|1 = 7, valpred becomes 11, index 8.
+        // input 0: diff -11 against step 16 gives delta 2|sign = 0xA.
+        let mut st = AdpcmState::new();
+        let packed = adpcm_encode(&[100, 0], &mut st);
+        assert_eq!(packed, vec![0x7A]);
+        assert_eq!(st.valprev, 1);
+        assert_eq!(st.index, 7);
+    }
+
+    #[test]
+    fn silence_encodes_to_zero_nibbles() {
+        let mut st = AdpcmState::new();
+        let packed = adpcm_encode(&[0; 10], &mut st);
+        assert_eq!(packed, vec![0; 5]);
+        assert_eq!(st.valprev, 0);
+    }
+
+    #[test]
+    fn odd_length_flushes() {
+        let mut st = AdpcmState::new();
+        let packed = adpcm_encode(&[100], &mut st);
+        assert_eq!(packed, vec![0x70]);
+    }
+
+    #[test]
+    fn round_trip_tracks_a_sine() {
+        let pcm: Vec<i16> = (0..2000)
+            .map(|i| (6000.0 * (i as f64 * 0.05).sin()) as i16)
+            .collect();
+        let packed = adpcm_encode(&pcm, &mut AdpcmState::new());
+        let back = adpcm_decode(&packed, pcm.len(), &mut AdpcmState::new());
+        // Skip the attack transient, then demand a decent SNR.
+        let (mut sig, mut err) = (0f64, 0f64);
+        for i in 200..pcm.len() {
+            sig += f64::from(pcm[i]) * f64::from(pcm[i]);
+            let e = f64::from(pcm[i]) - f64::from(back[i]);
+            err += e * e;
+        }
+        let snr_db = 10.0 * (sig / err).log10();
+        assert!(snr_db > 12.0, "SNR {snr_db:.1} dB too low for ADPCM");
+    }
+
+    #[test]
+    fn encoder_embeds_decoder() {
+        // Decoding what the encoder produced, starting from the same
+        // state, must land on the same final predictor state.
+        let pcm: Vec<i16> = (0..512).map(|i| ((i * 37) % 3000 - 1500) as i16).collect();
+        let mut enc = AdpcmState::new();
+        let packed = adpcm_encode(&pcm, &mut enc);
+        let mut dec = AdpcmState::new();
+        let _ = adpcm_decode(&packed, pcm.len(), &mut dec);
+        assert_eq!(enc, dec);
+    }
+
+    #[test]
+    fn state_resumes_across_chunks() {
+        let pcm: Vec<i16> = (0..100).map(|i| (i * 123 % 2001 - 1000) as i16).collect();
+        let mut whole_state = AdpcmState::new();
+        let whole = adpcm_encode(&pcm, &mut whole_state);
+        // Chunked at an even sample boundary (nibble packing aligns).
+        let mut chunk_state = AdpcmState::new();
+        let mut chunked = adpcm_encode(&pcm[..50], &mut chunk_state);
+        chunked.extend(adpcm_encode(&pcm[50..], &mut chunk_state));
+        assert_eq!(whole, chunked);
+        assert_eq!(whole_state, chunk_state);
+    }
+
+    #[test]
+    fn clamps_on_extremes() {
+        let pcm = [32767i16, -32768, 32767, -32768, 32767, -32768];
+        let packed = adpcm_encode(&pcm, &mut AdpcmState::new());
+        let back = adpcm_decode(&packed, pcm.len(), &mut AdpcmState::new());
+        for v in back {
+            assert!((-32768..=32767).contains(&i32::from(v)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "nibbles")]
+    fn decode_length_checked() {
+        let _ = adpcm_decode(&[0x00], 3, &mut AdpcmState::new());
+    }
+}

@@ -1,0 +1,163 @@
+//! G.711 companding (µ-law and A-law), after the classic Sun `g711.c`
+//! that ships with MediaBench.
+//!
+//! The µ-law encoder's segment search is another instance of the paper's
+//! hard-to-predict data-dependent branch family; `asbr-workloads` carries
+//! an assembly port of [`linear2ulaw`] as a scope-extension kernel.
+
+/// µ-law segment endpoints.
+const SEG_UEND: [i32; 8] = [0xFF, 0x1FF, 0x3FF, 0x7FF, 0xFFF, 0x1FFF, 0x3FFF, 0x7FFF];
+/// A-law segment endpoints (13-bit domain).
+const SEG_AEND: [i32; 8] = [0x1F, 0x3F, 0x7F, 0xFF, 0x1FF, 0x3FF, 0x7FF, 0xFFF];
+
+const BIAS: i32 = 0x84;
+
+fn search(val: i32, table: &[i32; 8]) -> i32 {
+    for (i, &e) in table.iter().enumerate() {
+        if val <= e {
+            return i as i32;
+        }
+    }
+    8
+}
+
+/// Encodes a 16-bit linear PCM sample to an 8-bit µ-law code.
+///
+/// # Examples
+///
+/// ```
+/// use asbr_codecs::{linear2ulaw, ulaw2linear};
+///
+/// assert_eq!(linear2ulaw(0), 0xFF);
+/// assert_eq!(ulaw2linear(0xFF), 0);
+/// ```
+#[must_use]
+pub fn linear2ulaw(pcm: i16) -> u8 {
+    let (val, mask) = if pcm < 0 {
+        (BIAS - i32::from(pcm), 0x7F)
+    } else {
+        (i32::from(pcm) + BIAS, 0xFF)
+    };
+    let seg = search(val, &SEG_UEND);
+    if seg >= 8 {
+        (0x7F ^ mask) as u8
+    } else {
+        let uval = (seg << 4) | ((val >> (seg + 3)) & 0xF);
+        (uval ^ mask) as u8
+    }
+}
+
+/// Decodes an 8-bit µ-law code to a 16-bit linear PCM sample.
+#[must_use]
+pub fn ulaw2linear(code: u8) -> i16 {
+    let u = i32::from(!code);
+    let mut t = ((u & 0x0F) << 3) + BIAS;
+    t <<= (u & 0x70) >> 4;
+    (if u & 0x80 != 0 { BIAS - t } else { t - BIAS }) as i16
+}
+
+/// Encodes a 13-bit-domain linear PCM sample (16-bit input, low 3 bits
+/// ignored) to an 8-bit A-law code.
+#[must_use]
+pub fn linear2alaw(pcm: i16) -> u8 {
+    let pcm = i32::from(pcm) >> 3;
+    let (val, mask) = if pcm >= 0 { (pcm, 0xD5) } else { (-pcm - 1, 0x55) };
+    let seg = search(val, &SEG_AEND);
+    if seg >= 8 {
+        (0x7F ^ mask) as u8
+    } else {
+        let mut aval = seg << 4;
+        if seg < 2 {
+            aval |= (val >> 1) & 0xF;
+        } else {
+            aval |= (val >> seg) & 0xF;
+        }
+        (aval ^ mask) as u8
+    }
+}
+
+/// Decodes an 8-bit A-law code to a 16-bit linear PCM sample.
+#[must_use]
+pub fn alaw2linear(code: u8) -> i16 {
+    let a = i32::from(code) ^ 0x55;
+    let mut t = (a & 0x0F) << 4;
+    let seg = (a & 0x70) >> 4;
+    match seg {
+        0 => t += 8,
+        1 => t += 0x108,
+        _ => {
+            t += 0x108;
+            t <<= seg - 1;
+        }
+    }
+    (if a & 0x80 != 0 { t } else { -t }) as i16
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ulaw_zero_and_extremes() {
+        assert_eq!(linear2ulaw(0), 0xFF);
+        assert_eq!(ulaw2linear(0xFF), 0);
+        // Saturated codes decode to large magnitudes of the right sign.
+        assert!(ulaw2linear(linear2ulaw(32767)) > 28000);
+        assert!(ulaw2linear(linear2ulaw(-32768)) < -28000);
+    }
+
+    #[test]
+    fn ulaw_codes_are_idempotent() {
+        // Classic companding invariant: re-encoding a decoded code gives
+        // the same code — except µ-law's negative zero (0x7F), which
+        // decodes to 0 and re-encodes as positive zero (0xFF).
+        for c in 0..=255u8 {
+            let back = linear2ulaw(ulaw2linear(c));
+            if c == 0x7F {
+                assert_eq!(back, 0xFF, "negative zero folds into positive zero");
+            } else {
+                assert_eq!(back, c, "code {c:#04x}");
+            }
+        }
+    }
+
+    #[test]
+    fn alaw_codes_are_idempotent() {
+        for c in 0..=255u8 {
+            assert_eq!(linear2alaw(alaw2linear(c)), c, "code {c:#04x}");
+        }
+    }
+
+    #[test]
+    fn ulaw_round_trip_error_is_logarithmically_bounded() {
+        for pcm in (-32768..=32767).step_by(37) {
+            let pcm = pcm as i16;
+            let back = i32::from(ulaw2linear(linear2ulaw(pcm)));
+            let err = (back - i32::from(pcm)).abs();
+            // Step size in segment k is 2^(k+3); error <= half a step,
+            // with segment bounds near |pcm|/16 + bias.
+            let bound = (i32::from(pcm).abs() >> 4) + 40;
+            assert!(err <= bound, "pcm {pcm}: back {back}, err {err} > {bound}");
+        }
+    }
+
+    #[test]
+    fn ulaw_is_monotone_on_magnitudes() {
+        // Decoded values must be non-decreasing as positive inputs grow.
+        let mut last = i32::MIN;
+        for pcm in (0..=32767).step_by(11) {
+            let v = i32::from(ulaw2linear(linear2ulaw(pcm as i16)));
+            assert!(v >= last, "non-monotone at {pcm}");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn sign_symmetry() {
+        for pcm in [1i16, 100, 5000, 30000] {
+            let p = i32::from(ulaw2linear(linear2ulaw(pcm)));
+            let n = i32::from(ulaw2linear(linear2ulaw(-pcm)));
+            assert!((p + n).abs() <= 8, "asymmetric at {pcm}: {p} vs {n}");
+        }
+    }
+}

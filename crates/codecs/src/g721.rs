@@ -1,0 +1,526 @@
+//! CCITT G.721 32 kbit/s ADPCM (MediaBench `g72x.c` + `g721.c`).
+//!
+//! Bit-faithful port, including the original's 16-bit `short` truncation
+//! semantics (mirrored by the explicit [`s16`] casts) — the guest assembly
+//! in `asbr-workloads` applies sign-extensions at exactly the same points.
+
+/// Truncate-to-`short` helper matching C assignment semantics.
+#[inline]
+fn s16(x: i32) -> i32 {
+    x as i16 as i32
+}
+
+/// Powers of two used by the `quan` log-search.
+pub(crate) const POWER2: [i32; 15] =
+    [1, 2, 4, 8, 0x10, 0x20, 0x40, 0x80, 0x100, 0x200, 0x400, 0x800, 0x1000, 0x2000, 0x4000];
+
+/// G.721 quantizer decision levels.
+pub(crate) const QTAB_721: [i32; 7] = [-124, 80, 178, 246, 300, 349, 400];
+
+/// Log-domain reconstruction levels per 4-bit code.
+pub(crate) const DQLNTAB: [i32; 16] = [
+    -2048, 4, 135, 213, 273, 323, 373, 425, 425, 373, 323, 273, 213, 135, 4, -2048,
+];
+
+/// Scale-factor multipliers per code.
+pub(crate) const WITAB: [i32; 16] =
+    [-12, 18, 41, 64, 112, 198, 355, 1122, 1122, 355, 198, 112, 64, 41, 18, -12];
+
+/// Speed-control function values per code.
+pub(crate) const FITAB: [i32; 16] = [
+    0, 0, 0, 0x200, 0x200, 0x200, 0x600, 0xE00, 0xE00, 0x600, 0x200, 0x200, 0x200, 0, 0, 0,
+];
+
+/// Persistent codec state (`struct g72x_state`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct G72xState {
+    /// Locked (slow) quantizer scale factor (19-bit, `long` in C).
+    pub yl: i32,
+    /// Unlocked (fast) quantizer scale factor.
+    pub yu: i16,
+    /// Short-term average of the F-function.
+    pub dms: i16,
+    /// Long-term average of the F-function.
+    pub dml: i16,
+    /// Speed-control parameter.
+    pub ap: i16,
+    /// Pole predictor coefficients.
+    pub a: [i16; 2],
+    /// Zero predictor coefficients.
+    pub b: [i16; 6],
+    /// Signs of previous dqsez values.
+    pub pk: [i16; 2],
+    /// Previous quantized differences, floating-point format.
+    pub dq: [i16; 6],
+    /// Previous reconstructed signals, floating-point format.
+    pub sr: [i16; 2],
+    /// Tone/transition detector flag.
+    pub td: i16,
+}
+
+impl G72xState {
+    /// The CCITT reset state (`g72x_init_state`).
+    #[must_use]
+    pub fn new() -> G72xState {
+        G72xState {
+            yl: 34816,
+            yu: 544,
+            dms: 0,
+            dml: 0,
+            ap: 0,
+            a: [0; 2],
+            b: [0; 6],
+            pk: [0; 2],
+            dq: [32; 6],
+            sr: [32; 2],
+            td: 0,
+        }
+    }
+}
+
+impl Default for G72xState {
+    fn default() -> G72xState {
+        G72xState::new()
+    }
+}
+
+/// `quan`: index of the first table entry strictly greater than `val`.
+fn quan(val: i32, table: &[i32]) -> i32 {
+    for (i, &t) in table.iter().enumerate() {
+        if val < t {
+            return i as i32;
+        }
+    }
+    table.len() as i32
+}
+
+/// `fmult`: multiply a predictor coefficient by a floating-point-format
+/// signal value.
+fn fmult(an: i32, srn: i32) -> i32 {
+    let anmag = s16(if an > 0 { an } else { (-an) & 0x1FFF });
+    let anexp = s16(quan(anmag, &POWER2) - 6);
+    let anmant = s16(if anmag == 0 {
+        32
+    } else if anexp >= 0 {
+        anmag >> anexp
+    } else {
+        anmag << -anexp
+    });
+    let wanexp = s16(anexp + ((srn >> 6) & 0xF) - 13);
+    let wanmant = s16((anmant * (srn & 0o77) + 0x30) >> 4);
+    let retval = s16(if wanexp >= 0 {
+        (wanmant << wanexp) & 0x7FFF
+    } else {
+        wanmant >> -wanexp
+    });
+    if (an ^ srn) < 0 {
+        -retval
+    } else {
+        retval
+    }
+}
+
+/// `predictor_zero`: sixth-order zero-predictor partial estimate.
+fn predictor_zero(st: &G72xState) -> i32 {
+    let mut sezi = fmult(i32::from(st.b[0]) >> 2, i32::from(st.dq[0]));
+    for i in 1..6 {
+        sezi += fmult(i32::from(st.b[i]) >> 2, i32::from(st.dq[i]));
+    }
+    sezi
+}
+
+/// `predictor_pole`: second-order pole-predictor partial estimate.
+fn predictor_pole(st: &G72xState) -> i32 {
+    fmult(i32::from(st.a[1]) >> 2, i32::from(st.sr[1]))
+        + fmult(i32::from(st.a[0]) >> 2, i32::from(st.sr[0]))
+}
+
+/// `step_size`: quantizer scale factor from the speed-control blend.
+fn step_size(st: &G72xState) -> i32 {
+    if st.ap >= 256 {
+        i32::from(st.yu)
+    } else {
+        let y = st.yl >> 6;
+        let dif = i32::from(st.yu) - y;
+        let al = i32::from(st.ap) >> 2;
+        let mut y = y;
+        if dif > 0 {
+            y += (dif * al) >> 6;
+        } else if dif < 0 {
+            y += (dif * al + 0x3F) >> 6;
+        }
+        y
+    }
+}
+
+/// `quantize`: quantizes the prediction difference `d` against scale `y`.
+fn quantize(d: i32, y: i32, table: &[i32]) -> i32 {
+    let size = table.len() as i32;
+    let dqm = s16(d.wrapping_abs());
+    let exp = s16(quan(dqm >> 1, &POWER2));
+    let mant = s16(((dqm << 7) >> exp) & 0x7F);
+    let dl = s16((exp << 7) + mant);
+    let dln = s16(dl - (y >> 2));
+    let i = quan(dln, table);
+    if d < 0 {
+        (size << 1) + 1 - i
+    } else if i == 0 {
+        (size << 1) + 1
+    } else {
+        i
+    }
+}
+
+/// `reconstruct`: inverse-quantizes a log-domain difference.
+fn reconstruct(sign: bool, dqln: i32, y: i32) -> i32 {
+    let dql = s16(dqln + (y >> 2));
+    if dql < 0 {
+        if sign {
+            -0x8000
+        } else {
+            0
+        }
+    } else {
+        let dex = (dql >> 7) & 15;
+        let dqt = 128 + (dql & 127);
+        let dq = s16((dqt << 7) >> (14 - dex));
+        if sign {
+            dq - 0x8000
+        } else {
+            dq
+        }
+    }
+}
+
+/// `update`: adapts every element of the codec state.
+///
+/// Clippy's structural suggestions (merging identical `if` arms, using
+/// `clamp`) are suppressed deliberately: the control flow mirrors the
+/// MediaBench C source statement for statement, because the guest
+/// assembly is ported from the same structure and reviewed against it.
+#[allow(clippy::too_many_arguments, clippy::if_same_then_else, clippy::manual_clamp)]
+fn update(code_size: i32, y: i32, wi: i32, fi: i32, dq: i32, sr: i32, dqsez: i32, st: &mut G72xState) {
+    let pk0: i32 = i32::from(dqsez < 0);
+    let mut mag = s16(dq & 0x7FFF);
+
+    // TRANSITION DETECT.
+    let ylint = s16(st.yl >> 15);
+    let ylfrac = s16((st.yl >> 10) & 0x1F);
+    let thr1 = s16((32 + ylfrac) << ylint);
+    let thr2 = s16(if ylint > 9 { 31 << 10 } else { thr1 });
+    let dqthr = s16((thr2 + (thr2 >> 1)) >> 1);
+    let tr: i32 = if st.td == 0 {
+        0
+    } else if mag <= dqthr {
+        0
+    } else {
+        1
+    };
+
+    // Quantizer scale factor adaptation.
+    st.yu = s16(y + ((wi - y) >> 5)) as i16;
+    if st.yu < 544 {
+        st.yu = 544;
+    } else if st.yu > 5120 {
+        st.yu = 5120;
+    }
+    st.yl += i32::from(st.yu) + ((-st.yl) >> 6);
+
+    let mut a2p: i32 = 0;
+    if tr == 1 {
+        st.a = [0; 2];
+        st.b = [0; 6];
+    } else {
+        // Pole and zero predictor coefficient adaptation.
+        let pks1 = pk0 ^ i32::from(st.pk[0]);
+        a2p = s16(i32::from(st.a[1]) - (i32::from(st.a[1]) >> 7));
+        if dqsez != 0 {
+            let fa1 = s16(if pks1 != 0 { i32::from(st.a[0]) } else { -i32::from(st.a[0]) });
+            if fa1 < -8191 {
+                a2p = s16(a2p - 0x100);
+            } else if fa1 > 8191 {
+                a2p = s16(a2p + 0xFF);
+            } else {
+                a2p = s16(a2p + (fa1 >> 5));
+            }
+            if (pk0 ^ i32::from(st.pk[1])) != 0 {
+                if a2p <= -12160 {
+                    a2p = -12288;
+                } else if a2p >= 12416 {
+                    a2p = 12288;
+                } else {
+                    a2p -= 0x80;
+                }
+            } else if a2p <= -12416 {
+                a2p = -12288;
+            } else if a2p >= 12160 {
+                a2p = 12288;
+            } else {
+                a2p += 0x80;
+            }
+        }
+        st.a[1] = a2p as i16;
+
+        st.a[0] = s16(i32::from(st.a[0]) - (i32::from(st.a[0]) >> 8)) as i16;
+        if dqsez != 0 {
+            if pks1 == 0 {
+                st.a[0] = s16(i32::from(st.a[0]) + 192) as i16;
+            } else {
+                st.a[0] = s16(i32::from(st.a[0]) - 192) as i16;
+            }
+        }
+        let a1ul = s16(15360 - a2p);
+        if i32::from(st.a[0]) < -a1ul {
+            st.a[0] = (-a1ul) as i16;
+        } else if i32::from(st.a[0]) > a1ul {
+            st.a[0] = a1ul as i16;
+        }
+
+        for cnt in 0..6 {
+            let bc = i32::from(st.b[cnt]);
+            let mut nb = if code_size == 5 { bc - (bc >> 6) } else { bc - (bc >> 8) };
+            if dq & 0x7FFF != 0 {
+                if (dq ^ i32::from(st.dq[cnt])) >= 0 {
+                    nb += 128;
+                } else {
+                    nb -= 128;
+                }
+            }
+            st.b[cnt] = s16(nb) as i16;
+        }
+    }
+
+    // Delayed-difference update (floating-point format).
+    for cnt in (1..6).rev() {
+        st.dq[cnt] = st.dq[cnt - 1];
+    }
+    if mag == 0 {
+        st.dq[0] = if dq >= 0 { 0x20 } else { 0x20 - 0x400 };
+    } else {
+        let exp = quan(mag, &POWER2);
+        st.dq[0] = if dq >= 0 {
+            s16((exp << 6) + ((mag << 6) >> exp)) as i16
+        } else {
+            s16((exp << 6) + ((mag << 6) >> exp) - 0x400) as i16
+        };
+    }
+
+    // Reconstructed-signal update (floating-point format).
+    st.sr[1] = st.sr[0];
+    if sr == 0 {
+        st.sr[0] = 0x20;
+    } else if sr > 0 {
+        let exp = quan(sr, &POWER2);
+        st.sr[0] = s16((exp << 6) + ((sr << 6) >> exp)) as i16;
+    } else if sr > -32768 {
+        mag = -sr;
+        let exp = quan(mag, &POWER2);
+        st.sr[0] = s16((exp << 6) + ((mag << 6) >> exp) - 0x400) as i16;
+    } else {
+        st.sr[0] = 0x20 - 0x400;
+    }
+
+    st.pk[1] = st.pk[0];
+    st.pk[0] = pk0 as i16;
+
+    // Tone detect.
+    if tr == 1 {
+        st.td = 0;
+    } else if a2p < -11776 {
+        st.td = 1;
+    } else {
+        st.td = 0;
+    }
+
+    // Adaptation speed control.
+    st.dms = s16(i32::from(st.dms) + ((fi - i32::from(st.dms)) >> 5)) as i16;
+    st.dml = s16(i32::from(st.dml) + (((fi << 2) - i32::from(st.dml)) >> 7)) as i16;
+
+    if tr == 1 {
+        st.ap = 256;
+    } else if y < 1536 {
+        st.ap = s16(i32::from(st.ap) + ((0x200 - i32::from(st.ap)) >> 4)) as i16;
+    } else if st.td == 1 {
+        st.ap = s16(i32::from(st.ap) + ((0x200 - i32::from(st.ap)) >> 4)) as i16;
+    } else if (i32::from(st.dms) << 2).wrapping_sub(i32::from(st.dml)).abs()
+        >= (i32::from(st.dml) >> 3)
+    {
+        st.ap = s16(i32::from(st.ap) + ((0x200 - i32::from(st.ap)) >> 4)) as i16;
+    } else {
+        st.ap = s16(i32::from(st.ap) + ((-i32::from(st.ap)) >> 4)) as i16;
+    }
+}
+
+/// Encodes one 16-bit linear PCM sample into a 4-bit G.721 code
+/// (`g721_encoder` with linear input coding).
+#[must_use]
+pub fn g721_encode(sl: i16, st: &mut G72xState) -> u8 {
+    // Linearize to 14-bit dynamic range.
+    let sl = i32::from(sl) >> 2;
+
+    let sezi = s16(predictor_zero(st));
+    let sez = s16(sezi >> 1);
+    let sei = s16(sezi + predictor_pole(st));
+    let se = s16(sei >> 1);
+
+    let d = s16(sl - se);
+
+    let y = s16(step_size(st));
+    let i = quantize(d, y, &QTAB_721);
+    let dq = s16(reconstruct(i & 8 != 0, DQLNTAB[i as usize], y));
+    let sr = s16(if dq < 0 { se - (dq & 0x3FFF) } else { se + dq });
+
+    let dqsez = s16(sr + sez - se);
+
+    update(4, y, WITAB[i as usize] << 5, FITAB[i as usize], dq, sr, dqsez, st);
+
+    i as u8
+}
+
+/// Decodes one 4-bit G.721 code into a 16-bit linear PCM sample
+/// (`g721_decoder` with linear output coding).
+#[must_use]
+pub fn g721_decode(code: u8, st: &mut G72xState) -> i16 {
+    let i = i32::from(code & 0x0F);
+
+    let sezi = s16(predictor_zero(st));
+    let sez = s16(sezi >> 1);
+    let sei = s16(sezi + predictor_pole(st));
+    let se = s16(sei >> 1);
+
+    let y = s16(step_size(st));
+    let dq = s16(reconstruct(i & 0x08 != 0, DQLNTAB[i as usize], y));
+    let sr = s16(if dq < 0 { se - (dq & 0x3FFF) } else { se + dq });
+
+    let dqsez = s16(sr - se + sez);
+
+    update(4, y, WITAB[i as usize] << 5, FITAB[i as usize], dq, sr, dqsez, st);
+
+    s16(sr << 2) as i16
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reset_state_matches_ccitt() {
+        let st = G72xState::new();
+        assert_eq!(st.yl, 34816);
+        assert_eq!(st.yu, 544);
+        assert_eq!(st.dq, [32; 6]);
+        assert_eq!(st.sr, [32; 2]);
+    }
+
+    #[test]
+    fn quan_is_first_strictly_greater() {
+        assert_eq!(quan(0, &POWER2), 0);
+        assert_eq!(quan(1, &POWER2), 1);
+        assert_eq!(quan(2, &POWER2), 2);
+        assert_eq!(quan(3, &POWER2), 2);
+        assert_eq!(quan(16383, &POWER2), 14);
+        assert_eq!(quan(16384, &POWER2), 15);
+        assert_eq!(quan(-5, &POWER2), 0);
+    }
+
+    #[test]
+    fn fmult_zero_coefficient() {
+        // an = 0: anmag 0, anmant 32; the result collapses to a tiny
+        // rounding term regardless of srn.
+        assert_eq!(fmult(0, 32), 0);
+    }
+
+    #[test]
+    fn fmult_sign_rule() {
+        let p = fmult(1000, 500);
+        let n = fmult(-1000, 500);
+        assert_eq!(p, -n);
+        assert!(p > 0);
+    }
+
+    #[test]
+    fn reconstruct_negative_dql() {
+        assert_eq!(reconstruct(false, -2048, 0), 0);
+        assert_eq!(reconstruct(true, -2048, 0), -0x8000);
+    }
+
+    #[test]
+    fn silence_settles() {
+        // Encoding silence emits the "no difference" codes and keeps the
+        // decoder output near zero.
+        let mut enc = G72xState::new();
+        let mut dec = G72xState::new();
+        let mut last = 0i16;
+        for _ in 0..100 {
+            let c = g721_encode(0, &mut enc);
+            last = g721_decode(c, &mut dec);
+        }
+        assert!(last.abs() <= 8, "silence must decode near zero, got {last}");
+    }
+
+    #[test]
+    fn encoder_and_decoder_states_stay_synchronized() {
+        // The encoder embeds the decoder: feeding the decoder the
+        // encoder's codes keeps their adaptive state identical.
+        let mut enc = G72xState::new();
+        let mut dec = G72xState::new();
+        for n in 0..2000i32 {
+            let sample = ((n * 311 % 8001 - 4000) + (n * 7 % 129)) as i16;
+            let code = g721_encode(sample, &mut enc);
+            let _ = g721_decode(code, &mut dec);
+            assert_eq!(enc, dec, "state diverged at sample {n}");
+        }
+    }
+
+    #[test]
+    fn round_trip_tracks_a_sine() {
+        let pcm: Vec<i16> = (0..4000)
+            .map(|i| (8000.0 * (i as f64 * 0.06).sin()) as i16)
+            .collect();
+        let mut enc = G72xState::new();
+        let mut dec = G72xState::new();
+        let decoded: Vec<i16> =
+            pcm.iter().map(|&s| g721_decode(g721_encode(s, &mut enc), &mut dec)).collect();
+        let (mut sig, mut err) = (0f64, 0f64);
+        for i in 500..pcm.len() {
+            sig += f64::from(pcm[i]) * f64::from(pcm[i]);
+            let e = f64::from(pcm[i]) - f64::from(decoded[i]);
+            err += e * e;
+        }
+        let snr_db = 10.0 * (sig / err).log10();
+        assert!(snr_db > 10.0, "G.721 SNR {snr_db:.1} dB too low");
+    }
+
+    #[test]
+    fn codes_use_the_full_4_bit_range_eventually() {
+        let mut enc = G72xState::new();
+        let mut seen = [false; 16];
+        for n in 0..6000i32 {
+            let sample = ((n * 9973) % 60001 - 30000) as i16;
+            seen[g721_encode(sample, &mut enc) as usize] = true;
+        }
+        let used = seen.iter().filter(|&&b| b).count();
+        assert!(used >= 12, "only {used}/16 codes used on a wild signal");
+    }
+
+    #[test]
+    fn extreme_inputs_do_not_panic_and_stay_bounded() {
+        let mut enc = G72xState::new();
+        let mut dec = G72xState::new();
+        for &s in &[32767i16, -32768, 32767, -32768, 0, 32767, -32768] {
+            let c = g721_encode(s, &mut enc);
+            assert!(c < 16);
+            let _ = g721_decode(c, &mut dec);
+        }
+        assert_eq!(enc, dec);
+    }
+
+    #[test]
+    fn step_size_paths() {
+        let mut st = G72xState::new();
+        st.ap = 300; // fast path
+        assert_eq!(step_size(&st), i32::from(st.yu));
+        st.ap = 0; // locked path
+        assert_eq!(step_size(&st), st.yl >> 6);
+    }
+}

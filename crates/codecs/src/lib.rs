@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+
+//! Golden-reference implementations of the paper's benchmark codecs.
+//!
+//! The paper evaluates ASBR on four MediaBench programs: the IMA **ADPCM**
+//! encoder/decoder and the CCITT **G.721** (32 kbit/s ADPCM) encoder/
+//! decoder. This crate ports those algorithms to Rust, bit-faithful to the
+//! MediaBench C sources (including the 16-bit `short` truncation semantics
+//! the originals rely on).
+//!
+//! These implementations serve as the *oracle* for the assembly guest
+//! programs in `asbr-workloads`: a guest run on the simulator must produce
+//! byte-identical output to the corresponding function here.
+//!
+//! # Examples
+//!
+//! ```
+//! use asbr_codecs::{adpcm_encode, adpcm_decode, AdpcmState};
+//!
+//! let pcm: Vec<i16> = (0..64).map(|i| (i * 500 % 8000) as i16).collect();
+//! let packed = adpcm_encode(&pcm, &mut AdpcmState::new());
+//! let back = adpcm_decode(&packed, pcm.len(), &mut AdpcmState::new());
+//! assert_eq!(back.len(), pcm.len());
+//! ```
+
+mod adpcm;
+mod g711;
+mod g721;
+
+pub use adpcm::{adpcm_decode, adpcm_encode, AdpcmState};
+pub use g711::{alaw2linear, linear2alaw, linear2ulaw, ulaw2linear};
+pub use g721::{g721_decode, g721_encode, G72xState};

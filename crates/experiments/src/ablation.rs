@@ -1,0 +1,563 @@
+//! Ablations over the design choices the paper calls out, plus
+//! microarchitectural extensions (see DESIGN.md's experiment index):
+//!
+//! * **A — BIT size** (Sec. 7: "a small number of BIT entries would
+//!   suffice")
+//! * **B — publish point / threshold** (Sec. 5.2's forwarding variants)
+//! * **C — compiler scheduling** (Sec. 5.1)
+//! * **D — auxiliary predictor size** (Sec. 6: folding hard branches lets
+//!   a much smaller predictor match the big baseline)
+//! * **E — BIT banks** (Sec. 7's virtually-enlarged BIT via switching)
+//! * **F — multiply/divide EX latency**
+//! * **G — return-address stack**
+//! * **H — static (profile-free) vs profiled BIT selection**
+//! * **I — the general-purpose predictor family study**
+//! * **J — cache-size sensitivity**
+
+use serde::Serialize;
+
+use asbr_asm::assemble;
+use asbr_bpred::{PredictorKind, StaticPerBranch};
+use asbr_core::{AsbrConfig, AsbrUnit, BitEntry};
+use asbr_profile::profile;
+use asbr_flow::select_static;
+use asbr_sim::{Pipeline, PipelineConfig, PublishPoint, SimError};
+use asbr_workloads::Workload;
+
+use crate::runner::{run_asbr, run_baseline, run_baseline_with, AsbrOptions, MicroTweaks, AUX_BTB};
+
+/// A generic ablation data point.
+#[derive(Debug, Clone, Serialize)]
+pub struct Point {
+    /// Benchmark name.
+    pub workload: String,
+    /// The swept setting, rendered.
+    pub setting: String,
+    /// Cycles at that setting.
+    pub cycles: u64,
+    /// Folds at that setting.
+    pub folds: u64,
+    /// Fold attempts blocked by validity counters.
+    pub blocked: u64,
+}
+
+fn point(w: Workload, setting: String, run: &crate::runner::AsbrRun) -> Point {
+    Point {
+        workload: w.name().to_owned(),
+        setting,
+        cycles: run.summary.stats.cycles,
+        folds: run.asbr.folds(),
+        blocked: run.asbr.blocked_invalid,
+    }
+}
+
+/// Ablation A: BIT capacity sweep.
+///
+/// # Errors
+///
+/// Propagates any [`SimError`].
+pub fn bit_size(w: Workload, samples: usize, sizes: &[usize]) -> Result<Vec<Point>, SimError> {
+    sizes
+        .iter()
+        .map(|&n| {
+            let run = run_asbr(
+                w,
+                PredictorKind::Bimodal { entries: 512 },
+                samples,
+                AsbrOptions { bit_entries: n, ..AsbrOptions::default() },
+            )?;
+            Ok(point(w, format!("BIT={n}"), &run))
+        })
+        .collect()
+}
+
+/// Ablation B: publish point (threshold) sweep.
+///
+/// # Errors
+///
+/// Propagates any [`SimError`].
+pub fn publish_point(w: Workload, samples: usize) -> Result<Vec<Point>, SimError> {
+    [PublishPoint::Execute, PublishPoint::Mem, PublishPoint::Commit]
+        .into_iter()
+        .map(|publish| {
+            let run = run_asbr(
+                w,
+                PredictorKind::Bimodal { entries: 512 },
+                samples,
+                AsbrOptions { publish, ..AsbrOptions::default() },
+            )?;
+            Ok(point(w, format!("{publish:?} (threshold {})", publish.threshold()), &run))
+        })
+        .collect()
+}
+
+/// Ablation C: with and without the Sec. 5.1 hoisting scheduler.
+///
+/// # Errors
+///
+/// Propagates any [`SimError`].
+pub fn scheduling(w: Workload, samples: usize) -> Result<Vec<Point>, SimError> {
+    [false, true]
+        .into_iter()
+        .map(|hoist| {
+            let run = run_asbr(
+                w,
+                PredictorKind::Bimodal { entries: 512 },
+                samples,
+                AsbrOptions { hoist, ..AsbrOptions::default() },
+            )?;
+            Ok(point(w, if hoist { "scheduled" } else { "unscheduled" }.to_owned(), &run))
+        })
+        .collect()
+}
+
+/// Ablation D: auxiliary predictor size sweep, with the matching baseline
+/// (same predictor size, full BTB, no ASBR) beside each point.
+#[derive(Debug, Clone, Serialize)]
+pub struct AuxPoint {
+    /// Benchmark name.
+    pub workload: String,
+    /// Predictor entries.
+    pub entries: usize,
+    /// Cycles with ASBR + this auxiliary.
+    pub asbr_cycles: u64,
+    /// Cycles without ASBR, same-size predictor, full BTB.
+    pub baseline_cycles: u64,
+}
+
+/// Runs ablation D.
+///
+/// # Errors
+///
+/// Propagates any [`SimError`].
+pub fn aux_size(w: Workload, samples: usize, sizes: &[usize]) -> Result<Vec<AuxPoint>, SimError> {
+    sizes
+        .iter()
+        .map(|&entries| {
+            let kind = PredictorKind::Bimodal { entries };
+            let asbr = run_asbr(w, kind, samples, AsbrOptions::default())?;
+            let base = run_baseline(w, kind, samples)?;
+            Ok(AuxPoint {
+                workload: w.name().to_owned(),
+                entries,
+                asbr_cycles: asbr.summary.stats.cycles,
+                baseline_cycles: base.stats.cycles,
+            })
+        })
+        .collect()
+}
+
+/// Ablation E: BIT bank switching on a two-phase workload whose loops
+/// cannot share one single-entry BIT.
+///
+/// Returns `(banked_folds, single_folds)` — the banked unit covers both
+/// phases, the single-bank unit only the first.
+///
+/// # Errors
+///
+/// Propagates any [`SimError`].
+pub fn bank_switching(iterations: u32) -> Result<(u64, u64), SimError> {
+    let src = format!(
+        "
+        main:   li   r4, {iterations}
+                li   r2, 0
+        l1:     addi r4, r4, -1
+                addi r2, r2, 1
+                nop
+                nop
+        b1:     bnez r4, l1
+                li   r9, 1
+                ctrlw 0, r9
+                li   r4, {iterations}
+        l2:     addi r4, r4, -1
+                addi r2, r2, 2
+                nop
+                nop
+        b2:     bnez r4, l2
+                halt
+        "
+    );
+    let prog = assemble(&src).expect("bank ablation program assembles");
+    let b1 = prog.symbol("b1").expect("b1");
+    let b2 = prog.symbol("b2").expect("b2");
+
+    let run = |banks: usize| -> Result<u64, SimError> {
+        let mut unit = AsbrUnit::new(AsbrConfig { bit_entries: 1, banks, ..AsbrConfig::default() });
+        unit.install(0, vec![BitEntry::from_program(&prog, b1).expect("entry b1")])
+            .expect("fits");
+        if banks > 1 {
+            unit.install(1, vec![BitEntry::from_program(&prog, b2).expect("entry b2")])
+                .expect("fits");
+        }
+        let mut pipe = Pipeline::with_hooks(
+            PipelineConfig { btb_entries: AUX_BTB, ..PipelineConfig::default() },
+            PredictorKind::NotTaken.build(),
+            unit,
+        );
+        pipe.load(&prog);
+        pipe.run()?;
+        Ok(pipe.into_hooks().stats().folds())
+    };
+    Ok((run(2)?, run(1)?))
+}
+
+/// Ablation F: functional-unit latency. Slower multipliers/dividers grow
+/// every run; ASBR's *relative* advantage shrinks per Amdahl (more of the
+/// time goes to EX stalls folding cannot touch).
+#[derive(Debug, Clone, Serialize)]
+pub struct LatencyPoint {
+    /// Benchmark name.
+    pub workload: String,
+    /// `(mul, div)` EX occupancy in cycles.
+    pub latency: (u32, u32),
+    /// Baseline (bimodal-2048) cycles.
+    pub baseline_cycles: u64,
+    /// ASBR + bi-512 cycles.
+    pub asbr_cycles: u64,
+}
+
+/// Runs ablation F.
+///
+/// # Errors
+///
+/// Propagates any [`SimError`].
+pub fn muldiv_latency(
+    w: Workload,
+    samples: usize,
+    latencies: &[(u32, u32)],
+) -> Result<Vec<LatencyPoint>, SimError> {
+    latencies
+        .iter()
+        .map(|&(mul, div)| {
+            let tweaks =
+                MicroTweaks { mul_latency: mul, div_latency: div, ..MicroTweaks::default() };
+            let base = run_baseline_with(
+                w,
+                PredictorKind::Bimodal { entries: 2048 },
+                samples,
+                tweaks,
+            )?;
+            let asbr = run_asbr(
+                w,
+                PredictorKind::Bimodal { entries: 512 },
+                samples,
+                AsbrOptions { tweaks, ..AsbrOptions::default() },
+            )?;
+            Ok(LatencyPoint {
+                workload: w.name().to_owned(),
+                latency: (mul, div),
+                baseline_cycles: base.stats.cycles,
+                asbr_cycles: asbr.summary.stats.cycles,
+            })
+        })
+        .collect()
+}
+
+/// Ablation G: return-address stack on/off, baseline and ASBR.
+/// Separates call/return overhead (not ASBR's target) from
+/// conditional-branch overhead (ASBR's target) on the call-heavy G.721.
+#[derive(Debug, Clone, Serialize)]
+pub struct RasPoint {
+    /// Benchmark name.
+    pub workload: String,
+    /// RAS entries (0 = none).
+    pub ras_entries: usize,
+    /// Baseline cycles.
+    pub baseline_cycles: u64,
+    /// ASBR cycles.
+    pub asbr_cycles: u64,
+    /// Baseline indirect-jump flushes.
+    pub baseline_indirect_flushes: u64,
+}
+
+/// Runs ablation G.
+///
+/// # Errors
+///
+/// Propagates any [`SimError`].
+pub fn ras(w: Workload, samples: usize) -> Result<Vec<RasPoint>, SimError> {
+    [0usize, 8]
+        .into_iter()
+        .map(|ras_entries| {
+            let tweaks = MicroTweaks { ras_entries, ..MicroTweaks::default() };
+            let base = run_baseline_with(
+                w,
+                PredictorKind::Bimodal { entries: 2048 },
+                samples,
+                tweaks,
+            )?;
+            let asbr = run_asbr(
+                w,
+                PredictorKind::Bimodal { entries: 512 },
+                samples,
+                AsbrOptions { tweaks, ..AsbrOptions::default() },
+            )?;
+            Ok(RasPoint {
+                workload: w.name().to_owned(),
+                ras_entries,
+                baseline_cycles: base.stats.cycles,
+                asbr_cycles: asbr.summary.stats.cycles,
+                baseline_indirect_flushes: base.stats.indirect_flushes,
+            })
+        })
+        .collect()
+}
+
+/// Ablation J: cache-size sensitivity — does ASBR's advantage survive
+/// the small caches of cheap SOC co-designs?
+#[derive(Debug, Clone, Serialize)]
+pub struct CachePoint {
+    /// Benchmark name.
+    pub workload: String,
+    /// I/D cache capacity in bytes.
+    pub cache_bytes: u32,
+    /// Baseline (bimodal-2048) cycles.
+    pub baseline_cycles: u64,
+    /// ASBR + bi-512 cycles.
+    pub asbr_cycles: u64,
+}
+
+/// Runs ablation J.
+///
+/// # Errors
+///
+/// Propagates any [`SimError`].
+pub fn cache_size(w: Workload, samples: usize, sizes: &[u32]) -> Result<Vec<CachePoint>, SimError> {
+    sizes
+        .iter()
+        .map(|&cache_bytes| {
+            let tweaks = MicroTweaks { cache_bytes, ..MicroTweaks::default() };
+            let base = run_baseline_with(
+                w,
+                PredictorKind::Bimodal { entries: 2048 },
+                samples,
+                tweaks,
+            )?;
+            let asbr = run_asbr(
+                w,
+                PredictorKind::Bimodal { entries: 512 },
+                samples,
+                AsbrOptions { tweaks, ..AsbrOptions::default() },
+            )?;
+            Ok(CachePoint {
+                workload: w.name().to_owned(),
+                cache_bytes,
+                baseline_cycles: base.stats.cycles,
+                asbr_cycles: asbr.summary.stats.cycles,
+            })
+        })
+        .collect()
+}
+
+/// Ablation I: the predictor-family study — how the full zoo of
+/// general-purpose predictors (including the related-work families the
+/// paper cites: static profile-guided prediction (ref. 2), McFarling's
+/// combining predictor (ref. 3), and a two-level local predictor) compares on
+/// a benchmark, without ASBR.
+#[derive(Debug, Clone, Serialize)]
+pub struct FamilyRow {
+    /// Benchmark name.
+    pub workload: String,
+    /// Predictor label.
+    pub predictor: String,
+    /// Cycles.
+    pub cycles: u64,
+    /// Direction accuracy.
+    pub accuracy: f64,
+    /// Direction-predictor storage bits (0 for the static schemes).
+    pub storage_bits: u64,
+}
+
+/// Runs ablation I.
+///
+/// # Errors
+///
+/// Propagates any [`SimError`].
+pub fn predictor_family(w: Workload, samples: usize) -> Result<Vec<FamilyRow>, SimError> {
+    let mut rows = Vec::new();
+    let kinds = [
+        PredictorKind::NotTaken,
+        PredictorKind::Bimodal { entries: 2048 },
+        PredictorKind::Gshare { hist_bits: 11, entries: 2048 },
+        PredictorKind::Local { hist_bits: 10, bht_entries: 1024, pht_entries: 1024 },
+        PredictorKind::Tournament { hist_bits: 11, entries: 1024 },
+    ];
+    for kind in kinds {
+        let s = run_baseline(w, kind, samples)?;
+        rows.push(FamilyRow {
+            workload: w.name().to_owned(),
+            predictor: kind.label(),
+            cycles: s.stats.cycles,
+            accuracy: s.stats.accuracy(),
+            storage_bits: kind.storage_bits(),
+        });
+    }
+
+    // Profile-guided static prediction (reference [2] in its per-branch
+    // majority form): profile once, hint every branch, re-run.
+    let program = w.program();
+    let input = w.input(samples);
+    let report = profile(&program, &input, &[])?;
+    let hints: Vec<(u32, bool)> =
+        report.branches().iter().map(|b| (b.pc, b.taken_rate() > 0.5)).collect();
+    let stat = StaticPerBranch::new(hints, false);
+    let mut pipe = Pipeline::new(
+        PipelineConfig { btb_entries: crate::runner::BASELINE_BTB, ..PipelineConfig::default() },
+        Box::new(stat),
+    );
+    pipe.load(&program);
+    pipe.feed_input(input.iter().copied());
+    let s = pipe.run()?;
+    rows.push(FamilyRow {
+        workload: w.name().to_owned(),
+        predictor: "static-profile".to_owned(),
+        cycles: s.stats.cycles,
+        accuracy: s.stats.accuracy(),
+        storage_bits: 0,
+    });
+    Ok(rows)
+}
+
+/// Ablation H: profile-free (static) BIT selection vs the profiled one.
+#[derive(Debug, Clone, Serialize)]
+pub struct SelectionPoint {
+    /// Benchmark name.
+    pub workload: String,
+    /// `"static"` or `"profiled"`.
+    pub method: String,
+    /// Cycles with ASBR + bi-512.
+    pub cycles: u64,
+    /// Folds.
+    pub folds: u64,
+    /// BIT entries used.
+    pub selected: usize,
+}
+
+/// Runs ablation H.
+///
+/// # Errors
+///
+/// Propagates any [`SimError`].
+pub fn static_selection(w: Workload, samples: usize) -> Result<Vec<SelectionPoint>, SimError> {
+    let aux = PredictorKind::Bimodal { entries: 512 };
+    let mut rows = Vec::new();
+
+    // Profiled path (the harness default).
+    let profiled = run_asbr(w, aux, samples, AsbrOptions::default())?;
+    rows.push(SelectionPoint {
+        workload: w.name().to_owned(),
+        method: "profiled".to_owned(),
+        cycles: profiled.summary.stats.cycles,
+        folds: profiled.asbr.folds(),
+        selected: profiled.selected.len(),
+    });
+
+    // Static path: loop-depth-ranked, no profiling run at all.
+    let program = w.program();
+    let picks: Vec<u32> = select_static(&program, PublishPoint::Mem.threshold(), 16)
+        .into_iter()
+        .map(|p| p.candidate.pc)
+        .collect();
+    let unit = AsbrUnit::for_branches(AsbrConfig::default(), &program, &picks)
+        .expect("static picks build entries");
+    let mut pipe = Pipeline::with_hooks(
+        PipelineConfig { btb_entries: AUX_BTB, ..PipelineConfig::default() },
+        aux.build(),
+        unit,
+    );
+    pipe.load(&program);
+    pipe.feed_input(w.input(samples));
+    let s = pipe.run()?;
+    rows.push(SelectionPoint {
+        workload: w.name().to_owned(),
+        method: "static".to_owned(),
+        cycles: s.stats.cycles,
+        folds: pipe.into_hooks().stats().folds(),
+        selected: picks.len(),
+    });
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn asbr_survives_tiny_caches() {
+        let pts = cache_size(Workload::AdpcmEncode, 150, &[1024, 8192]).unwrap();
+        // Smaller caches cost cycles everywhere.
+        assert!(pts[0].baseline_cycles >= pts[1].baseline_cycles);
+        // ASBR still wins at 1 KB.
+        assert!(pts[0].asbr_cycles < pts[0].baseline_cycles, "{pts:?}");
+    }
+
+    #[test]
+    fn predictor_family_has_expected_orderings() {
+        let rows = predictor_family(Workload::AdpcmEncode, 200).unwrap();
+        assert_eq!(rows.len(), 6);
+        let get = |name: &str| rows.iter().find(|r| r.predictor == name).unwrap();
+        // Every dynamic predictor beats not-taken.
+        for name in ["bimodal", "gshare", "local", "tournament"] {
+            assert!(get(name).accuracy > get("not taken").accuracy, "{name}");
+        }
+        // Profile-guided static beats not-taken (it at least gets every
+        // biased branch right) but cannot adapt within a run.
+        assert!(get("static-profile").accuracy > get("not taken").accuracy);
+        assert!(get("static-profile").accuracy <= get("tournament").accuracy + 0.05);
+        assert_eq!(get("static-profile").storage_bits, 0);
+    }
+
+    #[test]
+    fn static_selection_folds_without_profiling() {
+        let rows = static_selection(Workload::AdpcmEncode, 150).unwrap();
+        let stat = rows.iter().find(|r| r.method == "static").unwrap();
+        let prof = rows.iter().find(|r| r.method == "profiled").unwrap();
+        assert!(stat.selected > 0);
+        assert!(stat.folds > 0, "{rows:?}");
+        // Static selection is a usable approximation: within 2x of the
+        // profiled fold count on this loop-dominated code.
+        assert!(stat.folds * 2 >= prof.folds, "{rows:?}");
+    }
+
+    #[test]
+    fn slower_muldiv_grows_cycles_but_never_changes_results() {
+        let pts = muldiv_latency(Workload::G721Encode, 60, &[(1, 1), (4, 16)]).unwrap();
+        assert!(pts[1].baseline_cycles > pts[0].baseline_cycles);
+        assert!(pts[1].asbr_cycles > pts[0].asbr_cycles);
+        // ASBR still wins under slow functional units.
+        assert!(pts[1].asbr_cycles < pts[1].baseline_cycles);
+    }
+
+    #[test]
+    fn ras_cuts_return_flushes_on_g721() {
+        let pts = ras(Workload::G721Encode, 60).unwrap();
+        assert_eq!(pts[0].ras_entries, 0);
+        assert!(pts[1].baseline_cycles < pts[0].baseline_cycles, "{pts:?}");
+        assert!(pts[0].baseline_indirect_flushes > pts[1].baseline_indirect_flushes);
+        // ASBR's benefit survives the addition of a RAS.
+        assert!(pts[1].asbr_cycles < pts[1].baseline_cycles);
+    }
+
+    #[test]
+    fn bigger_bit_never_hurts_folds() {
+        let pts = bit_size(Workload::AdpcmEncode, 150, &[1, 4, 16]).unwrap();
+        assert_eq!(pts.len(), 3);
+        assert!(pts[0].folds <= pts[2].folds, "{pts:?}");
+    }
+
+    #[test]
+    fn banked_bit_folds_both_phases() {
+        let (banked, single) = bank_switching(200).unwrap();
+        assert!(banked > single, "banked {banked} vs single {single}");
+        assert!(banked >= 2 * single - 10, "both loops fold when banked");
+    }
+
+    #[test]
+    fn threshold_orders_blocked_counts() {
+        let pts = publish_point(Workload::AdpcmEncode, 150).unwrap();
+        // Later publish (bigger threshold) can only block more or fold
+        // less.
+        assert!(pts[0].folds >= pts[1].folds);
+        assert!(pts[1].folds >= pts[2].folds);
+    }
+}

@@ -1,0 +1,239 @@
+//! `asbr_tool` — command-line front end for the whole stack.
+//!
+//! ```text
+//! asbr_tool asm <file.s>                      assemble; print layout + disassembly
+//! asbr_tool analyze <file.s>                  branch candidates, distances, loop depths
+//! asbr_tool customize <file.s> -o <image>     static selection -> customization image
+//! asbr_tool run <file.s> [options]            run on the cycle-accurate pipeline
+//!   --input 1,2,3          feed MMIO input samples
+//!   --asbr <image>         customize the core from an image file
+//!   --asbr-static          customize via static selection
+//!   --predictor <name>     nottaken|bimodal|gshare|tournament (default bimodal)
+//!   --trace <n>            print a pipeline diagram for the first n cycles
+//! ```
+
+use std::fs;
+use std::process::ExitCode;
+
+use asbr_asm::{assemble, Program};
+use asbr_bpred::PredictorKind;
+use asbr_core::{decode_image, encode_image, AsbrConfig, AsbrUnit};
+use asbr_flow::{call_aware_depths, candidates, select_static, Cfg};
+use asbr_sim::{Pipeline, PipelineConfig, PublishPoint};
+
+fn load_program(path: &str) -> Result<Program, String> {
+    let src = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    assemble(&src).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_asm(path: &str) -> Result<(), String> {
+    let prog = load_program(path)?;
+    println!(
+        "text {:#010x}..{:#010x} ({} instructions), data {:#010x} ({} bytes), entry {:#010x}",
+        prog.text_base(),
+        prog.text_end(),
+        prog.text().len(),
+        prog.data_base(),
+        prog.data().len(),
+        prog.entry()
+    );
+    println!("\n{}", prog.disassemble());
+    Ok(())
+}
+
+fn cmd_analyze(path: &str) -> Result<(), String> {
+    let prog = load_program(path)?;
+    let cfg = Cfg::build(&prog);
+    let depths = call_aware_depths(&cfg);
+    println!(
+        "{} instructions in {} basic blocks\n",
+        cfg.instrs().len(),
+        cfg.blocks().len()
+    );
+    println!("{:<12} {:<10} {:>9} {:>11} {:>10}", "branch pc", "condition", "distance", "foldable@3", "loop depth");
+    for c in candidates(&prog) {
+        println!(
+            "{:<#12x} {:<10} {:>9} {:>11} {:>10}",
+            c.pc,
+            format!("{} {}", c.reg, c.cond),
+            c.min_def_distance,
+            if c.foldable(3) { "yes" } else { "no" },
+            depths[cfg.block_of(c.index)]
+        );
+    }
+    Ok(())
+}
+
+fn cmd_customize(path: &str, out: &str) -> Result<(), String> {
+    let prog = load_program(path)?;
+    let picks: Vec<u32> = select_static(&prog, PublishPoint::Mem.threshold(), 16)
+        .into_iter()
+        .map(|p| p.candidate.pc)
+        .collect();
+    if picks.is_empty() {
+        return Err("no statically foldable in-loop branches found".to_owned());
+    }
+    let unit = AsbrUnit::for_branches(AsbrConfig::default(), &prog, &picks)?;
+    let image = encode_image(&unit);
+    fs::write(out, &image).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!("{} branches -> {out} ({} bytes)", picks.len(), image.len());
+    for (i, pc) in picks.iter().enumerate() {
+        println!("  br{i}: {pc:#010x}");
+    }
+    Ok(())
+}
+
+struct RunOpts {
+    input: Vec<i32>,
+    image: Option<Vec<u8>>,
+    asbr_static: bool,
+    predictor: PredictorKind,
+    trace: u64,
+}
+
+fn cmd_run(path: &str, opts: &RunOpts) -> Result<(), String> {
+    let prog = load_program(path)?;
+    let unit = if let Some(bytes) = &opts.image {
+        Some(decode_image(bytes).map_err(|e| e.to_string())?)
+    } else if opts.asbr_static {
+        let picks: Vec<u32> = select_static(&prog, PublishPoint::Mem.threshold(), 16)
+            .into_iter()
+            .map(|p| p.candidate.pc)
+            .collect();
+        Some(AsbrUnit::for_branches(AsbrConfig::default(), &prog, &picks)?)
+    } else {
+        None
+    };
+
+    // Run with or without the customization; a `None` unit uses the plain
+    // pipeline so the fetch stage has no BIT lookups at all.
+    let (summary, folds) = match unit {
+        Some(unit) => {
+            let mut pipe =
+                Pipeline::with_hooks(PipelineConfig::default(), opts.predictor.build(), unit);
+            pipe.load(&prog);
+            pipe.feed_input(opts.input.iter().copied());
+            for _ in 0..opts.trace {
+                pipe.cycle().map_err(|e| e.to_string())?;
+                println!("{}", pipe.snapshot());
+            }
+            let s = pipe.run().map_err(|e| e.to_string())?;
+            let folds = pipe.hooks().stats().folds();
+            (s, Some(folds))
+        }
+        None => {
+            let mut pipe = Pipeline::new(PipelineConfig::default(), opts.predictor.build());
+            pipe.load(&prog);
+            pipe.feed_input(opts.input.iter().copied());
+            for _ in 0..opts.trace {
+                pipe.cycle().map_err(|e| e.to_string())?;
+                println!("{}", pipe.snapshot());
+            }
+            (pipe.run().map_err(|e| e.to_string())?, None)
+        }
+    };
+
+    println!(
+        "{} cycles, {} instructions, CPI {:.3}, branch accuracy {:.1}%",
+        summary.stats.cycles,
+        summary.stats.retired,
+        summary.stats.cpi(),
+        summary.stats.accuracy() * 100.0
+    );
+    if let Some(folds) = folds {
+        println!("{folds} branches folded");
+    }
+    if !summary.output.is_empty() {
+        println!("output: {:?}", summary.output);
+    }
+    Ok(())
+}
+
+fn parse_predictor(name: &str) -> Result<PredictorKind, String> {
+    Ok(match name {
+        "nottaken" | "not-taken" => PredictorKind::NotTaken,
+        "bimodal" => PredictorKind::Bimodal { entries: 2048 },
+        "gshare" => PredictorKind::Gshare { hist_bits: 11, entries: 2048 },
+        "tournament" => PredictorKind::Tournament { hist_bits: 11, entries: 2048 },
+        other => return Err(format!("unknown predictor `{other}`")),
+    })
+}
+
+fn usage() -> String {
+    "usage: asbr_tool <asm|analyze|customize|run> <file.s> [options]\n\
+     see the module docs (src/bin/asbr_tool.rs) for options"
+        .to_owned()
+}
+
+fn real_main() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().ok_or_else(usage)?;
+    let file = args.get(1).ok_or_else(usage)?;
+    match cmd.as_str() {
+        "asm" => cmd_asm(file),
+        "analyze" => cmd_analyze(file),
+        "customize" => {
+            let out = match args.get(2).map(String::as_str) {
+                Some("-o") => args.get(3).ok_or("missing output path after -o")?,
+                _ => return Err(usage()),
+            };
+            cmd_customize(file, out)
+        }
+        "run" => {
+            let mut opts = RunOpts {
+                input: Vec::new(),
+                image: None,
+                asbr_static: false,
+                predictor: PredictorKind::Bimodal { entries: 2048 },
+                trace: 0,
+            };
+            let mut i = 2;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--input" => {
+                        i += 1;
+                        let list = args.get(i).ok_or("missing value after --input")?;
+                        opts.input = list
+                            .split(',')
+                            .filter(|s| !s.is_empty())
+                            .map(|s| s.trim().parse::<i32>().map_err(|e| e.to_string()))
+                            .collect::<Result<_, _>>()?;
+                    }
+                    "--asbr" => {
+                        i += 1;
+                        let p = args.get(i).ok_or("missing path after --asbr")?;
+                        opts.image =
+                            Some(fs::read(p).map_err(|e| format!("cannot read {p}: {e}"))?);
+                    }
+                    "--asbr-static" => opts.asbr_static = true,
+                    "--predictor" => {
+                        i += 1;
+                        opts.predictor =
+                            parse_predictor(args.get(i).ok_or("missing predictor name")?)?;
+                    }
+                    "--trace" => {
+                        i += 1;
+                        opts.trace = args
+                            .get(i)
+                            .and_then(|s| s.parse().ok())
+                            .ok_or("bad --trace count")?;
+                    }
+                    other => return Err(format!("unknown option `{other}`")),
+                }
+                i += 1;
+            }
+            cmd_run(file, &opts)
+        }
+        _ => Err(usage()),
+    }
+}
+
+fn main() -> ExitCode {
+    match real_main() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("asbr_tool: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

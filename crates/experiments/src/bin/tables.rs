@@ -1,0 +1,327 @@
+//! Regenerates the paper's tables and the ablation studies.
+//!
+//! ```text
+//! cargo run --release -p asbr-experiments --bin tables [-- <which> [samples]]
+//! ```
+//!
+//! `which` ∈ {fig6, fig7, fig9, fig10, fig11, motivation, ablation-bit,
+//! ablation-threshold, ablation-sched, ablation-aux, ablation-banks, all}
+//! (default `all`). `samples` overrides the input scale (default 24000).
+//!
+//! Each table is printed and also written as JSON under `results/`.
+
+use std::fs;
+use std::time::Instant;
+
+use asbr_experiments::runner::{AsbrOptions, SAMPLES_FULL};
+use asbr_experiments::{ablation, branch_tables, costs, fig11, fig6, motivation, scope};
+use asbr_workloads::Workload;
+use serde::Serialize;
+
+fn save_json<T: Serialize>(name: &str, value: &T) {
+    let _ = fs::create_dir_all("results");
+    match serde_json::to_string_pretty(value) {
+        Ok(s) => {
+            if let Err(e) = fs::write(format!("results/{name}.json"), s) {
+                eprintln!("warning: could not write results/{name}.json: {e}");
+            }
+        }
+        Err(e) => eprintln!("warning: could not serialize {name}: {e}"),
+    }
+}
+
+fn section(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+#[allow(clippy::too_many_lines)]
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let which = args.first().map_or("all", String::as_str);
+    let samples: usize = args
+        .get(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(SAMPLES_FULL);
+    let started = Instant::now();
+
+    let run_fig6 = || {
+        section("Figure 6: branch predictability of the benchmarks (baseline)");
+        let rows = fig6::table(samples).expect("fig6 runs");
+        println!("{}", fig6::render(&rows));
+        save_json("fig6", &rows);
+    };
+    let run_branch_table = |w: Workload, name: &str, entries: usize| {
+        section(&format!("{name}: branches selected for {}", w.name()));
+        let t = branch_tables::table(w, samples, entries).expect("branch table runs");
+        println!("{}", branch_tables::render(&t));
+        save_json(&name.to_lowercase().replace(' ', "_"), &t);
+    };
+    let run_fig11 = || {
+        section("Figure 11: application-specific branch resolution results");
+        let rows = fig11::table(samples, AsbrOptions::default()).expect("fig11 runs");
+        println!("{}", fig11::render(&rows));
+        println!(
+            "(improvements compare not-taken vs baseline not-taken, bi-512/bi-256 vs baseline bimodal-2048, as in the paper)"
+        );
+        save_json("fig11", &rows);
+    };
+
+    match which {
+        "fig6" => run_fig6(),
+        "fig7" => run_branch_table(Workload::G721Encode, "Figure 7", 16),
+        "fig9" => run_branch_table(Workload::AdpcmEncode, "Figure 9", 16),
+        "fig10" => run_branch_table(Workload::AdpcmDecode, "Figure 10", 16),
+        "fig11" => run_fig11(),
+        "motivation" => {
+            section("Motivation kernels (Figures 1 and 2)");
+            for r in [motivation::fig2(samples.min(20_000)), motivation::fig1(samples.min(20_000))]
+            {
+                let r = r.expect("kernel runs");
+                println!("{}: focus branch executed {} times", r.kernel, r.exec);
+                for (name, acc) in &r.accuracy {
+                    println!("  {name:<10} accuracy {:.2}", acc);
+                }
+                println!(
+                    "  ASBR folds {} | cycles {} -> {} ({:+.1}%)",
+                    r.folds,
+                    r.baseline_cycles,
+                    r.asbr_cycles,
+                    (1.0 - r.asbr_cycles as f64 / r.baseline_cycles as f64) * 100.0
+                );
+                save_json(
+                    if r.kernel.contains("2") { "motivation_fig2" } else { "motivation_fig1" },
+                    &r,
+                );
+            }
+        }
+        "ablation-bit" => {
+            section("Ablation A: BIT capacity");
+            let mut all = Vec::new();
+            for w in Workload::ALL {
+                let pts = ablation::bit_size(w, samples, &[1, 2, 4, 8, 16, 32])
+                    .expect("ablation runs");
+                for p in &pts {
+                    println!("{:<14} {:<8} cycles {:>12} folds {:>10}", p.workload, p.setting, p.cycles, p.folds);
+                }
+                all.extend(pts);
+            }
+            save_json("ablation_bit", &all);
+        }
+        "ablation-threshold" => {
+            section("Ablation B: publish point / threshold (Sec. 5.2)");
+            let mut all = Vec::new();
+            for w in Workload::ALL {
+                let pts = ablation::publish_point(w, samples).expect("ablation runs");
+                for p in &pts {
+                    println!(
+                        "{:<14} {:<24} cycles {:>12} folds {:>10} blocked {:>9}",
+                        p.workload, p.setting, p.cycles, p.folds, p.blocked
+                    );
+                }
+                all.extend(pts);
+            }
+            save_json("ablation_threshold", &all);
+        }
+        "ablation-sched" => {
+            section("Ablation C: compiler scheduling support (Sec. 5.1)");
+            let mut all = Vec::new();
+            for w in Workload::ALL {
+                let pts = ablation::scheduling(w, samples).expect("ablation runs");
+                for p in &pts {
+                    println!("{:<14} {:<12} cycles {:>12} folds {:>10}", p.workload, p.setting, p.cycles, p.folds);
+                }
+                all.extend(pts);
+            }
+            save_json("ablation_sched", &all);
+        }
+        "ablation-aux" => {
+            section("Ablation D: auxiliary predictor size (with same-size no-ASBR baseline)");
+            let mut all = Vec::new();
+            for w in Workload::ALL {
+                let pts = ablation::aux_size(w, samples, &[64, 128, 256, 512, 1024, 2048])
+                    .expect("ablation runs");
+                for p in &pts {
+                    println!(
+                        "{:<14} bi-{:<5} asbr {:>12} baseline {:>12}",
+                        p.workload, p.entries, p.asbr_cycles, p.baseline_cycles
+                    );
+                }
+                all.extend(pts);
+            }
+            save_json("ablation_aux", &all);
+        }
+        "fig6x" => {
+            section("Figure 6 extended: + tournament-2048 baseline");
+            let rows = fig6::extended_table(samples).expect("fig6x runs");
+            for r in &rows {
+                println!(
+                    "{:<14} {:<11} cycles {:>12}  CPI {:.2}  acc {:.0}%",
+                    r.workload,
+                    r.predictor,
+                    r.cycles,
+                    r.cpi,
+                    r.accuracy * 100.0
+                );
+            }
+            save_json("fig6_extended", &rows);
+        }
+        "scope" => {
+            section("Scope extension: ASBR on additional control-dominated kernels");
+            let rows = scope::table(samples.min(5000)).expect("scope runs");
+            for r in &rows {
+                println!(
+                    "{:<24} baseline {:>10} asbr {:>10}  gain {:>5.1}%  folds {:>8}  selected {}  output {}",
+                    r.kernel,
+                    r.baseline_cycles,
+                    r.asbr_cycles,
+                    r.improvement * 100.0,
+                    r.folds,
+                    r.selected,
+                    if r.output_ok { "exact" } else { "MISMATCH" }
+                );
+            }
+            save_json("scope", &rows);
+        }
+        "power" => {
+            section("Power accounting (paper Sec. 1 claim)");
+            let rows = costs::power_table(samples).expect("power runs");
+            for r in &rows {
+                println!(
+                    "{:<14} baseline {:>14.0} asbr {:>14.0}  reduction {:>5.1}%  wrong-path slots {} -> {}",
+                    r.workload,
+                    r.baseline_energy,
+                    r.asbr_energy,
+                    r.reduction * 100.0,
+                    r.baseline_squashed,
+                    r.asbr_squashed
+                );
+            }
+            save_json("power", &rows);
+        }
+        "area" => {
+            section("Front-end storage (paper Sec. 6 area claim)");
+            let rows = costs::area_table();
+            for r in &rows {
+                println!(
+                    "{:<36} predictor {:>7}  btb {:>7}  asbr {:>6}  total {:>7} bits",
+                    r.config, r.predictor_bits, r.btb_bits, r.asbr_bits, r.total()
+                );
+            }
+            save_json("area", &rows);
+        }
+        "ablation-latency" => {
+            section("Ablation F: multiply/divide EX latency");
+            let mut all = Vec::new();
+            for w in Workload::ALL {
+                let pts = ablation::muldiv_latency(w, samples, &[(1, 1), (2, 8), (4, 16), (8, 34)])
+                    .expect("ablation runs");
+                for p in &pts {
+                    println!(
+                        "{:<14} mul={:<2} div={:<2} baseline {:>12} asbr {:>12} gain {:>5.1}%",
+                        p.workload,
+                        p.latency.0,
+                        p.latency.1,
+                        p.baseline_cycles,
+                        p.asbr_cycles,
+                        (1.0 - p.asbr_cycles as f64 / p.baseline_cycles as f64) * 100.0
+                    );
+                }
+                all.extend(pts);
+            }
+            save_json("ablation_latency", &all);
+        }
+        "ablation-ras" => {
+            section("Ablation G: return-address stack");
+            let mut all = Vec::new();
+            for w in Workload::ALL {
+                let pts = ablation::ras(w, samples).expect("ablation runs");
+                for p in &pts {
+                    println!(
+                        "{:<14} ras={:<2} baseline {:>12} asbr {:>12} (baseline return flushes {})",
+                        p.workload,
+                        p.ras_entries,
+                        p.baseline_cycles,
+                        p.asbr_cycles,
+                        p.baseline_indirect_flushes
+                    );
+                }
+                all.extend(pts);
+            }
+            save_json("ablation_ras", &all);
+        }
+        "ablation-cache" => {
+            section("Ablation J: cache-size sensitivity");
+            let mut all = Vec::new();
+            for w in Workload::ALL {
+                let pts = ablation::cache_size(w, samples, &[1024, 2048, 4096, 8192, 16384])
+                    .expect("ablation runs");
+                for p in &pts {
+                    println!(
+                        "{:<14} {:>5}B baseline {:>12} asbr {:>12} gain {:>5.1}%",
+                        p.workload,
+                        p.cache_bytes,
+                        p.baseline_cycles,
+                        p.asbr_cycles,
+                        (1.0 - p.asbr_cycles as f64 / p.baseline_cycles as f64) * 100.0
+                    );
+                }
+                all.extend(pts);
+            }
+            save_json("ablation_cache", &all);
+        }
+        "ablation-family" => {
+            section("Ablation I: general-purpose predictor family study (no ASBR)");
+            let mut all = Vec::new();
+            for w in Workload::ALL {
+                let rows = ablation::predictor_family(w, samples).expect("ablation runs");
+                for r in &rows {
+                    println!(
+                        "{:<14} {:<15} cycles {:>12}  acc {:>5.1}%  bits {:>6}",
+                        r.workload,
+                        r.predictor,
+                        r.cycles,
+                        r.accuracy * 100.0,
+                        r.storage_bits
+                    );
+                }
+                all.extend(rows);
+            }
+            save_json("ablation_family", &all);
+        }
+        "ablation-static" => {
+            section("Ablation H: static (profile-free) vs profiled BIT selection");
+            let mut all = Vec::new();
+            for w in Workload::ALL {
+                let pts = ablation::static_selection(w, samples).expect("ablation runs");
+                for p in &pts {
+                    println!(
+                        "{:<14} {:<9} cycles {:>12} folds {:>10} selected {:>2}",
+                        p.workload, p.method, p.cycles, p.folds, p.selected
+                    );
+                }
+                all.extend(pts);
+            }
+            save_json("ablation_static", &all);
+        }
+        "ablation-banks" => {
+            section("Ablation E: BIT bank switching (Sec. 7)");
+            let (banked, single) =
+                ablation::bank_switching(samples as u32).expect("ablation runs");
+            println!("two banks: {banked} folds; single bank: {single} folds");
+            save_json("ablation_banks", &(banked, single));
+        }
+        "all" => {
+            run_fig6();
+            run_branch_table(Workload::G721Encode, "Figure 7", 16);
+            run_branch_table(Workload::G721Decode, "Figure 7b (decode)", 16);
+            run_branch_table(Workload::AdpcmEncode, "Figure 9", 16);
+            run_branch_table(Workload::AdpcmDecode, "Figure 10", 16);
+            run_fig11();
+        }
+        other => {
+            eprintln!("unknown table `{other}`");
+            std::process::exit(2);
+        }
+    }
+    eprintln!("\n[{which} done in {:.1}s at {samples} samples]", started.elapsed().as_secs_f64());
+}

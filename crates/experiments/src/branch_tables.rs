@@ -1,0 +1,150 @@
+//! Figures 7, 9 and 10: per-branch statistics of the BIT-selected
+//! branches.
+//!
+//! For each benchmark, the paper reports the selected branches'
+//! execution counts and the accuracy each general-purpose predictor
+//! achieves on them — showing that the selection targets frequently
+//! executed, poorly predicted branches.
+
+use serde::Serialize;
+
+use asbr_bpred::PredictorKind;
+use asbr_flow::schedule::hoist_predicates;
+use asbr_profile::{profile, select_branches, SelectionConfig};
+use asbr_sim::SimError;
+use asbr_workloads::Workload;
+
+use crate::tablefmt::{thousands, Table};
+
+/// One selected branch of a Figure 7/9/10-style table.
+#[derive(Debug, Clone, Serialize)]
+pub struct BranchRow {
+    /// Paper-style index (`br0`, `br1`, …) in selection order.
+    pub index: usize,
+    /// Branch address.
+    pub pc: u32,
+    /// Nearest preceding label (for human orientation).
+    pub symbol: String,
+    /// Dynamic executions.
+    pub exec: u64,
+    /// Fraction of executions taken.
+    pub taken_rate: f64,
+    /// Accuracy per baseline predictor, in [`PredictorKind::BASELINES`]
+    /// order.
+    pub accuracy: Vec<f64>,
+}
+
+/// The full per-benchmark table.
+#[derive(Debug, Clone, Serialize)]
+pub struct BranchTable {
+    /// Benchmark name.
+    pub workload: String,
+    /// Selected branches, best first.
+    pub rows: Vec<BranchRow>,
+}
+
+/// Regenerates the Figure 7/9/10 table for `workload`: profiles with the
+/// three baseline predictors, selects up to `bit_entries` branches, and
+/// reports their statistics.
+///
+/// # Errors
+///
+/// Propagates any [`SimError`] from the profiling run.
+pub fn table(
+    workload: Workload,
+    samples: usize,
+    bit_entries: usize,
+) -> Result<BranchTable, SimError> {
+    let (program, _) = hoist_predicates(&workload.program());
+    let input = workload.input(samples);
+    let report = profile(&program, &input, &PredictorKind::BASELINES)?;
+    // Rank against bimodal (index 1), as the paper's baseline comparisons
+    // do.
+    let picks = select_branches(
+        &report,
+        &program,
+        &SelectionConfig { bit_entries, rank_against: Some(1), ..SelectionConfig::default() },
+    );
+    let rows = picks
+        .iter()
+        .enumerate()
+        .map(|(index, &pc)| {
+            let b = report.branch(pc).expect("selected branches were profiled");
+            // Find the nearest label at or before the branch.
+            let symbol = program
+                .symbols()
+                .filter(|&(_, addr)| addr <= pc)
+                .max_by_key(|&(_, addr)| addr)
+                .map(|(name, addr)| {
+                    if addr == pc {
+                        name.to_owned()
+                    } else {
+                        format!("{name}+{}", pc - addr)
+                    }
+                })
+                .unwrap_or_default();
+            BranchRow {
+                index,
+                pc,
+                symbol,
+                exec: b.exec,
+                taken_rate: b.taken_rate(),
+                accuracy: b.accuracy.clone(),
+            }
+        })
+        .collect();
+    Ok(BranchTable { workload: workload.name().to_owned(), rows })
+}
+
+/// Renders in the paper's layout: branches as columns, predictors as rows.
+#[must_use]
+pub fn render(table: &BranchTable) -> String {
+    let mut header = vec![String::new()];
+    for r in &table.rows {
+        header.push(format!("br{}", r.index));
+    }
+    let mut t = Table::new(header);
+    t.row(
+        std::iter::once("exec #".to_owned())
+            .chain(table.rows.iter().map(|r| thousands(r.exec)))
+            .collect(),
+    );
+    t.row(
+        std::iter::once("@".to_owned())
+            .chain(table.rows.iter().map(|r| r.symbol.clone()))
+            .collect(),
+    );
+    for (pi, kind) in PredictorKind::BASELINES.iter().enumerate() {
+        t.row(
+            std::iter::once(kind.label())
+                .chain(table.rows.iter().map(|r| format!("{:.2}", r.accuracy[pi])))
+                .collect(),
+        );
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adpcm_encode_selects_a_handful() {
+        let t = table(Workload::AdpcmEncode, 300, 16).unwrap();
+        assert!(
+            (3..=16).contains(&t.rows.len()),
+            "ADPCM encode selects a few branches, got {}",
+            t.rows.len()
+        );
+        for r in &t.rows {
+            assert!(r.exec > 0);
+            assert_eq!(r.accuracy.len(), 3);
+            for &a in &r.accuracy {
+                assert!((0.0..=1.0).contains(&a));
+            }
+        }
+        let s = render(&t);
+        assert!(s.contains("br0"));
+        assert!(s.contains("gshare"));
+    }
+}

@@ -1,0 +1,251 @@
+//! Power and area accounting — the paper's two non-cycle claims.
+//!
+//! *Power* (Sec. 1): "the total number of instructions passing through the
+//! pipeline is reduced … no mispredicted instructions are executed.
+//! Consequently, power consumption is decreased." We charge a fixed energy
+//! per structure *event* (fetch, decode, execute, memory op, register
+//! write, predictor access) plus a table-size-dependent cost for every
+//! predictor/BTB access (bitline energy grows with the array; modelled as
+//! `sqrt(bits)` per CACTI-style scaling), and compare baseline vs ASBR
+//! totals from the pipeline's [`Activity`] counters.
+//!
+//! *Area* (Sec. 6): "drastically reduce area and still keep the original
+//! branch prediction rates by using a much more lightweight branch
+//! predictor". We count storage bits of every front-end structure.
+//!
+//! The per-event constants are representative (they set the *units*, not
+//! the conclusions); every comparison reported is a ratio between two
+//! configurations evaluated under the same constants.
+
+use serde::Serialize;
+
+use asbr_bpred::{Btb, PredictorKind};
+use asbr_core::AsbrConfig;
+use asbr_sim::{Activity, SimError};
+use asbr_workloads::Workload;
+
+use crate::runner::{run_asbr, run_baseline, AsbrOptions, AUX_BTB, BASELINE_BTB};
+
+/// Per-event energy constants, in arbitrary picojoule-like units.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct EnergyModel {
+    /// Instruction fetch (I-cache read + fetch latch).
+    pub per_fetch: f64,
+    /// Decode stage traversal.
+    pub per_decode: f64,
+    /// Execute stage traversal (ALU).
+    pub per_execute: f64,
+    /// Data-memory operation (D-cache access).
+    pub per_mem_op: f64,
+    /// Register-file write.
+    pub per_reg_write: f64,
+    /// Fixed part of a predictor/BTB/BIT access.
+    pub per_table_access: f64,
+    /// Size-dependent part: multiplied by `sqrt(storage bits)` of the
+    /// accessed table.
+    pub per_sqrt_bit: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> EnergyModel {
+        EnergyModel {
+            per_fetch: 6.0,
+            per_decode: 2.0,
+            per_execute: 8.0,
+            per_mem_op: 10.0,
+            per_reg_write: 3.0,
+            per_table_access: 1.0,
+            per_sqrt_bit: 0.15,
+        }
+    }
+}
+
+impl EnergyModel {
+    /// Energy of one access to a table of `bits` storage bits.
+    #[must_use]
+    pub fn table_access(&self, bits: u64) -> f64 {
+        self.per_table_access + self.per_sqrt_bit * (bits as f64).sqrt()
+    }
+
+    /// Core (non-predictor) pipeline energy for an activity profile.
+    #[must_use]
+    pub fn core_energy(&self, a: &Activity) -> f64 {
+        a.fetched as f64 * self.per_fetch
+            + a.decoded as f64 * self.per_decode
+            + a.executed as f64 * self.per_execute
+            + a.mem_ops as f64 * self.per_mem_op
+            + a.reg_writes as f64 * self.per_reg_write
+    }
+}
+
+/// One row of the power comparison.
+#[derive(Debug, Clone, Serialize)]
+pub struct PowerRow {
+    /// Benchmark name.
+    pub workload: String,
+    /// Total baseline energy (bimodal-2048 + 2048-entry BTB).
+    pub baseline_energy: f64,
+    /// Total ASBR energy (16-entry BIT + BDT + bi-256 + 512-entry BTB).
+    pub asbr_energy: f64,
+    /// Wrong-path slots fetched, baseline.
+    pub baseline_squashed: u64,
+    /// Wrong-path slots fetched, ASBR.
+    pub asbr_squashed: u64,
+    /// Fractional energy reduction.
+    pub reduction: f64,
+}
+
+/// Runs the power comparison: baseline (bimodal-2048, full BTB) vs ASBR
+/// (BIT-16 + bi-256 + quarter BTB), with the default [`EnergyModel`].
+///
+/// # Errors
+///
+/// Propagates any [`SimError`].
+pub fn power_table(samples: usize) -> Result<Vec<PowerRow>, SimError> {
+    let model = EnergyModel::default();
+    let baseline_kind = PredictorKind::Bimodal { entries: 2048 };
+    let aux_kind = PredictorKind::Bimodal { entries: 256 };
+    let asbr_cfg = AsbrConfig::default();
+
+    let mut rows = Vec::new();
+    for w in Workload::ALL {
+        let base = run_baseline(w, baseline_kind, samples)?;
+        let asbr = run_asbr(w, aux_kind, samples, AsbrOptions::default())?;
+
+        let ba = &base.stats.activity;
+        let base_pred_bits = baseline_kind.storage_bits() + Btb::storage_bits(BASELINE_BTB);
+        let baseline_energy = model.core_energy(ba)
+            + (ba.predictor_lookups + ba.predictor_updates) as f64
+                * model.table_access(base_pred_bits);
+
+        let aa = &asbr.summary.stats.activity;
+        let aux_bits = aux_kind.storage_bits() + Btb::storage_bits(AUX_BTB);
+        let asbr_tables = asbr.asbr.folds() + asbr.asbr.blocked_invalid; // BIT hits
+        let asbr_energy = model.core_energy(aa)
+            + (aa.predictor_lookups + aa.predictor_updates) as f64
+                * model.table_access(aux_bits)
+            // Every fetch consults the BIT; publishes update the BDT.
+            + aa.fetched as f64 * model.table_access(asbr_cfg.storage_bits())
+            + asbr_tables as f64 * model.table_access(asbr_core_bdt_bits());
+
+        rows.push(PowerRow {
+            workload: w.name().to_owned(),
+            baseline_energy,
+            asbr_energy,
+            baseline_squashed: ba.squashed,
+            asbr_squashed: aa.squashed,
+            reduction: 1.0 - asbr_energy / baseline_energy,
+        });
+    }
+    Ok(rows)
+}
+
+fn asbr_core_bdt_bits() -> u64 {
+    asbr_core::BDT_BITS
+}
+
+/// One row of the area comparison.
+#[derive(Debug, Clone, Serialize)]
+pub struct AreaRow {
+    /// Configuration label.
+    pub config: String,
+    /// Direction-predictor bits.
+    pub predictor_bits: u64,
+    /// BTB bits.
+    pub btb_bits: u64,
+    /// ASBR bits (BIT + BDT), zero for baselines.
+    pub asbr_bits: u64,
+}
+
+impl AreaRow {
+    /// Total front-end storage.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.predictor_bits + self.btb_bits + self.asbr_bits
+    }
+}
+
+/// The front-end storage comparison: the paper's baseline predictors vs
+/// the ASBR configurations of Figure 11.
+#[must_use]
+pub fn area_table() -> Vec<AreaRow> {
+    let asbr_bits = AsbrConfig::default().storage_bits();
+    vec![
+        AreaRow {
+            config: "baseline bimodal-2048 + BTB-2048".to_owned(),
+            predictor_bits: PredictorKind::Bimodal { entries: 2048 }.storage_bits(),
+            btb_bits: Btb::storage_bits(BASELINE_BTB),
+            asbr_bits: 0,
+        },
+        AreaRow {
+            config: "baseline gshare-11/2048 + BTB-2048".to_owned(),
+            predictor_bits: PredictorKind::Gshare { hist_bits: 11, entries: 2048 }
+                .storage_bits(),
+            btb_bits: Btb::storage_bits(BASELINE_BTB),
+            asbr_bits: 0,
+        },
+        AreaRow {
+            config: "ASBR-16 + bi-512 + BTB-512".to_owned(),
+            predictor_bits: PredictorKind::Bimodal { entries: 512 }.storage_bits(),
+            btb_bits: Btb::storage_bits(AUX_BTB),
+            asbr_bits,
+        },
+        AreaRow {
+            config: "ASBR-16 + bi-256 + BTB-512".to_owned(),
+            predictor_bits: PredictorKind::Bimodal { entries: 256 }.storage_bits(),
+            btb_bits: Btb::storage_bits(AUX_BTB),
+            asbr_bits,
+        },
+        AreaRow {
+            config: "ASBR-16 + no predictor".to_owned(),
+            predictor_bits: 0,
+            btb_bits: 0,
+            asbr_bits,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn asbr_configs_are_far_smaller() {
+        let rows = area_table();
+        let baseline = rows[0].total();
+        for r in rows.iter().skip(2) {
+            assert!(
+                r.total() * 2 < baseline,
+                "{} ({} bits) should be under half the baseline ({baseline} bits)",
+                r.config,
+                r.total()
+            );
+        }
+        // The BIT itself is tiny: 16 entries ~ 2.1 kbit vs the baseline's
+        // ~137 kbit front end.
+        assert!(rows[4].total() < baseline / 40);
+    }
+
+    #[test]
+    fn energy_model_is_monotone_in_table_size() {
+        let m = EnergyModel::default();
+        assert!(m.table_access(100) < m.table_access(10_000));
+        assert!(m.table_access(0) >= m.per_table_access);
+    }
+
+    #[test]
+    fn asbr_reduces_energy_on_adpcm() {
+        let rows = power_table(200).unwrap();
+        assert_eq!(rows.len(), 4);
+        for r in rows.iter().filter(|r| r.workload.starts_with("ADPCM")) {
+            assert!(
+                r.reduction > 0.0,
+                "{}: baseline {:.0} vs asbr {:.0}",
+                r.workload,
+                r.baseline_energy,
+                r.asbr_energy
+            );
+            assert!(r.asbr_squashed <= r.baseline_squashed, "{}", r.workload);
+        }
+    }
+}

@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+
+//! Experiment harness for the ASBR reproduction.
+//!
+//! Regenerates every table/figure of the paper's evaluation (Sec. 8):
+//!
+//! | Paper figure | Module | Content |
+//! |---|---|---|
+//! | Figure 6 | [`fig6`] | baseline cycles / CPI / accuracy, 4 benchmarks × 3 predictors |
+//! | Figures 7, 9, 10 | [`branch_tables`] | per-selected-branch execution counts and predictor accuracies |
+//! | Figure 11 | [`fig11`] | ASBR cycles and improvement under not-taken / bi-512 / bi-256 auxiliaries |
+//! | Figures 1–5 (motivation) | [`motivation`] | executable versions of the motivating fragments |
+//! | (extensions) | [`ablation`] | BIT size, publish threshold, scheduling, auxiliary size, BIT banks |
+//!
+//! The [`runner`] module holds the shared machinery: configured baseline
+//! and ASBR pipeline runs over the `asbr-workloads` guests.
+//!
+//! # Examples
+//!
+//! ```
+//! use asbr_experiments::runner::{run_baseline, SAMPLES_SMOKE};
+//! use asbr_bpred::PredictorKind;
+//! use asbr_workloads::Workload;
+//!
+//! let s = run_baseline(Workload::AdpcmEncode, PredictorKind::NotTaken, SAMPLES_SMOKE)?;
+//! assert!(s.stats.cpi() > 1.0);
+//! # Ok::<(), asbr_sim::SimError>(())
+//! ```
+
+pub mod ablation;
+pub mod branch_tables;
+pub mod costs;
+pub mod fig11;
+pub mod fig6;
+pub mod motivation;
+pub mod runner;
+pub mod scope;
+pub mod tablefmt;

@@ -1,0 +1,194 @@
+//! Shared run machinery: baseline and ASBR-customized pipeline runs.
+
+use asbr_asm::Program;
+use asbr_bpred::PredictorKind;
+use asbr_core::{AsbrConfig, AsbrStats, AsbrUnit};
+use asbr_flow::schedule::hoist_predicates;
+use asbr_profile::{profile, select_branches, SelectionConfig};
+use asbr_sim::{Pipeline, PipelineConfig, PipelineSummary, PublishPoint, SimError};
+use asbr_workloads::Workload;
+
+/// Baseline branch-target-buffer entries (paper Sec. 8).
+pub const BASELINE_BTB: usize = 2048;
+/// Auxiliary-predictor BTB: "reduced to a quarter of its size" (Sec. 8).
+pub const AUX_BTB: usize = 512;
+/// Input size for smoke tests (CI-fast).
+pub const SAMPLES_SMOKE: usize = 400;
+/// Input size for the full table regeneration.
+pub const SAMPLES_FULL: usize = 24_000;
+
+/// Microarchitectural tweaks applied identically to baseline and ASBR
+/// runs (ablations F/G).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MicroTweaks {
+    /// Extra EX occupancy for multiplies (0 → single-cycle).
+    pub mul_latency: u32,
+    /// Extra EX occupancy for divides (0 → single-cycle).
+    pub div_latency: u32,
+    /// Return-address-stack entries (0 → none, the paper's baseline).
+    pub ras_entries: usize,
+    /// Cache capacity in bytes for both I and D caches (0 → the paper's
+    /// 8 KB default).
+    pub cache_bytes: u32,
+}
+
+impl MicroTweaks {
+    fn apply(&self, mut cfg: PipelineConfig) -> PipelineConfig {
+        cfg.mul_latency = self.mul_latency.max(1);
+        cfg.div_latency = self.div_latency.max(1);
+        cfg.ras_entries = self.ras_entries;
+        if self.cache_bytes > 0 {
+            cfg.mem.icache.size_bytes = self.cache_bytes;
+            cfg.mem.dcache.size_bytes = self.cache_bytes;
+        }
+        cfg
+    }
+}
+
+/// ASBR experiment knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AsbrOptions {
+    /// Publish point (threshold) of the early condition evaluation.
+    pub publish: PublishPoint,
+    /// Branch Identification Table capacity.
+    pub bit_entries: usize,
+    /// Apply the Sec. 5.1 predicate-hoisting scheduler before profiling
+    /// and running. Off by default: the guest sources are already
+    /// hand-scheduled exactly as the paper's Sec. 8 describes ("A manual
+    /// scheduling in the application code is performed"), and re-running
+    /// the automatic pass on top adds nothing (see ablation C).
+    pub hoist: bool,
+    /// BTB size for the auxiliary predictor.
+    pub btb_entries: usize,
+    /// Shared microarchitectural tweaks.
+    pub tweaks: MicroTweaks,
+}
+
+impl Default for AsbrOptions {
+    fn default() -> AsbrOptions {
+        AsbrOptions {
+            publish: PublishPoint::Mem,
+            bit_entries: 16,
+            hoist: false,
+            btb_entries: AUX_BTB,
+            tweaks: MicroTweaks::default(),
+        }
+    }
+}
+
+/// Result of an ASBR-customized run.
+#[derive(Debug, Clone)]
+pub struct AsbrRun {
+    /// Pipeline counters and guest output.
+    pub summary: PipelineSummary,
+    /// Fold statistics from the ASBR unit.
+    pub asbr: AsbrStats,
+    /// Branch PCs installed in the BIT, best first.
+    pub selected: Vec<u32>,
+    /// The (possibly rescheduled) program that ran.
+    pub program: Program,
+}
+
+/// Runs `workload` on the baseline pipeline with `kind` predicting and the
+/// full-size BTB.
+///
+/// # Errors
+///
+/// Propagates any [`SimError`] from the run.
+pub fn run_baseline(
+    workload: Workload,
+    kind: PredictorKind,
+    samples: usize,
+) -> Result<PipelineSummary, SimError> {
+    run_baseline_with(workload, kind, samples, MicroTweaks::default())
+}
+
+/// [`run_baseline`] with explicit microarchitectural tweaks.
+///
+/// # Errors
+///
+/// Propagates any [`SimError`] from the run.
+pub fn run_baseline_with(
+    workload: Workload,
+    kind: PredictorKind,
+    samples: usize,
+    tweaks: MicroTweaks,
+) -> Result<PipelineSummary, SimError> {
+    let program = workload.program();
+    let input = workload.input(samples);
+    let cfg =
+        tweaks.apply(PipelineConfig { btb_entries: BASELINE_BTB, ..PipelineConfig::default() });
+    let mut pipe = Pipeline::new(cfg, kind.build());
+    pipe.load(&program);
+    pipe.feed_input(input.iter().copied());
+    pipe.run()
+}
+
+/// Prepares the program (optional hoisting), profiles it, selects BIT
+/// branches, and runs the ASBR-customized pipeline with the auxiliary
+/// predictor `aux`.
+///
+/// # Errors
+///
+/// Propagates any [`SimError`] from the profiling or timed run.
+pub fn run_asbr(
+    workload: Workload,
+    aux: PredictorKind,
+    samples: usize,
+    opts: AsbrOptions,
+) -> Result<AsbrRun, SimError> {
+    let base_program = workload.program();
+    let program =
+        if opts.hoist { hoist_predicates(&base_program).0 } else { base_program };
+    let input = workload.input(samples);
+
+    // Paper Sec. 8: candidates ranked against the baseline bimodal.
+    let report = profile(&program, &input, &[PredictorKind::Bimodal { entries: 2048 }])?;
+    let selected = select_branches(
+        &report,
+        &program,
+        &SelectionConfig {
+            bit_entries: opts.bit_entries,
+            threshold: opts.publish.threshold(),
+            ..SelectionConfig::default()
+        },
+    );
+
+    let unit = AsbrUnit::for_branches(
+        AsbrConfig { bit_entries: opts.bit_entries, publish: opts.publish, ..AsbrConfig::default() },
+        &program,
+        &selected,
+    )
+    .expect("selected branches always build BIT entries");
+
+    let cfg = opts
+        .tweaks
+        .apply(PipelineConfig { btb_entries: opts.btb_entries, ..PipelineConfig::default() });
+    let mut pipe = Pipeline::with_hooks(cfg, aux.build(), unit);
+    pipe.load(&program);
+    pipe.feed_input(input.iter().copied());
+    let summary = pipe.run()?;
+    let asbr = pipe.into_hooks().stats();
+    Ok(AsbrRun { summary, asbr, selected, program })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_runs_and_counts() {
+        let s = run_baseline(Workload::AdpcmEncode, PredictorKind::NotTaken, 60).unwrap();
+        assert!(s.halted);
+        assert!(s.stats.retired > 1000);
+    }
+
+    #[test]
+    fn asbr_run_folds_and_matches_output() {
+        let w = Workload::AdpcmEncode;
+        let r = run_asbr(w, PredictorKind::NotTaken, 60, AsbrOptions::default()).unwrap();
+        assert!(!r.selected.is_empty());
+        assert!(r.asbr.folds() > 0, "{:?}", r.asbr);
+        assert_eq!(r.summary.output, w.reference_output(&w.input(60)));
+    }
+}

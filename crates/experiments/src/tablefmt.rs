@@ -1,0 +1,119 @@
+//! Minimal fixed-width text-table rendering for the harness output.
+
+/// A simple left-header table builder.
+///
+/// # Examples
+///
+/// ```
+/// use asbr_experiments::tablefmt::Table;
+///
+/// let mut t = Table::new(vec!["predictor".into(), "cycles".into()]);
+/// t.row(vec!["not taken".into(), "12232809".into()]);
+/// let s = t.render();
+/// assert!(s.contains("not taken"));
+/// assert!(s.lines().count() >= 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new(header: Vec<String>) -> Table {
+        Table { header, rows: Vec::new() }
+    }
+
+    /// Appends a row (shorter rows are padded with empty cells).
+    pub fn row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Renders the table with a separator under the header.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let cols = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain([self.header.len()])
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; cols];
+        let all = std::iter::once(&self.header).chain(&self.rows);
+        for row in all {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let fmt_row = |row: &[String]| -> String {
+            let mut line = String::new();
+            for (i, &width) in widths.iter().enumerate().take(cols) {
+                let cell = row.get(i).map_or("", String::as_str);
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{cell:<width$}"));
+            }
+            line.trim_end().to_owned()
+        };
+        let mut out = String::new();
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1))));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a count with thousands separators, like the paper's tables
+/// (`12,232,809`).
+#[must_use]
+pub fn thousands(n: u64) -> String {
+    let digits = n.to_string();
+    let mut out = String::new();
+    for (i, c) in digits.chars().enumerate() {
+        if i > 0 && (digits.len() - i).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thousands_grouping() {
+        assert_eq!(thousands(0), "0");
+        assert_eq!(thousands(999), "999");
+        assert_eq!(thousands(1000), "1,000");
+        assert_eq!(thousands(12_232_809), "12,232,809");
+    }
+
+    #[test]
+    fn table_alignment() {
+        let mut t = Table::new(vec!["a".into(), "bbbb".into()]);
+        t.row(vec!["xxxxx".into(), "1".into()]);
+        let rendered = t.render();
+        let lines: Vec<&str> = rendered.lines().map(str::trim_end).collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("a"));
+        assert!(lines[2].starts_with("xxxxx"));
+    }
+
+    #[test]
+    fn ragged_rows_pad() {
+        let mut t = Table::new(vec!["h1".into()]);
+        t.row(vec!["a".into(), "b".into()]);
+        assert!(t.render().contains('b'));
+    }
+}

@@ -1,0 +1,276 @@
+//! Def→branch distance analysis and foldability classification.
+
+use asbr_asm::Program;
+use asbr_isa::{Cond, Instr, Reg};
+
+use crate::Cfg;
+
+/// Distances are capped here; a capped distance means "the definition is
+/// far away on every path" — always foldable.
+pub const DISTANCE_CAP: u32 = 64;
+
+/// Registers a call may redefine (the caller-saved set of the ABI plus the
+/// link register). Dataflow treats `jal`/`jalr` as defining all of them.
+const CALL_CLOBBERS: [u8; 19] =
+    [1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 24, 25, 29, 31];
+
+/// A zero-comparison conditional branch with its statically derived
+/// ASBR-relevant properties.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CandidateBranch {
+    /// Branch address.
+    pub pc: u32,
+    /// Instruction index in the text segment.
+    pub index: usize,
+    /// The predicate register (the Direction Index register).
+    pub reg: Reg,
+    /// The zero-comparison condition.
+    pub cond: Cond,
+    /// Minimum, over all statically enumerable incoming paths, of the
+    /// number of instruction slots between the last definition of `reg`
+    /// and the branch. Capped at [`DISTANCE_CAP`].
+    pub min_def_distance: u32,
+}
+
+impl CandidateBranch {
+    /// Whether early condition evaluation can fold this branch on every
+    /// path for the given threshold (paper Sec. 5: distance must meet the
+    /// pipeline-derived threshold).
+    #[must_use]
+    pub fn foldable(&self, threshold: u32) -> bool {
+        self.min_def_distance >= threshold
+    }
+}
+
+fn defines(instr: Instr, reg: Reg) -> bool {
+    if instr.dst() == Some(reg) {
+        return true;
+    }
+    matches!(instr, Instr::Jal { .. } | Instr::Jalr { .. })
+        && CALL_CLOBBERS.contains(&reg.index())
+}
+
+/// Minimum distance from the last def of `reg` looking backwards from
+/// (exclusive) instruction index `from` in block `block`.
+fn min_distance(
+    cfg: &Cfg,
+    block: usize,
+    from: usize,
+    reg: Reg,
+    acc: u32,
+    visited: &mut Vec<bool>,
+) -> u32 {
+    let b = &cfg.blocks()[block];
+    let mut dist = acc;
+    for i in (b.start..from).rev() {
+        if defines(cfg.instrs()[i], reg) {
+            return dist.min(DISTANCE_CAP);
+        }
+        dist += 1;
+        if dist >= DISTANCE_CAP {
+            return DISTANCE_CAP;
+        }
+    }
+    // Reached the block head without a def: continue into predecessors.
+    if b.preds.is_empty() {
+        // Program entry (register holds its reset value — foldable) or an
+        // unknown indirect edge; both are reported as "far".
+        return DISTANCE_CAP;
+    }
+    let mut best = DISTANCE_CAP;
+    for &p in &b.preds {
+        if visited[p] {
+            // A cycle back into an already-open block: the def distance
+            // along that path is at least one full loop body; treat as
+            // unbounded on this path rather than infinite recursion.
+            continue;
+        }
+        visited[p] = true;
+        let pb_end = cfg.blocks()[p].end;
+        best = best.min(min_distance(cfg, p, pb_end, reg, dist, visited));
+        visited[p] = false;
+    }
+    best
+}
+
+/// Finds every zero-comparison conditional branch in `program` and its
+/// minimum def→branch distance.
+///
+/// Two-register `beq`/`bne` branches are *not* candidates: the Branch
+/// Direction Table pre-evaluates zero comparisons of a single register
+/// (paper Fig. 8), so only the `BranchZ` family can be folded.
+#[must_use]
+pub fn candidates(program: &Program) -> Vec<CandidateBranch> {
+    let cfg = Cfg::build(program);
+    let mut out = Vec::new();
+    for (i, &instr) in cfg.instrs().iter().enumerate() {
+        let Instr::BranchZ { cond, rs, .. } = instr else { continue };
+        let mut visited = vec![false; cfg.blocks().len()];
+        let block = cfg.block_of(i);
+        visited[block] = true;
+        let d = min_distance(&cfg, block, i, rs, 0, &mut visited);
+        out.push(CandidateBranch {
+            pc: cfg.pc_of(i),
+            index: i,
+            reg: rs,
+            cond,
+            min_def_distance: d,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asbr_asm::assemble;
+
+    fn cands(src: &str) -> Vec<CandidateBranch> {
+        candidates(&assemble(src).unwrap())
+    }
+
+    #[test]
+    fn same_block_distance() {
+        let c = cands(
+            "
+            main:   li   r4, 1
+            loop:   addi r4, r4, -1
+                    nop
+                    nop
+            br:     bnez r4, loop
+                    halt
+            ",
+        );
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].min_def_distance, 2);
+        assert!(c[0].foldable(2));
+        assert!(!c[0].foldable(3));
+        assert_eq!(c[0].reg, Reg::new(4));
+        assert_eq!(c[0].cond, Cond::Ne);
+    }
+
+    #[test]
+    fn distance_crosses_block_boundaries() {
+        // Def in the entry block, branch in the next: 2 nops + the branch
+        // block's 1 nop = distance 3.
+        let c = cands(
+            "
+            main:   li   r4, 0
+                    nop
+                    nop
+            next:   nop
+                    beqz r4, done
+                    nop
+            done:   halt
+            ",
+        );
+        let b = c.iter().find(|b| b.cond == Cond::Eq).unwrap();
+        assert_eq!(b.min_def_distance, 3);
+    }
+
+    #[test]
+    fn min_over_paths() {
+        // Two paths into the branch block: one defines r4 just before the
+        // join (distance 1 via `near`), one long before (distance 4 via
+        // the fall-through). The minimum governs.
+        let c = cands(
+            "
+            main:   beqz r2, near
+                    li   r4, 7
+                    nop
+                    nop
+                    j    test
+            near:   li   r4, 1
+            test:   nop
+                    bnez r4, out
+                    nop
+            out:    halt
+            ",
+        );
+        let b = c.iter().find(|b| b.reg == Reg::new(4)).unwrap();
+        assert_eq!(b.min_def_distance, 1, "short path: li, one nop, then the branch");
+    }
+
+    #[test]
+    fn never_defined_register_is_far() {
+        let c = cands(
+            "
+            main:   nop
+                    bltz r9, main
+                    halt
+            ",
+        );
+        assert_eq!(c[0].min_def_distance, DISTANCE_CAP);
+        assert!(c[0].foldable(4));
+    }
+
+    #[test]
+    fn calls_clobber_caller_saved() {
+        // r2 (v0) is defined by the call itself: distance counts from the
+        // jal.
+        let c = cands(
+            "
+            main:   jal  f
+                    nop
+                    nop
+                    beqz r2, main
+                    halt
+            f:      li   r2, 5
+                    jr   r31
+            ",
+        );
+        let b = c.iter().find(|b| b.reg == Reg::V0).unwrap();
+        assert_eq!(b.min_def_distance, 2);
+    }
+
+    #[test]
+    fn callee_saved_survives_calls() {
+        // r16 (s0) is not clobbered by the call: its def is the li before
+        // the call, so the call adds one slot of distance.
+        let c = cands(
+            "
+            main:   li   r16, 3
+                    jal  f
+                    beqz r16, main
+                    halt
+            f:      jr   r31
+            ",
+        );
+        let b = c.iter().find(|b| b.reg == Reg::new(16)).unwrap();
+        assert_eq!(b.min_def_distance, 1);
+    }
+
+    #[test]
+    fn loop_carried_def_distance() {
+        // The only def of r4 inside the loop is right at the top; around
+        // the back edge the distance from def to branch is 3 (nop, nop,
+        // then branch)... and from the entry path the li is further away.
+        let c = cands(
+            "
+            main:   li   r4, 9
+                    nop
+            loop:   addi r4, r4, -1
+                    nop
+                    nop
+            br:     bnez r4, loop
+                    halt
+            ",
+        );
+        let b = c.iter().find(|b| b.reg == Reg::new(4)).unwrap();
+        assert_eq!(b.min_def_distance, 2);
+    }
+
+    #[test]
+    fn beq_bne_are_not_candidates() {
+        let c = cands(
+            "
+            main:   beq  r1, r2, main
+                    bne  r1, r2, main
+                    bgez r1, main
+                    halt
+            ",
+        );
+        assert_eq!(c.len(), 1, "only the zero-compare branch qualifies");
+        assert_eq!(c[0].cond, Cond::Gez);
+    }
+}

@@ -1,0 +1,310 @@
+//! Basic-block control-flow graph construction.
+
+use std::collections::BTreeSet;
+
+use asbr_asm::Program;
+use asbr_isa::{Instr, INSTR_BYTES};
+
+/// A basic block: a maximal single-entry, single-exit straight-line run of
+/// instructions, identified by half-open *instruction index* bounds into
+/// the program text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    /// First instruction index.
+    pub start: usize,
+    /// One past the last instruction index.
+    pub end: usize,
+    /// Successor block indices. Empty for blocks ending in `halt`,
+    /// indirect jumps (whose targets are statically unknown), or falling
+    /// off the text end.
+    pub succs: Vec<usize>,
+    /// Predecessor block indices.
+    pub preds: Vec<usize>,
+}
+
+impl Block {
+    /// Number of instructions in the block.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the block is empty (never produced by [`Cfg::build`]).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// A control-flow graph over a program's text segment.
+///
+/// Call instructions (`jal`/`jalr`) are treated as block-internal
+/// fall-through instructions (standard intra-procedural convention); their
+/// register-clobbering effect is handled by the dataflow layer. Indirect
+/// jumps (`jr`) terminate a block with no static successors, which keeps
+/// every analysis conservative.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    instrs: Vec<Instr>,
+    text_base: u32,
+    blocks: Vec<Block>,
+    /// Map from instruction index to its containing block.
+    block_of: Vec<usize>,
+}
+
+impl Cfg {
+    /// Decodes the text segment and builds the graph.
+    ///
+    /// Undecodable words (data islands in text) are treated as `nop` for
+    /// layout purposes; they never arise from the project assembler.
+    #[must_use]
+    pub fn build(program: &Program) -> Cfg {
+        let instrs: Vec<Instr> = program
+            .text()
+            .iter()
+            .map(|&w| Instr::decode(w).unwrap_or(Instr::NOP))
+            .collect();
+        let n = instrs.len();
+        let text_base = program.text_base();
+
+        // Leaders: entry, every branch/jump target, every instruction
+        // after a control transfer (calls excepted) or halt.
+        let mut leaders: BTreeSet<usize> = BTreeSet::new();
+        if n > 0 {
+            leaders.insert(0);
+        }
+        let index_of = |addr: u32| -> Option<usize> {
+            if addr < text_base {
+                return None;
+            }
+            let i = ((addr - text_base) / INSTR_BYTES) as usize;
+            (i < n).then_some(i)
+        };
+        for (i, instr) in instrs.iter().enumerate() {
+            let pc = text_base + INSTR_BYTES * i as u32;
+            match instr {
+                Instr::BranchZ { .. } | Instr::Beq { .. } | Instr::Bne { .. } => {
+                    let info = instr.branch().expect("conditional branch");
+                    if let Some(t) = index_of(info.target(pc)) {
+                        leaders.insert(t);
+                    }
+                    if i + 1 < n {
+                        leaders.insert(i + 1);
+                    }
+                }
+                Instr::J { .. } => {
+                    if let Some(t) = index_of(instr.direct_jump_target(pc).expect("direct")) {
+                        leaders.insert(t);
+                    }
+                    if i + 1 < n {
+                        leaders.insert(i + 1);
+                    }
+                }
+                // Calls fall through (intra-procedural view), but the
+                // callee entry is still a leader.
+                Instr::Jal { .. } => {
+                    if let Some(t) = index_of(instr.direct_jump_target(pc).expect("direct")) {
+                        leaders.insert(t);
+                    }
+                }
+                Instr::Jr { .. } | Instr::Halt
+                    if i + 1 < n => {
+                        leaders.insert(i + 1);
+                    }
+                _ => {}
+            }
+        }
+
+        let starts: Vec<usize> = leaders.into_iter().collect();
+        let mut blocks: Vec<Block> = starts
+            .iter()
+            .enumerate()
+            .map(|(bi, &s)| Block {
+                start: s,
+                end: starts.get(bi + 1).copied().unwrap_or(n),
+                succs: Vec::new(),
+                preds: Vec::new(),
+            })
+            .collect();
+
+        let mut block_of = vec![0usize; n];
+        for (bi, b) in blocks.iter().enumerate() {
+            for slot in &mut block_of[b.start..b.end] {
+                *slot = bi;
+            }
+        }
+
+        // Edges.
+        let block_of_addr = |addr: u32| index_of(addr).map(|i| block_of[i]);
+        let mut edges: Vec<(usize, usize)> = Vec::new();
+        for (bi, b) in blocks.iter().enumerate() {
+            if b.is_empty() {
+                continue;
+            }
+            let last_idx = b.end - 1;
+            let last = instrs[last_idx];
+            let pc = text_base + INSTR_BYTES * last_idx as u32;
+            match last {
+                Instr::BranchZ { .. } | Instr::Beq { .. } | Instr::Bne { .. } => {
+                    let info = last.branch().expect("branch");
+                    if let Some(t) = block_of_addr(info.target(pc)) {
+                        edges.push((bi, t));
+                    }
+                    if let Some(t) = block_of_addr(pc + INSTR_BYTES) {
+                        edges.push((bi, t));
+                    }
+                }
+                Instr::J { .. } => {
+                    if let Some(t) =
+                        block_of_addr(last.direct_jump_target(pc).expect("direct"))
+                    {
+                        edges.push((bi, t));
+                    }
+                }
+                Instr::Jr { .. } | Instr::Jalr { .. } | Instr::Halt => {
+                    // No static successors (returns/indirect/stop). A jalr
+                    // in block-terminal position is rare; treating it like
+                    // jr stays conservative.
+                }
+                _ => {
+                    // Fall-through (includes jal: call then continue).
+                    if let Some(t) = block_of_addr(pc + INSTR_BYTES) {
+                        edges.push((bi, t));
+                    }
+                }
+            }
+        }
+        for (from, to) in edges {
+            if !blocks[from].succs.contains(&to) {
+                blocks[from].succs.push(to);
+                blocks[to].preds.push(from);
+            }
+        }
+
+        Cfg { instrs, text_base, blocks, block_of }
+    }
+
+    /// The decoded instructions, indexed by text position.
+    #[must_use]
+    pub fn instrs(&self) -> &[Instr] {
+        &self.instrs
+    }
+
+    /// All blocks, ordered by start index.
+    #[must_use]
+    pub fn blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    /// The block containing instruction index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn block_of(&self, i: usize) -> usize {
+        self.block_of[i]
+    }
+
+    /// The address of instruction index `i`.
+    #[must_use]
+    pub fn pc_of(&self, i: usize) -> u32 {
+        self.text_base + INSTR_BYTES * i as u32
+    }
+
+    /// The instruction index of address `pc`, if inside the text segment.
+    #[must_use]
+    pub fn index_of(&self, pc: u32) -> Option<usize> {
+        if pc < self.text_base || !pc.is_multiple_of(INSTR_BYTES) {
+            return None;
+        }
+        let i = ((pc - self.text_base) / INSTR_BYTES) as usize;
+        (i < self.instrs.len()).then_some(i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asbr_asm::assemble;
+
+    fn cfg(src: &str) -> Cfg {
+        Cfg::build(&assemble(src).unwrap())
+    }
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let c = cfg("main: li r2, 1\naddi r2, r2, 1\nhalt");
+        assert_eq!(c.blocks().len(), 1);
+        assert_eq!(c.blocks()[0].len(), 3);
+        assert!(c.blocks()[0].succs.is_empty());
+    }
+
+    #[test]
+    fn loop_structure() {
+        let c = cfg("
+            main:   li r4, 3
+            loop:   addi r4, r4, -1
+                    bnez r4, loop
+                    halt
+        ");
+        // Blocks: [li], [addi, bnez], [halt]
+        assert_eq!(c.blocks().len(), 3);
+        let body = &c.blocks()[1];
+        assert!(body.succs.contains(&1), "back edge");
+        assert!(body.succs.contains(&2), "exit edge");
+        assert_eq!(body.preds.len(), 2, "entry + self");
+    }
+
+    #[test]
+    fn diamond_structure() {
+        let c = cfg("
+            main:   beqz r2, else
+                    li r3, 1
+                    j join
+            else:   li r3, 2
+            join:   halt
+        ");
+        // [beqz], [li, j], [li(else)], [halt]
+        assert_eq!(c.blocks().len(), 4);
+        assert_eq!(c.blocks()[0].succs.len(), 2);
+        assert_eq!(c.blocks()[3].preds.len(), 2);
+    }
+
+    #[test]
+    fn call_falls_through_and_callee_is_leader() {
+        let c = cfg("
+            main:   jal f
+                    halt
+            f:      jr r31
+        ");
+        // jal does not end the entry block; f starts a block; jr has no succs.
+        let entry = &c.blocks()[0];
+        assert_eq!(entry.len(), 2, "jal + halt in one block");
+        let f_block = c.blocks().iter().find(|b| b.start == 2).expect("callee block");
+        assert!(f_block.succs.is_empty());
+    }
+
+    #[test]
+    fn index_pc_round_trip() {
+        let c = cfg("main: nop\nnop\nhalt");
+        for i in 0..3 {
+            assert_eq!(c.index_of(c.pc_of(i)), Some(i));
+        }
+        assert_eq!(c.index_of(c.pc_of(0) + 2), None);
+        assert_eq!(c.index_of(0), None);
+    }
+
+    #[test]
+    fn block_of_covers_every_instruction() {
+        let c = cfg("
+            main:   beqz r2, out
+                    nop
+            out:    halt
+        ");
+        for i in 0..c.instrs().len() {
+            let b = &c.blocks()[c.block_of(i)];
+            assert!(b.start <= i && i < b.end);
+        }
+    }
+}

@@ -1,0 +1,51 @@
+#![warn(missing_docs)]
+
+//! Static control- and data-flow analysis for ASBR branch selection and
+//! compiler support.
+//!
+//! Three pieces, mapping to Secs. 5.1 and 6 of the paper:
+//!
+//! * [`Cfg`] — a basic-block control-flow graph over a decoded program
+//!   image;
+//! * [`candidates`] — per-branch **def→branch distance** analysis: the
+//!   minimum number of instruction slots, over all incoming paths, between
+//!   the last definition of a branch's condition register and the branch
+//!   itself. A branch is statically foldable for a given
+//!   `PublishPoint`-derived threshold (see `asbr_sim`) when its
+//!   distance is at least the threshold (paper Sec. 5);
+//! * [`schedule::hoist_predicates`] — the compiler-support pass: within
+//!   each basic block, predicate-defining instructions are moved as early
+//!   as data and memory dependences allow, enlarging the distance exactly
+//!   as the paper's "instruction scheduling" support does.
+//!
+//! # Examples
+//!
+//! ```
+//! use asbr_asm::assemble;
+//! use asbr_flow::{candidates, Cfg};
+//!
+//! let prog = assemble("
+//! main:   li   r4, 10
+//! loop:   addi r4, r4, -1
+//!         nop
+//!         nop
+//!         nop
+//!         bnez r4, loop
+//!         halt
+//! ")?;
+//! let cfg = Cfg::build(&prog);
+//! assert_eq!(cfg.blocks().len(), 3); // entry, loop body, exit
+//! let cands = candidates(&prog);
+//! assert_eq!(cands.len(), 1);
+//! assert_eq!(cands[0].min_def_distance, 3);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod candidates;
+mod cfg;
+pub mod loops;
+pub mod schedule;
+
+pub use candidates::{candidates, CandidateBranch, DISTANCE_CAP};
+pub use cfg::{Block, Cfg};
+pub use loops::{call_aware_depths, loop_depths, select_static, StaticPick};

@@ -1,0 +1,366 @@
+//! Natural-loop detection and static (profile-free) branch selection.
+//!
+//! The paper states the application-specific properties are "identified
+//! during compile time" (Sec. 1); profiling refines the choice but a
+//! purely static selection is possible: loop-nesting depth is the classic
+//! compile-time execution-frequency proxy, and the def→branch distance
+//! analysis already decides foldability. [`select_static`] combines the
+//! two, giving a BIT selection with no profiling run at all.
+
+use std::collections::VecDeque;
+
+use asbr_asm::Program;
+
+use crate::{candidates, CandidateBranch, Cfg};
+
+/// Finds back edges via an iterative DFS: an edge `u -> v` with `v` still
+/// on the DFS stack.
+fn back_edges(cfg: &Cfg) -> Vec<(usize, usize)> {
+    let n = cfg.blocks().len();
+    let mut color = vec![0u8; n]; // 0 white, 1 on stack, 2 done
+    let mut edges = Vec::new();
+    let mut stack: Vec<(usize, usize)> = Vec::new();
+    for root in 0..n {
+        if color[root] != 0 {
+            continue;
+        }
+        stack.push((root, 0));
+        color[root] = 1;
+        while let Some(&mut (u, ref mut next)) = stack.last_mut() {
+            let succs = &cfg.blocks()[u].succs;
+            if *next < succs.len() {
+                let v = succs[*next];
+                *next += 1;
+                match color[v] {
+                    0 => {
+                        color[v] = 1;
+                        stack.push((v, 0));
+                    }
+                    1 => edges.push((u, v)),
+                    _ => {}
+                }
+            } else {
+                color[u] = 2;
+                stack.pop();
+            }
+        }
+    }
+    edges
+}
+
+/// Per-block loop-nesting depth: the number of natural loops containing
+/// each block (0 = not in any loop).
+#[must_use]
+pub fn loop_depths(cfg: &Cfg) -> Vec<u32> {
+    let n = cfg.blocks().len();
+    let mut depth = vec![0u32; n];
+    for (tail, header) in back_edges(cfg) {
+        // Natural loop of the back edge: header + every block that can
+        // reach `tail` without passing through `header`.
+        let mut in_loop = vec![false; n];
+        in_loop[header] = true;
+        let mut queue = VecDeque::new();
+        if !in_loop[tail] {
+            in_loop[tail] = true;
+            queue.push_back(tail);
+        }
+        while let Some(b) = queue.pop_front() {
+            for &p in &cfg.blocks()[b].preds {
+                if !in_loop[p] {
+                    in_loop[p] = true;
+                    queue.push_back(p);
+                }
+            }
+        }
+        for (b, &inside) in in_loop.iter().enumerate() {
+            if inside {
+                depth[b] += 1;
+            }
+        }
+    }
+    depth
+}
+
+/// Per-block loop depth with call-graph awareness: a subroutine called
+/// from inside a loop inherits the caller's depth (its body executes as
+/// often as the call site). Without this, every branch inside G.721-style
+/// shared numeric subroutines looks cold to static selection even though
+/// it runs on every sample.
+///
+/// Call chains are propagated to a bounded depth, so recursion cannot
+/// diverge.
+#[must_use]
+pub fn call_aware_depths(cfg: &Cfg) -> Vec<u32> {
+    use asbr_isa::Instr;
+
+    let n = cfg.blocks().len();
+    let intra = loop_depths(cfg);
+
+    // Call edges: (caller block, callee entry block).
+    let mut call_edges: Vec<(usize, usize)> = Vec::new();
+    for (i, instr) in cfg.instrs().iter().enumerate() {
+        if let Instr::Jal { .. } = instr {
+            let pc = cfg.pc_of(i);
+            if let Some(t) = instr
+                .direct_jump_target(pc)
+                .and_then(|addr| cfg.index_of(addr))
+            {
+                call_edges.push((cfg.block_of(i), cfg.block_of(t)));
+            }
+        }
+    }
+
+    // Callee region: blocks reachable from the entry through successor
+    // edges (returns have no static successors, so the walk stays inside
+    // the callee and anything it tail-reaches).
+    let region = |entry: usize| -> Vec<usize> {
+        let mut seen = vec![false; n];
+        let mut queue = VecDeque::from([entry]);
+        seen[entry] = true;
+        let mut out = Vec::new();
+        while let Some(b) = queue.pop_front() {
+            out.push(b);
+            for &s in &cfg.blocks()[b].succs {
+                if !seen[s] {
+                    seen[s] = true;
+                    queue.push_back(s);
+                }
+            }
+        }
+        out
+    };
+
+    let mut bonus = vec![0u32; n];
+    for _ in 0..6 {
+        let mut changed = false;
+        for &(caller, callee) in &call_edges {
+            let inherited = intra[caller] + bonus[caller];
+            if inherited > bonus[callee] {
+                for b in region(callee) {
+                    if inherited > bonus[b] {
+                        bonus[b] = inherited;
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    intra.iter().zip(&bonus).map(|(&d, &b)| d + b).collect()
+}
+
+/// A statically selected branch with its compile-time score.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StaticPick {
+    /// The candidate branch.
+    pub candidate: CandidateBranch,
+    /// Loop-nesting depth of the branch's block.
+    pub loop_depth: u32,
+}
+
+/// Profile-free BIT selection: statically foldable branches (distance ≥
+/// `threshold` on every enumerable path) ranked by loop-nesting depth
+/// (deeper = assumed hotter), ties broken toward smaller distance slack.
+///
+/// Branches outside any loop are not selected — they execute too rarely
+/// to earn a BIT entry (paper Sec. 7: "only the most frequently executed
+/// branches within the important application loops").
+#[must_use]
+pub fn select_static(program: &Program, threshold: u32, bit_entries: usize) -> Vec<StaticPick> {
+    let cfg = Cfg::build(program);
+    let depths = call_aware_depths(&cfg);
+    let mut picks: Vec<StaticPick> = candidates(program)
+        .into_iter()
+        .filter(|c| c.foldable(threshold))
+        .map(|candidate| StaticPick {
+            candidate,
+            loop_depth: depths[cfg.block_of(candidate.index)],
+        })
+        .filter(|p| p.loop_depth > 0)
+        .collect();
+    picks.sort_by(|a, b| {
+        b.loop_depth
+            .cmp(&a.loop_depth)
+            .then(a.candidate.pc.cmp(&b.candidate.pc))
+    });
+    picks.truncate(bit_entries);
+    picks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asbr_asm::assemble;
+
+    #[test]
+    fn simple_loop_depth() {
+        let prog = assemble(
+            "
+            main:   li   r4, 3
+            loop:   addi r4, r4, -1
+                    nop
+                    nop
+            br:     bnez r4, loop
+                    halt
+            ",
+        )
+        .unwrap();
+        let cfg = Cfg::build(&prog);
+        let depths = loop_depths(&cfg);
+        let br_block = cfg.block_of(cfg.index_of(prog.symbol("br").unwrap()).unwrap());
+        assert_eq!(depths[br_block], 1);
+        let entry = cfg.block_of(0);
+        assert_eq!(depths[entry], 0);
+    }
+
+    #[test]
+    fn nested_loops_stack_depth() {
+        let prog = assemble(
+            "
+            main:   li   r4, 3
+            outer:  li   r5, 3
+            inner:  addi r5, r5, -1
+                    nop
+                    nop
+            bi:     bnez r5, inner
+                    addi r4, r4, -1
+                    nop
+                    nop
+            bo:     bnez r4, outer
+                    halt
+            ",
+        )
+        .unwrap();
+        let cfg = Cfg::build(&prog);
+        let depths = loop_depths(&cfg);
+        let bi = cfg.block_of(cfg.index_of(prog.symbol("bi").unwrap()).unwrap());
+        let bo = cfg.block_of(cfg.index_of(prog.symbol("bo").unwrap()).unwrap());
+        assert_eq!(depths[bi], 2, "inner branch sits in both loops");
+        assert_eq!(depths[bo], 1);
+    }
+
+    #[test]
+    fn static_selection_prefers_inner_loops() {
+        let prog = assemble(
+            "
+            main:   li   r4, 3
+            outer:  li   r5, 3
+            inner:  addi r5, r5, -1
+                    nop
+                    nop
+            bi:     bnez r5, inner
+                    addi r4, r4, -1
+                    nop
+                    nop
+            bo:     bnez r4, outer
+                    halt
+            ",
+        )
+        .unwrap();
+        let picks = select_static(&prog, 2, 1);
+        assert_eq!(picks.len(), 1);
+        assert_eq!(picks[0].candidate.pc, prog.symbol("bi").unwrap());
+        let both = select_static(&prog, 2, 8);
+        assert_eq!(both.len(), 2);
+    }
+
+    #[test]
+    fn non_loop_branches_not_selected() {
+        let prog = assemble(
+            "
+            main:   li   r4, 1
+                    nop
+                    nop
+                    nop
+                    beqz r4, skip
+                    nop
+            skip:   halt
+            ",
+        )
+        .unwrap();
+        assert!(select_static(&prog, 3, 8).is_empty());
+    }
+
+    #[test]
+    fn threshold_filters_tight_loops() {
+        let prog = assemble(
+            "
+            main:   li   r4, 3
+            loop:   addi r4, r4, -1
+            br:     bnez r4, loop
+                    halt
+            ",
+        )
+        .unwrap();
+        assert!(select_static(&prog, 3, 8).is_empty(), "distance 0 is unfoldable");
+    }
+
+    #[test]
+    fn call_aware_depth_reaches_subroutines() {
+        let prog = assemble(
+            "
+            main:   li   r4, 3
+            loop:   jal  helper
+                    addi r4, r4, -1
+                    nop
+                    nop
+            br:     bnez r4, loop
+                    halt
+            helper: li   r9, 1
+                    nop
+                    nop
+                    nop
+            hb:     bnez r9, hret
+                    nop
+            hret:   jr   r31
+            ",
+        )
+        .unwrap();
+        let cfg = Cfg::build(&prog);
+        let intra = loop_depths(&cfg);
+        let aware = call_aware_depths(&cfg);
+        let hb = cfg.block_of(cfg.index_of(prog.symbol("hb").unwrap()).unwrap());
+        assert_eq!(intra[hb], 0, "intraprocedurally the helper is loop-free");
+        assert_eq!(aware[hb], 1, "but it is called from a loop");
+        // The subroutine branch is now statically selectable.
+        let picks = select_static(&prog, 3, 8);
+        assert!(picks.iter().any(|p| p.candidate.pc == prog.symbol("hb").unwrap()), "{picks:?}");
+    }
+
+    #[test]
+    fn recursion_does_not_diverge() {
+        let prog = assemble(
+            "
+            main:   jal  f
+                    halt
+            f:      nop
+                    jal  f
+                    jr   r31
+            ",
+        )
+        .unwrap();
+        let cfg = Cfg::build(&prog);
+        let d = call_aware_depths(&cfg);
+        assert_eq!(d.len(), cfg.blocks().len());
+    }
+
+    #[test]
+    fn irreducible_like_graphs_do_not_panic() {
+        // Two entries into a cycle via branches — loop analysis must stay
+        // total.
+        let prog = assemble(
+            "
+            main:   beqz r2, b
+            a:      nop
+            b:      nop
+                    bnez r3, a
+                    halt
+            ",
+        )
+        .unwrap();
+        let cfg = Cfg::build(&prog);
+        let _ = loop_depths(&cfg);
+    }
+}

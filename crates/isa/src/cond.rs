@@ -1,0 +1,157 @@
+//! Zero-comparison branch conditions.
+
+use core::fmt;
+
+/// A branch condition comparing one register against zero.
+///
+/// The simulated architecture supports "all possible zero comparisons"
+/// (paper, Sec. 8). These six conditions are also exactly the per-register
+/// *direction bits* held in the Branch Direction Table (paper, Fig. 8): when
+/// a register value is published, every condition below is pre-evaluated and
+/// latched so a later branch can be folded without reading the register
+/// file.
+///
+/// # Examples
+///
+/// ```
+/// use asbr_isa::Cond;
+///
+/// assert!(Cond::Lez.eval(-3));
+/// assert!(!Cond::Gtz.eval(0));
+/// assert_eq!(Cond::Lez.negate(), Cond::Gtz);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Cond {
+    /// `== 0` (`beqz`)
+    Eq,
+    /// `!= 0` (`bnez`)
+    Ne,
+    /// `<= 0` (`blez`)
+    Lez,
+    /// `> 0` (`bgtz`)
+    Gtz,
+    /// `< 0` (`bltz`)
+    Ltz,
+    /// `>= 0` (`bgez`)
+    Gez,
+}
+
+impl Cond {
+    /// All six conditions, in Branch Direction Table bit order.
+    pub const ALL: [Cond; 6] = [Cond::Eq, Cond::Ne, Cond::Lez, Cond::Gtz, Cond::Ltz, Cond::Gez];
+
+    /// Evaluates the condition against a register value.
+    #[must_use]
+    pub const fn eval(self, value: i32) -> bool {
+        match self {
+            Cond::Eq => value == 0,
+            Cond::Ne => value != 0,
+            Cond::Lez => value <= 0,
+            Cond::Gtz => value > 0,
+            Cond::Ltz => value < 0,
+            Cond::Gez => value >= 0,
+        }
+    }
+
+    /// The logically opposite condition (`eval` of the result is the
+    /// negation of `eval` of `self` for every value).
+    #[must_use]
+    pub const fn negate(self) -> Cond {
+        match self {
+            Cond::Eq => Cond::Ne,
+            Cond::Ne => Cond::Eq,
+            Cond::Lez => Cond::Gtz,
+            Cond::Gtz => Cond::Lez,
+            Cond::Ltz => Cond::Gez,
+            Cond::Gez => Cond::Ltz,
+        }
+    }
+
+    /// Stable index of this condition within [`Cond::ALL`]; used as the
+    /// direction-bit position in the Branch Direction Table.
+    #[must_use]
+    pub const fn bit(self) -> usize {
+        match self {
+            Cond::Eq => 0,
+            Cond::Ne => 1,
+            Cond::Lez => 2,
+            Cond::Gtz => 3,
+            Cond::Ltz => 4,
+            Cond::Gez => 5,
+        }
+    }
+
+    /// The assembler mnemonic (`beqz`, `bnez`, …) for a branch using this
+    /// condition.
+    #[must_use]
+    pub const fn mnemonic(self) -> &'static str {
+        match self {
+            Cond::Eq => "beqz",
+            Cond::Ne => "bnez",
+            Cond::Lez => "blez",
+            Cond::Gtz => "bgtz",
+            Cond::Ltz => "bltz",
+            Cond::Gez => "bgez",
+        }
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sym = match self {
+            Cond::Eq => "==0",
+            Cond::Ne => "!=0",
+            Cond::Lez => "<=0",
+            Cond::Gtz => ">0",
+            Cond::Ltz => "<0",
+            Cond::Gez => ">=0",
+        };
+        f.write_str(sym)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_truth_table() {
+        let cases: [(Cond, [bool; 3]); 6] = [
+            // value: -1, 0, 1
+            (Cond::Eq, [false, true, false]),
+            (Cond::Ne, [true, false, true]),
+            (Cond::Lez, [true, true, false]),
+            (Cond::Gtz, [false, false, true]),
+            (Cond::Ltz, [true, false, false]),
+            (Cond::Gez, [false, true, true]),
+        ];
+        for (cond, expect) in cases {
+            for (v, e) in [-1, 0, 1].into_iter().zip(expect) {
+                assert_eq!(cond.eval(v), e, "{cond} eval({v})");
+            }
+        }
+    }
+
+    #[test]
+    fn negate_is_logical_complement() {
+        for cond in Cond::ALL {
+            for v in [-2_147_483_648, -7, -1, 0, 1, 7, 2_147_483_647] {
+                assert_eq!(cond.eval(v), !cond.negate().eval(v));
+            }
+        }
+    }
+
+    #[test]
+    fn negate_is_involution() {
+        for cond in Cond::ALL {
+            assert_eq!(cond.negate().negate(), cond);
+        }
+    }
+
+    #[test]
+    fn bits_are_distinct_and_match_all_order() {
+        for (i, cond) in Cond::ALL.iter().enumerate() {
+            assert_eq!(cond.bit(), i);
+        }
+    }
+}

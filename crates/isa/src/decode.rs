@@ -1,0 +1,208 @@
+//! Binary instruction decoding.
+
+use core::fmt;
+
+use crate::encode::*;
+use crate::{Cond, Instr, MemWidth, Reg};
+
+/// Error returned by [`Instr::decode`] for words that encode no
+/// instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeInstrError {
+    word: u32,
+}
+
+impl DecodeInstrError {
+    /// The offending instruction word.
+    #[must_use]
+    pub fn word(&self) -> u32 {
+        self.word
+    }
+}
+
+impl fmt::Display for DecodeInstrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid instruction word {:#010x}", self.word)
+    }
+}
+
+impl std::error::Error for DecodeInstrError {}
+
+fn reg(field: u32) -> Reg {
+    // Field extraction guarantees the 5-bit range.
+    Reg::new((field & 0x1F) as u8)
+}
+
+impl Instr {
+    /// Decodes a 32-bit instruction word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeInstrError`] when the opcode or funct field does not
+    /// name an instruction of this ISA. Unused fields are not required to
+    /// be zero (hardware typically ignores them), so decoding is total over
+    /// every word [`Instr::encode`] can produce.
+    pub fn decode(word: u32) -> Result<Instr, DecodeInstrError> {
+        let op = word >> 26;
+        let rs = reg(word >> 21);
+        let rt = reg(word >> 16);
+        let rd = reg(word >> 11);
+        let shamt = ((word >> 6) & 0x1F) as u8;
+        let funct = word & 0x3F;
+        let imm = (word & 0xFFFF) as u16;
+        let simm = imm as i16;
+        let err = Err(DecodeInstrError { word });
+
+        let instr = match op {
+            OP_SPECIAL => match funct {
+                FN_SLL => Instr::Sll { rd, rt, shamt },
+                FN_SRL => Instr::Srl { rd, rt, shamt },
+                FN_SRA => Instr::Sra { rd, rt, shamt },
+                FN_SLLV => Instr::Sllv { rd, rt, rs },
+                FN_SRLV => Instr::Srlv { rd, rt, rs },
+                FN_SRAV => Instr::Srav { rd, rt, rs },
+                FN_JR => Instr::Jr { rs },
+                FN_JALR => Instr::Jalr { rd, rs },
+                FN_CTRLW => Instr::CtrlW { ctrl: rd.index(), rs },
+                FN_MUL => Instr::Mul { rd, rs, rt },
+                FN_DIV => Instr::Div { rd, rs, rt },
+                FN_REM => Instr::Rem { rd, rs, rt },
+                FN_ADD => Instr::Add { rd, rs, rt },
+                FN_SUB => Instr::Sub { rd, rs, rt },
+                FN_AND => Instr::And { rd, rs, rt },
+                FN_OR => Instr::Or { rd, rs, rt },
+                FN_XOR => Instr::Xor { rd, rs, rt },
+                FN_NOR => Instr::Nor { rd, rs, rt },
+                FN_SLT => Instr::Slt { rd, rs, rt },
+                FN_SLTU => Instr::Sltu { rd, rs, rt },
+                FN_HALT => Instr::Halt,
+                _ => return err,
+            },
+            OP_REGIMM => {
+                let cond = match (word >> 16) & 0x1F {
+                    RI_BLTZ => Cond::Ltz,
+                    RI_BGEZ => Cond::Gez,
+                    RI_BEQZ => Cond::Eq,
+                    RI_BNEZ => Cond::Ne,
+                    _ => return err,
+                };
+                Instr::BranchZ { cond, rs, off: simm }
+            }
+            OP_J => Instr::J { target: word & 0x03FF_FFFF },
+            OP_JAL => Instr::Jal { target: word & 0x03FF_FFFF },
+            OP_BEQ => Instr::Beq { rs, rt, off: simm },
+            OP_BNE => Instr::Bne { rs, rt, off: simm },
+            OP_BLEZ => Instr::BranchZ { cond: Cond::Lez, rs, off: simm },
+            OP_BGTZ => Instr::BranchZ { cond: Cond::Gtz, rs, off: simm },
+            OP_ADDI => Instr::Addi { rt, rs, imm: simm },
+            OP_SLTI => Instr::Slti { rt, rs, imm: simm },
+            OP_SLTIU => Instr::Sltiu { rt, rs, imm: simm },
+            OP_ANDI => Instr::Andi { rt, rs, imm },
+            OP_ORI => Instr::Ori { rt, rs, imm },
+            OP_XORI => Instr::Xori { rt, rs, imm },
+            OP_LUI => Instr::Lui { rt, imm },
+            OP_LB => Instr::Load { rt, rs, off: simm, width: MemWidth::Byte, unsigned: false },
+            OP_LBU => Instr::Load { rt, rs, off: simm, width: MemWidth::Byte, unsigned: true },
+            OP_LH => Instr::Load { rt, rs, off: simm, width: MemWidth::Half, unsigned: false },
+            OP_LHU => Instr::Load { rt, rs, off: simm, width: MemWidth::Half, unsigned: true },
+            OP_LW => Instr::Load { rt, rs, off: simm, width: MemWidth::Word, unsigned: false },
+            OP_SB => Instr::Store { rt, rs, off: simm, width: MemWidth::Byte },
+            OP_SH => Instr::Store { rt, rs, off: simm, width: MemWidth::Half },
+            OP_SW => Instr::Store { rt, rs, off: simm, width: MemWidth::Word },
+            _ => return err,
+        };
+        Ok(instr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_zero_is_nop() {
+        assert_eq!(Instr::decode(0).unwrap(), Instr::NOP);
+    }
+
+    #[test]
+    fn rejects_unknown_opcode() {
+        let e = Instr::decode(0x3F << 26).unwrap_err();
+        assert_eq!(e.word(), 0x3F << 26);
+        assert!(e.to_string().contains("invalid instruction word"));
+    }
+
+    #[test]
+    fn rejects_unknown_funct() {
+        assert!(Instr::decode(0x3E).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_regimm() {
+        assert!(Instr::decode((OP_REGIMM << 26) | (0x1F << 16)).is_err());
+    }
+
+    #[test]
+    fn load_unsigned_variants() {
+        let lhu = Instr::Load {
+            rt: Reg::new(2),
+            rs: Reg::new(4),
+            off: 6,
+            width: MemWidth::Half,
+            unsigned: true,
+        };
+        assert_eq!(Instr::decode(lhu.encode()).unwrap(), lhu);
+    }
+
+    /// Exhaustive round-trip over a representative instance of every
+    /// variant.
+    #[test]
+    fn round_trip_every_variant() {
+        let r = Reg::new;
+        let samples = [
+            Instr::Add { rd: r(1), rs: r(2), rt: r(3) },
+            Instr::Sub { rd: r(31), rs: r(30), rt: r(29) },
+            Instr::And { rd: r(4), rs: r(5), rt: r(6) },
+            Instr::Or { rd: r(7), rs: r(8), rt: r(9) },
+            Instr::Xor { rd: r(10), rs: r(11), rt: r(12) },
+            Instr::Nor { rd: r(13), rs: r(14), rt: r(15) },
+            Instr::Slt { rd: r(16), rs: r(17), rt: r(18) },
+            Instr::Sltu { rd: r(19), rs: r(20), rt: r(21) },
+            Instr::Mul { rd: r(22), rs: r(23), rt: r(24) },
+            Instr::Div { rd: r(25), rs: r(26), rt: r(27) },
+            Instr::Rem { rd: r(28), rs: r(1), rt: r(2) },
+            Instr::Sll { rd: r(3), rt: r(4), shamt: 31 },
+            Instr::Srl { rd: r(5), rt: r(6), shamt: 1 },
+            Instr::Sra { rd: r(7), rt: r(8), shamt: 16 },
+            Instr::Sllv { rd: r(9), rt: r(10), rs: r(11) },
+            Instr::Srlv { rd: r(12), rt: r(13), rs: r(14) },
+            Instr::Srav { rd: r(15), rt: r(16), rs: r(17) },
+            Instr::Addi { rt: r(1), rs: r(2), imm: -32768 },
+            Instr::Slti { rt: r(3), rs: r(4), imm: 32767 },
+            Instr::Sltiu { rt: r(5), rs: r(6), imm: -1 },
+            Instr::Andi { rt: r(7), rs: r(8), imm: 0xFFFF },
+            Instr::Ori { rt: r(9), rs: r(10), imm: 0x8000 },
+            Instr::Xori { rt: r(11), rs: r(12), imm: 0x0001 },
+            Instr::Lui { rt: r(13), imm: 0xDEAD },
+            Instr::Load { rt: r(2), rs: r(4), off: -4, width: MemWidth::Word, unsigned: false },
+            Instr::Load { rt: r(2), rs: r(4), off: 2, width: MemWidth::Byte, unsigned: true },
+            Instr::Store { rt: r(2), rs: r(4), off: 100, width: MemWidth::Half },
+            Instr::BranchZ { cond: Cond::Eq, rs: r(3), off: -1 },
+            Instr::BranchZ { cond: Cond::Ne, rs: r(3), off: 2 },
+            Instr::BranchZ { cond: Cond::Lez, rs: r(3), off: 3 },
+            Instr::BranchZ { cond: Cond::Gtz, rs: r(3), off: -4 },
+            Instr::BranchZ { cond: Cond::Ltz, rs: r(3), off: 5 },
+            Instr::BranchZ { cond: Cond::Gez, rs: r(3), off: -6 },
+            Instr::Beq { rs: r(1), rt: r(2), off: 7 },
+            Instr::Bne { rs: r(1), rt: r(2), off: -8 },
+            Instr::J { target: 0x03FF_FFFF },
+            Instr::Jal { target: 1 },
+            Instr::Jr { rs: r(31) },
+            Instr::Jalr { rd: r(31), rs: r(2) },
+            Instr::CtrlW { ctrl: 3, rs: r(9) },
+            Instr::Halt,
+        ];
+        for i in samples {
+            assert_eq!(Instr::decode(i.encode()).unwrap(), i, "round trip of {i}");
+        }
+    }
+}

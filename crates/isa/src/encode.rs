@@ -1,0 +1,199 @@
+//! Binary instruction encoding.
+//!
+//! The layout is the classic MIPS-I field split:
+//!
+//! ```text
+//! R-type: | op:6 | rs:5 | rt:5 | rd:5 | shamt:5 | funct:6 |
+//! I-type: | op:6 | rs:5 | rt:5 |        imm:16           |
+//! J-type: | op:6 |           target:26                   |
+//! ```
+//!
+//! The opcode/funct assignments are this project's own (documented in the
+//! constants below); they are *MIPS-like*, not MIPS-compatible.
+
+use crate::{Cond, Instr, MemWidth, Reg};
+
+// Primary opcodes.
+pub(crate) const OP_SPECIAL: u32 = 0x00;
+pub(crate) const OP_REGIMM: u32 = 0x01;
+pub(crate) const OP_J: u32 = 0x02;
+pub(crate) const OP_JAL: u32 = 0x03;
+pub(crate) const OP_BEQ: u32 = 0x04;
+pub(crate) const OP_BNE: u32 = 0x05;
+pub(crate) const OP_BLEZ: u32 = 0x06;
+pub(crate) const OP_BGTZ: u32 = 0x07;
+pub(crate) const OP_ADDI: u32 = 0x08;
+pub(crate) const OP_SLTI: u32 = 0x0A;
+pub(crate) const OP_SLTIU: u32 = 0x0B;
+pub(crate) const OP_ANDI: u32 = 0x0C;
+pub(crate) const OP_ORI: u32 = 0x0D;
+pub(crate) const OP_XORI: u32 = 0x0E;
+pub(crate) const OP_LUI: u32 = 0x0F;
+pub(crate) const OP_LB: u32 = 0x20;
+pub(crate) const OP_LH: u32 = 0x21;
+pub(crate) const OP_LW: u32 = 0x23;
+pub(crate) const OP_LBU: u32 = 0x24;
+pub(crate) const OP_LHU: u32 = 0x25;
+pub(crate) const OP_SB: u32 = 0x28;
+pub(crate) const OP_SH: u32 = 0x29;
+pub(crate) const OP_SW: u32 = 0x2B;
+
+// REGIMM rt-field minor opcodes.
+pub(crate) const RI_BLTZ: u32 = 0x00;
+pub(crate) const RI_BGEZ: u32 = 0x01;
+pub(crate) const RI_BEQZ: u32 = 0x02;
+pub(crate) const RI_BNEZ: u32 = 0x03;
+
+// SPECIAL funct codes.
+pub(crate) const FN_SLL: u32 = 0x00;
+pub(crate) const FN_SRL: u32 = 0x02;
+pub(crate) const FN_SRA: u32 = 0x03;
+pub(crate) const FN_SLLV: u32 = 0x04;
+pub(crate) const FN_SRLV: u32 = 0x06;
+pub(crate) const FN_SRAV: u32 = 0x07;
+pub(crate) const FN_JR: u32 = 0x08;
+pub(crate) const FN_JALR: u32 = 0x09;
+pub(crate) const FN_CTRLW: u32 = 0x10;
+pub(crate) const FN_MUL: u32 = 0x18;
+pub(crate) const FN_DIV: u32 = 0x1A;
+pub(crate) const FN_REM: u32 = 0x1B;
+pub(crate) const FN_ADD: u32 = 0x20;
+pub(crate) const FN_SUB: u32 = 0x22;
+pub(crate) const FN_AND: u32 = 0x24;
+pub(crate) const FN_OR: u32 = 0x25;
+pub(crate) const FN_XOR: u32 = 0x26;
+pub(crate) const FN_NOR: u32 = 0x27;
+pub(crate) const FN_SLT: u32 = 0x2A;
+pub(crate) const FN_SLTU: u32 = 0x2B;
+pub(crate) const FN_HALT: u32 = 0x3F;
+
+fn rtype(funct: u32, rs: Reg, rt: Reg, rd: Reg, shamt: u8) -> u32 {
+    (u32::from(rs.index()) << 21)
+        | (u32::from(rt.index()) << 16)
+        | (u32::from(rd.index()) << 11)
+        | (u32::from(shamt & 0x1F) << 6)
+        | funct
+}
+
+fn itype(op: u32, rs: Reg, rt: Reg, imm: u16) -> u32 {
+    (op << 26) | (u32::from(rs.index()) << 21) | (u32::from(rt.index()) << 16) | u32::from(imm)
+}
+
+impl Instr {
+    /// Encodes the instruction into its canonical 32-bit word.
+    ///
+    /// Encoding is lossless: [`Instr::decode`] of the result returns an
+    /// instruction equal to `self` (with `nop` normalising to the canonical
+    /// all-zero word).
+    #[must_use]
+    pub fn encode(&self) -> u32 {
+        let z = Reg::ZERO;
+        match *self {
+            Instr::Add { rd, rs, rt } => rtype(FN_ADD, rs, rt, rd, 0),
+            Instr::Sub { rd, rs, rt } => rtype(FN_SUB, rs, rt, rd, 0),
+            Instr::And { rd, rs, rt } => rtype(FN_AND, rs, rt, rd, 0),
+            Instr::Or { rd, rs, rt } => rtype(FN_OR, rs, rt, rd, 0),
+            Instr::Xor { rd, rs, rt } => rtype(FN_XOR, rs, rt, rd, 0),
+            Instr::Nor { rd, rs, rt } => rtype(FN_NOR, rs, rt, rd, 0),
+            Instr::Slt { rd, rs, rt } => rtype(FN_SLT, rs, rt, rd, 0),
+            Instr::Sltu { rd, rs, rt } => rtype(FN_SLTU, rs, rt, rd, 0),
+            Instr::Mul { rd, rs, rt } => rtype(FN_MUL, rs, rt, rd, 0),
+            Instr::Div { rd, rs, rt } => rtype(FN_DIV, rs, rt, rd, 0),
+            Instr::Rem { rd, rs, rt } => rtype(FN_REM, rs, rt, rd, 0),
+            Instr::Sll { rd, rt, shamt } => rtype(FN_SLL, z, rt, rd, shamt),
+            Instr::Srl { rd, rt, shamt } => rtype(FN_SRL, z, rt, rd, shamt),
+            Instr::Sra { rd, rt, shamt } => rtype(FN_SRA, z, rt, rd, shamt),
+            Instr::Sllv { rd, rt, rs } => rtype(FN_SLLV, rs, rt, rd, 0),
+            Instr::Srlv { rd, rt, rs } => rtype(FN_SRLV, rs, rt, rd, 0),
+            Instr::Srav { rd, rt, rs } => rtype(FN_SRAV, rs, rt, rd, 0),
+            Instr::Jr { rs } => rtype(FN_JR, rs, z, z, 0),
+            Instr::Jalr { rd, rs } => rtype(FN_JALR, rs, z, rd, 0),
+            Instr::CtrlW { ctrl, rs } => {
+                rtype(FN_CTRLW, rs, z, Reg::new(ctrl & 0x1F), 0)
+            }
+            Instr::Halt => rtype(FN_HALT, z, z, z, 0),
+            Instr::Addi { rt, rs, imm } => itype(OP_ADDI, rs, rt, imm as u16),
+            Instr::Slti { rt, rs, imm } => itype(OP_SLTI, rs, rt, imm as u16),
+            Instr::Sltiu { rt, rs, imm } => itype(OP_SLTIU, rs, rt, imm as u16),
+            Instr::Andi { rt, rs, imm } => itype(OP_ANDI, rs, rt, imm),
+            Instr::Ori { rt, rs, imm } => itype(OP_ORI, rs, rt, imm),
+            Instr::Xori { rt, rs, imm } => itype(OP_XORI, rs, rt, imm),
+            Instr::Lui { rt, imm } => itype(OP_LUI, z, rt, imm),
+            Instr::Load { rt, rs, off, width, unsigned } => {
+                let op = match (width, unsigned) {
+                    (MemWidth::Byte, false) => OP_LB,
+                    (MemWidth::Byte, true) => OP_LBU,
+                    (MemWidth::Half, false) => OP_LH,
+                    (MemWidth::Half, true) => OP_LHU,
+                    (MemWidth::Word, _) => OP_LW,
+                };
+                itype(op, rs, rt, off as u16)
+            }
+            Instr::Store { rt, rs, off, width } => {
+                let op = match width {
+                    MemWidth::Byte => OP_SB,
+                    MemWidth::Half => OP_SH,
+                    MemWidth::Word => OP_SW,
+                };
+                itype(op, rs, rt, off as u16)
+            }
+            Instr::BranchZ { cond, rs, off } => match cond {
+                Cond::Lez => itype(OP_BLEZ, rs, z, off as u16),
+                Cond::Gtz => itype(OP_BGTZ, rs, z, off as u16),
+                Cond::Ltz => (OP_REGIMM << 26)
+                    | (u32::from(rs.index()) << 21)
+                    | (RI_BLTZ << 16)
+                    | u32::from(off as u16),
+                Cond::Gez => (OP_REGIMM << 26)
+                    | (u32::from(rs.index()) << 21)
+                    | (RI_BGEZ << 16)
+                    | u32::from(off as u16),
+                Cond::Eq => (OP_REGIMM << 26)
+                    | (u32::from(rs.index()) << 21)
+                    | (RI_BEQZ << 16)
+                    | u32::from(off as u16),
+                Cond::Ne => (OP_REGIMM << 26)
+                    | (u32::from(rs.index()) << 21)
+                    | (RI_BNEZ << 16)
+                    | u32::from(off as u16),
+            },
+            Instr::Beq { rs, rt, off } => itype(OP_BEQ, rs, rt, off as u16),
+            Instr::Bne { rs, rt, off } => itype(OP_BNE, rs, rt, off as u16),
+            Instr::J { target } => (OP_J << 26) | (target & 0x03FF_FFFF),
+            Instr::Jal { target } => (OP_JAL << 26) | (target & 0x03FF_FFFF),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nop_encodes_to_zero() {
+        assert_eq!(Instr::NOP.encode(), 0);
+    }
+
+    #[test]
+    fn fields_land_in_expected_positions() {
+        let w = Instr::Add { rd: Reg::new(3), rs: Reg::new(1), rt: Reg::new(2) }.encode();
+        assert_eq!(w >> 26, OP_SPECIAL);
+        assert_eq!((w >> 21) & 0x1F, 1);
+        assert_eq!((w >> 16) & 0x1F, 2);
+        assert_eq!((w >> 11) & 0x1F, 3);
+        assert_eq!(w & 0x3F, FN_ADD);
+    }
+
+    #[test]
+    fn negative_immediates_encode_as_two_complement() {
+        let w = Instr::Addi { rt: Reg::new(2), rs: Reg::new(2), imm: -1 }.encode();
+        assert_eq!(w & 0xFFFF, 0xFFFF);
+    }
+
+    #[test]
+    fn jump_target_masked_to_26_bits() {
+        let w = Instr::J { target: 0xFFFF_FFFF }.encode();
+        assert_eq!(w & 0x03FF_FFFF, 0x03FF_FFFF);
+        assert_eq!(w >> 26, OP_J);
+    }
+}

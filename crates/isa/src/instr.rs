@@ -1,0 +1,468 @@
+//! The decoded instruction representation and its dataflow queries.
+
+use core::fmt;
+
+use crate::{Cond, Reg, INSTR_BYTES};
+
+/// Width of a memory access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MemWidth {
+    /// One byte.
+    Byte,
+    /// Two bytes (halfword).
+    Half,
+    /// Four bytes (word).
+    Word,
+}
+
+impl MemWidth {
+    /// The access size in bytes.
+    #[must_use]
+    pub const fn bytes(self) -> u32 {
+        match self {
+            MemWidth::Byte => 1,
+            MemWidth::Half => 2,
+            MemWidth::Word => 4,
+        }
+    }
+}
+
+/// Static description of a conditional branch, as consumed by branch
+/// predictors and by the ASBR selection analysis.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct BranchInfo {
+    /// Zero-comparison condition and its source register, when the branch
+    /// is of the single-register zero-compare family — the only family the
+    /// Branch Direction Table can resolve. `None` for two-register
+    /// `beq`/`bne`.
+    pub zero_compare: Option<(Cond, Reg)>,
+    /// Branch displacement in instruction words relative to `pc + 4`.
+    pub off: i16,
+}
+
+impl BranchInfo {
+    /// Absolute branch target for a branch fetched at `pc`.
+    #[must_use]
+    pub fn target(&self, pc: u32) -> u32 {
+        pc.wrapping_add(INSTR_BYTES)
+            .wrapping_add((i32::from(self.off) * INSTR_BYTES as i32) as u32)
+    }
+}
+
+/// A decoded instruction.
+///
+/// The set is a compact MIPS-like RISC ISA sufficient to express the
+/// MediaBench-derived workloads (ADPCM, G.721): ALU register and immediate
+/// forms, shifts, multiply/divide, loads/stores of byte/half/word,
+/// zero-comparison conditional branches (the family ASBR folds),
+/// two-register `beq`/`bne`, jumps and calls, a control-register write used
+/// to switch Branch Identification Table banks (paper, Sec. 7), and `halt`.
+///
+/// # Examples
+///
+/// ```
+/// use asbr_isa::{Instr, Reg};
+///
+/// let i = Instr::Addi { rt: Reg::new(2), rs: Reg::new(3), imm: -1 };
+/// assert_eq!(i.dst(), Some(Reg::new(2)));
+/// assert_eq!(i.srcs(), [Some(Reg::new(3)), None]);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+// Field meanings are uniform across variants (rd/rt destination, rs/rt
+// sources, imm/off/shamt immediates) and stated in each variant's doc
+// line; per-field docs would only repeat them 40 times.
+#[allow(missing_docs)]
+pub enum Instr {
+    // --- three-register ALU ---
+    /// `rd = rs + rt` (wrapping).
+    Add { rd: Reg, rs: Reg, rt: Reg },
+    /// `rd = rs - rt` (wrapping).
+    Sub { rd: Reg, rs: Reg, rt: Reg },
+    /// `rd = rs & rt`.
+    And { rd: Reg, rs: Reg, rt: Reg },
+    /// `rd = rs | rt`.
+    Or { rd: Reg, rs: Reg, rt: Reg },
+    /// `rd = rs ^ rt`.
+    Xor { rd: Reg, rs: Reg, rt: Reg },
+    /// `rd = !(rs | rt)`.
+    Nor { rd: Reg, rs: Reg, rt: Reg },
+    /// `rd = (rs < rt)` signed.
+    Slt { rd: Reg, rs: Reg, rt: Reg },
+    /// `rd = (rs < rt)` unsigned.
+    Sltu { rd: Reg, rs: Reg, rt: Reg },
+    /// `rd = low32(rs * rt)` signed.
+    Mul { rd: Reg, rs: Reg, rt: Reg },
+    /// `rd = rs / rt` signed; division by zero yields 0.
+    Div { rd: Reg, rs: Reg, rt: Reg },
+    /// `rd = rs % rt` signed; remainder by zero yields 0.
+    Rem { rd: Reg, rs: Reg, rt: Reg },
+
+    // --- shifts ---
+    /// `rd = rt << shamt`.
+    Sll { rd: Reg, rt: Reg, shamt: u8 },
+    /// `rd = rt >> shamt` logical.
+    Srl { rd: Reg, rt: Reg, shamt: u8 },
+    /// `rd = rt >> shamt` arithmetic.
+    Sra { rd: Reg, rt: Reg, shamt: u8 },
+    /// `rd = rt << (rs & 31)`.
+    Sllv { rd: Reg, rt: Reg, rs: Reg },
+    /// `rd = rt >> (rs & 31)` logical.
+    Srlv { rd: Reg, rt: Reg, rs: Reg },
+    /// `rd = rt >> (rs & 31)` arithmetic.
+    Srav { rd: Reg, rt: Reg, rs: Reg },
+
+    // --- immediates ---
+    /// `rt = rs + imm` (sign-extended, wrapping).
+    Addi { rt: Reg, rs: Reg, imm: i16 },
+    /// `rt = (rs < imm)` signed.
+    Slti { rt: Reg, rs: Reg, imm: i16 },
+    /// `rt = (rs < imm)` with the sign-extended immediate compared
+    /// unsigned.
+    Sltiu { rt: Reg, rs: Reg, imm: i16 },
+    /// `rt = rs & imm` (zero-extended).
+    Andi { rt: Reg, rs: Reg, imm: u16 },
+    /// `rt = rs | imm` (zero-extended).
+    Ori { rt: Reg, rs: Reg, imm: u16 },
+    /// `rt = rs ^ imm` (zero-extended).
+    Xori { rt: Reg, rs: Reg, imm: u16 },
+    /// `rt = imm << 16`.
+    Lui { rt: Reg, imm: u16 },
+
+    // --- loads/stores ---
+    /// Load of `width` at `rs + off`; byte/half sign-extend unless
+    /// `unsigned`.
+    Load { rt: Reg, rs: Reg, off: i16, width: MemWidth, unsigned: bool },
+    /// Store of `width` at `rs + off`.
+    Store { rt: Reg, rs: Reg, off: i16, width: MemWidth },
+
+    // --- control flow ---
+    /// Zero-comparison conditional branch: taken iff `cond.eval(rs)`.
+    BranchZ { cond: Cond, rs: Reg, off: i16 },
+    /// Taken iff `rs == rt`.
+    Beq { rs: Reg, rt: Reg, off: i16 },
+    /// Taken iff `rs != rt`.
+    Bne { rs: Reg, rt: Reg, off: i16 },
+    /// Absolute jump within the current 256 MB region.
+    J { target: u32 },
+    /// Jump-and-link: `r31 = pc + 4`, then jump.
+    Jal { target: u32 },
+    /// Indirect jump to `rs`.
+    Jr { rs: Reg },
+    /// Indirect call: `rd = pc + 4`, jump to `rs`.
+    Jalr { rd: Reg, rs: Reg },
+
+    // --- system ---
+    /// Write `rs` to microarchitectural control register `ctrl`
+    /// (used to activate a Branch Identification Table bank; paper Sec. 7).
+    CtrlW { ctrl: u8, rs: Reg },
+    /// Stop the machine.
+    Halt,
+}
+
+impl Instr {
+    /// Canonical no-op (`sll r0, r0, 0`, instruction word `0`).
+    pub const NOP: Instr = Instr::Sll { rd: Reg::ZERO, rt: Reg::ZERO, shamt: 0 };
+
+    /// The destination register written by this instruction, if any.
+    ///
+    /// Writes to `r0` are architectural no-ops and reported as `None`.
+    #[must_use]
+    pub fn dst(&self) -> Option<Reg> {
+        let d = match *self {
+            Instr::Add { rd, .. }
+            | Instr::Sub { rd, .. }
+            | Instr::And { rd, .. }
+            | Instr::Or { rd, .. }
+            | Instr::Xor { rd, .. }
+            | Instr::Nor { rd, .. }
+            | Instr::Slt { rd, .. }
+            | Instr::Sltu { rd, .. }
+            | Instr::Mul { rd, .. }
+            | Instr::Div { rd, .. }
+            | Instr::Rem { rd, .. }
+            | Instr::Sll { rd, .. }
+            | Instr::Srl { rd, .. }
+            | Instr::Sra { rd, .. }
+            | Instr::Sllv { rd, .. }
+            | Instr::Srlv { rd, .. }
+            | Instr::Srav { rd, .. }
+            | Instr::Jalr { rd, .. } => rd,
+            Instr::Addi { rt, .. }
+            | Instr::Slti { rt, .. }
+            | Instr::Sltiu { rt, .. }
+            | Instr::Andi { rt, .. }
+            | Instr::Ori { rt, .. }
+            | Instr::Xori { rt, .. }
+            | Instr::Lui { rt, .. }
+            | Instr::Load { rt, .. } => rt,
+            Instr::Jal { .. } => Reg::RA,
+            Instr::Store { .. }
+            | Instr::BranchZ { .. }
+            | Instr::Beq { .. }
+            | Instr::Bne { .. }
+            | Instr::J { .. }
+            | Instr::Jr { .. }
+            | Instr::CtrlW { .. }
+            | Instr::Halt => return None,
+        };
+        if d.is_zero() {
+            None
+        } else {
+            Some(d)
+        }
+    }
+
+    /// The up-to-two source registers read by this instruction.
+    ///
+    /// Reads of `r0` are reported (they are real register-file reads), so
+    /// `srcs()` may contain `Reg::ZERO`.
+    #[must_use]
+    pub fn srcs(&self) -> [Option<Reg>; 2] {
+        match *self {
+            Instr::Add { rs, rt, .. }
+            | Instr::Sub { rs, rt, .. }
+            | Instr::And { rs, rt, .. }
+            | Instr::Or { rs, rt, .. }
+            | Instr::Xor { rs, rt, .. }
+            | Instr::Nor { rs, rt, .. }
+            | Instr::Slt { rs, rt, .. }
+            | Instr::Sltu { rs, rt, .. }
+            | Instr::Mul { rs, rt, .. }
+            | Instr::Div { rs, rt, .. }
+            | Instr::Rem { rs, rt, .. }
+            | Instr::Sllv { rs, rt, .. }
+            | Instr::Srlv { rs, rt, .. }
+            | Instr::Srav { rs, rt, .. }
+            | Instr::Beq { rs, rt, .. }
+            | Instr::Bne { rs, rt, .. }
+            | Instr::Store { rs, rt, .. } => [Some(rs), Some(rt)],
+            Instr::Sll { rt, .. } | Instr::Srl { rt, .. } | Instr::Sra { rt, .. } => {
+                [Some(rt), None]
+            }
+            Instr::Addi { rs, .. }
+            | Instr::Slti { rs, .. }
+            | Instr::Sltiu { rs, .. }
+            | Instr::Andi { rs, .. }
+            | Instr::Ori { rs, .. }
+            | Instr::Xori { rs, .. }
+            | Instr::Load { rs, .. }
+            | Instr::BranchZ { rs, .. }
+            | Instr::Jr { rs }
+            | Instr::Jalr { rs, .. }
+            | Instr::CtrlW { rs, .. } => [Some(rs), None],
+            Instr::Lui { .. } | Instr::J { .. } | Instr::Jal { .. } | Instr::Halt => [None, None],
+        }
+    }
+
+    /// Whether this is a memory load.
+    #[must_use]
+    pub fn is_load(&self) -> bool {
+        matches!(self, Instr::Load { .. })
+    }
+
+    /// Whether this is a memory store.
+    #[must_use]
+    pub fn is_store(&self) -> bool {
+        matches!(self, Instr::Store { .. })
+    }
+
+    /// Conditional-branch description, or `None` for non-branches.
+    ///
+    /// Unconditional control flow (`j`, `jal`, `jr`, `jalr`) is *not*
+    /// reported here; see [`Instr::is_control`].
+    #[must_use]
+    pub fn branch(&self) -> Option<BranchInfo> {
+        match *self {
+            Instr::BranchZ { cond, rs, off } => {
+                Some(BranchInfo { zero_compare: Some((cond, rs)), off })
+            }
+            Instr::Beq { off, .. } | Instr::Bne { off, .. } => {
+                Some(BranchInfo { zero_compare: None, off })
+            }
+            _ => None,
+        }
+    }
+
+    /// Whether the instruction can redirect the program counter
+    /// (conditional branches, jumps, calls, indirect jumps).
+    #[must_use]
+    pub fn is_control(&self) -> bool {
+        matches!(
+            self,
+            Instr::BranchZ { .. }
+                | Instr::Beq { .. }
+                | Instr::Bne { .. }
+                | Instr::J { .. }
+                | Instr::Jal { .. }
+                | Instr::Jr { .. }
+                | Instr::Jalr { .. }
+        )
+    }
+
+    /// Whether the jump target is encoded in the instruction itself
+    /// (`j`/`jal`), making it resolvable in the decode stage.
+    #[must_use]
+    pub fn direct_jump_target(&self, pc: u32) -> Option<u32> {
+        match *self {
+            Instr::J { target } | Instr::Jal { target } => {
+                Some((pc & 0xF000_0000) | (target << 2))
+            }
+            _ => None,
+        }
+    }
+}
+
+impl Default for Instr {
+    fn default() -> Instr {
+        Instr::NOP
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn r3(f: &mut fmt::Formatter<'_>, m: &str, a: Reg, b: Reg, c: Reg) -> fmt::Result {
+            write!(f, "{m:<7} {a}, {b}, {c}")
+        }
+        match *self {
+            Instr::Sll { rd, rt, shamt } if rd.is_zero() && rt.is_zero() && shamt == 0 => {
+                f.write_str("nop")
+            }
+            Instr::Add { rd, rs, rt } => r3(f, "add", rd, rs, rt),
+            Instr::Sub { rd, rs, rt } => r3(f, "sub", rd, rs, rt),
+            Instr::And { rd, rs, rt } => r3(f, "and", rd, rs, rt),
+            Instr::Or { rd, rs, rt } => r3(f, "or", rd, rs, rt),
+            Instr::Xor { rd, rs, rt } => r3(f, "xor", rd, rs, rt),
+            Instr::Nor { rd, rs, rt } => r3(f, "nor", rd, rs, rt),
+            Instr::Slt { rd, rs, rt } => r3(f, "slt", rd, rs, rt),
+            Instr::Sltu { rd, rs, rt } => r3(f, "sltu", rd, rs, rt),
+            Instr::Mul { rd, rs, rt } => r3(f, "mul", rd, rs, rt),
+            Instr::Div { rd, rs, rt } => r3(f, "div", rd, rs, rt),
+            Instr::Rem { rd, rs, rt } => r3(f, "rem", rd, rs, rt),
+            Instr::Sll { rd, rt, shamt } => write!(f, "{:<7} {rd}, {rt}, {shamt}", "sll"),
+            Instr::Srl { rd, rt, shamt } => write!(f, "{:<7} {rd}, {rt}, {shamt}", "srl"),
+            Instr::Sra { rd, rt, shamt } => write!(f, "{:<7} {rd}, {rt}, {shamt}", "sra"),
+            Instr::Sllv { rd, rt, rs } => r3(f, "sllv", rd, rt, rs),
+            Instr::Srlv { rd, rt, rs } => r3(f, "srlv", rd, rt, rs),
+            Instr::Srav { rd, rt, rs } => r3(f, "srav", rd, rt, rs),
+            Instr::Addi { rt, rs, imm } => write!(f, "{:<7} {rt}, {rs}, {imm}", "addi"),
+            Instr::Slti { rt, rs, imm } => write!(f, "{:<7} {rt}, {rs}, {imm}", "slti"),
+            Instr::Sltiu { rt, rs, imm } => write!(f, "{:<7} {rt}, {rs}, {imm}", "sltiu"),
+            Instr::Andi { rt, rs, imm } => write!(f, "{:<7} {rt}, {rs}, {imm:#x}", "andi"),
+            Instr::Ori { rt, rs, imm } => write!(f, "{:<7} {rt}, {rs}, {imm:#x}", "ori"),
+            Instr::Xori { rt, rs, imm } => write!(f, "{:<7} {rt}, {rs}, {imm:#x}", "xori"),
+            Instr::Lui { rt, imm } => write!(f, "{:<7} {rt}, {imm:#x}", "lui"),
+            Instr::Load { rt, rs, off, width, unsigned } => {
+                let m = match (width, unsigned) {
+                    (MemWidth::Byte, false) => "lb",
+                    (MemWidth::Byte, true) => "lbu",
+                    (MemWidth::Half, false) => "lh",
+                    (MemWidth::Half, true) => "lhu",
+                    (MemWidth::Word, _) => "lw",
+                };
+                write!(f, "{m:<7} {rt}, {off}({rs})")
+            }
+            Instr::Store { rt, rs, off, width } => {
+                let m = match width {
+                    MemWidth::Byte => "sb",
+                    MemWidth::Half => "sh",
+                    MemWidth::Word => "sw",
+                };
+                write!(f, "{m:<7} {rt}, {off}({rs})")
+            }
+            Instr::BranchZ { cond, rs, off } => {
+                write!(f, "{:<7} {rs}, {off}", cond.mnemonic())
+            }
+            Instr::Beq { rs, rt, off } => write!(f, "{:<7} {rs}, {rt}, {off}", "beq"),
+            Instr::Bne { rs, rt, off } => write!(f, "{:<7} {rs}, {rt}, {off}", "bne"),
+            Instr::J { target } => write!(f, "{:<7} {:#x}", "j", target << 2),
+            Instr::Jal { target } => write!(f, "{:<7} {:#x}", "jal", target << 2),
+            Instr::Jr { rs } => write!(f, "{:<7} {rs}", "jr"),
+            Instr::Jalr { rd, rs } => write!(f, "{:<7} {rd}, {rs}", "jalr"),
+            Instr::CtrlW { ctrl, rs } => write!(f, "{:<7} {ctrl}, {rs}", "ctrlw"),
+            Instr::Halt => f.write_str("halt"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nop_is_word_zero_shape() {
+        assert_eq!(Instr::NOP, Instr::Sll { rd: Reg::ZERO, rt: Reg::ZERO, shamt: 0 });
+        assert_eq!(Instr::NOP.to_string(), "nop");
+        assert_eq!(Instr::default(), Instr::NOP);
+    }
+
+    #[test]
+    fn dst_hides_writes_to_r0() {
+        let i = Instr::Add { rd: Reg::ZERO, rs: Reg::new(1), rt: Reg::new(2) };
+        assert_eq!(i.dst(), None);
+    }
+
+    #[test]
+    fn jal_writes_ra() {
+        assert_eq!(Instr::Jal { target: 0x40 }.dst(), Some(Reg::RA));
+    }
+
+    #[test]
+    fn store_has_two_sources_and_no_dest() {
+        let s = Instr::Store { rt: Reg::new(8), rs: Reg::new(9), off: 4, width: MemWidth::Word };
+        assert_eq!(s.dst(), None);
+        assert_eq!(s.srcs(), [Some(Reg::new(9)), Some(Reg::new(8))]);
+        assert!(s.is_store());
+        assert!(!s.is_load());
+    }
+
+    #[test]
+    fn branch_info_zero_compare() {
+        let b = Instr::BranchZ { cond: Cond::Ltz, rs: Reg::new(3), off: -8 };
+        let info = b.branch().unwrap();
+        assert_eq!(info.zero_compare, Some((Cond::Ltz, Reg::new(3))));
+        assert_eq!(info.target(0x100), 0x100 + 4 - 32);
+        assert!(b.is_control());
+    }
+
+    #[test]
+    fn beq_is_branch_without_zero_compare() {
+        let b = Instr::Beq { rs: Reg::new(1), rt: Reg::new(2), off: 3 };
+        let info = b.branch().unwrap();
+        assert_eq!(info.zero_compare, None);
+        assert_eq!(info.target(0), 4 + 12);
+    }
+
+    #[test]
+    fn direct_jump_targets() {
+        let j = Instr::J { target: 0x100 >> 2 };
+        assert_eq!(j.direct_jump_target(0x0000_1000), Some(0x100));
+        assert_eq!(j.direct_jump_target(0x1000_0000), Some(0x1000_0100));
+        let b = Instr::BranchZ { cond: Cond::Eq, rs: Reg::ZERO, off: 0 };
+        assert_eq!(b.direct_jump_target(0), None);
+    }
+
+    #[test]
+    fn branch_target_wraps_sanely() {
+        let info = BranchInfo { zero_compare: None, off: -1 };
+        assert_eq!(info.target(0x10), 0x10); // pc+4-4
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(
+            Instr::Load {
+                rt: Reg::new(2),
+                rs: Reg::new(4),
+                off: 0,
+                width: MemWidth::Half,
+                unsigned: false
+            }
+            .to_string(),
+            "lh      r2, 0(r4)"
+        );
+        assert_eq!(
+            Instr::BranchZ { cond: Cond::Gez, rs: Reg::new(3), off: 5 }.to_string(),
+            "bgez    r3, 5"
+        );
+    }
+}

@@ -1,0 +1,52 @@
+#![warn(missing_docs)]
+
+//! A 32-bit MIPS-like instruction set for embedded processor simulation.
+//!
+//! This crate defines the instruction set architecture used throughout the
+//! ASBR reproduction: a classic single-issue RISC ISA with fixed 32-bit
+//! instruction words, 32 general-purpose registers, and — critically for the
+//! paper — conditional branches supporting *all possible zero comparisons*
+//! (`beqz`, `bnez`, `blez`, `bgtz`, `bltz`, `bgez`), exactly the branch
+//! family the Application-Specific Branch Resolution (ASBR) hardware folds.
+//!
+//! The crate provides:
+//!
+//! * [`Reg`] — a validated register index newtype with MIPS-style aliases,
+//! * [`Cond`] — the zero-comparison branch condition algebra used by the
+//!   Branch Direction Table,
+//! * [`Instr`] — the decoded instruction representation with dataflow
+//!   queries ([`Instr::dst`], [`Instr::srcs`], [`Instr::branch`] …),
+//! * lossless binary [`Instr::encode`] / [`Instr::decode`] to and from
+//!   32-bit instruction words,
+//! * a disassembler via the [`core::fmt::Display`] impl of [`Instr`].
+//!
+//! # Examples
+//!
+//! ```
+//! use asbr_isa::{Instr, Reg, Cond};
+//!
+//! let i = Instr::BranchZ { cond: Cond::Gez, rs: Reg::new(3), off: -4 };
+//! let word = i.encode();
+//! assert_eq!(Instr::decode(word).unwrap(), i);
+//! assert_eq!(i.to_string(), "bgez    r3, -4");
+//! ```
+
+mod cond;
+mod decode;
+mod encode;
+mod instr;
+mod reg;
+
+pub use cond::Cond;
+pub use decode::DecodeInstrError;
+pub use instr::{BranchInfo, Instr, MemWidth};
+pub use reg::{ParseRegError, Reg};
+
+/// Size of one instruction word in bytes.
+///
+/// The paper's branch-folding pseudo-code (`PC = BTA + 4`, `PC = PC + 8`)
+/// assumes 4-byte instruction words; so do we.
+pub const INSTR_BYTES: u32 = 4;
+
+/// Number of architectural general-purpose registers.
+pub const NUM_REGS: usize = 32;

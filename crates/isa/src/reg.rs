@@ -1,0 +1,220 @@
+//! Register index newtype and naming.
+
+use core::fmt;
+use core::str::FromStr;
+
+/// An architectural general-purpose register index (`r0`–`r31`).
+///
+/// `r0` is hardwired to zero, as in MIPS. The conventional ABI aliases
+/// (`sp`, `ra`, `a0`…) are accepted by [`FromStr`] and exposed as
+/// constants.
+///
+/// # Examples
+///
+/// ```
+/// use asbr_isa::Reg;
+///
+/// assert_eq!(Reg::SP.index(), 29);
+/// assert_eq!("a0".parse::<Reg>().unwrap(), Reg::new(4));
+/// assert_eq!("r17".parse::<Reg>().unwrap().index(), 17);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// The hardwired-zero register `r0`.
+    pub const ZERO: Reg = Reg(0);
+    /// Assembler temporary `r1`.
+    pub const AT: Reg = Reg(1);
+    /// First return-value register `r2` (`v0`).
+    pub const V0: Reg = Reg(2);
+    /// Second return-value register `r3` (`v1`).
+    pub const V1: Reg = Reg(3);
+    /// First argument register `r4` (`a0`).
+    pub const A0: Reg = Reg(4);
+    /// Second argument register `r5` (`a1`).
+    pub const A1: Reg = Reg(5);
+    /// Third argument register `r6` (`a2`).
+    pub const A2: Reg = Reg(6);
+    /// Fourth argument register `r7` (`a3`).
+    pub const A3: Reg = Reg(7);
+    /// Global pointer `r28`.
+    pub const GP: Reg = Reg(28);
+    /// Stack pointer `r29`.
+    pub const SP: Reg = Reg(29);
+    /// Frame pointer `r30`.
+    pub const FP: Reg = Reg(30);
+    /// Return-address register `r31`.
+    pub const RA: Reg = Reg(31);
+
+    /// Creates a register from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`. Use [`Reg::try_new`] for fallible
+    /// construction.
+    #[must_use]
+    pub const fn new(index: u8) -> Reg {
+        assert!(index < 32, "register index out of range");
+        Reg(index)
+    }
+
+    /// Creates a register from its index, returning `None` when out of
+    /// range.
+    #[must_use]
+    pub const fn try_new(index: u8) -> Option<Reg> {
+        if index < 32 {
+            Some(Reg(index))
+        } else {
+            None
+        }
+    }
+
+    /// The register's index, in `0..32`.
+    #[must_use]
+    pub const fn index(self) -> u8 {
+        self.0
+    }
+
+    /// Whether this is the hardwired-zero register.
+    #[must_use]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterates over all 32 architectural registers in index order.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0..32).map(Reg)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl fmt::Debug for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Reg(r{})", self.0)
+    }
+}
+
+impl From<Reg> for usize {
+    fn from(r: Reg) -> usize {
+        usize::from(r.0)
+    }
+}
+
+/// Error returned when parsing a register name fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRegError {
+    name: String,
+}
+
+impl fmt::Display for ParseRegError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown register name `{}`", self.name)
+    }
+}
+
+impl std::error::Error for ParseRegError {}
+
+/// ABI aliases in index order (`ALIASES[i]` names `r{i}`).
+const ALIASES: [&str; 32] = [
+    "zero", "at", "v0", "v1", "a0", "a1", "a2", "a3", "t0", "t1", "t2", "t3", "t4", "t5", "t6",
+    "t7", "s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7", "t8", "t9", "k0", "k1", "gp", "sp",
+    "fp", "ra",
+];
+
+impl FromStr for Reg {
+    type Err = ParseRegError;
+
+    /// Parses `rN`, `$rN`, `$N`, or an ABI alias (`sp`, `a0`, …, with or
+    /// without a leading `$`).
+    fn from_str(s: &str) -> Result<Reg, ParseRegError> {
+        let body = s.strip_prefix('$').unwrap_or(s);
+        let err = || ParseRegError { name: s.to_owned() };
+        if let Some(num) = body.strip_prefix('r') {
+            if let Ok(n) = num.parse::<u8>() {
+                return Reg::try_new(n).ok_or_else(err);
+            }
+        }
+        if let Ok(n) = body.parse::<u8>() {
+            return Reg::try_new(n).ok_or_else(err);
+        }
+        ALIASES
+            .iter()
+            .position(|&a| a == body)
+            .map(|i| Reg(i as u8))
+            .ok_or_else(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_and_index_round_trip() {
+        for i in 0..32 {
+            assert_eq!(Reg::new(i).index(), i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "register index out of range")]
+    fn new_out_of_range_panics() {
+        let _ = Reg::new(32);
+    }
+
+    #[test]
+    fn try_new_bounds() {
+        assert_eq!(Reg::try_new(31), Some(Reg::RA));
+        assert_eq!(Reg::try_new(32), None);
+    }
+
+    #[test]
+    fn zero_detection() {
+        assert!(Reg::ZERO.is_zero());
+        assert!(!Reg::SP.is_zero());
+    }
+
+    #[test]
+    fn parses_numeric_forms() {
+        assert_eq!("r5".parse::<Reg>().unwrap(), Reg::new(5));
+        assert_eq!("$r5".parse::<Reg>().unwrap(), Reg::new(5));
+        assert_eq!("$5".parse::<Reg>().unwrap(), Reg::new(5));
+        assert_eq!("31".parse::<Reg>().unwrap(), Reg::RA);
+    }
+
+    #[test]
+    fn parses_all_aliases() {
+        for (i, alias) in ALIASES.iter().enumerate() {
+            assert_eq!(alias.parse::<Reg>().unwrap().index() as usize, i);
+            let dollar = format!("${alias}");
+            assert_eq!(dollar.parse::<Reg>().unwrap().index() as usize, i);
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!("r32".parse::<Reg>().is_err());
+        assert!("x1".parse::<Reg>().is_err());
+        assert!("".parse::<Reg>().is_err());
+        assert!("$".parse::<Reg>().is_err());
+    }
+
+    #[test]
+    fn display_is_canonical() {
+        assert_eq!(Reg::new(29).to_string(), "r29");
+    }
+
+    #[test]
+    fn all_yields_each_register_once() {
+        let v: Vec<Reg> = Reg::all().collect();
+        assert_eq!(v.len(), 32);
+        assert_eq!(v[0], Reg::ZERO);
+        assert_eq!(v[31], Reg::RA);
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests for instruction encode/decode.
+
+use asbr_isa::{Cond, Instr, MemWidth, Reg};
+use proptest::prelude::*;
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u8..32).prop_map(Reg::new)
+}
+
+fn arb_cond() -> impl Strategy<Value = Cond> {
+    prop_oneof![
+        Just(Cond::Eq),
+        Just(Cond::Ne),
+        Just(Cond::Lez),
+        Just(Cond::Gtz),
+        Just(Cond::Ltz),
+        Just(Cond::Gez),
+    ]
+}
+
+fn arb_width() -> impl Strategy<Value = MemWidth> {
+    prop_oneof![Just(MemWidth::Byte), Just(MemWidth::Half), Just(MemWidth::Word)]
+}
+
+fn arb_instr() -> impl Strategy<Value = Instr> {
+    prop_oneof![
+        (arb_reg(), arb_reg(), arb_reg()).prop_map(|(rd, rs, rt)| Instr::Add { rd, rs, rt }),
+        (arb_reg(), arb_reg(), arb_reg()).prop_map(|(rd, rs, rt)| Instr::Sub { rd, rs, rt }),
+        (arb_reg(), arb_reg(), arb_reg()).prop_map(|(rd, rs, rt)| Instr::Slt { rd, rs, rt }),
+        (arb_reg(), arb_reg(), arb_reg()).prop_map(|(rd, rs, rt)| Instr::Mul { rd, rs, rt }),
+        (arb_reg(), arb_reg(), 0u8..32).prop_map(|(rd, rt, shamt)| Instr::Sll { rd, rt, shamt }),
+        (arb_reg(), arb_reg(), 0u8..32).prop_map(|(rd, rt, shamt)| Instr::Sra { rd, rt, shamt }),
+        (arb_reg(), arb_reg(), any::<i16>()).prop_map(|(rt, rs, imm)| Instr::Addi { rt, rs, imm }),
+        (arb_reg(), arb_reg(), any::<u16>()).prop_map(|(rt, rs, imm)| Instr::Andi { rt, rs, imm }),
+        (arb_reg(), any::<u16>()).prop_map(|(rt, imm)| Instr::Lui { rt, imm }),
+        (arb_reg(), arb_reg(), any::<i16>(), arb_width(), any::<bool>()).prop_map(
+            |(rt, rs, off, width, unsigned)| {
+                // `lw` has no unsigned form; normalise like the encoder does.
+                let unsigned = unsigned && width != MemWidth::Word;
+                Instr::Load { rt, rs, off, width, unsigned }
+            }
+        ),
+        (arb_reg(), arb_reg(), any::<i16>(), arb_width())
+            .prop_map(|(rt, rs, off, width)| Instr::Store { rt, rs, off, width }),
+        (arb_cond(), arb_reg(), any::<i16>())
+            .prop_map(|(cond, rs, off)| Instr::BranchZ { cond, rs, off }),
+        (arb_reg(), arb_reg(), any::<i16>()).prop_map(|(rs, rt, off)| Instr::Beq { rs, rt, off }),
+        (arb_reg(), arb_reg(), any::<i16>()).prop_map(|(rs, rt, off)| Instr::Bne { rs, rt, off }),
+        (0u32..0x0400_0000).prop_map(|target| Instr::J { target }),
+        (0u32..0x0400_0000).prop_map(|target| Instr::Jal { target }),
+        arb_reg().prop_map(|rs| Instr::Jr { rs }),
+        (arb_reg(), arb_reg()).prop_map(|(rd, rs)| Instr::Jalr { rd, rs }),
+        (0u8..32, arb_reg()).prop_map(|(ctrl, rs)| Instr::CtrlW { ctrl, rs }),
+        Just(Instr::Halt),
+    ]
+}
+
+proptest! {
+    /// decode(encode(i)) == i for every instruction.
+    #[test]
+    fn encode_decode_round_trip(instr in arb_instr()) {
+        let word = instr.encode();
+        let back = Instr::decode(word).expect("canonical encoding must decode");
+        prop_assert_eq!(back, instr);
+    }
+
+    /// Decoding is total or cleanly fails — never panics — over arbitrary
+    /// words, and successful decodes re-encode to a word that decodes to
+    /// the same instruction (encode/decode stabilises after one round).
+    #[test]
+    fn decode_never_panics_and_stabilises(word in any::<u32>()) {
+        if let Ok(i) = Instr::decode(word) {
+            let again = Instr::decode(i.encode()).expect("re-encode must decode");
+            prop_assert_eq!(again, i);
+        }
+    }
+
+    /// Branch targets computed via BranchInfo stay word-aligned.
+    #[test]
+    fn branch_targets_are_word_aligned(
+        cond in arb_cond(), rs in arb_reg(), off in any::<i16>(), pc in (0u32..0x100_0000)
+    ) {
+        let pc = pc & !3;
+        let i = Instr::BranchZ { cond, rs, off };
+        let t = i.branch().unwrap().target(pc);
+        prop_assert_eq!(t % 4, 0);
+    }
+
+    /// `dst()` never reports the zero register.
+    #[test]
+    fn dst_never_zero(instr in arb_instr()) {
+        if let Some(d) = instr.dst() {
+            prop_assert!(!d.is_zero());
+        }
+    }
+}

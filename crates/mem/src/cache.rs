@@ -1,0 +1,267 @@
+//! Set-associative cache timing model.
+
+use core::fmt;
+
+/// Geometry and timing of one cache.
+///
+/// Only *timing* is modelled: the cache tracks tags and replacement state
+/// and reports a stall penalty per access; data always comes from the
+/// backing [`crate::Memory`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u32,
+    /// Line size in bytes (power of two).
+    pub line_bytes: u32,
+    /// Associativity (ways per set).
+    pub assoc: u32,
+    /// Extra cycles charged on a miss.
+    pub miss_penalty: u32,
+}
+
+impl CacheConfig {
+    /// The paper's 8 KB instruction cache (Sec. 8), modelled 2-way with
+    /// 32-byte lines and an 8-cycle refill.
+    #[must_use]
+    pub fn icache_8k() -> CacheConfig {
+        CacheConfig { size_bytes: 8 * 1024, line_bytes: 32, assoc: 2, miss_penalty: 8 }
+    }
+
+    /// The paper's 8 KB data cache (Sec. 8).
+    #[must_use]
+    pub fn dcache_8k() -> CacheConfig {
+        CacheConfig { size_bytes: 8 * 1024, line_bytes: 32, assoc: 2, miss_penalty: 8 }
+    }
+
+    /// Number of sets implied by the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate (zero sizes, capacity not
+    /// divisible by `line_bytes * assoc`, or non-power-of-two set count).
+    #[must_use]
+    pub fn num_sets(&self) -> u32 {
+        assert!(self.line_bytes.is_power_of_two() && self.line_bytes > 0, "bad line size");
+        assert!(self.assoc > 0, "bad associativity");
+        let sets = self.size_bytes / (self.line_bytes * self.assoc);
+        assert!(
+            sets > 0 && sets.is_power_of_two(),
+            "capacity must be a power-of-two multiple of line*assoc"
+        );
+        sets
+    }
+}
+
+impl Default for CacheConfig {
+    fn default() -> CacheConfig {
+        CacheConfig::dcache_8k()
+    }
+}
+
+/// Hit/miss counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Total accesses.
+    pub accesses: u64,
+    /// Accesses that hit.
+    pub hits: u64,
+}
+
+impl CacheStats {
+    /// Misses (`accesses - hits`).
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.accesses - self.hits
+    }
+
+    /// Hit rate in `[0, 1]`; `1.0` when there were no accesses.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            1.0
+        } else {
+            self.hits as f64 / self.accesses as f64
+        }
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} accesses, {} misses ({:.2}% hit)",
+            self.accesses,
+            self.misses(),
+            self.hit_rate() * 100.0
+        )
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    valid: bool,
+    tag: u32,
+    /// Monotonic timestamp of last use, for LRU.
+    lru: u64,
+}
+
+/// A set-associative cache with true-LRU replacement.
+///
+/// # Examples
+///
+/// ```
+/// use asbr_mem::{Cache, CacheConfig};
+///
+/// let mut c = Cache::new(CacheConfig::icache_8k());
+/// assert_eq!(c.access(0x1000), 8);      // cold miss costs the penalty
+/// assert_eq!(c.access(0x1004), 0);      // same line: hit
+/// assert_eq!(c.stats().misses(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    sets: Vec<Line>,
+    num_sets: u32,
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates a cold cache with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate geometry; see [`CacheConfig::num_sets`].
+    #[must_use]
+    pub fn new(cfg: CacheConfig) -> Cache {
+        let num_sets = cfg.num_sets();
+        Cache {
+            cfg,
+            sets: vec![Line::default(); (num_sets * cfg.assoc) as usize],
+            num_sets,
+            clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The configured geometry.
+    #[must_use]
+    pub fn config(&self) -> CacheConfig {
+        self.cfg
+    }
+
+    /// Accumulated hit/miss statistics.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Touches `addr`, returning the stall penalty in cycles
+    /// (0 on hit, `miss_penalty` on miss; the line is filled).
+    pub fn access(&mut self, addr: u32) -> u32 {
+        self.clock += 1;
+        self.stats.accesses += 1;
+        let line_addr = addr / self.cfg.line_bytes;
+        let set = line_addr % self.num_sets;
+        let tag = line_addr / self.num_sets;
+        let base = (set * self.cfg.assoc) as usize;
+        let ways = &mut self.sets[base..base + self.cfg.assoc as usize];
+
+        if let Some(way) = ways.iter_mut().find(|w| w.valid && w.tag == tag) {
+            way.lru = self.clock;
+            self.stats.hits += 1;
+            return 0;
+        }
+        // Miss: fill the LRU (or first invalid) way.
+        let victim = ways
+            .iter_mut()
+            .min_by_key(|w| if w.valid { w.lru + 1 } else { 0 })
+            .expect("assoc > 0");
+        *victim = Line { valid: true, tag, lru: self.clock };
+        self.cfg.miss_penalty
+    }
+
+    /// Invalidates every line (cold restart) without clearing statistics.
+    pub fn flush(&mut self) {
+        for line in &mut self.sets {
+            line.valid = false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 4 sets x 2 ways x 16B lines = 128 B.
+        Cache::new(CacheConfig { size_bytes: 128, line_bytes: 16, assoc: 2, miss_penalty: 10 })
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = tiny();
+        assert_eq!(c.access(0x0), 10);
+        assert_eq!(c.access(0xF), 0);
+        assert_eq!(c.stats().accesses, 2);
+        assert_eq!(c.stats().hits, 1);
+    }
+
+    #[test]
+    fn distinct_lines_same_set_fill_both_ways() {
+        let mut c = tiny();
+        // Set index = (addr/16) % 4. Addresses 0x00, 0x40, 0x80 all map to set 0.
+        assert_eq!(c.access(0x00), 10);
+        assert_eq!(c.access(0x40), 10);
+        assert_eq!(c.access(0x00), 0); // still resident
+        assert_eq!(c.access(0x40), 0);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = tiny();
+        c.access(0x00); // set 0, way A
+        c.access(0x40); // set 0, way B
+        c.access(0x00); // touch A, making B the LRU
+        c.access(0x80); // evicts B
+        assert_eq!(c.access(0x00), 0, "A must survive");
+        assert_eq!(c.access(0x40), 10, "B was evicted");
+    }
+
+    #[test]
+    fn flush_invalidates_but_keeps_stats() {
+        let mut c = tiny();
+        c.access(0x0);
+        c.flush();
+        assert_eq!(c.access(0x0), 10);
+        assert_eq!(c.stats().accesses, 2);
+    }
+
+    #[test]
+    fn default_geometries_are_valid() {
+        assert_eq!(CacheConfig::icache_8k().num_sets(), 128);
+        assert_eq!(CacheConfig::dcache_8k().num_sets(), 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn degenerate_geometry_panics() {
+        let _ = Cache::new(CacheConfig {
+            size_bytes: 96,
+            line_bytes: 16,
+            assoc: 2,
+            miss_penalty: 1,
+        });
+    }
+
+    #[test]
+    fn hit_rate_reporting() {
+        let mut c = tiny();
+        c.access(0);
+        c.access(0);
+        c.access(0);
+        assert!((c.stats().hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+        let s = c.stats().to_string();
+        assert!(s.contains("3 accesses"));
+    }
+}

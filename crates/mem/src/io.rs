@@ -1,0 +1,158 @@
+//! Memory-mapped sample-stream device.
+//!
+//! The MediaBench programs the paper evaluates read PCM samples from a file
+//! and write coded bytes to another. Our guests instead use four
+//! memory-mapped registers, which keeps I/O out of the cache model (MMIO
+//! accesses are uncached) and makes runs perfectly reproducible.
+
+use std::collections::VecDeque;
+
+/// First MMIO address (inclusive).
+pub const MMIO_BASE: u32 = 0xFFFF_0000;
+/// Read: pops and returns the next input sample (0 when exhausted).
+pub const MMIO_IN_POP: u32 = 0xFFFF_0000;
+/// Read: number of input samples remaining.
+pub const MMIO_IN_REMAIN: u32 = 0xFFFF_0004;
+/// Write: appends a word to the output stream.
+pub const MMIO_OUT_PUSH: u32 = 0xFFFF_0008;
+/// Read: number of output words produced so far.
+pub const MMIO_OUT_COUNT: u32 = 0xFFFF_000C;
+/// First address past the MMIO window (exclusive).
+pub const MMIO_LIMIT: u32 = 0xFFFF_0010;
+
+/// The input/output sample device.
+///
+/// # Examples
+///
+/// ```
+/// use asbr_mem::{SampleIo, MMIO_IN_POP, MMIO_IN_REMAIN, MMIO_OUT_PUSH};
+///
+/// let mut io = SampleIo::new();
+/// io.push_input(7);
+/// assert_eq!(io.read(MMIO_IN_REMAIN), 1);
+/// assert_eq!(io.read(MMIO_IN_POP), 7);
+/// io.write(MMIO_OUT_PUSH, -3i32 as u32);
+/// assert_eq!(io.output(), &[-3]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SampleIo {
+    input: VecDeque<i32>,
+    output: Vec<i32>,
+}
+
+impl SampleIo {
+    /// Creates a device with empty streams.
+    #[must_use]
+    pub fn new() -> SampleIo {
+        SampleIo::default()
+    }
+
+    /// Whether `addr` falls in the MMIO window.
+    #[must_use]
+    pub fn contains(addr: u32) -> bool {
+        (MMIO_BASE..MMIO_LIMIT).contains(&addr)
+    }
+
+    /// Appends one sample to the input stream.
+    pub fn push_input(&mut self, sample: i32) {
+        self.input.push_back(sample);
+    }
+
+    /// Appends many samples to the input stream.
+    pub fn extend_input<I: IntoIterator<Item = i32>>(&mut self, samples: I) {
+        self.input.extend(samples);
+    }
+
+    /// Samples the guest has produced so far.
+    #[must_use]
+    pub fn output(&self) -> &[i32] {
+        &self.output
+    }
+
+    /// Consumes the device, returning the produced output stream.
+    #[must_use]
+    pub fn into_output(self) -> Vec<i32> {
+        self.output
+    }
+
+    /// Number of unread input samples.
+    #[must_use]
+    pub fn input_remaining(&self) -> usize {
+        self.input.len()
+    }
+
+    /// Device-register read. Reading [`MMIO_IN_POP`] consumes one input
+    /// sample (returning 0 once exhausted); other defined registers are
+    /// side-effect free; undefined offsets read 0.
+    pub fn read(&mut self, addr: u32) -> u32 {
+        debug_assert!(SampleIo::contains(addr));
+        match addr {
+            MMIO_IN_POP => self.input.pop_front().unwrap_or(0) as u32,
+            MMIO_IN_REMAIN => self.input.len() as u32,
+            MMIO_OUT_COUNT => self.output.len() as u32,
+            _ => 0,
+        }
+    }
+
+    /// Device-register write. Writing [`MMIO_OUT_PUSH`] appends to the
+    /// output stream; other offsets are ignored.
+    pub fn write(&mut self, addr: u32, value: u32) {
+        debug_assert!(SampleIo::contains(addr));
+        if addr == MMIO_OUT_PUSH {
+            self.output.push(value as i32);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pop_consumes_in_fifo_order() {
+        let mut io = SampleIo::new();
+        io.extend_input([1, 2, 3]);
+        assert_eq!(io.read(MMIO_IN_POP) as i32, 1);
+        assert_eq!(io.read(MMIO_IN_POP) as i32, 2);
+        assert_eq!(io.input_remaining(), 1);
+    }
+
+    #[test]
+    fn exhausted_input_reads_zero() {
+        let mut io = SampleIo::new();
+        assert_eq!(io.read(MMIO_IN_POP), 0);
+        assert_eq!(io.read(MMIO_IN_REMAIN), 0);
+    }
+
+    #[test]
+    fn output_accumulates() {
+        let mut io = SampleIo::new();
+        io.write(MMIO_OUT_PUSH, 5);
+        io.write(MMIO_OUT_PUSH, -1i32 as u32);
+        assert_eq!(io.read(MMIO_OUT_COUNT), 2);
+        assert_eq!(io.clone().into_output(), vec![5, -1]);
+    }
+
+    #[test]
+    fn negative_samples_round_trip() {
+        let mut io = SampleIo::new();
+        io.push_input(-32768);
+        assert_eq!(io.read(MMIO_IN_POP) as i32, -32768);
+    }
+
+    #[test]
+    fn window_bounds() {
+        assert!(SampleIo::contains(MMIO_BASE));
+        assert!(SampleIo::contains(MMIO_OUT_COUNT));
+        assert!(!SampleIo::contains(MMIO_LIMIT));
+        assert!(!SampleIo::contains(0x1000));
+    }
+
+    #[test]
+    fn undefined_offsets_are_inert() {
+        let mut io = SampleIo::new();
+        io.write(MMIO_IN_POP, 9); // write to a read-only register
+        assert_eq!(io.input_remaining(), 0);
+        assert_eq!(io.output().len(), 0);
+    }
+}

@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+
+//! Memory hierarchy for the ASBR embedded-processor simulator.
+//!
+//! Three layers, matching the paper's evaluation platform (Sec. 8: "8KB
+//! instruction cache, and 8KB data cache" on a 5-stage embedded core):
+//!
+//! * [`Memory`] — a sparse, paged, little-endian physical memory;
+//! * [`Cache`] — a set-associative *timing* model (tags + LRU only; data
+//!   always lives in [`Memory`], which keeps the functional and
+//!   cycle-accurate simulators trivially coherent);
+//! * [`SampleIo`] — the memory-mapped sample-stream device through which
+//!   guest programs (ADPCM/G.721 codecs) read input samples and write
+//!   coded output, replacing the file I/O of the original MediaBench
+//!   programs.
+//!
+//! [`MemSystem`] composes the three and is what the simulators talk to.
+//!
+//! # Examples
+//!
+//! ```
+//! use asbr_mem::{MemSystem, MemSystemConfig};
+//!
+//! let mut ms = MemSystem::new(MemSystemConfig::default());
+//! ms.io_mut().push_input(42);
+//! ms.write_u32(0x1000, 0xDEAD_BEEF)?;
+//! assert_eq!(ms.read_u32(0x1000)?, 0xDEAD_BEEF);
+//! assert_eq!(ms.read_u32(asbr_mem::MMIO_IN_POP)?, 42);
+//! # Ok::<(), asbr_mem::MemAccessError>(())
+//! ```
+
+mod cache;
+mod io;
+mod memory;
+mod system;
+
+pub use cache::{Cache, CacheConfig, CacheStats};
+pub use io::{SampleIo, MMIO_BASE, MMIO_IN_POP, MMIO_IN_REMAIN, MMIO_LIMIT, MMIO_OUT_COUNT, MMIO_OUT_PUSH};
+pub use memory::{MemAccessError, Memory};
+pub use system::{Access, MemSystem, MemSystemConfig};

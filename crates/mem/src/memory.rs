@@ -1,0 +1,233 @@
+//! Sparse paged physical memory.
+
+use core::fmt;
+use std::collections::HashMap;
+
+const PAGE_BITS: u32 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_BITS;
+
+/// Error for misaligned or otherwise invalid memory accesses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemAccessError {
+    addr: u32,
+    required_align: u32,
+}
+
+impl MemAccessError {
+    pub(crate) fn misaligned(addr: u32, required_align: u32) -> MemAccessError {
+        MemAccessError { addr, required_align }
+    }
+
+    /// The offending address.
+    #[must_use]
+    pub fn addr(&self) -> u32 {
+        self.addr
+    }
+}
+
+impl fmt::Display for MemAccessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "misaligned {}-byte access at address {:#010x}",
+            self.required_align, self.addr
+        )
+    }
+}
+
+impl std::error::Error for MemAccessError {}
+
+/// A sparse, paged, little-endian 32-bit physical memory.
+///
+/// Pages (4 KiB) are allocated on first touch and zero-initialised, so a
+/// freshly created memory reads as all-zeros everywhere — convenient for
+/// BSS-style guest data.
+///
+/// # Examples
+///
+/// ```
+/// use asbr_mem::Memory;
+///
+/// let mut m = Memory::new();
+/// m.write_u16(0x2000, 0xBEEF)?;
+/// assert_eq!(m.read_u8(0x2000), 0xEF); // little-endian
+/// assert_eq!(m.read_u8(0x2001), 0xBE);
+/// # Ok::<(), asbr_mem::MemAccessError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Memory {
+    pages: HashMap<u32, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl Memory {
+    /// Creates an empty (all-zero) memory.
+    #[must_use]
+    pub fn new() -> Memory {
+        Memory::default()
+    }
+
+    fn page(&self, addr: u32) -> Option<&[u8; PAGE_SIZE]> {
+        self.pages.get(&(addr >> PAGE_BITS)).map(|b| &**b)
+    }
+
+    fn page_mut(&mut self, addr: u32) -> &mut [u8; PAGE_SIZE] {
+        self.pages
+            .entry(addr >> PAGE_BITS)
+            .or_insert_with(|| Box::new([0; PAGE_SIZE]))
+    }
+
+    /// Reads one byte.
+    #[must_use]
+    pub fn read_u8(&self, addr: u32) -> u8 {
+        self.page(addr)
+            .map_or(0, |p| p[(addr as usize) & (PAGE_SIZE - 1)])
+    }
+
+    /// Writes one byte.
+    pub fn write_u8(&mut self, addr: u32, value: u8) {
+        self.page_mut(addr)[(addr as usize) & (PAGE_SIZE - 1)] = value;
+    }
+
+    /// Reads a little-endian halfword.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemAccessError`] when `addr` is not 2-byte aligned.
+    pub fn read_u16(&self, addr: u32) -> Result<u16, MemAccessError> {
+        if !addr.is_multiple_of(2) {
+            return Err(MemAccessError::misaligned(addr, 2));
+        }
+        Ok(u16::from_le_bytes([self.read_u8(addr), self.read_u8(addr + 1)]))
+    }
+
+    /// Writes a little-endian halfword.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemAccessError`] when `addr` is not 2-byte aligned.
+    pub fn write_u16(&mut self, addr: u32, value: u16) -> Result<(), MemAccessError> {
+        if !addr.is_multiple_of(2) {
+            return Err(MemAccessError::misaligned(addr, 2));
+        }
+        let [a, b] = value.to_le_bytes();
+        self.write_u8(addr, a);
+        self.write_u8(addr + 1, b);
+        Ok(())
+    }
+
+    /// Reads a little-endian word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemAccessError`] when `addr` is not 4-byte aligned.
+    pub fn read_u32(&self, addr: u32) -> Result<u32, MemAccessError> {
+        if !addr.is_multiple_of(4) {
+            return Err(MemAccessError::misaligned(addr, 4));
+        }
+        Ok(u32::from_le_bytes([
+            self.read_u8(addr),
+            self.read_u8(addr + 1),
+            self.read_u8(addr + 2),
+            self.read_u8(addr + 3),
+        ]))
+    }
+
+    /// Writes a little-endian word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemAccessError`] when `addr` is not 4-byte aligned.
+    pub fn write_u32(&mut self, addr: u32, value: u32) -> Result<(), MemAccessError> {
+        if !addr.is_multiple_of(4) {
+            return Err(MemAccessError::misaligned(addr, 4));
+        }
+        for (i, b) in value.to_le_bytes().into_iter().enumerate() {
+            self.write_u8(addr + i as u32, b);
+        }
+        Ok(())
+    }
+
+    /// Copies `bytes` into memory starting at `addr` (any alignment).
+    pub fn write_bytes(&mut self, addr: u32, bytes: &[u8]) {
+        for (i, &b) in bytes.iter().enumerate() {
+            self.write_u8(addr.wrapping_add(i as u32), b);
+        }
+    }
+
+    /// Copies a sequence of 32-bit words into memory starting at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemAccessError`] when `addr` is not 4-byte aligned.
+    pub fn write_words(&mut self, addr: u32, words: &[u32]) -> Result<(), MemAccessError> {
+        for (i, &w) in words.iter().enumerate() {
+            self.write_u32(addr + 4 * i as u32, w)?;
+        }
+        Ok(())
+    }
+
+    /// Number of 4 KiB pages currently materialised.
+    #[must_use]
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwritten_memory_reads_zero() {
+        let m = Memory::new();
+        assert_eq!(m.read_u8(0), 0);
+        assert_eq!(m.read_u32(0xFFFF_FFF0).unwrap(), 0);
+        assert_eq!(m.resident_pages(), 0);
+    }
+
+    #[test]
+    fn byte_write_read() {
+        let mut m = Memory::new();
+        m.write_u8(5, 0xAB);
+        assert_eq!(m.read_u8(5), 0xAB);
+        assert_eq!(m.resident_pages(), 1);
+    }
+
+    #[test]
+    fn little_endian_layout() {
+        let mut m = Memory::new();
+        m.write_u32(0x100, 0x0102_0304).unwrap();
+        assert_eq!(m.read_u8(0x100), 0x04);
+        assert_eq!(m.read_u8(0x103), 0x01);
+        assert_eq!(m.read_u16(0x100).unwrap(), 0x0304);
+        assert_eq!(m.read_u16(0x102).unwrap(), 0x0102);
+    }
+
+    #[test]
+    fn cross_page_write() {
+        let mut m = Memory::new();
+        m.write_bytes(0x0FFE, &[1, 2, 3, 4]);
+        assert_eq!(m.read_u8(0x0FFF), 2);
+        assert_eq!(m.read_u8(0x1000), 3);
+        assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn misalignment_is_an_error() {
+        let mut m = Memory::new();
+        assert!(m.read_u32(2).is_err());
+        assert!(m.read_u16(1).is_err());
+        assert!(m.write_u32(6, 0).is_err());
+        assert!(m.write_u16(9, 0).is_err());
+        let e = m.read_u32(2).unwrap_err();
+        assert_eq!(e.addr(), 2);
+        assert!(e.to_string().contains("misaligned"));
+    }
+
+    #[test]
+    fn write_words_sequence() {
+        let mut m = Memory::new();
+        m.write_words(0x40, &[10, 20, 30]).unwrap();
+        assert_eq!(m.read_u32(0x44).unwrap(), 20);
+    }
+}

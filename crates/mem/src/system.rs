@@ -1,0 +1,245 @@
+//! The composed memory system the simulators talk to.
+
+use crate::{Cache, CacheConfig, MemAccessError, Memory, SampleIo};
+
+/// Configuration of the full memory system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemSystemConfig {
+    /// Instruction-cache geometry.
+    pub icache: CacheConfig,
+    /// Data-cache geometry.
+    pub dcache: CacheConfig,
+}
+
+impl Default for MemSystemConfig {
+    /// The paper's platform: 8 KB I-cache and 8 KB D-cache (Sec. 8).
+    fn default() -> MemSystemConfig {
+        MemSystemConfig { icache: CacheConfig::icache_8k(), dcache: CacheConfig::dcache_8k() }
+    }
+}
+
+/// Result of a timed access: the value read (if any) and the stall penalty.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Access {
+    /// Value transferred (zero-extended to 32 bits for narrow reads).
+    pub value: u32,
+    /// Extra stall cycles beyond the pipelined single-cycle access.
+    pub penalty: u32,
+}
+
+/// Sparse memory + I/D caches + MMIO device.
+///
+/// Functional (untimed) accessors `read_*`/`write_*` are used by the fast
+/// profiler; the `timed_*` accessors additionally model cache penalties and
+/// are used by the cycle-accurate pipeline. MMIO addresses bypass the data
+/// cache entirely.
+#[derive(Debug, Clone)]
+pub struct MemSystem {
+    memory: Memory,
+    icache: Cache,
+    dcache: Cache,
+    io: SampleIo,
+}
+
+impl MemSystem {
+    /// Creates an empty memory system with cold caches.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate cache geometry; see [`CacheConfig::num_sets`].
+    #[must_use]
+    pub fn new(cfg: MemSystemConfig) -> MemSystem {
+        MemSystem {
+            memory: Memory::new(),
+            icache: Cache::new(cfg.icache),
+            dcache: Cache::new(cfg.dcache),
+            io: SampleIo::new(),
+        }
+    }
+
+    /// Backing memory (functional view).
+    #[must_use]
+    pub fn memory(&self) -> &Memory {
+        &self.memory
+    }
+
+    /// Mutable backing memory, e.g. for program loading.
+    pub fn memory_mut(&mut self) -> &mut Memory {
+        &mut self.memory
+    }
+
+    /// The MMIO device.
+    #[must_use]
+    pub fn io(&self) -> &SampleIo {
+        &self.io
+    }
+
+    /// Mutable MMIO device, e.g. to preload input samples.
+    pub fn io_mut(&mut self) -> &mut SampleIo {
+        &mut self.io
+    }
+
+    /// Instruction-cache statistics.
+    #[must_use]
+    pub fn icache_stats(&self) -> crate::CacheStats {
+        self.icache.stats()
+    }
+
+    /// Data-cache statistics.
+    #[must_use]
+    pub fn dcache_stats(&self) -> crate::CacheStats {
+        self.dcache.stats()
+    }
+
+    /// Timed instruction fetch of the word at `pc`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemAccessError`] when `pc` is not word-aligned.
+    pub fn fetch_instr(&mut self, pc: u32) -> Result<Access, MemAccessError> {
+        let value = self.memory.read_u32(pc)?;
+        let penalty = self.icache.access(pc);
+        Ok(Access { value, penalty })
+    }
+
+    /// Untimed word read honouring MMIO semantics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemAccessError`] when `addr` is not word-aligned.
+    pub fn read_u32(&mut self, addr: u32) -> Result<u32, MemAccessError> {
+        if SampleIo::contains(addr) {
+            if !addr.is_multiple_of(4) {
+                return Err(MemAccessError::misaligned(addr, 4));
+            }
+            return Ok(self.io.read(addr));
+        }
+        self.memory.read_u32(addr)
+    }
+
+    /// Untimed word write honouring MMIO semantics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemAccessError`] when `addr` is not word-aligned.
+    pub fn write_u32(&mut self, addr: u32, value: u32) -> Result<(), MemAccessError> {
+        if SampleIo::contains(addr) {
+            if !addr.is_multiple_of(4) {
+                return Err(MemAccessError::misaligned(addr, 4));
+            }
+            self.io.write(addr, value);
+            return Ok(());
+        }
+        self.memory.write_u32(addr, value)
+    }
+
+    /// Timed data read of `bytes ∈ {1, 2, 4}` at `addr`, zero-extended.
+    ///
+    /// MMIO reads bypass the data cache (penalty 0).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemAccessError`] on misalignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is not 1, 2 or 4.
+    pub fn timed_read(&mut self, addr: u32, bytes: u32) -> Result<Access, MemAccessError> {
+        if SampleIo::contains(addr) {
+            if !addr.is_multiple_of(bytes) {
+                return Err(MemAccessError::misaligned(addr, bytes));
+            }
+            return Ok(Access { value: self.io.read(addr & !3), penalty: 0 });
+        }
+        let value = match bytes {
+            1 => u32::from(self.memory.read_u8(addr)),
+            2 => u32::from(self.memory.read_u16(addr)?),
+            4 => self.memory.read_u32(addr)?,
+            _ => panic!("unsupported access width {bytes}"),
+        };
+        let penalty = self.dcache.access(addr);
+        Ok(Access { value, penalty })
+    }
+
+    /// Timed data write of the low `bytes` of `value` at `addr`.
+    ///
+    /// MMIO writes bypass the data cache (penalty 0).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemAccessError`] on misalignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is not 1, 2 or 4.
+    pub fn timed_write(&mut self, addr: u32, value: u32, bytes: u32) -> Result<u32, MemAccessError> {
+        if SampleIo::contains(addr) {
+            if !addr.is_multiple_of(bytes) {
+                return Err(MemAccessError::misaligned(addr, bytes));
+            }
+            self.io.write(addr & !3, value);
+            return Ok(0);
+        }
+        match bytes {
+            1 => self.memory.write_u8(addr, value as u8),
+            2 => self.memory.write_u16(addr, value as u16)?,
+            4 => self.memory.write_u32(addr, value)?,
+            _ => panic!("unsupported access width {bytes}"),
+        }
+        Ok(self.dcache.access(addr))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MMIO_IN_POP, MMIO_OUT_PUSH};
+
+    #[test]
+    fn fetch_charges_icache_penalty_once_per_line() {
+        let mut ms = MemSystem::new(MemSystemConfig::default());
+        ms.memory_mut().write_u32(0x1000, 0xAA).unwrap();
+        let a = ms.fetch_instr(0x1000).unwrap();
+        assert_eq!(a.value, 0xAA);
+        assert_eq!(a.penalty, 8);
+        let b = ms.fetch_instr(0x1004).unwrap();
+        assert_eq!(b.penalty, 0);
+    }
+
+    #[test]
+    fn timed_data_access_uses_dcache() {
+        let mut ms = MemSystem::new(MemSystemConfig::default());
+        assert_eq!(ms.timed_write(0x2000, 0x1234, 4).unwrap(), 8);
+        let a = ms.timed_read(0x2000, 4).unwrap();
+        assert_eq!(a.value, 0x1234);
+        assert_eq!(a.penalty, 0);
+        assert_eq!(ms.dcache_stats().accesses, 2);
+    }
+
+    #[test]
+    fn mmio_bypasses_dcache() {
+        let mut ms = MemSystem::new(MemSystemConfig::default());
+        ms.io_mut().push_input(99);
+        let a = ms.timed_read(MMIO_IN_POP, 4).unwrap();
+        assert_eq!(a.value, 99);
+        assert_eq!(a.penalty, 0);
+        ms.timed_write(MMIO_OUT_PUSH, 7, 4).unwrap();
+        assert_eq!(ms.io().output(), &[7]);
+        assert_eq!(ms.dcache_stats().accesses, 0);
+    }
+
+    #[test]
+    fn narrow_reads_zero_extend() {
+        let mut ms = MemSystem::new(MemSystemConfig::default());
+        ms.memory_mut().write_u32(0x3000, 0xFFFF_FFFF).unwrap();
+        assert_eq!(ms.timed_read(0x3001, 1).unwrap().value, 0xFF);
+        assert_eq!(ms.timed_read(0x3002, 2).unwrap().value, 0xFFFF);
+    }
+
+    #[test]
+    fn untimed_accessors_share_state_with_timed() {
+        let mut ms = MemSystem::new(MemSystemConfig::default());
+        ms.write_u32(0x4000, 5).unwrap();
+        assert_eq!(ms.timed_read(0x4000, 4).unwrap().value, 5);
+    }
+}

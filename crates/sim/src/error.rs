@@ -1,0 +1,68 @@
+//! Simulator error type.
+
+use core::fmt;
+
+use asbr_mem::MemAccessError;
+
+/// An error terminating a simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The word fetched at `pc` does not decode.
+    InvalidInstr {
+        /// Fetch address.
+        pc: u32,
+        /// The undecodable word.
+        word: u32,
+    },
+    /// A data or instruction access faulted.
+    Mem {
+        /// PC of the faulting instruction.
+        pc: u32,
+        /// Underlying access error.
+        source: MemAccessError,
+    },
+    /// The run exceeded its cycle (or step) budget without halting —
+    /// usually a guest that lost control flow.
+    Limit {
+        /// The configured budget.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidInstr { pc, word } => {
+                write!(f, "invalid instruction {word:#010x} at pc {pc:#010x}")
+            }
+            SimError::Mem { pc, source } => {
+                write!(f, "memory fault at pc {pc:#010x}: {source}")
+            }
+            SimError::Limit { limit } => {
+                write!(f, "simulation did not halt within {limit} cycles")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Mem { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_pc() {
+        let e = SimError::InvalidInstr { pc: 0x1000, word: 0xFFFF_FFFF };
+        assert!(e.to_string().contains("0x00001000"));
+        let e = SimError::Limit { limit: 10 };
+        assert!(e.to_string().contains("10 cycles"));
+    }
+}

@@ -1,0 +1,336 @@
+//! Shared instruction semantics.
+//!
+//! Both simulators evaluate instructions through [`execute`], so the
+//! functional interpreter and the pipelined model cannot drift apart: the
+//! pipeline's EX stage and the interpreter's step call the same function
+//! with different register-read closures (the pipeline's closure applies
+//! operand forwarding).
+
+use asbr_isa::{Instr, MemWidth, Reg, INSTR_BYTES};
+
+/// A pending memory operation produced by the execute phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemOp {
+    /// Effective address.
+    pub addr: u32,
+    /// Access width in bytes (1, 2 or 4).
+    pub bytes: u32,
+    /// `Some(value)` for stores; `None` for loads.
+    pub store: Option<u32>,
+    /// Zero-extend (rather than sign-extend) a narrow load.
+    pub unsigned: bool,
+}
+
+/// A resolved change of control flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControlEffect {
+    /// A conditional branch with its outcome and (taken-)target.
+    Branch {
+        /// Whether the branch is taken.
+        taken: bool,
+        /// Target if taken.
+        target: u32,
+    },
+    /// An unconditional jump (direct or indirect) to `target`.
+    Jump {
+        /// Jump destination.
+        target: u32,
+    },
+}
+
+impl ControlEffect {
+    /// The address of the next instruction given this effect, for an
+    /// instruction at `pc`.
+    #[must_use]
+    pub fn next_pc(&self, pc: u32) -> u32 {
+        match *self {
+            ControlEffect::Branch { taken: true, target } => target,
+            ControlEffect::Branch { taken: false, .. } => pc.wrapping_add(INSTR_BYTES),
+            ControlEffect::Jump { target } => target,
+        }
+    }
+}
+
+/// Everything the execute phase decides about one instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExecEffect {
+    /// Register result available at the end of EX (`None` for loads, whose
+    /// result exists only after MEM, and for non-writing instructions).
+    pub writeback: Option<(Reg, u32)>,
+    /// Memory operation to perform in MEM. For loads, `dst` below receives
+    /// the extended value.
+    pub mem: Option<MemOp>,
+    /// Load destination register (paired with a `mem` load).
+    pub load_dst: Option<Reg>,
+    /// Control-flow resolution.
+    pub control: Option<ControlEffect>,
+    /// Control-register write (`ctrlw`): `(index, value)`.
+    pub ctrl_write: Option<(u8, u32)>,
+    /// The machine halts when this instruction commits.
+    pub halt: bool,
+}
+
+/// Sign- or zero-extends a raw loaded value.
+#[must_use]
+pub fn extend_load(raw: u32, width: MemWidth, unsigned: bool) -> u32 {
+    match (width, unsigned) {
+        (MemWidth::Byte, false) => (raw as u8) as i8 as i32 as u32,
+        (MemWidth::Byte, true) => u32::from(raw as u8),
+        (MemWidth::Half, false) => (raw as u16) as i16 as i32 as u32,
+        (MemWidth::Half, true) => u32::from(raw as u16),
+        (MemWidth::Word, _) => raw,
+    }
+}
+
+/// Evaluates `instr` at `pc`, reading source registers through `read`.
+///
+/// Pure with respect to machine state: all effects are returned in the
+/// [`ExecEffect`] for the caller to apply with its own timing.
+pub fn execute(instr: Instr, pc: u32, mut read: impl FnMut(Reg) -> u32) -> ExecEffect {
+    let mut fx = ExecEffect::default();
+    let link = pc.wrapping_add(INSTR_BYTES);
+
+    /// Signed view helper.
+    fn s(v: u32) -> i32 {
+        v as i32
+    }
+
+    match instr {
+        Instr::Add { rd, rs, rt } => {
+            fx.writeback = Some((rd, read(rs).wrapping_add(read(rt))));
+        }
+        Instr::Sub { rd, rs, rt } => {
+            fx.writeback = Some((rd, read(rs).wrapping_sub(read(rt))));
+        }
+        Instr::And { rd, rs, rt } => fx.writeback = Some((rd, read(rs) & read(rt))),
+        Instr::Or { rd, rs, rt } => fx.writeback = Some((rd, read(rs) | read(rt))),
+        Instr::Xor { rd, rs, rt } => fx.writeback = Some((rd, read(rs) ^ read(rt))),
+        Instr::Nor { rd, rs, rt } => fx.writeback = Some((rd, !(read(rs) | read(rt)))),
+        Instr::Slt { rd, rs, rt } => {
+            fx.writeback = Some((rd, u32::from(s(read(rs)) < s(read(rt)))));
+        }
+        Instr::Sltu { rd, rs, rt } => fx.writeback = Some((rd, u32::from(read(rs) < read(rt)))),
+        Instr::Mul { rd, rs, rt } => {
+            fx.writeback = Some((rd, s(read(rs)).wrapping_mul(s(read(rt))) as u32));
+        }
+        Instr::Div { rd, rs, rt } => {
+            let (a, b) = (s(read(rs)), s(read(rt)));
+            fx.writeback = Some((rd, if b == 0 { 0 } else { a.wrapping_div(b) as u32 }));
+        }
+        Instr::Rem { rd, rs, rt } => {
+            let (a, b) = (s(read(rs)), s(read(rt)));
+            fx.writeback = Some((rd, if b == 0 { 0 } else { a.wrapping_rem(b) as u32 }));
+        }
+        Instr::Sll { rd, rt, shamt } => fx.writeback = Some((rd, read(rt) << shamt)),
+        Instr::Srl { rd, rt, shamt } => fx.writeback = Some((rd, read(rt) >> shamt)),
+        Instr::Sra { rd, rt, shamt } => fx.writeback = Some((rd, (s(read(rt)) >> shamt) as u32)),
+        Instr::Sllv { rd, rt, rs } => {
+            fx.writeback = Some((rd, read(rt) << (read(rs) & 31)));
+        }
+        Instr::Srlv { rd, rt, rs } => {
+            fx.writeback = Some((rd, read(rt) >> (read(rs) & 31)));
+        }
+        Instr::Srav { rd, rt, rs } => {
+            fx.writeback = Some((rd, (s(read(rt)) >> (read(rs) & 31)) as u32));
+        }
+        Instr::Addi { rt, rs, imm } => {
+            fx.writeback = Some((rt, read(rs).wrapping_add(imm as i32 as u32)));
+        }
+        Instr::Slti { rt, rs, imm } => {
+            fx.writeback = Some((rt, u32::from(s(read(rs)) < i32::from(imm))));
+        }
+        Instr::Sltiu { rt, rs, imm } => {
+            fx.writeback = Some((rt, u32::from(read(rs) < imm as i32 as u32)));
+        }
+        Instr::Andi { rt, rs, imm } => fx.writeback = Some((rt, read(rs) & u32::from(imm))),
+        Instr::Ori { rt, rs, imm } => fx.writeback = Some((rt, read(rs) | u32::from(imm))),
+        Instr::Xori { rt, rs, imm } => fx.writeback = Some((rt, read(rs) ^ u32::from(imm))),
+        Instr::Lui { rt, imm } => fx.writeback = Some((rt, u32::from(imm) << 16)),
+        Instr::Load { rt, rs, off, width, unsigned } => {
+            fx.mem = Some(MemOp {
+                addr: read(rs).wrapping_add(off as i32 as u32),
+                bytes: width.bytes(),
+                store: None,
+                unsigned,
+            });
+            fx.load_dst = Some(rt);
+        }
+        Instr::Store { rt, rs, off, width } => {
+            fx.mem = Some(MemOp {
+                addr: read(rs).wrapping_add(off as i32 as u32),
+                bytes: width.bytes(),
+                store: Some(read(rt)),
+                unsigned: false,
+            });
+        }
+        Instr::BranchZ { cond, rs, off } => {
+            let taken = cond.eval(s(read(rs)));
+            let target = asbr_isa::BranchInfo { zero_compare: None, off }.target(pc);
+            fx.control = Some(ControlEffect::Branch { taken, target });
+        }
+        Instr::Beq { rs, rt, off } => {
+            let taken = read(rs) == read(rt);
+            let target = asbr_isa::BranchInfo { zero_compare: None, off }.target(pc);
+            fx.control = Some(ControlEffect::Branch { taken, target });
+        }
+        Instr::Bne { rs, rt, off } => {
+            let taken = read(rs) != read(rt);
+            let target = asbr_isa::BranchInfo { zero_compare: None, off }.target(pc);
+            fx.control = Some(ControlEffect::Branch { taken, target });
+        }
+        Instr::J { .. } => {
+            let target = instr.direct_jump_target(pc).expect("J has a direct target");
+            fx.control = Some(ControlEffect::Jump { target });
+        }
+        Instr::Jal { .. } => {
+            let target = instr.direct_jump_target(pc).expect("JAL has a direct target");
+            fx.control = Some(ControlEffect::Jump { target });
+            fx.writeback = Some((Reg::RA, link));
+        }
+        Instr::Jr { rs } => fx.control = Some(ControlEffect::Jump { target: read(rs) }),
+        Instr::Jalr { rd, rs } => {
+            // Read before link write, so `jalr r2, r2` behaves.
+            let target = read(rs);
+            fx.control = Some(ControlEffect::Jump { target });
+            fx.writeback = Some((rd, link));
+        }
+        Instr::CtrlW { ctrl, rs } => fx.ctrl_write = Some((ctrl, read(rs))),
+        Instr::Halt => fx.halt = true,
+    }
+
+    // Writes to r0 are architectural no-ops.
+    if let Some((rd, _)) = fx.writeback {
+        if rd.is_zero() {
+            fx.writeback = None;
+        }
+    }
+    if fx.load_dst.is_some_and(Reg::is_zero) {
+        fx.load_dst = None;
+    }
+    fx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asbr_isa::Cond;
+
+    fn regs(vals: &[(u8, u32)]) -> impl FnMut(Reg) -> u32 + '_ {
+        move |r: Reg| {
+            vals.iter()
+                .find(|&&(i, _)| i == r.index())
+                .map_or(0, |&(_, v)| v)
+        }
+    }
+
+    #[test]
+    fn arithmetic_wraps() {
+        let i = Instr::Add { rd: Reg::new(1), rs: Reg::new(2), rt: Reg::new(3) };
+        let fx = execute(i, 0, regs(&[(2, u32::MAX), (3, 1)]));
+        assert_eq!(fx.writeback, Some((Reg::new(1), 0)));
+    }
+
+    #[test]
+    fn signed_vs_unsigned_compare() {
+        let slt = Instr::Slt { rd: Reg::new(1), rs: Reg::new(2), rt: Reg::new(3) };
+        let fx = execute(slt, 0, regs(&[(2, (-1i32) as u32), (3, 1)]));
+        assert_eq!(fx.writeback.unwrap().1, 1);
+        let sltu = Instr::Sltu { rd: Reg::new(1), rs: Reg::new(2), rt: Reg::new(3) };
+        let fx = execute(sltu, 0, regs(&[(2, (-1i32) as u32), (3, 1)]));
+        assert_eq!(fx.writeback.unwrap().1, 0);
+    }
+
+    #[test]
+    fn division_by_zero_yields_zero() {
+        let div = Instr::Div { rd: Reg::new(1), rs: Reg::new(2), rt: Reg::new(3) };
+        let fx = execute(div, 0, regs(&[(2, 10), (3, 0)]));
+        assert_eq!(fx.writeback.unwrap().1, 0);
+        let fx = execute(div, 0, regs(&[(2, i32::MIN as u32), (3, (-1i32) as u32)]));
+        assert_eq!(fx.writeback.unwrap().1, i32::MIN as u32, "MIN/-1 wraps");
+    }
+
+    #[test]
+    fn arithmetic_shift_preserves_sign() {
+        let sra = Instr::Sra { rd: Reg::new(1), rt: Reg::new(2), shamt: 4 };
+        let fx = execute(sra, 0, regs(&[(2, (-64i32) as u32)]));
+        assert_eq!(fx.writeback.unwrap().1 as i32, -4);
+    }
+
+    #[test]
+    fn load_effect_and_extension() {
+        let lh = Instr::Load {
+            rt: Reg::new(5),
+            rs: Reg::new(4),
+            off: -2,
+            width: MemWidth::Half,
+            unsigned: false,
+        };
+        let fx = execute(lh, 0, regs(&[(4, 0x102)]));
+        let m = fx.mem.unwrap();
+        assert_eq!(m.addr, 0x100);
+        assert_eq!(m.bytes, 2);
+        assert_eq!(m.store, None);
+        assert_eq!(fx.load_dst, Some(Reg::new(5)));
+        assert_eq!(extend_load(0x8000, MemWidth::Half, false) as i32, -32768);
+        assert_eq!(extend_load(0x8000, MemWidth::Half, true), 0x8000);
+        assert_eq!(extend_load(0xFF, MemWidth::Byte, false) as i32, -1);
+    }
+
+    #[test]
+    fn store_effect_carries_value() {
+        let sw = Instr::Store { rt: Reg::new(5), rs: Reg::new(4), off: 8, width: MemWidth::Word };
+        let fx = execute(sw, 0, regs(&[(4, 0x100), (5, 77)]));
+        assert_eq!(fx.mem.unwrap().store, Some(77));
+        assert_eq!(fx.load_dst, None);
+    }
+
+    #[test]
+    fn branch_resolution() {
+        let b = Instr::BranchZ { cond: Cond::Ltz, rs: Reg::new(3), off: 10 };
+        let fx = execute(b, 0x100, regs(&[(3, (-5i32) as u32)]));
+        match fx.control.unwrap() {
+            ControlEffect::Branch { taken, target } => {
+                assert!(taken);
+                assert_eq!(target, 0x100 + 4 + 40);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(fx.control.unwrap().next_pc(0x100), 0x100 + 44);
+    }
+
+    #[test]
+    fn untaken_branch_falls_through() {
+        let b = Instr::Beq { rs: Reg::new(1), rt: Reg::new(2), off: 10 };
+        let fx = execute(b, 0x100, regs(&[(1, 1), (2, 2)]));
+        assert_eq!(fx.control.unwrap().next_pc(0x100), 0x104);
+    }
+
+    #[test]
+    fn jal_links_and_jumps() {
+        let j = Instr::Jal { target: 0x2000 >> 2 };
+        let fx = execute(j, 0x100, regs(&[]));
+        assert_eq!(fx.writeback, Some((Reg::RA, 0x104)));
+        assert_eq!(fx.control.unwrap().next_pc(0x100), 0x2000);
+    }
+
+    #[test]
+    fn jalr_same_register() {
+        let j = Instr::Jalr { rd: Reg::new(2), rs: Reg::new(2) };
+        let fx = execute(j, 0x100, regs(&[(2, 0x3000)]));
+        assert_eq!(fx.control.unwrap().next_pc(0x100), 0x3000);
+        assert_eq!(fx.writeback, Some((Reg::new(2), 0x104)));
+    }
+
+    #[test]
+    fn writes_to_r0_are_dropped() {
+        let i = Instr::Addi { rt: Reg::ZERO, rs: Reg::ZERO, imm: 5 };
+        assert_eq!(execute(i, 0, regs(&[])).writeback, None);
+    }
+
+    #[test]
+    fn halt_and_ctrlw() {
+        assert!(execute(Instr::Halt, 0, regs(&[])).halt);
+        let fx = execute(Instr::CtrlW { ctrl: 0, rs: Reg::new(9) }, 0, regs(&[(9, 3)]));
+        assert_eq!(fx.ctrl_write, Some((0, 3)));
+    }
+}

@@ -1,0 +1,141 @@
+//! Fetch-stage customization hooks.
+//!
+//! The paper's central idea is a *microarchitecturally reprogrammable*
+//! fetch-stage unit. The pipeline stays generic over a [`FetchHooks`]
+//! implementation; the `asbr-core` crate supplies the Branch Identification
+//! Table / Branch Direction Table machinery through this trait, and
+//! [`NullHooks`] gives the uncustomized baseline processor.
+
+use asbr_isa::{Instr, Reg};
+
+/// Pipeline point at which a computed register value is *published* to the
+/// early-condition-evaluation logic (paper, Sec. 5.2).
+///
+/// The publish point determines the *threshold*: the minimum def→branch
+/// separation (in dynamic instruction slots) for a branch to be foldable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PublishPoint {
+    /// Aggressive: published at the end of the execute stage
+    /// (threshold 2). Loads still publish after MEM.
+    Execute,
+    /// Forwarding path from the EX/MEM latch: available at the end of the
+    /// 4th stage (threshold 3). This is the paper's primary configuration.
+    #[default]
+    Mem,
+    /// Published only at register commit, as in an unmodified pipeline
+    /// (threshold 4).
+    Commit,
+}
+
+impl PublishPoint {
+    /// The def→branch distance (independent instructions between the
+    /// predicate definition and the branch) above which folding succeeds
+    /// on a straight-line 5-stage pipe.
+    #[must_use]
+    pub fn threshold(self) -> u32 {
+        match self {
+            PublishPoint::Execute => 2,
+            PublishPoint::Mem => 3,
+            PublishPoint::Commit => 4,
+        }
+    }
+}
+
+/// A fetch-stage folding decision: the fetched branch is replaced by its
+/// target (or fall-through) instruction and never enters the pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Folded {
+    /// The replacement instruction (BTI on taken, BFI on fall-through).
+    pub replacement: Instr,
+    /// The replacement's own address (BTA, or branch pc + 4).
+    pub replacement_pc: u32,
+    /// Where fetch continues (BTA + 4, or branch pc + 8).
+    pub next_pc: u32,
+    /// The pre-resolved branch direction (for statistics).
+    pub taken: bool,
+}
+
+/// Fetch-stage customization interface implemented by the ASBR unit.
+///
+/// Call protocol (enforced by the pipeline):
+///
+/// 1. every fetched instruction that writes a register is announced with
+///    [`note_fetch_writer`] *when its fetch begins*;
+/// 2. [`try_fold`] is consulted for every fetched word — returning
+///    `Some` replaces the fetch slot; the replacement instruction's writer
+///    is announced too;
+/// 3. a squashed in-flight instruction that was announced but whose value
+///    was never published is retracted with [`note_squash_writer`];
+/// 4. when an instruction's value becomes architecturally available at
+///    this unit's [`publish_point`], the pipeline calls [`note_publish`];
+/// 5. `ctrlw` instructions reach [`note_ctrl_write`] at execute.
+///
+/// [`note_fetch_writer`]: FetchHooks::note_fetch_writer
+/// [`try_fold`]: FetchHooks::try_fold
+/// [`note_squash_writer`]: FetchHooks::note_squash_writer
+/// [`publish_point`]: FetchHooks::publish_point
+/// [`note_publish`]: FetchHooks::note_publish
+/// [`note_ctrl_write`]: FetchHooks::note_ctrl_write
+pub trait FetchHooks {
+    /// The stage at which this unit receives register publishes.
+    fn publish_point(&self) -> PublishPoint {
+        PublishPoint::Commit
+    }
+
+    /// Attempts to fold the instruction fetched at `pc`.
+    fn try_fold(&mut self, pc: u32, word: u32) -> Option<Folded>;
+
+    /// An instruction writing `reg` entered the front end.
+    fn note_fetch_writer(&mut self, reg: Reg);
+
+    /// A previously announced writer of `reg` was squashed before its
+    /// publish.
+    fn note_squash_writer(&mut self, reg: Reg);
+
+    /// The in-flight writer of `reg` produced `value` (one publish per
+    /// announced writer, in program order).
+    fn note_publish(&mut self, reg: Reg, value: u32);
+
+    /// A `ctrlw` wrote `value` to control register `ctrl`.
+    fn note_ctrl_write(&mut self, ctrl: u8, value: u32);
+}
+
+/// The uncustomized baseline: never folds, ignores all notifications.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullHooks;
+
+impl FetchHooks for NullHooks {
+    fn try_fold(&mut self, _pc: u32, _word: u32) -> Option<Folded> {
+        None
+    }
+
+    fn note_fetch_writer(&mut self, _reg: Reg) {}
+
+    fn note_squash_writer(&mut self, _reg: Reg) {}
+
+    fn note_publish(&mut self, _reg: Reg, _value: u32) {}
+
+    fn note_ctrl_write(&mut self, _ctrl: u8, _value: u32) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thresholds_match_the_paper() {
+        // Sec. 5.2: forwarding after EX/MEM -> threshold 3; value at the
+        // end of the execute stage -> threshold 2; plain commit cannot
+        // fold the paper's distance-3 example.
+        assert_eq!(PublishPoint::Mem.threshold(), 3);
+        assert_eq!(PublishPoint::Execute.threshold(), 2);
+        assert!(PublishPoint::Commit.threshold() > 3);
+    }
+
+    #[test]
+    fn null_hooks_never_fold() {
+        let mut h = NullHooks;
+        assert_eq!(h.try_fold(0x1000, 0), None);
+        assert_eq!(h.publish_point(), PublishPoint::Commit);
+    }
+}

@@ -1,0 +1,396 @@
+//! Fast functional interpreter.
+
+use asbr_asm::{Program, STACK_TOP};
+use asbr_isa::{Instr, Reg, INSTR_BYTES};
+use asbr_mem::{MemSystem, MemSystemConfig};
+
+use crate::exec::{execute, extend_load, ControlEffect};
+use crate::SimError;
+
+/// Callbacks invoked by [`Interp`] as instructions retire — the profiling
+/// interface used to gather the per-branch statistics of the paper's
+/// Figures 7/9/10 and the def→branch distances of its Sec. 6 selection.
+///
+/// All methods have empty defaults; implement only what you need.
+#[allow(unused_variables)]
+pub trait Observer {
+    /// `instr` at `pc` retired as the `icount`-th dynamic instruction.
+    fn on_retire(&mut self, pc: u32, instr: Instr, icount: u64) {}
+
+    /// A conditional branch at `pc` resolved.
+    fn on_branch(&mut self, pc: u32, instr: Instr, taken: bool, icount: u64) {}
+
+    /// `reg` received `value` (at the `icount`-th dynamic instruction).
+    fn on_reg_write(&mut self, reg: Reg, value: u32, icount: u64) {}
+
+    /// A `ctrlw` executed.
+    fn on_ctrl_write(&mut self, ctrl: u8, value: u32) {}
+}
+
+/// The do-nothing observer.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullObserver;
+
+impl Observer for NullObserver {}
+
+/// Result of a completed functional run.
+#[derive(Debug, Clone)]
+pub struct RunSummary {
+    /// Dynamic instructions retired (including `halt`).
+    pub instructions: u64,
+    /// Output samples the guest produced.
+    pub output: Vec<i32>,
+}
+
+/// A functional (1-instruction-per-step, untimed) interpreter.
+///
+/// Shares its instruction semantics with the pipelined simulator via
+/// [`crate::exec::execute`]; used for workload validation and for the
+/// profiling pass that selects ASBR candidate branches.
+///
+/// # Examples
+///
+/// ```
+/// use asbr_asm::assemble;
+/// use asbr_sim::Interp;
+///
+/// let prog = assemble("
+/// main:   li r2, 6
+///         li r3, 7
+///         mul r4, r2, r3
+///         halt
+/// ")?;
+/// let mut it = Interp::new(&prog);
+/// it.run(10_000)?;
+/// assert_eq!(it.reg(asbr_isa::Reg::new(4)), 42);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct Interp {
+    regs: [u32; 32],
+    pc: u32,
+    mem: MemSystem,
+    halted: bool,
+    icount: u64,
+}
+
+impl Interp {
+    /// Loads `program` into a fresh machine (default memory geometry; the
+    /// caches are irrelevant to functional execution).
+    #[must_use]
+    pub fn new(program: &Program) -> Interp {
+        let mut mem = MemSystem::new(MemSystemConfig::default());
+        program.load_into(mem.memory_mut());
+        let mut regs = [0u32; 32];
+        regs[usize::from(Reg::SP)] = STACK_TOP;
+        Interp { regs, pc: program.entry(), mem, halted: false, icount: 0 }
+    }
+
+    /// Queues input samples for the MMIO device.
+    pub fn feed_input<I: IntoIterator<Item = i32>>(&mut self, samples: I) {
+        self.mem.io_mut().extend_input(samples);
+    }
+
+    /// Current program counter.
+    #[must_use]
+    pub fn pc(&self) -> u32 {
+        self.pc
+    }
+
+    /// Whether the machine has executed `halt`.
+    #[must_use]
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Dynamic instruction count so far.
+    #[must_use]
+    pub fn instructions(&self) -> u64 {
+        self.icount
+    }
+
+    /// Reads an architectural register.
+    #[must_use]
+    pub fn reg(&self, r: Reg) -> u32 {
+        self.regs[usize::from(r)]
+    }
+
+    /// The memory system (for inspecting guest state or output).
+    #[must_use]
+    pub fn mem(&self) -> &MemSystem {
+        &self.mem
+    }
+
+    /// Mutable memory system access.
+    pub fn mem_mut(&mut self) -> &mut MemSystem {
+        &mut self.mem
+    }
+
+    /// Executes one instruction, reporting events to `obs`.
+    ///
+    /// Returns `Ok(false)` once halted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] on undecodable instructions or memory faults.
+    pub fn step_observed(&mut self, obs: &mut impl Observer) -> Result<bool, SimError> {
+        if self.halted {
+            return Ok(false);
+        }
+        let pc = self.pc;
+        let word = self
+            .mem
+            .memory()
+            .read_u32(pc)
+            .map_err(|source| SimError::Mem { pc, source })?;
+        let instr = Instr::decode(word).map_err(|_| SimError::InvalidInstr { pc, word })?;
+        self.icount += 1;
+
+        let regs = &self.regs;
+        let fx = execute(instr, pc, |r| regs[usize::from(r)]);
+
+        let mut next_pc = pc.wrapping_add(INSTR_BYTES);
+        if let Some(ctl) = fx.control {
+            next_pc = ctl.next_pc(pc);
+            if let ControlEffect::Branch { taken, .. } = ctl {
+                obs.on_branch(pc, instr, taken, self.icount);
+            }
+        }
+        if let Some((rd, v)) = fx.writeback {
+            self.regs[usize::from(rd)] = v;
+            obs.on_reg_write(rd, v, self.icount);
+        }
+        if let Some(mem_op) = fx.mem {
+            if let Some(value) = mem_op.store {
+                // The untimed path shares MMIO semantics with the timed one.
+                self.mem
+                    .timed_write(mem_op.addr, value, mem_op.bytes)
+                    .map_err(|source| SimError::Mem { pc, source })?;
+            } else {
+                let raw = self
+                    .mem
+                    .timed_read(mem_op.addr, mem_op.bytes)
+                    .map_err(|source| SimError::Mem { pc, source })?
+                    .value;
+                let width = match mem_op.bytes {
+                    1 => asbr_isa::MemWidth::Byte,
+                    2 => asbr_isa::MemWidth::Half,
+                    _ => asbr_isa::MemWidth::Word,
+                };
+                let v = extend_load(raw, width, mem_op.unsigned);
+                let rd = fx.load_dst.expect("loads have a destination");
+                self.regs[usize::from(rd)] = v;
+                obs.on_reg_write(rd, v, self.icount);
+            }
+        }
+        if let Some((ctrl, value)) = fx.ctrl_write {
+            obs.on_ctrl_write(ctrl, value);
+        }
+        obs.on_retire(pc, instr, self.icount);
+
+        if fx.halt {
+            self.halted = true;
+            return Ok(false);
+        }
+        self.pc = next_pc;
+        Ok(true)
+    }
+
+    /// Executes one instruction without observation.
+    ///
+    /// # Errors
+    ///
+    /// See [`Interp::step_observed`].
+    pub fn step(&mut self) -> Result<bool, SimError> {
+        self.step_observed(&mut NullObserver)
+    }
+
+    /// Runs to `halt`, reporting events to `obs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Limit`] if `max_steps` instructions execute
+    /// without halting, or any error from [`Interp::step_observed`].
+    pub fn run_observed(
+        &mut self,
+        max_steps: u64,
+        obs: &mut impl Observer,
+    ) -> Result<RunSummary, SimError> {
+        let budget = max_steps.saturating_sub(self.icount);
+        for _ in 0..budget {
+            if !self.step_observed(obs)? {
+                return Ok(RunSummary {
+                    instructions: self.icount,
+                    output: self.mem.io().output().to_vec(),
+                });
+            }
+        }
+        if self.halted {
+            Ok(RunSummary { instructions: self.icount, output: self.mem.io().output().to_vec() })
+        } else {
+            Err(SimError::Limit { limit: max_steps })
+        }
+    }
+
+    /// Runs to `halt` without observation.
+    ///
+    /// # Errors
+    ///
+    /// See [`Interp::run_observed`].
+    pub fn run(&mut self, max_steps: u64) -> Result<RunSummary, SimError> {
+        self.run_observed(max_steps, &mut NullObserver)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asbr_asm::assemble;
+
+    fn run_asm(src: &str) -> Interp {
+        let p = assemble(src).expect("test program assembles");
+        let mut it = Interp::new(&p);
+        it.run(1_000_000).expect("test program halts");
+        it
+    }
+
+    #[test]
+    fn loop_counts_down() {
+        let it = run_asm(
+            "
+            main:   li r4, 5
+                    li r2, 0
+            loop:   addi r2, r2, 3
+                    addi r4, r4, -1
+                    bnez r4, loop
+                    halt
+            ",
+        );
+        assert_eq!(it.reg(Reg::V0), 15);
+        assert!(it.halted());
+    }
+
+    #[test]
+    fn memory_and_data_segment() {
+        let it = run_asm(
+            "
+            main:   la r5, tbl
+                    lw r2, 0(r5)
+                    lw r3, 4(r5)
+                    add r2, r2, r3
+                    sw r2, 8(r5)
+                    lw r4, 8(r5)
+                    halt
+            .data
+            tbl:    .word 30, 12, 0
+            ",
+        );
+        assert_eq!(it.reg(Reg::new(4)), 42);
+    }
+
+    #[test]
+    fn function_call_and_stack() {
+        let it = run_asm(
+            "
+            main:   li   r4, 20
+                    jal  double
+                    move r16, r2
+                    li   r4, 11
+                    jal  double
+                    add  r16, r16, r2
+                    halt
+            double: addi r29, r29, -4
+                    sw   r31, 0(r29)
+                    add  r2, r4, r4
+                    lw   r31, 0(r29)
+                    addi r29, r29, 4
+                    jr   r31
+            ",
+        );
+        assert_eq!(it.reg(Reg::new(16)), 62);
+    }
+
+    #[test]
+    fn mmio_copy_program() {
+        let p = assemble(
+            "
+            main:   li   r8, 0xFFFF0000
+            loop:   lw   r9, 4(r8)      # remaining
+                    beqz r9, done
+                    lw   r10, 0(r8)     # pop
+                    sll  r10, r10, 1
+                    sw   r10, 8(r8)     # push
+                    j    loop
+            done:   halt
+            ",
+        )
+        .unwrap();
+        let mut it = Interp::new(&p);
+        it.feed_input([1, -2, 3]);
+        let summary = it.run(100_000).unwrap();
+        assert_eq!(summary.output, vec![2, -4, 6]);
+    }
+
+    #[test]
+    fn observer_sees_branches_and_writes() {
+        #[derive(Default)]
+        struct Counter {
+            branches: u32,
+            taken: u32,
+            writes: u32,
+        }
+        impl Observer for Counter {
+            fn on_branch(&mut self, _pc: u32, _i: Instr, taken: bool, _n: u64) {
+                self.branches += 1;
+                self.taken += u32::from(taken);
+            }
+            fn on_reg_write(&mut self, _r: Reg, _v: u32, _n: u64) {
+                self.writes += 1;
+            }
+        }
+        let p = assemble(
+            "
+            main:   li r4, 3
+            loop:   addi r4, r4, -1
+                    bnez r4, loop
+                    halt
+            ",
+        )
+        .unwrap();
+        let mut it = Interp::new(&p);
+        let mut c = Counter::default();
+        it.run_observed(10_000, &mut c).unwrap();
+        assert_eq!(c.branches, 3);
+        assert_eq!(c.taken, 2);
+        assert_eq!(c.writes, 4); // li + 3 addi
+    }
+
+    #[test]
+    fn step_limit_is_an_error() {
+        let p = assemble("main: j main").unwrap();
+        let mut it = Interp::new(&p);
+        assert!(matches!(it.run(100), Err(SimError::Limit { limit: 100 })));
+    }
+
+    #[test]
+    fn invalid_instruction_reports_pc() {
+        let p = assemble("main: nop").unwrap(); // runs off the end into zeroed mem (nops)...
+        let mut it = Interp::new(&p);
+        // Write garbage right after the program and run into it.
+        it.mem_mut().memory_mut().write_u32(p.text_end(), 0xFC00_0000).unwrap();
+        let err = it.run(10).unwrap_err();
+        match err {
+            SimError::InvalidInstr { pc, .. } => assert_eq!(pc, p.text_end()),
+            other => panic!("{other}"),
+        }
+    }
+
+    #[test]
+    fn halted_machine_stays_halted() {
+        let p = assemble("main: halt").unwrap();
+        let mut it = Interp::new(&p);
+        it.run(10).unwrap();
+        assert!(!it.step().unwrap());
+        assert_eq!(it.instructions(), 1);
+    }
+}

@@ -1,0 +1,59 @@
+#![warn(missing_docs)]
+
+//! Processor simulators for the ASBR reproduction.
+//!
+//! Two engines share one instruction-semantics core ([`exec`]):
+//!
+//! * [`Interp`] — a fast *functional* interpreter used for profiling
+//!   (branch statistics, def→use distances) and for validating guest
+//!   programs against reference codecs;
+//! * [`Pipeline`] — the *cycle-accurate* model of the paper's evaluation
+//!   platform (Sec. 8): a 5-stage (IF/ID/EX/MEM/WB) in-order single-issue
+//!   pipeline with full forwarding, a one-cycle load-use interlock, branch
+//!   resolution in EX (two squashed slots on a wrong-path fetch), direct
+//!   jumps redirecting in ID (one squashed slot), and 8 KB I/D caches.
+//!
+//! The pipeline exposes the [`FetchHooks`] trait: a fetch-stage
+//! customization point through which the `asbr-core` crate implements the
+//! paper's Application-Specific Branch Resolution — folding branches out of
+//! the instruction stream at fetch, tracking in-flight predicate writers,
+//! and receiving early register publishes at a configurable pipeline point.
+//!
+//! # Examples
+//!
+//! ```
+//! use asbr_asm::assemble;
+//! use asbr_bpred::PredictorKind;
+//! use asbr_sim::{Pipeline, PipelineConfig};
+//!
+//! let prog = assemble("
+//! main:   li   r4, 10
+//! loop:   addi r4, r4, -1
+//!         bnez r4, loop
+//!         halt
+//! ")?;
+//! let mut pipe = Pipeline::new(
+//!     PipelineConfig::default(),
+//!     PredictorKind::Bimodal { entries: 64 }.build(),
+//! );
+//! pipe.load(&prog);
+//! let summary = pipe.run()?;
+//! assert!(summary.halted);
+//! assert!(summary.stats.cycles > summary.stats.retired); // CPI > 1
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod exec;
+mod error;
+mod hooks;
+mod interp;
+mod pipeline;
+mod snapshot;
+mod stats;
+
+pub use error::SimError;
+pub use hooks::{FetchHooks, Folded, NullHooks, PublishPoint};
+pub use interp::{Interp, Observer, RunSummary};
+pub use pipeline::{Pipeline, PipelineConfig, PipelineSummary};
+pub use snapshot::{PipeSnapshot, StageView};
+pub use stats::{Activity, PipelineStats};

@@ -1,0 +1,84 @@
+//! Per-cycle pipeline introspection.
+//!
+//! [`PipeSnapshot`] captures which instruction occupies each stage at a
+//! given cycle — the classic pipeline-diagram view, useful for debugging
+//! guest programs and for teaching what folding does to the instruction
+//! stream (a folded branch simply never appears).
+
+use core::fmt;
+
+use asbr_isa::Instr;
+
+/// One stage's occupant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageView {
+    /// The occupant's PC.
+    pub pc: u32,
+    /// The decoded instruction.
+    pub instr: Instr,
+}
+
+impl fmt::Display for StageView {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#010x} {}", self.pc, self.instr)
+    }
+}
+
+/// The pipeline-diagram row for one cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipeSnapshot {
+    /// Machine cycle the snapshot was taken at.
+    pub cycle: u64,
+    /// Instruction being fetched (with refill cycles remaining on an
+    /// I-cache miss).
+    pub fetch: Option<(StageView, u32)>,
+    /// IF/ID latch.
+    pub decode: Option<StageView>,
+    /// ID/EX latch (or a multi-cycle operation draining in EX, with
+    /// remaining cycles).
+    pub execute: Option<(StageView, u32)>,
+    /// EX/MEM latch (or a D-cache miss draining in MEM, with remaining
+    /// cycles).
+    pub memory: Option<(StageView, u32)>,
+    /// MEM/WB latch.
+    pub writeback: Option<StageView>,
+}
+
+impl fmt::Display for PipeSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn cell(v: Option<&str>) -> String {
+            v.unwrap_or("--").to_owned()
+        }
+        let fetch = self.fetch.map(|(s, d)| {
+            if d > 0 {
+                format!("{s} (+{d})")
+            } else {
+                s.to_string()
+            }
+        });
+        let ex = self.execute.map(|(s, d)| {
+            if d > 0 {
+                format!("{s} (+{d})")
+            } else {
+                s.to_string()
+            }
+        });
+        let mem = self.memory.map(|(s, d)| {
+            if d > 0 {
+                format!("{s} (+{d})")
+            } else {
+                s.to_string()
+            }
+        });
+        write!(
+            f,
+            "c{:<6} IF[{}] ID[{}] EX[{}] MEM[{}] WB[{}]",
+            self.cycle,
+            cell(fetch.as_deref()),
+            cell(self.decode.map(|s| s.to_string()).as_deref()),
+            cell(ex.as_deref()),
+            cell(mem.as_deref()),
+            cell(self.writeback.map(|s| s.to_string()).as_deref()),
+        )
+    }
+}

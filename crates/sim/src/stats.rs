@@ -1,0 +1,101 @@
+//! Pipeline performance counters.
+
+use asbr_bpred::AccuracyTracker;
+
+/// Per-structure activity counters, the raw input to energy accounting.
+///
+/// The paper's power argument (Sec. 1): "The total number of instructions
+/// passing through the pipeline is reduced, as a branch instruction folded
+/// in the fetch stage proceeds no further in the pipeline and no
+/// mispredicted instructions are executed. Consequently, power consumption
+/// is decreased." These counters measure exactly that traffic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Activity {
+    /// Instruction slots fetched (correct *and* wrong path).
+    pub fetched: u64,
+    /// Fetched slots squashed before retirement (wrong-path work).
+    pub squashed: u64,
+    /// Slots that passed the decode stage.
+    pub decoded: u64,
+    /// Slots that executed in EX.
+    pub executed: u64,
+    /// Data-memory operations performed in MEM.
+    pub mem_ops: u64,
+    /// Architectural register-file writes at WB.
+    pub reg_writes: u64,
+    /// Direction-predictor lookups (fetch stage).
+    pub predictor_lookups: u64,
+    /// Direction-predictor updates (execute stage).
+    pub predictor_updates: u64,
+}
+
+/// Counters accumulated by one pipelined run — the raw material of the
+/// paper's Figure 6 (cycles / CPI / accuracy) and Figure 11 (cycles /
+/// improvement) tables.
+#[derive(Debug, Clone, Default)]
+pub struct PipelineStats {
+    /// Total machine cycles.
+    pub cycles: u64,
+    /// Committed (retired) instructions, including `halt`.
+    pub retired: u64,
+    /// Per-branch direction-prediction outcomes for branches handled by
+    /// the general-purpose predictor (folded branches never appear here).
+    pub branches: AccuracyTracker,
+    /// Wrong-path flushes caused by conditional branches (2 lost slots
+    /// each).
+    pub branch_flushes: u64,
+    /// Redirects by direct jumps in decode (1 lost slot each).
+    pub jump_redirects: u64,
+    /// Wrong-path flushes by indirect jumps resolving in EX.
+    pub indirect_flushes: u64,
+    /// Cycles the ID stage spent stalled on the load-use interlock.
+    pub load_use_stalls: u64,
+    /// Cycles fetch stalled on instruction-cache misses.
+    pub icache_stall_cycles: u64,
+    /// Cycles the MEM stage stalled on data-cache misses.
+    pub dcache_stall_cycles: u64,
+    /// Extra cycles multi-cycle operations (multiply/divide) occupied EX.
+    pub ex_stall_cycles: u64,
+    /// Branches folded out of the instruction stream by the fetch
+    /// customization (they are *not* counted in `retired`: they never
+    /// enter the pipe — the paper's power argument).
+    pub folded_branches: u64,
+    /// Per-structure activity for energy accounting.
+    pub activity: Activity,
+}
+
+impl PipelineStats {
+    /// Cycles per committed instruction.
+    #[must_use]
+    pub fn cpi(&self) -> f64 {
+        if self.retired == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / self.retired as f64
+        }
+    }
+
+    /// Overall direction-prediction accuracy (the `Acc` column of
+    /// Figure 6).
+    #[must_use]
+    pub fn accuracy(&self) -> f64 {
+        self.branches.overall_accuracy()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpi_handles_zero_retired() {
+        let s = PipelineStats::default();
+        assert_eq!(s.cpi(), 0.0);
+    }
+
+    #[test]
+    fn cpi_is_ratio() {
+        let s = PipelineStats { cycles: 150, retired: 100, ..PipelineStats::default() };
+        assert!((s.cpi() - 1.5).abs() < 1e-12);
+    }
+}

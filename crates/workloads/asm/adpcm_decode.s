@@ -1,0 +1,118 @@
+# IMA ADPCM decoder guest (port of MediaBench adpcm_decoder).
+#
+# I/O: pops packed code bytes (two 4-bit codes each, high nibble first)
+# from the MMIO input stream and pushes one 16-bit PCM sample per code.
+#
+# Register map:
+#   r28 = MMIO base            r16 = valpred   r17 = index
+#   r18 = step                 r19 = bufferstep (1 = low nibble pending)
+#   r21 = inputbuffer          r20 = &stepsizeTable  r22 = &indexTable
+        .text
+main:
+        li   r28, 0xFFFF0000
+        li   r16, 0                  # valpred = 0
+        li   r17, 0                  # index = 0
+        la   r20, stepsize
+        lw   r18, 0(r20)             # step = stepsizeTable[0]
+        li   r19, 0                  # bufferstep = 0 (need a byte first)
+        li   r21, 0
+        la   r22, indextab
+        lw   r23, 4(r28)             # prime the remaining-count read
+
+dec_loop:
+        # Step 1: fetch the next 4-bit code (alternating branch). The
+        # remaining-count is read one byte ahead (manual scheduling,
+        # paper Sec. 8), making the exit branch foldable.
+        bnez r19, dec_lownib         # [br_toggle]
+        beqz r23, dec_done           # [br_exit]
+        lw   r21, 0(r28)             # inputbuffer = next byte
+        lw   r23, 4(r28)             # read-ahead remaining
+        srl  r11, r21, 4
+        andi r11, r11, 0x0f          # delta = high nibble
+        li   r19, 1
+        j    dec_body
+dec_lownib:
+        andi r11, r21, 0x0f          # delta = low nibble
+        li   r19, 0
+dec_body:
+        # Manual scheduling: the three magnitude-bit tests are computed
+        # here, a dozen slots before their branches consume them.
+        andi r24, r11, 4
+        andi r25, r11, 2
+        andi r26, r11, 1
+
+        # Step 2: adapt index (for the *next* step size).
+        sll  r14, r11, 2
+        add  r14, r14, r22
+        lw   r14, 0(r14)
+        add  r17, r17, r14
+        bgez r17, dec_ix1            # [br_ixlo]
+        li   r17, 0
+dec_ix1:
+        li   r14, 88
+        sub  r15, r14, r17
+        bgez r15, dec_ix2            # [br_ixhi]
+        move r17, r14
+dec_ix2:
+
+        # Step 3: separate sign and magnitude.
+        andi r10, r11, 8             # sign
+        andi r11, r11, 7
+
+        # Step 4: vpdiff from the *current* step (3 bit-test branches,
+        # predicates pre-computed at dec_body — foldable).
+        sra  r13, r18, 3
+        beqz r24, dec_v2             # [br_v4]
+        add  r13, r13, r18
+dec_v2:
+        sra  r15, r18, 1
+        beqz r25, dec_v1             # [br_v2]
+        add  r13, r13, r15
+dec_v1:
+        sra  r15, r18, 2
+        beqz r26, dec_vs             # [br_v1]
+        add  r13, r13, r15
+dec_vs:
+        beqz r10, dec_add            # [br_sign]
+        sub  r16, r16, r13
+        j    dec_clamp
+dec_add:
+        add  r16, r16, r13
+dec_clamp:
+
+        # Step 5: clamp the output value.
+        li   r14, 32767
+        slt  r15, r14, r16
+        beqz r15, dec_cl2            # [br_clamp_hi]
+        move r16, r14
+dec_cl2:
+        li   r14, -32768
+        slt  r15, r16, r14
+        beqz r15, dec_cl3            # [br_clamp_lo]
+        move r16, r14
+dec_cl3:
+
+        # Step 6: adapt step, emit sample.
+        sll  r14, r17, 2
+        add  r14, r14, r20
+        lw   r18, 0(r14)
+        sw   r16, 8(r28)
+        j    dec_loop
+
+dec_done:
+        halt
+
+        .data
+indextab:
+        .word -1, -1, -1, -1, 2, 4, 6, 8
+        .word -1, -1, -1, -1, 2, 4, 6, 8
+stepsize:
+        .word 7, 8, 9, 10, 11, 12, 13, 14, 16, 17
+        .word 19, 21, 23, 25, 28, 31, 34, 37, 41, 45
+        .word 50, 55, 60, 66, 73, 80, 88, 97, 107, 118
+        .word 130, 143, 157, 173, 190, 209, 230, 253, 279, 307
+        .word 337, 371, 408, 449, 494, 544, 598, 658, 724, 796
+        .word 876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066
+        .word 2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358
+        .word 5894, 6484, 7132, 7845, 8630, 9493, 10442, 11487, 12635, 13899
+        .word 15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767

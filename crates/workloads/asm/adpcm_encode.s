@@ -1,0 +1,134 @@
+# IMA ADPCM encoder guest (port of MediaBench adpcm_coder).
+#
+# I/O: pops 16-bit PCM samples (sign-extended words) from the MMIO input
+# stream, pushes one packed byte (two 4-bit codes, first sample in the
+# high nibble) per sample pair; a trailing odd sample flushes with a zero
+# low nibble.
+#
+# Register map:
+#   r28 = MMIO base            r16 = valpred   r17 = index
+#   r18 = step                 r19 = bufferstep
+#   r21 = outputbuffer         r20 = &stepsizeTable  r22 = &indexTable
+#   r9..r15 scratch
+        .text
+main:
+        li   r28, 0xFFFF0000
+        li   r16, 0                  # valpred = 0
+        li   r17, 0                  # index = 0
+        la   r20, stepsize
+        lw   r18, 0(r20)             # step = stepsizeTable[0]
+        li   r19, 1                  # bufferstep = 1
+        li   r21, 0                  # outputbuffer = 0
+        la   r22, indextab
+        lw   r23, 4(r28)             # prime the remaining-count read
+
+# Manual scheduling (paper Sec. 8): the remaining-count is read one
+# iteration ahead, so the exit branch's predicate is defined a whole loop
+# body before the branch — software pipelining in the Sec. 5.1 sense.
+enc_loop:
+        beqz r23, enc_done           # [br_exit] biased not-taken, foldable
+        lw   r9, 0(r28)              # val = next sample
+        lw   r23, 4(r28)             # read-ahead remaining for next check
+
+        # Step 1: diff = val - valpred; split sign/magnitude.
+        sub  r10, r9, r16
+        li   r11, 0                  # sign = 0
+        bgez r10, enc_pos            # [br_sign] input-data dependent
+        li   r11, 8
+        sub  r10, r0, r10            # diff = -diff
+enc_pos:
+
+        # Step 2: quantize by trial subtraction (3 data-dependent branches).
+        li   r12, 0                  # delta = 0
+        sra  r13, r18, 3             # vpdiff = step >> 3
+        sub  r14, r10, r18
+        bltz r14, enc_b4             # [br_b4] diff < step ?
+        li   r12, 4
+        move r10, r14                # diff -= step
+        add  r13, r13, r18           # vpdiff += step
+enc_b4:
+        sra  r15, r18, 1             # step >>= 1
+        sub  r14, r10, r15
+        bltz r14, enc_b2             # [br_b2]
+        ori  r12, r12, 2
+        move r10, r14
+        add  r13, r13, r15
+enc_b2:
+        sra  r15, r15, 1             # step >>= 1
+        sub  r14, r10, r15
+        bltz r14, enc_b1             # [br_b1]
+        ori  r12, r12, 1
+        add  r13, r13, r15
+enc_b1:
+
+        # Step 3: valpred +/- vpdiff — direction correlates with br_sign.
+        beqz r11, enc_add            # [br_sign2]
+        sub  r16, r16, r13
+        j    enc_clamp
+enc_add:
+        add  r16, r16, r13
+enc_clamp:
+
+        # Step 4: clamp valpred to 16 bits (biased branches).
+        li   r14, 32767
+        slt  r15, r14, r16
+        beqz r15, enc_cl2            # [br_clamp_hi] rarely flips
+        move r16, r14
+enc_cl2:
+        li   r14, -32768
+        slt  r15, r16, r14
+        beqz r15, enc_cl3            # [br_clamp_lo]
+        move r16, r14
+enc_cl3:
+
+        # Step 5: delta |= sign; adapt index and step.
+        or   r12, r12, r11
+        sll  r14, r12, 2
+        add  r14, r14, r22
+        lw   r14, 0(r14)             # indexTable[delta]
+        add  r17, r17, r14
+        bgez r17, enc_ix1            # [br_ixlo]
+        li   r17, 0
+enc_ix1:
+        li   r14, 88
+        sub  r15, r14, r17
+        bgez r15, enc_ix2            # [br_ixhi]
+        move r17, r14
+enc_ix2:
+        sll  r14, r17, 2
+        add  r14, r14, r20
+        lw   r18, 0(r14)             # step = stepsizeTable[index]
+
+        # Step 6: nibble packing (perfectly alternating branch).
+        beqz r19, enc_low            # [br_toggle]
+        sll  r21, r12, 4
+        andi r21, r21, 0xf0
+        li   r19, 0
+        j    enc_loop
+enc_low:
+        andi r14, r12, 0x0f
+        or   r14, r14, r21
+        sw   r14, 8(r28)             # emit packed byte
+        li   r19, 1
+        j    enc_loop
+
+enc_done:
+        bnez r19, enc_end            # pending high nibble?
+        sw   r21, 8(r28)             # flush it
+enc_end:
+        halt
+
+        .data
+indextab:
+        .word -1, -1, -1, -1, 2, 4, 6, 8
+        .word -1, -1, -1, -1, 2, 4, 6, 8
+stepsize:
+        .word 7, 8, 9, 10, 11, 12, 13, 14, 16, 17
+        .word 19, 21, 23, 25, 28, 31, 34, 37, 41, 45
+        .word 50, 55, 60, 66, 73, 80, 88, 97, 107, 118
+        .word 130, 143, 157, 173, 190, 209, 230, 253, 279, 307
+        .word 337, 371, 408, 449, 494, 544, 598, 658, 724, 796
+        .word 876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066
+        .word 2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358
+        .word 5894, 6484, 7132, 7845, 8630, 9493, 10442, 11487, 12635, 13899
+        .word 15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767

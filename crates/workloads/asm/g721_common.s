@@ -1,0 +1,678 @@
+# G.721 shared subroutines and state (port of MediaBench g72x.c).
+#
+# Calling convention:
+#   args r4-r7 (+ r8, r9 for update's 5th/6th), result r2, ra r31,
+#   sp r29 full-descending. r16-r23 and r30 are callee-saved.
+#   Documented extra clobbers: quan clobbers only r2, r9, r10 (callers
+#   rely on r4-r6 and r11-r15 surviving a quan call).
+#
+# State fields are stored as full words holding already-truncated 16-bit
+# values (except st_yl, a C `long`); every store site applies the same
+# `short` truncation (sll 16 / sra 16) the C source implies.
+
+# ---------------------------------------------------------------------
+# quan(val r4, table r5, size r6) -> r2
+# Index of the first table entry strictly greater than val.
+# ---------------------------------------------------------------------
+quan:
+        li   r2, 0
+quan_loop:
+        beq  r2, r6, quan_ret
+        sll  r9, r2, 2
+        add  r9, r9, r5
+        lw   r9, 0(r9)
+        slt  r10, r4, r9
+        bnez r10, quan_ret           # [br_quan] data dependent exit
+        addi r2, r2, 1
+        j    quan_loop
+quan_ret:
+        jr   r31
+
+# ---------------------------------------------------------------------
+# fmult(an r4, srn r5) -> r2
+# Multiply predictor coefficient by floating-point-format signal value.
+# ---------------------------------------------------------------------
+# Manual scheduling (paper Secs. 5.1/8): the sign product is computed at
+# entry (its branch is the last thing fmult does), and independent srn
+# field extractions are interleaved between each exponent definition and
+# the branch testing it, lifting their def->branch distances to 3.
+fmult:
+        addi r29, r29, -28
+        sw   r31, 0(r29)
+        sw   r16, 4(r29)
+        sw   r17, 8(r29)
+        sw   r18, 12(r29)
+        sw   r19, 16(r29)
+        sw   r20, 20(r29)
+        sw   r21, 24(r29)
+        move r16, r4                 # an
+        move r17, r5                 # srn
+        xor  r21, r4, r5             # sign product, scheduled early
+        bgtz r4, fm_pos              # [br_fm_sign] data dependent
+        sub  r9, r0, r4
+        andi r18, r9, 0x1FFF         # anmag = (-an) & 0x1FFF
+        j    fm_quan
+fm_pos:
+        move r18, r4                 # anmag = an
+fm_quan:
+        move r4, r18
+        la   r5, power2
+        li   r6, 15
+        jal  quan
+        addi r19, r2, -6             # anexp
+        sra  r9, r17, 6              # independent: srn exponent field
+        andi r9, r9, 0xF
+        andi r10, r17, 0x3F          # independent: srn mantissa field
+        bnez r18, fm_mant            # [br_fm_zero] anmag != 0 (common)
+        li   r20, 32                 # anmant for zero magnitude
+        j    fm_wexp
+fm_mant:
+        bltz r19, fm_shl             # [br_fm_exp] distance 3 after scheduling
+        srav r20, r18, r19
+        j    fm_wexp
+fm_shl:
+        sub  r11, r0, r19
+        sllv r20, r18, r11
+fm_wexp:
+        add  r9, r19, r9
+        addi r19, r9, -13            # wanexp
+        mul  r10, r20, r10
+        addi r10, r10, 0x30
+        sra  r20, r10, 4             # wanmant
+        bltz r19, fm_shr             # [br_fm_wexp] distance 3 after scheduling
+        sllv r9, r20, r19
+        andi r2, r9, 0x7FFF
+        j    fm_sign
+fm_shr:
+        sub  r9, r0, r19
+        srav r2, r20, r9
+fm_sign:
+        bgez r21, fm_ret             # [br_fm_neg] predicate from entry: foldable
+        sub  r2, r0, r2
+fm_ret:
+        lw   r31, 0(r29)
+        lw   r16, 4(r29)
+        lw   r17, 8(r29)
+        lw   r18, 12(r29)
+        lw   r19, 16(r29)
+        lw   r20, 20(r29)
+        lw   r21, 24(r29)
+        addi r29, r29, 28
+        jr   r31
+
+# ---------------------------------------------------------------------
+# pz() -> r2 : predictor_zero — sixth-order zero-predictor estimate.
+# Returns the *untruncated* int sum; callers apply the short cast.
+# ---------------------------------------------------------------------
+pz:
+        addi r29, r29, -12
+        sw   r31, 0(r29)
+        sw   r16, 4(r29)
+        sw   r17, 8(r29)
+        li   r16, 0                  # cnt
+        li   r17, 0                  # sezi
+pz_loop:
+        sll  r9, r16, 2
+        la   r10, st_b
+        add  r10, r10, r9
+        lw   r4, 0(r10)
+        sra  r4, r4, 2
+        la   r10, st_dq
+        add  r10, r10, r9
+        lw   r5, 0(r10)
+        jal  fmult
+        add  r17, r17, r2
+        addi r16, r16, 1
+        addi r9, r16, -6
+        bltz r9, pz_loop             # [br_pz_loop] taken 5/6
+        move r2, r17
+        lw   r31, 0(r29)
+        lw   r16, 4(r29)
+        lw   r17, 8(r29)
+        addi r29, r29, 12
+        jr   r31
+
+# ---------------------------------------------------------------------
+# ppole() -> r2 : predictor_pole — second-order pole-predictor estimate.
+# ---------------------------------------------------------------------
+ppole:
+        addi r29, r29, -8
+        sw   r31, 0(r29)
+        sw   r16, 4(r29)
+        la   r9, st_a
+        lw   r4, 4(r9)
+        sra  r4, r4, 2
+        la   r9, st_sr
+        lw   r5, 4(r9)
+        jal  fmult
+        move r16, r2
+        la   r9, st_a
+        lw   r4, 0(r9)
+        sra  r4, r4, 2
+        la   r9, st_sr
+        lw   r5, 0(r9)
+        jal  fmult
+        add  r2, r2, r16
+        lw   r31, 0(r29)
+        lw   r16, 4(r29)
+        addi r29, r29, 8
+        jr   r31
+
+# ---------------------------------------------------------------------
+# stepsz() -> r2 : step_size — quantizer scale factor.
+# Leaf; clobbers r2, r9, r10.
+# ---------------------------------------------------------------------
+# Manually scheduled: the independent yu/yl loads fill the slots between
+# the speed-control test's definition and its branch.
+stepsz:
+        la   r9, st_ap
+        lw   r9, 0(r9)
+        slti r10, r9, 256
+        la   r11, st_yu
+        lw   r11, 0(r11)             # yu (independent)
+        la   r12, st_yl
+        lw   r12, 0(r12)             # yl (independent)
+        bnez r10, ss_blend           # [br_ss_ap] distance 4 after scheduling
+        move r2, r11
+        jr   r31
+ss_blend:
+        sra  r2, r12, 6              # y = yl >> 6
+        sub  r10, r11, r2            # dif = yu - y
+        sra  r9, r9, 2               # al = ap >> 2
+        beqz r10, ss_ret             # [br_ss_dif0]
+        bltz r10, ss_neg             # [br_ss_difneg]
+        mul  r10, r10, r9
+        sra  r10, r10, 6
+        add  r2, r2, r10
+        jr   r31
+ss_neg:
+        mul  r10, r10, r9
+        addi r10, r10, 0x3F
+        sra  r10, r10, 6
+        add  r2, r2, r10
+ss_ret:
+        jr   r31
+
+# ---------------------------------------------------------------------
+# quantz(d r4, y r5) -> r2 : quantize against qtab (size 7).
+# ---------------------------------------------------------------------
+quantz:
+        addi r29, r29, -16
+        sw   r31, 0(r29)
+        sw   r16, 4(r29)
+        sw   r17, 8(r29)
+        sw   r18, 12(r29)
+        move r16, r4                 # d
+        move r17, r5                 # y
+        bgez r4, qz_abs              # [br_qz_abs] data dependent
+        sub  r4, r0, r4
+qz_abs:
+        sll  r4, r4, 16
+        sra  r4, r4, 16              # dqm = s16(abs(d))
+        move r18, r4
+        sra  r4, r4, 1
+        la   r5, power2
+        li   r6, 15
+        jal  quan                    # exp
+        sll  r9, r18, 7
+        srav r9, r9, r2
+        andi r9, r9, 0x7F            # mant
+        sll  r10, r2, 7
+        add  r9, r10, r9             # dl = (exp<<7) + mant
+        sra  r10, r17, 2
+        sub  r4, r9, r10             # dln = dl - (y>>2)
+        sll  r4, r4, 16
+        sra  r4, r4, 16
+        la   r5, qtab
+        li   r6, 7
+        jal  quan                    # i
+        bltz r16, qz_neg             # [br_qz_sign] data dependent
+        bnez r2, qz_ret              # [br_qz_zero]
+        li   r2, 15                  # i == 0 -> (size<<1)+1
+        j    qz_ret
+qz_neg:
+        li   r9, 15
+        sub  r2, r9, r2              # (size<<1)+1 - i
+qz_ret:
+        lw   r31, 0(r29)
+        lw   r16, 4(r29)
+        lw   r17, 8(r29)
+        lw   r18, 12(r29)
+        addi r29, r29, 16
+        jr   r31
+
+# ---------------------------------------------------------------------
+# recon(sign r4, dqln r5, y r6) -> r2 : reconstruct.
+# Leaf; clobbers r2, r9, r10, r11.
+# ---------------------------------------------------------------------
+recon:
+        sra  r9, r6, 2
+        add  r9, r5, r9              # dql = dqln + (y>>2)
+        bgez r9, rc_pos              # [br_rc_neg]
+        beqz r4, rc_zero             # [br_rc_sign0]
+        li   r2, -32768
+        jr   r31
+rc_zero:
+        li   r2, 0
+        jr   r31
+rc_pos:
+        sra  r10, r9, 7
+        andi r10, r10, 15            # dex
+        andi r9, r9, 127
+        addi r9, r9, 128             # dqt
+        sll  r9, r9, 7
+        li   r11, 14
+        sub  r11, r11, r10
+        srav r2, r9, r11             # dq
+        beqz r4, rc_ret              # [br_rc_sign]
+        addi r2, r2, -32768          # dq - 0x8000
+rc_ret:
+        jr   r31
+
+# ---------------------------------------------------------------------
+# update(y r4, wi r5, fi r6, dq r7, sr r8, dqsez r9)
+# Adapts every element of the codec state (code_size fixed at 4).
+# ---------------------------------------------------------------------
+update:
+        addi r29, r29, -40
+        sw   r31, 0(r29)
+        sw   r16, 4(r29)
+        sw   r17, 8(r29)
+        sw   r18, 12(r29)
+        sw   r19, 16(r29)
+        sw   r20, 20(r29)
+        sw   r21, 24(r29)
+        sw   r22, 28(r29)
+        sw   r23, 32(r29)
+        sw   r30, 36(r29)
+        move r30, r4                 # y
+        move r23, r6                 # fi
+        move r16, r7                 # dq
+        move r17, r8                 # sr
+        move r18, r9                 # dqsez
+        slt  r19, r18, r0            # pk0 = dqsez < 0
+        andi r20, r16, 0x7FFF        # mag = dq & 0x7FFF
+        la   r14, st_td              # td loaded early (manual scheduling);
+        lw   r14, 0(r14)             # its branch is ~10 slots below
+
+        # --- transition detect (uses the OLD yl) ---
+        la   r9, st_yl
+        lw   r10, 0(r9)
+        sra  r11, r10, 15            # ylint
+        sra  r12, r10, 10
+        andi r12, r12, 0x1F
+        addi r12, r12, 32
+        sllv r12, r12, r11           # thr1 = (32+ylfrac) << ylint
+        sll  r12, r12, 16
+        sra  r12, r12, 16
+        li   r13, 9
+        slt  r13, r13, r11
+        beqz r13, upd_thr            # [br_ylint]
+        li   r12, 31744              # thr2 = 31 << 10
+upd_thr:
+        sra  r13, r12, 1
+        add  r12, r12, r13
+        sra  r12, r12, 1             # dqthr
+        li   r21, 0                  # tr = 0
+        beqz r14, upd_yu             # [br_td0] td == 0 (dominant); foldable
+        slt  r21, r12, r20           # tr = mag > dqthr
+upd_yu:
+
+        # --- yu = clamp(s16(y + ((wi-y)>>5)), 544, 5120) ---
+        sub  r9, r5, r30
+        sra  r9, r9, 5
+        add  r9, r30, r9
+        sll  r9, r9, 16
+        sra  r9, r9, 16
+        li   r10, 544
+        slt  r11, r9, r10
+        beqz r11, upd_yu_hi          # [br_yu_lo]
+        move r9, r10
+        j    upd_yu_set
+upd_yu_hi:
+        li   r10, 5120
+        slt  r11, r10, r9
+        beqz r11, upd_yu_set         # [br_yu_hi]
+        move r9, r10
+upd_yu_set:
+        la   r10, st_yu
+        sw   r9, 0(r10)
+
+        # --- yl += yu + ((-yl)>>6) ---
+        la   r10, st_yl
+        lw   r11, 0(r10)
+        sub  r12, r0, r11
+        sra  r12, r12, 6
+        add  r11, r11, r9
+        add  r11, r11, r12
+        sw   r11, 0(r10)
+
+        # --- predictor adaptation (or transition reset) ---
+        li   r22, 0                  # a2p = 0
+        beqz r21, upd_adapt          # [br_tr] tr == 0 (dominant)
+        la   r9, st_a
+        sw   r0, 0(r9)
+        sw   r0, 4(r9)
+        la   r9, st_b
+        sw   r0, 0(r9)
+        sw   r0, 4(r9)
+        sw   r0, 8(r9)
+        sw   r0, 12(r9)
+        sw   r0, 16(r9)
+        sw   r0, 20(r9)
+        j    upd_dqsh
+upd_adapt:
+        la   r9, st_pk
+        lw   r10, 0(r9)
+        xor  r15, r19, r10           # pks1 = pk0 ^ pk[0] (held in r15)
+        la   r9, st_a
+        lw   r10, 4(r9)
+        sra  r11, r10, 7
+        sub  r22, r10, r11           # a2p = a[1] - (a[1]>>7)
+        sll  r22, r22, 16
+        sra  r22, r22, 16
+        beqz r18, upd_a1             # [br_dqsez0] dqsez == 0
+        lw   r10, 0(r9)              # a[0]
+        beqz r15, upd_fa_neg         # [br_pks1]
+        move r11, r10
+        j    upd_fa
+upd_fa_neg:
+        sub  r11, r0, r10
+upd_fa:
+        sll  r11, r11, 16
+        sra  r11, r11, 16            # fa1
+        li   r12, -8191
+        slt  r13, r11, r12
+        beqz r13, upd_fa_hi          # [br_fa_lo]
+        addi r22, r22, -256
+        j    upd_fa_s16
+upd_fa_hi:
+        li   r12, 8191
+        slt  r13, r12, r11
+        beqz r13, upd_fa_mid         # [br_fa_hi]
+        addi r22, r22, 255
+        j    upd_fa_s16
+upd_fa_mid:
+        sra  r11, r11, 5
+        add  r22, r22, r11
+upd_fa_s16:
+        sll  r22, r22, 16
+        sra  r22, r22, 16
+        la   r9, st_pk
+        lw   r10, 4(r9)              # pk[1]
+        xor  r10, r19, r10
+        beqz r10, upd_pk2b           # [br_pks2]
+        li   r12, -12159
+        slt  r13, r22, r12
+        bnez r13, upd_set_nmax       # a2p <= -12160
+        li   r12, 12415
+        slt  r13, r12, r22
+        bnez r13, upd_set_pmax       # a2p >= 12416
+        addi r22, r22, -128
+        j    upd_a1
+upd_pk2b:
+        li   r12, -12415
+        slt  r13, r22, r12
+        bnez r13, upd_set_nmax       # a2p <= -12416
+        li   r12, 12159
+        slt  r13, r12, r22
+        bnez r13, upd_set_pmax       # a2p >= 12160
+        addi r22, r22, 128
+        j    upd_a1
+upd_set_nmax:
+        li   r22, -12288
+        j    upd_a1
+upd_set_pmax:
+        li   r22, 12288
+upd_a1:
+        la   r9, st_a
+        sw   r22, 4(r9)              # a[1] = a2p
+        lw   r10, 0(r9)
+        sra  r11, r10, 8
+        sub  r10, r10, r11           # a[0] -= a[0]>>8
+        beqz r18, upd_a0_s16         # [br_dqsez0b]
+        beqz r15, upd_a0_plus        # [br_pks1b]
+        addi r10, r10, -192
+        j    upd_a0_s16
+upd_a0_plus:
+        addi r10, r10, 192
+upd_a0_s16:
+        sll  r10, r10, 16
+        sra  r10, r10, 16
+        li   r11, 15360
+        sub  r11, r11, r22           # a1ul = 15360 - a2p
+        sub  r12, r0, r11
+        slt  r13, r10, r12
+        beqz r13, upd_a0_hi          # [br_a0_lo]
+        move r10, r12
+        j    upd_a0_set
+upd_a0_hi:
+        slt  r13, r11, r10
+        beqz r13, upd_a0_set         # [br_a0_hi]
+        move r10, r11
+upd_a0_set:
+        sw   r10, 0(r9)              # a[0]
+
+        # --- b[] adaptation (pks1/r15 is dead from here) ---
+        la   r9, st_b
+        la   r10, st_dq
+        li   r11, 0
+upd_b_loop:
+        sll  r12, r11, 2
+        add  r13, r9, r12
+        lw   r14, 0(r13)
+        sra  r15, r14, 8
+        sub  r14, r14, r15           # b[cnt] -= b[cnt]>>8
+        andi r15, r16, 0x7FFF
+        beqz r15, upd_b_store        # [br_b_mag0]
+        add  r15, r10, r12
+        lw   r15, 0(r15)             # dq[cnt]
+        xor  r15, r15, r16
+        bltz r15, upd_b_minus        # [br_b_sign]
+        addi r14, r14, 128
+        j    upd_b_store
+upd_b_minus:
+        addi r14, r14, -128
+upd_b_store:
+        sll  r14, r14, 16
+        sra  r14, r14, 16
+        sw   r14, 0(r13)
+        addi r11, r11, 1
+        addi r15, r11, -6
+        bltz r15, upd_b_loop         # [br_b_loop]
+
+upd_dqsh:
+        # --- dq[5..1] = dq[4..0]; dq[0] = float(dq) ---
+        la   r9, st_dq
+        lw   r10, 16(r9)
+        sw   r10, 20(r9)
+        lw   r10, 12(r9)
+        sw   r10, 16(r9)
+        lw   r10, 8(r9)
+        sw   r10, 12(r9)
+        lw   r10, 4(r9)
+        sw   r10, 8(r9)
+        lw   r10, 0(r9)
+        sw   r10, 4(r9)
+        bnez r20, upd_dq_nz          # [br_dq_mag0] mag != 0 (common)
+        li   r11, 0x20
+        bgez r16, upd_dq_store       # [br_dq_sign0]
+        li   r11, -992
+        j    upd_dq_store
+upd_dq_nz:
+        move r4, r20
+        la   r5, power2
+        li   r6, 15
+        jal  quan                    # exp
+        sll  r11, r2, 6
+        sll  r12, r20, 6
+        srav r12, r12, r2
+        add  r11, r11, r12
+        bgez r16, upd_dq_s16         # [br_dq_sign]
+        addi r11, r11, -1024
+upd_dq_s16:
+        sll  r11, r11, 16
+        sra  r11, r11, 16
+upd_dq_store:
+        la   r9, st_dq
+        sw   r11, 0(r9)
+
+        # --- sr[1] = sr[0]; sr[0] = float(sr) ---
+        la   r9, st_sr
+        lw   r10, 0(r9)
+        sw   r10, 4(r9)
+        bnez r17, upd_sr_nz          # [br_sr0]
+        li   r11, 0x20
+        j    upd_sr_store
+upd_sr_nz:
+        bltz r17, upd_sr_neg         # [br_sr_sign]
+        move r4, r17
+        la   r5, power2
+        li   r6, 15
+        jal  quan
+        sll  r11, r2, 6
+        sll  r12, r17, 6
+        srav r12, r12, r2
+        add  r11, r11, r12
+        sll  r11, r11, 16
+        sra  r11, r11, 16
+        j    upd_sr_store
+upd_sr_neg:
+        li   r10, -32768
+        beq  r17, r10, upd_sr_min    # sr == -32768
+        sub  r4, r0, r17             # mag = -sr
+        move r20, r4
+        la   r5, power2
+        li   r6, 15
+        jal  quan
+        sll  r11, r2, 6
+        sll  r12, r20, 6
+        srav r12, r12, r2
+        add  r11, r11, r12
+        addi r11, r11, -1024
+        sll  r11, r11, 16
+        sra  r11, r11, 16
+        j    upd_sr_store
+upd_sr_min:
+        li   r11, -992
+upd_sr_store:
+        la   r9, st_sr
+        sw   r11, 0(r9)
+
+        # --- pk shift ---
+        la   r9, st_pk
+        lw   r10, 0(r9)
+        sw   r10, 4(r9)
+        sw   r19, 0(r9)
+
+        # --- tone detect ---
+        li   r11, 0
+        bnez r21, upd_td_set         # [br_td_tr] tr == 1 -> td = 0
+        li   r12, -11776
+        slt  r11, r22, r12           # td = a2p < -11776
+upd_td_set:
+        la   r9, st_td
+        sw   r11, 0(r9)
+
+        # --- adaptation speed control averages ---
+        la   r9, st_dms
+        lw   r10, 0(r9)
+        sub  r11, r23, r10
+        sra  r11, r11, 5
+        add  r10, r10, r11
+        sll  r10, r10, 16
+        sra  r10, r10, 16
+        sw   r10, 0(r9)
+        la   r9, st_dml
+        lw   r10, 0(r9)
+        sll  r11, r23, 2
+        sub  r11, r11, r10
+        sra  r11, r11, 7
+        add  r10, r10, r11
+        sll  r10, r10, 16
+        sra  r10, r10, 16
+        sw   r10, 0(r9)
+
+        # --- ap update ---
+        la   r9, st_ap
+        lw   r10, 0(r9)
+        bnez r21, upd_ap_tr          # [br_ap_tr]
+        slti r11, r30, 1536
+        bnez r11, upd_ap_up          # [br_ap_y]
+        la   r12, st_td
+        lw   r12, 0(r12)
+        bnez r12, upd_ap_up          # [br_ap_td]
+        la   r12, st_dms
+        lw   r12, 0(r12)
+        sll  r12, r12, 2
+        la   r13, st_dml
+        lw   r13, 0(r13)
+        sub  r12, r12, r13           # (dms<<2) - dml
+        bgez r12, upd_ap_abs         # [br_ap_sign]
+        sub  r12, r0, r12
+upd_ap_abs:
+        sra  r13, r13, 3
+        slt  r14, r12, r13           # abs < dml>>3 ?
+        beqz r14, upd_ap_up          # [br_ap_cmp]
+        sub  r11, r0, r10            # decay: ap += (-ap)>>4
+        sra  r11, r11, 4
+        add  r10, r10, r11
+        j    upd_ap_s16
+upd_ap_up:
+        li   r11, 0x200
+        sub  r11, r11, r10
+        sra  r11, r11, 4
+        add  r10, r10, r11
+upd_ap_s16:
+        sll  r10, r10, 16
+        sra  r10, r10, 16
+        j    upd_ap_store
+upd_ap_tr:
+        li   r10, 256
+upd_ap_store:
+        la   r9, st_ap
+        sw   r10, 0(r9)
+
+        lw   r31, 0(r29)
+        lw   r16, 4(r29)
+        lw   r17, 8(r29)
+        lw   r18, 12(r29)
+        lw   r19, 16(r29)
+        lw   r20, 20(r29)
+        lw   r21, 24(r29)
+        lw   r22, 28(r29)
+        lw   r23, 32(r29)
+        lw   r30, 36(r29)
+        addi r29, r29, 40
+        jr   r31
+
+# ---------------------------------------------------------------------
+# Tables and codec state (CCITT reset values).
+# ---------------------------------------------------------------------
+        .data
+power2:
+        .word 1, 2, 4, 8, 16, 32, 64, 128
+        .word 256, 512, 1024, 2048, 4096, 8192, 16384
+qtab:
+        .word -124, 80, 178, 246, 300, 349, 400
+dqlntab:
+        .word -2048, 4, 135, 213, 273, 323, 373, 425
+        .word 425, 373, 323, 273, 213, 135, 4, -2048
+witab:
+        .word -12, 18, 41, 64, 112, 198, 355, 1122
+        .word 1122, 355, 198, 112, 64, 41, 18, -12
+fitab:
+        .word 0, 0, 0, 0x200, 0x200, 0x200, 0x600, 0xE00
+        .word 0xE00, 0x600, 0x200, 0x200, 0x200, 0, 0, 0
+
+st_yl:  .word 34816
+st_yu:  .word 544
+st_dms: .word 0
+st_dml: .word 0
+st_ap:  .word 0
+st_a:   .word 0, 0
+st_b:   .word 0, 0, 0, 0, 0, 0
+st_pk:  .word 0, 0
+st_dq:  .word 32, 32, 32, 32, 32, 32
+st_sr:  .word 32, 32
+st_td:  .word 0

@@ -1,0 +1,81 @@
+# G.721 decoder guest main loop (port of MediaBench g721_decoder, linear
+# output coding). Pops 4-bit codes from MMIO, pushes one 16-bit PCM
+# sample per code. Subroutines and state live in g721_common.s (appended).
+#
+# Persistent registers across calls:
+#   r28 = MMIO base   r17 = sez   r18 = se   r19 = y
+#   r20 = i           r21 = dq    r22 = sr
+        .text
+main:
+        li   r28, 0xFFFF0000
+        lw   r23, 4(r28)             # prime the remaining-count read
+
+# The remaining-count is read one code ahead (manual scheduling, paper
+# Sec. 8), making the exit branch foldable.
+dec_loop:
+        beqz r23, dec_done           # [br_exit]
+        lw   r9, 0(r28)
+        lw   r23, 4(r28)             # read-ahead remaining
+        andi r20, r9, 0x0F           # i = code & 0xF
+
+        jal  pz
+        sll  r2, r2, 16
+        sra  r17, r2, 16             # sezi
+        jal  ppole
+        add  r9, r17, r2
+        sll  r9, r9, 16
+        sra  r18, r9, 16             # sei
+        sra  r18, r18, 1             # se
+        sra  r17, r17, 1             # sez
+
+        jal  stepsz
+        sll  r2, r2, 16
+        sra  r19, r2, 16             # y
+
+        andi r4, r20, 8              # sign
+        sll  r9, r20, 2
+        la   r10, dqlntab
+        add  r9, r9, r10
+        lw   r5, 0(r9)
+        move r6, r19
+        jal  recon
+        sll  r2, r2, 16
+        sra  r21, r2, 16             # dq
+
+        bltz r21, dec_srn            # [br_dq_sign]
+        add  r9, r18, r21
+        j    dec_sr
+dec_srn:
+        li   r10, 0x3FFF
+        and  r9, r21, r10
+        sub  r9, r18, r9
+dec_sr:
+        sll  r9, r9, 16
+        sra  r22, r9, 16             # sr
+
+        sub  r9, r22, r18
+        add  r9, r9, r17
+        sll  r9, r9, 16
+        sra  r9, r9, 16              # dqsez = s16(sr - se + sez)
+
+        move r4, r19
+        sll  r10, r20, 2
+        la   r11, witab
+        add  r11, r11, r10
+        lw   r5, 0(r11)
+        sll  r5, r5, 5
+        la   r11, fitab
+        add  r11, r11, r10
+        lw   r6, 0(r11)
+        move r7, r21
+        move r8, r22
+        jal  update
+
+        sll  r9, r22, 2              # output = s16(sr << 2)
+        sll  r9, r9, 16
+        sra  r9, r9, 16
+        sw   r9, 8(r28)
+        j    dec_loop
+
+dec_done:
+        halt

@@ -1,0 +1,88 @@
+# G.721 encoder guest main loop (port of MediaBench g721_encoder, linear
+# input coding). Pops 16-bit PCM samples from MMIO, pushes one 4-bit code
+# per sample. Subroutines and state live in g721_common.s (appended).
+#
+# Persistent registers across calls (callee-saved by every subroutine):
+#   r28 = MMIO base   r16 = sl then d   r17 = sezi then sez
+#   r18 = se          r19 = y           r20 = i
+#   r21 = dq          r22 = sr
+        .text
+main:
+        li   r28, 0xFFFF0000
+        lw   r23, 4(r28)             # prime the remaining-count read
+
+# The remaining-count is read one sample ahead (manual scheduling, paper
+# Sec. 8), making the exit branch foldable.
+enc_loop:
+        beqz r23, enc_done           # [br_exit]
+        lw   r9, 0(r28)
+        lw   r23, 4(r28)             # read-ahead remaining
+        sra  r16, r9, 2              # sl = sample >> 2 (14-bit range)
+
+        jal  pz
+        sll  r2, r2, 16
+        sra  r17, r2, 16             # sezi = s16(sum)
+        jal  ppole
+        add  r9, r17, r2
+        sll  r9, r9, 16
+        sra  r18, r9, 16             # sei
+        sra  r18, r18, 1             # se = sei >> 1
+        sra  r17, r17, 1             # sez = sezi >> 1
+
+        sub  r9, r16, r18
+        sll  r9, r9, 16
+        sra  r16, r9, 16             # d = s16(sl - se)
+
+        jal  stepsz
+        sll  r2, r2, 16
+        sra  r19, r2, 16             # y
+
+        move r4, r16
+        move r5, r19
+        jal  quantz
+        move r20, r2                 # i
+
+        andi r4, r20, 8              # sign
+        sll  r9, r20, 2
+        la   r10, dqlntab
+        add  r9, r9, r10
+        lw   r5, 0(r9)               # dqlntab[i]
+        move r6, r19
+        jal  recon
+        sll  r2, r2, 16
+        sra  r21, r2, 16             # dq
+
+        bltz r21, enc_srn            # [br_dq_sign]
+        add  r9, r18, r21            # sr = se + dq
+        j    enc_sr
+enc_srn:
+        li   r10, 0x3FFF
+        and  r9, r21, r10
+        sub  r9, r18, r9             # sr = se - (dq & 0x3FFF)
+enc_sr:
+        sll  r9, r9, 16
+        sra  r22, r9, 16             # sr
+
+        add  r9, r22, r17
+        sub  r9, r9, r18
+        sll  r9, r9, 16
+        sra  r9, r9, 16              # dqsez = s16(sr + sez - se)
+
+        move r4, r19                 # y
+        sll  r10, r20, 2
+        la   r11, witab
+        add  r11, r11, r10
+        lw   r5, 0(r11)
+        sll  r5, r5, 5               # wi = witab[i] << 5
+        la   r11, fitab
+        add  r11, r11, r10
+        lw   r6, 0(r11)              # fi = fitab[i]
+        move r7, r21                 # dq
+        move r8, r22                 # sr
+        jal  update
+
+        sw   r20, 8(r28)             # emit the 4-bit code
+        j    enc_loop
+
+enc_done:
+        halt

@@ -1,0 +1,125 @@
+//! Deterministic synthetic PCM inputs.
+//!
+//! The paper ran MediaBench's audio files; we substitute fully
+//! deterministic synthetic signals exercising the same quantizer decision
+//! paths: a speech-like mixture (two slowly modulated tones plus noise and
+//! pauses), pure tones, and noise. Reproducibility matters more than
+//! realism here — the branch-behaviour *classes* (biased, alternating,
+//! data-dependent) are what ASBR selection keys on.
+
+/// A tiny deterministic LCG (numerical recipes constants); kept local so
+/// inputs are bit-stable across platforms and crate versions.
+#[derive(Debug, Clone)]
+pub struct Lcg {
+    state: u64,
+}
+
+impl Lcg {
+    /// Creates a generator from a seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Lcg {
+        Lcg { state: seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493) }
+    }
+
+    /// Next raw 32-bit value.
+    pub fn next_u32(&mut self) -> u32 {
+        self.state = self.state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (self.state >> 32) as u32
+    }
+
+    /// Uniform value in `[-amplitude, amplitude]`.
+    pub fn next_i16(&mut self, amplitude: i16) -> i16 {
+        let span = (i32::from(amplitude) * 2 + 1) as u32;
+        ((self.next_u32() % span) as i32 - i32::from(amplitude)) as i16
+    }
+}
+
+/// A speech-like test signal: two modulated tones, low-level noise, and
+/// periodic near-silent gaps (speech pauses stress the codecs' adaptation
+/// logic, which is where the hard-to-predict branches live).
+#[must_use]
+pub fn speech_like(n: usize, seed: u64) -> Vec<i16> {
+    let mut rng = Lcg::new(seed);
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let t = i as f64;
+        // Amplitude envelope with "syllables" and pauses.
+        let phase = (i / 800) % 5;
+        let envelope = match phase {
+            0 => 0.9,
+            1 => 0.5,
+            2 => 0.1, // pause
+            3 => 0.7,
+            _ => 0.3,
+        };
+        let tone = 5200.0 * (t * 0.071).sin() + 2600.0 * (t * 0.0237).sin();
+        let noise = f64::from(rng.next_i16(700));
+        let v = envelope * tone + noise * 0.6;
+        out.push(v.clamp(-32768.0, 32767.0) as i16);
+    }
+    out
+}
+
+/// A pure sine tone.
+#[must_use]
+pub fn tone(n: usize, period_samples: f64, amplitude: f64) -> Vec<i16> {
+    (0..n)
+        .map(|i| {
+            let v = amplitude * (i as f64 * std::f64::consts::TAU / period_samples).sin();
+            v.clamp(-32768.0, 32767.0) as i16
+        })
+        .collect()
+}
+
+/// Uniform noise.
+#[must_use]
+pub fn noise(n: usize, amplitude: i16, seed: u64) -> Vec<i16> {
+    let mut rng = Lcg::new(seed);
+    (0..n).map(|_| rng.next_i16(amplitude)).collect()
+}
+
+/// Silence.
+#[must_use]
+pub fn silence(n: usize) -> Vec<i16> {
+    vec![0; n]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_calls() {
+        assert_eq!(speech_like(500, 7), speech_like(500, 7));
+        assert_eq!(noise(100, 1000, 3), noise(100, 1000, 3));
+    }
+
+    #[test]
+    fn seeds_differ() {
+        assert_ne!(noise(100, 1000, 1), noise(100, 1000, 2));
+    }
+
+    #[test]
+    fn amplitude_respected() {
+        for v in noise(10_000, 500, 9) {
+            assert!(v.abs() <= 500);
+        }
+    }
+
+    #[test]
+    fn speech_has_pauses_and_activity() {
+        let s = speech_like(4000, 11);
+        let loud = s.iter().filter(|v| v.abs() > 2000).count();
+        let quiet = s.iter().filter(|v| v.abs() < 800).count();
+        assert!(loud > 200, "signal has loud stretches ({loud})");
+        assert!(quiet > 200, "signal has pauses ({quiet})");
+    }
+
+    #[test]
+    fn tone_is_periodic() {
+        let t = tone(200, 50.0, 1000.0);
+        assert_eq!(t[0], t[50]);
+        assert!(t.iter().any(|&v| v > 900));
+        assert!(t.iter().any(|&v| v < -900));
+    }
+}

@@ -1,0 +1,490 @@
+//! Executable versions of the paper's motivation code fragments.
+//!
+//! * [`fig2_kernel`] reproduces Figure 2 of the paper verbatim — the
+//!   ADPCM-derived sequence `lh / subu / addu / sra / andi / bgez` whose
+//!   branch depends directly on loaded input data, defeating statistical
+//!   predictors but folding perfectly under ASBR (the def→branch distance
+//!   is 3).
+//! * [`fig1_kernel`] reproduces Figure 1 — the direct data correlation
+//!   `if (c1) c4 = 1; … if (c4 != 0) …` chain with intervening nested
+//!   branches that shift the correlated branch's position in a global
+//!   history register.
+
+use asbr_asm::{assemble, Program};
+
+/// The Figure 2 kernel: copies input halfwords to a buffer, then scans
+/// the buffer with the paper's exact instruction sequence, counting
+/// values `>= threshold` (in `r2` at halt). The `bgez` at label
+/// `br_fig2` is the input-data-dependent branch.
+///
+/// # Panics
+///
+/// Panics if the embedded source fails to assemble (covered by tests).
+#[must_use]
+pub fn fig2_kernel(threshold: i16) -> Program {
+    let src = format!(
+        "
+        # Prologue: drain the MMIO input into a halfword buffer.
+        main:   li   r28, 0xFFFF0000
+                la   r4, buf
+                li   r5, 0               # count
+        fill:   lw   r9, 4(r28)
+                beqz r9, scan_init
+                lw   r9, 0(r28)
+                sh   r9, 0(r4)
+                addi r4, r4, 2
+                addi r5, r5, 1
+                j    fill
+
+        # Scan loop: the paper's Figure 2 body.
+        scan_init:
+                la   r4, buf
+                li   r11, {threshold}
+                li   r2, 0               # count of values >= threshold
+                li   r7, 0               # loop counter
+        scan:   lh   r12, 0(r4)          # lh   r2, 0(r4)   (paper)
+                sub  r3, r12, r11        # subu r3, r2, r11
+                addi r4, r4, 2           # addu r4, r4, 2
+                sra  r12, r3, 31         # sra  r2, r3, 31
+                andi r13, r12, 0x0008    # andi r13, r2, 0x0008
+        br_fig2: bgez r3, hit            # bgez r3, Label
+                j    next
+        hit:    addi r2, r2, 1
+        next:   addi r7, r7, 1
+                sub  r9, r7, r5
+                bltz r9, scan
+                sw   r2, 8(r28)
+                halt
+        .data
+        buf:    .space 65536
+        "
+    );
+    assemble(&src).expect("fig2 kernel assembles")
+}
+
+/// The Figure 1 kernel: evaluates the branch chain `B1..B5` over input
+/// tuples `(c1, c2, c3, c5)`. `c4` is set by B1's taken path, so B4 is
+/// *data-correlated* with B1 while B2/B3 vary the branch-history distance
+/// between them; B5 is uncorrelated. Outputs the number of B4-taken
+/// iterations.
+///
+/// # Panics
+///
+/// Panics if the embedded source fails to assemble (covered by tests).
+#[must_use]
+pub fn fig1_kernel() -> Program {
+    assemble(
+        "
+        main:   li   r28, 0xFFFF0000
+                li   r2, 0               # B4-taken count
+        loop:   lw   r9, 4(r28)
+                beqz r9, done
+                lw   r10, 0(r28)         # c1
+                lw   r11, 0(r28)         # c2
+                lw   r12, 0(r28)         # c3
+                lw   r13, 0(r28)         # c5
+                li   r14, 0              # c4 = 0
+        b1:     beqz r10, b2             # if (c1)  [B1]
+                li   r14, 1              #   c4 = 1
+                nop
+        b2:     beqz r11, b4             # if (c2)  [B2]
+                nop
+        b3:     beqz r12, b4             # if (c3)  [B3]
+                nop
+                nop
+        b4:     beqz r14, b5             # if (c4 != 0)  [B4] correlates with B1
+                addi r2, r2, 1
+        b5:     beqz r13, loop           # if (c5)  [B5] uncorrelated
+                nop
+                j    loop
+        done:   sw   r2, 8(r28)
+                halt
+        ",
+    )
+    .expect("fig1 kernel assembles")
+}
+
+/// A bitwise CRC-32 (reflected, polynomial `0xEDB88320`) over the input
+/// words' low bytes, emitting the running CRC after every byte.
+///
+/// The bit-loop's conditional (`XOR the polynomial iff the LSB is set`)
+/// is a classic hard-to-predict data-dependent branch. The port hoists
+/// the LSB test one slot and performs the unconditional shift between the
+/// test and the branch — the Sec. 5.1 scheduling pattern — giving ASBR a
+/// def→branch distance of 2.
+///
+/// # Panics
+///
+/// Panics if the embedded source fails to assemble (covered by tests).
+#[must_use]
+pub fn crc32_kernel() -> Program {
+    assemble(
+        "
+        main:   li   r28, 0xFFFF0000
+                li   r16, -1             # crc = 0xFFFFFFFF
+                li   r17, 0xEDB88320     # polynomial
+        byte_loop:
+                lw   r9, 4(r28)
+                beqz r9, done
+                lw   r9, 0(r28)
+                andi r9, r9, 0xFF
+                xor  r16, r16, r9        # crc ^= byte
+                li   r18, 8              # bit counter
+        bit_loop:
+                andi r19, r16, 1         # t = crc & 1   (scheduled early)
+                srl  r16, r16, 1         # crc >>= 1     (independent filler)
+                addi r18, r18, -1        # --bits        (independent filler)
+        br_bit: beqz r19, no_poly        # the hard data-dependent branch
+                xor  r16, r16, r17
+        no_poly:
+                bnez r18, bit_loop
+                nor  r9, r16, r0         # ~crc
+                sw   r9, 8(r28)
+                j    byte_loop
+        done:   halt
+        ",
+    )
+    .expect("crc32 kernel assembles")
+}
+
+/// Reference CRC-32 matching [`crc32_kernel`]'s per-byte outputs.
+#[must_use]
+pub fn crc32_reference(bytes: &[i32]) -> Vec<i32> {
+    let mut crc: u32 = 0xFFFF_FFFF;
+    let mut out = Vec::with_capacity(bytes.len());
+    for &b in bytes {
+        crc ^= (b as u32) & 0xFF;
+        for _ in 0..8 {
+            let lsb = crc & 1;
+            crc >>= 1;
+            if lsb != 0 {
+                crc ^= 0xEDB8_8320;
+            }
+        }
+        out.push(!crc as i32);
+    }
+    out
+}
+
+/// A G.711 µ-law encoder (port of Sun/MediaBench `linear2ulaw`): pops
+/// 16-bit PCM samples, pushes 8-bit µ-law codes.
+///
+/// The 8-entry segment search is software-pipelined (paper Sec. 5.1):
+/// the next table entry is preloaded and the loop-exit predicate computed
+/// early, lifting both search branches to def→branch distance 5 so they
+/// fold. The sign test stays data-chained to the sample load — it remains
+/// an auxiliary-predictor branch, as the paper's methodology intends for
+/// branches that fail the distance property.
+///
+/// # Panics
+///
+/// Panics if the embedded source fails to assemble (covered by tests).
+#[must_use]
+pub fn g711_ulaw_kernel() -> Program {
+    assemble(
+        "
+        main:   li   r28, 0xFFFF0000
+                la   r20, seg_end
+        loop:   lw   r9, 4(r28)
+                beqz r9, done
+                lw   r9, 0(r28)          # pcm sample
+                li   r11, 0xFF           # mask (positive)
+                bgez r9, biased          # sign split (data-chained)
+                li   r11, 0x7F
+                li   r10, 0x84
+                sub  r9, r10, r9         # val = BIAS - pcm
+                j    seg_init
+        biased: addi r9, r9, 0x84        # val = pcm + BIAS
+        seg_init:
+                li   r12, 0              # seg
+                lw   r13, 0(r20)         # seg_end[0]
+        seg_l:  sub  r14, r13, r9        # exit test value (scheduled early)
+                addi r16, r12, 1         # next seg
+                addi r15, r16, -8        # loop-exit predicate (scheduled early)
+                sll  r17, r16, 2
+                add  r17, r17, r20
+                lw   r13, 0(r17)         # preload seg_end[seg+1] (padded table)
+        br_seg: bgez r14, seg_done       # val <= seg_end[seg]? (folds)
+                move r12, r16
+        br_cont: bltz r15, seg_l         # seg < 8? (folds)
+        seg_done:
+                addi r14, r12, -8
+                bltz r14, inseg          # saturated?
+                li   r13, 0x7F
+                xor  r13, r13, r11
+                j    emit
+        inseg:  sll  r13, r12, 4         # uval = seg << 4
+                addi r14, r12, 3
+                srav r15, r9, r14        # val >> (seg + 3)
+                andi r15, r15, 0xF
+                or   r13, r13, r15
+                xor  r13, r13, r11
+        emit:   andi r13, r13, 0xFF
+                sw   r13, 8(r28)
+                j    loop
+        done:   halt
+        .data
+        seg_end:
+                .word 0xFF, 0x1FF, 0x3FF, 0x7FF, 0xFFF, 0x1FFF, 0x3FFF, 0x7FFF
+                .word 0x7FFFFFFF          # preload padding past the table
+        ",
+    )
+    .expect("g711 ulaw kernel assembles")
+}
+
+/// Reference µ-law encoder matching [`g711_ulaw_kernel`]'s outputs.
+#[must_use]
+pub fn g711_ulaw_reference(samples: &[i32]) -> Vec<i32> {
+    samples
+        .iter()
+        .map(|&s| i32::from(asbr_codecs::linear2ulaw(s as i16)))
+        .collect()
+}
+
+/// A reactive frame-protocol parser — the paper's "control intensive
+/// applications which are part of a typical reactive system".
+///
+/// Grammar: `0xAA <len> <len data bytes> <checksum>` where the checksum
+/// is the low byte of the data sum. Emits `1` for every good frame, `2`
+/// for a bad checksum, `3` for a sync error. The parser state register is
+/// assigned at the *end* of each iteration and dispatched on at the top
+/// of the next — a whole loop body of def→branch distance, so the state
+/// dispatch branches fold under ASBR.
+///
+/// # Panics
+///
+/// Panics if the embedded source fails to assemble (covered by tests).
+#[must_use]
+pub fn protocol_kernel() -> Program {
+    assemble(
+        "
+        # r16 = state (0 idle, 1 length, 2 data, 3 checksum)
+        # r17 = bytes remaining in data, r18 = checksum accumulator
+        main:   li   r28, 0xFFFF0000
+                li   r16, 0
+        loop:   lw   r9, 4(r28)
+                beqz r9, done
+                lw   r9, 0(r28)          # next byte
+                andi r9, r9, 0xFF
+        st_dispatch:
+                beqz r16, st_idle        # state == IDLE (foldable dispatch)
+                addi r10, r16, -1
+                beqz r10, st_len
+                addi r10, r16, -2
+                beqz r10, st_data
+                j    st_chk
+
+        st_idle:
+                addi r10, r9, -170       # sync byte 0xAA?
+                bnez r10, bad_sync
+                li   r16, 1
+                j    loop
+        bad_sync:
+                li   r10, 3
+                sw   r10, 8(r28)
+                li   r16, 0
+                j    loop
+
+        st_len: move r17, r9             # length
+                li   r18, 0
+                li   r16, 2
+                bnez r9, loop            # zero-length frame goes straight to checksum
+                li   r16, 3
+                j    loop
+
+        st_data:
+                add  r18, r18, r9
+                addi r17, r17, -1
+                li   r16, 2
+                bnez r17, loop
+                li   r16, 3
+                j    loop
+
+        st_chk: andi r18, r18, 0xFF
+                sub  r10, r18, r9
+                li   r11, 1
+                beqz r10, chk_done       # checksum matches?
+                li   r11, 2
+        chk_done:
+                sw   r11, 8(r28)
+                li   r16, 0
+                j    loop
+
+        done:   halt
+        ",
+    )
+    .expect("protocol kernel assembles")
+}
+
+/// Reference parser matching [`protocol_kernel`]'s outputs.
+#[must_use]
+pub fn protocol_reference(bytes: &[i32]) -> Vec<i32> {
+    #[derive(Clone, Copy)]
+    enum St {
+        Idle,
+        Len,
+        Data,
+        Chk,
+    }
+    let mut out = Vec::new();
+    let mut st = St::Idle;
+    let (mut remaining, mut sum) = (0i32, 0i32);
+    for &raw in bytes {
+        let b = raw & 0xFF;
+        match st {
+            St::Idle => {
+                if b == 0xAA {
+                    st = St::Len;
+                } else {
+                    out.push(3);
+                }
+            }
+            St::Len => {
+                remaining = b;
+                sum = 0;
+                st = if b != 0 { St::Data } else { St::Chk };
+            }
+            St::Data => {
+                sum += b;
+                remaining -= 1;
+                if remaining == 0 {
+                    st = St::Chk;
+                }
+            }
+            St::Chk => {
+                out.push(if (sum & 0xFF) == b { 1 } else { 2 });
+                st = St::Idle;
+            }
+        }
+    }
+    out
+}
+
+/// Deterministic byte stream of frames (mostly good, some corrupted) plus
+/// inter-frame noise, for the protocol kernel.
+#[must_use]
+pub fn protocol_input(n_frames: usize, seed: u64) -> Vec<i32> {
+    let mut rng = crate::input::Lcg::new(seed);
+    let mut out = Vec::new();
+    for f in 0..n_frames {
+        // Occasional line noise between frames.
+        if rng.next_u32().is_multiple_of(5) {
+            out.push(i32::from(rng.next_i16(100).unsigned_abs() % 160)); // never 0xAA
+        }
+        out.push(0xAA);
+        let len = (rng.next_u32() % 12) as i32;
+        out.push(len);
+        let mut sum = 0i32;
+        for _ in 0..len {
+            let b = (rng.next_u32() & 0xFF) as i32;
+            sum += b;
+            out.push(b);
+        }
+        let mut chk = sum & 0xFF;
+        if f % 7 == 3 {
+            chk = (chk + 1) & 0xFF; // corrupt every 7th frame
+        }
+        out.push(chk);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asbr_sim::Interp;
+
+    #[test]
+    fn fig2_counts_values_over_threshold() {
+        let prog = fig2_kernel(100);
+        let mut it = Interp::new(&prog);
+        let input = [50, 150, 100, 99, 101, -7, 3000];
+        it.feed_input(input);
+        let run = it.run(1_000_000).unwrap();
+        let expect = input.iter().filter(|&&v| v >= 100).count() as i32;
+        assert_eq!(run.output, vec![expect]);
+    }
+
+    #[test]
+    fn fig2_branch_is_data_dependent() {
+        // Alternating input around the threshold makes br_fig2 alternate.
+        let prog = fig2_kernel(0);
+        assert!(prog.symbol("br_fig2").is_some());
+        let mut it = Interp::new(&prog);
+        it.feed_input([1, -1, 1, -1, 1, -1]);
+        let run = it.run(1_000_000).unwrap();
+        assert_eq!(run.output, vec![3]);
+    }
+
+    #[test]
+    fn crc32_guest_matches_reference() {
+        let input: Vec<i32> = (0..200).map(|i| (i * 37 + 11) & 0xFF).collect();
+        let mut it = Interp::new(&crc32_kernel());
+        it.feed_input(input.iter().copied());
+        let run = it.run(10_000_000).unwrap();
+        assert_eq!(run.output, crc32_reference(&input));
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // CRC-32 of "123456789" is 0xCBF43926.
+        let input: Vec<i32> = b"123456789".iter().map(|&b| i32::from(b)).collect();
+        let out = crc32_reference(&input);
+        assert_eq!(*out.last().unwrap() as u32, 0xCBF4_3926);
+        let mut it = Interp::new(&crc32_kernel());
+        it.feed_input(input);
+        let run = it.run(1_000_000).unwrap();
+        assert_eq!(*run.output.last().unwrap() as u32, 0xCBF4_3926);
+    }
+
+    #[test]
+    fn g711_guest_matches_reference() {
+        let mut input: Vec<i32> = vec![0, 1, -1, 32767, -32768, 0x84, -0x84, 255, -255];
+        input.extend((0..500).map(|i| ((i * 1103) % 65536) - 32768));
+        let mut it = Interp::new(&g711_ulaw_kernel());
+        it.feed_input(input.iter().copied());
+        let run = it.run(10_000_000).unwrap();
+        assert_eq!(run.output, g711_ulaw_reference(&input));
+    }
+
+    #[test]
+    fn g711_guest_zero_encodes_to_ff() {
+        let mut it = Interp::new(&g711_ulaw_kernel());
+        it.feed_input([0]);
+        let run = it.run(100_000).unwrap();
+        assert_eq!(run.output, vec![0xFF]);
+    }
+
+    #[test]
+    fn protocol_guest_matches_reference() {
+        let input = protocol_input(50, 99);
+        let mut it = Interp::new(&protocol_kernel());
+        it.feed_input(input.iter().copied());
+        let run = it.run(10_000_000).unwrap();
+        assert_eq!(run.output, protocol_reference(&input));
+        // The stream contains good, bad, and noise outcomes.
+        assert!(run.output.contains(&1));
+        assert!(run.output.contains(&2));
+        assert!(run.output.contains(&3));
+    }
+
+    #[test]
+    fn protocol_handles_degenerate_streams() {
+        for input in [vec![], vec![0xAA], vec![0xAA, 0, 0], vec![1, 2, 3]] {
+            let mut it = Interp::new(&protocol_kernel());
+            it.feed_input(input.iter().copied());
+            let run = it.run(1_000_000).unwrap();
+            assert_eq!(run.output, protocol_reference(&input), "{input:?}");
+        }
+    }
+
+    #[test]
+    fn fig1_b4_follows_b1() {
+        let prog = fig1_kernel();
+        let mut it = Interp::new(&prog);
+        // Tuples (c1, c2, c3, c5): B4 taken iff c1 != 0.
+        it.feed_input([1, 0, 0, 0, 0, 1, 1, 0, 1, 1, 0, 1]);
+        let run = it.run(1_000_000).unwrap();
+        assert_eq!(run.output, vec![2]);
+    }
+}

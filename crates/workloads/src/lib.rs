@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! Guest programs and inputs for the ASBR evaluation.
+//!
+//! The paper evaluates on four MediaBench applications (Sec. 8): the IMA
+//! ADPCM encoder/decoder and the G.721 encoder/decoder. The originals are
+//! C programs compiled by gcc for SimpleScalar; lacking that toolchain we
+//! hand-ported the same algorithms to this project's assembly (see the
+//! `asm/` directory), and validate every guest against the
+//! [`asbr_codecs`] golden references — byte-identical output is asserted
+//! by this crate's tests.
+//!
+//! [`Workload`] names the four benchmarks and bundles their program
+//! image, deterministic synthetic input (module [`input`]) and reference
+//! output. Module [`kernels`] additionally provides executable versions
+//! of the paper's *motivation* code fragments (Figures 1 and 2).
+//!
+//! # Examples
+//!
+//! Run the ADPCM encoder guest and check it against the reference codec:
+//!
+//! ```
+//! use asbr_sim::Interp;
+//! use asbr_workloads::Workload;
+//!
+//! let w = Workload::AdpcmEncode;
+//! let input = w.input(200);
+//! let mut interp = Interp::new(&w.program());
+//! interp.feed_input(input.iter().copied());
+//! let run = interp.run(100_000_000)?;
+//! assert_eq!(run.output, w.reference_output(&input));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod input;
+pub mod kernels;
+mod workload;
+
+pub use workload::Workload;

@@ -1,0 +1,208 @@
+//! The four benchmark workloads.
+
+use asbr_asm::{assemble, Program};
+use asbr_codecs::{adpcm_decode, adpcm_encode, g721_decode, g721_encode, AdpcmState, G72xState};
+
+use crate::input::speech_like;
+
+const ADPCM_ENCODE_SRC: &str = include_str!("../asm/adpcm_encode.s");
+const ADPCM_DECODE_SRC: &str = include_str!("../asm/adpcm_decode.s");
+const G721_MAIN_ENCODE_SRC: &str = include_str!("../asm/g721_main_encode.s");
+const G721_MAIN_DECODE_SRC: &str = include_str!("../asm/g721_main_decode.s");
+const G721_COMMON_SRC: &str = include_str!("../asm/g721_common.s");
+
+/// Deterministic seed used for every workload's canonical input.
+const INPUT_SEED: u64 = 0x5EED_2001;
+
+/// One of the paper's four benchmark programs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Workload {
+    /// IMA ADPCM encoder (PCM samples in, packed code bytes out).
+    AdpcmEncode,
+    /// IMA ADPCM decoder (packed code bytes in, PCM samples out).
+    AdpcmDecode,
+    /// G.721 encoder (PCM samples in, 4-bit codes out).
+    G721Encode,
+    /// G.721 decoder (4-bit codes in, PCM samples out).
+    G721Decode,
+}
+
+impl Workload {
+    /// All four benchmarks in the paper's reporting order.
+    pub const ALL: [Workload; 4] =
+        [Workload::AdpcmEncode, Workload::AdpcmDecode, Workload::G721Encode, Workload::G721Decode];
+
+    /// Display name matching the paper's table headers.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Workload::AdpcmEncode => "ADPCM Encode",
+            Workload::AdpcmDecode => "ADPCM Decode",
+            Workload::G721Encode => "G.721 Encode",
+            Workload::G721Decode => "G.721 Decode",
+        }
+    }
+
+    /// The guest's assembly source.
+    #[must_use]
+    pub fn source(self) -> String {
+        match self {
+            Workload::AdpcmEncode => ADPCM_ENCODE_SRC.to_owned(),
+            Workload::AdpcmDecode => ADPCM_DECODE_SRC.to_owned(),
+            Workload::G721Encode => format!("{G721_MAIN_ENCODE_SRC}\n{G721_COMMON_SRC}"),
+            Workload::G721Decode => format!("{G721_MAIN_DECODE_SRC}\n{G721_COMMON_SRC}"),
+        }
+    }
+
+    /// The assembled guest program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bundled source fails to assemble (a build defect
+    /// covered by this crate's tests).
+    #[must_use]
+    pub fn program(self) -> Program {
+        assemble(&self.source()).expect("bundled workload source assembles")
+    }
+
+    /// The canonical deterministic input stream, sized by `n_samples`
+    /// source PCM samples.
+    ///
+    /// Encoders receive the PCM samples themselves; decoders receive the
+    /// coded stream produced by the corresponding reference encoder on
+    /// the same PCM (as the paper's decode benchmarks consume the encoder
+    /// outputs).
+    #[must_use]
+    pub fn input(self, n_samples: usize) -> Vec<i32> {
+        let pcm = speech_like(n_samples, INPUT_SEED);
+        match self {
+            Workload::AdpcmEncode | Workload::G721Encode => {
+                pcm.iter().map(|&s| i32::from(s)).collect()
+            }
+            Workload::AdpcmDecode => {
+                adpcm_encode(&pcm, &mut AdpcmState::new())
+                    .iter()
+                    .map(|&b| i32::from(b))
+                    .collect()
+            }
+            Workload::G721Decode => {
+                let mut st = G72xState::new();
+                pcm.iter().map(|&s| i32::from(g721_encode(s, &mut st))).collect()
+            }
+        }
+    }
+
+    /// What a correct guest must emit for `input` — computed with the
+    /// golden-reference codecs.
+    #[must_use]
+    pub fn reference_output(self, input: &[i32]) -> Vec<i32> {
+        match self {
+            Workload::AdpcmEncode => {
+                let pcm: Vec<i16> = input.iter().map(|&v| v as i16).collect();
+                adpcm_encode(&pcm, &mut AdpcmState::new())
+                    .iter()
+                    .map(|&b| i32::from(b))
+                    .collect()
+            }
+            Workload::AdpcmDecode => {
+                let bytes: Vec<u8> = input.iter().map(|&v| v as u8).collect();
+                adpcm_decode(&bytes, bytes.len() * 2, &mut AdpcmState::new())
+                    .iter()
+                    .map(|&s| i32::from(s))
+                    .collect()
+            }
+            Workload::G721Encode => {
+                let mut st = G72xState::new();
+                input
+                    .iter()
+                    .map(|&v| i32::from(g721_encode(v as i16, &mut st)))
+                    .collect()
+            }
+            Workload::G721Decode => {
+                let mut st = G72xState::new();
+                input
+                    .iter()
+                    .map(|&v| i32::from(g721_decode(v as u8, &mut st)))
+                    .collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asbr_sim::Interp;
+
+    #[test]
+    fn all_sources_assemble() {
+        for w in Workload::ALL {
+            let p = w.program();
+            assert!(p.text().len() > 30, "{} is non-trivial", w.name());
+            assert_eq!(p.entry(), p.symbol("main").unwrap());
+        }
+    }
+
+    fn run_guest(w: Workload, input: &[i32]) -> Vec<i32> {
+        let mut it = Interp::new(&w.program());
+        it.feed_input(input.iter().copied());
+        it.run(500_000_000).unwrap_or_else(|e| panic!("{} guest failed: {e}", w.name())).output
+    }
+
+    #[test]
+    fn adpcm_encode_guest_matches_reference() {
+        let w = Workload::AdpcmEncode;
+        let input = w.input(600);
+        assert_eq!(run_guest(w, &input), w.reference_output(&input));
+    }
+
+    #[test]
+    fn adpcm_decode_guest_matches_reference() {
+        let w = Workload::AdpcmDecode;
+        let input = w.input(600);
+        assert_eq!(run_guest(w, &input), w.reference_output(&input));
+    }
+
+    #[test]
+    fn g721_encode_guest_matches_reference() {
+        let w = Workload::G721Encode;
+        let input = w.input(300);
+        assert_eq!(run_guest(w, &input), w.reference_output(&input));
+    }
+
+    #[test]
+    fn g721_decode_guest_matches_reference() {
+        let w = Workload::G721Decode;
+        let input = w.input(300);
+        assert_eq!(run_guest(w, &input), w.reference_output(&input));
+    }
+
+    #[test]
+    fn guests_handle_empty_input() {
+        for w in Workload::ALL {
+            let out = run_guest(w, &[]);
+            assert!(out.is_empty(), "{} must emit nothing on empty input", w.name());
+        }
+    }
+
+    #[test]
+    fn guests_handle_extreme_samples() {
+        let extremes = vec![32767, -32768, 32767, -32768, 0, 1, -1, 32767];
+        for w in [Workload::AdpcmEncode, Workload::G721Encode] {
+            assert_eq!(run_guest(w, &extremes), w.reference_output(&extremes), "{}", w.name());
+        }
+    }
+
+    #[test]
+    fn decoder_inputs_come_from_encoders() {
+        // The decode workloads must consume exactly what the encoders
+        // produce for the same PCM.
+        let enc_in = Workload::AdpcmEncode.input(100);
+        let enc_out = Workload::AdpcmEncode.reference_output(&enc_in);
+        assert_eq!(Workload::AdpcmDecode.input(100), enc_out);
+
+        let enc_in = Workload::G721Encode.input(100);
+        let enc_out = Workload::G721Encode.reference_output(&enc_in);
+        assert_eq!(Workload::G721Decode.input(100), enc_out);
+    }
+}

@@ -1,0 +1,61 @@
+//! Profile a workload, print its per-branch statistics (the paper's
+//! Figure 7/9/10 view) and the resulting BIT selection.
+//!
+//! ```text
+//! cargo run --release -p asbr-experiments --example branch_profile [workload] [samples]
+//! ```
+//!
+//! `workload` ∈ {adpcm-enc, adpcm-dec, g721-enc, g721-dec}.
+
+use asbr_bpred::PredictorKind;
+use asbr_experiments::branch_tables;
+use asbr_profile::{profile, select_branches, SelectionConfig};
+use asbr_workloads::Workload;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let workload = match args.first().map(String::as_str) {
+        None | Some("g721-enc") => Workload::G721Encode,
+        Some("g721-dec") => Workload::G721Decode,
+        Some("adpcm-enc") => Workload::AdpcmEncode,
+        Some("adpcm-dec") => Workload::AdpcmDecode,
+        Some(other) => return Err(format!("unknown workload `{other}`").into()),
+    };
+    let samples: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(2000);
+
+    let program = workload.program();
+    let input = workload.input(samples);
+    let report = profile(&program, &input, &PredictorKind::BASELINES)?;
+
+    println!(
+        "{}: {} dynamic instructions, {} dynamic branches over {} static sites\n",
+        workload.name(),
+        report.instructions,
+        report.total_branch_execs(),
+        report.branches().len()
+    );
+
+    println!("hottest branches:");
+    println!("{:<12} {:<22} {:>10} {:>7} {:>9} {:>9} {:>9}", "pc", "symbol", "exec", "taken", "not-taken", "bimodal", "gshare");
+    for b in report.branches().iter().take(12) {
+        let sym = program
+            .symbols()
+            .filter(|&(_, a)| a <= b.pc)
+            .max_by_key(|&(_, a)| a)
+            .map(|(n, a)| if a == b.pc { n.to_owned() } else { format!("{n}+{}", b.pc - a) })
+            .unwrap_or_default();
+        println!(
+            "{:<#12x} {:<22} {:>10} {:>6.0}% {:>9.2} {:>9.2} {:>9.2}",
+            b.pc, sym, b.exec, b.taken_rate() * 100.0, b.accuracy[0], b.accuracy[1], b.accuracy[2]
+        );
+    }
+
+    let picks = select_branches(&report, &program, &SelectionConfig::default());
+    println!("\nBIT selection (threshold 3, capacity 16): {} branches", picks.len());
+    for (i, pc) in picks.iter().enumerate() {
+        println!("  br{i}: {pc:#010x}");
+    }
+
+    println!("\npaper-style table:\n{}", branch_tables::render(&branch_tables::table(workload, samples, 16)?));
+    Ok(())
+}

@@ -1,0 +1,36 @@
+//! Run the four MediaBench-derived codec guests on the cycle-accurate
+//! pipeline with full ASBR customization, validating every output sample
+//! against the reference codecs — the paper's evaluation in miniature.
+//!
+//! ```text
+//! cargo run --release -p asbr-experiments --example codec_pipeline [samples]
+//! ```
+
+use asbr_bpred::PredictorKind;
+use asbr_experiments::runner::{run_asbr, run_baseline, AsbrOptions};
+use asbr_workloads::Workload;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let samples: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2000);
+
+    println!("{:<14} {:>12} {:>12} {:>7} {:>9} {:>8}", "workload", "baseline", "ASBR", "gain", "folds", "output");
+    for w in Workload::ALL {
+        let baseline = run_baseline(w, PredictorKind::Bimodal { entries: 2048 }, samples)?;
+        let asbr = run_asbr(w, PredictorKind::Bimodal { entries: 256 }, samples, AsbrOptions::default())?;
+
+        let expect = w.reference_output(&w.input(samples));
+        let ok = if asbr.summary.output == expect { "exact" } else { "MISMATCH" };
+        println!(
+            "{:<14} {:>12} {:>12} {:>6.1}% {:>9} {:>8}",
+            w.name(),
+            baseline.stats.cycles,
+            asbr.summary.stats.cycles,
+            (1.0 - asbr.summary.stats.cycles as f64 / baseline.stats.cycles as f64) * 100.0,
+            asbr.asbr.folds(),
+            ok,
+        );
+        assert_eq!(asbr.summary.output, expect, "{} output diverged", w.name());
+    }
+    println!("\nall guest outputs byte-identical to the reference codecs");
+    Ok(())
+}

@@ -1,0 +1,28 @@
+//! The paper's motivation, executed: Figure 2's input-data-dependent
+//! branch defeats every statistical predictor yet folds perfectly, and
+//! Figure 1's B1→B4 data correlation is visible to ASBR as a register
+//! value.
+//!
+//! ```text
+//! cargo run --release -p asbr-experiments --example motivation_kernels
+//! ```
+
+use asbr_experiments::motivation;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    for result in [motivation::fig2(10_000)?, motivation::fig1(8_000)?] {
+        println!("{}", result.kernel);
+        println!("  focus branch executed {} times", result.exec);
+        for (name, acc) in &result.accuracy {
+            println!("  {name:<10} accuracy {:>5.1}%", acc * 100.0);
+        }
+        println!(
+            "  ASBR folded {} of them; cycles {} -> {} ({:+.1}%)\n",
+            result.folds,
+            result.baseline_cycles,
+            result.asbr_cycles,
+            (result.asbr_cycles as f64 / result.baseline_cycles as f64 - 1.0) * 100.0
+        );
+    }
+    Ok(())
+}

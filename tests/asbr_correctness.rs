@@ -1,0 +1,90 @@
+//! End-to-end ASBR correctness: folding must be *semantically invisible*.
+//! For every workload, every publish point, and every auxiliary
+//! predictor, the ASBR-customized pipeline must emit exactly the
+//! reference codec's output while actually folding branches.
+
+use asbr_bpred::PredictorKind;
+use asbr_experiments::runner::{run_asbr, AsbrOptions};
+use asbr_sim::PublishPoint;
+use asbr_workloads::Workload;
+
+const SAMPLES: usize = 200;
+
+#[test]
+fn folding_never_changes_output_any_workload_any_aux() {
+    for w in Workload::ALL {
+        let expect = w.reference_output(&w.input(SAMPLES));
+        for aux in [
+            PredictorKind::NotTaken,
+            PredictorKind::Bimodal { entries: 512 },
+            PredictorKind::Bimodal { entries: 256 },
+        ] {
+            let run = run_asbr(w, aux, SAMPLES, AsbrOptions::default())
+                .unwrap_or_else(|e| panic!("{} under {:?}: {e}", w.name(), aux));
+            assert_eq!(run.summary.output, expect, "{} under {:?}", w.name(), aux);
+            assert!(run.asbr.folds() > 0, "{} under {:?} never folded", w.name(), aux);
+        }
+    }
+}
+
+#[test]
+fn folding_never_changes_output_across_publish_points() {
+    let w = Workload::AdpcmEncode;
+    let expect = w.reference_output(&w.input(SAMPLES));
+    for publish in [PublishPoint::Execute, PublishPoint::Mem, PublishPoint::Commit] {
+        let run = run_asbr(
+            w,
+            PredictorKind::Bimodal { entries: 256 },
+            SAMPLES,
+            AsbrOptions { publish, ..AsbrOptions::default() },
+        )
+        .unwrap();
+        assert_eq!(run.summary.output, expect, "{publish:?}");
+    }
+}
+
+#[test]
+fn folded_branches_leave_the_pipeline() {
+    // The retired-instruction count under ASBR must drop by exactly the
+    // number of folds relative to the baseline (folded branches never
+    // enter the pipe — the paper's power argument).
+    let w = Workload::AdpcmEncode;
+    let run = run_asbr(w, PredictorKind::NotTaken, SAMPLES, AsbrOptions::default()).unwrap();
+
+    // Re-run the *same rescheduled program* without ASBR to compare
+    // retire counts fairly.
+    let mut base = asbr_sim::Pipeline::new(
+        asbr_sim::PipelineConfig::default(),
+        PredictorKind::NotTaken.build(),
+    );
+    base.load(&run.program);
+    base.feed_input(w.input(SAMPLES));
+    let base_run = base.run().unwrap();
+
+    assert_eq!(base_run.stats.retired, run.summary.stats.retired + run.asbr.folds());
+}
+
+#[test]
+fn selection_is_deterministic() {
+    let w = Workload::G721Encode;
+    let a = run_asbr(w, PredictorKind::NotTaken, 80, AsbrOptions::default()).unwrap();
+    let b = run_asbr(w, PredictorKind::NotTaken, 80, AsbrOptions::default()).unwrap();
+    assert_eq!(a.selected, b.selected);
+    assert_eq!(a.summary.stats.cycles, b.summary.stats.cycles);
+    assert_eq!(a.asbr, b.asbr);
+}
+
+#[test]
+fn bit_respects_capacity() {
+    let w = Workload::G721Encode;
+    for cap in [1, 4, 16] {
+        let run = run_asbr(
+            w,
+            PredictorKind::NotTaken,
+            80,
+            AsbrOptions { bit_entries: cap, ..AsbrOptions::default() },
+        )
+        .unwrap();
+        assert!(run.selected.len() <= cap);
+    }
+}

@@ -1,0 +1,141 @@
+//! Integration tests for the `asbr_tool` command-line front end.
+
+use std::io::Write as _;
+use std::process::Command;
+
+fn tool() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_asbr_tool"))
+}
+
+fn demo_source() -> tempfile::NamedTempPath {
+    tempfile::NamedTempPath::with_contents(
+        "
+main:   li   r4, 60
+        li   r2, 0
+loop:   addi r4, r4, -1
+        addi r2, r2, 5
+        nop
+        nop
+br:     bnez r4, loop
+        halt
+",
+    )
+}
+
+/// Minimal self-contained temp-file helper (no external crates).
+mod tempfile {
+    use std::path::PathBuf;
+
+    pub struct NamedTempPath(PathBuf);
+
+    impl NamedTempPath {
+        pub fn with_contents(contents: &str) -> NamedTempPath {
+            let mut path = std::env::temp_dir();
+            let unique = format!(
+                "asbr-cli-{}-{:x}.s",
+                std::process::id(),
+                contents.as_ptr() as usize ^ contents.len()
+            );
+            path.push(unique);
+            std::fs::write(&path, contents).expect("temp file writes");
+            NamedTempPath(path)
+        }
+
+        pub fn path(&self) -> &std::path::Path {
+            &self.0
+        }
+    }
+
+    impl Drop for NamedTempPath {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.0);
+        }
+    }
+}
+
+#[test]
+fn asm_prints_layout_and_disassembly() {
+    let src = demo_source();
+    let out = tool().args(["asm"]).arg(src.path()).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("8 instructions"));
+    assert!(text.contains("bnez"));
+    assert!(text.contains("main:"));
+}
+
+#[test]
+fn analyze_reports_foldability() {
+    let src = demo_source();
+    let out = tool().args(["analyze"]).arg(src.path()).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("yes"), "{text}");
+    assert!(text.contains("loop depth"));
+}
+
+#[test]
+fn customize_then_run_folds() {
+    let src = demo_source();
+    let img = std::env::temp_dir().join(format!("asbr-cli-{}.img", std::process::id()));
+    let out = tool()
+        .args(["customize"])
+        .arg(src.path())
+        .args(["-o"])
+        .arg(&img)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let out = tool()
+        .args(["run"])
+        .arg(src.path())
+        .args(["--asbr"])
+        .arg(&img)
+        .args(["--predictor", "nottaken"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("branches folded"), "{text}");
+    let _ = std::fs::remove_file(&img);
+}
+
+#[test]
+fn run_accepts_input_and_reports_output() {
+    let echo = tempfile::NamedTempPath::with_contents(
+        "
+main:   li   r8, 0xFFFF0000
+loop:   lw   r9, 4(r8)
+        beqz r9, done
+        lw   r10, 0(r8)
+        addi r10, r10, 1
+        sw   r10, 8(r8)
+        j    loop
+done:   halt
+",
+    );
+    let out = tool()
+        .args(["run"])
+        .arg(echo.path())
+        .args(["--input", "1,2,3", "--predictor", "gshare"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("output: [2, 3, 4]"), "{text}");
+}
+
+#[test]
+fn bad_usage_exits_nonzero() {
+    let out = tool().output().unwrap();
+    assert!(!out.status.success());
+    let out = tool().args(["frobnicate", "x.s"]).output().unwrap();
+    assert!(!out.status.success());
+    // And a missing file is a clean error, not a panic.
+    let out = tool().args(["asm", "/nonexistent/x.s"]).output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("cannot read"), "{err}");
+    let _ = std::io::stdout().flush();
+}

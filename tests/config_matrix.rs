@@ -1,0 +1,54 @@
+//! Configuration-matrix sanity: a real codec workload stays byte-exact
+//! across the full cross product of microarchitectural knobs.
+
+use asbr_bpred::PredictorKind;
+use asbr_experiments::runner::{run_asbr, AsbrOptions, MicroTweaks};
+use asbr_sim::PublishPoint;
+use asbr_workloads::Workload;
+
+#[test]
+fn adpcm_encode_exact_across_the_knob_matrix() {
+    let w = Workload::AdpcmEncode;
+    let samples = 120;
+    let expect = w.reference_output(&w.input(samples));
+    for publish in [PublishPoint::Execute, PublishPoint::Mem, PublishPoint::Commit] {
+        for mul_latency in [1u32, 6] {
+            for ras_entries in [0usize, 4] {
+                for bit_entries in [1usize, 16] {
+                    let opts = AsbrOptions {
+                        publish,
+                        bit_entries,
+                        tweaks: MicroTweaks {
+                            mul_latency,
+                            div_latency: mul_latency * 3,
+                            ras_entries,
+                            ..MicroTweaks::default()
+                        },
+                        ..AsbrOptions::default()
+                    };
+                    let run = run_asbr(w, PredictorKind::Bimodal { entries: 128 }, samples, opts)
+                        .unwrap_or_else(|e| panic!("{opts:?}: {e}"));
+                    assert_eq!(run.summary.output, expect, "{opts:?}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn g721_decode_exact_across_publish_points_and_latency() {
+    let w = Workload::G721Decode;
+    let samples = 60;
+    let expect = w.reference_output(&w.input(samples));
+    for publish in [PublishPoint::Execute, PublishPoint::Commit] {
+        for mul_latency in [1u32, 8] {
+            let opts = AsbrOptions {
+                publish,
+                tweaks: MicroTweaks { mul_latency, div_latency: 20, ras_entries: 8, ..MicroTweaks::default() },
+                ..AsbrOptions::default()
+            };
+            let run = run_asbr(w, PredictorKind::NotTaken, samples, opts).unwrap();
+            assert_eq!(run.summary.output, expect, "{opts:?}");
+        }
+    }
+}

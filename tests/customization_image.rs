@@ -1,0 +1,70 @@
+//! Integration: the serialized customization image (paper Sec. 7's
+//! "branch information loaded like program code") reproduces the exact
+//! fold behaviour of the directly-constructed unit on real workloads.
+
+use asbr_bpred::PredictorKind;
+use asbr_core::{decode_image, encode_image, AsbrConfig, AsbrUnit};
+use asbr_profile::{profile, select_branches, SelectionConfig};
+use asbr_sim::{Pipeline, PipelineConfig};
+use asbr_workloads::Workload;
+
+#[test]
+fn image_round_trip_preserves_run_behaviour_on_every_workload() {
+    for w in Workload::ALL {
+        let program = w.program();
+        let input = w.input(120);
+        let report =
+            profile(&program, &input, &[PredictorKind::Bimodal { entries: 2048 }]).unwrap();
+        let picks = select_branches(&report, &program, &SelectionConfig::default());
+        let unit = AsbrUnit::for_branches(AsbrConfig::default(), &program, &picks).unwrap();
+
+        let run = |unit: AsbrUnit| {
+            let mut pipe = Pipeline::with_hooks(
+                PipelineConfig { btb_entries: 512, ..PipelineConfig::default() },
+                PredictorKind::Bimodal { entries: 256 }.build(),
+                unit,
+            );
+            pipe.load(&program);
+            pipe.feed_input(input.iter().copied());
+            let s = pipe.run().unwrap();
+            (s.output, s.stats.cycles, pipe.into_hooks().stats())
+        };
+
+        let image = encode_image(&unit);
+        let reloaded = decode_image(&image).unwrap();
+
+        let (out_a, cycles_a, stats_a) = run(unit);
+        let (out_b, cycles_b, stats_b) = run(reloaded);
+        assert_eq!(out_a, out_b, "{}", w.name());
+        assert_eq!(cycles_a, cycles_b, "{}", w.name());
+        assert_eq!(stats_a, stats_b, "{}", w.name());
+        assert_eq!(out_a, w.reference_output(&input), "{}", w.name());
+    }
+}
+
+#[test]
+fn image_size_is_linear_in_entries() {
+    let w = Workload::G721Encode;
+    let program = w.program();
+    let input = w.input(80);
+    let report = profile(&program, &input, &[PredictorKind::NotTaken]).unwrap();
+    let mut sizes = Vec::new();
+    for cap in [1usize, 4, 16] {
+        let picks = select_branches(
+            &report,
+            &program,
+            &SelectionConfig { bit_entries: cap, ..SelectionConfig::default() },
+        );
+        let unit = AsbrUnit::for_branches(
+            AsbrConfig { bit_entries: cap, ..AsbrConfig::default() },
+            &program,
+            &picks,
+        )
+        .unwrap();
+        sizes.push((picks.len(), encode_image(&unit).len()));
+    }
+    // 18 bytes per entry plus a fixed header.
+    for (n, bytes) in &sizes {
+        assert_eq!(*bytes, 12 + 2 + n * 18, "{n} entries -> {bytes} bytes");
+    }
+}

@@ -1,0 +1,139 @@
+//! Adversarial fold-correctness property test.
+//!
+//! For random loop programs we install a BIT entry for **every**
+//! zero-comparison branch in the text — including branches whose
+//! predicates are defined immediately before them, which the paper's
+//! selection would never pick. The Branch Direction Table's validity
+//! counters must make even those folds safe: whenever a predicate writer
+//! is in flight the fold is blocked, so architectural results must be
+//! identical to the functional interpreter under every publish point.
+
+use asbr_asm::assemble;
+use asbr_bpred::PredictorKind;
+use asbr_core::{AsbrConfig, AsbrUnit, BitEntry};
+use asbr_isa::{Instr, Reg};
+use asbr_sim::{Interp, Pipeline, PipelineConfig, PublishPoint};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Body {
+    Alu(u8, u8, u8, u8),
+    Imm(u8, u8, i16),
+    SkipIf(u8, u8),
+}
+
+fn arb_body() -> impl Strategy<Value = Body> {
+    prop_oneof![
+        (0u8..6, 2u8..12, 2u8..12, 2u8..12).prop_map(|(k, a, b, c)| Body::Alu(k, a, b, c)),
+        (2u8..12, 2u8..12, any::<i16>()).prop_map(|(a, b, i)| Body::Imm(a, b, i)),
+        (0u8..6, 2u8..12).prop_map(|(c, r)| Body::SkipIf(c, r)),
+    ]
+}
+
+fn render(body: &[Body], iterations: u32) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::from("main:\n");
+    for r in 2..12 {
+        let _ = writeln!(s, "        li r{r}, {}", (r * 7919) % 1000 - 500);
+    }
+    let _ = writeln!(s, "        li r20, {iterations}");
+    s.push_str("loop:\n");
+    for (i, op) in body.iter().enumerate() {
+        match *op {
+            Body::Alu(k, a, b, c) => {
+                let m = ["add", "sub", "xor", "and", "or", "slt"][k as usize];
+                let _ = writeln!(s, "        {m} r{a}, r{b}, r{c}");
+            }
+            Body::Imm(a, b, imm) => {
+                let _ = writeln!(s, "        addi r{a}, r{b}, {imm}");
+            }
+            Body::SkipIf(c, r) => {
+                let m = ["beqz", "bnez", "blez", "bgtz", "bltz", "bgez"][c as usize];
+                let _ = writeln!(s, "        {m} r{r}, skip_{i}");
+                let _ = writeln!(s, "        addi r13, r13, 1");
+                let _ = writeln!(s, "skip_{i}:");
+            }
+        }
+    }
+    s.push_str("        addi r20, r20, -1\n");
+    s.push_str("        bnez r20, loop\n");
+    s.push_str("        halt\n");
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn folding_every_branch_is_always_safe(
+        body in proptest::collection::vec(arb_body(), 1..16),
+        iterations in 1u32..10,
+        publish_idx in 0usize..3,
+        aux_dynamic in any::<bool>(),
+    ) {
+        let publish =
+            [PublishPoint::Execute, PublishPoint::Mem, PublishPoint::Commit][publish_idx];
+        let src = render(&body, iterations);
+        let prog = assemble(&src).expect("generated program assembles");
+
+        // Reference run.
+        let mut it = Interp::new(&prog);
+        it.run(50_000_000).expect("interp halts");
+
+        // Install a BIT entry for EVERY zero-compare branch in the text.
+        let entries: Vec<BitEntry> = (0..prog.text().len())
+            .filter_map(|i| {
+                let pc = prog.text_base() + 4 * i as u32;
+                match prog.instr_at(pc) {
+                    Some(Instr::BranchZ { .. }) => BitEntry::from_program(&prog, pc).ok(),
+                    _ => None,
+                }
+            })
+            .collect();
+        prop_assume!(!entries.is_empty());
+        let capacity = entries.len();
+        let mut unit = AsbrUnit::new(AsbrConfig {
+            bit_entries: capacity,
+            publish,
+            ..AsbrConfig::default()
+        });
+        unit.install(0, entries).expect("capacity sized to fit");
+
+        let aux = if aux_dynamic {
+            PredictorKind::Bimodal { entries: 64 }
+        } else {
+            PredictorKind::NotTaken
+        };
+        let mut pipe = Pipeline::with_hooks(PipelineConfig::default(), aux.build(), unit);
+        pipe.load(&prog);
+        let run = pipe.run().expect("pipeline halts");
+
+        for r in Reg::all() {
+            prop_assert_eq!(
+                pipe.reg(r),
+                it.reg(r),
+                "r{} mismatch under {:?}\n{}",
+                r.index(),
+                publish,
+                src
+            );
+        }
+        // Traffic identity: every functional instruction either retired
+        // or was folded on the correct path. Folds are counted at fetch,
+        // so wrong-path (squashed) folds make `folded_branches` an upper
+        // bound on the correct-path folds.
+        prop_assert!(
+            run.stats.retired <= it.instructions(),
+            "retired more than the program executes\n{}",
+            src
+        );
+        prop_assert!(
+            run.stats.retired + run.stats.folded_branches >= it.instructions(),
+            "missing instructions: retired {} + folds {} < {}\n{}",
+            run.stats.retired,
+            run.stats.folded_branches,
+            it.instructions(),
+            src
+        );
+    }
+}

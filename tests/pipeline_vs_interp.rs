@@ -1,0 +1,66 @@
+//! Cross-engine integration: for every workload, the cycle-accurate
+//! pipeline and the functional interpreter must produce identical guest
+//! output and retire the same instruction count — the two engines share
+//! semantics but not timing machinery, so agreement is a strong check on
+//! both.
+
+use asbr_bpred::PredictorKind;
+use asbr_sim::{Interp, Pipeline, PipelineConfig};
+use asbr_workloads::Workload;
+
+const SAMPLES: usize = 250;
+
+fn functional(w: Workload, input: &[i32]) -> (Vec<i32>, u64) {
+    let mut it = Interp::new(&w.program());
+    it.feed_input(input.iter().copied());
+    let run = it.run(1_000_000_000).expect("functional run halts");
+    (run.output, run.instructions)
+}
+
+fn pipelined(w: Workload, input: &[i32], kind: PredictorKind) -> (Vec<i32>, u64) {
+    let mut pipe = Pipeline::new(PipelineConfig::default(), kind.build());
+    pipe.load(&w.program());
+    pipe.feed_input(input.iter().copied());
+    let run = pipe.run().expect("pipelined run halts");
+    (run.output, run.stats.retired)
+}
+
+#[test]
+fn outputs_and_retired_counts_agree_for_every_workload() {
+    for w in Workload::ALL {
+        let input = w.input(SAMPLES);
+        let (f_out, f_instr) = functional(w, &input);
+        for kind in PredictorKind::BASELINES {
+            let (p_out, p_retired) = pipelined(w, &input, kind);
+            assert_eq!(p_out, f_out, "{} output mismatch under {:?}", w.name(), kind);
+            assert_eq!(p_retired, f_instr, "{} retire-count mismatch under {:?}", w.name(), kind);
+        }
+    }
+}
+
+#[test]
+fn guest_output_matches_reference_codec_under_pipelining() {
+    for w in Workload::ALL {
+        let input = w.input(SAMPLES);
+        let (out, _) = pipelined(w, &input, PredictorKind::Gshare { hist_bits: 11, entries: 2048 });
+        assert_eq!(out, w.reference_output(&input), "{}", w.name());
+    }
+}
+
+#[test]
+fn predictor_choice_never_changes_results_only_cycles() {
+    let w = Workload::G721Encode;
+    let input = w.input(120);
+    let mut cycle_counts = Vec::new();
+    let mut outputs = Vec::new();
+    for kind in PredictorKind::BASELINES {
+        let mut pipe = Pipeline::new(PipelineConfig::default(), kind.build());
+        pipe.load(&w.program());
+        pipe.feed_input(input.iter().copied());
+        let run = pipe.run().unwrap();
+        cycle_counts.push(run.stats.cycles);
+        outputs.push(run.output);
+    }
+    assert!(outputs.windows(2).all(|w| w[0] == w[1]));
+    assert!(cycle_counts.iter().any(|&c| c != cycle_counts[0]), "timing must differ");
+}

@@ -1,0 +1,72 @@
+//! Compiler-support integration (paper Sec. 5.1): the predicate-hoisting
+//! scheduler preserves semantics on the real codecs and can only help
+//! folding.
+
+use asbr_bpred::PredictorKind;
+use asbr_experiments::runner::{run_asbr, AsbrOptions};
+use asbr_flow::schedule::hoist_predicates;
+use asbr_flow::candidates;
+use asbr_sim::Interp;
+use asbr_workloads::Workload;
+
+#[test]
+fn hoisting_preserves_codec_output() {
+    for w in Workload::ALL {
+        let input = w.input(150);
+        let (scheduled, _) = hoist_predicates(&w.program());
+        let mut it = Interp::new(&scheduled);
+        it.feed_input(input.iter().copied());
+        let run = it.run(1_000_000_000).expect("scheduled guest halts");
+        assert_eq!(run.output, w.reference_output(&input), "{}", w.name());
+    }
+}
+
+#[test]
+fn hoisting_never_shrinks_static_distances() {
+    for w in Workload::ALL {
+        let before = candidates(&w.program());
+        let (scheduled, _) = hoist_predicates(&w.program());
+        let after = candidates(&scheduled);
+        assert_eq!(before.len(), after.len(), "{}", w.name());
+        // Compare per-branch: hoisting moves defs earlier, so same-block
+        // distances cannot shrink (cross-block minima are unchanged).
+        for (b, a) in before.iter().zip(&after) {
+            assert_eq!(b.pc, a.pc);
+            assert!(
+                a.min_def_distance + 1 >= b.min_def_distance,
+                "{}: br@{:#x} {} -> {}",
+                w.name(),
+                b.pc,
+                b.min_def_distance,
+                a.min_def_distance
+            );
+        }
+    }
+}
+
+#[test]
+fn scheduling_does_not_reduce_folds() {
+    for w in [Workload::AdpcmEncode, Workload::G721Encode] {
+        let with = run_asbr(
+            w,
+            PredictorKind::NotTaken,
+            150,
+            AsbrOptions { hoist: true, ..AsbrOptions::default() },
+        )
+        .unwrap();
+        let without = run_asbr(
+            w,
+            PredictorKind::NotTaken,
+            150,
+            AsbrOptions { hoist: false, ..AsbrOptions::default() },
+        )
+        .unwrap();
+        assert!(
+            with.asbr.folds() * 100 >= without.asbr.folds() * 95,
+            "{}: scheduled {} vs unscheduled {}",
+            w.name(),
+            with.asbr.folds(),
+            without.asbr.folds()
+        );
+    }
+}
