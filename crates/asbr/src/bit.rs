@@ -92,6 +92,18 @@ impl BitEntry {
             .ok_or(BitBuildError::EdgeOutOfText { addr: fall_addr })?;
         Ok(BitEntry { pc, taken_instr, fall_instr, target, di: (rs, cond) })
     }
+
+    /// Whether this entry still describes `program` — i.e. re-extracting
+    /// the entry at the same `pc` reproduces every field.
+    ///
+    /// A stale entry (built against a different image, or against the
+    /// program before a rewriting pass replaced its text) would fold the
+    /// branch with the wrong replacement instructions; static verifiers
+    /// use this to detect such mismatches.
+    #[must_use]
+    pub fn consistent_with(&self, program: &Program) -> bool {
+        BitEntry::from_program(program, self.pc).as_ref() == Ok(self)
+    }
 }
 
 /// Error installing more entries than a BIT bank holds.
@@ -189,6 +201,23 @@ mod tests {
         assert_eq!(e.di, (Reg::new(4), Cond::Ne));
         assert_eq!(e.taken_instr, p.instr_at(p.symbol("loop").unwrap()).unwrap());
         assert_eq!(e.fall_instr, Instr::Halt);
+    }
+
+    #[test]
+    fn consistency_detects_stale_entries() {
+        let p = prog();
+        let pc = p.symbol("br").unwrap();
+        let e = BitEntry::from_program(&p, pc).unwrap();
+        assert!(e.consistent_with(&p));
+        // Rewrite the taken-side instruction: the entry's cached BTI no
+        // longer matches the image.
+        let mut words = p.text().to_vec();
+        let loop_idx = ((p.symbol("loop").unwrap() - p.text_base()) / 4) as usize;
+        words[loop_idx] = Instr::NOP.encode();
+        let rewritten = p.clone_with_text(words);
+        assert!(!e.consistent_with(&rewritten));
+        // And a fresh extraction against the new image is consistent.
+        assert!(BitEntry::from_program(&rewritten, pc).unwrap().consistent_with(&rewritten));
     }
 
     #[test]

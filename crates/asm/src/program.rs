@@ -75,6 +75,21 @@ impl Program {
             .min()
     }
 
+    /// The nearest label at or before `addr` — `(name, offset)` with
+    /// `offset = addr - label address`. Useful for rendering diagnostics
+    /// as `symbol+0x10` instead of a bare address. Among several labels at
+    /// the same winning address, the alphabetically first is chosen.
+    #[must_use]
+    pub fn nearest_symbol(&self, addr: u32) -> Option<(&str, u32)> {
+        self.symbols
+            .iter()
+            .filter(|&(_, &a)| a <= addr)
+            .map(|(n, &a)| (n.as_str(), a))
+            // Highest address wins; ties broken toward the smaller name.
+            .max_by(|x, y| x.1.cmp(&y.1).then_with(|| y.0.cmp(x.0)))
+            .map(|(n, a)| (n, addr - a))
+    }
+
     /// Address one past the last text word.
     #[must_use]
     pub fn text_end(&self) -> u32 {
@@ -168,6 +183,17 @@ mod tests {
             symbols: [("main".to_owned(), 0x1000_u32)].into_iter().collect(),
             lines: vec![1, 2],
         }
+    }
+
+    #[test]
+    fn nearest_symbol_reports_offset() {
+        let mut p = sample();
+        p.symbols.insert("halt_site".to_owned(), 0x1004);
+        assert_eq!(p.nearest_symbol(0x1000), Some(("main", 0)));
+        assert_eq!(p.nearest_symbol(0x1002), Some(("main", 2)));
+        assert_eq!(p.nearest_symbol(0x1004), Some(("halt_site", 0)));
+        assert_eq!(p.nearest_symbol(0x1F00), Some(("halt_site", 0xEFC)));
+        assert_eq!(p.nearest_symbol(0x0FFF), None, "before every label");
     }
 
     #[test]

@@ -1,0 +1,153 @@
+//! `asbr-lint`: the static-verification CLI.
+//!
+//! With no file arguments, checks every bundled workload; otherwise
+//! assembles and checks the given `.s` files. For each program it runs
+//! all lints, re-derives the static BIT selection and proves every entry
+//! fold-sound, and self-validates the `hoist_predicates` scheduling pass.
+//!
+//! ```text
+//! asbr-lint [FILE.s ...] [--json] [--deny info|warn|error] [--threshold N]
+//! ```
+//!
+//! Exits nonzero when any report contains a finding at or above the
+//! `--deny` level (default `error`).
+
+use std::process::ExitCode;
+
+use asbr_asm::assemble;
+use asbr_check::{check_folds, check_program, check_schedule, Report, Severity};
+use asbr_core::BitEntry;
+use asbr_flow::schedule::hoist_predicates;
+use asbr_flow::select_static;
+use asbr_sim::PublishPoint;
+use asbr_workloads::Workload;
+
+/// BIT capacity assumed for the static selection (the unit's default).
+const BIT_CAPACITY: usize = 16;
+
+fn usage() -> &'static str {
+    "usage: asbr-lint [FILE.s ...] [--json] [--deny info|warn|error] [--threshold N]\n\
+     \n\
+     With no files, checks every bundled workload. For each program:\n\
+     runs all structural/dataflow lints, proves the static BIT selection\n\
+     fold-sound at the given threshold (default: the Mem publish point's),\n\
+     and validates the predicate-hoisting schedule.\n"
+}
+
+struct Options {
+    files: Vec<String>,
+    json: bool,
+    deny: Severity,
+    threshold: u32,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        files: Vec::new(),
+        json: false,
+        deny: Severity::Error,
+        threshold: PublishPoint::Mem.threshold(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => opts.json = true,
+            "--deny" => {
+                let v = it.next().ok_or("--deny needs a value")?;
+                opts.deny = Severity::parse(v)
+                    .ok_or_else(|| format!("bad --deny value `{v}` (info|warn|error)"))?;
+            }
+            "--threshold" => {
+                let v = it.next().ok_or("--threshold needs a value")?;
+                opts.threshold =
+                    v.parse().map_err(|_| format!("bad --threshold value `{v}`"))?;
+            }
+            "-h" | "--help" => return Err(String::new()),
+            f if !f.starts_with('-') => opts.files.push(f.to_owned()),
+            f => return Err(format!("unknown flag `{f}`")),
+        }
+    }
+    Ok(opts)
+}
+
+/// Runs the full check battery over one program.
+fn check_one(name: &str, program: &asbr_asm::Program, threshold: u32) -> Report {
+    let mut report = check_program(name, program);
+
+    // Re-derive the static BIT selection and prove every entry.
+    let entries: Vec<BitEntry> = select_static(program, threshold, BIT_CAPACITY)
+        .iter()
+        .filter_map(|p| BitEntry::from_program(program, p.candidate.pc).ok())
+        .collect();
+    check_folds(&mut report, program, &entries, threshold);
+
+    // Self-validate the scheduling pass on this program.
+    let (hoisted, _) = hoist_predicates(program);
+    check_schedule(&mut report, program, &hoisted);
+    report
+}
+
+fn real_main(args: &[String]) -> Result<ExitCode, String> {
+    let opts = parse_args(args)?;
+
+    let mut reports = Vec::new();
+    if opts.files.is_empty() {
+        for w in Workload::ALL {
+            reports.push(check_one(w.name(), &w.program(), opts.threshold));
+        }
+    } else {
+        for path in &opts.files {
+            let src = std::fs::read_to_string(path)
+                .map_err(|e| format!("{path}: {e}"))?;
+            let program =
+                assemble(&src).map_err(|e| format!("{path}: assembly failed: {e}"))?;
+            reports.push(check_one(path, &program, opts.threshold));
+        }
+    }
+
+    if opts.json {
+        let mut out = String::from("[");
+        for (i, r) in reports.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&r.to_json());
+        }
+        out.push(']');
+        println!("{out}");
+    } else {
+        for r in &reports {
+            print!("{}", r.render_text());
+        }
+    }
+
+    let denied: usize = reports.iter().map(|r| r.count_at_least(opts.deny)).sum();
+    if denied > 0 {
+        if !opts.json {
+            eprintln!(
+                "asbr-lint: {denied} finding(s) at or above `{}` across {} program(s)",
+                opts.deny,
+                reports.len()
+            );
+        }
+        return Ok(ExitCode::FAILURE);
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match real_main(&args) {
+        Ok(code) => code,
+        Err(msg) => {
+            if msg.is_empty() {
+                print!("{}", usage());
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("asbr-lint: {msg}");
+                eprint!("{}", usage());
+                ExitCode::FAILURE
+            }
+        }
+    }
+}

@@ -1,0 +1,435 @@
+//! Classic iterative dataflow over [`asbr_flow::Cfg`]: reaching
+//! definitions (with uninitialised-at-entry pseudo-definitions, which is
+//! how the use-before-init lint is phrased) and backward liveness.
+//!
+//! Both analyses share the repository's single definition-semantics,
+//! [`asbr_flow::defines_reg`]: an instruction defines its architectural
+//! destination, and a call (`jal`/`jalr`) is treated as defining every
+//! caller-saved register. This keeps the verifier's notion of "def" in
+//! exact agreement with the def→branch distance analysis it audits.
+
+use asbr_flow::{defines_reg, Cfg};
+use asbr_isa::{Instr, Reg, NUM_REGS};
+
+/// A fixed-capacity bitset over definition-site ids.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    fn new(bits: usize) -> BitSet {
+        BitSet { words: vec![0; bits.div_ceil(64)] }
+    }
+
+    fn insert(&mut self, i: usize) {
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    /// `self |= other`; reports whether `self` changed.
+    fn union_with(&mut self, other: &BitSet) -> bool {
+        let mut changed = false;
+        for (w, &o) in self.words.iter_mut().zip(&other.words) {
+            let next = *w | o;
+            changed |= next != *w;
+            *w = next;
+        }
+        changed
+    }
+
+    /// `self &= !other` — kill every site in `other`.
+    fn subtract(&mut self, other: &BitSet) {
+        for (w, &o) in self.words.iter_mut().zip(&other.words) {
+            *w &= !o;
+        }
+    }
+
+    fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            (0..64).filter(move |b| w & (1 << b) != 0).map(move |b| wi * 64 + b)
+        })
+    }
+}
+
+/// A definition site: either a real instruction or the synthetic
+/// "uninitialised at program entry" definition of a register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DefSite {
+    /// The instruction at text index `index` defines `reg`.
+    Instr {
+        /// Text-segment instruction index of the defining instruction.
+        index: usize,
+        /// The register defined.
+        reg: Reg,
+    },
+    /// `reg` holds its (uninitialised) reset value from program entry.
+    EntryUninit {
+        /// The register.
+        reg: Reg,
+    },
+}
+
+impl DefSite {
+    /// The defined register.
+    #[must_use]
+    pub fn reg(self) -> Reg {
+        match self {
+            DefSite::Instr { reg, .. } | DefSite::EntryUninit { reg } => reg,
+        }
+    }
+}
+
+/// Reaching-definitions analysis (forward, may, union meet).
+///
+/// The site universe is every `(instruction, defined register)` pair plus
+/// one [`DefSite::EntryUninit`] pseudo-site per register. The pseudo-sites
+/// are seeded into the entry block's in-set for every register the
+/// hardware does **not** initialise (everything except `r0` and `sp`), so
+/// "a use whose reaching definitions include its register's pseudo-site"
+/// is exactly "possibly used before initialisation".
+///
+/// Blocks with no predecessors other than the entry block (subroutine
+/// entries reached through `jal`, whose call edges are not CFG edges) get
+/// an empty in-set: their callers' register state is unknown, so the
+/// analysis makes no uninitialised-use claims inside them.
+#[derive(Debug, Clone)]
+pub struct ReachingDefs {
+    sites: Vec<DefSite>,
+    /// Per register: bitset over site ids defining it.
+    sites_of_reg: Vec<BitSet>,
+    /// Per block: sites reaching the block entry.
+    block_in: Vec<BitSet>,
+    /// First `NUM_REGS` ids after the real sites are the pseudo-sites.
+    first_pseudo: usize,
+}
+
+impl ReachingDefs {
+    /// Runs the analysis to fixpoint. `entry_block` is the block holding
+    /// the program's entry point.
+    #[must_use]
+    pub fn compute(cfg: &Cfg, entry_block: usize) -> ReachingDefs {
+        let mut sites: Vec<DefSite> = Vec::new();
+        for (index, &instr) in cfg.instrs().iter().enumerate() {
+            for r in 0..NUM_REGS as u8 {
+                let reg = Reg::new(r);
+                if defines_reg(instr, reg) {
+                    sites.push(DefSite::Instr { index, reg });
+                }
+            }
+        }
+        let first_pseudo = sites.len();
+        for r in 0..NUM_REGS as u8 {
+            sites.push(DefSite::EntryUninit { reg: Reg::new(r) });
+        }
+        let n_sites = sites.len();
+
+        let mut sites_of_reg = vec![BitSet::new(n_sites); NUM_REGS];
+        for (id, site) in sites.iter().enumerate() {
+            sites_of_reg[usize::from(site.reg())].insert(id);
+        }
+
+        // Real sites of a block, in instruction order, for the transfer
+        // function.
+        let site_ids_in = |block: usize| -> Vec<usize> {
+            let b = &cfg.blocks()[block];
+            sites[..first_pseudo]
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| matches!(s, DefSite::Instr { index, .. } if (b.start..b.end).contains(index)))
+                .map(|(id, _)| id)
+                .collect()
+        };
+
+        let n_blocks = cfg.blocks().len();
+        let mut block_in = vec![BitSet::new(n_sites); n_blocks];
+        let mut block_out = vec![BitSet::new(n_sites); n_blocks];
+        // Seed: registers the hardware leaves uninitialised at entry.
+        for r in 0..NUM_REGS as u8 {
+            let reg = Reg::new(r);
+            if reg != Reg::ZERO && reg != Reg::SP {
+                block_in[entry_block].insert(first_pseudo + usize::from(reg));
+            }
+        }
+
+        let transfer = |input: &BitSet, block: usize| -> BitSet {
+            let mut state = input.clone();
+            for id in site_ids_in(block) {
+                // Each def kills every other def of its register, then
+                // generates itself. Sites of one instruction are
+                // processed in id order, which is instruction order.
+                state.subtract(&sites_of_reg[usize::from(sites[id].reg())]);
+                state.insert(id);
+            }
+            state
+        };
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for b in 0..n_blocks {
+                let mut input = block_in[b].clone();
+                for &p in &cfg.blocks()[b].preds {
+                    input.union_with(&block_out[p]);
+                }
+                let out = transfer(&input, b);
+                if input != block_in[b] {
+                    block_in[b] = input;
+                    changed = true;
+                }
+                if out != block_out[b] {
+                    block_out[b] = out;
+                    changed = true;
+                }
+            }
+        }
+
+        ReachingDefs { sites, sites_of_reg, block_in, first_pseudo }
+    }
+
+    /// All definition sites (real first, then one pseudo-site per
+    /// register).
+    #[must_use]
+    pub fn sites(&self) -> &[DefSite] {
+        &self.sites
+    }
+
+    /// The definitions of `reg` reaching instruction `index` (immediately
+    /// before it executes).
+    #[must_use]
+    pub fn reaching(&self, cfg: &Cfg, index: usize, reg: Reg) -> Vec<DefSite> {
+        let block = cfg.block_of(index);
+        let b = &cfg.blocks()[block];
+        let mut state = self.block_in[block].clone();
+        for i in b.start..index {
+            let instr = cfg.instrs()[i];
+            for r in 0..NUM_REGS as u8 {
+                let rr = Reg::new(r);
+                if defines_reg(instr, rr) {
+                    state.subtract(&self.sites_of_reg[usize::from(rr)]);
+                    if let Some(id) = self.site_id(i, rr) {
+                        state.insert(id);
+                    }
+                }
+            }
+        }
+        state
+            .iter()
+            .filter(|&id| self.sites[id].reg() == reg)
+            .map(|id| self.sites[id])
+            .collect()
+    }
+
+    /// Whether a use of `reg` at instruction `index` may observe the
+    /// register's uninitialised reset value.
+    #[must_use]
+    pub fn may_be_uninit(&self, cfg: &Cfg, index: usize, reg: Reg) -> bool {
+        self.reaching(cfg, index, reg)
+            .iter()
+            .any(|s| matches!(s, DefSite::EntryUninit { .. }))
+    }
+
+    fn site_id(&self, index: usize, reg: Reg) -> Option<usize> {
+        self.sites[..self.first_pseudo]
+            .iter()
+            .position(|s| *s == DefSite::Instr { index, reg })
+    }
+}
+
+/// Per-instruction use set as a register bitmask, conservative for
+/// liveness: calls and indirect jumps are treated as using every register
+/// (their callees / return continuations are invisible to the
+/// intra-procedural CFG).
+#[must_use]
+pub fn live_use_mask(instr: Instr) -> u32 {
+    if matches!(instr, Instr::Jal { .. } | Instr::Jalr { .. } | Instr::Jr { .. }) {
+        return u32::MAX;
+    }
+    let mut m = 0u32;
+    for r in instr.srcs().into_iter().flatten() {
+        m |= 1 << r.index();
+    }
+    m
+}
+
+/// Per-instruction def set as a register bitmask (shared call-clobber
+/// semantics via [`defines_reg`]).
+#[must_use]
+pub fn def_mask(instr: Instr) -> u32 {
+    let mut m = 0u32;
+    for r in 0..NUM_REGS as u8 {
+        if defines_reg(instr, Reg::new(r)) {
+            m |= 1 << r;
+        }
+    }
+    m
+}
+
+/// Backward liveness over registers, as 32-bit masks.
+#[derive(Debug, Clone)]
+pub struct Liveness {
+    live_in: Vec<u32>,
+    live_out: Vec<u32>,
+}
+
+impl Liveness {
+    /// Runs the analysis to fixpoint.
+    #[must_use]
+    pub fn compute(cfg: &Cfg) -> Liveness {
+        let n = cfg.blocks().len();
+        let mut live_in = vec![0u32; n];
+        let mut live_out = vec![0u32; n];
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for b in (0..n).rev() {
+                let block = &cfg.blocks()[b];
+                let mut out = 0u32;
+                for &s in &block.succs {
+                    out |= live_in[s];
+                }
+                let mut live = out;
+                for i in (block.start..block.end).rev() {
+                    let instr = cfg.instrs()[i];
+                    live &= !def_mask(instr);
+                    live |= live_use_mask(instr);
+                }
+                if out != live_out[b] || live != live_in[b] {
+                    live_out[b] = out;
+                    live_in[b] = live;
+                    changed = true;
+                }
+            }
+        }
+        Liveness { live_in, live_out }
+    }
+
+    /// Registers live at block entry.
+    #[must_use]
+    pub fn live_in(&self, block: usize) -> u32 {
+        self.live_in[block]
+    }
+
+    /// Registers live immediately after instruction `index` executes.
+    #[must_use]
+    pub fn live_after(&self, cfg: &Cfg, index: usize) -> u32 {
+        let b = cfg.block_of(index);
+        let block = &cfg.blocks()[b];
+        let mut live = self.live_out[b];
+        for i in (index + 1..block.end).rev() {
+            let instr = cfg.instrs()[i];
+            live &= !def_mask(instr);
+            live |= live_use_mask(instr);
+        }
+        live
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asbr_asm::assemble;
+
+    fn cfg(src: &str) -> Cfg {
+        Cfg::build(&assemble(src).unwrap())
+    }
+
+    #[test]
+    fn reaching_defs_straight_line() {
+        let c = cfg("main: li r4, 1\nli r4, 2\nadd r5, r4, r4\nhalt");
+        let rd = ReachingDefs::compute(&c, 0);
+        let reach = rd.reaching(&c, 2, Reg::new(4));
+        assert_eq!(reach, vec![DefSite::Instr { index: 1, reg: Reg::new(4) }]);
+    }
+
+    #[test]
+    fn reaching_defs_merge_at_join() {
+        let c = cfg("
+            main:   beqz r2, other
+                    li   r4, 1
+                    j    join
+            other:  li   r4, 2
+            join:   add  r5, r4, r4
+                    halt
+        ");
+        let rd = ReachingDefs::compute(&c, 0);
+        let join = c.index_of(c.pc_of(0) + 4 * 4).unwrap();
+        let mut idx: Vec<usize> = rd
+            .reaching(&c, join, Reg::new(4))
+            .into_iter()
+            .filter_map(|s| match s {
+                DefSite::Instr { index, .. } => Some(index),
+                DefSite::EntryUninit { .. } => None,
+            })
+            .collect();
+        idx.sort_unstable();
+        assert_eq!(idx, vec![1, 3], "both arms' defs reach the join");
+    }
+
+    #[test]
+    fn uninit_pseudo_defs_reach_until_defined() {
+        let c = cfg("main: add r5, r4, r4\nli r4, 1\nadd r6, r4, r4\nhalt");
+        let rd = ReachingDefs::compute(&c, 0);
+        assert!(rd.may_be_uninit(&c, 0, Reg::new(4)), "r4 unwritten at first use");
+        assert!(!rd.may_be_uninit(&c, 2, Reg::new(4)), "killed by the li");
+        assert!(!rd.may_be_uninit(&c, 0, Reg::ZERO), "r0 is always initialised");
+        assert!(!rd.may_be_uninit(&c, 0, Reg::SP), "sp is set by the loader");
+    }
+
+    #[test]
+    fn loop_keeps_uninit_on_bypass_path() {
+        // r4 is defined only inside the conditionally-skipped arm, so the
+        // use after the join may still be uninitialised.
+        let c = cfg("
+            main:   beqz r2, skip
+                    li   r4, 1
+            skip:   add  r5, r4, r4
+                    halt
+        ");
+        let rd = ReachingDefs::compute(&c, 0);
+        let join = 2;
+        assert!(rd.may_be_uninit(&c, join, Reg::new(4)));
+    }
+
+    #[test]
+    fn calls_define_caller_saved_sites() {
+        let c = cfg("
+            main:   jal f
+                    add r5, r2, r2
+                    halt
+            f:      li r2, 3
+                    jr r31
+        ");
+        let rd = ReachingDefs::compute(&c, 0);
+        assert!(!rd.may_be_uninit(&c, 1, Reg::V0), "the call defines v0");
+        let reach = rd.reaching(&c, 1, Reg::V0);
+        assert_eq!(reach, vec![DefSite::Instr { index: 0, reg: Reg::V0 }]);
+    }
+
+    #[test]
+    fn liveness_dead_def_and_loop() {
+        let c = cfg("
+            main:   li   r4, 3
+                    li   r9, 7
+            loop:   addi r4, r4, -1
+                    bnez r4, loop
+                    halt
+        ");
+        let lv = Liveness::compute(&c);
+        // r4 is live after its first def (the loop reads it)…
+        assert_ne!(lv.live_after(&c, 0) & (1 << 4), 0);
+        // …but r9 is never read again.
+        assert_eq!(lv.live_after(&c, 1) & (1 << 9), 0);
+    }
+
+    #[test]
+    fn calls_keep_everything_live() {
+        let c = cfg("
+            main:   li  r4, 1
+                    jal f
+                    halt
+            f:      jr  r31
+        ");
+        let lv = Liveness::compute(&c);
+        assert_ne!(lv.live_after(&c, 0) & (1 << 4), 0, "argument lives into the call");
+    }
+}

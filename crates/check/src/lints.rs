@@ -1,0 +1,520 @@
+//! Structural and dataflow lints over an assembled program image.
+//!
+//! Codes:
+//!
+//! | code | severity | meaning |
+//! |------|----------|---------|
+//! | E000 | error    | text word does not decode |
+//! | E001 | error    | branch target or fall-through outside the text segment |
+//! | E002 | error    | direct jump/call target outside the text segment |
+//! | E003 | error    | statically derivable misaligned memory access |
+//! | W001 | warning  | basic block unreachable from the entry point |
+//! | W002 | warning  | no `halt` reachable from the entry point |
+//! | W003 | warning  | non-`nop` instruction writes the hardwired zero register |
+//! | W004 | warning  | register possibly used before initialisation |
+//! | I001 | info     | register definition is never used (dead) |
+//! | I002 | info     | block only reachable through an uncalled label (unused routine) |
+
+use std::collections::VecDeque;
+
+use asbr_asm::Program;
+use asbr_flow::Cfg;
+use asbr_isa::{Instr, Reg, NUM_REGS};
+
+use crate::dataflow::{def_mask, Liveness, ReachingDefs};
+use crate::report::{Diagnostic, Report, Severity};
+
+/// The block holding the program's entry point (defaults to block 0 when
+/// the entry address is outside the text, which E-level lints will flag
+/// anyway).
+#[must_use]
+pub fn entry_block(cfg: &Cfg, program: &Program) -> usize {
+    cfg.index_of(program.entry()).map_or(0, |i| cfg.block_of(i))
+}
+
+/// Blocks reachable from the entry block through fall-through/branch
+/// successors *and* call edges (`jal` targets), which the intra-procedural
+/// CFG deliberately omits.
+#[must_use]
+pub fn reachable_blocks(cfg: &Cfg, entry: usize) -> Vec<bool> {
+    reachable_from(cfg, &[entry])
+}
+
+/// Blocks reachable from any block whose first instruction carries a
+/// label — the "every named routine is a potential entry point" view.
+fn reachable_from_labels(cfg: &Cfg, program: &Program) -> Vec<bool> {
+    let seeds: Vec<usize> = cfg
+        .blocks()
+        .iter()
+        .enumerate()
+        .filter(|(_, b)| !b.is_empty() && program.symbol_at(cfg.pc_of(b.start)).is_some())
+        .map(|(i, _)| i)
+        .collect();
+    reachable_from(cfg, &seeds)
+}
+
+fn reachable_from(cfg: &Cfg, seeds: &[usize]) -> Vec<bool> {
+    let n = cfg.blocks().len();
+    let mut seen = vec![false; n];
+    if n == 0 {
+        return seen;
+    }
+    let mut queue = VecDeque::new();
+    for &s in seeds {
+        if !seen[s] {
+            seen[s] = true;
+            queue.push_back(s);
+        }
+    }
+    while let Some(b) = queue.pop_front() {
+        let block = &cfg.blocks()[b];
+        let push = |t: usize, seen: &mut Vec<bool>, queue: &mut VecDeque<usize>| {
+            if !seen[t] {
+                seen[t] = true;
+                queue.push_back(t);
+            }
+        };
+        for &s in &block.succs {
+            push(s, &mut seen, &mut queue);
+        }
+        for i in block.start..block.end {
+            let instr = cfg.instrs()[i];
+            if matches!(instr, Instr::Jal { .. }) {
+                if let Some(t) = instr
+                    .direct_jump_target(cfg.pc_of(i))
+                    .and_then(|a| cfg.index_of(a))
+                {
+                    push(cfg.block_of(t), &mut seen, &mut queue);
+                }
+            }
+        }
+    }
+    seen
+}
+
+/// E000: every text word must decode.
+pub fn check_decode(report: &mut Report, program: &Program) {
+    for (i, &word) in program.text().iter().enumerate() {
+        let pc = program.text_base() + 4 * i as u32;
+        if Instr::decode(word).is_err() {
+            report.push(Diagnostic::at(
+                program,
+                pc,
+                "E000",
+                Severity::Error,
+                format!("text word {word:#010x} does not decode to an instruction"),
+            ));
+        }
+    }
+}
+
+/// E001/E002: control-transfer targets must land inside the text segment.
+pub fn check_control_targets(report: &mut Report, program: &Program, cfg: &Cfg) {
+    for (i, &instr) in cfg.instrs().iter().enumerate() {
+        let pc = cfg.pc_of(i);
+        if let Some(info) = instr.branch() {
+            let target = info.target(pc);
+            if !program.contains_pc(target) {
+                report.push(Diagnostic::at(
+                    program,
+                    pc,
+                    "E001",
+                    Severity::Error,
+                    format!("branch target {target:#010x} is outside the text segment"),
+                ));
+            }
+            if !program.contains_pc(pc + 4) {
+                report.push(Diagnostic::at(
+                    program,
+                    pc,
+                    "E001",
+                    Severity::Error,
+                    "conditional branch at the end of text has no fall-through".to_owned(),
+                ));
+            }
+        }
+        if let Some(target) = instr.direct_jump_target(pc) {
+            if !program.contains_pc(target) {
+                report.push(Diagnostic::at(
+                    program,
+                    pc,
+                    "E002",
+                    Severity::Error,
+                    format!("jump target {target:#010x} is outside the text segment"),
+                ));
+            }
+        }
+    }
+}
+
+/// E003: loads/stores whose effective address is statically derivable
+/// (via intra-block constant propagation of `lui`/`ori`/`addi` chains,
+/// i.e. the expansions of `li` and `la`) must be aligned to their width.
+pub fn check_alignment(report: &mut Report, program: &Program, cfg: &Cfg) {
+    for block in cfg.blocks() {
+        let mut known: [Option<u32>; NUM_REGS] = [None; NUM_REGS];
+        known[usize::from(Reg::ZERO)] = Some(0);
+        for i in block.start..block.end {
+            let instr = cfg.instrs()[i];
+            let (Instr::Load { rs, off, width, .. } | Instr::Store { rs, off, width, .. }) = instr
+            else {
+                step_consts(&mut known, instr);
+                continue;
+            };
+            if let Some(base) = known[usize::from(rs)] {
+                let addr = base.wrapping_add(off as i32 as u32);
+                let bytes = width.bytes();
+                if !addr.is_multiple_of(bytes) {
+                    report.push(Diagnostic::at(
+                        program,
+                        cfg.pc_of(i),
+                        "E003",
+                        Severity::Error,
+                        format!("{bytes}-byte access to statically known address {addr:#010x} is misaligned"),
+                    ));
+                }
+            }
+            step_consts(&mut known, instr);
+        }
+    }
+}
+
+/// Updates the intra-block constant lattice across one instruction.
+fn step_consts(known: &mut [Option<u32>; NUM_REGS], instr: Instr) {
+    // Kill everything the instruction (or call) defines, then establish
+    // the destination's value when computable from known inputs.
+    let value = match instr {
+        Instr::Lui { imm, .. } => Some(u32::from(imm) << 16),
+        Instr::Ori { rs, imm, .. } => known[usize::from(rs)].map(|v| v | u32::from(imm)),
+        Instr::Addi { rs, imm, .. } => {
+            known[usize::from(rs)].map(|v| v.wrapping_add(imm as i32 as u32))
+        }
+        _ => None,
+    };
+    let defs = def_mask(instr);
+    for r in 0..NUM_REGS {
+        if defs & (1 << r) != 0 {
+            known[r] = None;
+        }
+    }
+    if let Some(v) = value {
+        if let Some(d) = instr.dst() {
+            known[usize::from(d)] = Some(v);
+        }
+    }
+    known[usize::from(Reg::ZERO)] = Some(0);
+}
+
+/// W001/I002/W002: unreachable blocks and halt reachability.
+///
+/// Unreachable code that *is* reachable from some labelled block is
+/// downgraded to an info (`I002`): shared source files routinely carry
+/// routines only some images call, and an unused-but-well-formed function
+/// is not a defect in the image that ignores it.
+pub fn check_reachability(report: &mut Report, program: &Program, cfg: &Cfg) {
+    let entry = entry_block(cfg, program);
+    let reachable = reachable_blocks(cfg, entry);
+    let from_labels = reachable_from_labels(cfg, program);
+    for (b, block) in cfg.blocks().iter().enumerate() {
+        if !reachable[b] && !block.is_empty() {
+            if from_labels[b] {
+                report.push(Diagnostic::at(
+                    program,
+                    cfg.pc_of(block.start),
+                    "I002",
+                    Severity::Info,
+                    format!(
+                        "basic block of {} instruction(s) is only reachable through an \
+                         uncalled label (unused routine?)",
+                        block.len()
+                    ),
+                ));
+            } else {
+                report.push(Diagnostic::at(
+                    program,
+                    cfg.pc_of(block.start),
+                    "W001",
+                    Severity::Warning,
+                    format!(
+                        "basic block of {} instruction(s) is unreachable from the entry point",
+                        block.len()
+                    ),
+                ));
+            }
+        }
+    }
+    let halt_reachable = cfg.blocks().iter().enumerate().any(|(b, block)| {
+        reachable[b]
+            && (block.start..block.end).any(|i| matches!(cfg.instrs()[i], Instr::Halt))
+    });
+    if !halt_reachable {
+        report.push(Diagnostic::global(
+            "W002",
+            Severity::Warning,
+            "no halt instruction is reachable from the entry point".to_owned(),
+        ));
+    }
+}
+
+/// The architectural destination register as encoded, *including* `r0`
+/// (which [`Instr::dst`] deliberately hides because such writes are
+/// no-ops).
+fn raw_dst(instr: Instr) -> Option<Reg> {
+    match instr {
+        Instr::Add { rd, .. }
+        | Instr::Sub { rd, .. }
+        | Instr::And { rd, .. }
+        | Instr::Or { rd, .. }
+        | Instr::Xor { rd, .. }
+        | Instr::Nor { rd, .. }
+        | Instr::Slt { rd, .. }
+        | Instr::Sltu { rd, .. }
+        | Instr::Mul { rd, .. }
+        | Instr::Div { rd, .. }
+        | Instr::Rem { rd, .. }
+        | Instr::Sll { rd, .. }
+        | Instr::Srl { rd, .. }
+        | Instr::Sra { rd, .. }
+        | Instr::Sllv { rd, .. }
+        | Instr::Srlv { rd, .. }
+        | Instr::Srav { rd, .. }
+        | Instr::Jalr { rd, .. } => Some(rd),
+        Instr::Addi { rt, .. }
+        | Instr::Slti { rt, .. }
+        | Instr::Sltiu { rt, .. }
+        | Instr::Andi { rt, .. }
+        | Instr::Ori { rt, .. }
+        | Instr::Xori { rt, .. }
+        | Instr::Lui { rt, .. }
+        | Instr::Load { rt, .. } => Some(rt),
+        Instr::Jal { .. } => Some(Reg::RA),
+        _ => None,
+    }
+}
+
+/// W003: writes to the hardwired zero register (other than the canonical
+/// `nop` encoding) silently discard their result.
+pub fn check_zero_writes(report: &mut Report, program: &Program, cfg: &Cfg) {
+    for (i, &instr) in cfg.instrs().iter().enumerate() {
+        if instr == Instr::NOP {
+            continue;
+        }
+        if raw_dst(instr) == Some(Reg::ZERO) {
+            report.push(Diagnostic::at(
+                program,
+                cfg.pc_of(i),
+                "W003",
+                Severity::Warning,
+                format!("`{instr}` writes the hardwired zero register; the result is discarded"),
+            ));
+        }
+    }
+}
+
+/// W004: uses whose reaching definitions include the register's
+/// uninitialised-at-entry pseudo-definition.
+pub fn check_use_before_init(
+    report: &mut Report,
+    program: &Program,
+    cfg: &Cfg,
+    rd: &ReachingDefs,
+) {
+    let entry = entry_block(cfg, program);
+    let reachable = reachable_blocks(cfg, entry);
+    for (b, block) in cfg.blocks().iter().enumerate() {
+        if !reachable[b] {
+            continue; // W001 already covers it; facts there are vacuous
+        }
+        for i in block.start..block.end {
+            let instr = cfg.instrs()[i];
+            for reg in instr.srcs().into_iter().flatten() {
+                if reg == Reg::ZERO {
+                    continue;
+                }
+                if rd.may_be_uninit(cfg, i, reg) {
+                    report.push(Diagnostic::at(
+                        program,
+                        cfg.pc_of(i),
+                        "W004",
+                        Severity::Warning,
+                        format!("`{instr}` may read {reg} before it is initialised"),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// I001: ALU definitions whose value is never live. Loads are exempt
+/// (an MMIO load is a side-effecting pop even when its result is unused),
+/// as are call-clobber pseudo-defs.
+pub fn check_dead_defs(report: &mut Report, program: &Program, cfg: &Cfg, lv: &Liveness) {
+    for (i, &instr) in cfg.instrs().iter().enumerate() {
+        if instr.is_load() || matches!(instr, Instr::Jal { .. } | Instr::Jalr { .. }) {
+            continue;
+        }
+        let Some(d) = instr.dst() else { continue };
+        if lv.live_after(cfg, i) & (1 << d.index()) == 0 {
+            report.push(Diagnostic::at(
+                program,
+                cfg.pc_of(i),
+                "I001",
+                Severity::Info,
+                format!("`{instr}` defines {d} but the value is never used"),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asbr_asm::assemble;
+
+    fn lint(src: &str) -> Report {
+        let program = assemble(src).unwrap();
+        crate::check_program("test", &program)
+    }
+
+    fn codes(report: &Report) -> Vec<&'static str> {
+        report.diagnostics().iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn clean_program_is_clean() {
+        let r = lint(
+            "
+            main:   li   r4, 3
+            loop:   addi r4, r4, -1
+                    nop
+                    nop
+                    bnez r4, loop
+                    halt
+            ",
+        );
+        assert!(r.diagnostics().is_empty(), "{}", r.render_text());
+    }
+
+    #[test]
+    fn unreachable_block_flagged() {
+        let r = lint(
+            "
+            main:   j    out
+                    addi r4, r4, 1
+                    nop
+            out:    halt
+            ",
+        );
+        assert!(codes(&r).contains(&"W001"), "{}", r.render_text());
+    }
+
+    #[test]
+    fn uncalled_labelled_routine_is_only_an_info() {
+        // `helper` is never called in this image; a shared source file
+        // pattern, not a defect.
+        let r = lint(
+            "
+            main:   halt
+            helper: addi r4, r4, 1
+                    jr   r31
+            ",
+        );
+        assert!(!codes(&r).contains(&"W001"), "{}", r.render_text());
+        assert!(codes(&r).contains(&"I002"), "{}", r.render_text());
+    }
+
+    #[test]
+    fn callee_is_reachable_via_call_edge() {
+        let r = lint(
+            "
+            main:   jal  f
+                    halt
+            f:      jr   r31
+            ",
+        );
+        assert!(!codes(&r).contains(&"W001"), "{}", r.render_text());
+    }
+
+    #[test]
+    fn missing_halt_flagged() {
+        let r = lint(
+            "
+            main:   nop
+            loop:   j    loop
+            ",
+        );
+        assert!(codes(&r).contains(&"W002"), "{}", r.render_text());
+    }
+
+    #[test]
+    fn misaligned_static_store_flagged() {
+        let r = lint(
+            "
+            main:   la   r8, buf
+                    addi r8, r8, 2
+                    sw   r9, 0(r8)
+                    halt
+            .data
+            buf:    .word 0
+            ",
+        );
+        let diag = r.diagnostics().iter().find(|d| d.code == "E003");
+        assert!(diag.is_some(), "{}", r.render_text());
+        assert_eq!(r.worst(), Some(Severity::Error));
+    }
+
+    #[test]
+    fn aligned_static_store_clean() {
+        let r = lint(
+            "
+            main:   la   r8, buf
+                    sw   r9, 4(r8)
+                    lh   r10, 2(r8)
+                    halt
+            .data
+            buf:    .word 0, 0
+            ",
+        );
+        assert!(!codes(&r).contains(&"E003"), "{}", r.render_text());
+    }
+
+    #[test]
+    fn use_before_init_flagged_and_respects_branches() {
+        let r = lint(
+            "
+            main:   add  r5, r4, r4
+                    halt
+            ",
+        );
+        assert!(codes(&r).contains(&"W004"), "{}", r.render_text());
+        // Defined on every path into the join: clean.
+        let r = lint(
+            "
+            main:   li   r2, 1
+                    beqz r2, a
+                    li   r4, 1
+                    j    use
+            a:      li   r4, 2
+            use:    add  r5, r4, r4
+                    halt
+            ",
+        );
+        assert!(!codes(&r).contains(&"W004"), "{}", r.render_text());
+    }
+
+    #[test]
+    fn dead_def_is_an_info() {
+        let r = lint(
+            "
+            main:   li   r9, 7
+                    li   r9, 8
+                    nop
+                    halt
+            ",
+        );
+        let dead: Vec<_> =
+            r.diagnostics().iter().filter(|d| d.code == "I001").collect();
+        assert!(!dead.is_empty(), "{}", r.render_text());
+        assert!(dead.iter().all(|d| d.severity == Severity::Info));
+    }
+}

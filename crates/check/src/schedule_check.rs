@@ -1,0 +1,266 @@
+//! Schedule validation: proves a rewritten program is a dependence-
+//! preserving per-block permutation of the original.
+//!
+//! `asbr_flow::schedule::hoist_predicates` promises to move instructions
+//! only *within* basic blocks and never across data, memory, or control
+//! dependences. This validator re-derives that claim from the two images
+//! alone, using the scheduler's own dependence predicate
+//! ([`asbr_flow::schedule::may_swap`]) so "legal reorder" means the same
+//! thing to the pass and to its auditor.
+//!
+//! Codes: `SCHED01` shape mismatch, `SCHED02` block is not a permutation
+//! (or moved a control/barrier instruction), `SCHED03` a dependent pair
+//! was reordered.
+
+use core::fmt;
+
+use asbr_asm::Program;
+use asbr_flow::schedule::{is_barrier, may_swap};
+use asbr_flow::Cfg;
+use asbr_isa::Instr;
+
+/// A way the scheduled image fails to be a valid reschedule of the
+/// original.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleViolation {
+    /// `SCHED01`: the images differ in layout (text bounds, data, entry) —
+    /// they are not even comparable as schedules.
+    ShapeMismatch {
+        /// What differs.
+        detail: String,
+    },
+    /// `SCHED02`: a basic block's instruction multiset changed, or a
+    /// barrier (control, `ctrlw`, `halt`, call) moved from its slot.
+    BlockMismatch {
+        /// Address of the first instruction of the offending block.
+        block_pc: u32,
+        /// What went wrong.
+        detail: String,
+    },
+    /// `SCHED03`: two instructions with a dependence between them
+    /// (`!may_swap`) appear in the opposite order in the schedule.
+    DependenceViolated {
+        /// Address (in the original image) of the earlier instruction.
+        first_pc: u32,
+        /// Address (in the original image) of the later instruction.
+        second_pc: u32,
+    },
+}
+
+impl ScheduleViolation {
+    /// Stable diagnostic code.
+    #[must_use]
+    pub fn code(&self) -> &'static str {
+        match self {
+            ScheduleViolation::ShapeMismatch { .. } => "SCHED01",
+            ScheduleViolation::BlockMismatch { .. } => "SCHED02",
+            ScheduleViolation::DependenceViolated { .. } => "SCHED03",
+        }
+    }
+}
+
+impl fmt::Display for ScheduleViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleViolation::ShapeMismatch { detail } => {
+                write!(f, "images are not comparable schedules: {detail}")
+            }
+            ScheduleViolation::BlockMismatch { block_pc, detail } => {
+                write!(f, "block at {block_pc:#010x} is not a legal permutation: {detail}")
+            }
+            ScheduleViolation::DependenceViolated { first_pc, second_pc } => write!(
+                f,
+                "dependent instructions at {first_pc:#010x} and {second_pc:#010x} \
+                 were reordered"
+            ),
+        }
+    }
+}
+
+/// Validates that `scheduled` is a per-block, dependence-preserving
+/// permutation of `original`. Returns every violation found (empty =
+/// proven valid).
+#[must_use]
+pub fn validate_schedule(original: &Program, scheduled: &Program) -> Vec<ScheduleViolation> {
+    let mut violations = Vec::new();
+    if original.text_base() != scheduled.text_base()
+        || original.text().len() != scheduled.text().len()
+    {
+        violations.push(ScheduleViolation::ShapeMismatch {
+            detail: "text segments differ in base or length".to_owned(),
+        });
+        return violations;
+    }
+    if original.data_base() != scheduled.data_base() || original.data() != scheduled.data() {
+        violations.push(ScheduleViolation::ShapeMismatch {
+            detail: "data segments differ".to_owned(),
+        });
+        return violations;
+    }
+    if original.entry() != scheduled.entry() {
+        violations.push(ScheduleViolation::ShapeMismatch {
+            detail: "entry points differ".to_owned(),
+        });
+        return violations;
+    }
+
+    let cfg = Cfg::build(original);
+    let orig = cfg.instrs();
+    let sched: Vec<Instr> = scheduled
+        .text()
+        .iter()
+        .map(|&w| Instr::decode(w).unwrap_or(Instr::NOP))
+        .collect();
+
+    for block in cfg.blocks() {
+        let o = &orig[block.start..block.end];
+        let s = &sched[block.start..block.end];
+        let block_pc = cfg.pc_of(block.start);
+
+        // Match each original instruction to a scheduled slot. Duplicates
+        // are matched first-fit in ascending order, which keeps equal
+        // instructions in their relative order (any other bijection
+        // between equal instructions is semantically identical).
+        let mut used = vec![false; s.len()];
+        let mut pos = vec![usize::MAX; o.len()];
+        let mut complete = true;
+        for (i, &oi) in o.iter().enumerate() {
+            match s.iter().enumerate().find(|&(j, &sj)| !used[j] && sj == oi) {
+                Some((j, _)) => {
+                    used[j] = true;
+                    pos[i] = j;
+                }
+                None => {
+                    violations.push(ScheduleViolation::BlockMismatch {
+                        block_pc,
+                        detail: format!(
+                            "`{oi}` at {:#010x} has no counterpart in the scheduled block",
+                            cfg.pc_of(block.start + i)
+                        ),
+                    });
+                    complete = false;
+                }
+            }
+        }
+        if !complete {
+            continue; // permutation is broken; dependence checks are moot
+        }
+
+        // Barriers pin their position: a moved branch would retarget (its
+        // displacement is pc-relative) and moved calls/ctrlw/halt reorder
+        // side effects.
+        for (i, &oi) in o.iter().enumerate() {
+            if is_barrier(oi) && pos[i] != i {
+                violations.push(ScheduleViolation::BlockMismatch {
+                    block_pc,
+                    detail: format!(
+                        "barrier `{oi}` moved from {:#010x} to {:#010x}",
+                        cfg.pc_of(block.start + i),
+                        cfg.pc_of(block.start + pos[i])
+                    ),
+                });
+            }
+        }
+
+        // Every dependent pair must keep its order. `o[i2]` passing above
+        // `o[i1]` is legal exactly when the scheduler's own predicate says
+        // the hoist is.
+        for i1 in 0..o.len() {
+            for i2 in i1 + 1..o.len() {
+                if pos[i2] < pos[i1] && !may_swap(o[i2], o[i1]) {
+                    violations.push(ScheduleViolation::DependenceViolated {
+                        first_pc: cfg.pc_of(block.start + i1),
+                        second_pc: cfg.pc_of(block.start + i2),
+                    });
+                }
+            }
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asbr_asm::assemble;
+    use asbr_flow::schedule::hoist_predicates;
+
+    fn prog(src: &str) -> Program {
+        assemble(src).unwrap()
+    }
+
+    /// Swaps the text words at instruction indices `a` and `b`.
+    fn swapped(p: &Program, a: usize, b: usize) -> Program {
+        let mut words = p.text().to_vec();
+        words.swap(a, b);
+        p.clone_with_text(words)
+    }
+
+    #[test]
+    fn identity_schedule_is_valid() {
+        let p = prog("main: li r4, 1\nadd r5, r4, r4\nhalt");
+        assert!(validate_schedule(&p, &p).is_empty());
+    }
+
+    #[test]
+    fn hoist_pass_output_is_valid() {
+        let p = prog(
+            "
+            main:   li   r4, 10
+            loop:   addi r6, r6, 1
+                    addi r4, r4, -1
+                    addi r7, r7, 2
+                    bnez r4, loop
+                    halt
+            ",
+        );
+        let (hoisted, reports) = hoist_predicates(&p);
+        assert!(!reports.is_empty(), "the pass must actually move something");
+        assert!(validate_schedule(&p, &hoisted).is_empty());
+    }
+
+    #[test]
+    fn reordered_dependent_pair_is_rejected() {
+        // `add r5, r4, r4` reads the li's result: swapping them breaks a
+        // RAW dependence.
+        let p = prog("main: li r4, 1\nadd r5, r4, r4\nnop\nhalt");
+        let bad = swapped(&p, 0, 1);
+        let v = validate_schedule(&p, &bad);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].code(), "SCHED03");
+    }
+
+    #[test]
+    fn reordered_independent_pair_is_accepted() {
+        let p = prog("main: li r4, 1\nli r5, 2\nadd r6, r4, r5\nhalt");
+        let ok = swapped(&p, 0, 1);
+        assert!(validate_schedule(&p, &ok).is_empty());
+    }
+
+    #[test]
+    fn moved_barrier_is_rejected() {
+        let p = prog("main: li r4, 1\nctrlw 0, r4\nnop\nhalt");
+        let bad = swapped(&p, 1, 2);
+        let v = validate_schedule(&p, &bad);
+        assert!(v.iter().any(|v| v.code() == "SCHED02"), "{v:?}");
+    }
+
+    #[test]
+    fn replaced_instruction_is_rejected() {
+        let p = prog("main: li r4, 1\nnop\nhalt");
+        let mut words = p.text().to_vec();
+        words[0] = asbr_isa::Instr::Halt.encode();
+        let bad = p.clone_with_text(words);
+        let v = validate_schedule(&p, &bad);
+        assert!(v.iter().any(|v| v.code() == "SCHED02"), "{v:?}");
+    }
+
+    #[test]
+    fn shape_mismatch_is_rejected() {
+        let a = prog("main: nop\nhalt");
+        let b = prog("main: nop\nnop\nhalt");
+        let v = validate_schedule(&a, &b);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].code(), "SCHED01");
+    }
+}

@@ -3,6 +3,7 @@
 //! ```text
 //! asbr_tool asm <file.s>                      assemble; print layout + disassembly
 //! asbr_tool analyze <file.s>                  branch candidates, distances, loop depths
+//! asbr_tool lint <file.s>                     static verifier + fold-soundness prover
 //! asbr_tool customize <file.s> -o <image>     static selection -> customization image
 //! asbr_tool run <file.s> [options]            run on the cycle-accurate pipeline
 //!   --input 1,2,3          feed MMIO input samples
@@ -60,6 +61,25 @@ fn cmd_analyze(path: &str) -> Result<(), String> {
             if c.foldable(3) { "yes" } else { "no" },
             depths[cfg.block_of(c.index)]
         );
+    }
+    Ok(())
+}
+
+fn cmd_lint(path: &str) -> Result<(), String> {
+    let prog = load_program(path)?;
+    let threshold = PublishPoint::Mem.threshold();
+    let mut report = asbr_check::check_program(path, &prog);
+    let entries: Vec<asbr_core::BitEntry> = select_static(&prog, threshold, 16)
+        .iter()
+        .filter_map(|p| asbr_core::BitEntry::from_program(&prog, p.candidate.pc).ok())
+        .collect();
+    asbr_check::check_folds(&mut report, &prog, &entries, threshold);
+    print!("{}", report.render_text());
+    if report.worst() >= Some(asbr_check::Severity::Warning) {
+        return Err(format!(
+            "{} finding(s) at warning or above",
+            report.count_at_least(asbr_check::Severity::Warning)
+        ));
     }
     Ok(())
 }
@@ -160,7 +180,7 @@ fn parse_predictor(name: &str) -> Result<PredictorKind, String> {
 }
 
 fn usage() -> String {
-    "usage: asbr_tool <asm|analyze|customize|run> <file.s> [options]\n\
+    "usage: asbr_tool <asm|analyze|lint|customize|run> <file.s> [options]\n\
      see the module docs (src/bin/asbr_tool.rs) for options"
         .to_owned()
 }
@@ -172,6 +192,7 @@ fn real_main() -> Result<(), String> {
     match cmd.as_str() {
         "asm" => cmd_asm(file),
         "analyze" => cmd_analyze(file),
+        "lint" => cmd_lint(file),
         "customize" => {
             let out = match args.get(2).map(String::as_str) {
                 Some("-o") => args.get(3).ok_or("missing output path after -o")?,

@@ -11,7 +11,7 @@ pub const DISTANCE_CAP: u32 = 64;
 
 /// Registers a call may redefine (the caller-saved set of the ABI plus the
 /// link register). Dataflow treats `jal`/`jalr` as defining all of them.
-const CALL_CLOBBERS: [u8; 19] =
+pub const CALL_CLOBBERS: [u8; 19] =
     [1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 24, 25, 29, 31];
 
 /// A zero-comparison conditional branch with its statically derived
@@ -42,7 +42,16 @@ impl CandidateBranch {
     }
 }
 
-fn defines(instr: Instr, reg: Reg) -> bool {
+/// Whether `instr` (possibly) defines `reg` under the analysis's call
+/// convention: a matching architectural destination, or a call
+/// (`jal`/`jalr`), which is treated as defining every register in
+/// [`CALL_CLOBBERS`].
+///
+/// This is the single def-semantics shared by the distance analysis here
+/// and by downstream verifiers (the `asbr-check` prover) so that both
+/// sides of a soundness argument agree on what a definition is.
+#[must_use]
+pub fn defines_reg(instr: Instr, reg: Reg) -> bool {
     if instr.dst() == Some(reg) {
         return true;
     }
@@ -63,7 +72,7 @@ fn min_distance(
     let b = &cfg.blocks()[block];
     let mut dist = acc;
     for i in (b.start..from).rev() {
-        if defines(cfg.instrs()[i], reg) {
+        if defines_reg(cfg.instrs()[i], reg) {
             return dist.min(DISTANCE_CAP);
         }
         dist += 1;

@@ -46,6 +46,6 @@ mod cfg;
 pub mod loops;
 pub mod schedule;
 
-pub use candidates::{candidates, CandidateBranch, DISTANCE_CAP};
+pub use candidates::{candidates, defines_reg, CandidateBranch, CALL_CLOBBERS, DISTANCE_CAP};
 pub use cfg::{Block, Cfg};
 pub use loops::{call_aware_depths, loop_depths, select_static, StaticPick};

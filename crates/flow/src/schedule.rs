@@ -27,13 +27,19 @@ pub struct HoistReport {
 }
 
 /// Whether `instr` has effects that forbid any reordering across it.
-fn is_barrier(instr: Instr) -> bool {
+#[must_use]
+pub fn is_barrier(instr: Instr) -> bool {
     instr.is_control()
         || matches!(instr, Instr::CtrlW { .. } | Instr::Halt | Instr::Jal { .. })
 }
 
 /// Whether instruction `moving` may be hoisted above `over`.
-fn may_swap(moving: Instr, over: Instr) -> bool {
+///
+/// This single predicate defines the scheduler's dependence model; the
+/// `asbr-check` schedule validator re-uses it so that "legal reorder" means
+/// exactly the same thing to the pass and to its verifier.
+#[must_use]
+pub fn may_swap(moving: Instr, over: Instr) -> bool {
     if is_barrier(over) || is_barrier(moving) {
         return false;
     }

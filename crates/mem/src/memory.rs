@@ -8,30 +8,55 @@ const PAGE_SIZE: usize = 1 << PAGE_BITS;
 
 /// Error for misaligned or otherwise invalid memory accesses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct MemAccessError {
-    addr: u32,
-    required_align: u32,
+pub enum MemAccessError {
+    /// The address is not a multiple of the access width.
+    Misaligned {
+        /// The offending address.
+        addr: u32,
+        /// The alignment the access requires.
+        required_align: u32,
+    },
+    /// The requested access width is not one of the supported 1/2/4
+    /// bytes.
+    UnsupportedWidth {
+        /// The offending address.
+        addr: u32,
+        /// The requested width in bytes.
+        bytes: u32,
+    },
 }
 
 impl MemAccessError {
     pub(crate) fn misaligned(addr: u32, required_align: u32) -> MemAccessError {
-        MemAccessError { addr, required_align }
+        MemAccessError::Misaligned { addr, required_align }
+    }
+
+    pub(crate) fn unsupported_width(addr: u32, bytes: u32) -> MemAccessError {
+        MemAccessError::UnsupportedWidth { addr, bytes }
     }
 
     /// The offending address.
     #[must_use]
     pub fn addr(&self) -> u32 {
-        self.addr
+        match *self {
+            MemAccessError::Misaligned { addr, .. }
+            | MemAccessError::UnsupportedWidth { addr, .. } => addr,
+        }
     }
 }
 
 impl fmt::Display for MemAccessError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "misaligned {}-byte access at address {:#010x}",
-            self.required_align, self.addr
-        )
+        match *self {
+            MemAccessError::Misaligned { addr, required_align } => write!(
+                f,
+                "misaligned {required_align}-byte access at address {addr:#010x}"
+            ),
+            MemAccessError::UnsupportedWidth { addr, bytes } => write!(
+                f,
+                "unsupported {bytes}-byte access width at address {addr:#010x}"
+            ),
+        }
     }
 }
 

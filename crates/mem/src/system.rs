@@ -139,11 +139,8 @@ impl MemSystem {
     ///
     /// # Errors
     ///
-    /// Returns [`MemAccessError`] on misalignment.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `bytes` is not 1, 2 or 4.
+    /// Returns [`MemAccessError`] on misalignment or an unsupported
+    /// access width.
     pub fn timed_read(&mut self, addr: u32, bytes: u32) -> Result<Access, MemAccessError> {
         if SampleIo::contains(addr) {
             if !addr.is_multiple_of(bytes) {
@@ -155,7 +152,7 @@ impl MemSystem {
             1 => u32::from(self.memory.read_u8(addr)),
             2 => u32::from(self.memory.read_u16(addr)?),
             4 => self.memory.read_u32(addr)?,
-            _ => panic!("unsupported access width {bytes}"),
+            _ => return Err(MemAccessError::unsupported_width(addr, bytes)),
         };
         let penalty = self.dcache.access(addr);
         Ok(Access { value, penalty })
@@ -167,11 +164,8 @@ impl MemSystem {
     ///
     /// # Errors
     ///
-    /// Returns [`MemAccessError`] on misalignment.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `bytes` is not 1, 2 or 4.
+    /// Returns [`MemAccessError`] on misalignment or an unsupported
+    /// access width.
     pub fn timed_write(&mut self, addr: u32, value: u32, bytes: u32) -> Result<u32, MemAccessError> {
         if SampleIo::contains(addr) {
             if !addr.is_multiple_of(bytes) {
@@ -184,7 +178,7 @@ impl MemSystem {
             1 => self.memory.write_u8(addr, value as u8),
             2 => self.memory.write_u16(addr, value as u16)?,
             4 => self.memory.write_u32(addr, value)?,
-            _ => panic!("unsupported access width {bytes}"),
+            _ => return Err(MemAccessError::unsupported_width(addr, bytes)),
         }
         Ok(self.dcache.access(addr))
     }
@@ -225,6 +219,20 @@ mod tests {
         assert_eq!(a.penalty, 0);
         ms.timed_write(MMIO_OUT_PUSH, 7, 4).unwrap();
         assert_eq!(ms.io().output(), &[7]);
+        assert_eq!(ms.dcache_stats().accesses, 0);
+    }
+
+    #[test]
+    fn unsupported_width_is_a_typed_error() {
+        use crate::MemAccessError;
+        let mut ms = MemSystem::new(MemSystemConfig::default());
+        let err = ms.timed_read(0x5000, 3).unwrap_err();
+        assert_eq!(err, MemAccessError::UnsupportedWidth { addr: 0x5000, bytes: 3 });
+        assert_eq!(err.addr(), 0x5000);
+        assert!(err.to_string().contains("unsupported 3-byte"));
+        let err = ms.timed_write(0x5000, 0, 8).unwrap_err();
+        assert_eq!(err, MemAccessError::UnsupportedWidth { addr: 0x5000, bytes: 8 });
+        // No state was touched by the rejected accesses.
         assert_eq!(ms.dcache_stats().accesses, 0);
     }
 

@@ -34,7 +34,6 @@
 
 use asbr_asm::Program;
 use asbr_bpred::{Predictor, PredictorKind};
-use asbr_core::BitEntry;
 use asbr_isa::{Instr, Reg, NUM_REGS};
 use asbr_sim::{Interp, Observer, SimError};
 use std::collections::HashMap;
@@ -246,14 +245,21 @@ impl Default for SelectionConfig {
 /// Picks the BIT branches: frequently executed, hard to predict, and
 /// foldable at the configured threshold (paper Sec. 6).
 ///
-/// Only branches for which a [`BitEntry`] can be statically built are
-/// eligible. Returns the selected branch PCs, best first.
+/// Only branches that pass the `asbr-check` fold-soundness prover are
+/// eligible: a [`asbr_core::BitEntry`] must be statically buildable *and* the
+/// predicate's minimum static def→branch distance must meet the
+/// threshold on every incoming CFG path
+/// ([`asbr_check::branch_is_provable`]). Profiling observes one input's
+/// dynamic distances; the proof covers all of them, so an installed entry
+/// can never fold an unpublished predicate on a different input. Returns
+/// the selected branch PCs, best first.
 #[must_use]
 pub fn select_branches(
     report: &ProfileReport,
     program: &Program,
     cfg: &SelectionConfig,
 ) -> Vec<u32> {
+    let graph = asbr_flow::Cfg::build(program);
     let hottest = report
         .branches()
         .iter()
@@ -266,7 +272,7 @@ pub fn select_branches(
         .branches()
         .iter()
         .filter(|b| b.zero_compare && b.exec >= exec_floor)
-        .filter(|b| BitEntry::from_program(program, b.pc).is_ok())
+        .filter(|b| asbr_check::branch_is_provable(program, &graph, b.pc, cfg.threshold))
         .filter_map(|b| {
             let foldable = b.foldable_execs(cfg.threshold);
             let fraction = foldable as f64 / b.exec as f64;

@@ -2,6 +2,7 @@
 
 use asbr_asm::{assemble, Program};
 use asbr_codecs::{adpcm_decode, adpcm_encode, g721_decode, g721_encode, AdpcmState, G72xState};
+use asbr_sim::{Interp, RunSummary, SimError};
 
 use crate::input::speech_like;
 
@@ -63,6 +64,26 @@ impl Workload {
     #[must_use]
     pub fn program(self) -> Program {
         assemble(&self.source()).expect("bundled workload source assembles")
+    }
+
+    /// Step budget for [`Workload::run`]: generous enough for the full
+    /// 24k-sample experiment inputs, small enough to catch a guest that
+    /// fails to halt.
+    pub const MAX_GUEST_STEPS: u64 = 500_000_000;
+
+    /// Runs the guest on `input` to completion on the functional
+    /// interpreter, returning the run summary (instruction count and
+    /// output samples).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] when the guest faults (invalid instruction,
+    /// memory fault) or fails to halt within [`Workload::MAX_GUEST_STEPS`]
+    /// instructions.
+    pub fn run(self, input: &[i32]) -> Result<RunSummary, SimError> {
+        let mut interp = Interp::new(&self.program());
+        interp.feed_input(input.iter().copied());
+        interp.run(Self::MAX_GUEST_STEPS)
     }
 
     /// The canonical deterministic input stream, sized by `n_samples`
@@ -132,7 +153,6 @@ impl Workload {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use asbr_sim::Interp;
 
     #[test]
     fn all_sources_assemble() {
@@ -144,9 +164,22 @@ mod tests {
     }
 
     fn run_guest(w: Workload, input: &[i32]) -> Vec<i32> {
-        let mut it = Interp::new(&w.program());
+        w.run(input)
+            .unwrap_or_else(|e| panic!("{} guest failed: {e}", w.name()))
+            .output
+    }
+
+    #[test]
+    fn run_reports_guest_failure_as_err() {
+        // A perfectly healthy guest starved of its step budget must come
+        // back as a SimError, not a panic.
+        let w = Workload::AdpcmEncode;
+        let input = w.input(50);
+        let mut it = asbr_sim::Interp::new(&w.program());
         it.feed_input(input.iter().copied());
-        it.run(500_000_000).unwrap_or_else(|e| panic!("{} guest failed: {e}", w.name())).output
+        assert!(matches!(it.run(10), Err(asbr_sim::SimError::Limit { limit: 10 })));
+        // And the Workload::run wrapper succeeds on the same input.
+        assert_eq!(w.run(&input).unwrap().output, w.reference_output(&input));
     }
 
     #[test]

@@ -1,0 +1,217 @@
+//! Repository-level verification of the `asbr-check` static analyzer:
+//! the bundled workloads must lint clean, the fold-soundness prover must
+//! reject unsound BIT entries, the schedule validator must reject
+//! dependence-breaking reorders, and — property-tested over randomly
+//! generated guests — `hoist_predicates` must preserve architectural
+//! behaviour and always validate.
+
+use asbr_asm::{assemble, Program};
+use asbr_check::{
+    check_folds, check_program, check_schedule, prove_entry, validate_schedule, Report,
+    Severity,
+};
+use asbr_core::BitEntry;
+use asbr_flow::schedule::hoist_predicates;
+use asbr_flow::{select_static, Cfg};
+use asbr_sim::{Interp, PublishPoint};
+use asbr_workloads::Workload;
+
+/// The full battery `asbr-lint` runs per program.
+fn full_report(name: &str, program: &Program) -> Report {
+    let threshold = PublishPoint::Mem.threshold();
+    let mut report = check_program(name, program);
+    let entries: Vec<BitEntry> = select_static(program, threshold, 16)
+        .iter()
+        .filter_map(|p| BitEntry::from_program(program, p.candidate.pc).ok())
+        .collect();
+    check_folds(&mut report, program, &entries, threshold);
+    let (hoisted, _) = hoist_predicates(program);
+    check_schedule(&mut report, program, &hoisted);
+    report
+}
+
+#[test]
+fn all_bundled_workloads_lint_clean_at_warn() {
+    for w in Workload::ALL {
+        let report = full_report(w.name(), &w.program());
+        assert_eq!(
+            report.count_at_least(Severity::Warning),
+            0,
+            "{}",
+            report.render_text()
+        );
+    }
+}
+
+#[test]
+fn lint_cli_passes_on_workloads() {
+    // Only runnable under cargo, which points this env var at the built
+    // binary; the rustc-only fallback harness skips it.
+    let Some(bin) = option_env!("CARGO_BIN_EXE_asbr-lint") else {
+        return;
+    };
+    let out = std::process::Command::new(bin)
+        .args(["--deny", "warn"])
+        .output()
+        .expect("spawn asbr-lint");
+    assert!(
+        out.status.success(),
+        "stdout:\n{}\nstderr:\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json = std::process::Command::new(bin)
+        .args(["--json", "--deny", "warn"])
+        .output()
+        .expect("spawn asbr-lint --json");
+    assert!(json.status.success());
+    let text = String::from_utf8_lossy(&json.stdout);
+    assert!(text.starts_with('['), "{text}");
+    assert!(text.contains("\"name\":"), "{text}");
+}
+
+#[test]
+fn prover_rejects_hand_built_unsound_entry() {
+    // On the fall-through path the predicate is redefined immediately
+    // before the branch; a BIT entry for it must not survive the prover.
+    let p = assemble(
+        "
+        main:   li   r4, 5
+                nop
+                nop
+                nop
+                beqz r2, skip
+                addi r4, r4, -1
+        skip:   bnez r4, main
+                halt
+        ",
+    )
+    .unwrap();
+    let cfg = Cfg::build(&p);
+    let entry = BitEntry::from_program(&p, p.symbol("skip").unwrap()).unwrap();
+    let v = prove_entry(&p, &cfg, &entry, PublishPoint::Mem.threshold()).unwrap_err();
+    assert_eq!(v.code(), "ASBR02", "{v}");
+
+    // And the diagnostic surface reports it as an error.
+    let mut report = Report::new("unsound");
+    check_folds(&mut report, &p, &[entry], PublishPoint::Mem.threshold());
+    assert_eq!(report.worst(), Some(Severity::Error), "{}", report.render_text());
+}
+
+#[test]
+fn schedule_validator_rejects_dependent_reorder() {
+    let p = assemble("main: li r4, 1\nadd r5, r4, r4\nnop\nhalt").unwrap();
+    let mut words = p.text().to_vec();
+    words.swap(0, 1); // breaks the li -> add RAW dependence
+    let bad = p.clone_with_text(words);
+    let violations = validate_schedule(&p, &bad);
+    assert!(
+        violations.iter().any(|v| v.code() == "SCHED03"),
+        "{violations:?}"
+    );
+    let mut report = Report::new("bad-schedule");
+    check_schedule(&mut report, &p, &bad);
+    assert_eq!(report.worst(), Some(Severity::Error));
+}
+
+// ---------------------------------------------------------------------
+// Property test: random guests, hoisted, must be behaviourally identical
+// and validate as schedules. Deterministic xorshift PRNG — no external
+// dependencies, reproducible failures.
+// ---------------------------------------------------------------------
+
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// One random loop body: ALU ops over r8..r15 and word-aligned loads and
+/// stores through r16, with the loop counter decrement somewhere inside.
+fn random_program(rng: &mut XorShift) -> String {
+    let mut src = String::from("main:   la   r16, buf\n");
+    for r in 8..16 {
+        src.push_str(&format!("        li   r{r}, {}\n", rng.below(100)));
+    }
+    let iters = 2 + rng.below(6);
+    src.push_str(&format!("        li   r4, {iters}\n"));
+    src.push_str("loop:\n");
+    let body = 4 + rng.below(10);
+    let dec_at = rng.below(body);
+    for i in 0..body {
+        if i == dec_at {
+            src.push_str("        addi r4, r4, -1\n");
+        }
+        let a = 8 + rng.below(8);
+        let b = 8 + rng.below(8);
+        let c = 8 + rng.below(8);
+        match rng.below(6) {
+            0 => src.push_str(&format!(
+                "        addi r{a}, r{b}, {}\n",
+                rng.below(17) as i64 - 8
+            )),
+            1 => src.push_str(&format!("        add  r{a}, r{b}, r{c}\n")),
+            2 => src.push_str(&format!("        sub  r{a}, r{b}, r{c}\n")),
+            3 => src.push_str(&format!("        xor  r{a}, r{b}, r{c}\n")),
+            4 => src.push_str(&format!("        sw   r{a}, {}(r16)\n", 4 * rng.below(4))),
+            _ => src.push_str(&format!("        lw   r{a}, {}(r16)\n", 4 * rng.below(4))),
+        }
+    }
+    src.push_str("        bnez r4, loop\n        halt\n");
+    src.push_str(".data\nbuf:    .word 0, 0, 0, 0\n");
+    src
+}
+
+#[test]
+fn hoisting_preserves_behaviour_on_random_programs() {
+    let mut rng = XorShift(0x5eed_cafe_f00d_0001);
+    let mut hoisted_something = false;
+    for case in 0..60 {
+        let src = random_program(&mut rng);
+        let original = assemble(&src).unwrap_or_else(|e| panic!("case {case}: {e}\n{src}"));
+
+        // The generator only emits well-formed code: no findings above info.
+        let lint = check_program("random", &original);
+        assert_eq!(
+            lint.count_at_least(Severity::Warning),
+            0,
+            "case {case}:\n{}\n{src}",
+            lint.render_text()
+        );
+
+        let (scheduled, reports) = hoist_predicates(&original);
+        hoisted_something |= !reports.is_empty();
+
+        let violations = validate_schedule(&original, &scheduled);
+        assert!(violations.is_empty(), "case {case}: {violations:?}\n{src}");
+
+        let run = |p: &Program| {
+            let mut interp = Interp::new(p);
+            let summary = interp.run(1_000_000).unwrap_or_else(|e| {
+                panic!("case {case}: guest failed: {e}\n{src}")
+            });
+            let regs: Vec<u32> =
+                (0..32u8).map(|r| interp.reg(asbr_isa::Reg::new(r))).collect();
+            (summary.output, regs)
+        };
+        let (out_a, regs_a) = run(&original);
+        let (out_b, regs_b) = run(&scheduled);
+        assert_eq!(out_a, out_b, "case {case}: output diverged\n{src}");
+        assert_eq!(regs_a, regs_b, "case {case}: registers diverged\n{src}");
+    }
+    assert!(
+        hoisted_something,
+        "the generator never produced a hoistable block — property is vacuous"
+    );
+}
