@@ -1,0 +1,3 @@
+//! Offline resolution stub for `proptest`. Test targets that use the
+//! real macros are excluded from `scripts/offline-check.sh`; this crate
+//! exists only so dependency resolution succeeds without the network.

@@ -1,0 +1,1 @@
+//! Offline resolution stub for `rand` (see `.devstubs/README.md`).

@@ -4,10 +4,12 @@
 use asbr_bench::BENCH_SAMPLES;
 use asbr_bpred::PredictorKind;
 use asbr_experiments::ablation;
-use asbr_experiments::runner::{run_asbr, AsbrOptions};
+use asbr_experiments::runner::{AsbrSpec, RunSpec};
 use asbr_sim::PublishPoint;
 use asbr_workloads::Workload;
 use criterion::{criterion_group, criterion_main, Criterion};
+
+const ABLATION_AUX: PredictorKind = PredictorKind::Bimodal { entries: 512 };
 
 fn bit_size(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_bit_size");
@@ -22,12 +24,9 @@ fn bit_size(c: &mut Criterion) {
     for n in [1usize, 4, 16] {
         group.bench_function(format!("bit_{n}"), |b| {
             b.iter(|| {
-                run_asbr(
-                    w,
-                    PredictorKind::Bimodal { entries: 512 },
-                    BENCH_SAMPLES,
-                    AsbrOptions { bit_entries: n, ..AsbrOptions::default() },
-                )
+                RunSpec::asbr(w, ABLATION_AUX, BENCH_SAMPLES)
+                    .with_asbr(AsbrSpec { bit_entries: n, ..AsbrSpec::default() })
+                    .execute()
             });
         });
     }
@@ -49,12 +48,9 @@ fn threshold(c: &mut Criterion) {
     for publish in [PublishPoint::Execute, PublishPoint::Mem, PublishPoint::Commit] {
         group.bench_function(format!("{publish:?}"), |b| {
             b.iter(|| {
-                run_asbr(
-                    w,
-                    PredictorKind::Bimodal { entries: 512 },
-                    BENCH_SAMPLES,
-                    AsbrOptions { publish, ..AsbrOptions::default() },
-                )
+                RunSpec::asbr(w, ABLATION_AUX, BENCH_SAMPLES)
+                    .with_asbr(AsbrSpec { publish, ..AsbrSpec::default() })
+                    .execute()
             });
         });
     }
@@ -73,12 +69,9 @@ fn scheduling(c: &mut Criterion) {
     for hoist in [false, true] {
         group.bench_function(if hoist { "scheduled" } else { "unscheduled" }, |b| {
             b.iter(|| {
-                run_asbr(
-                    w,
-                    PredictorKind::Bimodal { entries: 512 },
-                    BENCH_SAMPLES,
-                    AsbrOptions { hoist, ..AsbrOptions::default() },
-                )
+                RunSpec::asbr(w, ABLATION_AUX, BENCH_SAMPLES)
+                    .with_asbr(AsbrSpec { hoist, ..AsbrSpec::default() })
+                    .execute()
             });
         });
     }

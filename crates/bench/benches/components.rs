@@ -124,9 +124,7 @@ fn simulators(c: &mut Criterion) {
                 PipelineConfig::default(),
                 asbr_bpred::PredictorKind::Bimodal { entries: 2048 }.build(),
             );
-            pipe.load(&prog);
-            pipe.feed_input(input.iter().copied());
-            pipe.run().expect("halts")
+            pipe.execute(&prog, input.iter().copied()).expect("halts")
         });
     });
     group.finish();

@@ -2,7 +2,7 @@
 //! predictor, with the improvement series printed once.
 
 use asbr_bench::{slug, BENCH_SAMPLES};
-use asbr_experiments::runner::{run_asbr, run_baseline, AsbrOptions};
+use asbr_experiments::runner::RunSpec;
 use asbr_workloads::Workload;
 use criterion::{criterion_group, criterion_main, Criterion};
 
@@ -12,21 +12,23 @@ fn fig11(c: &mut Criterion) {
     println!("\nFigure 11 series at {BENCH_SAMPLES} samples:");
     for w in Workload::ALL {
         for (aux, baseline) in asbr_experiments::fig11::AUXILIARIES {
-            let base = run_baseline(w, baseline, BENCH_SAMPLES).expect("baseline runs");
-            let run = run_asbr(w, aux, BENCH_SAMPLES, AsbrOptions::default()).expect("asbr runs");
+            let base = RunSpec::baseline(w, baseline, BENCH_SAMPLES)
+                .execute()
+                .expect("baseline runs");
+            let run = RunSpec::asbr(w, aux, BENCH_SAMPLES).execute().expect("asbr runs");
             println!(
                 "  {:<14} {:<10} cycles {:>9} (baseline {:>9})  impr {:+.1}%  folds {}",
                 w.name(),
                 aux.label(),
-                run.summary.stats.cycles,
-                base.stats.cycles,
-                (1.0 - run.summary.stats.cycles as f64 / base.stats.cycles as f64) * 100.0,
-                run.asbr.folds()
+                run.cycles(),
+                base.cycles(),
+                run.improvement_over(&base) * 100.0,
+                run.folds()
             );
             group.bench_function(
                 format!("{}/{}", slug(w), aux.label().replace(' ', "_")),
                 |b| {
-                    b.iter(|| run_asbr(w, aux, BENCH_SAMPLES, AsbrOptions::default()));
+                    b.iter(|| RunSpec::asbr(w, aux, BENCH_SAMPLES).execute());
                 },
             );
         }

@@ -12,9 +12,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 
 fn run_cell(w: Workload, kind: PredictorKind, input: &[i32]) -> (u64, f64, f64) {
     let mut pipe = Pipeline::new(PipelineConfig::default(), kind.build());
-    pipe.load(&w.program());
-    pipe.feed_input(input.iter().copied());
-    let s = pipe.run().expect("bench run halts");
+    let s = pipe.execute(&w.program(), input.iter().copied()).expect("bench run halts");
     (s.stats.cycles, s.stats.cpi(), s.stats.accuracy())
 }
 

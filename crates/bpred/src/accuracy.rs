@@ -52,7 +52,7 @@ impl BranchRecord {
 /// assert_eq!(t.branch(0x40).unwrap().executed, 2);
 /// assert_eq!(t.overall_accuracy(), 0.5);
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct AccuracyTracker {
     branches: HashMap<u32, BranchRecord>,
     total: BranchRecord,
@@ -63,6 +63,22 @@ impl AccuracyTracker {
     #[must_use]
     pub fn new() -> AccuracyTracker {
         AccuracyTracker::default()
+    }
+
+    /// Rebuilds a tracker from per-branch records (e.g. deserialized from
+    /// the experiment result cache). The aggregate is recomputed; records
+    /// for the same PC are summed.
+    pub fn from_records<I: IntoIterator<Item = (u32, BranchRecord)>>(records: I) -> AccuracyTracker {
+        let mut t = AccuracyTracker::new();
+        for (pc, r) in records {
+            let rec = t.branches.entry(pc).or_default();
+            for dst in [rec, &mut t.total] {
+                dst.executed += r.executed;
+                dst.correct += r.correct;
+                dst.taken += r.taken;
+            }
+        }
+        t
     }
 
     /// Records one dynamic branch: the direction that was predicted and

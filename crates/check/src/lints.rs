@@ -192,9 +192,9 @@ fn step_consts(known: &mut [Option<u32>; NUM_REGS], instr: Instr) {
         _ => None,
     };
     let defs = def_mask(instr);
-    for r in 0..NUM_REGS {
+    for (r, slot) in known.iter_mut().enumerate() {
         if defs & (1 << r) != 0 {
-            known[r] = None;
+            *slot = None;
         }
     }
     if let Some(v) = value {

@@ -13,18 +13,23 @@
 //! * **H — static (profile-free) vs profiled BIT selection**
 //! * **I — the general-purpose predictor family study**
 //! * **J — cache-size sensitivity**
+//!
+//! Every sweep builds its [`RunSpec`] batch and hands it to one
+//! [`Executor`] call, so the expensive shared prefix (assembly, input
+//! synthesis, profiling) is computed once per workload rather than once
+//! per point.
 
 use serde::Serialize;
 
 use asbr_asm::assemble;
 use asbr_bpred::{PredictorKind, StaticPerBranch};
 use asbr_core::{AsbrConfig, AsbrUnit, BitEntry};
-use asbr_profile::profile;
 use asbr_flow::select_static;
+use asbr_profile::profile;
 use asbr_sim::{Pipeline, PipelineConfig, PublishPoint, SimError};
 use asbr_workloads::Workload;
 
-use crate::runner::{run_asbr, run_baseline, run_baseline_with, AsbrOptions, MicroTweaks, AUX_BTB};
+use crate::runner::{AsbrSpec, Executor, MicroTweaks, RunOutcome, RunSpec, AUX_BTB};
 
 /// A generic ablation data point.
 #[derive(Debug, Clone, Serialize)]
@@ -41,14 +46,30 @@ pub struct Point {
     pub blocked: u64,
 }
 
-fn point(w: Workload, setting: String, run: &crate::runner::AsbrRun) -> Point {
+fn point(w: Workload, setting: String, out: &RunOutcome) -> Point {
     Point {
         workload: w.name().to_owned(),
         setting,
-        cycles: run.summary.stats.cycles,
-        folds: run.asbr.folds(),
-        blocked: run.asbr.blocked_invalid,
+        cycles: out.cycles(),
+        folds: out.folds(),
+        blocked: out.asbr.map_or(0, |a| a.blocked_invalid),
     }
+}
+
+/// The auxiliary the ablations pair with ASBR (the paper's bi-512).
+const ABLATION_AUX: PredictorKind = PredictorKind::Bimodal { entries: 512 };
+
+fn sweep(
+    w: Workload,
+    specs: Vec<RunSpec>,
+    settings: Vec<String>,
+) -> Result<Vec<Point>, SimError> {
+    let outcomes = Executor::new().run(&specs)?;
+    Ok(settings
+        .into_iter()
+        .zip(&outcomes)
+        .map(|(setting, out)| point(w, setting, out))
+        .collect())
 }
 
 /// Ablation A: BIT capacity sweep.
@@ -57,18 +78,14 @@ fn point(w: Workload, setting: String, run: &crate::runner::AsbrRun) -> Point {
 ///
 /// Propagates any [`SimError`].
 pub fn bit_size(w: Workload, samples: usize, sizes: &[usize]) -> Result<Vec<Point>, SimError> {
-    sizes
+    let specs = sizes
         .iter()
         .map(|&n| {
-            let run = run_asbr(
-                w,
-                PredictorKind::Bimodal { entries: 512 },
-                samples,
-                AsbrOptions { bit_entries: n, ..AsbrOptions::default() },
-            )?;
-            Ok(point(w, format!("BIT={n}"), &run))
+            RunSpec::asbr(w, ABLATION_AUX, samples)
+                .with_asbr(AsbrSpec { bit_entries: n, ..AsbrSpec::default() })
         })
-        .collect()
+        .collect();
+    sweep(w, specs, sizes.iter().map(|n| format!("BIT={n}")).collect())
 }
 
 /// Ablation B: publish point (threshold) sweep.
@@ -77,18 +94,19 @@ pub fn bit_size(w: Workload, samples: usize, sizes: &[usize]) -> Result<Vec<Poin
 ///
 /// Propagates any [`SimError`].
 pub fn publish_point(w: Workload, samples: usize) -> Result<Vec<Point>, SimError> {
-    [PublishPoint::Execute, PublishPoint::Mem, PublishPoint::Commit]
+    let points = [PublishPoint::Execute, PublishPoint::Mem, PublishPoint::Commit];
+    let specs = points
         .into_iter()
         .map(|publish| {
-            let run = run_asbr(
-                w,
-                PredictorKind::Bimodal { entries: 512 },
-                samples,
-                AsbrOptions { publish, ..AsbrOptions::default() },
-            )?;
-            Ok(point(w, format!("{publish:?} (threshold {})", publish.threshold()), &run))
+            RunSpec::asbr(w, ABLATION_AUX, samples)
+                .with_asbr(AsbrSpec { publish, ..AsbrSpec::default() })
         })
-        .collect()
+        .collect();
+    let settings = points
+        .into_iter()
+        .map(|p| format!("{p:?} (threshold {})", p.threshold()))
+        .collect();
+    sweep(w, specs, settings)
 }
 
 /// Ablation C: with and without the Sec. 5.1 hoisting scheduler.
@@ -97,18 +115,14 @@ pub fn publish_point(w: Workload, samples: usize) -> Result<Vec<Point>, SimError
 ///
 /// Propagates any [`SimError`].
 pub fn scheduling(w: Workload, samples: usize) -> Result<Vec<Point>, SimError> {
-    [false, true]
+    let specs = [false, true]
         .into_iter()
         .map(|hoist| {
-            let run = run_asbr(
-                w,
-                PredictorKind::Bimodal { entries: 512 },
-                samples,
-                AsbrOptions { hoist, ..AsbrOptions::default() },
-            )?;
-            Ok(point(w, if hoist { "scheduled" } else { "unscheduled" }.to_owned(), &run))
+            RunSpec::asbr(w, ABLATION_AUX, samples)
+                .with_asbr(AsbrSpec { hoist, ..AsbrSpec::default() })
         })
-        .collect()
+        .collect();
+    sweep(w, specs, vec!["unscheduled".to_owned(), "scheduled".to_owned()])
 }
 
 /// Ablation D: auxiliary predictor size sweep, with the matching baseline
@@ -131,20 +145,24 @@ pub struct AuxPoint {
 ///
 /// Propagates any [`SimError`].
 pub fn aux_size(w: Workload, samples: usize, sizes: &[usize]) -> Result<Vec<AuxPoint>, SimError> {
-    sizes
+    let specs: Vec<RunSpec> = sizes
         .iter()
-        .map(|&entries| {
+        .flat_map(|&entries| {
             let kind = PredictorKind::Bimodal { entries };
-            let asbr = run_asbr(w, kind, samples, AsbrOptions::default())?;
-            let base = run_baseline(w, kind, samples)?;
-            Ok(AuxPoint {
-                workload: w.name().to_owned(),
-                entries,
-                asbr_cycles: asbr.summary.stats.cycles,
-                baseline_cycles: base.stats.cycles,
-            })
+            [RunSpec::asbr(w, kind, samples), RunSpec::baseline(w, kind, samples)]
         })
-        .collect()
+        .collect();
+    let outcomes = Executor::new().run(&specs)?;
+    Ok(sizes
+        .iter()
+        .zip(outcomes.chunks_exact(2))
+        .map(|(&entries, pair)| AuxPoint {
+            workload: w.name().to_owned(),
+            entries,
+            asbr_cycles: pair[0].cycles(),
+            baseline_cycles: pair[1].cycles(),
+        })
+        .collect())
 }
 
 /// Ablation E: BIT bank switching on a two-phase workload whose loops
@@ -194,8 +212,7 @@ pub fn bank_switching(iterations: u32) -> Result<(u64, u64), SimError> {
             PredictorKind::NotTaken.build(),
             unit,
         );
-        pipe.load(&prog);
-        pipe.run()?;
+        pipe.execute(&prog, [])?;
         Ok(pipe.into_hooks().stats().folds())
     };
     Ok((run(2)?, run(1)?))
@@ -216,41 +233,45 @@ pub struct LatencyPoint {
     pub asbr_cycles: u64,
 }
 
-/// Runs ablation F.
+/// Runs ablation F. Latencies are cycles of EX occupancy and must be
+/// nonzero ([`MicroTweaks::muldiv`] rejects zero — there is no "faster
+/// than single-cycle" setting, and the old clamp silently aliased 0 to
+/// 1).
 ///
 /// # Errors
 ///
 /// Propagates any [`SimError`].
+///
+/// # Panics
+///
+/// Panics if any latency is zero.
 pub fn muldiv_latency(
     w: Workload,
     samples: usize,
     latencies: &[(u32, u32)],
 ) -> Result<Vec<LatencyPoint>, SimError> {
-    latencies
+    let specs: Vec<RunSpec> = latencies
         .iter()
-        .map(|&(mul, div)| {
-            let tweaks =
-                MicroTweaks { mul_latency: mul, div_latency: div, ..MicroTweaks::default() };
-            let base = run_baseline_with(
-                w,
-                PredictorKind::Bimodal { entries: 2048 },
-                samples,
-                tweaks,
-            )?;
-            let asbr = run_asbr(
-                w,
-                PredictorKind::Bimodal { entries: 512 },
-                samples,
-                AsbrOptions { tweaks, ..AsbrOptions::default() },
-            )?;
-            Ok(LatencyPoint {
-                workload: w.name().to_owned(),
-                latency: (mul, div),
-                baseline_cycles: base.stats.cycles,
-                asbr_cycles: asbr.summary.stats.cycles,
-            })
+        .flat_map(|&(mul, div)| {
+            let tweaks = MicroTweaks::muldiv(mul, div);
+            [
+                RunSpec::baseline(w, PredictorKind::Bimodal { entries: 2048 }, samples)
+                    .with_tweaks(tweaks),
+                RunSpec::asbr(w, ABLATION_AUX, samples).with_tweaks(tweaks),
+            ]
         })
-        .collect()
+        .collect();
+    let outcomes = Executor::new().run(&specs)?;
+    Ok(latencies
+        .iter()
+        .zip(outcomes.chunks_exact(2))
+        .map(|(&latency, pair)| LatencyPoint {
+            workload: w.name().to_owned(),
+            latency,
+            baseline_cycles: pair[0].cycles(),
+            asbr_cycles: pair[1].cycles(),
+        })
+        .collect())
 }
 
 /// Ablation G: return-address stack on/off, baseline and ASBR.
@@ -276,31 +297,30 @@ pub struct RasPoint {
 ///
 /// Propagates any [`SimError`].
 pub fn ras(w: Workload, samples: usize) -> Result<Vec<RasPoint>, SimError> {
-    [0usize, 8]
+    let sizes = [0usize, 8];
+    let specs: Vec<RunSpec> = sizes
         .into_iter()
-        .map(|ras_entries| {
+        .flat_map(|ras_entries| {
             let tweaks = MicroTweaks { ras_entries, ..MicroTweaks::default() };
-            let base = run_baseline_with(
-                w,
-                PredictorKind::Bimodal { entries: 2048 },
-                samples,
-                tweaks,
-            )?;
-            let asbr = run_asbr(
-                w,
-                PredictorKind::Bimodal { entries: 512 },
-                samples,
-                AsbrOptions { tweaks, ..AsbrOptions::default() },
-            )?;
-            Ok(RasPoint {
-                workload: w.name().to_owned(),
-                ras_entries,
-                baseline_cycles: base.stats.cycles,
-                asbr_cycles: asbr.summary.stats.cycles,
-                baseline_indirect_flushes: base.stats.indirect_flushes,
-            })
+            [
+                RunSpec::baseline(w, PredictorKind::Bimodal { entries: 2048 }, samples)
+                    .with_tweaks(tweaks),
+                RunSpec::asbr(w, ABLATION_AUX, samples).with_tweaks(tweaks),
+            ]
         })
-        .collect()
+        .collect();
+    let outcomes = Executor::new().run(&specs)?;
+    Ok(sizes
+        .into_iter()
+        .zip(outcomes.chunks_exact(2))
+        .map(|(ras_entries, pair)| RasPoint {
+            workload: w.name().to_owned(),
+            ras_entries,
+            baseline_cycles: pair[0].cycles(),
+            asbr_cycles: pair[1].cycles(),
+            baseline_indirect_flushes: pair[0].summary.stats.indirect_flushes,
+        })
+        .collect())
 }
 
 /// Ablation J: cache-size sensitivity — does ASBR's advantage survive
@@ -323,30 +343,28 @@ pub struct CachePoint {
 ///
 /// Propagates any [`SimError`].
 pub fn cache_size(w: Workload, samples: usize, sizes: &[u32]) -> Result<Vec<CachePoint>, SimError> {
-    sizes
+    let specs: Vec<RunSpec> = sizes
         .iter()
-        .map(|&cache_bytes| {
+        .flat_map(|&cache_bytes| {
             let tweaks = MicroTweaks { cache_bytes, ..MicroTweaks::default() };
-            let base = run_baseline_with(
-                w,
-                PredictorKind::Bimodal { entries: 2048 },
-                samples,
-                tweaks,
-            )?;
-            let asbr = run_asbr(
-                w,
-                PredictorKind::Bimodal { entries: 512 },
-                samples,
-                AsbrOptions { tweaks, ..AsbrOptions::default() },
-            )?;
-            Ok(CachePoint {
-                workload: w.name().to_owned(),
-                cache_bytes,
-                baseline_cycles: base.stats.cycles,
-                asbr_cycles: asbr.summary.stats.cycles,
-            })
+            [
+                RunSpec::baseline(w, PredictorKind::Bimodal { entries: 2048 }, samples)
+                    .with_tweaks(tweaks),
+                RunSpec::asbr(w, ABLATION_AUX, samples).with_tweaks(tweaks),
+            ]
         })
-        .collect()
+        .collect();
+    let outcomes = Executor::new().run(&specs)?;
+    Ok(sizes
+        .iter()
+        .zip(outcomes.chunks_exact(2))
+        .map(|(&cache_bytes, pair)| CachePoint {
+            workload: w.name().to_owned(),
+            cache_bytes,
+            baseline_cycles: pair[0].cycles(),
+            asbr_cycles: pair[1].cycles(),
+        })
+        .collect())
 }
 
 /// Ablation I: the predictor-family study — how the full zoo of
@@ -374,7 +392,6 @@ pub struct FamilyRow {
 ///
 /// Propagates any [`SimError`].
 pub fn predictor_family(w: Workload, samples: usize) -> Result<Vec<FamilyRow>, SimError> {
-    let mut rows = Vec::new();
     let kinds = [
         PredictorKind::NotTaken,
         PredictorKind::Bimodal { entries: 2048 },
@@ -382,19 +399,25 @@ pub fn predictor_family(w: Workload, samples: usize) -> Result<Vec<FamilyRow>, S
         PredictorKind::Local { hist_bits: 10, bht_entries: 1024, pht_entries: 1024 },
         PredictorKind::Tournament { hist_bits: 11, entries: 1024 },
     ];
-    for kind in kinds {
-        let s = run_baseline(w, kind, samples)?;
-        rows.push(FamilyRow {
+    let specs: Vec<RunSpec> =
+        kinds.into_iter().map(|kind| RunSpec::baseline(w, kind, samples)).collect();
+    let outcomes = Executor::new().run(&specs)?;
+    let mut rows: Vec<FamilyRow> = kinds
+        .into_iter()
+        .zip(&outcomes)
+        .map(|(kind, out)| FamilyRow {
             workload: w.name().to_owned(),
             predictor: kind.label(),
-            cycles: s.stats.cycles,
-            accuracy: s.stats.accuracy(),
+            cycles: out.cycles(),
+            accuracy: out.summary.stats.accuracy(),
             storage_bits: kind.storage_bits(),
-        });
-    }
+        })
+        .collect();
 
     // Profile-guided static prediction (reference [2] in its per-branch
-    // majority form): profile once, hint every branch, re-run.
+    // majority form): profile once, hint every branch, re-run. The hinted
+    // predictor is not a `PredictorKind`, so this arm stays outside the
+    // spec vocabulary.
     let program = w.program();
     let input = w.input(samples);
     let report = profile(&program, &input, &[])?;
@@ -405,9 +428,7 @@ pub fn predictor_family(w: Workload, samples: usize) -> Result<Vec<FamilyRow>, S
         PipelineConfig { btb_entries: crate::runner::BASELINE_BTB, ..PipelineConfig::default() },
         Box::new(stat),
     );
-    pipe.load(&program);
-    pipe.feed_input(input.iter().copied());
-    let s = pipe.run()?;
+    let s = pipe.execute(&program, input.iter().copied())?;
     rows.push(FamilyRow {
         workload: w.name().to_owned(),
         predictor: "static-profile".to_owned(),
@@ -439,20 +460,21 @@ pub struct SelectionPoint {
 ///
 /// Propagates any [`SimError`].
 pub fn static_selection(w: Workload, samples: usize) -> Result<Vec<SelectionPoint>, SimError> {
-    let aux = PredictorKind::Bimodal { entries: 512 };
     let mut rows = Vec::new();
 
     // Profiled path (the harness default).
-    let profiled = run_asbr(w, aux, samples, AsbrOptions::default())?;
+    let profiled = RunSpec::asbr(w, ABLATION_AUX, samples).execute()?;
     rows.push(SelectionPoint {
         workload: w.name().to_owned(),
         method: "profiled".to_owned(),
-        cycles: profiled.summary.stats.cycles,
-        folds: profiled.asbr.folds(),
+        cycles: profiled.cycles(),
+        folds: profiled.folds(),
         selected: profiled.selected.len(),
     });
 
-    // Static path: loop-depth-ranked, no profiling run at all.
+    // Static path: loop-depth-ranked, no profiling run at all. The
+    // selection bypasses the profiler, so this arm stays outside the spec
+    // vocabulary.
     let program = w.program();
     let picks: Vec<u32> = select_static(&program, PublishPoint::Mem.threshold(), 16)
         .into_iter()
@@ -462,12 +484,10 @@ pub fn static_selection(w: Workload, samples: usize) -> Result<Vec<SelectionPoin
         .expect("static picks build entries");
     let mut pipe = Pipeline::with_hooks(
         PipelineConfig { btb_entries: AUX_BTB, ..PipelineConfig::default() },
-        aux.build(),
+        ABLATION_AUX.build(),
         unit,
     );
-    pipe.load(&program);
-    pipe.feed_input(w.input(samples));
-    let s = pipe.run()?;
+    let s = pipe.execute(&program, w.input(samples))?;
     rows.push(SelectionPoint {
         workload: w.name().to_owned(),
         method: "static".to_owned(),

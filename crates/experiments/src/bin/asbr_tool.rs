@@ -126,30 +126,41 @@ fn cmd_run(path: &str, opts: &RunOpts) -> Result<(), String> {
     };
 
     // Run with or without the customization; a `None` unit uses the plain
-    // pipeline so the fetch stage has no BIT lookups at all.
+    // pipeline so the fetch stage has no BIT lookups at all. The untraced
+    // path is a single `Pipeline::execute`; tracing needs the manual
+    // cycle loop.
     let (summary, folds) = match unit {
         Some(unit) => {
             let mut pipe =
                 Pipeline::with_hooks(PipelineConfig::default(), opts.predictor.build(), unit);
-            pipe.load(&prog);
-            pipe.feed_input(opts.input.iter().copied());
-            for _ in 0..opts.trace {
-                pipe.cycle().map_err(|e| e.to_string())?;
-                println!("{}", pipe.snapshot());
-            }
-            let s = pipe.run().map_err(|e| e.to_string())?;
+            let s = if opts.trace == 0 {
+                pipe.execute(&prog, opts.input.iter().copied()).map_err(|e| e.to_string())?
+            } else {
+                pipe.load(&prog);
+                pipe.feed_input(opts.input.iter().copied());
+                for _ in 0..opts.trace {
+                    pipe.cycle().map_err(|e| e.to_string())?;
+                    println!("{}", pipe.snapshot());
+                }
+                pipe.run().map_err(|e| e.to_string())?
+            };
             let folds = pipe.hooks().stats().folds();
             (s, Some(folds))
         }
         None => {
             let mut pipe = Pipeline::new(PipelineConfig::default(), opts.predictor.build());
-            pipe.load(&prog);
-            pipe.feed_input(opts.input.iter().copied());
-            for _ in 0..opts.trace {
-                pipe.cycle().map_err(|e| e.to_string())?;
-                println!("{}", pipe.snapshot());
-            }
-            (pipe.run().map_err(|e| e.to_string())?, None)
+            let s = if opts.trace == 0 {
+                pipe.execute(&prog, opts.input.iter().copied()).map_err(|e| e.to_string())?
+            } else {
+                pipe.load(&prog);
+                pipe.feed_input(opts.input.iter().copied());
+                for _ in 0..opts.trace {
+                    pipe.cycle().map_err(|e| e.to_string())?;
+                    println!("{}", pipe.snapshot());
+                }
+                pipe.run().map_err(|e| e.to_string())?
+            };
+            (s, None)
         }
     };
 

@@ -1,19 +1,32 @@
 //! Regenerates the paper's tables and the ablation studies.
 //!
 //! ```text
-//! cargo run --release -p asbr-experiments --bin tables [-- <which> [samples]]
+//! cargo run --release -p asbr-experiments --bin tables [-- <which> [samples] [flags]]
 //! ```
 //!
-//! `which` ∈ {fig6, fig7, fig9, fig10, fig11, motivation, ablation-bit,
-//! ablation-threshold, ablation-sched, ablation-aux, ablation-banks, all}
-//! (default `all`). `samples` overrides the input scale (default 24000).
+//! `which` ∈ {fig6, fig7, fig9, fig10, fig11, motivation, sweep,
+//! ablation-bit, ablation-threshold, ablation-sched, ablation-aux,
+//! ablation-banks, all} (default `all`). `samples` overrides the input
+//! scale (default 24000).
+//!
+//! Flags: `--no-cache` disables the on-disk result cache (default:
+//! enabled under `results/cache/`), `--refresh` ignores existing entries
+//! but rewrites them, `--threads N` caps the sweep worker pool (default:
+//! one per core).
+//!
+//! The `sweep` subcommand regenerates the Figure 6 + Figure 11 matrices
+//! through the parallel cached engine and writes per-run wall-clock and
+//! simulated cycles to `results/BENCH_sweep.json`.
 //!
 //! Each table is printed and also written as JSON under `results/`.
 
 use std::fs;
 use std::time::Instant;
 
-use asbr_experiments::runner::{AsbrOptions, SAMPLES_FULL};
+use asbr_bpred::PredictorKind;
+use asbr_experiments::runner::{
+    AsbrOptions, CacheMode, Executor, ResultCache, SweepBench, SAMPLES_FULL,
+};
 use asbr_experiments::{ablation, branch_tables, costs, fig11, fig6, motivation, scope};
 use asbr_workloads::Workload;
 use serde::Serialize;
@@ -36,17 +49,38 @@ fn section(title: &str) {
 
 #[allow(clippy::too_many_lines)]
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let which = args.first().map_or("all", String::as_str);
-    let samples: usize = args
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut threads = 0usize;
+    let mut cache = CacheMode::default_dir();
+    let mut positional: Vec<String> = Vec::new();
+    let mut it = raw.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--no-cache" => cache = CacheMode::Disabled,
+            "--refresh" => cache = CacheMode::Refresh(ResultCache::default_root()),
+            "--threads" => {
+                threads = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--threads needs a number");
+                        std::process::exit(2);
+                    });
+            }
+            other => positional.push(other.to_owned()),
+        }
+    }
+    let which = positional.first().map_or("all", String::as_str);
+    let samples: usize = positional
         .get(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(SAMPLES_FULL);
+    let executor = Executor::new().threads(threads).cache(cache);
     let started = Instant::now();
 
     let run_fig6 = || {
         section("Figure 6: branch predictability of the benchmarks (baseline)");
-        let rows = fig6::table(samples).expect("fig6 runs");
+        let rows = fig6::table_with(&executor, samples).expect("fig6 runs");
         println!("{}", fig6::render(&rows));
         save_json("fig6", &rows);
     };
@@ -58,7 +92,8 @@ fn main() {
     };
     let run_fig11 = || {
         section("Figure 11: application-specific branch resolution results");
-        let rows = fig11::table(samples, AsbrOptions::default()).expect("fig11 runs");
+        let rows = fig11::table_with(&executor, samples, AsbrOptions::default())
+            .expect("fig11 runs");
         println!("{}", fig11::render(&rows));
         println!(
             "(improvements compare not-taken vs baseline not-taken, bi-512/bi-256 vs baseline bimodal-2048, as in the paper)"
@@ -67,6 +102,41 @@ fn main() {
     };
 
     match which {
+        "sweep" => {
+            section("Sweep: Figure 6 + Figure 11 through the parallel cached engine");
+            let mut specs = fig6::matrix(samples, &PredictorKind::BASELINES).specs();
+            specs.extend(fig11::matrix(samples, AsbrOptions::default()).specs());
+            let sweep_started = Instant::now();
+            let outcomes = executor.run(&specs).expect("sweep runs");
+            let total = sweep_started.elapsed();
+            let resolved_threads = if threads == 0 {
+                std::thread::available_parallelism().map_or(1, usize::from)
+            } else {
+                threads
+            };
+            let bench = SweepBench::from_runs(&specs, &outcomes, resolved_threads, total);
+            for r in &bench.runs {
+                println!(
+                    "{:<36} cycles {:>12} wall {:>9.3}ms{}",
+                    r.label,
+                    r.cycles,
+                    r.wall_nanos as f64 / 1e6,
+                    if r.cached { "  [cached]" } else { "" }
+                );
+            }
+            println!(
+                "\n{} runs on {} threads in {:.3}s ({} cache hits, {} misses)",
+                bench.runs.len(),
+                resolved_threads,
+                total.as_secs_f64(),
+                bench.cache_hits(),
+                bench.cache_misses()
+            );
+            match bench.write("results/BENCH_sweep.json") {
+                Ok(()) => println!("wrote results/BENCH_sweep.json"),
+                Err(e) => eprintln!("warning: could not write BENCH_sweep.json: {e}"),
+            }
+        }
         "fig6" => run_fig6(),
         "fig7" => run_branch_table(Workload::G721Encode, "Figure 7", 16),
         "fig9" => run_branch_table(Workload::AdpcmEncode, "Figure 9", 16),

@@ -24,7 +24,7 @@ use asbr_core::AsbrConfig;
 use asbr_sim::{Activity, SimError};
 use asbr_workloads::Workload;
 
-use crate::runner::{run_asbr, run_baseline, AsbrOptions, AUX_BTB, BASELINE_BTB};
+use crate::runner::{Executor, RunSpec, AUX_BTB, BASELINE_BTB};
 
 /// Per-event energy constants, in arbitrary picojoule-like units.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize)]
@@ -107,12 +107,20 @@ pub fn power_table(samples: usize) -> Result<Vec<PowerRow>, SimError> {
     let aux_kind = PredictorKind::Bimodal { entries: 256 };
     let asbr_cfg = AsbrConfig::default();
 
-    let mut rows = Vec::new();
-    for w in Workload::ALL {
-        let base = run_baseline(w, baseline_kind, samples)?;
-        let asbr = run_asbr(w, aux_kind, samples, AsbrOptions::default())?;
+    let specs: Vec<RunSpec> = Workload::ALL
+        .into_iter()
+        .flat_map(|w| {
+            [RunSpec::baseline(w, baseline_kind, samples), RunSpec::asbr(w, aux_kind, samples)]
+        })
+        .collect();
+    let outcomes = Executor::new().run(&specs)?;
 
-        let ba = &base.stats.activity;
+    let mut rows = Vec::new();
+    for (w, pair) in Workload::ALL.into_iter().zip(outcomes.chunks_exact(2)) {
+        let (base, asbr) = (&pair[0], &pair[1]);
+        let fold_stats = asbr.asbr.expect("ASBR runs have fold stats");
+
+        let ba = &base.summary.stats.activity;
         let base_pred_bits = baseline_kind.storage_bits() + Btb::storage_bits(BASELINE_BTB);
         let baseline_energy = model.core_energy(ba)
             + (ba.predictor_lookups + ba.predictor_updates) as f64
@@ -120,7 +128,7 @@ pub fn power_table(samples: usize) -> Result<Vec<PowerRow>, SimError> {
 
         let aa = &asbr.summary.stats.activity;
         let aux_bits = aux_kind.storage_bits() + Btb::storage_bits(AUX_BTB);
-        let asbr_tables = asbr.asbr.folds() + asbr.asbr.blocked_invalid; // BIT hits
+        let asbr_tables = fold_stats.folds() + fold_stats.blocked_invalid; // BIT hits
         let asbr_energy = model.core_energy(aa)
             + (aa.predictor_lookups + aa.predictor_updates) as f64
                 * model.table_access(aux_bits)

@@ -15,7 +15,7 @@ use asbr_bpred::PredictorKind;
 use asbr_sim::SimError;
 use asbr_workloads::Workload;
 
-use crate::runner::{run_asbr, run_baseline, AsbrOptions};
+use crate::runner::{AsbrOptions, AsbrSpec, Executor, RunMatrix};
 use crate::tablefmt::{thousands, Table};
 
 /// The auxiliary predictors of Figure 11, paired with the baseline each is
@@ -47,26 +47,62 @@ pub struct Row {
     pub selected: usize,
 }
 
+/// The sweep matrix behind Figure 11: per auxiliary, one same-class
+/// baseline arm and one ASBR arm over every benchmark. The duplicate
+/// bimodal-2048 baseline arms collapse in the executor's dedup layer.
+#[must_use]
+pub fn matrix(samples: usize, opts: AsbrOptions) -> RunMatrix {
+    let knobs =
+        AsbrSpec { publish: opts.publish, bit_entries: opts.bit_entries, hoist: opts.hoist };
+    let mut m = RunMatrix::new()
+        .all_workloads()
+        .samples(samples)
+        .tweaks_axis([opts.tweaks]);
+    for (_, baseline) in AUXILIARIES {
+        m = m.baseline(baseline);
+    }
+    for (aux, _) in AUXILIARIES {
+        m = m.asbr_with_btb(aux, knobs, opts.btb_entries);
+    }
+    m
+}
+
 /// Regenerates Figure 11 at the given input scale.
 ///
 /// # Errors
 ///
 /// Propagates any [`SimError`] from the underlying runs.
 pub fn table(samples: usize, opts: AsbrOptions) -> Result<Vec<Row>, SimError> {
-    let mut rows = Vec::new();
-    for w in Workload::ALL {
-        for (aux, baseline_kind) in AUXILIARIES {
-            let base = run_baseline(w, baseline_kind, samples)?;
-            let run = run_asbr(w, aux, samples, opts)?;
-            let cycles = run.summary.stats.cycles;
+    table_with(&Executor::new(), samples, opts)
+}
+
+/// [`table`] on a caller-configured executor (threads, result cache).
+///
+/// # Errors
+///
+/// Propagates any [`SimError`] from the underlying runs.
+pub fn table_with(
+    executor: &Executor,
+    samples: usize,
+    opts: AsbrOptions,
+) -> Result<Vec<Row>, SimError> {
+    let outcomes = matrix(samples, opts).run(executor)?;
+    let workloads = Workload::ALL.len();
+    let mut rows = Vec::with_capacity(workloads * AUXILIARIES.len());
+    // Matrix order is arm-major, workload-minor: baselines occupy the
+    // first AUXILIARIES.len() blocks, ASBR arms the next.
+    for (wi, w) in Workload::ALL.into_iter().enumerate() {
+        for (ai, (aux, _)) in AUXILIARIES.into_iter().enumerate() {
+            let base = &outcomes[ai * workloads + wi];
+            let run = &outcomes[(AUXILIARIES.len() + ai) * workloads + wi];
             rows.push(Row {
                 workload: w.name().to_owned(),
                 aux: aux.label(),
-                cycles,
-                baseline_cycles: base.stats.cycles,
-                improvement: 1.0 - cycles as f64 / base.stats.cycles as f64,
-                folds: run.asbr.folds(),
-                blocked: run.asbr.blocked_invalid,
+                cycles: run.cycles(),
+                baseline_cycles: base.cycles(),
+                improvement: run.improvement_over(base),
+                folds: run.folds(),
+                blocked: run.asbr.expect("ASBR arm has fold stats").blocked_invalid,
                 selected: run.selected.len(),
             });
         }

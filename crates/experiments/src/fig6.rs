@@ -10,7 +10,7 @@ use asbr_bpred::PredictorKind;
 use asbr_sim::SimError;
 use asbr_workloads::Workload;
 
-use crate::runner::run_baseline;
+use crate::runner::{Executor, RunMatrix};
 use crate::tablefmt::{thousands, Table};
 
 /// One cell group of Figure 6.
@@ -28,13 +28,31 @@ pub struct Row {
     pub accuracy: f64,
 }
 
+/// The sweep matrix behind Figure 6: every benchmark under each of
+/// `kinds` on the full-size baseline BTB.
+#[must_use]
+pub fn matrix(samples: usize, kinds: &[PredictorKind]) -> RunMatrix {
+    kinds
+        .iter()
+        .fold(RunMatrix::new().all_workloads().samples(samples), |m, &kind| m.baseline(kind))
+}
+
 /// Regenerates Figure 6 at the given input scale.
 ///
 /// # Errors
 ///
 /// Propagates any [`SimError`] from the 12 underlying runs.
 pub fn table(samples: usize) -> Result<Vec<Row>, SimError> {
-    table_for(samples, &PredictorKind::BASELINES)
+    table_with(&Executor::new(), samples)
+}
+
+/// [`table`] on a caller-configured executor (threads, result cache).
+///
+/// # Errors
+///
+/// Propagates any [`SimError`] from the 12 underlying runs.
+pub fn table_with(executor: &Executor, samples: usize) -> Result<Vec<Row>, SimError> {
+    table_for(executor, samples, &PredictorKind::BASELINES)
 }
 
 /// Figure 6 extended with a McFarling combining predictor of the same
@@ -47,24 +65,27 @@ pub fn table(samples: usize) -> Result<Vec<Row>, SimError> {
 pub fn extended_table(samples: usize) -> Result<Vec<Row>, SimError> {
     let mut kinds = PredictorKind::BASELINES.to_vec();
     kinds.push(PredictorKind::Tournament { hist_bits: 11, entries: 2048 });
-    table_for(samples, &kinds)
+    table_for(&Executor::new(), samples, &kinds)
 }
 
-fn table_for(samples: usize, kinds: &[PredictorKind]) -> Result<Vec<Row>, SimError> {
-    let mut rows = Vec::new();
-    for &kind in kinds {
-        for w in Workload::ALL {
-            let s = run_baseline(w, kind, samples)?;
-            rows.push(Row {
-                workload: w.name().to_owned(),
-                predictor: kind.label(),
-                cycles: s.stats.cycles,
-                cpi: s.stats.cpi(),
-                accuracy: s.stats.accuracy(),
-            });
-        }
-    }
-    Ok(rows)
+fn table_for(
+    executor: &Executor,
+    samples: usize,
+    kinds: &[PredictorKind],
+) -> Result<Vec<Row>, SimError> {
+    let specs = matrix(samples, kinds).specs();
+    let outcomes = executor.run(&specs)?;
+    Ok(specs
+        .iter()
+        .zip(&outcomes)
+        .map(|(spec, out)| Row {
+            workload: spec.workload.name().to_owned(),
+            predictor: spec.predictor.label(),
+            cycles: out.cycles(),
+            cpi: out.summary.stats.cpi(),
+            accuracy: out.summary.stats.accuracy(),
+        })
+        .collect())
 }
 
 /// Renders the rows in the paper's layout (predictors as rows, benchmarks

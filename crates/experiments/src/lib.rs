@@ -12,20 +12,25 @@
 //! | Figures 1–5 (motivation) | [`motivation`] | executable versions of the motivating fragments |
 //! | (extensions) | [`ablation`] | BIT size, publish threshold, scheduling, auxiliary size, BIT banks |
 //!
-//! The [`runner`] module holds the shared machinery: configured baseline
-//! and ASBR pipeline runs over the `asbr-workloads` guests.
+//! Experiments describe runs as [`harness::RunSpec`] values (re-exported
+//! through [`runner`]), fan sweeps out with [`harness::RunMatrix`], and
+//! execute them on the parallel, cached [`harness::Executor`] — see
+//! `docs/harness.md`. The [`runner`] module keeps the pre-sweep free
+//! functions as documented shims for one release.
 //!
 //! # Examples
 //!
 //! ```
-//! use asbr_experiments::runner::{run_baseline, SAMPLES_SMOKE};
+//! use asbr_experiments::runner::{RunSpec, SAMPLES_SMOKE};
 //! use asbr_bpred::PredictorKind;
 //! use asbr_workloads::Workload;
 //!
-//! let s = run_baseline(Workload::AdpcmEncode, PredictorKind::NotTaken, SAMPLES_SMOKE)?;
-//! assert!(s.stats.cpi() > 1.0);
+//! let spec = RunSpec::baseline(Workload::AdpcmEncode, PredictorKind::NotTaken, SAMPLES_SMOKE);
+//! assert!(spec.execute()?.summary.stats.cpi() > 1.0);
 //! # Ok::<(), asbr_sim::SimError>(())
 //! ```
+
+pub use asbr_harness as harness;
 
 pub mod ablation;
 pub mod branch_tables;

@@ -56,9 +56,7 @@ fn kernel_experiment(
         PipelineConfig { btb_entries: AUX_BTB, ..PipelineConfig::default() },
         PredictorKind::NotTaken.build(),
     );
-    baseline.load(prog);
-    baseline.feed_input(input.iter().copied());
-    let base = baseline.run()?;
+    let base = baseline.execute(prog, input.iter().copied())?;
 
     let picks = select_branches(&report, prog, &SelectionConfig::default());
     let unit = AsbrUnit::for_branches(AsbrConfig::default(), prog, &picks)
@@ -68,9 +66,7 @@ fn kernel_experiment(
         PredictorKind::NotTaken.build(),
         unit,
     );
-    pipe.load(prog);
-    pipe.feed_input(input.iter().copied());
-    let asbr = pipe.run()?;
+    let asbr = pipe.execute(prog, input.iter().copied())?;
     let folds = pipe.into_hooks().stats().folds();
 
     Ok(KernelResult {

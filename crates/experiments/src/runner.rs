@@ -1,62 +1,42 @@
-//! Shared run machinery: baseline and ASBR-customized pipeline runs.
+//! Run machinery, now a thin compatibility layer over [`asbr_harness`].
+//!
+//! The experiment engine lives in the `asbr-harness` crate: [`RunSpec`]
+//! describes one run, [`RunMatrix`] fans specs over sweep axes, and
+//! [`Executor`] runs them in parallel with shared-prefix memoization and
+//! a content-addressed result cache. Everything is re-exported here so
+//! `asbr_experiments::runner` remains the one import path experiments
+//! use.
+//!
+//! The pre-sweep free functions ([`run_baseline`], [`run_baseline_with`],
+//! [`run_asbr`]) and the [`AsbrOptions`]/[`AsbrRun`] shapes are kept as
+//! documented shims for one release; new code should build a [`RunSpec`]
+//! and call [`RunSpec::execute`] (or sweep with an [`Executor`]).
 
-use asbr_asm::Program;
 use asbr_bpred::PredictorKind;
-use asbr_core::{AsbrConfig, AsbrStats, AsbrUnit};
-use asbr_flow::schedule::hoist_predicates;
-use asbr_profile::{profile, select_branches, SelectionConfig};
-use asbr_sim::{Pipeline, PipelineConfig, PipelineSummary, PublishPoint, SimError};
+use asbr_core::AsbrStats;
+use asbr_sim::{PipelineSummary, PublishPoint, SimError};
 use asbr_workloads::Workload;
 
-/// Baseline branch-target-buffer entries (paper Sec. 8).
-pub const BASELINE_BTB: usize = 2048;
-/// Auxiliary-predictor BTB: "reduced to a quarter of its size" (Sec. 8).
-pub const AUX_BTB: usize = 512;
-/// Input size for smoke tests (CI-fast).
-pub const SAMPLES_SMOKE: usize = 400;
-/// Input size for the full table regeneration.
-pub const SAMPLES_FULL: usize = 24_000;
+pub use asbr_asm::Program;
+pub use asbr_harness::{
+    AsbrSpec, BenchEntry, CacheMode, Executor, MicroTweaks, ResultCache, RunMatrix, RunOutcome,
+    RunSpec, SweepBench, AUX_BTB, BASELINE_BTB, PROFILE_PREDICTOR, SAMPLES_FULL, SAMPLES_SMOKE,
+};
 
-/// Microarchitectural tweaks applied identically to baseline and ASBR
-/// runs (ablations F/G).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct MicroTweaks {
-    /// Extra EX occupancy for multiplies (0 → single-cycle).
-    pub mul_latency: u32,
-    /// Extra EX occupancy for divides (0 → single-cycle).
-    pub div_latency: u32,
-    /// Return-address-stack entries (0 → none, the paper's baseline).
-    pub ras_entries: usize,
-    /// Cache capacity in bytes for both I and D caches (0 → the paper's
-    /// 8 KB default).
-    pub cache_bytes: u32,
-}
-
-impl MicroTweaks {
-    fn apply(&self, mut cfg: PipelineConfig) -> PipelineConfig {
-        cfg.mul_latency = self.mul_latency.max(1);
-        cfg.div_latency = self.div_latency.max(1);
-        cfg.ras_entries = self.ras_entries;
-        if self.cache_bytes > 0 {
-            cfg.mem.icache.size_bytes = self.cache_bytes;
-            cfg.mem.dcache.size_bytes = self.cache_bytes;
-        }
-        cfg
-    }
-}
-
-/// ASBR experiment knobs.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// ASBR experiment knobs — the pre-`RunSpec` bundle, kept as a shim for
+/// one release.
+///
+/// The five fields split across the redesigned API: `publish`,
+/// `bit_entries` and `hoist` became [`AsbrSpec`]; `btb_entries` and
+/// `tweaks` live directly on [`RunSpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AsbrOptions {
     /// Publish point (threshold) of the early condition evaluation.
     pub publish: PublishPoint,
     /// Branch Identification Table capacity.
     pub bit_entries: usize,
     /// Apply the Sec. 5.1 predicate-hoisting scheduler before profiling
-    /// and running. Off by default: the guest sources are already
-    /// hand-scheduled exactly as the paper's Sec. 8 describes ("A manual
-    /// scheduling in the application code is performed"), and re-running
-    /// the automatic pass on top adds nothing (see ablation C).
+    /// and running (see [`AsbrSpec::hoist`] for why this defaults off).
     pub hoist: bool,
     /// BTB size for the auxiliary predictor.
     pub btb_entries: usize,
@@ -76,7 +56,23 @@ impl Default for AsbrOptions {
     }
 }
 
-/// Result of an ASBR-customized run.
+impl AsbrOptions {
+    /// The equivalent redesigned spec.
+    #[must_use]
+    pub fn spec(&self, workload: Workload, aux: PredictorKind, samples: usize) -> RunSpec {
+        RunSpec::asbr(workload, aux, samples)
+            .with_asbr(AsbrSpec {
+                publish: self.publish,
+                bit_entries: self.bit_entries,
+                hoist: self.hoist,
+            })
+            .with_btb(self.btb_entries)
+            .with_tweaks(self.tweaks)
+    }
+}
+
+/// Result of an ASBR-customized run — the pre-[`RunOutcome`] shape, kept
+/// as a shim for one release.
 #[derive(Debug, Clone)]
 pub struct AsbrRun {
     /// Pipeline counters and guest output.
@@ -95,12 +91,13 @@ pub struct AsbrRun {
 /// # Errors
 ///
 /// Propagates any [`SimError`] from the run.
+#[deprecated(note = "build a `RunSpec::baseline(..)` and call `.execute()`")]
 pub fn run_baseline(
     workload: Workload,
     kind: PredictorKind,
     samples: usize,
 ) -> Result<PipelineSummary, SimError> {
-    run_baseline_with(workload, kind, samples, MicroTweaks::default())
+    Ok(RunSpec::baseline(workload, kind, samples).execute()?.summary)
 }
 
 /// [`run_baseline`] with explicit microarchitectural tweaks.
@@ -108,20 +105,14 @@ pub fn run_baseline(
 /// # Errors
 ///
 /// Propagates any [`SimError`] from the run.
+#[deprecated(note = "build a `RunSpec::baseline(..).with_tweaks(..)` and call `.execute()`")]
 pub fn run_baseline_with(
     workload: Workload,
     kind: PredictorKind,
     samples: usize,
     tweaks: MicroTweaks,
 ) -> Result<PipelineSummary, SimError> {
-    let program = workload.program();
-    let input = workload.input(samples);
-    let cfg =
-        tweaks.apply(PipelineConfig { btb_entries: BASELINE_BTB, ..PipelineConfig::default() });
-    let mut pipe = Pipeline::new(cfg, kind.build());
-    pipe.load(&program);
-    pipe.feed_input(input.iter().copied());
-    pipe.run()
+    Ok(RunSpec::baseline(workload, kind, samples).with_tweaks(tweaks).execute()?.summary)
 }
 
 /// Prepares the program (optional hoisting), profiles it, selects BIT
@@ -131,64 +122,66 @@ pub fn run_baseline_with(
 /// # Errors
 ///
 /// Propagates any [`SimError`] from the profiling or timed run.
+#[deprecated(note = "build a `RunSpec::asbr(..)` and call `.execute()`")]
 pub fn run_asbr(
     workload: Workload,
     aux: PredictorKind,
     samples: usize,
     opts: AsbrOptions,
 ) -> Result<AsbrRun, SimError> {
-    let base_program = workload.program();
-    let program =
-        if opts.hoist { hoist_predicates(&base_program).0 } else { base_program };
-    let input = workload.input(samples);
-
-    // Paper Sec. 8: candidates ranked against the baseline bimodal.
-    let report = profile(&program, &input, &[PredictorKind::Bimodal { entries: 2048 }])?;
-    let selected = select_branches(
-        &report,
-        &program,
-        &SelectionConfig {
-            bit_entries: opts.bit_entries,
-            threshold: opts.publish.threshold(),
-            ..SelectionConfig::default()
-        },
-    );
-
-    let unit = AsbrUnit::for_branches(
-        AsbrConfig { bit_entries: opts.bit_entries, publish: opts.publish, ..AsbrConfig::default() },
-        &program,
-        &selected,
-    )
-    .expect("selected branches always build BIT entries");
-
-    let cfg = opts
-        .tweaks
-        .apply(PipelineConfig { btb_entries: opts.btb_entries, ..PipelineConfig::default() });
-    let mut pipe = Pipeline::with_hooks(cfg, aux.build(), unit);
-    pipe.load(&program);
-    pipe.feed_input(input.iter().copied());
-    let summary = pipe.run()?;
-    let asbr = pipe.into_hooks().stats();
-    Ok(AsbrRun { summary, asbr, selected, program })
+    let spec = opts.spec(workload, aux, samples);
+    let out = spec.execute()?;
+    Ok(AsbrRun {
+        summary: out.summary,
+        asbr: out.asbr.expect("ASBR specs always produce fold stats"),
+        selected: out.selected,
+        program: spec.program(),
+    })
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
 
     #[test]
-    fn baseline_runs_and_counts() {
+    fn baseline_shim_matches_spec_path() {
         let s = run_baseline(Workload::AdpcmEncode, PredictorKind::NotTaken, 60).unwrap();
+        let spec = RunSpec::baseline(Workload::AdpcmEncode, PredictorKind::NotTaken, 60);
+        assert_eq!(s, spec.execute().unwrap().summary);
         assert!(s.halted);
         assert!(s.stats.retired > 1000);
     }
 
     #[test]
-    fn asbr_run_folds_and_matches_output() {
+    fn asbr_shim_matches_spec_path() {
         let w = Workload::AdpcmEncode;
         let r = run_asbr(w, PredictorKind::NotTaken, 60, AsbrOptions::default()).unwrap();
         assert!(!r.selected.is_empty());
         assert!(r.asbr.folds() > 0, "{:?}", r.asbr);
         assert_eq!(r.summary.output, w.reference_output(&w.input(60)));
+
+        let out = RunSpec::asbr(w, PredictorKind::NotTaken, 60).execute().unwrap();
+        assert_eq!(r.summary.stats, out.summary.stats);
+        assert_eq!(r.selected, out.selected);
+        assert_eq!(Some(r.asbr), out.asbr);
+    }
+
+    #[test]
+    fn options_map_onto_spec_fields() {
+        let opts = AsbrOptions {
+            publish: PublishPoint::Commit,
+            bit_entries: 8,
+            hoist: true,
+            btb_entries: 128,
+            tweaks: MicroTweaks::muldiv(4, 16),
+        };
+        let spec = opts.spec(Workload::G721Decode, PredictorKind::NotTaken, 10);
+        let knobs = spec.asbr.unwrap();
+        assert_eq!(knobs.publish, PublishPoint::Commit);
+        assert_eq!(knobs.bit_entries, 8);
+        assert!(knobs.hoist);
+        assert_eq!(spec.btb_entries, 128);
+        assert_eq!(spec.tweaks, MicroTweaks::muldiv(4, 16));
     }
 }

@@ -51,9 +51,7 @@ fn run_kernel(
         PipelineConfig { btb_entries: AUX_BTB, ..PipelineConfig::default() },
         aux.build(),
     );
-    baseline.load(program);
-    baseline.feed_input(input.iter().copied());
-    let base = baseline.run()?;
+    let base = baseline.execute(program, input.iter().copied())?;
 
     let report = profile(program, input, &[aux])?;
     let picks = select_branches(
@@ -76,9 +74,7 @@ fn run_kernel(
         aux.build(),
         unit,
     );
-    pipe.load(program);
-    pipe.feed_input(input.iter().copied());
-    let run = pipe.run()?;
+    let run = pipe.execute(program, input.iter().copied())?;
     let folds = pipe.hooks().stats().folds();
 
     Ok(ScopeRow {

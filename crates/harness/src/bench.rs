@@ -1,0 +1,207 @@
+//! Sweep benchmarking: per-run wall-clock and simulated cycles, emitted
+//! as `BENCH_sweep.json`.
+//!
+//! The JSON is rendered by hand — the harness has no serialization
+//! dependency — against a fixed schema:
+//!
+//! ```json
+//! {
+//!   "schema": "asbr-sweep-bench-v1",
+//!   "threads": 8,
+//!   "wall_nanos_total": 123456789,
+//!   "cache_hits": 12,
+//!   "cache_misses": 12,
+//!   "runs": [ { "label": "...", "workload": "...", "predictor": "...",
+//!               "asbr": true, "samples": 400, "cycles": 100, "folds": 3,
+//!               "wall_nanos": 42, "cached": false }, ... ]
+//! }
+//! ```
+
+use std::fs;
+use std::io;
+use std::path::Path;
+use std::time::Duration;
+
+use crate::spec::{RunOutcome, RunSpec};
+
+/// Schema tag written into the JSON.
+pub const BENCH_SCHEMA: &str = "asbr-sweep-bench-v1";
+
+/// One run's record in the sweep benchmark.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchEntry {
+    /// Human label of the spec (`workload/predictor/mode`).
+    pub label: String,
+    /// Workload name.
+    pub workload: String,
+    /// Predictor label.
+    pub predictor: String,
+    /// Whether the run was ASBR-customized.
+    pub asbr: bool,
+    /// Input samples.
+    pub samples: usize,
+    /// Simulated machine cycles.
+    pub cycles: u64,
+    /// Branches folded by the ASBR unit (0 for baselines).
+    pub folds: u64,
+    /// Wall-clock nanoseconds producing the outcome (simulation, or
+    /// cache load on a hit).
+    pub wall_nanos: u64,
+    /// Whether the outcome came from the cache / in-sweep dedup.
+    pub cached: bool,
+}
+
+/// The whole sweep's benchmark: per-run records plus totals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepBench {
+    /// Worker threads the sweep ran with.
+    pub threads: usize,
+    /// End-to-end wall-clock of the sweep in nanoseconds.
+    pub wall_nanos_total: u64,
+    /// Per-run records, in spec order.
+    pub runs: Vec<BenchEntry>,
+}
+
+impl SweepBench {
+    /// Builds the benchmark from parallel spec/outcome slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices disagree in length.
+    #[must_use]
+    pub fn from_runs(
+        specs: &[RunSpec],
+        outcomes: &[RunOutcome],
+        threads: usize,
+        total: Duration,
+    ) -> SweepBench {
+        assert_eq!(specs.len(), outcomes.len(), "one outcome per spec");
+        let runs = specs
+            .iter()
+            .zip(outcomes)
+            .map(|(spec, out)| BenchEntry {
+                label: spec.label(),
+                workload: spec.workload.name().to_owned(),
+                predictor: spec.predictor.label(),
+                asbr: spec.asbr.is_some(),
+                samples: spec.samples,
+                cycles: out.cycles(),
+                folds: out.folds(),
+                wall_nanos: out.wall_nanos,
+                cached: out.cached,
+            })
+            .collect();
+        SweepBench {
+            threads,
+            wall_nanos_total: u64::try_from(total.as_nanos()).unwrap_or(u64::MAX),
+            runs,
+        }
+    }
+
+    /// Runs served from the cache or deduped in-sweep.
+    #[must_use]
+    pub fn cache_hits(&self) -> usize {
+        self.runs.iter().filter(|r| r.cached).count()
+    }
+
+    /// Runs that actually simulated.
+    #[must_use]
+    pub fn cache_misses(&self) -> usize {
+        self.runs.len() - self.cache_hits()
+    }
+
+    /// Renders the benchmark as pretty-printed JSON.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(256 + self.runs.len() * 192);
+        s.push_str("{\n");
+        s.push_str(&format!("  \"schema\": {},\n", json_str(BENCH_SCHEMA)));
+        s.push_str(&format!("  \"threads\": {},\n", self.threads));
+        s.push_str(&format!("  \"wall_nanos_total\": {},\n", self.wall_nanos_total));
+        s.push_str(&format!("  \"cache_hits\": {},\n", self.cache_hits()));
+        s.push_str(&format!("  \"cache_misses\": {},\n", self.cache_misses()));
+        s.push_str("  \"runs\": [");
+        for (i, r) in self.runs.iter().enumerate() {
+            s.push_str(if i == 0 { "\n" } else { ",\n" });
+            s.push_str(&format!(
+                "    {{ \"label\": {}, \"workload\": {}, \"predictor\": {}, \
+                 \"asbr\": {}, \"samples\": {}, \"cycles\": {}, \"folds\": {}, \
+                 \"wall_nanos\": {}, \"cached\": {} }}",
+                json_str(&r.label),
+                json_str(&r.workload),
+                json_str(&r.predictor),
+                r.asbr,
+                r.samples,
+                r.cycles,
+                r.folds,
+                r.wall_nanos,
+                r.cached,
+            ));
+        }
+        s.push_str("\n  ]\n}\n");
+        s
+    }
+
+    /// Writes the JSON to `path`, creating parent directories.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let path = path.as_ref();
+        if let Some(dir) = path.parent() {
+            fs::create_dir_all(dir)?;
+        }
+        fs::write(path, self.to_json())
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asbr_bpred::PredictorKind;
+    use asbr_workloads::Workload;
+
+    #[test]
+    fn json_shape_and_counts() {
+        let specs = [
+            RunSpec::baseline(Workload::AdpcmEncode, PredictorKind::NotTaken, 30),
+            RunSpec::asbr(Workload::AdpcmEncode, PredictorKind::NotTaken, 30),
+        ];
+        let outcomes: Vec<_> = specs.iter().map(|s| s.execute().unwrap()).collect();
+        let mut bench =
+            SweepBench::from_runs(&specs, &outcomes, 2, Duration::from_millis(5));
+        bench.runs[1].cached = true;
+        assert_eq!(bench.cache_hits(), 1);
+        assert_eq!(bench.cache_misses(), 1);
+        let json = bench.to_json();
+        assert!(json.contains("\"schema\": \"asbr-sweep-bench-v1\""));
+        assert!(json.contains("\"cache_hits\": 1"));
+        assert!(json.contains("\"asbr\": true"));
+        assert_eq!(json.matches("\"label\"").count(), 2);
+    }
+
+    #[test]
+    fn json_strings_are_escaped() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_str("\u{1}"), "\"\\u0001\"");
+    }
+}

@@ -1,0 +1,372 @@
+//! Content-addressed on-disk result cache.
+//!
+//! Completed [`RunOutcome`]s are stored under `results/cache/` keyed by a
+//! SHA-256 digest of everything that determines the result: a format
+//! version, the resolved program words and data image, the input samples,
+//! and every configuration knob of the [`RunSpec`]. Two specs that would
+//! simulate differently can never share a key; re-running an unchanged
+//! configuration is a file read instead of a simulation.
+//!
+//! On-disk layout: `<root>/<first two hex chars>/<full key>.run`, a
+//! line-oriented text format serialized by hand (no external
+//! dependencies), one fanout directory level to keep directories small.
+//! Entries are written atomically (temp file + rename), so a sweep
+//! killed mid-write never leaves a truncated entry that parses.
+//!
+//! Any unreadable, truncated, or version-skewed entry is treated as a
+//! miss and overwritten — the cache is an accelerator, never a source of
+//! truth.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use asbr_asm::Program;
+use asbr_bpred::{AccuracyTracker, BranchRecord};
+use asbr_core::AsbrStats;
+use asbr_sim::{PipelineSummary, PublishPoint};
+
+use crate::hash::Sha256;
+use crate::spec::{RunOutcome, RunSpec};
+
+/// Bumped whenever the key derivation or entry format changes; old
+/// entries then miss instead of deserializing garbage.
+pub const CACHE_FORMAT: &str = "asbr-run-cache v1";
+
+/// Handle to a cache root directory.
+#[derive(Debug, Clone)]
+pub struct ResultCache {
+    root: PathBuf,
+}
+
+impl ResultCache {
+    /// Opens (without touching the filesystem) a cache rooted at `root`.
+    pub fn new(root: impl Into<PathBuf>) -> ResultCache {
+        ResultCache { root: root.into() }
+    }
+
+    /// The conventional cache location, `results/cache/` under the
+    /// current directory.
+    #[must_use]
+    pub fn default_root() -> PathBuf {
+        PathBuf::from("results").join("cache")
+    }
+
+    /// The root directory of this cache.
+    #[must_use]
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Derives the content key for `spec` resolved to `program` and
+    /// `input`.
+    #[must_use]
+    pub fn key(spec: &RunSpec, program: &Program, input: &[i32]) -> String {
+        let mut h = Sha256::new();
+        h.update_str(CACHE_FORMAT);
+        // The resolved artifact: program words, data image, layout.
+        h.update_u64(u64::from(program.text_base()));
+        h.update_u64(u64::from(program.entry()));
+        h.update_u64(program.text().len() as u64);
+        for &word in program.text() {
+            h.update(&word.to_le_bytes());
+        }
+        h.update_u64(u64::from(program.data_base()));
+        h.update_u64(program.data().len() as u64);
+        h.update(program.data());
+        h.update_u64(input.len() as u64);
+        for &sample in input {
+            h.update(&sample.to_le_bytes());
+        }
+        // The full configuration. Workload and samples are implied by
+        // the program/input bytes but included for auditability.
+        h.update_str(spec.workload.name());
+        h.update_u64(spec.samples as u64);
+        h.update_str(&format!("{:?}", spec.predictor));
+        h.update_u64(spec.btb_entries as u64);
+        h.update_u64(u64::from(spec.tweaks.mul_latency.get()));
+        h.update_u64(u64::from(spec.tweaks.div_latency.get()));
+        h.update_u64(spec.tweaks.ras_entries as u64);
+        h.update_u64(u64::from(spec.tweaks.cache_bytes));
+        match spec.asbr {
+            None => h.update_str("baseline"),
+            Some(knobs) => {
+                h.update_str("asbr");
+                h.update_u64(u64::from(publish_code(knobs.publish)));
+                h.update_u64(knobs.bit_entries as u64);
+                h.update_u64(u64::from(knobs.hoist));
+            }
+        }
+        h.finish_hex()
+    }
+
+    fn path_of(&self, key: &str) -> PathBuf {
+        self.root.join(&key[..2]).join(format!("{key}.run"))
+    }
+
+    /// Loads the outcome stored under `key`, or `None` on a miss (absent,
+    /// unreadable, or version-skewed entry).
+    #[must_use]
+    pub fn load(&self, key: &str) -> Option<RunOutcome> {
+        let text = fs::read_to_string(self.path_of(key)).ok()?;
+        parse_entry(&text, key)
+    }
+
+    /// Stores `outcome` under `key` atomically.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors (the caller typically degrades to
+    /// uncached operation).
+    pub fn store(&self, key: &str, label: &str, outcome: &RunOutcome) -> io::Result<()> {
+        let path = self.path_of(key);
+        let dir = path.parent().expect("cache paths have a parent");
+        fs::create_dir_all(dir)?;
+        let tmp = dir.join(format!(".{key}.tmp"));
+        fs::write(&tmp, render_entry(key, label, outcome))?;
+        fs::rename(&tmp, &path)
+    }
+
+    /// Removes the entry under `key` if present (the `--refresh` path).
+    pub fn evict(&self, key: &str) {
+        let _ = fs::remove_file(self.path_of(key));
+    }
+}
+
+fn publish_code(p: PublishPoint) -> u8 {
+    match p {
+        PublishPoint::Execute => 2,
+        PublishPoint::Mem => 3,
+        PublishPoint::Commit => 4,
+    }
+}
+
+fn render_entry(key: &str, label: &str, o: &RunOutcome) -> String {
+    let s = &o.summary.stats;
+    let a = &s.activity;
+    let mut out = String::with_capacity(1024 + o.summary.output.len() * 8);
+    let mut line = |l: String| {
+        out.push_str(&l);
+        out.push('\n');
+    };
+    line(CACHE_FORMAT.to_owned());
+    line(format!("key {key}"));
+    line(format!("label {label}"));
+    line(format!("halted {}", u8::from(o.summary.halted)));
+    line(format!(
+        "stats {} {} {} {} {} {} {} {} {} {}",
+        s.cycles,
+        s.retired,
+        s.branch_flushes,
+        s.jump_redirects,
+        s.indirect_flushes,
+        s.load_use_stalls,
+        s.icache_stall_cycles,
+        s.dcache_stall_cycles,
+        s.ex_stall_cycles,
+        s.folded_branches,
+    ));
+    line(format!(
+        "activity {} {} {} {} {} {} {} {}",
+        a.fetched,
+        a.squashed,
+        a.decoded,
+        a.executed,
+        a.mem_ops,
+        a.reg_writes,
+        a.predictor_lookups,
+        a.predictor_updates,
+    ));
+    let mut records: Vec<(u32, BranchRecord)> = s.branches.iter().map(|(pc, &r)| (pc, r)).collect();
+    records.sort_by_key(|&(pc, _)| pc);
+    for (pc, r) in records {
+        line(format!("branch {pc} {} {} {}", r.executed, r.correct, r.taken));
+    }
+    let mut outline = String::from("output");
+    for v in &o.summary.output {
+        outline.push(' ');
+        outline.push_str(&v.to_string());
+    }
+    line(outline);
+    if let Some(asbr) = o.asbr {
+        line(format!(
+            "asbr {} {} {} {}",
+            asbr.folds_taken, asbr.folds_fallthrough, asbr.blocked_invalid, asbr.bank_switches
+        ));
+    }
+    let mut sel = String::from("selected");
+    for pc in &o.selected {
+        sel.push(' ');
+        sel.push_str(&pc.to_string());
+    }
+    line(sel);
+    line(format!("wall_nanos {}", o.wall_nanos));
+    line("end".to_owned());
+    out
+}
+
+fn parse_entry(text: &str, want_key: &str) -> Option<RunOutcome> {
+    let mut lines = text.lines();
+    if lines.next()? != CACHE_FORMAT {
+        return None;
+    }
+    let mut summary = PipelineSummary {
+        stats: asbr_sim::PipelineStats::default(),
+        output: Vec::new(),
+        halted: false,
+    };
+    let mut records: Vec<(u32, BranchRecord)> = Vec::new();
+    let mut asbr = None;
+    let mut selected = Vec::new();
+    let mut complete = false;
+    for l in lines {
+        let (tag, rest) = l.split_once(' ').unwrap_or((l, ""));
+        match tag {
+            "key" => {
+                if rest != want_key {
+                    return None;
+                }
+            }
+            "label" => {}
+            "halted" => summary.halted = rest == "1",
+            "stats" => {
+                let v = nums::<u64>(rest, 10)?;
+                let s = &mut summary.stats;
+                [
+                    s.cycles,
+                    s.retired,
+                    s.branch_flushes,
+                    s.jump_redirects,
+                    s.indirect_flushes,
+                    s.load_use_stalls,
+                    s.icache_stall_cycles,
+                    s.dcache_stall_cycles,
+                    s.ex_stall_cycles,
+                    s.folded_branches,
+                ] = v[..].try_into().ok()?;
+            }
+            "activity" => {
+                let v = nums::<u64>(rest, 8)?;
+                let a = &mut summary.stats.activity;
+                [
+                    a.fetched,
+                    a.squashed,
+                    a.decoded,
+                    a.executed,
+                    a.mem_ops,
+                    a.reg_writes,
+                    a.predictor_lookups,
+                    a.predictor_updates,
+                ] = v[..].try_into().ok()?;
+            }
+            "branch" => {
+                let v = nums::<u64>(rest, 4)?;
+                let pc = u32::try_from(v[0]).ok()?;
+                records.push((pc, BranchRecord { executed: v[1], correct: v[2], taken: v[3] }));
+            }
+            "output" => summary.output = nums_any::<i32>(rest)?,
+            "asbr" => {
+                let v = nums::<u64>(rest, 4)?;
+                asbr = Some(AsbrStats {
+                    folds_taken: v[0],
+                    folds_fallthrough: v[1],
+                    blocked_invalid: v[2],
+                    bank_switches: v[3],
+                });
+            }
+            "selected" => selected = nums_any::<u32>(rest)?,
+            "wall_nanos" => {}
+            "end" => complete = true,
+            _ => return None,
+        }
+    }
+    if !complete {
+        return None;
+    }
+    summary.stats.branches = AccuracyTracker::from_records(records);
+    Some(RunOutcome { summary, asbr, selected, wall_nanos: 0, cached: true })
+}
+
+fn nums<T: std::str::FromStr>(s: &str, expect: usize) -> Option<Vec<T>> {
+    let v = nums_any(s)?;
+    (v.len() == expect).then_some(v)
+}
+
+fn nums_any<T: std::str::FromStr>(s: &str) -> Option<Vec<T>> {
+    s.split_ascii_whitespace().map(|t| t.parse().ok()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asbr_bpred::PredictorKind;
+    use asbr_workloads::Workload;
+
+    fn tmp_cache(tag: &str) -> ResultCache {
+        let dir = std::env::temp_dir().join(format!("asbr-cache-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        ResultCache::new(dir)
+    }
+
+    #[test]
+    fn round_trips_an_asbr_outcome() {
+        let spec = RunSpec::asbr(Workload::AdpcmEncode, PredictorKind::NotTaken, 50);
+        let out = spec.execute().unwrap();
+        let program = spec.program();
+        let input = spec.workload.input(spec.samples);
+        let key = ResultCache::key(&spec, &program, &input);
+
+        let cache = tmp_cache("roundtrip");
+        assert!(cache.load(&key).is_none(), "cold cache must miss");
+        cache.store(&key, &spec.label(), &out).unwrap();
+        let back = cache.load(&key).expect("warm cache hits");
+        assert!(back.cached);
+        assert!(back.same_result(&out), "cache round-trip must be lossless");
+        let _ = fs::remove_dir_all(cache.root());
+    }
+
+    #[test]
+    fn distinct_specs_get_distinct_keys() {
+        let w = Workload::AdpcmEncode;
+        let a = RunSpec::baseline(w, PredictorKind::NotTaken, 50);
+        let b = RunSpec::baseline(w, PredictorKind::Bimodal { entries: 512 }, 50);
+        let c = RunSpec::asbr(w, PredictorKind::NotTaken, 50);
+        let d = RunSpec::baseline(w, PredictorKind::NotTaken, 51);
+        let prog = w.program();
+        let i50 = w.input(50);
+        let i51 = w.input(51);
+        let keys = [
+            ResultCache::key(&a, &prog, &i50),
+            ResultCache::key(&b, &prog, &i50),
+            ResultCache::key(&c, &prog, &i50),
+            ResultCache::key(&d, &prog, &i51),
+        ];
+        for (i, x) in keys.iter().enumerate() {
+            for y in &keys[i + 1..] {
+                assert_ne!(x, y);
+            }
+        }
+    }
+
+    #[test]
+    fn version_skew_is_a_miss() {
+        let spec = RunSpec::baseline(Workload::AdpcmEncode, PredictorKind::NotTaken, 30);
+        let out = spec.execute().unwrap();
+        let program = spec.program();
+        let input = spec.workload.input(spec.samples);
+        let key = ResultCache::key(&spec, &program, &input);
+        let cache = tmp_cache("skew");
+        cache.store(&key, "x", &out).unwrap();
+
+        // Corrupt the header; the entry must read as a miss.
+        let path = cache.root().join(&key[..2]).join(format!("{key}.run"));
+        let text = fs::read_to_string(&path).unwrap();
+        fs::write(&path, text.replace(CACHE_FORMAT, "asbr-run-cache v0")).unwrap();
+        assert!(cache.load(&key).is_none());
+
+        // Truncation (no `end` marker) is a miss too.
+        fs::write(&path, text.lines().take(4).collect::<Vec<_>>().join("\n")).unwrap();
+        assert!(cache.load(&key).is_none());
+        let _ = fs::remove_dir_all(cache.root());
+    }
+}

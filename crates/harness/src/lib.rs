@@ -1,0 +1,36 @@
+//! `asbr-harness`: the sweep engine behind every experiment.
+//!
+//! One run is a [`RunSpec`] — workload, input scale, predictor, BTB,
+//! [`MicroTweaks`], optional [`AsbrSpec`] customization — executed into a
+//! [`RunOutcome`]. Sweeps fan specs over axes with [`RunMatrix`] and run
+//! them on an [`Executor`]: a work-stealing thread pool with
+//! deterministic result ordering, shared-prefix memoization per
+//! `(workload, hoist, samples)`, in-batch dedup, and a content-addressed
+//! on-disk [`ResultCache`] under `results/cache/` (see [`CacheMode`] for
+//! the `--no-cache` / `--refresh` escape hatches). [`SweepBench`] records
+//! per-run wall-clock and simulated cycles into `BENCH_sweep.json`.
+//!
+//! The crate is deliberately dependency-free beyond the workspace: the
+//! cache key hash ([`hash::Sha256`]), the cache entry format, and the
+//! benchmark JSON are all implemented here.
+//!
+//! See `docs/harness.md` for a guided tour, the cache key scheme, and
+//! how to add a sweep axis.
+
+#![warn(missing_docs)]
+
+pub mod bench;
+pub mod cache;
+pub mod executor;
+pub mod hash;
+pub mod matrix;
+pub mod spec;
+
+pub use bench::{BenchEntry, SweepBench, BENCH_SCHEMA};
+pub use cache::{ResultCache, CACHE_FORMAT};
+pub use executor::{CacheMode, Executor};
+pub use matrix::RunMatrix;
+pub use spec::{
+    AsbrSpec, MicroTweaks, RunOutcome, RunSpec, AUX_BTB, BASELINE_BTB, PROFILE_PREDICTOR,
+    SAMPLES_FULL, SAMPLES_SMOKE,
+};

@@ -1,0 +1,229 @@
+//! `RunMatrix`: fan a sweep out over axes of specs.
+//!
+//! A matrix is a cross product of four axes — workloads, sample counts,
+//! microarchitectural tweaks, and *arms* (predictor configurations,
+//! baseline or ASBR) — expanded into a deterministic, duplicate-free
+//! order of [`RunSpec`]s:
+//!
+//! ```text
+//! for samples { for tweaks { for arm { for workload { spec } } } }
+//! ```
+//!
+//! Workloads vary innermost so a rendered table reads the way the
+//! paper's figures do (one predictor block, all benchmarks, then the
+//! next block). Adding a sweep axis is adding one loop level — see
+//! `docs/harness.md`.
+
+use asbr_bpred::PredictorKind;
+use asbr_sim::SimError;
+use asbr_workloads::Workload;
+
+use crate::executor::Executor;
+use crate::spec::{AsbrSpec, MicroTweaks, RunOutcome, RunSpec, AUX_BTB, BASELINE_BTB};
+
+/// One predictor configuration of the matrix: every workload ×
+/// samples × tweaks point runs once per arm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Arm {
+    Baseline { kind: PredictorKind, btb_entries: usize },
+    Asbr { aux: PredictorKind, knobs: AsbrSpec, btb_entries: usize },
+}
+
+/// Builder fanning [`RunSpec`]s over axes. See the module docs for the
+/// expansion order.
+///
+/// # Examples
+///
+/// ```
+/// use asbr_bpred::PredictorKind;
+/// use asbr_harness::RunMatrix;
+///
+/// let matrix = RunMatrix::new()
+///     .all_workloads()
+///     .samples(50)
+///     .baseline(PredictorKind::NotTaken)
+///     .asbr(PredictorKind::NotTaken);
+/// assert_eq!(matrix.len(), 8); // 4 workloads x 2 arms
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RunMatrix {
+    workloads: Vec<Workload>,
+    samples: Vec<usize>,
+    tweaks: Vec<MicroTweaks>,
+    arms: Vec<Arm>,
+}
+
+impl RunMatrix {
+    /// An empty matrix (no workloads, no arms, default tweaks).
+    #[must_use]
+    pub fn new() -> RunMatrix {
+        RunMatrix::default()
+    }
+
+    /// Adds one workload to the workload axis.
+    #[must_use]
+    pub fn workload(mut self, w: Workload) -> RunMatrix {
+        self.workloads.push(w);
+        self
+    }
+
+    /// Adds several workloads to the workload axis.
+    #[must_use]
+    pub fn workloads(mut self, ws: impl IntoIterator<Item = Workload>) -> RunMatrix {
+        self.workloads.extend(ws);
+        self
+    }
+
+    /// Adds all four paper benchmarks to the workload axis.
+    #[must_use]
+    pub fn all_workloads(self) -> RunMatrix {
+        self.workloads(Workload::ALL)
+    }
+
+    /// Adds one sample count to the samples axis.
+    #[must_use]
+    pub fn samples(mut self, n: usize) -> RunMatrix {
+        self.samples.push(n);
+        self
+    }
+
+    /// Replaces the tweaks axis (the default axis is one point:
+    /// `MicroTweaks::default()`).
+    #[must_use]
+    pub fn tweaks_axis(mut self, tweaks: impl IntoIterator<Item = MicroTweaks>) -> RunMatrix {
+        self.tweaks = tweaks.into_iter().collect();
+        self
+    }
+
+    /// Adds a baseline arm with the full-size BTB.
+    #[must_use]
+    pub fn baseline(self, kind: PredictorKind) -> RunMatrix {
+        self.baseline_with_btb(kind, BASELINE_BTB)
+    }
+
+    /// Adds a baseline arm with an explicit BTB capacity.
+    #[must_use]
+    pub fn baseline_with_btb(mut self, kind: PredictorKind, btb_entries: usize) -> RunMatrix {
+        self.arms.push(Arm::Baseline { kind, btb_entries });
+        self
+    }
+
+    /// Adds an ASBR arm with default knobs and the quarter-size BTB.
+    #[must_use]
+    pub fn asbr(self, aux: PredictorKind) -> RunMatrix {
+        self.asbr_with(aux, AsbrSpec::default())
+    }
+
+    /// Adds an ASBR arm with explicit knobs and the quarter-size BTB.
+    #[must_use]
+    pub fn asbr_with(self, aux: PredictorKind, knobs: AsbrSpec) -> RunMatrix {
+        self.asbr_with_btb(aux, knobs, AUX_BTB)
+    }
+
+    /// Adds an ASBR arm with explicit knobs and BTB capacity.
+    #[must_use]
+    pub fn asbr_with_btb(
+        mut self,
+        aux: PredictorKind,
+        knobs: AsbrSpec,
+        btb_entries: usize,
+    ) -> RunMatrix {
+        self.arms.push(Arm::Asbr { aux, knobs, btb_entries });
+        self
+    }
+
+    /// Number of specs the matrix expands to.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        let tweaks = self.tweaks.len().max(1);
+        self.workloads.len() * self.samples.len() * tweaks * self.arms.len()
+    }
+
+    /// Whether the matrix expands to no specs at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Expands the matrix into specs, in the documented deterministic
+    /// order.
+    #[must_use]
+    pub fn specs(&self) -> Vec<RunSpec> {
+        let default_tweaks = [MicroTweaks::default()];
+        let tweaks: &[MicroTweaks] =
+            if self.tweaks.is_empty() { &default_tweaks } else { &self.tweaks };
+        let mut specs = Vec::with_capacity(self.len());
+        for &samples in &self.samples {
+            for &tweaks in tweaks {
+                for &arm in &self.arms {
+                    for &workload in &self.workloads {
+                        let spec = match arm {
+                            Arm::Baseline { kind, btb_entries } => {
+                                RunSpec::baseline(workload, kind, samples).with_btb(btb_entries)
+                            }
+                            Arm::Asbr { aux, knobs, btb_entries } => RunSpec::asbr(
+                                workload, aux, samples,
+                            )
+                            .with_asbr(knobs)
+                            .with_btb(btb_entries),
+                        };
+                        specs.push(spec.with_tweaks(tweaks));
+                    }
+                }
+            }
+        }
+        specs
+    }
+
+    /// Expands and executes the matrix on `executor`; outcomes come back
+    /// in [`RunMatrix::specs`] order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`SimError`] of any spec (by expansion
+    /// order).
+    pub fn run(&self, executor: &Executor) -> Result<Vec<RunOutcome>, SimError> {
+        executor.run(&self.specs())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expansion_order_is_arm_major_workload_minor() {
+        let m = RunMatrix::new()
+            .all_workloads()
+            .samples(10)
+            .baseline(PredictorKind::NotTaken)
+            .asbr(PredictorKind::NotTaken);
+        let specs = m.specs();
+        assert_eq!(specs.len(), m.len());
+        // First block: the baseline arm over all workloads, in order.
+        for (spec, w) in specs.iter().zip(Workload::ALL) {
+            assert_eq!(spec.workload, w);
+            assert!(spec.asbr.is_none());
+        }
+        // Second block: the ASBR arm.
+        assert!(specs[4..].iter().all(|s| s.asbr.is_some()));
+    }
+
+    #[test]
+    fn tweaks_axis_multiplies() {
+        let m = RunMatrix::new()
+            .workload(Workload::AdpcmEncode)
+            .samples(10)
+            .tweaks_axis([MicroTweaks::muldiv(1, 1), MicroTweaks::muldiv(4, 16)])
+            .baseline(PredictorKind::NotTaken);
+        assert_eq!(m.len(), 2);
+        let specs = m.specs();
+        assert_ne!(specs[0].tweaks, specs[1].tweaks);
+    }
+
+    #[test]
+    fn empty_axes_expand_to_nothing() {
+        assert!(RunMatrix::new().is_empty());
+        assert!(RunMatrix::new().all_workloads().is_empty());
+    }
+}

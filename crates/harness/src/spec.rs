@@ -1,0 +1,413 @@
+//! The `RunSpec` experiment API: one value fully describing one run.
+//!
+//! Every experiment in the reproduction — the Figure 6/11 tables, the
+//! ablations, the cost studies — is some configuration of the same
+//! underlying machine: a workload, an input scale, a branch predictor,
+//! optional ASBR customization, and shared microarchitectural tweaks.
+//! [`RunSpec`] captures exactly that tuple; [`RunOutcome`] is the single
+//! typed result every consumer reads. Sweeps build many specs with
+//! [`crate::RunMatrix`] and execute them with [`crate::Executor`].
+
+use std::num::NonZeroU32;
+use std::time::Instant;
+
+use asbr_asm::Program;
+use asbr_bpred::PredictorKind;
+use asbr_core::{AsbrConfig, AsbrStats, AsbrUnit};
+use asbr_flow::schedule::hoist_predicates;
+use asbr_profile::{profile, select_branches, ProfileReport, SelectionConfig};
+use asbr_sim::{Pipeline, PipelineConfig, PipelineSummary, PublishPoint, SimError};
+use asbr_workloads::Workload;
+
+/// Baseline branch-target-buffer entries (paper Sec. 8).
+pub const BASELINE_BTB: usize = 2048;
+/// Auxiliary-predictor BTB: "reduced to a quarter of its size" (Sec. 8).
+pub const AUX_BTB: usize = 512;
+/// Input size for smoke tests (CI-fast).
+pub const SAMPLES_SMOKE: usize = 400;
+/// Input size for the full table regeneration.
+pub const SAMPLES_FULL: usize = 24_000;
+
+/// The predictor the paper profiles candidates against (Sec. 8: ranked
+/// against the baseline bimodal).
+pub const PROFILE_PREDICTOR: PredictorKind = PredictorKind::Bimodal { entries: 2048 };
+
+/// Microarchitectural tweaks applied identically to baseline and ASBR
+/// runs (ablations F/G/J).
+///
+/// The multiply/divide latencies are [`NonZeroU32`]: a latency of 1 *is*
+/// the single-cycle configuration, and zero — which older revisions
+/// silently clamped to 1, aliasing two sweep settings to one behaviour —
+/// is unrepresentable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MicroTweaks {
+    /// EX occupancy of a multiply in cycles (1 → fully pipelined
+    /// single-cycle multiplier, the paper's configuration).
+    pub mul_latency: NonZeroU32,
+    /// EX occupancy of a divide/remainder in cycles.
+    pub div_latency: NonZeroU32,
+    /// Return-address-stack entries (0 → none, the paper's baseline).
+    pub ras_entries: usize,
+    /// Cache capacity in bytes for both I and D caches (0 → the paper's
+    /// 8 KB default).
+    pub cache_bytes: u32,
+}
+
+impl Default for MicroTweaks {
+    fn default() -> MicroTweaks {
+        MicroTweaks {
+            mul_latency: NonZeroU32::MIN,
+            div_latency: NonZeroU32::MIN,
+            ras_entries: 0,
+            cache_bytes: 0,
+        }
+    }
+}
+
+impl MicroTweaks {
+    /// Tweaks with the given multiply/divide EX occupancies and all other
+    /// knobs at their defaults.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either latency is zero — there is no "faster than
+    /// single-cycle" configuration to mean.
+    #[must_use]
+    pub const fn muldiv(mul: u32, div: u32) -> MicroTweaks {
+        let (Some(mul_latency), Some(div_latency)) =
+            (NonZeroU32::new(mul), NonZeroU32::new(div))
+        else {
+            panic!("mul/div latency must be >= 1 cycle");
+        };
+        MicroTweaks { mul_latency, div_latency, ras_entries: 0, cache_bytes: 0 }
+    }
+
+    /// Applies the tweaks to a pipeline configuration.
+    #[must_use]
+    pub fn apply(&self, mut cfg: PipelineConfig) -> PipelineConfig {
+        cfg.mul_latency = self.mul_latency.get();
+        cfg.div_latency = self.div_latency.get();
+        cfg.ras_entries = self.ras_entries;
+        if self.cache_bytes > 0 {
+            cfg.mem.icache.size_bytes = self.cache_bytes;
+            cfg.mem.dcache.size_bytes = self.cache_bytes;
+        }
+        cfg
+    }
+}
+
+/// ASBR customization knobs of a [`RunSpec`]. `None` in the spec means a
+/// plain baseline pipeline with no fetch customization at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AsbrSpec {
+    /// Publish point (threshold) of the early condition evaluation.
+    pub publish: PublishPoint,
+    /// Branch Identification Table capacity.
+    pub bit_entries: usize,
+    /// Apply the Sec. 5.1 predicate-hoisting scheduler before profiling
+    /// and running. Off by default: the guest sources are already
+    /// hand-scheduled exactly as the paper's Sec. 8 describes ("A manual
+    /// scheduling in the application code is performed"), and re-running
+    /// the automatic pass on top adds nothing (see ablation C).
+    pub hoist: bool,
+}
+
+impl Default for AsbrSpec {
+    fn default() -> AsbrSpec {
+        AsbrSpec { publish: PublishPoint::Mem, bit_entries: 16, hoist: false }
+    }
+}
+
+/// A complete, self-contained description of one simulated run.
+///
+/// Two specs that compare equal produce byte-identical [`RunOutcome`]s
+/// (up to wall-clock timing); the content-addressed cache key is derived
+/// from the spec plus the program and input bytes it resolves to.
+///
+/// # Examples
+///
+/// ```
+/// use asbr_bpred::PredictorKind;
+/// use asbr_harness::RunSpec;
+/// use asbr_workloads::Workload;
+///
+/// let spec = RunSpec::baseline(Workload::AdpcmEncode, PredictorKind::NotTaken, 60);
+/// let out = spec.execute()?;
+/// assert!(out.summary.halted);
+/// assert!(out.asbr.is_none());
+/// # Ok::<(), asbr_sim::SimError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RunSpec {
+    /// The benchmark program.
+    pub workload: Workload,
+    /// Input samples fed to the guest.
+    pub samples: usize,
+    /// Direction predictor: the baseline predictor, or the auxiliary
+    /// predictor backing up the ASBR unit when `asbr` is set.
+    pub predictor: PredictorKind,
+    /// Branch-target-buffer entries.
+    pub btb_entries: usize,
+    /// Microarchitectural tweaks shared by baseline and ASBR runs.
+    pub tweaks: MicroTweaks,
+    /// ASBR customization; `None` runs the uncustomized baseline.
+    pub asbr: Option<AsbrSpec>,
+}
+
+impl RunSpec {
+    /// A baseline run: full-size BTB, no fetch customization.
+    #[must_use]
+    pub fn baseline(workload: Workload, predictor: PredictorKind, samples: usize) -> RunSpec {
+        RunSpec {
+            workload,
+            samples,
+            predictor,
+            btb_entries: BASELINE_BTB,
+            tweaks: MicroTweaks::default(),
+            asbr: None,
+        }
+    }
+
+    /// An ASBR-customized run with auxiliary predictor `aux` and the
+    /// paper's quarter-size BTB.
+    #[must_use]
+    pub fn asbr(workload: Workload, aux: PredictorKind, samples: usize) -> RunSpec {
+        RunSpec {
+            workload,
+            samples,
+            predictor: aux,
+            btb_entries: AUX_BTB,
+            tweaks: MicroTweaks::default(),
+            asbr: Some(AsbrSpec::default()),
+        }
+    }
+
+    /// Replaces the microarchitectural tweaks.
+    #[must_use]
+    pub fn with_tweaks(mut self, tweaks: MicroTweaks) -> RunSpec {
+        self.tweaks = tweaks;
+        self
+    }
+
+    /// Replaces the BTB capacity.
+    #[must_use]
+    pub fn with_btb(mut self, btb_entries: usize) -> RunSpec {
+        self.btb_entries = btb_entries;
+        self
+    }
+
+    /// Replaces the ASBR knobs (keeps the spec an ASBR run).
+    #[must_use]
+    pub fn with_asbr(mut self, asbr: AsbrSpec) -> RunSpec {
+        self.asbr = Some(asbr);
+        self
+    }
+
+    /// Whether the Sec. 5.1 hoisting scheduler runs before this spec.
+    #[must_use]
+    pub fn hoist(&self) -> bool {
+        self.asbr.is_some_and(|a| a.hoist)
+    }
+
+    /// The program this spec executes (hoisted when the spec says so).
+    #[must_use]
+    pub fn program(&self) -> Program {
+        let base = self.workload.program();
+        if self.hoist() {
+            hoist_predicates(&base).0
+        } else {
+            base
+        }
+    }
+
+    /// A short human label (`"ADPCM Encode/bi-512/asbr"`), used in
+    /// `BENCH_sweep.json` and progress output.
+    #[must_use]
+    pub fn label(&self) -> String {
+        let mode = if self.asbr.is_some() { "asbr" } else { "baseline" };
+        format!("{}/{}/{}", self.workload.name(), self.predictor.label(), mode)
+    }
+
+    /// Executes the spec directly: assemble, (profile + select for ASBR
+    /// specs), run, time. This is the single-run path behind the
+    /// `run_baseline*`/`run_asbr` shims; sweeps should prefer
+    /// [`crate::Executor`], which memoizes the shared prefix across specs
+    /// and consults the on-disk cache.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`SimError`] from profiling or the timed run.
+    pub fn execute(&self) -> Result<RunOutcome, SimError> {
+        let program = self.program();
+        let input = self.workload.input(self.samples);
+        let report = match self.asbr {
+            Some(_) => Some(profile(&program, &input, &[PROFILE_PREDICTOR])?),
+            None => None,
+        };
+        self.execute_prepared(&program, &input, report.as_ref())
+    }
+
+    /// Executes the spec against an already-assembled program, input
+    /// vector, and (for ASBR specs) profile report — the memoized shared
+    /// prefix of a sweep. `report` must come from profiling `program` on
+    /// `input` with [`PROFILE_PREDICTOR`]; pass `None` for baseline specs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`SimError`] from the timed run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an ASBR spec is given no profile report.
+    pub fn execute_prepared(
+        &self,
+        program: &Program,
+        input: &[i32],
+        report: Option<&ProfileReport>,
+    ) -> Result<RunOutcome, SimError> {
+        let started = Instant::now();
+        let cfg = self
+            .tweaks
+            .apply(PipelineConfig { btb_entries: self.btb_entries, ..PipelineConfig::default() });
+
+        let outcome = match self.asbr {
+            None => {
+                let mut pipe = Pipeline::new(cfg, self.predictor.build());
+                let summary = pipe.execute(program, input.iter().copied())?;
+                RunOutcome {
+                    summary,
+                    asbr: None,
+                    selected: Vec::new(),
+                    wall_nanos: nanos_since(started),
+                    cached: false,
+                }
+            }
+            Some(knobs) => {
+                let report = report.expect("ASBR specs need the profiled prefix");
+                let selected = select_branches(
+                    report,
+                    program,
+                    &SelectionConfig {
+                        bit_entries: knobs.bit_entries,
+                        threshold: knobs.publish.threshold(),
+                        ..SelectionConfig::default()
+                    },
+                );
+                let unit = AsbrUnit::for_branches(
+                    AsbrConfig {
+                        bit_entries: knobs.bit_entries,
+                        publish: knobs.publish,
+                        ..AsbrConfig::default()
+                    },
+                    program,
+                    &selected,
+                )
+                .expect("selected branches always build BIT entries");
+                let mut pipe = Pipeline::with_hooks(cfg, self.predictor.build(), unit);
+                let summary = pipe.execute(program, input.iter().copied())?;
+                let asbr = pipe.into_hooks().stats();
+                RunOutcome {
+                    summary,
+                    asbr: Some(asbr),
+                    selected,
+                    wall_nanos: nanos_since(started),
+                    cached: false,
+                }
+            }
+        };
+        Ok(outcome)
+    }
+}
+
+fn nanos_since(started: Instant) -> u64 {
+    u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// The single typed result of any run, baseline or ASBR.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunOutcome {
+    /// Pipeline counters and guest output.
+    pub summary: PipelineSummary,
+    /// Fold statistics from the ASBR unit (`None` for baseline runs).
+    pub asbr: Option<AsbrStats>,
+    /// Branch PCs installed in the BIT, best first (empty for baselines).
+    pub selected: Vec<u32>,
+    /// Wall-clock nanoseconds spent producing this outcome — the
+    /// simulation itself, or the cache load on a hit.
+    pub wall_nanos: u64,
+    /// Whether the outcome was served from the result cache (or deduped
+    /// against an identical spec in the same sweep).
+    pub cached: bool,
+}
+
+impl RunOutcome {
+    /// Simulated machine cycles.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.summary.stats.cycles
+    }
+
+    /// Total branches folded (0 for baseline runs).
+    #[must_use]
+    pub fn folds(&self) -> u64 {
+        self.asbr.map_or(0, |a| a.folds())
+    }
+
+    /// Fractional cycle improvement of `self` over `baseline`.
+    #[must_use]
+    pub fn improvement_over(&self, baseline: &RunOutcome) -> f64 {
+        1.0 - self.cycles() as f64 / baseline.cycles() as f64
+    }
+
+    /// Equality on everything the simulation determines — summary, fold
+    /// stats, selected PCs — ignoring wall-clock and cache provenance.
+    #[must_use]
+    pub fn same_result(&self, other: &RunOutcome) -> bool {
+        self.summary.stats == other.summary.stats
+            && self.summary.output == other.summary.output
+            && self.summary.halted == other.summary.halted
+            && self.asbr == other.asbr
+            && self.selected == other.selected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_spec_runs() {
+        let out = RunSpec::baseline(Workload::AdpcmEncode, PredictorKind::NotTaken, 60)
+            .execute()
+            .unwrap();
+        assert!(out.summary.halted);
+        assert!(out.summary.stats.retired > 1000);
+        assert!(out.asbr.is_none());
+        assert!(out.selected.is_empty());
+    }
+
+    #[test]
+    fn asbr_spec_folds_and_matches_reference() {
+        let w = Workload::AdpcmEncode;
+        let out = RunSpec::asbr(w, PredictorKind::NotTaken, 60).execute().unwrap();
+        assert!(!out.selected.is_empty());
+        assert!(out.folds() > 0, "{:?}", out.asbr);
+        assert_eq!(out.summary.output, w.reference_output(&w.input(60)));
+    }
+
+    #[test]
+    fn muldiv_zero_is_unrepresentable() {
+        // The old API clamped 0 to 1, aliasing two sweep settings; the
+        // constructor now rejects it and the type cannot hold it.
+        assert_eq!(MicroTweaks::muldiv(1, 1), MicroTweaks::default());
+        let t = MicroTweaks::muldiv(4, 16);
+        let cfg = t.apply(PipelineConfig::default());
+        assert_eq!((cfg.mul_latency, cfg.div_latency), (4, 16));
+    }
+
+    #[test]
+    #[should_panic(expected = "latency")]
+    fn muldiv_rejects_zero() {
+        let _ = MicroTweaks::muldiv(0, 1);
+    }
+}

@@ -257,6 +257,35 @@ impl<H: FetchHooks> Pipeline<H> {
         }
     }
 
+    /// Loads `program`, queues `input`, and runs until `halt` commits —
+    /// the one-call form of the `load`/`feed_input`/`run` sequence every
+    /// caller otherwise hand-sequences.
+    ///
+    /// ```
+    /// use asbr_asm::assemble;
+    /// use asbr_bpred::PredictorKind;
+    /// use asbr_sim::{Pipeline, PipelineConfig};
+    ///
+    /// let prog = assemble("main: halt")?;
+    /// let mut pipe = Pipeline::new(PipelineConfig::default(), PredictorKind::NotTaken.build());
+    /// let summary = pipe.execute(&prog, [])?;
+    /// assert!(summary.halted);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`SimError`] from the run.
+    pub fn execute(
+        &mut self,
+        program: &Program,
+        input: impl IntoIterator<Item = i32>,
+    ) -> Result<PipelineSummary, SimError> {
+        self.load(program);
+        self.feed_input(input);
+        self.run()
+    }
+
     /// Runs until `halt` commits.
     ///
     /// # Errors
@@ -697,8 +726,7 @@ mod tests {
                 PipelineConfig { max_cycles: 10_000_000, ..PipelineConfig::default() },
                 kind.build(),
             );
-            pipe.load(&prog);
-            let summary = pipe.run().expect("test program halts");
+            let summary = pipe.execute(&prog, []).expect("test program halts");
             (pipe, summary)
         }
 

@@ -32,7 +32,7 @@ pub struct Activity {
 /// Counters accumulated by one pipelined run — the raw material of the
 /// paper's Figure 6 (cycles / CPI / accuracy) and Figure 11 (cycles /
 /// improvement) tables.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct PipelineStats {
     /// Total machine cycles.
     pub cycles: u64,

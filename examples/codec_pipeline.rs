@@ -7,26 +7,37 @@
 //! ```
 
 use asbr_bpred::PredictorKind;
-use asbr_experiments::runner::{run_asbr, run_baseline, AsbrOptions};
+use asbr_experiments::runner::{Executor, RunSpec};
 use asbr_workloads::Workload;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let samples: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2000);
 
-    println!("{:<14} {:>12} {:>12} {:>7} {:>9} {:>8}", "workload", "baseline", "ASBR", "gain", "folds", "output");
-    for w in Workload::ALL {
-        let baseline = run_baseline(w, PredictorKind::Bimodal { entries: 2048 }, samples)?;
-        let asbr = run_asbr(w, PredictorKind::Bimodal { entries: 256 }, samples, AsbrOptions::default())?;
+    // One sweep batch: the executor shares each workload's program/input
+    // prefix between the baseline and ASBR runs and runs them in parallel.
+    let specs: Vec<RunSpec> = Workload::ALL
+        .into_iter()
+        .flat_map(|w| {
+            [
+                RunSpec::baseline(w, PredictorKind::Bimodal { entries: 2048 }, samples),
+                RunSpec::asbr(w, PredictorKind::Bimodal { entries: 256 }, samples),
+            ]
+        })
+        .collect();
+    let outcomes = Executor::new().run(&specs)?;
 
+    println!("{:<14} {:>12} {:>12} {:>7} {:>9} {:>8}", "workload", "baseline", "ASBR", "gain", "folds", "output");
+    for (w, pair) in Workload::ALL.into_iter().zip(outcomes.chunks_exact(2)) {
+        let (baseline, asbr) = (&pair[0], &pair[1]);
         let expect = w.reference_output(&w.input(samples));
         let ok = if asbr.summary.output == expect { "exact" } else { "MISMATCH" };
         println!(
             "{:<14} {:>12} {:>12} {:>6.1}% {:>9} {:>8}",
             w.name(),
-            baseline.stats.cycles,
-            asbr.summary.stats.cycles,
-            (1.0 - asbr.summary.stats.cycles as f64 / baseline.stats.cycles as f64) * 100.0,
-            asbr.asbr.folds(),
+            baseline.cycles(),
+            asbr.cycles(),
+            asbr.improvement_over(baseline) * 100.0,
+            asbr.folds(),
             ok,
         );
         assert_eq!(asbr.summary.output, expect, "{} output diverged", w.name());

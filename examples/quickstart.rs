@@ -32,8 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         PipelineConfig::default(),
         PredictorKind::Bimodal { entries: 2048 }.build(),
     );
-    baseline.load(&program);
-    let base = baseline.run()?;
+    let base = baseline.execute(&program, [])?;
 
     // ASBR: install the branch in a one-entry BIT and rerun with *no*
     // predictor at all.
@@ -42,8 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     unit.install(0, vec![entry])?;
     let mut custom =
         Pipeline::with_hooks(PipelineConfig::default(), PredictorKind::NotTaken.build(), unit);
-    custom.load(&program);
-    let run = custom.run()?;
+    let run = custom.execute(&program, [])?;
     let stats = custom.hooks().stats();
 
     println!("baseline (bimodal-2048): {:>9} cycles, CPI {:.3}", base.stats.cycles, base.stats.cpi());

@@ -62,9 +62,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         PipelineConfig { btb_entries: 512, ..PipelineConfig::default() },
         PredictorKind::Bimodal { entries: 512 }.build(),
     );
-    baseline.load(&program);
-    baseline.feed_input(input.iter().copied());
-    let base = baseline.run()?;
+    let base = baseline.execute(&program, input.iter().copied())?;
 
     assert_eq!(run.output, protocol_reference(&input), "parser output must be exact");
     println!(

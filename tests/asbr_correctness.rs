@@ -4,7 +4,7 @@
 //! reference codec's output while actually folding branches.
 
 use asbr_bpred::PredictorKind;
-use asbr_experiments::runner::{run_asbr, AsbrOptions};
+use asbr_experiments::runner::{AsbrSpec, RunSpec};
 use asbr_sim::PublishPoint;
 use asbr_workloads::Workload;
 
@@ -19,10 +19,11 @@ fn folding_never_changes_output_any_workload_any_aux() {
             PredictorKind::Bimodal { entries: 512 },
             PredictorKind::Bimodal { entries: 256 },
         ] {
-            let run = run_asbr(w, aux, SAMPLES, AsbrOptions::default())
+            let out = RunSpec::asbr(w, aux, SAMPLES)
+                .execute()
                 .unwrap_or_else(|e| panic!("{} under {:?}: {e}", w.name(), aux));
-            assert_eq!(run.summary.output, expect, "{} under {:?}", w.name(), aux);
-            assert!(run.asbr.folds() > 0, "{} under {:?} never folded", w.name(), aux);
+            assert_eq!(out.summary.output, expect, "{} under {:?}", w.name(), aux);
+            assert!(out.folds() > 0, "{} under {:?} never folded", w.name(), aux);
         }
     }
 }
@@ -32,14 +33,11 @@ fn folding_never_changes_output_across_publish_points() {
     let w = Workload::AdpcmEncode;
     let expect = w.reference_output(&w.input(SAMPLES));
     for publish in [PublishPoint::Execute, PublishPoint::Mem, PublishPoint::Commit] {
-        let run = run_asbr(
-            w,
-            PredictorKind::Bimodal { entries: 256 },
-            SAMPLES,
-            AsbrOptions { publish, ..AsbrOptions::default() },
-        )
-        .unwrap();
-        assert_eq!(run.summary.output, expect, "{publish:?}");
+        let out = RunSpec::asbr(w, PredictorKind::Bimodal { entries: 256 }, SAMPLES)
+            .with_asbr(AsbrSpec { publish, ..AsbrSpec::default() })
+            .execute()
+            .unwrap();
+        assert_eq!(out.summary.output, expect, "{publish:?}");
     }
 }
 
@@ -49,42 +47,40 @@ fn folded_branches_leave_the_pipeline() {
     // number of folds relative to the baseline (folded branches never
     // enter the pipe — the paper's power argument).
     let w = Workload::AdpcmEncode;
-    let run = run_asbr(w, PredictorKind::NotTaken, SAMPLES, AsbrOptions::default()).unwrap();
+    let spec = RunSpec::asbr(w, PredictorKind::NotTaken, SAMPLES);
+    let run = spec.execute().unwrap();
 
-    // Re-run the *same rescheduled program* without ASBR to compare
-    // retire counts fairly.
+    // Re-run the *same (possibly rescheduled) program* without ASBR to
+    // compare retire counts fairly.
     let mut base = asbr_sim::Pipeline::new(
         asbr_sim::PipelineConfig::default(),
         PredictorKind::NotTaken.build(),
     );
-    base.load(&run.program);
-    base.feed_input(w.input(SAMPLES));
-    let base_run = base.run().unwrap();
+    let base_run = base.execute(&spec.program(), w.input(SAMPLES)).unwrap();
 
-    assert_eq!(base_run.stats.retired, run.summary.stats.retired + run.asbr.folds());
+    assert_eq!(base_run.stats.retired, run.summary.stats.retired + run.folds());
 }
 
 #[test]
 fn selection_is_deterministic() {
     let w = Workload::G721Encode;
-    let a = run_asbr(w, PredictorKind::NotTaken, 80, AsbrOptions::default()).unwrap();
-    let b = run_asbr(w, PredictorKind::NotTaken, 80, AsbrOptions::default()).unwrap();
+    let spec = RunSpec::asbr(w, PredictorKind::NotTaken, 80);
+    let a = spec.execute().unwrap();
+    let b = spec.execute().unwrap();
     assert_eq!(a.selected, b.selected);
-    assert_eq!(a.summary.stats.cycles, b.summary.stats.cycles);
+    assert_eq!(a.cycles(), b.cycles());
     assert_eq!(a.asbr, b.asbr);
+    assert!(a.same_result(&b));
 }
 
 #[test]
 fn bit_respects_capacity() {
     let w = Workload::G721Encode;
     for cap in [1, 4, 16] {
-        let run = run_asbr(
-            w,
-            PredictorKind::NotTaken,
-            80,
-            AsbrOptions { bit_entries: cap, ..AsbrOptions::default() },
-        )
-        .unwrap();
-        assert!(run.selected.len() <= cap);
+        let out = RunSpec::asbr(w, PredictorKind::NotTaken, 80)
+            .with_asbr(AsbrSpec { bit_entries: cap, ..AsbrSpec::default() })
+            .execute()
+            .unwrap();
+        assert!(out.selected.len() <= cap);
     }
 }

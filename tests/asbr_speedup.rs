@@ -1,31 +1,34 @@
 //! The headline result (paper Figure 11): ASBR with a *quarter-size*
 //! predictor and BTB beats the full-size general-purpose baseline, and
 //! the paper's qualitative orderings hold.
+//!
+//! All runs go through one [`Executor`] batch, exercising the sweep
+//! engine's dedup and shared-prefix memoization on the way.
 
 use asbr_bpred::PredictorKind;
-use asbr_experiments::runner::{run_asbr, run_baseline, AsbrOptions};
+use asbr_experiments::runner::{Executor, RunSpec};
 use asbr_workloads::Workload;
 
 const SAMPLES: usize = 400;
 
+fn pair(w: Workload, baseline: PredictorKind, aux: PredictorKind) -> (u64, u64) {
+    let specs = [RunSpec::baseline(w, baseline, SAMPLES), RunSpec::asbr(w, aux, SAMPLES)];
+    let out = Executor::new().run(&specs).unwrap();
+    (out[0].cycles(), out[1].cycles())
+}
+
 #[test]
 fn asbr_with_small_bimodal_beats_big_baseline_bimodal_on_adpcm() {
     for w in [Workload::AdpcmEncode, Workload::AdpcmDecode] {
-        let baseline =
-            run_baseline(w, PredictorKind::Bimodal { entries: 2048 }, SAMPLES).unwrap();
-        let asbr = run_asbr(
+        let (base, asbr) = pair(
             w,
+            PredictorKind::Bimodal { entries: 2048 },
             PredictorKind::Bimodal { entries: 256 },
-            SAMPLES,
-            AsbrOptions::default(),
-        )
-        .unwrap();
+        );
         assert!(
-            asbr.summary.stats.cycles < baseline.stats.cycles,
-            "{}: asbr+bi-256 {} !< baseline bimodal-2048 {}",
+            asbr < base,
+            "{}: asbr+bi-256 {asbr} !< baseline bimodal-2048 {base}",
             w.name(),
-            asbr.summary.stats.cycles,
-            baseline.stats.cycles
         );
     }
 }
@@ -33,16 +36,8 @@ fn asbr_with_small_bimodal_beats_big_baseline_bimodal_on_adpcm() {
 #[test]
 fn asbr_improves_not_taken_on_every_workload() {
     for w in Workload::ALL {
-        let baseline = run_baseline(w, PredictorKind::NotTaken, SAMPLES).unwrap();
-        let asbr =
-            run_asbr(w, PredictorKind::NotTaken, SAMPLES, AsbrOptions::default()).unwrap();
-        assert!(
-            asbr.summary.stats.cycles <= baseline.stats.cycles,
-            "{}: {} > {}",
-            w.name(),
-            asbr.summary.stats.cycles,
-            baseline.stats.cycles
-        );
+        let (base, asbr) = pair(w, PredictorKind::NotTaken, PredictorKind::NotTaken);
+        assert!(asbr <= base, "{}: {asbr} > {base}", w.name());
     }
 }
 
@@ -51,21 +46,12 @@ fn adpcm_gains_more_than_g721_relatively() {
     // Paper: 16-22% on ADPCM vs 5-7% on G.721 — ADPCM is the more
     // control-dominated code, so its relative gain must be larger.
     let gain = |w: Workload| {
-        let base = run_baseline(w, PredictorKind::Bimodal { entries: 2048 }, SAMPLES)
-            .unwrap()
-            .stats
-            .cycles as f64;
-        let asbr = run_asbr(
+        let (base, asbr) = pair(
             w,
+            PredictorKind::Bimodal { entries: 2048 },
             PredictorKind::Bimodal { entries: 512 },
-            SAMPLES,
-            AsbrOptions::default(),
-        )
-        .unwrap()
-        .summary
-        .stats
-        .cycles as f64;
-        1.0 - asbr / base
+        );
+        1.0 - asbr as f64 / base as f64
     };
     let adpcm = gain(Workload::AdpcmEncode);
     let g721 = gain(Workload::G721Encode);
@@ -80,15 +66,11 @@ fn bi512_and_bi256_auxiliaries_are_nearly_indistinguishable() {
     // Paper Figure 11: the bi-512 and bi-256 rows differ by well under 1%
     // — the hard branches are folded, so the small predictor suffices.
     let w = Workload::AdpcmEncode;
-    let a = run_asbr(w, PredictorKind::Bimodal { entries: 512 }, SAMPLES, AsbrOptions::default())
-        .unwrap()
-        .summary
-        .stats
-        .cycles as f64;
-    let b = run_asbr(w, PredictorKind::Bimodal { entries: 256 }, SAMPLES, AsbrOptions::default())
-        .unwrap()
-        .summary
-        .stats
-        .cycles as f64;
+    let specs = [
+        RunSpec::asbr(w, PredictorKind::Bimodal { entries: 512 }, SAMPLES),
+        RunSpec::asbr(w, PredictorKind::Bimodal { entries: 256 }, SAMPLES),
+    ];
+    let out = Executor::new().run(&specs).unwrap();
+    let (a, b) = (out[0].cycles() as f64, out[1].cycles() as f64);
     assert!((a - b).abs() / a < 0.02, "bi-512 {a} vs bi-256 {b}");
 }

@@ -2,7 +2,7 @@
 //! across the full cross product of microarchitectural knobs.
 
 use asbr_bpred::PredictorKind;
-use asbr_experiments::runner::{run_asbr, AsbrOptions, MicroTweaks};
+use asbr_experiments::runner::{AsbrSpec, Executor, MicroTweaks, RunSpec};
 use asbr_sim::PublishPoint;
 use asbr_workloads::Workload;
 
@@ -11,27 +11,27 @@ fn adpcm_encode_exact_across_the_knob_matrix() {
     let w = Workload::AdpcmEncode;
     let samples = 120;
     let expect = w.reference_output(&w.input(samples));
+    let mut specs = Vec::new();
     for publish in [PublishPoint::Execute, PublishPoint::Mem, PublishPoint::Commit] {
         for mul_latency in [1u32, 6] {
             for ras_entries in [0usize, 4] {
                 for bit_entries in [1usize, 16] {
-                    let opts = AsbrOptions {
-                        publish,
-                        bit_entries,
-                        tweaks: MicroTweaks {
-                            mul_latency,
-                            div_latency: mul_latency * 3,
-                            ras_entries,
-                            ..MicroTweaks::default()
-                        },
-                        ..AsbrOptions::default()
+                    let tweaks = MicroTweaks {
+                        ras_entries,
+                        ..MicroTweaks::muldiv(mul_latency, mul_latency * 3)
                     };
-                    let run = run_asbr(w, PredictorKind::Bimodal { entries: 128 }, samples, opts)
-                        .unwrap_or_else(|e| panic!("{opts:?}: {e}"));
-                    assert_eq!(run.summary.output, expect, "{opts:?}");
+                    specs.push(
+                        RunSpec::asbr(w, PredictorKind::Bimodal { entries: 128 }, samples)
+                            .with_tweaks(tweaks)
+                            .with_asbr(AsbrSpec { publish, bit_entries, ..AsbrSpec::default() }),
+                    );
                 }
             }
         }
+    }
+    let outcomes = Executor::new().run(&specs).unwrap();
+    for (spec, out) in specs.iter().zip(&outcomes) {
+        assert_eq!(out.summary.output, expect, "{spec:?}");
     }
 }
 
@@ -42,13 +42,14 @@ fn g721_decode_exact_across_publish_points_and_latency() {
     let expect = w.reference_output(&w.input(samples));
     for publish in [PublishPoint::Execute, PublishPoint::Commit] {
         for mul_latency in [1u32, 8] {
-            let opts = AsbrOptions {
-                publish,
-                tweaks: MicroTweaks { mul_latency, div_latency: 20, ras_entries: 8, ..MicroTweaks::default() },
-                ..AsbrOptions::default()
-            };
-            let run = run_asbr(w, PredictorKind::NotTaken, samples, opts).unwrap();
-            assert_eq!(run.summary.output, expect, "{opts:?}");
+            let spec = RunSpec::asbr(w, PredictorKind::NotTaken, samples)
+                .with_tweaks(MicroTweaks {
+                    ras_entries: 8,
+                    ..MicroTweaks::muldiv(mul_latency, 20)
+                })
+                .with_asbr(AsbrSpec { publish, ..AsbrSpec::default() });
+            let run = spec.execute().unwrap();
+            assert_eq!(run.summary.output, expect, "{spec:?}");
         }
     }
 }

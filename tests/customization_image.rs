@@ -24,9 +24,7 @@ fn image_round_trip_preserves_run_behaviour_on_every_workload() {
                 PredictorKind::Bimodal { entries: 256 }.build(),
                 unit,
             );
-            pipe.load(&program);
-            pipe.feed_input(input.iter().copied());
-            let s = pipe.run().unwrap();
+            let s = pipe.execute(&program, input.iter().copied()).unwrap();
             (s.output, s.stats.cycles, pipe.into_hooks().stats())
         };
 

@@ -105,8 +105,7 @@ proptest! {
             PredictorKind::NotTaken
         };
         let mut pipe = Pipeline::with_hooks(PipelineConfig::default(), aux.build(), unit);
-        pipe.load(&prog);
-        let run = pipe.run().expect("pipeline halts");
+        let run = pipe.execute(&prog, []).expect("pipeline halts");
 
         for r in Reg::all() {
             prop_assert_eq!(

@@ -19,9 +19,7 @@ fn functional(w: Workload, input: &[i32]) -> (Vec<i32>, u64) {
 
 fn pipelined(w: Workload, input: &[i32], kind: PredictorKind) -> (Vec<i32>, u64) {
     let mut pipe = Pipeline::new(PipelineConfig::default(), kind.build());
-    pipe.load(&w.program());
-    pipe.feed_input(input.iter().copied());
-    let run = pipe.run().expect("pipelined run halts");
+    let run = pipe.execute(&w.program(), input.iter().copied()).expect("pipelined run halts");
     (run.output, run.stats.retired)
 }
 
@@ -55,9 +53,7 @@ fn predictor_choice_never_changes_results_only_cycles() {
     let mut outputs = Vec::new();
     for kind in PredictorKind::BASELINES {
         let mut pipe = Pipeline::new(PipelineConfig::default(), kind.build());
-        pipe.load(&w.program());
-        pipe.feed_input(input.iter().copied());
-        let run = pipe.run().unwrap();
+        let run = pipe.execute(&w.program(), input.iter().copied()).unwrap();
         cycle_counts.push(run.stats.cycles);
         outputs.push(run.output);
     }

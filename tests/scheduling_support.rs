@@ -3,7 +3,7 @@
 //! folding.
 
 use asbr_bpred::PredictorKind;
-use asbr_experiments::runner::{run_asbr, AsbrOptions};
+use asbr_experiments::runner::{AsbrSpec, RunSpec};
 use asbr_flow::schedule::hoist_predicates;
 use asbr_flow::candidates;
 use asbr_sim::Interp;
@@ -47,26 +47,17 @@ fn hoisting_never_shrinks_static_distances() {
 #[test]
 fn scheduling_does_not_reduce_folds() {
     for w in [Workload::AdpcmEncode, Workload::G721Encode] {
-        let with = run_asbr(
-            w,
-            PredictorKind::NotTaken,
-            150,
-            AsbrOptions { hoist: true, ..AsbrOptions::default() },
-        )
-        .unwrap();
-        let without = run_asbr(
-            w,
-            PredictorKind::NotTaken,
-            150,
-            AsbrOptions { hoist: false, ..AsbrOptions::default() },
-        )
-        .unwrap();
+        let with = RunSpec::asbr(w, PredictorKind::NotTaken, 150)
+            .with_asbr(AsbrSpec { hoist: true, ..AsbrSpec::default() })
+            .execute()
+            .unwrap();
+        let without = RunSpec::asbr(w, PredictorKind::NotTaken, 150).execute().unwrap();
         assert!(
-            with.asbr.folds() * 100 >= without.asbr.folds() * 95,
+            with.folds() * 100 >= without.folds() * 95,
             "{}: scheduled {} vs unscheduled {}",
             w.name(),
-            with.asbr.folds(),
-            without.asbr.folds()
+            with.folds(),
+            without.folds()
         );
     }
 }
