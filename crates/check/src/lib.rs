@@ -31,7 +31,8 @@ use asbr_flow::Cfg;
 
 pub use dataflow::{DefSite, Liveness, ReachingDefs};
 pub use prover::{
-    branch_is_provable, min_def_distance, prove_bit, prove_entry, FoldProof, FoldViolation,
+    branch_is_installable, branch_is_provable, min_def_distance, prove_bit, prove_entry,
+    FoldProof, FoldViolation,
 };
 pub use report::{Diagnostic, Report, Severity};
 pub use schedule_check::{validate_schedule, ScheduleViolation};

@@ -232,13 +232,37 @@ pub fn prove_bit(
     (proofs, violations)
 }
 
-/// Whether the branch at `pc` is statically provable at `threshold` —
-/// the gate `asbr_profile::select_branches` applies before installing a
-/// profiled branch.
+/// Whether the branch at `pc` is statically provable at `threshold`:
+/// installable *and* its predicate is far enough from every definition on
+/// every static path (ASBR02). This is the strongest guarantee — an entry
+/// passing it folds successfully on every dynamic execution — and is what
+/// `asbr-lint` and the customization-image verifier report.
+///
+/// Note this is *not* the selection gate: the BDT validity counter blocks
+/// unsound folds dynamically, so `asbr_profile::select_branches` requires
+/// only [`branch_is_installable`] and treats the every-path distance as a
+/// profitability signal (via the profiled dynamic fold fraction), not a
+/// soundness one.
 #[must_use]
 pub fn branch_is_provable(program: &Program, cfg: &Cfg, pc: u32, threshold: u32) -> bool {
     BitEntry::from_program(program, pc)
         .is_ok_and(|e| prove_entry(program, cfg, &e, threshold).is_ok())
+}
+
+/// Whether a BIT entry for the branch at `pc` can be soundly *installed*:
+/// the address decodes inside the text segment (ASBR03) and the extracted
+/// entry matches the program image (ASBR01).
+///
+/// Installation soundness is all `select_branches` needs — folding an
+/// installed entry is dynamically guarded by the BDT validity counter
+/// (a fetch with the predicate's writer still in flight simply declines
+/// to fold), so a branch whose predicate is *sometimes* too close to its
+/// definition is still safe to install and profitable whenever the hot
+/// paths keep the definition far away.
+#[must_use]
+pub fn branch_is_installable(program: &Program, cfg: &Cfg, pc: u32) -> bool {
+    cfg.index_of(pc).is_some()
+        && BitEntry::from_program(program, pc).is_ok_and(|e| e.consistent_with(program))
 }
 
 #[cfg(test)]

@@ -11,7 +11,17 @@
 //!   --asbr-static          customize via static selection
 //!   --predictor <name>     nottaken|bimodal|gshare|tournament (default bimodal)
 //!   --trace <n>            print a pipeline diagram for the first n cycles
+//! asbr_tool trace <workload> [options]        run a benchmark with the structured
+//!                                             trace sink; write Chrome trace JSON
+//!   --samples <n>          input samples (default 400)
+//!   --out <path>           output path (default trace.json)
+//!   --interval <n>         cycles between counter snapshots (default 1000)
+//!   --asbr                 profile + customize (bi-512 auxiliary, quarter BTB),
+//!                          instead of the bimodal-2048 baseline
 //! ```
+//!
+//! Workload names for `trace` match the benchmark names of the tables
+//! ignoring case and punctuation: `adpcm-encode`, `g721-decode`, ….
 
 use std::fs;
 use std::process::ExitCode;
@@ -20,7 +30,10 @@ use asbr_asm::{assemble, Program};
 use asbr_bpred::PredictorKind;
 use asbr_core::{decode_image, encode_image, AsbrConfig, AsbrUnit};
 use asbr_flow::{call_aware_depths, candidates, select_static, Cfg};
-use asbr_sim::{Pipeline, PipelineConfig, PublishPoint};
+use asbr_harness::{AUX_BTB, PROFILE_PREDICTOR, SAMPLES_SMOKE};
+use asbr_profile::{profile, select_branches, SelectionConfig};
+use asbr_sim::{ChromeTracer, CycleBucket, Pipeline, PipelineConfig, PublishPoint};
+use asbr_workloads::Workload;
 
 fn load_program(path: &str) -> Result<Program, String> {
     let src = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -164,11 +177,14 @@ fn cmd_run(path: &str, opts: &RunOpts) -> Result<(), String> {
         }
     };
 
+    let cpi = summary.stats.cpi();
     println!(
-        "{} cycles, {} instructions, CPI {:.3}, branch accuracy {:.1}%",
+        "{} cycles, {} instructions, CPI {}, branch accuracy {:.1}%",
         summary.stats.cycles,
         summary.stats.retired,
-        summary.stats.cpi(),
+        // `cpi()` is NaN when nothing retired; print that honestly
+        // instead of a garbage number.
+        if cpi.is_nan() { "n/a".to_owned() } else { format!("{cpi:.3}") },
         summary.stats.accuracy() * 100.0
     );
     if let Some(folds) = folds {
@@ -176,6 +192,79 @@ fn cmd_run(path: &str, opts: &RunOpts) -> Result<(), String> {
     }
     if !summary.output.is_empty() {
         println!("output: {:?}", summary.output);
+    }
+    Ok(())
+}
+
+struct TraceOpts {
+    samples: usize,
+    out: String,
+    interval: u64,
+    asbr: bool,
+}
+
+fn resolve_workload(name: &str) -> Result<Workload, String> {
+    let norm = |s: &str| -> String {
+        s.chars().filter(char::is_ascii_alphanumeric).collect::<String>().to_lowercase()
+    };
+    Workload::ALL.into_iter().find(|w| norm(w.name()) == norm(name)).ok_or_else(|| {
+        let known: Vec<String> =
+            Workload::ALL.iter().map(|w| norm(w.name())).collect();
+        format!("unknown workload `{name}`; known: {}", known.join(", "))
+    })
+}
+
+fn cmd_trace(name: &str, opts: &TraceOpts) -> Result<(), String> {
+    let w = resolve_workload(name)?;
+    let program = w.program();
+    let input = w.input(opts.samples);
+    let tracer = ChromeTracer::new(opts.interval);
+    let summary = if opts.asbr {
+        // Mirror the headline Figure 11 configuration: profile-driven
+        // selection, bi-512 auxiliary, quarter-size BTB.
+        let report =
+            profile(&program, &input, &[PROFILE_PREDICTOR]).map_err(|e| e.to_string())?;
+        let selected = select_branches(
+            &report,
+            &program,
+            &SelectionConfig {
+                threshold: PublishPoint::Mem.threshold(),
+                ..SelectionConfig::default()
+            },
+        );
+        let unit = AsbrUnit::for_branches(AsbrConfig::default(), &program, &selected)?;
+        let cfg = PipelineConfig { btb_entries: AUX_BTB, ..PipelineConfig::default() };
+        let mut pipe =
+            Pipeline::with_hooks(cfg, PredictorKind::Bimodal { entries: 512 }.build(), unit);
+        pipe.set_tracer(Box::new(tracer.clone()));
+        pipe.execute(&program, input.iter().copied()).map_err(|e| e.to_string())?
+    } else {
+        let mut pipe = Pipeline::new(
+            PipelineConfig::default(),
+            PredictorKind::Bimodal { entries: 2048 }.build(),
+        );
+        pipe.set_tracer(Box::new(tracer.clone()));
+        pipe.execute(&program, input.iter().copied()).map_err(|e| e.to_string())?
+    };
+    let totals = tracer.bucket_totals();
+    let observed: u64 = totals.iter().sum();
+    if observed != summary.stats.cycles {
+        return Err(format!(
+            "trace sink saw {observed} cycles but the pipeline ran {}",
+            summary.stats.cycles
+        ));
+    }
+    fs::write(&opts.out, tracer.to_json())
+        .map_err(|e| format!("cannot write {}: {e}", opts.out))?;
+    println!(
+        "{}: {} cycles, {} trace events -> {}",
+        w.name(),
+        summary.stats.cycles,
+        tracer.event_count(),
+        opts.out
+    );
+    for (b, n) in CycleBucket::ALL.iter().zip(totals) {
+        println!("  {:<14} {n}", b.name());
     }
     Ok(())
 }
@@ -192,6 +281,7 @@ fn parse_predictor(name: &str) -> Result<PredictorKind, String> {
 
 fn usage() -> String {
     "usage: asbr_tool <asm|analyze|lint|customize|run> <file.s> [options]\n\
+     \x20      asbr_tool trace <workload> [--samples n] [--out path] [--interval n] [--asbr]\n\
      see the module docs (src/bin/asbr_tool.rs) for options"
         .to_owned()
 }
@@ -255,6 +345,42 @@ fn real_main() -> Result<(), String> {
                 i += 1;
             }
             cmd_run(file, &opts)
+        }
+        "trace" => {
+            let mut opts = TraceOpts {
+                samples: SAMPLES_SMOKE,
+                out: "trace.json".to_owned(),
+                interval: asbr_sim::DEFAULT_TRACE_INTERVAL,
+                asbr: false,
+            };
+            let mut i = 2;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--samples" => {
+                        i += 1;
+                        opts.samples = args
+                            .get(i)
+                            .and_then(|s| s.parse().ok())
+                            .ok_or("bad --samples count")?;
+                    }
+                    "--out" => {
+                        i += 1;
+                        opts.out =
+                            args.get(i).ok_or("missing path after --out")?.clone();
+                    }
+                    "--interval" => {
+                        i += 1;
+                        opts.interval = args
+                            .get(i)
+                            .and_then(|s| s.parse().ok())
+                            .ok_or("bad --interval count")?;
+                    }
+                    "--asbr" => opts.asbr = true,
+                    other => return Err(format!("unknown option `{other}`")),
+                }
+                i += 1;
+            }
+            cmd_trace(file, &opts)
         }
         _ => Err(usage()),
     }

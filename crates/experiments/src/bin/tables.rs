@@ -4,10 +4,13 @@
 //! cargo run --release -p asbr-experiments --bin tables [-- <which> [samples] [flags]]
 //! ```
 //!
-//! `which` ∈ {fig6, fig7, fig9, fig10, fig11, motivation, sweep,
-//! ablation-bit, ablation-threshold, ablation-sched, ablation-aux,
+//! `which` ∈ {fig6, fig7, fig9, fig10, fig11, attribution, motivation,
+//! sweep, ablation-bit, ablation-threshold, ablation-sched, ablation-aux,
 //! ablation-banks, all} (default `all`). `samples` overrides the input
-//! scale (default 24000).
+//! scale (default 24000). `--attribution` is an alias for the
+//! `attribution` subcommand, which decomposes the headline baseline →
+//! ASBR cycle deltas into the named per-cycle buckets (see
+//! `docs/observability.md`).
 //!
 //! Flags: `--no-cache` disables the on-disk result cache (default:
 //! enabled under `results/cache/`), `--refresh` ignores existing entries
@@ -24,10 +27,10 @@ use std::fs;
 use std::time::Instant;
 
 use asbr_bpred::PredictorKind;
-use asbr_experiments::runner::{
-    AsbrOptions, CacheMode, Executor, ResultCache, SweepBench, SAMPLES_FULL,
+use asbr_experiments::runner::{CacheMode, Executor, ResultCache, SweepBench, SAMPLES_FULL};
+use asbr_experiments::{
+    ablation, attribution, branch_tables, costs, fig11, fig6, motivation, scope,
 };
-use asbr_experiments::{ablation, branch_tables, costs, fig11, fig6, motivation, scope};
 use asbr_workloads::Workload;
 use serde::Serialize;
 
@@ -56,6 +59,7 @@ fn main() {
     let mut it = raw.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "--attribution" => positional.insert(0, "attribution".to_owned()),
             "--no-cache" => cache = CacheMode::Disabled,
             "--refresh" => cache = CacheMode::Refresh(ResultCache::default_root()),
             "--threads" => {
@@ -92,7 +96,7 @@ fn main() {
     };
     let run_fig11 = || {
         section("Figure 11: application-specific branch resolution results");
-        let rows = fig11::table_with(&executor, samples, AsbrOptions::default())
+        let rows = fig11::table_with(&executor, samples, fig11::Config::default())
             .expect("fig11 runs");
         println!("{}", fig11::render(&rows));
         println!(
@@ -102,10 +106,20 @@ fn main() {
     };
 
     match which {
+        "attribution" => {
+            section("Attribution: baseline -> ASBR cycle delta by bucket");
+            let rows = attribution::table_with(&executor, samples).expect("attribution runs");
+            print!("{}", attribution::render(&rows));
+            println!(
+                "(bimodal-2048 baseline vs ASBR with bi-512 auxiliary; per-branch savings sum \
+                 to ΔUseful + ΔBranchFlush by construction)"
+            );
+            save_json("attribution", &rows);
+        }
         "sweep" => {
             section("Sweep: Figure 6 + Figure 11 through the parallel cached engine");
             let mut specs = fig6::matrix(samples, &PredictorKind::BASELINES).specs();
-            specs.extend(fig11::matrix(samples, AsbrOptions::default()).specs());
+            specs.extend(fig11::matrix(samples, fig11::Config::default()).specs());
             let sweep_started = Instant::now();
             let outcomes = executor.run(&specs).expect("sweep runs");
             let total = sweep_started.elapsed();

@@ -147,4 +147,24 @@ mod tests {
         assert!(s.contains("br0"));
         assert!(s.contains("gshare"));
     }
+
+    #[test]
+    fn adpcm_encode_selection_is_pinned() {
+        // Regression pin for the selection gate: with installability (not
+        // the every-path static distance proof) as the eligibility test,
+        // ADPCM encode's three perfectly-foldable hot branches are
+        // selected. 0x102c in particular has one rare static path with
+        // def→branch distance 0 — the old `branch_is_provable` gate
+        // wrongly hard-rejected it even though its profiled dynamic fold
+        // fraction is 1.0 (the BDT validity counter covers the rare
+        // path at run time).
+        let t = table(Workload::AdpcmEncode, 300, 16).unwrap();
+        let mut pcs: Vec<u32> = t.rows.iter().map(|r| r.pc).collect();
+        pcs.sort_unstable();
+        assert_eq!(pcs, vec![0x102c, 0x1094, 0x10fc], "selected-branch set drifted");
+        // Every pick earned its slot: hot and almost always foldable.
+        for r in &t.rows {
+            assert!(r.exec >= 300, "all three sit on the per-sample hot path: {}", r.exec);
+        }
+    }
 }

@@ -15,7 +15,7 @@ use asbr_bpred::PredictorKind;
 use asbr_sim::SimError;
 use asbr_workloads::Workload;
 
-use crate::runner::{AsbrOptions, AsbrSpec, Executor, RunMatrix};
+use crate::runner::{AsbrSpec, Executor, MicroTweaks, RunMatrix, AUX_BTB};
 use crate::tablefmt::{thousands, Table};
 
 /// The auxiliary predictors of Figure 11, paired with the baseline each is
@@ -47,22 +47,39 @@ pub struct Row {
     pub selected: usize,
 }
 
+/// Configuration of the Figure 11 sweep: the ASBR knobs plus the two
+/// machine parameters that ride alongside a [`crate::runner::RunSpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Config {
+    /// ASBR unit knobs (publish point, BIT capacity, hoisting).
+    pub knobs: AsbrSpec,
+    /// BTB size for the auxiliary predictor (`None` = the paper's
+    /// quarter-size [`AUX_BTB`]).
+    pub btb_entries: Option<usize>,
+    /// Shared microarchitectural tweaks.
+    pub tweaks: MicroTweaks,
+}
+
+impl Config {
+    fn btb(&self) -> usize {
+        self.btb_entries.unwrap_or(AUX_BTB)
+    }
+}
+
 /// The sweep matrix behind Figure 11: per auxiliary, one same-class
 /// baseline arm and one ASBR arm over every benchmark. The duplicate
 /// bimodal-2048 baseline arms collapse in the executor's dedup layer.
 #[must_use]
-pub fn matrix(samples: usize, opts: AsbrOptions) -> RunMatrix {
-    let knobs =
-        AsbrSpec { publish: opts.publish, bit_entries: opts.bit_entries, hoist: opts.hoist };
+pub fn matrix(samples: usize, cfg: Config) -> RunMatrix {
     let mut m = RunMatrix::new()
         .all_workloads()
         .samples(samples)
-        .tweaks_axis([opts.tweaks]);
+        .tweaks_axis([cfg.tweaks]);
     for (_, baseline) in AUXILIARIES {
         m = m.baseline(baseline);
     }
     for (aux, _) in AUXILIARIES {
-        m = m.asbr_with_btb(aux, knobs, opts.btb_entries);
+        m = m.asbr_with_btb(aux, cfg.knobs, cfg.btb());
     }
     m
 }
@@ -72,8 +89,8 @@ pub fn matrix(samples: usize, opts: AsbrOptions) -> RunMatrix {
 /// # Errors
 ///
 /// Propagates any [`SimError`] from the underlying runs.
-pub fn table(samples: usize, opts: AsbrOptions) -> Result<Vec<Row>, SimError> {
-    table_with(&Executor::new(), samples, opts)
+pub fn table(samples: usize, cfg: Config) -> Result<Vec<Row>, SimError> {
+    table_with(&Executor::new(), samples, cfg)
 }
 
 /// [`table`] on a caller-configured executor (threads, result cache).
@@ -84,9 +101,9 @@ pub fn table(samples: usize, opts: AsbrOptions) -> Result<Vec<Row>, SimError> {
 pub fn table_with(
     executor: &Executor,
     samples: usize,
-    opts: AsbrOptions,
+    cfg: Config,
 ) -> Result<Vec<Row>, SimError> {
-    let outcomes = matrix(samples, opts).run(executor)?;
+    let outcomes = matrix(samples, cfg).run(executor)?;
     let workloads = Workload::ALL.len();
     let mut rows = Vec::with_capacity(workloads * AUXILIARIES.len());
     // Matrix order is arm-major, workload-minor: baselines occupy the
@@ -141,7 +158,7 @@ mod tests {
 
     #[test]
     fn asbr_improves_over_each_baseline_class() {
-        let rows = table(250, AsbrOptions::default()).unwrap();
+        let rows = table(250, Config::default()).unwrap();
         assert_eq!(rows.len(), 12);
         for r in &rows {
             assert!(r.folds > 0, "{} {} never folded", r.workload, r.aux);

@@ -108,7 +108,12 @@ pub fn render(rows: &[Row]) -> String {
                 .find(|r| r.workload == w.name() && r.predictor == label)
                 .expect("complete table");
             cells.push(thousands(row.cycles));
-            cells.push(format!("{:.2}", row.cpi));
+            // `cpi` is NaN when a run retired nothing.
+            cells.push(if row.cpi.is_finite() {
+                format!("{:.2}", row.cpi)
+            } else {
+                "n/a".to_owned()
+            });
             cells.push(format!("{:.0}%", row.accuracy * 100.0));
         }
         t.row(cells);

@@ -15,8 +15,9 @@
 //! Experiments describe runs as [`harness::RunSpec`] values (re-exported
 //! through [`runner`]), fan sweeps out with [`harness::RunMatrix`], and
 //! execute them on the parallel, cached [`harness::Executor`] — see
-//! `docs/harness.md`. The [`runner`] module keeps the pre-sweep free
-//! functions as documented shims for one release.
+//! `docs/harness.md`. The [`attribution`] module decomposes the headline
+//! baseline → ASBR cycle deltas into the named per-cycle buckets of
+//! [`asbr_sim::CycleAttribution`] — see `docs/observability.md`.
 //!
 //! # Examples
 //!
@@ -33,6 +34,7 @@
 pub use asbr_harness as harness;
 
 pub mod ablation;
+pub mod attribution;
 pub mod branch_tables;
 pub mod costs;
 pub mod fig11;

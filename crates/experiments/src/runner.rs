@@ -1,4 +1,4 @@
-//! Run machinery, now a thin compatibility layer over [`asbr_harness`].
+//! Run machinery, re-exported from [`asbr_harness`].
 //!
 //! The experiment engine lives in the `asbr-harness` crate: [`RunSpec`]
 //! describes one run, [`RunMatrix`] fans specs over sweep axes, and
@@ -7,181 +7,13 @@
 //! `asbr_experiments::runner` remains the one import path experiments
 //! use.
 //!
-//! The pre-sweep free functions ([`run_baseline`], [`run_baseline_with`],
-//! [`run_asbr`]) and the [`AsbrOptions`]/[`AsbrRun`] shapes are kept as
-//! documented shims for one release; new code should build a [`RunSpec`]
-//! and call [`RunSpec::execute`] (or sweep with an [`Executor`]).
-
-use asbr_bpred::PredictorKind;
-use asbr_core::AsbrStats;
-use asbr_sim::{PipelineSummary, PublishPoint, SimError};
-use asbr_workloads::Workload;
+//! The pre-sweep free functions (`run_baseline`, `run_baseline_with`,
+//! `run_asbr`) and the `AsbrOptions`/`AsbrRun` shapes were deprecated
+//! shims for one release and have been removed; build a [`RunSpec`] and
+//! call [`RunSpec::execute`] (or sweep with an [`Executor`]).
 
 pub use asbr_asm::Program;
 pub use asbr_harness::{
     AsbrSpec, BenchEntry, CacheMode, Executor, MicroTweaks, ResultCache, RunMatrix, RunOutcome,
     RunSpec, SweepBench, AUX_BTB, BASELINE_BTB, PROFILE_PREDICTOR, SAMPLES_FULL, SAMPLES_SMOKE,
 };
-
-/// ASBR experiment knobs — the pre-`RunSpec` bundle, kept as a shim for
-/// one release.
-///
-/// The five fields split across the redesigned API: `publish`,
-/// `bit_entries` and `hoist` became [`AsbrSpec`]; `btb_entries` and
-/// `tweaks` live directly on [`RunSpec`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct AsbrOptions {
-    /// Publish point (threshold) of the early condition evaluation.
-    pub publish: PublishPoint,
-    /// Branch Identification Table capacity.
-    pub bit_entries: usize,
-    /// Apply the Sec. 5.1 predicate-hoisting scheduler before profiling
-    /// and running (see [`AsbrSpec::hoist`] for why this defaults off).
-    pub hoist: bool,
-    /// BTB size for the auxiliary predictor.
-    pub btb_entries: usize,
-    /// Shared microarchitectural tweaks.
-    pub tweaks: MicroTweaks,
-}
-
-impl Default for AsbrOptions {
-    fn default() -> AsbrOptions {
-        AsbrOptions {
-            publish: PublishPoint::Mem,
-            bit_entries: 16,
-            hoist: false,
-            btb_entries: AUX_BTB,
-            tweaks: MicroTweaks::default(),
-        }
-    }
-}
-
-impl AsbrOptions {
-    /// The equivalent redesigned spec.
-    #[must_use]
-    pub fn spec(&self, workload: Workload, aux: PredictorKind, samples: usize) -> RunSpec {
-        RunSpec::asbr(workload, aux, samples)
-            .with_asbr(AsbrSpec {
-                publish: self.publish,
-                bit_entries: self.bit_entries,
-                hoist: self.hoist,
-            })
-            .with_btb(self.btb_entries)
-            .with_tweaks(self.tweaks)
-    }
-}
-
-/// Result of an ASBR-customized run — the pre-[`RunOutcome`] shape, kept
-/// as a shim for one release.
-#[derive(Debug, Clone)]
-pub struct AsbrRun {
-    /// Pipeline counters and guest output.
-    pub summary: PipelineSummary,
-    /// Fold statistics from the ASBR unit.
-    pub asbr: AsbrStats,
-    /// Branch PCs installed in the BIT, best first.
-    pub selected: Vec<u32>,
-    /// The (possibly rescheduled) program that ran.
-    pub program: Program,
-}
-
-/// Runs `workload` on the baseline pipeline with `kind` predicting and the
-/// full-size BTB.
-///
-/// # Errors
-///
-/// Propagates any [`SimError`] from the run.
-#[deprecated(note = "build a `RunSpec::baseline(..)` and call `.execute()`")]
-pub fn run_baseline(
-    workload: Workload,
-    kind: PredictorKind,
-    samples: usize,
-) -> Result<PipelineSummary, SimError> {
-    Ok(RunSpec::baseline(workload, kind, samples).execute()?.summary)
-}
-
-/// [`run_baseline`] with explicit microarchitectural tweaks.
-///
-/// # Errors
-///
-/// Propagates any [`SimError`] from the run.
-#[deprecated(note = "build a `RunSpec::baseline(..).with_tweaks(..)` and call `.execute()`")]
-pub fn run_baseline_with(
-    workload: Workload,
-    kind: PredictorKind,
-    samples: usize,
-    tweaks: MicroTweaks,
-) -> Result<PipelineSummary, SimError> {
-    Ok(RunSpec::baseline(workload, kind, samples).with_tweaks(tweaks).execute()?.summary)
-}
-
-/// Prepares the program (optional hoisting), profiles it, selects BIT
-/// branches, and runs the ASBR-customized pipeline with the auxiliary
-/// predictor `aux`.
-///
-/// # Errors
-///
-/// Propagates any [`SimError`] from the profiling or timed run.
-#[deprecated(note = "build a `RunSpec::asbr(..)` and call `.execute()`")]
-pub fn run_asbr(
-    workload: Workload,
-    aux: PredictorKind,
-    samples: usize,
-    opts: AsbrOptions,
-) -> Result<AsbrRun, SimError> {
-    let spec = opts.spec(workload, aux, samples);
-    let out = spec.execute()?;
-    Ok(AsbrRun {
-        summary: out.summary,
-        asbr: out.asbr.expect("ASBR specs always produce fold stats"),
-        selected: out.selected,
-        program: spec.program(),
-    })
-}
-
-#[cfg(test)]
-#[allow(deprecated)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn baseline_shim_matches_spec_path() {
-        let s = run_baseline(Workload::AdpcmEncode, PredictorKind::NotTaken, 60).unwrap();
-        let spec = RunSpec::baseline(Workload::AdpcmEncode, PredictorKind::NotTaken, 60);
-        assert_eq!(s, spec.execute().unwrap().summary);
-        assert!(s.halted);
-        assert!(s.stats.retired > 1000);
-    }
-
-    #[test]
-    fn asbr_shim_matches_spec_path() {
-        let w = Workload::AdpcmEncode;
-        let r = run_asbr(w, PredictorKind::NotTaken, 60, AsbrOptions::default()).unwrap();
-        assert!(!r.selected.is_empty());
-        assert!(r.asbr.folds() > 0, "{:?}", r.asbr);
-        assert_eq!(r.summary.output, w.reference_output(&w.input(60)));
-
-        let out = RunSpec::asbr(w, PredictorKind::NotTaken, 60).execute().unwrap();
-        assert_eq!(r.summary.stats, out.summary.stats);
-        assert_eq!(r.selected, out.selected);
-        assert_eq!(Some(r.asbr), out.asbr);
-    }
-
-    #[test]
-    fn options_map_onto_spec_fields() {
-        let opts = AsbrOptions {
-            publish: PublishPoint::Commit,
-            bit_entries: 8,
-            hoist: true,
-            btb_entries: 128,
-            tweaks: MicroTweaks::muldiv(4, 16),
-        };
-        let spec = opts.spec(Workload::G721Decode, PredictorKind::NotTaken, 10);
-        let knobs = spec.asbr.unwrap();
-        assert_eq!(knobs.publish, PublishPoint::Commit);
-        assert_eq!(knobs.bit_entries, 8);
-        assert!(knobs.hoist);
-        assert_eq!(spec.btb_entries, 128);
-        assert_eq!(spec.tweaks, MicroTweaks::muldiv(4, 16));
-    }
-}

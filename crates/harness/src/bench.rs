@@ -6,26 +6,32 @@
 //!
 //! ```json
 //! {
-//!   "schema": "asbr-sweep-bench-v1",
+//!   "schema": "asbr-sweep-bench-v2",
 //!   "threads": 8,
 //!   "wall_nanos_total": 123456789,
 //!   "cache_hits": 12,
 //!   "cache_misses": 12,
 //!   "runs": [ { "label": "...", "workload": "...", "predictor": "...",
 //!               "asbr": true, "samples": 400, "cycles": 100, "folds": 3,
-//!               "wall_nanos": 42, "cached": false }, ... ]
+//!               "wall_nanos": 42, "cached": false,
+//!               "attribution": { "useful": 80, "fill_drain": 4, ... } }, ... ]
 //! }
 //! ```
+//!
+//! The `attribution` object carries one key per [`CycleBucket`] (in
+//! [`CycleBucket::ALL`] order); the values partition `cycles` exactly.
 
 use std::fs;
 use std::io;
 use std::path::Path;
 use std::time::Duration;
 
+use asbr_sim::{CycleBucket, NUM_BUCKETS};
+
 use crate::spec::{RunOutcome, RunSpec};
 
-/// Schema tag written into the JSON.
-pub const BENCH_SCHEMA: &str = "asbr-sweep-bench-v1";
+/// Schema tag written into the JSON. v2 adds per-run `attribution`.
+pub const BENCH_SCHEMA: &str = "asbr-sweep-bench-v2";
 
 /// One run's record in the sweep benchmark.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -49,6 +55,9 @@ pub struct BenchEntry {
     pub wall_nanos: u64,
     /// Whether the outcome came from the cache / in-sweep dedup.
     pub cached: bool,
+    /// Per-bucket cycle attribution, in [`CycleBucket::ALL`] order; the
+    /// counts partition `cycles` exactly.
+    pub attribution: [u64; NUM_BUCKETS],
 }
 
 /// The whole sweep's benchmark: per-run records plus totals.
@@ -89,6 +98,7 @@ impl SweepBench {
                 folds: out.folds(),
                 wall_nanos: out.wall_nanos,
                 cached: out.cached,
+                attribution: out.summary.stats.attribution.buckets(),
             })
             .collect();
         SweepBench {
@@ -123,10 +133,17 @@ impl SweepBench {
         s.push_str("  \"runs\": [");
         for (i, r) in self.runs.iter().enumerate() {
             s.push_str(if i == 0 { "\n" } else { ",\n" });
+            let mut attr = String::with_capacity(NUM_BUCKETS * 24);
+            for (bi, b) in CycleBucket::ALL.iter().enumerate() {
+                if bi > 0 {
+                    attr.push_str(", ");
+                }
+                attr.push_str(&format!("{}: {}", json_str(b.name()), r.attribution[bi]));
+            }
             s.push_str(&format!(
                 "    {{ \"label\": {}, \"workload\": {}, \"predictor\": {}, \
                  \"asbr\": {}, \"samples\": {}, \"cycles\": {}, \"folds\": {}, \
-                 \"wall_nanos\": {}, \"cached\": {} }}",
+                 \"wall_nanos\": {}, \"cached\": {}, \"attribution\": {{ {} }} }}",
                 json_str(&r.label),
                 json_str(&r.workload),
                 json_str(&r.predictor),
@@ -136,6 +153,7 @@ impl SweepBench {
                 r.folds,
                 r.wall_nanos,
                 r.cached,
+                attr,
             ));
         }
         s.push_str("\n  ]\n}\n");
@@ -193,10 +211,16 @@ mod tests {
         assert_eq!(bench.cache_hits(), 1);
         assert_eq!(bench.cache_misses(), 1);
         let json = bench.to_json();
-        assert!(json.contains("\"schema\": \"asbr-sweep-bench-v1\""));
+        assert!(json.contains("\"schema\": \"asbr-sweep-bench-v2\""));
         assert!(json.contains("\"cache_hits\": 1"));
         assert!(json.contains("\"asbr\": true"));
         assert_eq!(json.matches("\"label\"").count(), 2);
+        assert_eq!(json.matches("\"attribution\"").count(), 2);
+        assert!(json.contains("\"useful\": "));
+        // Buckets must partition cycles in the serialized record too.
+        for (r, out) in bench.runs.iter().zip(&outcomes) {
+            assert_eq!(r.attribution.iter().sum::<u64>(), out.cycles());
+        }
     }
 
     #[test]

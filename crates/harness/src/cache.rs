@@ -24,14 +24,17 @@ use std::path::{Path, PathBuf};
 use asbr_asm::Program;
 use asbr_bpred::{AccuracyTracker, BranchRecord};
 use asbr_core::AsbrStats;
-use asbr_sim::{PipelineSummary, PublishPoint};
+use asbr_sim::{BranchSite, CycleAttribution, PipelineSummary, PublishPoint, NUM_BUCKETS};
 
 use crate::hash::Sha256;
 use crate::spec::{RunOutcome, RunSpec};
 
 /// Bumped whenever the key derivation or entry format changes; old
 /// entries then miss instead of deserializing garbage.
-pub const CACHE_FORMAT: &str = "asbr-run-cache v1";
+///
+/// v2: adds the `attribution` bucket line and per-branch-site `site`
+/// lines (cycle attribution travels with the cached outcome).
+pub const CACHE_FORMAT: &str = "asbr-run-cache v2";
 
 /// Handle to a cache root directory.
 #[derive(Debug, Clone)]
@@ -177,6 +180,18 @@ fn render_entry(key: &str, label: &str, o: &RunOutcome) -> String {
         a.predictor_lookups,
         a.predictor_updates,
     ));
+    let mut attr = String::from("attribution");
+    for count in s.attribution.buckets() {
+        attr.push(' ');
+        attr.push_str(&count.to_string());
+    }
+    line(attr);
+    for (&pc, site) in s.attribution.sites() {
+        line(format!(
+            "site {pc} {} {} {} {}",
+            site.flushes, site.flush_cycles, site.folds, site.retired
+        ));
+    }
     let mut records: Vec<(u32, BranchRecord)> = s.branches.iter().map(|(pc, &r)| (pc, r)).collect();
     records.sort_by_key(|&(pc, _)| pc);
     for (pc, r) in records {
@@ -216,6 +231,8 @@ fn parse_entry(text: &str, want_key: &str) -> Option<RunOutcome> {
         halted: false,
     };
     let mut records: Vec<(u32, BranchRecord)> = Vec::new();
+    let mut buckets = [0u64; NUM_BUCKETS];
+    let mut sites = std::collections::BTreeMap::new();
     let mut asbr = None;
     let mut selected = Vec::new();
     let mut complete = false;
@@ -259,6 +276,23 @@ fn parse_entry(text: &str, want_key: &str) -> Option<RunOutcome> {
                     a.predictor_updates,
                 ] = v[..].try_into().ok()?;
             }
+            "attribution" => {
+                let v = nums::<u64>(rest, NUM_BUCKETS)?;
+                buckets = v[..].try_into().ok()?;
+            }
+            "site" => {
+                let v = nums::<u64>(rest, 5)?;
+                let pc = u32::try_from(v[0]).ok()?;
+                sites.insert(
+                    pc,
+                    BranchSite {
+                        flushes: v[1],
+                        flush_cycles: v[2],
+                        folds: v[3],
+                        retired: v[4],
+                    },
+                );
+            }
             "branch" => {
                 let v = nums::<u64>(rest, 4)?;
                 let pc = u32::try_from(v[0]).ok()?;
@@ -284,6 +318,7 @@ fn parse_entry(text: &str, want_key: &str) -> Option<RunOutcome> {
         return None;
     }
     summary.stats.branches = AccuracyTracker::from_records(records);
+    summary.stats.attribution = CycleAttribution::from_parts(buckets, sites);
     Some(RunOutcome { summary, asbr, selected, wall_nanos: 0, cached: true })
 }
 

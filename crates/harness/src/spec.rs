@@ -229,10 +229,9 @@ impl RunSpec {
     }
 
     /// Executes the spec directly: assemble, (profile + select for ASBR
-    /// specs), run, time. This is the single-run path behind the
-    /// `run_baseline*`/`run_asbr` shims; sweeps should prefer
-    /// [`crate::Executor`], which memoizes the shared prefix across specs
-    /// and consults the on-disk cache.
+    /// specs), run, time. This is the single-run path; sweeps should
+    /// prefer [`crate::Executor`], which memoizes the shared prefix
+    /// across specs and consults the on-disk cache.
     ///
     /// # Errors
     ///

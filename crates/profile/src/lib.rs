@@ -245,14 +245,19 @@ impl Default for SelectionConfig {
 /// Picks the BIT branches: frequently executed, hard to predict, and
 /// foldable at the configured threshold (paper Sec. 6).
 ///
-/// Only branches that pass the `asbr-check` fold-soundness prover are
-/// eligible: a [`asbr_core::BitEntry`] must be statically buildable *and* the
-/// predicate's minimum static def→branch distance must meet the
-/// threshold on every incoming CFG path
-/// ([`asbr_check::branch_is_provable`]). Profiling observes one input's
-/// dynamic distances; the proof covers all of them, so an installed entry
-/// can never fold an unpublished predicate on a different input. Returns
-/// the selected branch PCs, best first.
+/// Eligibility is *installability* ([`asbr_check::branch_is_installable`]):
+/// a [`asbr_core::BitEntry`] must be statically extractable from a
+/// decodable text location and consistent with the program image. It is
+/// **not** the every-path static distance proof
+/// ([`asbr_check::branch_is_provable`]) — soundness at run time is
+/// guaranteed dynamically by the BDT validity counter (a fetch whose
+/// predicate writer is still in flight declines to fold), so a branch
+/// whose predicate is occasionally defined too close to it is still safe
+/// to install. The static-distance property remains available through
+/// `asbr-lint` as the strict "always folds" certificate; here the
+/// profiled dynamic fold fraction (`min_fold_fraction`) is the
+/// profitability filter that keeps rarely-foldable branches out of the
+/// BIT. Returns the selected branch PCs, best first.
 #[must_use]
 pub fn select_branches(
     report: &ProfileReport,
@@ -272,7 +277,7 @@ pub fn select_branches(
         .branches()
         .iter()
         .filter(|b| b.zero_compare && b.exec >= exec_floor)
-        .filter(|b| asbr_check::branch_is_provable(program, &graph, b.pc, cfg.threshold))
+        .filter(|b| asbr_check::branch_is_installable(program, &graph, b.pc))
         .filter_map(|b| {
             let foldable = b.foldable_execs(cfg.threshold);
             let fraction = foldable as f64 / b.exec as f64;

@@ -8,6 +8,8 @@
 
 use asbr_isa::{Instr, Reg};
 
+use crate::stats::CycleBucket;
+
 /// Pipeline point at which a computed register value is *published* to the
 /// early-condition-evaluation logic (paper, Sec. 5.2).
 ///
@@ -98,6 +100,41 @@ pub trait FetchHooks {
 
     /// A `ctrlw` wrote `value` to control register `ctrl`.
     fn note_ctrl_write(&mut self, ctrl: u8, value: u32);
+}
+
+/// Observation-side extension of the fetch-customization seam: a trace
+/// sink the pipeline drives with structured per-cycle events.
+///
+/// Where [`FetchHooks`] lets a unit *change* the machine (fold branches,
+/// track writers), `TraceHooks` only *watches* it: the pipeline reports
+/// the bucket every cycle was attributed to, plus retire/fold/flush
+/// events. All methods default to no-ops so a sink implements only what
+/// it consumes. Attach one with `Pipeline::set_tracer`; the built-in
+/// [`crate::ChromeTracer`] renders the stream as Chrome-trace-event JSON.
+pub trait TraceHooks {
+    /// Cycle `cycle` was attributed to `bucket`; `origin_pc` is the
+    /// instruction that caused it (the retired instruction for useful
+    /// cycles, the stalling/flushing instruction for bubbles, 0 for
+    /// fill/drain).
+    fn on_cycle(&mut self, cycle: u64, bucket: CycleBucket, origin_pc: u32) {
+        let _ = (cycle, bucket, origin_pc);
+    }
+
+    /// The instruction at `pc` retired at `cycle`.
+    fn on_retire(&mut self, cycle: u64, pc: u32) {
+        let _ = (cycle, pc);
+    }
+
+    /// The branch at `pc` was folded at fetch in `cycle`.
+    fn on_fold(&mut self, cycle: u64, pc: u32, taken: bool) {
+        let _ = (cycle, pc, taken);
+    }
+
+    /// The instruction at `pc` flushed the front end at `cycle`
+    /// (`indirect` distinguishes `jr`/`jalr` from conditional branches).
+    fn on_flush(&mut self, cycle: u64, pc: u32, indirect: bool) {
+        let _ = (cycle, pc, indirect);
+    }
 }
 
 /// The uncustomized baseline: never folds, ignores all notifications.

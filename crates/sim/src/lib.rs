@@ -50,10 +50,12 @@ mod interp;
 mod pipeline;
 mod snapshot;
 mod stats;
+mod trace;
 
 pub use error::SimError;
-pub use hooks::{FetchHooks, Folded, NullHooks, PublishPoint};
+pub use hooks::{FetchHooks, Folded, NullHooks, PublishPoint, TraceHooks};
 pub use interp::{Interp, Observer, RunSummary};
 pub use pipeline::{Pipeline, PipelineConfig, PipelineSummary};
 pub use snapshot::{PipeSnapshot, StageView};
-pub use stats::{Activity, PipelineStats};
+pub use stats::{Activity, BranchSite, CycleAttribution, CycleBucket, PipelineStats, NUM_BUCKETS};
+pub use trace::{ChromeTracer, DEFAULT_INTERVAL as DEFAULT_TRACE_INTERVAL};

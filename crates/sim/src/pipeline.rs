@@ -31,8 +31,8 @@ use asbr_isa::{Instr, Reg, INSTR_BYTES};
 use asbr_mem::{MemSystem, MemSystemConfig};
 
 use crate::exec::{execute, extend_load, ControlEffect, ExecEffect};
-use crate::hooks::{FetchHooks, NullHooks, PublishPoint};
-use crate::stats::PipelineStats;
+use crate::hooks::{FetchHooks, NullHooks, PublishPoint, TraceHooks};
+use crate::stats::{CycleBucket, PipelineStats};
 use crate::SimError;
 
 /// Pipeline configuration.
@@ -97,6 +97,21 @@ struct Slot {
     value: Option<(Reg, u32)>,
 }
 
+/// A wrong-path resolution in EX: where fetch restarts, and which
+/// instruction (and kind) caused it — the flush bubbles it creates are
+/// attributed back to this origin.
+struct Redirect {
+    target: u32,
+    pc: u32,
+    indirect: bool,
+}
+
+/// A bubble tag: the cause a latch's emptiness is attributed to, plus the
+/// PC of the instruction that created the bubble (0 for fill/drain).
+type Gap = (CycleBucket, u32);
+
+const GAP_FILL: Gap = (CycleBucket::FillDrain, 0);
+
 impl Slot {
     fn new(pc: u32, instr: Instr) -> Slot {
         Slot {
@@ -135,9 +150,19 @@ pub struct Pipeline<H: FetchHooks = NullHooks> {
     mem_hold: Option<(Slot, u32)>,
     mem_wb: Option<Slot>,
 
+    // Bubble tags shadowing the latches: when a latch is left empty for
+    // the next consumer, the matching gap records why. Bubbles flow
+    // downstream with the pipeline; WB charges each one to its bucket,
+    // so every cycle lands in exactly one attribution bucket.
+    gap_if_id: Gap,
+    gap_id_ex: Gap,
+    gap_ex_mem: Gap,
+    gap_mem_wb: Gap,
+
     halted: bool,
     halt_fetched: bool,
     stats: PipelineStats,
+    tracer: Option<Box<dyn TraceHooks>>,
 }
 
 impl Pipeline<NullHooks> {
@@ -178,10 +203,26 @@ impl<H: FetchHooks> Pipeline<H> {
             ex_mem: None,
             mem_hold: None,
             mem_wb: None,
+            gap_if_id: GAP_FILL,
+            gap_id_ex: GAP_FILL,
+            gap_ex_mem: GAP_FILL,
+            gap_mem_wb: GAP_FILL,
             halted: false,
             halt_fetched: false,
             stats: PipelineStats::default(),
+            tracer: None,
         }
+    }
+
+    /// Attaches a trace sink receiving per-cycle attribution and
+    /// retire/fold/flush events (see [`TraceHooks`]).
+    pub fn set_tracer(&mut self, tracer: Box<dyn TraceHooks>) {
+        self.tracer = Some(tracer);
+    }
+
+    /// Detaches and returns the trace sink, if one was attached.
+    pub fn take_tracer(&mut self) -> Option<Box<dyn TraceHooks>> {
+        self.tracer.take()
     }
 
     /// Loads `program` and points fetch at its entry.
@@ -317,7 +358,13 @@ impl<H: FetchHooks> Pipeline<H> {
         }
         self.stats.cycles += 1;
 
+        // WB runs first and charges this cycle to exactly one attribution
+        // bucket: useful on a retire, the bubble's recorded cause
+        // otherwise. Every return path below goes through it exactly
+        // once, which is what makes `sum(buckets) == cycles` structural.
         self.stage_wb();
+        debug_assert_eq!(self.stats.attribution.total(), self.stats.cycles);
+        debug_assert_eq!(self.stats.attribution.get(CycleBucket::Useful), self.stats.retired);
         if self.halted {
             return Ok(());
         }
@@ -326,6 +373,7 @@ impl<H: FetchHooks> Pipeline<H> {
         // next slot from EX.
         if let Some((slot, remaining)) = self.mem_hold.take() {
             self.stats.dcache_stall_cycles += 1;
+            self.gap_mem_wb = (CycleBucket::DcacheStall, slot.pc);
             if remaining > 1 {
                 self.mem_hold = Some((slot, remaining - 1));
             } else {
@@ -338,11 +386,19 @@ impl<H: FetchHooks> Pipeline<H> {
             return Ok(()); // miss detected this cycle: freeze upstream
         }
 
-        if let Some(redirect) = self.stage_ex() {
+        if let Some(r) = self.stage_ex() {
             // Wrong-path fetch: squash the decode slot and any fetch in
-            // flight, swallow this cycle's fetch. Two slots lost.
+            // flight, swallow this cycle's fetch. Two slots lost, both
+            // attributed to the resolving instruction.
             self.squash_if_id_and_fetch();
-            self.pc = redirect;
+            let bucket =
+                if r.indirect { CycleBucket::IndirectFlush } else { CycleBucket::BranchFlush };
+            self.gap_if_id = (bucket, r.pc);
+            self.gap_id_ex = (bucket, r.pc);
+            if let Some(t) = self.tracer.as_mut() {
+                t.on_flush(self.stats.cycles, r.pc, r.indirect);
+            }
+            self.pc = r.target;
             self.halt_fetched = false;
             return Ok(());
         }
@@ -362,8 +418,28 @@ impl<H: FetchHooks> Pipeline<H> {
     // Stages
     // ------------------------------------------------------------------
 
+    /// Charges the current cycle to `bucket` (per-cycle attribution plus
+    /// the optional trace sink).
+    fn charge(&mut self, bucket: CycleBucket, origin_pc: u32) {
+        self.stats.attribution.charge(bucket, origin_pc);
+        if let Some(t) = self.tracer.as_mut() {
+            t.on_cycle(self.stats.cycles, bucket, origin_pc);
+        }
+    }
+
     fn stage_wb(&mut self) {
-        let Some(slot) = self.mem_wb.take() else { return };
+        let Some(slot) = self.mem_wb.take() else {
+            let (bucket, origin) = self.gap_mem_wb;
+            self.charge(bucket, origin);
+            return;
+        };
+        self.charge(CycleBucket::Useful, slot.pc);
+        if slot.instr.branch().is_some() {
+            self.stats.attribution.note_branch_retire(slot.pc);
+        }
+        if let Some(t) = self.tracer.as_mut() {
+            t.on_retire(self.stats.cycles, slot.pc);
+        }
         if let Some((r, v)) = slot.value {
             if !r.is_zero() {
                 self.regs[usize::from(r)] = v;
@@ -384,7 +460,11 @@ impl<H: FetchHooks> Pipeline<H> {
     /// Returns `true` when a D-cache miss started this cycle (upstream
     /// must freeze).
     fn stage_mem(&mut self) -> Result<bool, SimError> {
-        let Some(mut slot) = self.ex_mem.take() else { return Ok(false) };
+        let Some(mut slot) = self.ex_mem.take() else {
+            // Bubble flows from EX/MEM into MEM/WB, cause unchanged.
+            self.gap_mem_wb = self.gap_ex_mem;
+            return Ok(false);
+        };
         let fx = slot.fx.expect("EX ran before MEM");
         if fx.mem.is_some() {
             self.stats.activity.mem_ops += 1;
@@ -409,6 +489,11 @@ impl<H: FetchHooks> Pipeline<H> {
                 access.penalty
             };
             if penalty > 0 {
+                // The refill freezes EX/ID/IF: both the bubble entering
+                // MEM/WB and the one EX cannot refill behind us are the
+                // miss's fault.
+                self.gap_mem_wb = (CycleBucket::DcacheStall, slot.pc);
+                self.gap_ex_mem = (CycleBucket::DcacheStall, slot.pc);
                 self.mem_hold = Some((slot, penalty));
                 return Ok(true);
             }
@@ -448,21 +533,27 @@ impl<H: FetchHooks> Pipeline<H> {
     }
 
     /// Executes the instruction in ID/EX (or drains a multi-cycle EX
-    /// operation). Returns a redirect target on a wrong-path fetch.
-    fn stage_ex(&mut self) -> Option<u32> {
+    /// operation). Returns a redirect on a wrong-path fetch.
+    fn stage_ex(&mut self) -> Option<Redirect> {
         if let Some((slot, remaining)) = self.ex_hold.take() {
             self.stats.ex_stall_cycles += 1;
             if remaining > 1 {
+                self.gap_ex_mem = (CycleBucket::ExOccupancy, slot.pc);
                 self.ex_hold = Some((slot, remaining - 1));
                 return None;
             }
             return self.finish_ex(slot);
         }
-        let slot = self.id_ex.take()?;
+        let Some(slot) = self.id_ex.take() else {
+            // Bubble flows from ID/EX into EX/MEM, cause unchanged.
+            self.gap_ex_mem = self.gap_id_ex;
+            return None;
+        };
         let latency = self.ex_latency(slot.instr);
         if latency > 1 {
             // The operation occupies EX for `latency` cycles; its result
             // is produced on the last one.
+            self.gap_ex_mem = (CycleBucket::ExOccupancy, slot.pc);
             self.ex_hold = Some((slot, latency - 1));
             return None;
         }
@@ -470,7 +561,7 @@ impl<H: FetchHooks> Pipeline<H> {
     }
 
     /// Completes the execute stage for `slot`.
-    fn finish_ex(&mut self, slot: Slot) -> Option<u32> {
+    fn finish_ex(&mut self, slot: Slot) -> Option<Redirect> {
         let mut slot = slot;
 
         // Operand forwarding: the 1-ahead instruction's result was just
@@ -513,7 +604,9 @@ impl<H: FetchHooks> Pipeline<H> {
                     }
                     if actual_next != slot.assumed_next {
                         self.stats.branch_flushes += 1;
-                        redirect = Some(actual_next);
+                        self.stats.attribution.note_flush(slot.pc);
+                        redirect =
+                            Some(Redirect { target: actual_next, pc: slot.pc, indirect: false });
                     }
                 }
                 ControlEffect::Jump { .. } => {
@@ -521,7 +614,8 @@ impl<H: FetchHooks> Pipeline<H> {
                     // equals the target); indirect jumps resolve here.
                     if actual_next != slot.assumed_next {
                         self.stats.indirect_flushes += 1;
-                        redirect = Some(actual_next);
+                        redirect =
+                            Some(Redirect { target: actual_next, pc: slot.pc, indirect: true });
                     }
                 }
             }
@@ -546,7 +640,11 @@ impl<H: FetchHooks> Pipeline<H> {
         if self.id_ex.is_some() {
             return None; // EX is draining a multi-cycle operation
         }
-        let slot = self.if_id.take()?;
+        let Some(slot) = self.if_id.take() else {
+            // Bubble flows from IF/ID into ID/EX, cause unchanged.
+            self.gap_id_ex = self.gap_if_id;
+            return None;
+        };
 
         // Load-use interlock: the instruction one ahead (now in EX/MEM)
         // is a load producing a register we read.
@@ -556,6 +654,7 @@ impl<H: FetchHooks> Pipeline<H> {
                     let srcs = slot.instr.srcs();
                     if srcs.iter().flatten().any(|&s| s == dst) {
                         self.stats.load_use_stalls += 1;
+                        self.gap_id_ex = (CycleBucket::LoadUse, slot.pc);
                         self.if_id = Some(slot);
                         return None;
                     }
@@ -570,6 +669,9 @@ impl<H: FetchHooks> Pipeline<H> {
             if target != slot.assumed_next {
                 slot.assumed_next = target;
                 self.stats.jump_redirects += 1;
+                // Fetch is squashed and skipped this cycle: the slot it
+                // would have delivered is the jump's bubble.
+                self.gap_if_id = (CycleBucket::JumpRedirect, slot.pc);
                 redirect = Some(target);
             }
         }
@@ -587,12 +689,21 @@ impl<H: FetchHooks> Pipeline<H> {
             if delay == 0 && self.if_id.is_none() {
                 self.if_id = Some(slot);
             } else {
+                if self.if_id.is_none() {
+                    // Still refilling with decode hungry: the empty slot
+                    // is the refill's fault.
+                    self.gap_if_id = (CycleBucket::IcacheStall, slot.pc);
+                }
                 self.fetching = Some((slot, delay));
             }
             return Ok(());
         }
-        if self.if_id.is_some() || self.halt_fetched {
-            return Ok(()); // decode is stalled, or fetch has drained
+        if self.if_id.is_some() {
+            return Ok(()); // decode is stalled; nothing to refill
+        }
+        if self.halt_fetched {
+            self.gap_if_id = GAP_FILL; // fetch has drained behind `halt`
+            return Ok(());
         }
 
         let pc = self.pc;
@@ -607,6 +718,10 @@ impl<H: FetchHooks> Pipeline<H> {
             // The branch is folded out: its replacement enters the pipe in
             // its place and fetch continues past it with certainty.
             self.stats.folded_branches += 1;
+            self.stats.attribution.note_fold(pc);
+            if let Some(t) = self.tracer.as_mut() {
+                t.on_fold(self.stats.cycles, pc, folded.taken);
+            }
             slot = Slot::new(folded.replacement_pc, folded.replacement);
             slot.assumed_next = folded.next_pc;
             if folded.replacement.branch().is_some() {
@@ -658,6 +773,9 @@ impl<H: FetchHooks> Pipeline<H> {
         self.pc = slot.assumed_next;
 
         if access.penalty > 0 {
+            // The word is not ready this cycle; decode sees a bubble
+            // charged to the missing fetch.
+            self.gap_if_id = (CycleBucket::IcacheStall, pc);
             self.fetching = Some((slot, access.penalty));
         } else {
             self.if_id = Some(slot);
@@ -805,10 +923,18 @@ mod tests {
         ";
         let (_, t) = run_pipe(taken, PredictorKind::NotTaken);
         assert_eq!(t.stats.branch_flushes, 1);
-        // 5 committed instrs; flush adds exactly 2 cycles over the ideal
-        // fill+drain. Ideal for n instrs = n + 4; here n = 4 (nop is
-        // skipped), +2 flush.
+        // The flush costs exactly two slots, and the attribution charges
+        // exactly those two cycles to the branch-flush bucket (and to the
+        // mispredicting branch's site).
         assert_eq!(t.stats.retired, 4);
+        let a = &t.stats.attribution;
+        assert_eq!(a.get(CycleBucket::BranchFlush), 2);
+        assert_eq!(a.site_flush_cycles(), 2);
+        let (&pc, site) = a.sites().iter().next().unwrap();
+        assert_eq!(site.flushes, 1);
+        assert_eq!(site.flush_cycles, 2);
+        assert_eq!(pc, 0x1004, "the bnez is the second instruction");
+        // The old ad-hoc identity, now derived from disjoint buckets.
         assert_eq!(t.stats.cycles, 4 + 4 + 2 + i_cache_cold_cycles(&t));
     }
 
@@ -875,8 +1001,14 @@ mod tests {
         let (pipe, s) = run_pipe(prog, PredictorKind::NotTaken);
         assert_eq!(pipe.reg(Reg::V0), 4);
         assert_eq!(s.stats.load_use_stalls, 0);
-        // No hazards: cycles = retired + 4 (drain) + cold icache.
-        assert_eq!(s.stats.cycles, s.stats.retired + 4 + s.stats.icache_stall_cycles);
+        // No hazards: every cycle is useful, fill/drain, or cold-icache.
+        let a = &s.stats.attribution;
+        assert_eq!(a.get(CycleBucket::Useful), s.stats.retired);
+        assert_eq!(a.get(CycleBucket::FillDrain), 4);
+        assert_eq!(a.get(CycleBucket::IcacheStall), s.stats.icache_stall_cycles);
+        assert_eq!(a.get(CycleBucket::LoadUse), 0);
+        assert_eq!(a.get(CycleBucket::BranchFlush), 0);
+        assert_eq!(a.total(), s.stats.cycles);
     }
 
     #[test]
@@ -1120,6 +1252,92 @@ mod tests {
     }
 
     #[test]
+    fn attribution_partitions_every_cycle() {
+        let memory_heavy = "
+            main:   la  r5, buf
+                    li  r4, 16
+            loop:   lw  r2, 0(r5)
+                    addi r2, r2, 1
+                    addi r5, r5, 32
+                    addi r4, r4, -1
+                    bnez r4, loop
+                    halt
+            .data
+            buf:    .space 1024
+        ";
+        for (src, kind) in [
+            (COUNTDOWN, PredictorKind::NotTaken),
+            (COUNTDOWN, PredictorKind::Bimodal { entries: 64 }),
+            (memory_heavy, PredictorKind::NotTaken),
+            (memory_heavy, PredictorKind::Bimodal { entries: 64 }),
+        ] {
+            let (_, s) = run_pipe(src, kind);
+            let a = &s.stats.attribution;
+            // The buckets partition cycles exactly — this is the identity
+            // the scalar event counters cannot provide.
+            assert_eq!(a.total(), s.stats.cycles, "buckets must sum to cycles");
+            assert_eq!(a.get(CycleBucket::Useful), s.stats.retired);
+            // Branch-flush cycles reconcile with the per-site records and
+            // with the AccuracyTracker's mispredict count.
+            assert_eq!(a.site_flush_cycles(), a.get(CycleBucket::BranchFlush));
+            // Flush events reconcile exactly with the per-site records
+            // (note: flushes can exceed direction mispredicts — a
+            // correctly-predicted taken branch still flushes on a BTB
+            // miss, so the AccuracyTracker is not the comparison point).
+            let site_flushes: u64 = a.sites().values().map(|b| b.flushes).sum();
+            assert_eq!(site_flushes, s.stats.branch_flushes);
+        }
+    }
+
+    #[test]
+    fn flush_overlapping_refill_is_not_double_counted() {
+        // The taken bnez sits at the end of a 32-byte I-cache line with a
+        // 4-cycle multiply ahead of it in EX, so the doomed fall-through
+        // fetch (0x1020, a cold line) is still refilling when the flush
+        // lands. The refill cycles accrue in `icache_stall_cycles` but
+        // those same machine cycles are EX-occupancy bubbles: the naive
+        // event-sum identity double-counts them, the attribution does not.
+        let src = "
+            main:   li  r4, 1
+                    nop
+                    nop
+                    nop
+                    nop
+                    nop
+                    mul r5, r4, r4
+            br:     bnez r4, over
+                    nop
+            over:   li  r2, 2
+                    halt
+        ";
+        let prog = assemble(src).expect("assembles");
+        let mut pipe = Pipeline::new(
+            PipelineConfig { mul_latency: 4, ..PipelineConfig::default() },
+            PredictorKind::NotTaken.build(),
+        );
+        let s = pipe.execute(&prog, []).expect("halts");
+        assert_eq!(s.stats.branch_flushes, 1);
+        let a = &s.stats.attribution;
+        assert_eq!(a.total(), s.stats.cycles);
+        assert_eq!(a.get(CycleBucket::BranchFlush), 2);
+        assert!(a.get(CycleBucket::ExOccupancy) > 0);
+        // The squashed wrong-path refill accrued icache stall *events*
+        // without costing distinct machine cycles.
+        assert!(
+            a.get(CycleBucket::IcacheStall) < s.stats.icache_stall_cycles,
+            "attributed {} vs event counter {}",
+            a.get(CycleBucket::IcacheStall),
+            s.stats.icache_stall_cycles
+        );
+        let naive = s.stats.retired
+            + 4
+            + 2 * s.stats.branch_flushes
+            + s.stats.icache_stall_cycles
+            + s.stats.ex_stall_cycles;
+        assert!(naive > s.stats.cycles, "naive identity {naive} vs true {}", s.stats.cycles);
+    }
+
+    #[test]
     fn folded_branches_reduce_pipeline_traffic() {
         use crate::hooks::{FetchHooks, Folded, PublishPoint};
         use asbr_isa::Cond;
@@ -1218,6 +1436,9 @@ mod tests {
         assert!(fa.squashed < ba.squashed);
         assert_eq!(fa.predictor_lookups, 0, "folded branches never touch the predictor");
         assert_eq!(f.stats.retired + f.stats.folded_branches, base.stats.retired);
+        // Per-site fold attribution reconciles with the aggregate count.
+        assert_eq!(f.stats.attribution.site_folds(), f.stats.folded_branches);
+        assert_eq!(f.stats.attribution.site(br).unwrap().folds, f.stats.folded_branches);
         assert_eq!(folded.reg(Reg::V0), 150, "results unchanged");
     }
 }

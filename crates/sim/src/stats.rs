@@ -1,4 +1,6 @@
-//! Pipeline performance counters.
+//! Pipeline performance counters and per-cycle attribution.
+
+use std::collections::BTreeMap;
 
 use asbr_bpred::AccuracyTracker;
 
@@ -29,9 +31,209 @@ pub struct Activity {
     pub predictor_updates: u64,
 }
 
+/// The cause a machine cycle is attributed to. Every cycle lands in
+/// exactly one bucket: the WB stage either retires an instruction
+/// ([`CycleBucket::Useful`]) or consumes a bubble, and each bubble carries
+/// the cause that created it from the latch where it was born.
+///
+/// This is the disjoint decomposition the event counters of
+/// [`PipelineStats`] cannot give: `icache_stall_cycles`,
+/// `branch_flushes`×2 and friends count *events* that may overlap in time
+/// (a squashed fetch can be mid-refill when the flush lands), so summing
+/// them over-counts. The buckets below partition `cycles` exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum CycleBucket {
+    /// WB retired an instruction this cycle.
+    Useful = 0,
+    /// Start-of-run pipeline fill and post-`halt` drain bubbles.
+    FillDrain = 1,
+    /// Bubble born at fetch waiting on an instruction-cache refill.
+    IcacheStall = 2,
+    /// Bubble born while MEM drained a data-cache miss (including the
+    /// upstream slots frozen behind it).
+    DcacheStall = 3,
+    /// Bubble from the one-cycle load-use interlock in decode.
+    LoadUse = 4,
+    /// Bubble from a multi-cycle EX operation (multiply/divide) holding
+    /// the execute stage.
+    ExOccupancy = 5,
+    /// Wrong-path slot squashed by a conditional-branch mispredict
+    /// resolving in EX (the classic 2-cycle penalty).
+    BranchFlush = 6,
+    /// Slot squashed by a direct jump redirecting in decode.
+    JumpRedirect = 7,
+    /// Wrong-path slot squashed by an indirect jump (`jr`/`jalr`)
+    /// resolving in EX.
+    IndirectFlush = 8,
+}
+
+/// Number of attribution buckets.
+pub const NUM_BUCKETS: usize = 9;
+
+impl CycleBucket {
+    /// All buckets, in serialization order.
+    pub const ALL: [CycleBucket; NUM_BUCKETS] = [
+        CycleBucket::Useful,
+        CycleBucket::FillDrain,
+        CycleBucket::IcacheStall,
+        CycleBucket::DcacheStall,
+        CycleBucket::LoadUse,
+        CycleBucket::ExOccupancy,
+        CycleBucket::BranchFlush,
+        CycleBucket::JumpRedirect,
+        CycleBucket::IndirectFlush,
+    ];
+
+    /// Stable snake_case name (used in JSON and reports).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            CycleBucket::Useful => "useful",
+            CycleBucket::FillDrain => "fill_drain",
+            CycleBucket::IcacheStall => "icache_stall",
+            CycleBucket::DcacheStall => "dcache_stall",
+            CycleBucket::LoadUse => "load_use",
+            CycleBucket::ExOccupancy => "ex_occupancy",
+            CycleBucket::BranchFlush => "branch_flush",
+            CycleBucket::JumpRedirect => "jump_redirect",
+            CycleBucket::IndirectFlush => "indirect_flush",
+        }
+    }
+}
+
+/// Per-branch-site attribution: what one static branch PC cost (flush
+/// cycles) and saved (folds) during a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BranchSite {
+    /// Mispredict flush events this branch caused (resolving in EX).
+    pub flushes: u64,
+    /// Machine cycles attributed to this branch's flush bubbles — the
+    /// site-level share of [`CycleBucket::BranchFlush`].
+    pub flush_cycles: u64,
+    /// Times the fetch customization folded this branch out of the
+    /// stream. Counted at fetch, so wrong-path folds (later squashed)
+    /// are included; the architectural slot saving is the *retirement*
+    /// delta against a baseline run, not this event count.
+    pub folds: u64,
+    /// Times the branch retired at WB. Two runs of the same program
+    /// differ in retired count only through folding, so
+    /// `baseline.retired - asbr.retired` at a site is exactly its
+    /// correct-path folds.
+    pub retired: u64,
+}
+
+/// Exactly-one-bucket classification of every machine cycle, plus the
+/// per-branch-site breakdown of the branch-related buckets.
+///
+/// Invariants (checked by `debug_assert` in the pipeline and by the
+/// repository property tests):
+///
+/// * `total() == PipelineStats::cycles`
+/// * `get(CycleBucket::Useful) == PipelineStats::retired`
+/// * `site_flush_cycles() == get(CycleBucket::BranchFlush)`
+/// * `site_folds() == PipelineStats::folded_branches`
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CycleAttribution {
+    buckets: [u64; NUM_BUCKETS],
+    sites: BTreeMap<u32, BranchSite>,
+}
+
+impl CycleAttribution {
+    /// Charges one cycle to `bucket`. Branch-flush cycles are also
+    /// charged to the originating branch's site.
+    pub fn charge(&mut self, bucket: CycleBucket, origin_pc: u32) {
+        self.buckets[bucket as usize] += 1;
+        if bucket == CycleBucket::BranchFlush {
+            self.sites.entry(origin_pc).or_default().flush_cycles += 1;
+        }
+    }
+
+    /// Records a mispredict flush *event* at the branch site `pc`.
+    pub fn note_flush(&mut self, pc: u32) {
+        self.sites.entry(pc).or_default().flushes += 1;
+    }
+
+    /// Records a fetch-stage fold of the branch at `pc`.
+    pub fn note_fold(&mut self, pc: u32) {
+        self.sites.entry(pc).or_default().folds += 1;
+    }
+
+    /// Records the retirement of the conditional branch at `pc`.
+    pub fn note_branch_retire(&mut self, pc: u32) {
+        self.sites.entry(pc).or_default().retired += 1;
+    }
+
+    /// Cycles attributed to `bucket`.
+    #[must_use]
+    pub fn get(&self, bucket: CycleBucket) -> u64 {
+        self.buckets[bucket as usize]
+    }
+
+    /// The raw bucket array, in [`CycleBucket::ALL`] order.
+    #[must_use]
+    pub fn buckets(&self) -> [u64; NUM_BUCKETS] {
+        self.buckets
+    }
+
+    /// Sum over all buckets — equals total machine cycles.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Cycles lost to anything but useful retirement.
+    #[must_use]
+    pub fn lost(&self) -> u64 {
+        self.total() - self.get(CycleBucket::Useful)
+    }
+
+    /// Per-branch-site records, keyed by branch PC.
+    #[must_use]
+    pub fn sites(&self) -> &BTreeMap<u32, BranchSite> {
+        &self.sites
+    }
+
+    /// The record for the branch at `pc`.
+    #[must_use]
+    pub fn site(&self, pc: u32) -> Option<&BranchSite> {
+        self.sites.get(&pc)
+    }
+
+    /// Sum of per-site flush cycles — must equal the
+    /// [`CycleBucket::BranchFlush`] bucket.
+    #[must_use]
+    pub fn site_flush_cycles(&self) -> u64 {
+        self.sites.values().map(|s| s.flush_cycles).sum()
+    }
+
+    /// Sum of per-site folds — must equal
+    /// [`PipelineStats::folded_branches`].
+    #[must_use]
+    pub fn site_folds(&self) -> u64 {
+        self.sites.values().map(|s| s.folds).sum()
+    }
+
+    /// Restores an attribution from serialized parts (the result cache).
+    #[must_use]
+    pub fn from_parts(
+        buckets: [u64; NUM_BUCKETS],
+        sites: BTreeMap<u32, BranchSite>,
+    ) -> CycleAttribution {
+        CycleAttribution { buckets, sites }
+    }
+}
+
 /// Counters accumulated by one pipelined run — the raw material of the
 /// paper's Figure 6 (cycles / CPI / accuracy) and Figure 11 (cycles /
 /// improvement) tables.
+///
+/// The scalar fields are *event* counters; overlapping causes (a flush
+/// landing mid-refill) are each counted by their own counter, so the
+/// events do not sum to `cycles`. The [`attribution`] field carries the
+/// disjoint per-cycle decomposition that does.
+///
+/// [`attribution`]: PipelineStats::attribution
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct PipelineStats {
     /// Total machine cycles.
@@ -62,14 +264,19 @@ pub struct PipelineStats {
     pub folded_branches: u64,
     /// Per-structure activity for energy accounting.
     pub activity: Activity,
+    /// Exactly-one-bucket per-cycle attribution and per-branch-site
+    /// breakdown.
+    pub attribution: CycleAttribution,
 }
 
 impl PipelineStats {
-    /// Cycles per committed instruction.
+    /// Cycles per committed instruction. [`f64::NAN`] when nothing
+    /// retired — a run with no commits has no meaningful CPI, and the old
+    /// `0.0` silently read as "perfect" downstream.
     #[must_use]
     pub fn cpi(&self) -> f64 {
         if self.retired == 0 {
-            0.0
+            f64::NAN
         } else {
             self.cycles as f64 / self.retired as f64
         }
@@ -90,12 +297,45 @@ mod tests {
     #[test]
     fn cpi_handles_zero_retired() {
         let s = PipelineStats::default();
-        assert_eq!(s.cpi(), 0.0);
+        assert!(s.cpi().is_nan(), "no commits -> no CPI, not a perfect 0.0");
     }
 
     #[test]
     fn cpi_is_ratio() {
         let s = PipelineStats { cycles: 150, retired: 100, ..PipelineStats::default() };
         assert!((s.cpi() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn attribution_partitions_and_tracks_sites() {
+        let mut a = CycleAttribution::default();
+        a.charge(CycleBucket::Useful, 0x100);
+        a.charge(CycleBucket::Useful, 0x104);
+        a.charge(CycleBucket::BranchFlush, 0x200);
+        a.charge(CycleBucket::BranchFlush, 0x200);
+        a.charge(CycleBucket::IcacheStall, 0x108);
+        a.note_flush(0x200);
+        a.note_fold(0x300);
+        assert_eq!(a.total(), 5);
+        assert_eq!(a.get(CycleBucket::Useful), 2);
+        assert_eq!(a.lost(), 3);
+        assert_eq!(a.site_flush_cycles(), a.get(CycleBucket::BranchFlush));
+        assert_eq!(a.site(0x200).unwrap().flushes, 1);
+        assert_eq!(a.site(0x200).unwrap().flush_cycles, 2);
+        assert_eq!(a.site(0x300).unwrap().folds, 1);
+        assert_eq!(a.site_folds(), 1);
+    }
+
+    #[test]
+    fn bucket_names_are_stable_and_distinct() {
+        let names: Vec<&str> = CycleBucket::ALL.iter().map(|b| b.name()).collect();
+        assert_eq!(names.len(), NUM_BUCKETS);
+        for (i, n) in names.iter().enumerate() {
+            assert!(!n.is_empty());
+            assert!(!names[i + 1..].contains(n), "duplicate bucket name {n}");
+        }
+        for (i, b) in CycleBucket::ALL.iter().enumerate() {
+            assert_eq!(*b as usize, i, "ALL order must match discriminant order");
+        }
     }
 }

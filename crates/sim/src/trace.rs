@@ -1,0 +1,205 @@
+//! Chrome-trace-event rendering of the per-cycle attribution stream.
+//!
+//! [`ChromeTracer`] is a [`TraceHooks`] sink that turns the pipeline's
+//! cycle/fold/flush events into the Chrome trace-event JSON format
+//! (load the file at `chrome://tracing` or <https://ui.perfetto.dev>).
+//! It emits:
+//!
+//! * a `"ph":"C"` *counter* event per interval, carrying the number of
+//!   cycles each [`CycleBucket`] absorbed during that interval — the
+//!   counter track shows the stall mix evolving over the run;
+//! * a `"ph":"i"` *instant* event per fold and per flush, carrying the
+//!   branch PC.
+//!
+//! The tracer is cheap but not free (one small allocation per event);
+//! attach it only for diagnostic runs. Because the pipeline owns its sink
+//! as a `Box<dyn TraceHooks>`, the tracer clones share state through an
+//! `Rc`: keep one handle, give the pipeline the clone, and render with
+//! [`ChromeTracer::to_json`] after the run.
+
+use std::cell::RefCell;
+use std::fmt::Write as _;
+use std::rc::Rc;
+
+use crate::hooks::TraceHooks;
+use crate::stats::{CycleBucket, NUM_BUCKETS};
+
+/// Default cycle interval between counter snapshots.
+pub const DEFAULT_INTERVAL: u64 = 1000;
+
+#[derive(Debug, Default)]
+struct TraceState {
+    interval: u64,
+    /// Per-bucket cycles within the current (not yet emitted) interval.
+    window: [u64; NUM_BUCKETS],
+    /// Per-bucket cycles over the whole run.
+    totals: [u64; NUM_BUCKETS],
+    /// Pre-rendered JSON event objects.
+    events: Vec<String>,
+    /// Last cycle observed (snapshot timestamps).
+    last_cycle: u64,
+}
+
+impl TraceState {
+    fn snapshot(&mut self, ts: u64) {
+        let mut args = String::new();
+        for (i, b) in CycleBucket::ALL.iter().enumerate() {
+            if i > 0 {
+                args.push(',');
+            }
+            let _ = write!(args, "\"{}\":{}", b.name(), self.window[i]);
+        }
+        self.events.push(format!(
+            "{{\"name\":\"cycle_buckets\",\"ph\":\"C\",\"ts\":{ts},\"pid\":1,\"tid\":1,\"args\":{{{args}}}}}"
+        ));
+        self.window = [0; NUM_BUCKETS];
+    }
+
+    fn instant(&mut self, name: &str, ts: u64, pc: u32, extra: &str) {
+        self.events.push(format!(
+            "{{\"name\":\"{name}\",\"ph\":\"i\",\"ts\":{ts},\"pid\":1,\"tid\":1,\"s\":\"t\",\
+             \"args\":{{\"pc\":\"{pc:#x}\"{extra}}}}}"
+        ));
+    }
+}
+
+/// A [`TraceHooks`] sink rendering Chrome trace-event JSON.
+///
+/// Clones share state: hand a clone to [`crate::Pipeline::set_tracer`] and
+/// keep the original to call [`ChromeTracer::to_json`] afterwards.
+#[derive(Debug, Clone)]
+pub struct ChromeTracer {
+    state: Rc<RefCell<TraceState>>,
+}
+
+impl Default for ChromeTracer {
+    fn default() -> ChromeTracer {
+        ChromeTracer::new(DEFAULT_INTERVAL)
+    }
+}
+
+impl ChromeTracer {
+    /// Creates a tracer emitting one counter snapshot every `interval`
+    /// cycles (clamped to ≥ 1).
+    #[must_use]
+    pub fn new(interval: u64) -> ChromeTracer {
+        ChromeTracer {
+            state: Rc::new(RefCell::new(TraceState {
+                interval: interval.max(1),
+                ..TraceState::default()
+            })),
+        }
+    }
+
+    /// Per-bucket cycle totals observed so far, in [`CycleBucket::ALL`]
+    /// order.
+    #[must_use]
+    pub fn bucket_totals(&self) -> [u64; NUM_BUCKETS] {
+        self.state.borrow().totals
+    }
+
+    /// Number of events recorded so far (snapshots + instants).
+    #[must_use]
+    pub fn event_count(&self) -> usize {
+        self.state.borrow().events.len()
+    }
+
+    /// Renders the complete trace document: flushes the final partial
+    /// interval and wraps every event in the Chrome `traceEvents` array.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut st = self.state.borrow_mut();
+        if st.window.iter().any(|&c| c > 0) {
+            let ts = st.last_cycle;
+            st.snapshot(ts);
+        }
+        let mut out = String::from("{\"traceEvents\":[");
+        for (i, ev) in st.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(ev);
+        }
+        let total: u64 = st.totals.iter().sum();
+        let _ = write!(
+            out,
+            "],\"displayTimeUnit\":\"ns\",\"metadata\":{{\"total_cycles\":{total}}}}}"
+        );
+        out
+    }
+}
+
+impl TraceHooks for ChromeTracer {
+    fn on_cycle(&mut self, cycle: u64, bucket: CycleBucket, _origin_pc: u32) {
+        let mut st = self.state.borrow_mut();
+        st.window[bucket as usize] += 1;
+        st.totals[bucket as usize] += 1;
+        st.last_cycle = cycle;
+        if cycle.is_multiple_of(st.interval) {
+            st.snapshot(cycle);
+        }
+    }
+
+    fn on_fold(&mut self, cycle: u64, pc: u32, taken: bool) {
+        self.state.borrow_mut().instant("fold", cycle, pc, &format!(",\"taken\":{taken}"));
+    }
+
+    fn on_flush(&mut self, cycle: u64, pc: u32, indirect: bool) {
+        let name = if indirect { "indirect_flush" } else { "branch_flush" };
+        self.state.borrow_mut().instant(name, cycle, pc, "");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn golden_trace_shape() {
+        // Feed a fixed event stream and pin the rendered document — the
+        // format is consumed by external tools, so its shape is load-bearing.
+        let mut t = ChromeTracer::new(2);
+        t.on_cycle(1, CycleBucket::FillDrain, 0);
+        t.on_cycle(2, CycleBucket::Useful, 0x1000);
+        t.on_fold(2, 0x102c, true);
+        t.on_cycle(3, CycleBucket::BranchFlush, 0x1008);
+        let json = t.to_json();
+        assert_eq!(
+            json,
+            concat!(
+                "{\"traceEvents\":[",
+                "{\"name\":\"cycle_buckets\",\"ph\":\"C\",\"ts\":2,\"pid\":1,\"tid\":1,",
+                "\"args\":{\"useful\":1,\"fill_drain\":1,\"icache_stall\":0,",
+                "\"dcache_stall\":0,\"load_use\":0,\"ex_occupancy\":0,\"branch_flush\":0,",
+                "\"jump_redirect\":0,\"indirect_flush\":0}},",
+                "{\"name\":\"fold\",\"ph\":\"i\",\"ts\":2,\"pid\":1,\"tid\":1,\"s\":\"t\",",
+                "\"args\":{\"pc\":\"0x102c\",\"taken\":true}},",
+                "{\"name\":\"cycle_buckets\",\"ph\":\"C\",\"ts\":3,\"pid\":1,\"tid\":1,",
+                "\"args\":{\"useful\":0,\"fill_drain\":0,\"icache_stall\":0,",
+                "\"dcache_stall\":0,\"load_use\":0,\"ex_occupancy\":0,\"branch_flush\":1,",
+                "\"jump_redirect\":0,\"indirect_flush\":0}}",
+                "],\"displayTimeUnit\":\"ns\",\"metadata\":{\"total_cycles\":3}}"
+            )
+        );
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let t = ChromeTracer::new(1000);
+        let mut clone = t.clone();
+        clone.on_cycle(1, CycleBucket::Useful, 0x1000);
+        clone.on_flush(1, 0x2000, false);
+        assert_eq!(t.bucket_totals()[CycleBucket::Useful as usize], 1);
+        assert_eq!(t.event_count(), 1, "instant recorded through the clone");
+        assert!(t.to_json().contains("\"name\":\"branch_flush\""));
+    }
+
+    #[test]
+    fn final_partial_interval_is_flushed() {
+        let mut t = ChromeTracer::new(1_000_000);
+        t.on_cycle(7, CycleBucket::Useful, 0);
+        let json = t.to_json();
+        assert!(json.contains("\"ts\":7"), "{json}");
+        assert!(json.contains("\"total_cycles\":1"), "{json}");
+    }
+}

@@ -74,7 +74,7 @@ case "${1:-all}" in
       --test pipeline_vs_interp --test asbr_correctness --test asbr_speedup \
       --test experiment_tables --test scheduling_support \
       --test customization_image --test cli --test config_matrix \
-      --test sweep -q
+      --test sweep --test attribution -q
     run_cargo test --release -p asbr-check --test static_check -q
     # Bench targets: typecheck only (the criterion stub measures nothing).
     run_cargo check -p asbr-bench --benches

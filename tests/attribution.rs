@@ -1,0 +1,213 @@
+//! Repository-level verification of the cycle-attribution layer: the
+//! per-cycle buckets must partition `cycles` exactly, and the per-site
+//! flush/fold records must reconcile with the aggregate counters — on the
+//! bundled workloads across baseline vs ASBR arms, every publish point,
+//! and both cache geometries, and property-tested over randomly generated
+//! guests (deterministic xorshift PRNG, no external dependencies).
+
+use asbr_asm::assemble;
+use asbr_bpred::PredictorKind;
+use asbr_core::{AsbrConfig, AsbrUnit};
+use asbr_flow::select_static;
+use asbr_harness::{AsbrSpec, MicroTweaks, RunSpec};
+use asbr_sim::{CycleBucket, Pipeline, PipelineConfig, PipelineStats, PublishPoint};
+use asbr_workloads::Workload;
+
+/// The invariants every run must satisfy, whatever the configuration.
+fn assert_attribution_consistent(stats: &PipelineStats, ctx: &str) {
+    let a = &stats.attribution;
+    assert_eq!(a.total(), stats.cycles, "{ctx}: buckets must partition cycles");
+    assert_eq!(
+        a.get(CycleBucket::Useful),
+        stats.retired,
+        "{ctx}: one Useful cycle per retirement"
+    );
+    assert_eq!(
+        a.site_flush_cycles(),
+        a.get(CycleBucket::BranchFlush),
+        "{ctx}: site flush cycles are the BranchFlush bucket"
+    );
+    assert_eq!(
+        a.site_folds(),
+        stats.folded_branches,
+        "{ctx}: site folds are the fold counter"
+    );
+    assert_eq!(
+        a.sites().values().map(|s| s.flushes).sum::<u64>(),
+        stats.branch_flushes,
+        "{ctx}: site flush events are the flush counter"
+    );
+    // Branch retirements recorded at sites are a subset of retirements.
+    assert!(
+        a.sites().values().map(|s| s.retired).sum::<u64>() <= stats.retired,
+        "{ctx}: site retirements cannot exceed total retirements"
+    );
+}
+
+/// The two cache geometries exercised: the paper's 8 KB and a deliberately
+/// tiny 1 KB that forces refills (stall/flush overlap coverage).
+const CACHE_BYTES: [u32; 2] = [0, 1024];
+
+#[test]
+fn workloads_attribute_every_cycle_across_configs() {
+    let samples = 60;
+    for w in Workload::ALL {
+        for cache_bytes in CACHE_BYTES {
+            let tweaks = MicroTweaks { cache_bytes, ..MicroTweaks::default() };
+            let base = RunSpec::baseline(w, PredictorKind::Bimodal { entries: 2048 }, samples)
+                .with_tweaks(tweaks)
+                .execute()
+                .unwrap();
+            assert_attribution_consistent(
+                &base.summary.stats,
+                &format!("{} baseline cache={cache_bytes}", w.name()),
+            );
+            for publish in [PublishPoint::Execute, PublishPoint::Mem, PublishPoint::Commit] {
+                let spec = RunSpec::asbr(w, PredictorKind::Bimodal { entries: 512 }, samples)
+                    .with_tweaks(tweaks)
+                    .with_asbr(AsbrSpec { publish, ..AsbrSpec::default() });
+                let out = spec.execute().unwrap();
+                let ctx =
+                    format!("{} asbr {publish:?} cache={cache_bytes}", w.name());
+                assert_attribution_consistent(&out.summary.stats, &ctx);
+                assert!(out.folds() > 0, "{ctx}: never folded");
+                // Folding must not change architectural behaviour.
+                assert_eq!(out.summary.output, base.summary.output, "{ctx}");
+                // Folded branches vacate retired slots; wrong-path folds
+                // mean the fold count can only overshoot the delta.
+                let delta = base.summary.stats.retired - out.summary.stats.retired;
+                assert!(
+                    out.summary.stats.folded_branches >= delta,
+                    "{ctx}: {} folds < {delta} retired delta",
+                    out.summary.stats.folded_branches
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Property test: random branchy guests, baseline and statically
+// customized, on both cache geometries.
+// ---------------------------------------------------------------------
+
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// A random countdown loop over ALU ops, loads/stores, and data-dependent
+/// forward branches — enough control flow to exercise every bucket.
+fn random_program(rng: &mut XorShift) -> String {
+    let mut src = String::from("main:   la   r16, buf\n");
+    for r in 8..16 {
+        src.push_str(&format!("        li   r{r}, {}\n", rng.below(100)));
+    }
+    let iters = 3 + rng.below(8);
+    src.push_str(&format!("        li   r4, {iters}\n"));
+    src.push_str("loop:\n");
+    let body = 4 + rng.below(10);
+    let dec_at = rng.below(body);
+    for i in 0..body {
+        if i == dec_at {
+            src.push_str("        addi r4, r4, -1\n");
+        }
+        let a = 8 + rng.below(8);
+        let b = 8 + rng.below(8);
+        let c = 8 + rng.below(8);
+        match rng.below(8) {
+            0 => src.push_str(&format!(
+                "        addi r{a}, r{b}, {}\n",
+                rng.below(17) as i64 - 8
+            )),
+            1 => src.push_str(&format!("        add  r{a}, r{b}, r{c}\n")),
+            2 => src.push_str(&format!("        sub  r{a}, r{b}, r{c}\n")),
+            3 => src.push_str(&format!("        xor  r{a}, r{b}, r{c}\n")),
+            4 => src.push_str(&format!("        sw   r{a}, {}(r16)\n", 4 * rng.below(4))),
+            5 => src.push_str(&format!("        lw   r{a}, {}(r16)\n", 4 * rng.below(4))),
+            _ => {
+                // A data-dependent forward branch over one ALU op —
+                // mispredicts feed the BranchFlush bucket and sites.
+                src.push_str(&format!("        beqz r{a}, s{i}\n"));
+                src.push_str(&format!("        addi r{b}, r{b}, 1\n"));
+                src.push_str(&format!("s{i}:\n"));
+            }
+        }
+    }
+    src.push_str("        bnez r4, loop\n        halt\n");
+    src.push_str(".data\nbuf:    .word 0, 0, 0, 0\n");
+    src
+}
+
+fn small_cache_cfg() -> PipelineConfig {
+    let mut cfg = PipelineConfig::default();
+    cfg.mem.icache.size_bytes = 1024;
+    cfg.mem.dcache.size_bytes = 1024;
+    cfg
+}
+
+#[test]
+fn random_programs_attribute_every_cycle() {
+    let mut rng = XorShift(0x0bd7_a11c_5eed_0002);
+    let mut folded_somewhere = false;
+    let mut flushed_somewhere = false;
+    for case in 0..40 {
+        let src = random_program(&mut rng);
+        let prog = assemble(&src).unwrap_or_else(|e| panic!("case {case}: {e}\n{src}"));
+        for (ci, cfg) in [PipelineConfig::default(), small_cache_cfg()].into_iter().enumerate()
+        {
+            // Baseline arm.
+            let mut pipe =
+                Pipeline::new(cfg, PredictorKind::Bimodal { entries: 64 }.build());
+            let base = pipe.execute(&prog, std::iter::empty()).unwrap();
+            assert_attribution_consistent(
+                &base.stats,
+                &format!("case {case} cfg {ci} baseline"),
+            );
+            flushed_somewhere |= base.stats.branch_flushes > 0;
+
+            // Statically customized arm at every publish point.
+            for publish in
+                [PublishPoint::Execute, PublishPoint::Mem, PublishPoint::Commit]
+            {
+                let picks: Vec<u32> = select_static(&prog, publish.threshold(), 16)
+                    .into_iter()
+                    .map(|p| p.candidate.pc)
+                    .collect();
+                if picks.is_empty() {
+                    continue;
+                }
+                let unit = AsbrUnit::for_branches(
+                    AsbrConfig { publish, ..AsbrConfig::default() },
+                    &prog,
+                    &picks,
+                )
+                .unwrap();
+                let mut pipe = Pipeline::with_hooks(
+                    cfg,
+                    PredictorKind::Bimodal { entries: 64 }.build(),
+                    unit,
+                );
+                let out = pipe.execute(&prog, std::iter::empty()).unwrap();
+                let ctx = format!("case {case} cfg {ci} asbr {publish:?}\n{src}");
+                assert_attribution_consistent(&out.stats, &ctx);
+                folded_somewhere |= out.stats.folded_branches > 0;
+                assert_eq!(out.output, base.output, "{ctx}");
+            }
+        }
+    }
+    assert!(flushed_somewhere, "no case ever flushed — property is vacuous");
+    assert!(folded_somewhere, "no case ever folded — property is vacuous");
+}

@@ -1,7 +1,7 @@
 //! Table-harness integration: every figure regenerates at smoke scale
 //! with the qualitative shape the paper reports.
 
-use asbr_experiments::runner::{AsbrOptions, SAMPLES_SMOKE};
+use asbr_experiments::runner::SAMPLES_SMOKE;
 use asbr_experiments::{branch_tables, fig11, fig6};
 use asbr_workloads::Workload;
 
@@ -56,7 +56,7 @@ fn branch_tables_select_hot_hard_branches() {
 
 #[test]
 fn fig11_regenerates_and_renders() {
-    let rows = fig11::table(SAMPLES_SMOKE, AsbrOptions::default()).unwrap();
+    let rows = fig11::table(SAMPLES_SMOKE, fig11::Config::default()).unwrap();
     assert_eq!(rows.len(), 12);
     let rendered = fig11::render(&rows);
     for w in Workload::ALL {
