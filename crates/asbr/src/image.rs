@@ -277,7 +277,7 @@ mod tests {
             PredictorKind::NotTaken.build(),
             reloaded,
         );
-        pipe.load(&prog);
+        pipe.load(&prog).unwrap();
         pipe.run().unwrap();
         assert!(pipe.hooks().stats().folds() > 90);
     }

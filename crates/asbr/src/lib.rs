@@ -25,7 +25,7 @@
 //!   counter* tracking in-flight writers (paper Sec. 4's register-usage
 //!   counters).
 //! * [`AsbrUnit`] — wires both into the pipeline's fetch stage by
-//!   implementing [`asbr_sim::FetchHooks`]: *early condition evaluation*
+//!   implementing [`asbr_sim::SimHooks`]: *early condition evaluation*
 //!   on register publish, fold-with-certainty at fetch, and multiple BIT
 //!   banks switched by a control-register write (paper Sec. 7's scheme for
 //!   applications with more loops than BIT entries).
@@ -60,7 +60,7 @@
 //!     PredictorKind::NotTaken.build(),
 //!     unit,
 //! );
-//! pipe.load(&prog);
+//! pipe.load(&prog)?;
 //! let summary = pipe.run()?;
 //! let unit = pipe.into_hooks();
 //! assert!(unit.stats().folds() > 90, "almost every iteration folds");

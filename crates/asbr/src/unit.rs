@@ -2,7 +2,7 @@
 
 use asbr_asm::{Program, STACK_TOP};
 use asbr_isa::{Reg, INSTR_BYTES};
-use asbr_sim::{FetchHooks, Folded, PublishPoint};
+use asbr_sim::{Folded, PublishPoint, SimHooks};
 
 use crate::{Bdt, Bit, BitEntry, InstallError};
 
@@ -86,7 +86,7 @@ impl AsbrStats {
 
 /// The Application-Specific Branch Resolution unit.
 ///
-/// Implements [`FetchHooks`]: plugged into
+/// Implements [`SimHooks`]: plugged into
 /// [`asbr_sim::Pipeline::with_hooks`], it receives every fetched word,
 /// folds the branches installed in the active BIT bank whose predicate is
 /// pre-resolved in the [`Bdt`], and is kept coherent by the pipeline's
@@ -190,7 +190,7 @@ impl AsbrUnit {
     }
 }
 
-impl FetchHooks for AsbrUnit {
+impl SimHooks for AsbrUnit {
     fn publish_point(&self) -> PublishPoint {
         self.cfg.publish
     }
@@ -291,7 +291,7 @@ mod tests {
             PredictorKind::NotTaken.build(),
             unit,
         );
-        pipe.load(&prog);
+        pipe.load(&prog).unwrap();
         (pipe, prog)
     }
 
@@ -311,7 +311,7 @@ mod tests {
         let prog = assemble(FOLDABLE_LOOP).unwrap();
         let mut base =
             Pipeline::new(PipelineConfig::default(), PredictorKind::NotTaken.build());
-        base.load(&prog);
+        base.load(&prog).unwrap();
         let base_run = base.run().unwrap();
 
         let (mut pipe, _) = pipeline_with_unit(FOLDABLE_LOOP, PublishPoint::Mem, &["br"]);
@@ -387,7 +387,7 @@ mod tests {
         let input: Vec<i32> = (0..500).map(|i| i * 3 - 700).collect();
 
         let mut base = Pipeline::new(PipelineConfig::default(), PredictorKind::NotTaken.build());
-        base.load(&prog);
+        base.load(&prog).unwrap();
         base.feed_input(input.iter().copied());
         let b = base.run().unwrap();
 
@@ -402,7 +402,7 @@ mod tests {
             PredictorKind::NotTaken.build(),
             unit,
         );
-        pipe.load(&prog);
+        pipe.load(&prog).unwrap();
         pipe.feed_input(input.iter().copied());
         let a = pipe.run().unwrap();
 
@@ -445,7 +445,7 @@ mod tests {
             PredictorKind::NotTaken.build(),
             unit,
         );
-        pipe.load(&prog);
+        pipe.load(&prog).unwrap();
         pipe.run().unwrap();
         let stats = pipe.hooks().stats();
         assert_eq!(pipe.hooks().active_bank(), 1);

@@ -1,0 +1,252 @@
+//! Decode-once program store.
+//!
+//! The simulators used to call [`Instr::decode`] on every dynamic fetch —
+//! including wrong-path fetches — even though the text segment never
+//! changes after load. [`DecodedProgram`] decodes and validates every text
+//! word exactly once, turning undecodable words into a *load-time* error
+//! ([`TextDecodeError`]) that lists every bad word with its address and
+//! source line, and giving the simulators an indexed store: fetch becomes
+//! an array lookup while I-cache timing is still modelled on the raw word
+//! stream (which is kept alongside the decoded instructions).
+
+use core::fmt;
+
+use asbr_isa::Instr;
+
+use crate::Program;
+
+/// One undecodable text word, reported by [`DecodedProgram::decode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BadWord {
+    /// Address of the word in the text segment.
+    pub pc: u32,
+    /// The raw word that failed to decode.
+    pub word: u32,
+    /// 1-based source line the word came from, when known.
+    pub line: Option<u32>,
+}
+
+impl fmt::Display for BadWord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#010x}: .word {:#010x}", self.pc, self.word)?;
+        if let Some(line) = self.line {
+            write!(f, " (source line {line})")?;
+        }
+        Ok(())
+    }
+}
+
+/// The program's text failed to validate: one or more words do not decode.
+///
+/// Carries the *complete* bad-word listing, not just the first failure, so
+/// a hand-built or rewritten image can be fixed in one round trip.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TextDecodeError {
+    /// Every undecodable word, in text order.
+    pub bad: Vec<BadWord>,
+}
+
+impl fmt::Display for TextDecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "program text has {} undecodable word(s):", self.bad.len())?;
+        for b in &self.bad {
+            writeln!(f, "  {b}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for TextDecodeError {}
+
+/// A program's text segment, decoded exactly once.
+///
+/// Holds the decoded instruction *and* the raw word for every text slot:
+/// the simulators index instructions by PC, while the word stream stays
+/// available for I-cache modelling, fold hooks, and self-modification
+/// checks.
+///
+/// # Examples
+///
+/// ```
+/// use asbr_asm::{assemble, DecodedProgram};
+///
+/// let prog = assemble("main: addi r2, r0, 5\n halt")?;
+/// let decoded = DecodedProgram::decode(&prog)?;
+/// assert_eq!(decoded.len(), 2);
+/// assert_eq!(decoded.instr_at(prog.entry()), Some(asbr_isa::Instr::Addi {
+///     rt: asbr_isa::Reg::V0, rs: asbr_isa::Reg::ZERO, imm: 5 }));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodedProgram {
+    text_base: u32,
+    entry: u32,
+    instrs: Vec<Instr>,
+    words: Vec<u32>,
+}
+
+impl DecodedProgram {
+    /// Decodes every text word of `program`, collecting *all* failures.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TextDecodeError`] listing every word that does not
+    /// decode (address, raw word, source line). Programs produced by
+    /// [`crate::assemble`] always pass — the assembler cannot emit
+    /// undecodable text — so this only fires for hand-built or rewritten
+    /// images.
+    pub fn decode(program: &Program) -> Result<DecodedProgram, TextDecodeError> {
+        let mut bad = Vec::new();
+        let mut instrs = Vec::with_capacity(program.text().len());
+        for (i, &word) in program.text().iter().enumerate() {
+            let pc = program.text_base().wrapping_add(4 * i as u32);
+            match Instr::decode(word) {
+                Ok(instr) => instrs.push(instr),
+                Err(_) => {
+                    bad.push(BadWord { pc, word, line: program.line_of(pc) });
+                    instrs.push(Instr::NOP);
+                }
+            }
+        }
+        if !bad.is_empty() {
+            return Err(TextDecodeError { bad });
+        }
+        Ok(DecodedProgram {
+            text_base: program.text_base(),
+            entry: program.entry(),
+            instrs,
+            words: program.text().to_vec(),
+        })
+    }
+
+    /// An empty store (no text): every lookup misses. The simulators use
+    /// this as the pre-`load` state.
+    #[must_use]
+    pub fn empty() -> DecodedProgram {
+        DecodedProgram { text_base: 0, entry: 0, instrs: Vec::new(), words: Vec::new() }
+    }
+
+    /// Base address of the text segment.
+    #[must_use]
+    pub fn text_base(&self) -> u32 {
+        self.text_base
+    }
+
+    /// Address one past the last text word.
+    #[must_use]
+    pub fn text_end(&self) -> u32 {
+        self.text_base.wrapping_add(4 * self.instrs.len() as u32)
+    }
+
+    /// Execution entry point.
+    #[must_use]
+    pub fn entry(&self) -> u32 {
+        self.entry
+    }
+
+    /// Number of text words.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Whether the store holds no text.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// The text-slot index of `pc`, or `None` when `pc` is misaligned or
+    /// outside the text segment.
+    #[inline]
+    #[must_use]
+    pub fn index_of(&self, pc: u32) -> Option<usize> {
+        let off = pc.wrapping_sub(self.text_base);
+        let idx = (off / 4) as usize;
+        (off.is_multiple_of(4) && idx < self.instrs.len()).then_some(idx)
+    }
+
+    /// The pre-decoded instruction at `pc`, if inside the text segment.
+    #[inline]
+    #[must_use]
+    pub fn instr_at(&self, pc: u32) -> Option<Instr> {
+        self.index_of(pc).map(|i| self.instrs[i])
+    }
+
+    /// All decoded instructions in text order.
+    #[must_use]
+    pub fn instrs(&self) -> &[Instr] {
+        &self.instrs
+    }
+
+    /// The raw encoded words in text order (the word stream the I-cache
+    /// model sees).
+    #[must_use]
+    pub fn words(&self) -> &[u32] {
+        &self.words
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assemble;
+
+    #[test]
+    fn assembled_programs_always_decode() {
+        let p = assemble(
+            "
+            main:   li r4, 3
+            loop:   addi r4, r4, -1
+                    bnez r4, loop
+                    halt
+            ",
+        )
+        .unwrap();
+        let d = DecodedProgram::decode(&p).unwrap();
+        assert_eq!(d.len(), p.text().len());
+        assert_eq!(d.entry(), p.entry());
+        assert_eq!(d.words(), p.text());
+        for (i, &w) in p.text().iter().enumerate() {
+            assert_eq!(d.instrs()[i], Instr::decode(w).unwrap());
+        }
+    }
+
+    #[test]
+    fn bad_words_are_all_listed_with_lines() {
+        let p = assemble("main: nop\n nop\n halt").unwrap();
+        // Corrupt two words in a rewritten image.
+        let mut words = p.text().to_vec();
+        words[0] = 0xFC00_0000;
+        words[2] = 0xFD00_0001;
+        let broken = p.clone_with_text(words);
+        let err = DecodedProgram::decode(&broken).unwrap_err();
+        assert_eq!(err.bad.len(), 2);
+        assert_eq!(err.bad[0].pc, broken.text_base());
+        assert_eq!(err.bad[0].word, 0xFC00_0000);
+        assert_eq!(err.bad[0].line, Some(1));
+        assert_eq!(err.bad[1].pc, broken.text_base() + 8);
+        let msg = err.to_string();
+        assert!(msg.contains("2 undecodable"), "{msg}");
+        assert!(msg.contains("0xfc000000"), "{msg}");
+    }
+
+    #[test]
+    fn index_rejects_misaligned_and_out_of_range() {
+        let p = assemble("main: halt").unwrap();
+        let d = DecodedProgram::decode(&p).unwrap();
+        assert_eq!(d.index_of(p.text_base()), Some(0));
+        assert_eq!(d.index_of(p.text_base() + 2), None);
+        assert_eq!(d.index_of(p.text_end()), None);
+        assert_eq!(d.index_of(p.text_base().wrapping_sub(4)), None);
+        assert_eq!(d.instr_at(p.text_base()), Some(Instr::Halt));
+    }
+
+    #[test]
+    fn empty_store_misses_everywhere() {
+        let d = DecodedProgram::empty();
+        assert!(d.is_empty());
+        assert_eq!(d.index_of(0), None);
+        assert_eq!(d.instr_at(0x1000), None);
+    }
+}

@@ -53,10 +53,12 @@
 //! ```
 
 mod assembler;
+mod decoded;
 mod operand;
 mod program;
 
 pub use assembler::{assemble, AsmError};
+pub use decoded::{BadWord, DecodedProgram, TextDecodeError};
 pub use program::Program;
 
 /// Default base address of the text segment.

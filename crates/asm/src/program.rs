@@ -135,6 +135,17 @@ impl Program {
         Program { text: words, ..self.clone() }
     }
 
+    /// Decodes the whole text segment once (see
+    /// [`crate::DecodedProgram`]) — the simulators' load-time validation
+    /// step.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::TextDecodeError`] listing every undecodable word.
+    pub fn decoded(&self) -> Result<crate::DecodedProgram, crate::TextDecodeError> {
+        crate::DecodedProgram::decode(self)
+    }
+
     /// Copies text and data into a memory.
     pub fn load_into(&self, mem: &mut Memory) {
         mem.write_words(self.text_base, &self.text)

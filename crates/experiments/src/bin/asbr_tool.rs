@@ -18,10 +18,17 @@
 //!   --interval <n>         cycles between counter snapshots (default 1000)
 //!   --asbr                 profile + customize (bi-512 auxiliary, quarter BTB),
 //!                          instead of the bimodal-2048 baseline
+//! asbr_tool bench [options]                   host-throughput benchmark: every
+//!                                             workload, baseline + ASBR, best-of-N
+//!   --samples <n>          input samples (default 4000)
+//!   --reps <n>             timed repetitions, best kept (default 5)
+//!   --out <path>           write BENCH_throughput.json here
+//!   --check <golden.json>  fail if simulated cycle counts drift from the golden
 //! ```
 //!
 //! Workload names for `trace` match the benchmark names of the tables
-//! ignoring case and punctuation: `adpcm-encode`, `g721-decode`, ….
+//! ignoring case and punctuation (`adpcm-encode`, `g721-decode`, …) or
+//! the canonical slugs (`adpcm_enc`, `g721_dec`, …).
 
 use std::fs;
 use std::process::ExitCode;
@@ -30,7 +37,10 @@ use asbr_asm::{assemble, Program};
 use asbr_bpred::PredictorKind;
 use asbr_core::{decode_image, encode_image, AsbrConfig, AsbrUnit};
 use asbr_flow::{call_aware_depths, candidates, select_static, Cfg};
-use asbr_harness::{AUX_BTB, PROFILE_PREDICTOR, SAMPLES_SMOKE};
+use asbr_harness::{
+    ThroughputSpec, AUX_BTB, PROFILE_PREDICTOR, SAMPLES_SMOKE, THROUGHPUT_REPS,
+    THROUGHPUT_SAMPLES,
+};
 use asbr_profile::{profile, select_branches, SelectionConfig};
 use asbr_sim::{ChromeTracer, CycleBucket, Pipeline, PipelineConfig, PublishPoint};
 use asbr_workloads::Workload;
@@ -149,7 +159,7 @@ fn cmd_run(path: &str, opts: &RunOpts) -> Result<(), String> {
             let s = if opts.trace == 0 {
                 pipe.execute(&prog, opts.input.iter().copied()).map_err(|e| e.to_string())?
             } else {
-                pipe.load(&prog);
+                pipe.load(&prog).map_err(|e| e.to_string())?;
                 pipe.feed_input(opts.input.iter().copied());
                 for _ in 0..opts.trace {
                     pipe.cycle().map_err(|e| e.to_string())?;
@@ -165,7 +175,7 @@ fn cmd_run(path: &str, opts: &RunOpts) -> Result<(), String> {
             let s = if opts.trace == 0 {
                 pipe.execute(&prog, opts.input.iter().copied()).map_err(|e| e.to_string())?
             } else {
-                pipe.load(&prog);
+                pipe.load(&prog).map_err(|e| e.to_string())?;
                 pipe.feed_input(opts.input.iter().copied());
                 for _ in 0..opts.trace {
                     pipe.cycle().map_err(|e| e.to_string())?;
@@ -207,11 +217,14 @@ fn resolve_workload(name: &str) -> Result<Workload, String> {
     let norm = |s: &str| -> String {
         s.chars().filter(char::is_ascii_alphanumeric).collect::<String>().to_lowercase()
     };
-    Workload::ALL.into_iter().find(|w| norm(w.name()) == norm(name)).ok_or_else(|| {
-        let known: Vec<String> =
-            Workload::ALL.iter().map(|w| norm(w.name())).collect();
-        format!("unknown workload `{name}`; known: {}", known.join(", "))
-    })
+    Workload::ALL
+        .into_iter()
+        .find(|w| norm(w.name()) == norm(name) || norm(w.slug()) == norm(name))
+        .ok_or_else(|| {
+            let known: Vec<String> =
+                Workload::ALL.iter().map(|w| norm(w.name())).collect();
+            format!("unknown workload `{name}`; known: {}", known.join(", "))
+        })
 }
 
 fn cmd_trace(name: &str, opts: &TraceOpts) -> Result<(), String> {
@@ -269,6 +282,49 @@ fn cmd_trace(name: &str, opts: &TraceOpts) -> Result<(), String> {
     Ok(())
 }
 
+struct BenchOpts {
+    samples: usize,
+    reps: usize,
+    out: Option<String>,
+    check: Option<String>,
+}
+
+fn cmd_bench(opts: &BenchOpts) -> Result<(), String> {
+    let spec = ThroughputSpec::standard(opts.samples, opts.reps);
+    println!(
+        "host-throughput bench: {} runs at {} samples, best of {}",
+        spec.specs.len(),
+        opts.samples,
+        spec.reps
+    );
+    let bench = spec.measure().map_err(|e| e.to_string())?;
+    println!(
+        "{:<32} {:>11} {:>11} {:>10} {:>8}",
+        "run", "cycles", "best ms", "Mcyc/s", "MIPS"
+    );
+    for e in &bench.entries {
+        println!(
+            "{:<32} {:>11} {:>11.2} {:>10.1} {:>8.1}",
+            e.label,
+            e.cycles,
+            e.best_nanos as f64 / 1e6,
+            e.cycles_per_sec() as f64 / 1e6,
+            e.mips()
+        );
+    }
+    if let Some(out) = &opts.out {
+        bench.write(out).map_err(|e| format!("cannot write {out}: {e}"))?;
+        println!("wrote {out}");
+    }
+    if let Some(golden) = &opts.check {
+        let text =
+            fs::read_to_string(golden).map_err(|e| format!("cannot read {golden}: {e}"))?;
+        bench.check_against(&text)?;
+        println!("simulated cycle counts match {golden}");
+    }
+    Ok(())
+}
+
 fn parse_predictor(name: &str) -> Result<PredictorKind, String> {
     Ok(match name {
         "nottaken" | "not-taken" => PredictorKind::NotTaken,
@@ -282,6 +338,7 @@ fn parse_predictor(name: &str) -> Result<PredictorKind, String> {
 fn usage() -> String {
     "usage: asbr_tool <asm|analyze|lint|customize|run> <file.s> [options]\n\
      \x20      asbr_tool trace <workload> [--samples n] [--out path] [--interval n] [--asbr]\n\
+     \x20      asbr_tool bench [--samples n] [--reps n] [--out path] [--check golden.json]\n\
      see the module docs (src/bin/asbr_tool.rs) for options"
         .to_owned()
 }
@@ -289,6 +346,44 @@ fn usage() -> String {
 fn real_main() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().ok_or_else(usage)?;
+    if cmd == "bench" {
+        // The only file-less subcommand: parse its flags and go.
+        let mut opts = BenchOpts {
+            samples: THROUGHPUT_SAMPLES,
+            reps: THROUGHPUT_REPS,
+            out: None,
+            check: None,
+        };
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--samples" => {
+                    i += 1;
+                    opts.samples = args
+                        .get(i)
+                        .and_then(|s| s.parse().ok())
+                        .ok_or("bad --samples count")?;
+                }
+                "--reps" => {
+                    i += 1;
+                    opts.reps =
+                        args.get(i).and_then(|s| s.parse().ok()).ok_or("bad --reps count")?;
+                }
+                "--out" => {
+                    i += 1;
+                    opts.out = Some(args.get(i).ok_or("missing path after --out")?.clone());
+                }
+                "--check" => {
+                    i += 1;
+                    opts.check =
+                        Some(args.get(i).ok_or("missing path after --check")?.clone());
+                }
+                other => return Err(format!("unknown option `{other}`")),
+            }
+            i += 1;
+        }
+        return cmd_bench(&opts);
+    }
     let file = args.get(1).ok_or_else(usage)?;
     match cmd.as_str() {
         "asm" => cmd_asm(file),

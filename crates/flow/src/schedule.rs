@@ -195,9 +195,9 @@ mod tests {
         let prog = assemble(src).unwrap();
         let (new_prog, _) = hoist_predicates(&prog);
 
-        let mut a = asbr_sim::Interp::new(&prog);
+        let mut a = asbr_sim::Interp::new(&prog).expect("valid text");
         a.run(100_000).unwrap();
-        let mut b = asbr_sim::Interp::new(&new_prog);
+        let mut b = asbr_sim::Interp::new(&new_prog).expect("valid text");
         b.run(100_000).unwrap();
         assert_eq!(a.reg(asbr_isa::Reg::V0), b.reg(asbr_isa::Reg::V0));
         assert_eq!(a.instructions(), b.instructions());

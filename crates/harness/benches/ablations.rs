@@ -1,7 +1,7 @@
 //! Ablation benches: BIT capacity, publish threshold, scheduling, and
 //! BIT-bank sweeps (DESIGN.md ablations A, B, C, E) on the ADPCM encoder.
 
-use asbr_bench::BENCH_SAMPLES;
+use asbr_harness::BENCH_SAMPLES;
 use asbr_bpred::PredictorKind;
 use asbr_experiments::ablation;
 use asbr_experiments::runner::{AsbrSpec, RunSpec};

@@ -6,7 +6,7 @@ use asbr_bpred::{Bimodal, Btb, Gshare, Predictor};
 use asbr_core::{AsbrConfig, AsbrUnit, Bdt, BitEntry};
 use asbr_isa::{Instr, Reg};
 use asbr_mem::{Cache, CacheConfig};
-use asbr_sim::{FetchHooks, Interp, Pipeline, PipelineConfig};
+use asbr_sim::{Interp, Pipeline, PipelineConfig, SimHooks};
 use asbr_workloads::Workload;
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
@@ -113,7 +113,7 @@ fn simulators(c: &mut Criterion) {
     let input = w.input(100);
     group.bench_function("interp_adpcm_100", |b| {
         b.iter(|| {
-            let mut it = Interp::new(&prog);
+            let mut it = Interp::new(&prog).expect("valid text");
             it.feed_input(input.iter().copied());
             it.run(100_000_000).expect("halts")
         });

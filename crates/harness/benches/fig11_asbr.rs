@@ -1,7 +1,7 @@
 //! Figure 11 bench: ASBR-customized runs per benchmark × auxiliary
 //! predictor, with the improvement series printed once.
 
-use asbr_bench::{slug, BENCH_SAMPLES};
+use asbr_harness::BENCH_SAMPLES;
 use asbr_experiments::runner::RunSpec;
 use asbr_workloads::Workload;
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -26,7 +26,7 @@ fn fig11(c: &mut Criterion) {
                 run.folds()
             );
             group.bench_function(
-                format!("{}/{}", slug(w), aux.label().replace(' ', "_")),
+                format!("{}/{}", w.slug(), aux.label().replace(' ', "_")),
                 |b| {
                     b.iter(|| RunSpec::asbr(w, aux, BENCH_SAMPLES).execute());
                 },

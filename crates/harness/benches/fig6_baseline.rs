@@ -4,7 +4,7 @@
 //! bench scale, printing the rows once, and measures the simulator's
 //! throughput per cell.
 
-use asbr_bench::{baseline_predictors, slug, BENCH_SAMPLES};
+use asbr_harness::{baseline_predictors, BENCH_SAMPLES};
 use asbr_bpred::PredictorKind;
 use asbr_sim::{Pipeline, PipelineConfig};
 use asbr_workloads::Workload;
@@ -32,7 +32,7 @@ fn fig6(c: &mut Criterion) {
                 cpi,
                 acc * 100.0
             );
-            group.bench_function(format!("{}/{}", slug(w), label.replace(' ', "_")), |b| {
+            group.bench_function(format!("{}/{}", w.slug(), label.replace(' ', "_")), |b| {
                 b.iter(|| run_cell(w, kind, &input));
             });
         }

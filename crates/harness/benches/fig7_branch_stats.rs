@@ -4,7 +4,7 @@
 //! Prints each table's series (selected branches with exec counts and
 //! per-predictor accuracies) once, and measures the profiling pass.
 
-use asbr_bench::{slug, BENCH_SAMPLES};
+use asbr_harness::BENCH_SAMPLES;
 use asbr_bpred::PredictorKind;
 use asbr_profile::{profile, select_branches, SelectionConfig};
 use asbr_workloads::Workload;
@@ -27,7 +27,7 @@ fn branch_tables(c: &mut Criterion) {
                 b.exec, b.accuracy[0], b.accuracy[1], b.accuracy[2]
             );
         }
-        group.bench_function(slug(w), |b| {
+        group.bench_function(w.slug(), |b| {
             b.iter(|| {
                 let r = profile(&program, &input, &PredictorKind::BASELINES).expect("profiles");
                 select_branches(&r, &program, &SelectionConfig::default())

@@ -1,15 +1,15 @@
-#![warn(missing_docs)]
-
-//! Shared helpers for the Criterion benchmark suite.
+//! Shared helpers for the Criterion benchmark suite in `benches/`.
 //!
-//! Each bench binary in `benches/` regenerates one paper figure at a
-//! reduced input scale (the full-scale tables come from
+//! Each bench binary regenerates one paper figure at a reduced input
+//! scale (the full-scale tables come from
 //! `cargo run --release -p asbr-experiments --bin tables`), measuring the
 //! simulator's wall-clock cost and printing the figure's series once so
 //! benchmark logs double as experiment records.
+//!
+//! Bench IDs use [`asbr_workloads::Workload::slug`], the canonical short
+//! workload identifier.
 
 use asbr_bpred::PredictorKind;
-use asbr_workloads::Workload;
 
 /// Input scale used by the figure benches: large enough for the paper's
 /// orderings to be stable, small enough for Criterion iteration.
@@ -21,24 +21,14 @@ pub fn baseline_predictors() -> Vec<(String, PredictorKind)> {
     PredictorKind::BASELINES.iter().map(|&k| (k.label(), k)).collect()
 }
 
-/// Short slug for a workload (bench IDs).
-#[must_use]
-pub fn slug(w: Workload) -> &'static str {
-    match w {
-        Workload::AdpcmEncode => "adpcm_enc",
-        Workload::AdpcmDecode => "adpcm_dec",
-        Workload::G721Encode => "g721_enc",
-        Workload::G721Decode => "g721_dec",
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use asbr_workloads::Workload;
 
     #[test]
     fn slugs_are_unique() {
-        let mut v: Vec<&str> = Workload::ALL.iter().map(|&w| slug(w)).collect();
+        let mut v: Vec<&str> = Workload::ALL.iter().map(|w| w.slug()).collect();
         v.sort_unstable();
         v.dedup();
         assert_eq!(v.len(), 4);

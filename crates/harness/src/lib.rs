@@ -8,7 +8,12 @@
 //! `(workload, hoist, samples)`, in-batch dedup, and a content-addressed
 //! on-disk [`ResultCache`] under `results/cache/` (see [`CacheMode`] for
 //! the `--no-cache` / `--refresh` escape hatches). [`SweepBench`] records
-//! per-run wall-clock and simulated cycles into `BENCH_sweep.json`.
+//! per-run wall-clock and simulated cycles into `BENCH_sweep.json`, and
+//! [`ThroughputSpec`] measures the simulator hot loop itself — simulated
+//! cycles and instructions per host second, best-of-N — into
+//! `BENCH_throughput.json` (see `docs/performance.md`). The Criterion
+//! figure benches live under `benches/` with shared knobs in
+//! [`figures`].
 //!
 //! The crate is deliberately dependency-free beyond the workspace: the
 //! cache key hash ([`hash::Sha256`]), the cache entry format, and the
@@ -22,15 +27,22 @@
 pub mod bench;
 pub mod cache;
 pub mod executor;
+pub mod figures;
 pub mod hash;
 pub mod matrix;
 pub mod spec;
+pub mod throughput;
 
 pub use bench::{BenchEntry, SweepBench, BENCH_SCHEMA};
 pub use cache::{ResultCache, CACHE_FORMAT};
 pub use executor::{CacheMode, Executor};
+pub use figures::{baseline_predictors, BENCH_SAMPLES};
 pub use matrix::RunMatrix;
 pub use spec::{
     AsbrSpec, MicroTweaks, RunOutcome, RunSpec, AUX_BTB, BASELINE_BTB, PROFILE_PREDICTOR,
     SAMPLES_FULL, SAMPLES_SMOKE,
+};
+pub use throughput::{
+    ThroughputBench, ThroughputEntry, ThroughputSpec, THROUGHPUT_REPS, THROUGHPUT_SAMPLES,
+    THROUGHPUT_SCHEMA,
 };

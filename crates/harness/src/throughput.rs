@@ -1,0 +1,419 @@
+//! Host-throughput benchmarking: simulated cycles (and instructions) per
+//! host second, per workload × configuration, emitted as
+//! `BENCH_throughput.json`.
+//!
+//! Where [`crate::SweepBench`] records how long a *sweep* took end to
+//! end, this module measures the simulator hot loop itself: each spec is
+//! prepared once (assemble, input synthesis, profile + selection for
+//! ASBR specs) *outside* the timed region, then the pipeline run is
+//! repeated `reps` times and the best wall-clock kept — the standard
+//! best-of-N protocol that rejects scheduler noise. Simulated cycle
+//! counts must be identical across repetitions (the simulator is
+//! deterministic); [`ThroughputBench::measure`] asserts this.
+//!
+//! The JSON is rendered by hand like every other harness artifact:
+//!
+//! ```json
+//! {
+//!   "schema": "asbr-throughput-bench-v1",
+//!   "samples": 4000,
+//!   "reps": 5,
+//!   "entries": [ { "label": "ADPCM Encode/bimodal/baseline",
+//!                  "workload": "ADPCM Encode", "predictor": "bimodal",
+//!                  "asbr": false, "samples": 4000, "cycles": 216846,
+//!                  "retired": 180000, "best_nanos": 5135153,
+//!                  "cycles_per_sec": 42227758, "mips": 35.0 }, ... ]
+//! }
+//! ```
+//!
+//! (`retired` and `mips` — simulated instructions and simulated MIPS —
+//! are additive to the original v1 schema; consumers keying on the
+//! original fields are unaffected.)
+
+use std::fs;
+use std::io;
+use std::path::Path;
+use std::time::Instant;
+
+use asbr_profile::profile;
+
+use crate::spec::{RunSpec, PROFILE_PREDICTOR};
+
+/// Schema tag written into the JSON.
+pub const THROUGHPUT_SCHEMA: &str = "asbr-throughput-bench-v1";
+
+/// Default input scale for the committed `results/BENCH_throughput.json`.
+pub const THROUGHPUT_SAMPLES: usize = 4000;
+
+/// Default best-of repetitions.
+pub const THROUGHPUT_REPS: usize = 5;
+
+/// A host-throughput measurement request: which specs to time, at what
+/// input scale, with how many best-of repetitions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThroughputSpec {
+    /// Input samples fed to every workload.
+    pub samples: usize,
+    /// Timed repetitions per spec (best kept).
+    pub reps: usize,
+    /// The runs to measure.
+    pub specs: Vec<RunSpec>,
+}
+
+impl ThroughputSpec {
+    /// The standard trajectory: every workload, baseline and
+    /// ASBR-customized, under the paper's baseline bimodal predictor.
+    #[must_use]
+    pub fn standard(samples: usize, reps: usize) -> ThroughputSpec {
+        let mut specs = Vec::with_capacity(asbr_workloads::Workload::ALL.len() * 2);
+        for w in asbr_workloads::Workload::ALL {
+            specs.push(RunSpec::baseline(w, PROFILE_PREDICTOR, samples));
+        }
+        for w in asbr_workloads::Workload::ALL {
+            specs.push(RunSpec::asbr(w, PROFILE_PREDICTOR, samples));
+        }
+        ThroughputSpec { samples, reps: reps.max(1), specs }
+    }
+
+    /// Runs the measurement: untimed preparation per spec, then `reps`
+    /// timed pipeline runs keeping the best.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`asbr_sim::SimError`] from preparation or a timed
+    /// run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the deterministic simulator disagrees with itself: a
+    /// repetition returning a different simulated cycle count is a
+    /// simulator bug, not measurement noise.
+    pub fn measure(&self) -> Result<ThroughputBench, asbr_sim::SimError> {
+        let mut entries = Vec::with_capacity(self.specs.len());
+        for spec in &self.specs {
+            // Everything data-dependent happens outside the timed region:
+            // the measurement is the simulator hot loop, not assembly or
+            // profiling.
+            let program = spec.program();
+            let input = spec.workload.input(spec.samples);
+            let report = match spec.asbr {
+                Some(_) => Some(profile(&program, &input, &[PROFILE_PREDICTOR])?),
+                None => None,
+            };
+
+            let mut best_nanos = u64::MAX;
+            let mut cycles = 0u64;
+            let mut retired = 0u64;
+            for rep in 0..self.reps {
+                let started = Instant::now();
+                let out = spec.execute_prepared(&program, &input, report.as_ref())?;
+                let nanos =
+                    u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX).max(1);
+                if rep == 0 {
+                    cycles = out.cycles();
+                    retired = out.summary.stats.retired;
+                } else {
+                    assert_eq!(
+                        cycles,
+                        out.cycles(),
+                        "non-deterministic cycle count for {}",
+                        spec.label()
+                    );
+                }
+                best_nanos = best_nanos.min(nanos);
+            }
+            entries.push(ThroughputEntry {
+                label: spec.label(),
+                workload: spec.workload.name().to_owned(),
+                predictor: spec.predictor.label(),
+                asbr: spec.asbr.is_some(),
+                samples: spec.samples,
+                cycles,
+                retired,
+                best_nanos,
+            });
+        }
+        Ok(ThroughputBench { samples: self.samples, reps: self.reps, entries })
+    }
+}
+
+/// One spec's throughput record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThroughputEntry {
+    /// Human label of the spec (`workload/predictor/mode`).
+    pub label: String,
+    /// Workload name.
+    pub workload: String,
+    /// Predictor label.
+    pub predictor: String,
+    /// Whether the run was ASBR-customized.
+    pub asbr: bool,
+    /// Input samples.
+    pub samples: usize,
+    /// Simulated machine cycles (identical across repetitions).
+    pub cycles: u64,
+    /// Simulated instructions retired.
+    pub retired: u64,
+    /// Best wall-clock nanoseconds over the repetitions.
+    pub best_nanos: u64,
+}
+
+impl ThroughputEntry {
+    /// Simulated cycles per host second at the best repetition.
+    #[must_use]
+    pub fn cycles_per_sec(&self) -> u64 {
+        mul_div(self.cycles, 1_000_000_000, self.best_nanos)
+    }
+
+    /// Simulated millions of instructions per host second.
+    #[must_use]
+    pub fn mips(&self) -> f64 {
+        self.retired as f64 * 1000.0 / self.best_nanos as f64
+    }
+}
+
+/// `a * b / c` in 128-bit, saturating on overflow.
+fn mul_div(a: u64, b: u64, c: u64) -> u64 {
+    let c = u128::from(c.max(1));
+    u64::try_from(u128::from(a) * u128::from(b) / c).unwrap_or(u64::MAX)
+}
+
+/// A completed throughput measurement, renderable as
+/// `BENCH_throughput.json`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThroughputBench {
+    /// Input scale shared by the entries.
+    pub samples: usize,
+    /// Best-of repetitions used.
+    pub reps: usize,
+    /// Per-spec records, in spec order.
+    pub entries: Vec<ThroughputEntry>,
+}
+
+impl ThroughputBench {
+    /// Renders the benchmark as pretty-printed JSON.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(256 + self.entries.len() * 224);
+        s.push_str("{\n");
+        s.push_str(&format!("  \"schema\": {},\n", json_str(THROUGHPUT_SCHEMA)));
+        s.push_str(&format!("  \"samples\": {},\n", self.samples));
+        s.push_str(&format!("  \"reps\": {},\n", self.reps));
+        s.push_str("  \"entries\": [");
+        for (i, e) in self.entries.iter().enumerate() {
+            s.push_str(if i == 0 { "\n" } else { ",\n" });
+            s.push_str(&format!(
+                "    {{ \"label\": {}, \"workload\": {}, \"predictor\": {}, \
+                 \"asbr\": {}, \"samples\": {}, \"cycles\": {}, \"retired\": {}, \
+                 \"best_nanos\": {}, \"cycles_per_sec\": {}, \"mips\": {:.1} }}",
+                json_str(&e.label),
+                json_str(&e.workload),
+                json_str(&e.predictor),
+                e.asbr,
+                e.samples,
+                e.cycles,
+                e.retired,
+                e.best_nanos,
+                e.cycles_per_sec(),
+                e.mips(),
+            ));
+        }
+        s.push_str("\n  ]\n}\n");
+        s
+    }
+
+    /// Writes the JSON to `path`, creating parent directories.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let path = path.as_ref();
+        if let Some(dir) = path.parent() {
+            fs::create_dir_all(dir)?;
+        }
+        fs::write(path, self.to_json())
+    }
+
+    /// Extracts the `(label, cycles)` pairs from a rendered
+    /// `BENCH_throughput.json` — the golden-comparison fields. A scanning
+    /// parser, matched to [`ThroughputBench::to_json`]'s own output (the
+    /// harness deliberately carries no JSON dependency); it keys on the
+    /// `"label"`/`"cycles"` members each entry emits.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed entry.
+    pub fn parse_cycles(json: &str) -> Result<Vec<(String, u64)>, String> {
+        let mut out = Vec::new();
+        let mut rest = json;
+        while let Some(at) = rest.find("\"label\":") {
+            rest = &rest[at + "\"label\":".len()..];
+            let open = rest
+                .find('"')
+                .ok_or_else(|| format!("entry {}: unterminated label", out.len()))?;
+            rest = &rest[open + 1..];
+            let close = rest
+                .find('"')
+                .ok_or_else(|| format!("entry {}: unterminated label", out.len()))?;
+            let label = rest[..close].to_owned();
+            rest = &rest[close + 1..];
+            let at = rest
+                .find("\"cycles\":")
+                .ok_or_else(|| format!("entry `{label}`: no cycles field"))?;
+            let digits: String = rest[at + "\"cycles\":".len()..]
+                .trim_start()
+                .chars()
+                .take_while(char::is_ascii_digit)
+                .collect();
+            let cycles = digits
+                .parse::<u64>()
+                .map_err(|_| format!("entry `{label}`: bad cycles value"))?;
+            out.push((label, cycles));
+        }
+        if out.is_empty() {
+            return Err("no entries found (not a BENCH_throughput.json?)".to_owned());
+        }
+        Ok(out)
+    }
+
+    /// Compares simulated cycle counts against a golden rendering,
+    /// label by label. Wall-clock fields are ignored — only the
+    /// simulation results must match.
+    ///
+    /// # Errors
+    ///
+    /// Lists every label whose cycles drifted or that is missing from
+    /// either side.
+    pub fn check_against(&self, golden_json: &str) -> Result<(), String> {
+        let golden = ThroughputBench::parse_cycles(golden_json)?;
+        let mut drift = Vec::new();
+        for (label, want) in &golden {
+            match self.entries.iter().find(|e| e.label == *label) {
+                None => drift.push(format!("`{label}`: missing from this run")),
+                Some(e) if e.cycles != *want => drift.push(format!(
+                    "`{label}`: simulated {} cycles, golden pins {want}",
+                    e.cycles
+                )),
+                Some(_) => {}
+            }
+        }
+        for e in &self.entries {
+            if !golden.iter().any(|(l, _)| l == &e.label) {
+                drift.push(format!("`{}`: not in the golden", e.label));
+            }
+        }
+        if drift.is_empty() {
+            Ok(())
+        } else {
+            Err(format!("cycle counts drifted from the golden:\n  {}", drift.join("\n  ")))
+        }
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asbr_workloads::Workload;
+
+    #[test]
+    fn standard_covers_every_workload_twice() {
+        let t = ThroughputSpec::standard(100, 2);
+        assert_eq!(t.specs.len(), Workload::ALL.len() * 2);
+        assert_eq!(t.specs.iter().filter(|s| s.asbr.is_some()).count(), Workload::ALL.len());
+    }
+
+    #[test]
+    fn measure_produces_consistent_entries_and_json() {
+        let t = ThroughputSpec {
+            samples: 40,
+            reps: 2,
+            specs: vec![
+                RunSpec::baseline(Workload::AdpcmEncode, PROFILE_PREDICTOR, 40),
+                RunSpec::asbr(Workload::AdpcmEncode, PROFILE_PREDICTOR, 40),
+            ],
+        };
+        let bench = t.measure().unwrap();
+        assert_eq!(bench.entries.len(), 2);
+        for e in &bench.entries {
+            assert!(e.cycles > 0 && e.retired > 0 && e.best_nanos > 0);
+            assert!(e.cycles >= e.retired, "CPI >= 1");
+            assert!(e.cycles_per_sec() > 0);
+            assert!(e.mips() > 0.0);
+        }
+        let json = bench.to_json();
+        assert!(json.contains("\"schema\": \"asbr-throughput-bench-v1\""));
+        assert!(json.contains("\"asbr\": true"));
+        assert!(json.contains("\"mips\": "));
+        assert_eq!(json.matches("\"label\"").count(), 2);
+    }
+
+    #[test]
+    fn parse_and_check_round_trip() {
+        let entry = |label: &str, cycles: u64| ThroughputEntry {
+            label: label.to_owned(),
+            workload: String::new(),
+            predictor: String::new(),
+            asbr: false,
+            samples: 10,
+            cycles,
+            retired: 1,
+            best_nanos: 1,
+        };
+        let bench = ThroughputBench {
+            samples: 10,
+            reps: 1,
+            entries: vec![entry("a/b/baseline", 100), entry("a/b/asbr", 90)],
+        };
+        let json = bench.to_json();
+        assert_eq!(
+            ThroughputBench::parse_cycles(&json).unwrap(),
+            vec![("a/b/baseline".to_owned(), 100), ("a/b/asbr".to_owned(), 90)]
+        );
+        bench.check_against(&json).unwrap();
+
+        let mut drifted = bench.clone();
+        drifted.entries[1].cycles = 91;
+        let err = drifted.check_against(&json).unwrap_err();
+        assert!(err.contains("a/b/asbr"), "{err}");
+        assert!(err.contains("golden pins 90"), "{err}");
+
+        let mut missing = bench.clone();
+        missing.entries.pop();
+        assert!(missing.check_against(&json).unwrap_err().contains("missing"));
+        assert!(ThroughputBench::parse_cycles("{}").is_err());
+    }
+
+    #[test]
+    fn cycles_per_sec_is_overflow_safe() {
+        let e = ThroughputEntry {
+            label: String::new(),
+            workload: String::new(),
+            predictor: String::new(),
+            asbr: false,
+            samples: 0,
+            cycles: u64::MAX,
+            retired: 1,
+            best_nanos: 1,
+        };
+        assert_eq!(e.cycles_per_sec(), u64::MAX);
+    }
+}

@@ -102,6 +102,14 @@ impl MemSystem {
         Ok(Access { value, penalty })
     }
 
+    /// I-cache timing of the fetch at `pc` without reading backing
+    /// memory — the decode-once fast path, where the caller already holds
+    /// the word (and its decode) from a pre-validated store. Timing and
+    /// cache statistics are identical to [`MemSystem::fetch_instr`].
+    pub fn fetch_penalty(&mut self, pc: u32) -> u32 {
+        self.icache.access(pc)
+    }
+
     /// Untimed word read honouring MMIO semantics.
     ///
     /// # Errors

@@ -35,7 +35,7 @@
 use asbr_asm::Program;
 use asbr_bpred::{Predictor, PredictorKind};
 use asbr_isa::{Instr, Reg, NUM_REGS};
-use asbr_sim::{Interp, Observer, SimError};
+use asbr_sim::{Interp, SimError, SimHooks};
 use std::collections::HashMap;
 
 /// Distance histogram buckets: exact counts for 0..=15 and a 16+ bucket.
@@ -125,7 +125,7 @@ struct Rec {
     correct: Vec<u64>,
 }
 
-impl Observer for Collector {
+impl SimHooks for Collector {
     fn on_branch(&mut self, pc: u32, instr: Instr, taken: bool, icount: u64) {
         let zero_compare = instr
             .branch()
@@ -178,7 +178,7 @@ pub fn profile(
     input: &[i32],
     predictors: &[PredictorKind],
 ) -> Result<ProfileReport, SimError> {
-    let mut interp = Interp::new(program);
+    let mut interp = Interp::new(program)?;
     interp.feed_input(input.iter().copied());
     let mut collector = Collector {
         predictors: predictors.iter().map(|&k| k.build()).collect(),

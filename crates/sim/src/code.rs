@@ -1,0 +1,228 @@
+//! The engines' view of a [`DecodedProgram`]: pre-decoded instructions,
+//! the raw word stream, per-instruction static metadata, and the
+//! self-modification tracking that keeps the decode-once fast path exact.
+
+use asbr_asm::DecodedProgram;
+use asbr_isa::{Instr, Reg};
+
+/// Static (per-text-word) metadata the pipeline would otherwise re-derive
+/// every cycle: destination/source registers, branch/halt classification,
+/// the resolved direct-jump target, EX occupancy (configured latencies
+/// baked in), and the return-address-stack class.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SlotMeta {
+    /// Destination register (`None` for `r0` and non-writers).
+    pub dst: Option<Reg>,
+    /// Up-to-two source registers (load-use interlock check).
+    pub srcs: [Option<Reg>; 2],
+    /// Whether this is a conditional branch.
+    pub is_branch: bool,
+    /// Whether this is `halt`.
+    pub is_halt: bool,
+    /// Resolved `j`/`jal` target, if any.
+    pub direct_target: Option<u32>,
+    /// EX-stage occupancy in cycles (≥ 1).
+    pub latency: u32,
+    /// How the return-address stack treats this instruction.
+    pub ras: RasClass,
+}
+
+/// Return-address-stack behaviour of an instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum RasClass {
+    /// No RAS interaction.
+    None,
+    /// `jal`/`jalr`: push the return address.
+    Push,
+    /// `jr ra`: pop a predicted return target.
+    PopReturn,
+}
+
+impl SlotMeta {
+    pub(crate) fn from_instr(instr: Instr, pc: u32, mul_latency: u32, div_latency: u32) -> SlotMeta {
+        let latency = match instr {
+            Instr::Mul { .. } => mul_latency.max(1),
+            Instr::Div { .. } | Instr::Rem { .. } => div_latency.max(1),
+            _ => 1,
+        };
+        let ras = match instr {
+            Instr::Jal { .. } | Instr::Jalr { .. } => RasClass::Push,
+            Instr::Jr { rs } if rs == Reg::RA => RasClass::PopReturn,
+            _ => RasClass::None,
+        };
+        SlotMeta {
+            dst: instr.dst(),
+            srcs: instr.srcs(),
+            is_branch: instr.branch().is_some(),
+            is_halt: instr == Instr::Halt,
+            direct_target: instr.direct_jump_target(pc),
+            latency,
+            ras,
+        }
+    }
+}
+
+/// The decode-once store both engines fetch from.
+///
+/// A fetch at an in-text, still-pristine PC is an array lookup: no memory
+/// read, no decode. Everything else — out-of-text PCs, misaligned PCs,
+/// words clobbered by guest stores, raw-memory mutation through
+/// `mem_mut` — falls back to the original read-and-decode path, so
+/// behaviour (including runtime [`crate::SimError::InvalidInstr`] for
+/// execution running off into garbage) is unchanged.
+#[derive(Debug)]
+pub(crate) struct CodeStore {
+    decoded: DecodedProgram,
+    metas: Vec<SlotMeta>,
+    /// Per-word: overwritten by a guest store since load (self-modifying
+    /// code). Dirty words always take the slow path.
+    dirty: Vec<bool>,
+    /// Cleared when the owner hands out raw mutable memory access: the
+    /// store can no longer prove its copy matches memory, so every fetch
+    /// takes the slow path.
+    trusted: bool,
+}
+
+impl CodeStore {
+    /// A store with no text: every lookup misses (the pre-`load` state).
+    pub(crate) fn empty() -> CodeStore {
+        CodeStore {
+            decoded: DecodedProgram::empty(),
+            metas: Vec::new(),
+            dirty: Vec::new(),
+            trusted: true,
+        }
+    }
+
+    /// Builds the store from a validated decode, baking the configured EX
+    /// latencies into the per-instruction metadata.
+    pub(crate) fn new(decoded: DecodedProgram, mul_latency: u32, div_latency: u32) -> CodeStore {
+        let base = decoded.text_base();
+        let metas = decoded
+            .instrs()
+            .iter()
+            .enumerate()
+            .map(|(i, &instr)| {
+                SlotMeta::from_instr(instr, base.wrapping_add(4 * i as u32), mul_latency, div_latency)
+            })
+            .collect();
+        let dirty = vec![false; decoded.len()];
+        CodeStore { decoded, metas, dirty, trusted: true }
+    }
+
+    /// Fast-path fetch: the pre-decoded instruction, its raw word, and
+    /// its metadata — `None` whenever the slow path must run instead.
+    #[inline]
+    pub(crate) fn fetch(&self, pc: u32) -> Option<(Instr, u32, SlotMeta)> {
+        if !self.trusted {
+            return None;
+        }
+        let idx = self.decoded.index_of(pc)?;
+        if self.dirty[idx] {
+            return None;
+        }
+        Some((self.decoded.instrs()[idx], self.decoded.words()[idx], self.metas[idx]))
+    }
+
+    /// Metadata for a fold replacement at `pc`: reuses the precomputed
+    /// entry when the store holds exactly `instr` there, otherwise
+    /// derives it fresh (hooks may substitute arbitrary instructions).
+    pub(crate) fn meta_for(
+        &self,
+        pc: u32,
+        instr: Instr,
+        mul_latency: u32,
+        div_latency: u32,
+    ) -> SlotMeta {
+        if let Some((cached, _, meta)) = self.fetch(pc) {
+            if cached == instr {
+                return meta;
+            }
+        }
+        SlotMeta::from_instr(instr, pc, mul_latency, div_latency)
+    }
+
+    /// Marks every text word overlapped by a `bytes`-wide store at `addr`
+    /// dirty (self-modifying code detection). Cheap for the common case:
+    /// two compares reject stores that cannot touch text.
+    #[inline]
+    pub(crate) fn note_store(&mut self, addr: u32, bytes: u32) {
+        let base = self.decoded.text_base();
+        let end = self.decoded.text_end();
+        if addr >= end || u64::from(addr) + u64::from(bytes) <= u64::from(base) {
+            return;
+        }
+        let first = (addr.max(base) - base) / 4;
+        let last_byte = (u64::from(addr) + u64::from(bytes) - 1).min(u64::from(end) - 1) as u32;
+        let last = (last_byte - base) / 4;
+        for idx in first..=last {
+            self.dirty[idx as usize] = true;
+        }
+    }
+
+    /// Drops trust in the cached copy entirely (raw memory was handed out
+    /// mutably); every subsequent fetch takes the slow path.
+    pub(crate) fn distrust(&mut self) {
+        self.trusted = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asbr_asm::assemble;
+
+    fn store(src: &str) -> CodeStore {
+        let p = assemble(src).unwrap();
+        CodeStore::new(p.decoded().unwrap(), 1, 1)
+    }
+
+    #[test]
+    fn fetch_hits_in_text_and_misses_outside() {
+        let s = store("main: addi r2, r0, 5\n halt");
+        let (instr, word, meta) = s.fetch(0x1000).unwrap();
+        assert_eq!(instr, Instr::decode(word).unwrap());
+        assert_eq!(meta.dst, Some(Reg::V0));
+        assert!(!meta.is_halt);
+        let (_, _, halt_meta) = s.fetch(0x1004).unwrap();
+        assert!(halt_meta.is_halt);
+        assert!(s.fetch(0x1008).is_none(), "past text_end");
+        assert!(s.fetch(0x1002).is_none(), "misaligned");
+    }
+
+    #[test]
+    fn stores_into_text_dirty_exactly_the_overlapped_words() {
+        let mut s = store("main: nop\n nop\n nop\n halt");
+        s.note_store(0x0FFF_FFF0, 4); // far below text
+        s.note_store(0x0020_0000, 4); // far above text
+        assert!(s.fetch(0x1000).is_some());
+        s.note_store(0x1003, 2); // straddles words 0 and 1
+        assert!(s.fetch(0x1000).is_none());
+        assert!(s.fetch(0x1004).is_none());
+        assert!(s.fetch(0x1008).is_some());
+        s.note_store(0x0FFF, 2); // straddles into word 0 from below
+        assert!(s.fetch(0x1008).is_some(), "word 2 untouched");
+    }
+
+    #[test]
+    fn distrust_disables_every_fetch() {
+        let mut s = store("main: halt");
+        assert!(s.fetch(0x1000).is_some());
+        s.distrust();
+        assert!(s.fetch(0x1000).is_none());
+    }
+
+    #[test]
+    fn meta_for_reuses_cached_entry_or_derives() {
+        let s = store("main: mul r2, r3, r4\n halt");
+        let cached = s.fetch(0x1000).unwrap().0;
+        let m = s.meta_for(0x1000, cached, 1, 1);
+        assert_eq!(m.latency, 1);
+        // Different instruction at a cached pc: derived fresh.
+        let m = s.meta_for(0x1000, Instr::Halt, 1, 1);
+        assert!(m.is_halt);
+        // Out-of-text pc: derived fresh with the given latencies.
+        let m = s.meta_for(0x9000, cached, 7, 1);
+        assert_eq!(m.latency, 7);
+    }
+}

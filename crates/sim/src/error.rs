@@ -2,17 +2,28 @@
 
 use core::fmt;
 
+use asbr_asm::TextDecodeError;
 use asbr_mem::MemAccessError;
 
 /// An error terminating a simulation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SimError {
     /// The word fetched at `pc` does not decode.
+    ///
+    /// Since loads validate the whole text segment up front (see
+    /// [`SimError::InvalidText`]), this only occurs when execution leaves
+    /// the text segment and runs into undecodable memory.
     InvalidInstr {
         /// Fetch address.
         pc: u32,
         /// The undecodable word.
         word: u32,
+    },
+    /// The program's text failed load-time validation; the source error
+    /// lists *every* undecodable word with address and source line.
+    InvalidText {
+        /// The complete bad-word listing.
+        source: TextDecodeError,
     },
     /// A data or instruction access faulted.
     Mem {
@@ -35,6 +46,7 @@ impl fmt::Display for SimError {
             SimError::InvalidInstr { pc, word } => {
                 write!(f, "invalid instruction {word:#010x} at pc {pc:#010x}")
             }
+            SimError::InvalidText { source } => write!(f, "{source}"),
             SimError::Mem { pc, source } => {
                 write!(f, "memory fault at pc {pc:#010x}: {source}")
             }
@@ -49,6 +61,7 @@ impl std::error::Error for SimError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             SimError::Mem { source, .. } => Some(source),
+            SimError::InvalidText { source } => Some(source),
             _ => None,
         }
     }

@@ -1,10 +1,24 @@
-//! Fetch-stage customization hooks.
+//! The unified simulator observation/customization surface.
 //!
 //! The paper's central idea is a *microarchitecturally reprogrammable*
-//! fetch-stage unit. The pipeline stays generic over a [`FetchHooks`]
-//! implementation; the `asbr-core` crate supplies the Branch Identification
-//! Table / Branch Direction Table machinery through this trait, and
-//! [`NullHooks`] gives the uncustomized baseline processor.
+//! fetch-stage unit. Both engines stay generic over one [`SimHooks`]
+//! implementation: the `asbr-core` crate supplies the Branch
+//! Identification Table / Branch Direction Table machinery through the
+//! fetch-customization methods, profiling collectors consume the
+//! functional retire stream, and trace sinks consume the per-cycle
+//! attribution events. [`NullHooks`] is the do-nothing implementation
+//! (the uncustomized baseline processor).
+//!
+//! `SimHooks` replaces three older single-purpose traits — `FetchHooks`
+//! (pipeline fetch customization), `TraceHooks` (per-cycle trace sinks),
+//! and `Observer` (interpreter retire stream). Those names remain as
+//! deprecated marker shims for one release: a generic *bound* on them
+//! still compiles (with a deprecation warning), but implementors must
+//! move to `SimHooks`. Two methods were renamed in the merge: the
+//! pipeline's retire event is now [`SimHooks::on_commit`] (the
+//! interpreter's architectural retire kept [`SimHooks::on_retire`]), and
+//! the interpreter's `on_ctrl_write` merged into
+//! [`SimHooks::note_ctrl_write`], which both engines now drive.
 
 use asbr_isa::{Instr, Reg};
 
@@ -57,9 +71,16 @@ pub struct Folded {
     pub taken: bool,
 }
 
-/// Fetch-stage customization interface implemented by the ASBR unit.
+/// The single simulator hook surface: fetch customization, pipeline trace
+/// events, and the interpreter's functional retire stream in one trait.
 ///
-/// Call protocol (enforced by the pipeline):
+/// Every method has a no-op default — implement only what you consume.
+/// The trait is object-safe (the pipeline's trace sink is a
+/// `Box<dyn SimHooks>`).
+///
+/// # Fetch customization (pipeline)
+///
+/// Call protocol, enforced by the pipeline:
 ///
 /// 1. every fetched instruction that writes a register is announced with
 ///    [`note_fetch_writer`] *when its fetch begins*;
@@ -70,90 +91,123 @@ pub struct Folded {
 ///    was never published is retracted with [`note_squash_writer`];
 /// 4. when an instruction's value becomes architecturally available at
 ///    this unit's [`publish_point`], the pipeline calls [`note_publish`];
-/// 5. `ctrlw` instructions reach [`note_ctrl_write`] at execute.
+/// 5. `ctrlw` instructions reach [`note_ctrl_write`] at execute (the
+///    interpreter reports them through the same method).
 ///
-/// [`note_fetch_writer`]: FetchHooks::note_fetch_writer
-/// [`try_fold`]: FetchHooks::try_fold
-/// [`note_squash_writer`]: FetchHooks::note_squash_writer
-/// [`publish_point`]: FetchHooks::publish_point
-/// [`note_publish`]: FetchHooks::note_publish
-/// [`note_ctrl_write`]: FetchHooks::note_ctrl_write
-pub trait FetchHooks {
+/// # Trace events (pipeline)
+///
+/// [`on_cycle`] attributes every machine cycle to a bucket; [`on_commit`],
+/// [`on_fold`], and [`on_flush`] mark retires, fetch-stage folds, and
+/// front-end flushes. Attach a sink with `Pipeline::set_tracer`; the
+/// built-in [`crate::ChromeTracer`] renders the stream as
+/// Chrome-trace-event JSON.
+///
+/// # Functional retire stream (interpreter)
+///
+/// [`on_retire`], [`on_branch`], and [`on_reg_write`] fire per retired
+/// instruction — the profiling interface behind the paper's Figures 7/9/10
+/// statistics and Sec. 6 candidate selection.
+///
+/// [`note_fetch_writer`]: SimHooks::note_fetch_writer
+/// [`try_fold`]: SimHooks::try_fold
+/// [`note_squash_writer`]: SimHooks::note_squash_writer
+/// [`publish_point`]: SimHooks::publish_point
+/// [`note_publish`]: SimHooks::note_publish
+/// [`note_ctrl_write`]: SimHooks::note_ctrl_write
+/// [`on_cycle`]: SimHooks::on_cycle
+/// [`on_commit`]: SimHooks::on_commit
+/// [`on_fold`]: SimHooks::on_fold
+/// [`on_flush`]: SimHooks::on_flush
+/// [`on_retire`]: SimHooks::on_retire
+/// [`on_branch`]: SimHooks::on_branch
+/// [`on_reg_write`]: SimHooks::on_reg_write
+#[allow(unused_variables)]
+pub trait SimHooks {
+    // --- fetch customization (pipeline) -------------------------------
+
     /// The stage at which this unit receives register publishes.
     fn publish_point(&self) -> PublishPoint {
         PublishPoint::Commit
     }
 
     /// Attempts to fold the instruction fetched at `pc`.
-    fn try_fold(&mut self, pc: u32, word: u32) -> Option<Folded>;
+    fn try_fold(&mut self, pc: u32, word: u32) -> Option<Folded> {
+        None
+    }
 
     /// An instruction writing `reg` entered the front end.
-    fn note_fetch_writer(&mut self, reg: Reg);
+    fn note_fetch_writer(&mut self, reg: Reg) {}
 
     /// A previously announced writer of `reg` was squashed before its
     /// publish.
-    fn note_squash_writer(&mut self, reg: Reg);
+    fn note_squash_writer(&mut self, reg: Reg) {}
 
     /// The in-flight writer of `reg` produced `value` (one publish per
     /// announced writer, in program order).
-    fn note_publish(&mut self, reg: Reg, value: u32);
+    fn note_publish(&mut self, reg: Reg, value: u32) {}
 
-    /// A `ctrlw` wrote `value` to control register `ctrl`.
-    fn note_ctrl_write(&mut self, ctrl: u8, value: u32);
-}
+    /// A `ctrlw` wrote `value` to control register `ctrl` (reported by
+    /// both engines).
+    fn note_ctrl_write(&mut self, ctrl: u8, value: u32) {}
 
-/// Observation-side extension of the fetch-customization seam: a trace
-/// sink the pipeline drives with structured per-cycle events.
-///
-/// Where [`FetchHooks`] lets a unit *change* the machine (fold branches,
-/// track writers), `TraceHooks` only *watches* it: the pipeline reports
-/// the bucket every cycle was attributed to, plus retire/fold/flush
-/// events. All methods default to no-ops so a sink implements only what
-/// it consumes. Attach one with `Pipeline::set_tracer`; the built-in
-/// [`crate::ChromeTracer`] renders the stream as Chrome-trace-event JSON.
-pub trait TraceHooks {
+    // --- trace events (pipeline) --------------------------------------
+
     /// Cycle `cycle` was attributed to `bucket`; `origin_pc` is the
     /// instruction that caused it (the retired instruction for useful
     /// cycles, the stalling/flushing instruction for bubbles, 0 for
     /// fill/drain).
-    fn on_cycle(&mut self, cycle: u64, bucket: CycleBucket, origin_pc: u32) {
-        let _ = (cycle, bucket, origin_pc);
-    }
+    fn on_cycle(&mut self, cycle: u64, bucket: CycleBucket, origin_pc: u32) {}
 
-    /// The instruction at `pc` retired at `cycle`.
-    fn on_retire(&mut self, cycle: u64, pc: u32) {
-        let _ = (cycle, pc);
-    }
+    /// The instruction at `pc` committed (retired from the pipeline) at
+    /// `cycle`.
+    fn on_commit(&mut self, cycle: u64, pc: u32) {}
 
     /// The branch at `pc` was folded at fetch in `cycle`.
-    fn on_fold(&mut self, cycle: u64, pc: u32, taken: bool) {
-        let _ = (cycle, pc, taken);
-    }
+    fn on_fold(&mut self, cycle: u64, pc: u32, taken: bool) {}
 
     /// The instruction at `pc` flushed the front end at `cycle`
     /// (`indirect` distinguishes `jr`/`jalr` from conditional branches).
-    fn on_flush(&mut self, cycle: u64, pc: u32, indirect: bool) {
-        let _ = (cycle, pc, indirect);
-    }
+    fn on_flush(&mut self, cycle: u64, pc: u32, indirect: bool) {}
+
+    // --- functional retire stream (interpreter) -----------------------
+
+    /// `instr` at `pc` retired as the `icount`-th dynamic instruction.
+    fn on_retire(&mut self, pc: u32, instr: Instr, icount: u64) {}
+
+    /// A conditional branch at `pc` resolved.
+    fn on_branch(&mut self, pc: u32, instr: Instr, taken: bool, icount: u64) {}
+
+    /// `reg` received `value` (at the `icount`-th dynamic instruction).
+    fn on_reg_write(&mut self, reg: Reg, value: u32, icount: u64) {}
 }
 
-/// The uncustomized baseline: never folds, ignores all notifications.
+/// The do-nothing [`SimHooks`]: never folds, ignores every event — the
+/// uncustomized baseline processor and the silent observer.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct NullHooks;
 
-impl FetchHooks for NullHooks {
-    fn try_fold(&mut self, _pc: u32, _word: u32) -> Option<Folded> {
-        None
-    }
+impl SimHooks for NullHooks {}
 
-    fn note_fetch_writer(&mut self, _reg: Reg) {}
+/// Former fetch-customization trait, merged into [`SimHooks`].
+///
+/// Kept for one release as a marker shim: generic bounds on `FetchHooks`
+/// still compile (every `SimHooks` implements it), but implementations
+/// must move to `SimHooks`.
+#[deprecated(since = "0.2.0", note = "merged into SimHooks; bound on SimHooks instead")]
+pub trait FetchHooks: SimHooks {}
 
-    fn note_squash_writer(&mut self, _reg: Reg) {}
+#[allow(deprecated)]
+impl<T: SimHooks + ?Sized> FetchHooks for T {}
 
-    fn note_publish(&mut self, _reg: Reg, _value: u32) {}
+/// Former trace-sink trait, merged into [`SimHooks`].
+///
+/// Kept for one release as a marker shim; note the retire event is now
+/// [`SimHooks::on_commit`].
+#[deprecated(since = "0.2.0", note = "merged into SimHooks; bound on SimHooks instead")]
+pub trait TraceHooks: SimHooks {}
 
-    fn note_ctrl_write(&mut self, _ctrl: u8, _value: u32) {}
-}
+#[allow(deprecated)]
+impl<T: SimHooks + ?Sized> TraceHooks for T {}
 
 #[cfg(test)]
 mod tests {
@@ -174,5 +228,17 @@ mod tests {
         let mut h = NullHooks;
         assert_eq!(h.try_fold(0x1000, 0), None);
         assert_eq!(h.publish_point(), PublishPoint::Commit);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_still_bound() {
+        // Old-style generic bounds keep compiling against the shims.
+        fn takes_fetch_hooks<H: FetchHooks>(h: &H) -> PublishPoint {
+            h.publish_point()
+        }
+        fn takes_trace_hooks<H: TraceHooks + ?Sized>(_h: &H) {}
+        assert_eq!(takes_fetch_hooks(&NullHooks), PublishPoint::Commit);
+        takes_trace_hooks(&NullHooks);
     }
 }

@@ -4,34 +4,34 @@ use asbr_asm::{Program, STACK_TOP};
 use asbr_isa::{Instr, Reg, INSTR_BYTES};
 use asbr_mem::{MemSystem, MemSystemConfig};
 
+use crate::code::CodeStore;
 use crate::exec::{execute, extend_load, ControlEffect};
+use crate::hooks::{NullHooks, SimHooks};
 use crate::SimError;
 
-/// Callbacks invoked by [`Interp`] as instructions retire — the profiling
-/// interface used to gather the per-branch statistics of the paper's
-/// Figures 7/9/10 and the def→branch distances of its Sec. 6 selection.
+/// Former interpreter observation trait, merged into [`SimHooks`].
 ///
-/// All methods have empty defaults; implement only what you need.
-#[allow(unused_variables)]
-pub trait Observer {
-    /// `instr` at `pc` retired as the `icount`-th dynamic instruction.
-    fn on_retire(&mut self, pc: u32, instr: Instr, icount: u64) {}
+/// Kept for one release as a marker shim: generic bounds on `Observer`
+/// still compile (every `SimHooks` implements it), but implementations
+/// must move to `SimHooks`. Note the merge renamed `on_ctrl_write` to
+/// [`SimHooks::note_ctrl_write`].
+#[deprecated(since = "0.2.0", note = "merged into SimHooks; bound on SimHooks instead")]
+pub trait Observer: SimHooks {}
 
-    /// A conditional branch at `pc` resolved.
-    fn on_branch(&mut self, pc: u32, instr: Instr, taken: bool, icount: u64) {}
-
-    /// `reg` received `value` (at the `icount`-th dynamic instruction).
-    fn on_reg_write(&mut self, reg: Reg, value: u32, icount: u64) {}
-
-    /// A `ctrlw` executed.
-    fn on_ctrl_write(&mut self, ctrl: u8, value: u32) {}
-}
+#[allow(deprecated)]
+impl<T: SimHooks + ?Sized> Observer for T {}
 
 /// The do-nothing observer.
+#[deprecated(since = "0.2.0", note = "use NullHooks")]
 #[derive(Debug, Clone, Copy, Default)]
 pub struct NullObserver;
 
-impl Observer for NullObserver {}
+#[allow(deprecated)]
+impl SimHooks for NullObserver {}
+
+/// Default step budget of the one-call [`Interp::execute`] entry point —
+/// matches the profiling pass's budget.
+pub const DEFAULT_MAX_STEPS: u64 = 2_000_000_000;
 
 /// Result of a completed functional run.
 #[derive(Debug, Clone)]
@@ -48,6 +48,11 @@ pub struct RunSummary {
 /// [`crate::exec::execute`]; used for workload validation and for the
 /// profiling pass that selects ASBR candidate branches.
 ///
+/// Construction validates and decodes the whole text segment exactly once
+/// (see [`asbr_asm::DecodedProgram`]): undecodable words are a load-time
+/// [`SimError::InvalidText`] listing every bad word, and the stepping loop
+/// indexes the pre-decoded store instead of re-decoding per instruction.
+///
 /// # Examples
 ///
 /// ```
@@ -60,7 +65,7 @@ pub struct RunSummary {
 ///         mul r4, r2, r3
 ///         halt
 /// ")?;
-/// let mut it = Interp::new(&prog);
+/// let mut it = Interp::new(&prog)?;
 /// it.run(10_000)?;
 /// assert_eq!(it.reg(asbr_isa::Reg::new(4)), 42);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
@@ -70,6 +75,7 @@ pub struct Interp {
     regs: [u32; 32],
     pc: u32,
     mem: MemSystem,
+    code: CodeStore,
     halted: bool,
     icount: u64,
 }
@@ -77,13 +83,64 @@ pub struct Interp {
 impl Interp {
     /// Loads `program` into a fresh machine (default memory geometry; the
     /// caches are irrelevant to functional execution).
-    #[must_use]
-    pub fn new(program: &Program) -> Interp {
-        let mut mem = MemSystem::new(MemSystemConfig::default());
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidText`] when the program's text fails
+    /// load-time validation, listing every undecodable word.
+    pub fn new(program: &Program) -> Result<Interp, SimError> {
+        Interp::with_config(MemSystemConfig::default(), program)
+    }
+
+    /// Loads `program` into a fresh machine with an explicit memory
+    /// geometry — the same constructor shape as
+    /// [`crate::Pipeline::with_hooks`], for callers that must match a
+    /// pipeline's configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidText`] when the program's text fails
+    /// load-time validation.
+    pub fn with_config(cfg: MemSystemConfig, program: &Program) -> Result<Interp, SimError> {
+        let decoded = program.decoded().map_err(|source| SimError::InvalidText { source })?;
+        let mut mem = MemSystem::new(cfg);
         program.load_into(mem.memory_mut());
         let mut regs = [0u32; 32];
         regs[usize::from(Reg::SP)] = STACK_TOP;
-        Interp { regs, pc: program.entry(), mem, halted: false, icount: 0 }
+        Ok(Interp {
+            regs,
+            pc: program.entry(),
+            mem,
+            code: CodeStore::new(decoded, 1, 1),
+            halted: false,
+            icount: 0,
+        })
+    }
+
+    /// Loads `program`, queues `input`, and runs to `halt` under the
+    /// [`DEFAULT_MAX_STEPS`] budget — the one-call mirror of
+    /// [`crate::Pipeline::execute`].
+    ///
+    /// ```
+    /// use asbr_asm::assemble;
+    /// use asbr_sim::Interp;
+    ///
+    /// let prog = assemble("main: halt")?;
+    /// let summary = Interp::execute(&prog, [])?;
+    /// assert_eq!(summary.instructions, 1);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`SimError`] from load-time validation or the run.
+    pub fn execute(
+        program: &Program,
+        input: impl IntoIterator<Item = i32>,
+    ) -> Result<RunSummary, SimError> {
+        let mut it = Interp::new(program)?;
+        it.feed_input(input);
+        it.run(DEFAULT_MAX_STEPS)
     }
 
     /// Queues input samples for the MMIO device.
@@ -122,7 +179,13 @@ impl Interp {
     }
 
     /// Mutable memory system access.
+    ///
+    /// Handing out raw memory drops the decode-once fast path for the
+    /// rest of the run (the pre-decoded store can no longer prove its
+    /// copy of the text matches memory) — behaviour is unchanged, only
+    /// speed.
     pub fn mem_mut(&mut self) -> &mut MemSystem {
+        self.code.distrust();
         &mut self.mem
     }
 
@@ -133,17 +196,24 @@ impl Interp {
     /// # Errors
     ///
     /// Returns [`SimError`] on undecodable instructions or memory faults.
-    pub fn step_observed(&mut self, obs: &mut impl Observer) -> Result<bool, SimError> {
+    pub fn step_observed(&mut self, obs: &mut impl SimHooks) -> Result<bool, SimError> {
         if self.halted {
             return Ok(false);
         }
         let pc = self.pc;
-        let word = self
-            .mem
-            .memory()
-            .read_u32(pc)
-            .map_err(|source| SimError::Mem { pc, source })?;
-        let instr = Instr::decode(word).map_err(|_| SimError::InvalidInstr { pc, word })?;
+        // Decode-once fast path: in-text, unmodified words come straight
+        // from the pre-decoded store — no memory read, no decode.
+        let instr = match self.code.fetch(pc) {
+            Some((instr, _, _)) => instr,
+            None => {
+                let word = self
+                    .mem
+                    .memory()
+                    .read_u32(pc)
+                    .map_err(|source| SimError::Mem { pc, source })?;
+                Instr::decode(word).map_err(|_| SimError::InvalidInstr { pc, word })?
+            }
+        };
         self.icount += 1;
 
         let regs = &self.regs;
@@ -166,6 +236,7 @@ impl Interp {
                 self.mem
                     .timed_write(mem_op.addr, value, mem_op.bytes)
                     .map_err(|source| SimError::Mem { pc, source })?;
+                self.code.note_store(mem_op.addr, mem_op.bytes);
             } else {
                 let raw = self
                     .mem
@@ -184,7 +255,7 @@ impl Interp {
             }
         }
         if let Some((ctrl, value)) = fx.ctrl_write {
-            obs.on_ctrl_write(ctrl, value);
+            obs.note_ctrl_write(ctrl, value);
         }
         obs.on_retire(pc, instr, self.icount);
 
@@ -202,7 +273,7 @@ impl Interp {
     ///
     /// See [`Interp::step_observed`].
     pub fn step(&mut self) -> Result<bool, SimError> {
-        self.step_observed(&mut NullObserver)
+        self.step_observed(&mut NullHooks)
     }
 
     /// Runs to `halt`, reporting events to `obs`.
@@ -214,7 +285,7 @@ impl Interp {
     pub fn run_observed(
         &mut self,
         max_steps: u64,
-        obs: &mut impl Observer,
+        obs: &mut impl SimHooks,
     ) -> Result<RunSummary, SimError> {
         let budget = max_steps.saturating_sub(self.icount);
         for _ in 0..budget {
@@ -238,7 +309,7 @@ impl Interp {
     ///
     /// See [`Interp::run_observed`].
     pub fn run(&mut self, max_steps: u64) -> Result<RunSummary, SimError> {
-        self.run_observed(max_steps, &mut NullObserver)
+        self.run_observed(max_steps, &mut NullHooks)
     }
 }
 
@@ -249,7 +320,7 @@ mod tests {
 
     fn run_asm(src: &str) -> Interp {
         let p = assemble(src).expect("test program assembles");
-        let mut it = Interp::new(&p);
+        let mut it = Interp::new(&p).expect("test program validates");
         it.run(1_000_000).expect("test program halts");
         it
     }
@@ -325,10 +396,27 @@ mod tests {
             ",
         )
         .unwrap();
-        let mut it = Interp::new(&p);
+        let mut it = Interp::new(&p).unwrap();
         it.feed_input([1, -2, 3]);
         let summary = it.run(100_000).unwrap();
         assert_eq!(summary.output, vec![2, -4, 6]);
+    }
+
+    #[test]
+    fn one_call_execute_matches_manual_sequence() {
+        let p = assemble(
+            "
+            main:   li   r8, 0xFFFF0000
+                    lw   r10, 0(r8)
+                    sll  r10, r10, 1
+                    sw   r10, 8(r8)
+                    halt
+            ",
+        )
+        .unwrap();
+        let summary = Interp::execute(&p, [21]).unwrap();
+        assert_eq!(summary.output, vec![42]);
+        assert_eq!(summary.instructions, 5);
     }
 
     #[test]
@@ -339,7 +427,7 @@ mod tests {
             taken: u32,
             writes: u32,
         }
-        impl Observer for Counter {
+        impl SimHooks for Counter {
             fn on_branch(&mut self, _pc: u32, _i: Instr, taken: bool, _n: u64) {
                 self.branches += 1;
                 self.taken += u32::from(taken);
@@ -357,7 +445,7 @@ mod tests {
             ",
         )
         .unwrap();
-        let mut it = Interp::new(&p);
+        let mut it = Interp::new(&p).unwrap();
         let mut c = Counter::default();
         it.run_observed(10_000, &mut c).unwrap();
         assert_eq!(c.branches, 3);
@@ -368,14 +456,14 @@ mod tests {
     #[test]
     fn step_limit_is_an_error() {
         let p = assemble("main: j main").unwrap();
-        let mut it = Interp::new(&p);
+        let mut it = Interp::new(&p).unwrap();
         assert!(matches!(it.run(100), Err(SimError::Limit { limit: 100 })));
     }
 
     #[test]
     fn invalid_instruction_reports_pc() {
         let p = assemble("main: nop").unwrap(); // runs off the end into zeroed mem (nops)...
-        let mut it = Interp::new(&p);
+        let mut it = Interp::new(&p).unwrap();
         // Write garbage right after the program and run into it.
         it.mem_mut().memory_mut().write_u32(p.text_end(), 0xFC00_0000).unwrap();
         let err = it.run(10).unwrap_err();
@@ -386,9 +474,44 @@ mod tests {
     }
 
     #[test]
+    fn invalid_text_is_a_load_time_error() {
+        let p = assemble("main: nop\n halt").unwrap();
+        let mut words = p.text().to_vec();
+        words[0] = 0xFC00_0000;
+        let broken = p.clone_with_text(words);
+        match Interp::new(&broken) {
+            Err(SimError::InvalidText { source }) => {
+                assert_eq!(source.bad.len(), 1);
+                assert_eq!(source.bad[0].pc, broken.text_base());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn self_modifying_store_is_fetched_fresh() {
+        // The guest overwrites its own `addi r2, r2, 1` slot with
+        // `addi r2, r2, 7` before reaching it; the decode-once store must
+        // notice the store into text and execute the new word.
+        let replacement = Instr::Addi { rt: Reg::V0, rs: Reg::V0, imm: 7 }.encode();
+        let src = format!(
+            "
+            main:   li  r6, {replacement:#010x}
+                    la  r7, slot
+                    sw  r6, 0(r7)
+                    li  r2, 0
+            slot:   addi r2, r2, 1
+                    halt
+            "
+        );
+        let it = run_asm(&src);
+        assert_eq!(it.reg(Reg::V0), 7, "patched instruction must execute");
+    }
+
+    #[test]
     fn halted_machine_stays_halted() {
         let p = assemble("main: halt").unwrap();
-        let mut it = Interp::new(&p);
+        let mut it = Interp::new(&p).unwrap();
         it.run(10).unwrap();
         assert!(!it.step().unwrap());
         assert_eq!(it.instructions(), 1);

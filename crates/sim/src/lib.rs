@@ -13,11 +13,22 @@
 //!   resolution in EX (two squashed slots on a wrong-path fetch), direct
 //!   jumps redirecting in ID (one squashed slot), and 8 KB I/D caches.
 //!
-//! The pipeline exposes the [`FetchHooks`] trait: a fetch-stage
-//! customization point through which the `asbr-core` crate implements the
-//! paper's Application-Specific Branch Resolution — folding branches out of
-//! the instruction stream at fetch, tracking in-flight predicate writers,
-//! and receiving early register publishes at a configurable pipeline point.
+//! Both engines *decode once*: [`Pipeline::load`] and [`Interp::new`]
+//! validate and pre-decode the whole text segment up front (undecodable
+//! words are a load-time [`SimError::InvalidText`] listing every bad
+//! word), and the per-cycle fetch is an array lookup instead of a memory
+//! read plus decode. I-cache timing is still modelled on the word stream,
+//! so simulated cycle counts are unchanged.
+//!
+//! Both engines are observed and customized through the single
+//! [`SimHooks`] trait: the `asbr-core` crate implements the paper's
+//! Application-Specific Branch Resolution through its fetch-customization
+//! methods (folding branches out of the instruction stream at fetch,
+//! tracking in-flight predicate writers, receiving early register
+//! publishes at a configurable pipeline point), profilers consume the
+//! interpreter's retire stream, and trace sinks consume the pipeline's
+//! per-cycle attribution events. The former `FetchHooks` / `TraceHooks` /
+//! `Observer` traits remain as deprecated marker shims for one release.
 //!
 //! # Examples
 //!
@@ -36,7 +47,7 @@
 //!     PipelineConfig::default(),
 //!     PredictorKind::Bimodal { entries: 64 }.build(),
 //! );
-//! pipe.load(&prog);
+//! pipe.load(&prog)?;
 //! let summary = pipe.run()?;
 //! assert!(summary.halted);
 //! assert!(summary.stats.cycles > summary.stats.retired); // CPI > 1
@@ -44,6 +55,7 @@
 //! ```
 
 pub mod exec;
+mod code;
 mod error;
 mod hooks;
 mod interp;
@@ -53,8 +65,12 @@ mod stats;
 mod trace;
 
 pub use error::SimError;
-pub use hooks::{FetchHooks, Folded, NullHooks, PublishPoint, TraceHooks};
-pub use interp::{Interp, Observer, RunSummary};
+pub use hooks::{Folded, NullHooks, PublishPoint, SimHooks};
+#[allow(deprecated)]
+pub use hooks::{FetchHooks, TraceHooks};
+pub use interp::{Interp, RunSummary, DEFAULT_MAX_STEPS};
+#[allow(deprecated)]
+pub use interp::{NullObserver, Observer};
 pub use pipeline::{Pipeline, PipelineConfig, PipelineSummary};
 pub use snapshot::{PipeSnapshot, StageView};
 pub use stats::{Activity, BranchSite, CycleAttribution, CycleBucket, PipelineStats, NUM_BUCKETS};

@@ -5,7 +5,7 @@
 //!
 //! * **IF** — one fetch per cycle through the I-cache (misses hold the
 //!   slot for the refill penalty). The fetch customization hook
-//!   ([`FetchHooks::try_fold`]) is consulted first; on a fold the fetched
+//!   ([`SimHooks::try_fold`]) is consulted first; on a fold the fetched
 //!   branch is replaced by its pre-decoded target/fall-through instruction
 //!   and fetch is redirected with certainty — no prediction, no possible
 //!   flush. Otherwise conditional branches are predicted (direction
@@ -30,8 +30,9 @@ use asbr_bpred::{Btb, Predictor, ReturnStack};
 use asbr_isa::{Instr, Reg, INSTR_BYTES};
 use asbr_mem::{MemSystem, MemSystemConfig};
 
+use crate::code::{CodeStore, RasClass, SlotMeta};
 use crate::exec::{execute, extend_load, ControlEffect, ExecEffect};
-use crate::hooks::{FetchHooks, NullHooks, PublishPoint, TraceHooks};
+use crate::hooks::{NullHooks, PublishPoint, SimHooks};
 use crate::stats::{CycleBucket, PipelineStats};
 use crate::SimError;
 
@@ -85,6 +86,9 @@ pub struct PipelineSummary {
 struct Slot {
     pc: u32,
     instr: Instr,
+    /// Static metadata precomputed at load (or at fold time), so the
+    /// per-cycle stages never re-derive dst/branch/latency facts.
+    meta: SlotMeta,
     /// Where fetch continued after this slot (for EX control checking).
     assumed_next: u32,
     /// Direction the predictor chose (conditional branches only).
@@ -113,10 +117,11 @@ type Gap = (CycleBucket, u32);
 const GAP_FILL: Gap = (CycleBucket::FillDrain, 0);
 
 impl Slot {
-    fn new(pc: u32, instr: Instr) -> Slot {
+    fn new(pc: u32, instr: Instr, meta: SlotMeta) -> Slot {
         Slot {
             pc,
             instr,
+            meta,
             assumed_next: pc.wrapping_add(INSTR_BYTES),
             predicted_taken: None,
             writer_pending: None,
@@ -131,11 +136,12 @@ impl Slot {
 /// See the crate-level example for typical use; for ASBR runs construct
 /// with [`Pipeline::with_hooks`] and recover the unit afterwards with
 /// [`Pipeline::into_hooks`] or inspect it via [`Pipeline::hooks`].
-pub struct Pipeline<H: FetchHooks = NullHooks> {
+pub struct Pipeline<H: SimHooks = NullHooks> {
     cfg: PipelineConfig,
     regs: [u32; 32],
     pc: u32,
     mem: MemSystem,
+    code: CodeStore,
     pred: Box<dyn Predictor>,
     btb: Option<Btb>,
     ras: Option<ReturnStack>,
@@ -162,7 +168,7 @@ pub struct Pipeline<H: FetchHooks = NullHooks> {
     halted: bool,
     halt_fetched: bool,
     stats: PipelineStats,
-    tracer: Option<Box<dyn TraceHooks>>,
+    tracer: Option<Box<dyn SimHooks>>,
 }
 
 impl Pipeline<NullHooks> {
@@ -177,7 +183,7 @@ impl Pipeline<NullHooks> {
     }
 }
 
-impl<H: FetchHooks> Pipeline<H> {
+impl<H: SimHooks> Pipeline<H> {
     /// Creates a pipeline with a fetch customization (e.g. the ASBR unit).
     ///
     /// # Panics
@@ -192,6 +198,7 @@ impl<H: FetchHooks> Pipeline<H> {
             regs,
             pc: 0,
             mem: MemSystem::new(cfg.mem),
+            code: CodeStore::empty(),
             pred,
             btb: (cfg.btb_entries > 0).then(|| Btb::new(cfg.btb_entries)),
             ras: (cfg.ras_entries > 0).then(|| ReturnStack::new(cfg.ras_entries)),
@@ -215,20 +222,34 @@ impl<H: FetchHooks> Pipeline<H> {
     }
 
     /// Attaches a trace sink receiving per-cycle attribution and
-    /// retire/fold/flush events (see [`TraceHooks`]).
-    pub fn set_tracer(&mut self, tracer: Box<dyn TraceHooks>) {
+    /// commit/fold/flush events (the trace-event subset of [`SimHooks`]).
+    pub fn set_tracer(&mut self, tracer: Box<dyn SimHooks>) {
         self.tracer = Some(tracer);
     }
 
     /// Detaches and returns the trace sink, if one was attached.
-    pub fn take_tracer(&mut self) -> Option<Box<dyn TraceHooks>> {
+    pub fn take_tracer(&mut self) -> Option<Box<dyn SimHooks>> {
         self.tracer.take()
     }
 
     /// Loads `program` and points fetch at its entry.
-    pub fn load(&mut self, program: &Program) {
+    ///
+    /// The whole text segment is validated and decoded here, exactly once
+    /// (see [`asbr_asm::DecodedProgram`]): the fetch stage then indexes
+    /// the pre-decoded store instead of re-decoding every dynamic fetch,
+    /// while I-cache timing is still modelled on the word stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidText`] listing every undecodable text
+    /// word. Assembled programs always pass; only hand-built or rewritten
+    /// images can fail.
+    pub fn load(&mut self, program: &Program) -> Result<(), SimError> {
+        let decoded = program.decoded().map_err(|source| SimError::InvalidText { source })?;
         program.load_into(self.mem.memory_mut());
         self.pc = program.entry();
+        self.code = CodeStore::new(decoded, self.cfg.mul_latency, self.cfg.div_latency);
+        Ok(())
     }
 
     /// Queues input samples for the MMIO device.
@@ -322,7 +343,7 @@ impl<H: FetchHooks> Pipeline<H> {
         program: &Program,
         input: impl IntoIterator<Item = i32>,
     ) -> Result<PipelineSummary, SimError> {
-        self.load(program);
+        self.load(program)?;
         self.feed_input(input);
         self.run()
     }
@@ -434,11 +455,11 @@ impl<H: FetchHooks> Pipeline<H> {
             return;
         };
         self.charge(CycleBucket::Useful, slot.pc);
-        if slot.instr.branch().is_some() {
+        if slot.meta.is_branch {
             self.stats.attribution.note_branch_retire(slot.pc);
         }
         if let Some(t) = self.tracer.as_mut() {
-            t.on_retire(self.stats.cycles, slot.pc);
+            t.on_commit(self.stats.cycles, slot.pc);
         }
         if let Some((r, v)) = slot.value {
             if !r.is_zero() {
@@ -471,9 +492,14 @@ impl<H: FetchHooks> Pipeline<H> {
         }
         if let Some(op) = fx.mem {
             let penalty = if let Some(value) = op.store {
-                self.mem
+                let penalty = self
+                    .mem
                     .timed_write(op.addr, value, op.bytes)
-                    .map_err(|source| SimError::Mem { pc: slot.pc, source })?
+                    .map_err(|source| SimError::Mem { pc: slot.pc, source })?;
+                // Self-modifying code: a store landing in text invalidates
+                // the pre-decoded words it touches.
+                self.code.note_store(op.addr, op.bytes);
+                penalty
             } else {
                 let access = self
                     .mem
@@ -523,15 +549,6 @@ impl<H: FetchHooks> Pipeline<H> {
         self.mem_wb = Some(slot);
     }
 
-    /// The EX-stage occupancy of an instruction.
-    fn ex_latency(&self, instr: Instr) -> u32 {
-        match instr {
-            Instr::Mul { .. } => self.cfg.mul_latency.max(1),
-            Instr::Div { .. } | Instr::Rem { .. } => self.cfg.div_latency.max(1),
-            _ => 1,
-        }
-    }
-
     /// Executes the instruction in ID/EX (or drains a multi-cycle EX
     /// operation). Returns a redirect on a wrong-path fetch.
     fn stage_ex(&mut self) -> Option<Redirect> {
@@ -549,7 +566,7 @@ impl<H: FetchHooks> Pipeline<H> {
             self.gap_ex_mem = self.gap_id_ex;
             return None;
         };
-        let latency = self.ex_latency(slot.instr);
+        let latency = slot.meta.latency;
         if latency > 1 {
             // The operation occupies EX for `latency` cycles; its result
             // is produced on the last one.
@@ -651,7 +668,7 @@ impl<H: FetchHooks> Pipeline<H> {
         if let Some(ahead) = &self.ex_mem {
             if let Some(fx) = &ahead.fx {
                 if let Some(dst) = fx.load_dst {
-                    let srcs = slot.instr.srcs();
+                    let srcs = slot.meta.srcs;
                     if srcs.iter().flatten().any(|&s| s == dst) {
                         self.stats.load_use_stalls += 1;
                         self.gap_id_ex = (CycleBucket::LoadUse, slot.pc);
@@ -665,7 +682,7 @@ impl<H: FetchHooks> Pipeline<H> {
         let mut slot = slot;
         self.stats.activity.decoded += 1;
         let mut redirect = None;
-        if let Some(target) = slot.instr.direct_jump_target(slot.pc) {
+        if let Some(target) = slot.meta.direct_target {
             if target != slot.assumed_next {
                 slot.assumed_next = target;
                 self.stats.jump_redirects += 1;
@@ -707,11 +724,20 @@ impl<H: FetchHooks> Pipeline<H> {
         }
 
         let pc = self.pc;
-        let access = self
-            .mem
-            .fetch_instr(pc)
-            .map_err(|source| SimError::Mem { pc, source })?;
-        let word = access.value;
+        // Decode-once fast path: an in-text, pristine pc hits the
+        // pre-decoded store — no memory read, no decode. The I-cache is
+        // still consulted for timing, so penalties (and stats) are
+        // identical to the word-stream fetch.
+        let (word, predecoded, penalty) = match self.code.fetch(pc) {
+            Some((instr, word, meta)) => (word, Some((instr, meta)), self.mem.fetch_penalty(pc)),
+            None => {
+                let access = self
+                    .mem
+                    .fetch_instr(pc)
+                    .map_err(|source| SimError::Mem { pc, source })?;
+                (access.value, None, access.penalty)
+            }
+        };
 
         let mut slot;
         if let Some(folded) = self.hooks.try_fold(pc, word) {
@@ -722,18 +748,33 @@ impl<H: FetchHooks> Pipeline<H> {
             if let Some(t) = self.tracer.as_mut() {
                 t.on_fold(self.stats.cycles, pc, folded.taken);
             }
-            slot = Slot::new(folded.replacement_pc, folded.replacement);
+            let meta = self.code.meta_for(
+                folded.replacement_pc,
+                folded.replacement,
+                self.cfg.mul_latency,
+                self.cfg.div_latency,
+            );
+            slot = Slot::new(folded.replacement_pc, folded.replacement, meta);
             slot.assumed_next = folded.next_pc;
-            if folded.replacement.branch().is_some() {
+            if slot.meta.is_branch {
                 // A replacement that is itself a branch proceeds as a
                 // not-taken-assumed branch (fetch continues fall-through).
                 slot.predicted_taken = Some(false);
             }
         } else {
-            let instr =
-                Instr::decode(word).map_err(|_| SimError::InvalidInstr { pc, word })?;
-            slot = Slot::new(pc, instr);
-            if instr.branch().is_some() {
+            let (instr, meta) = match predecoded {
+                Some(hit) => hit,
+                None => {
+                    let instr = Instr::decode(word)
+                        .map_err(|_| SimError::InvalidInstr { pc, word })?;
+                    (
+                        instr,
+                        SlotMeta::from_instr(instr, pc, self.cfg.mul_latency, self.cfg.div_latency),
+                    )
+                }
+            };
+            slot = Slot::new(pc, instr, meta);
+            if slot.meta.is_branch {
                 self.stats.activity.predictor_lookups += 1;
                 let predicted = self.pred.predict(pc);
                 slot.predicted_taken = Some(predicted);
@@ -749,34 +790,34 @@ impl<H: FetchHooks> Pipeline<H> {
         // predicted return target (speculative pushes/pops are not
         // repaired on a flush, as in simple hardware).
         if let Some(ras) = &mut self.ras {
-            match slot.instr {
-                Instr::Jal { .. } | Instr::Jalr { .. } => {
+            match slot.meta.ras {
+                RasClass::Push => {
                     ras.push(slot.pc.wrapping_add(INSTR_BYTES));
                 }
-                Instr::Jr { rs } if rs == Reg::RA => {
+                RasClass::PopReturn => {
                     if let Some(target) = ras.pop() {
                         slot.assumed_next = target;
                     }
                 }
-                _ => {}
+                RasClass::None => {}
             }
         }
 
         self.stats.activity.fetched += 1;
-        if let Some(dst) = slot.instr.dst() {
+        if let Some(dst) = slot.meta.dst {
             self.hooks.note_fetch_writer(dst);
             slot.writer_pending = Some(dst);
         }
-        if slot.instr == Instr::Halt {
+        if slot.meta.is_halt {
             self.halt_fetched = true;
         }
         self.pc = slot.assumed_next;
 
-        if access.penalty > 0 {
+        if penalty > 0 {
             // The word is not ready this cycle; decode sees a bubble
             // charged to the missing fetch.
             self.gap_if_id = (CycleBucket::IcacheStall, pc);
-            self.fetching = Some((slot, access.penalty));
+            self.fetching = Some((slot, penalty));
         } else {
             self.if_id = Some(slot);
         }
@@ -808,7 +849,7 @@ impl<H: FetchHooks> Pipeline<H> {
     }
 }
 
-impl<H: FetchHooks + core::fmt::Debug> core::fmt::Debug for Pipeline<H> {
+impl<H: SimHooks + core::fmt::Debug> core::fmt::Debug for Pipeline<H> {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         f.debug_struct("Pipeline")
             .field("pc", &self.pc)
@@ -850,7 +891,7 @@ mod tests {
 
         pub fn run_functional(src: &str) -> crate::interp::RunSummary {
             let prog = assemble(src).expect("assembles");
-            let mut it = crate::Interp::new(&prog);
+            let mut it = crate::Interp::new(&prog).expect("valid text");
             it.run(10_000_000).expect("halts")
         }
     }
@@ -1022,7 +1063,7 @@ mod tests {
             PipelineConfig { btb_entries: 0, ..PipelineConfig::default() },
             PredictorKind::Bimodal { entries: 64 }.build(),
         );
-        no_btb.load(&prog);
+        no_btb.load(&prog).unwrap();
         let nb = no_btb.run().unwrap();
         assert!(with_btb.stats.cycles < nb.stats.cycles);
         // Direction accuracy is identical; only the redirect differs.
@@ -1063,13 +1104,13 @@ mod tests {
         let prog = assemble(prog_src).unwrap();
         let input = [5, -7, 0, 123];
 
-        let mut it = crate::Interp::new(&prog);
+        let mut it = crate::Interp::new(&prog).unwrap();
         it.feed_input(input);
         let f = it.run(1_000_000).unwrap();
 
         let mut pipe =
             Pipeline::new(PipelineConfig::default(), PredictorKind::NotTaken.build());
-        pipe.load(&prog);
+        pipe.load(&prog).unwrap();
         pipe.feed_input(input);
         let p = pipe.run().unwrap();
 
@@ -1103,7 +1144,7 @@ mod tests {
             PipelineConfig { max_cycles: 200, ..PipelineConfig::default() },
             PredictorKind::NotTaken.build(),
         );
-        pipe.load(&prog);
+        pipe.load(&prog).unwrap();
         assert_eq!(pipe.run(), Err(SimError::Limit { limit: 200 }));
     }
 
@@ -1125,7 +1166,7 @@ mod tests {
     fn snapshot_traces_an_instruction_through_the_stages() {
         let prog = assemble("main: li r2, 1\nli r3, 2\nli r4, 3\nli r5, 4\nli r6, 5\nhalt").unwrap();
         let mut pipe = Pipeline::new(PipelineConfig::default(), PredictorKind::NotTaken.build());
-        pipe.load(&prog);
+        pipe.load(&prog).unwrap();
         let first_pc = prog.text_base();
         let mut seen_stages = Vec::new();
         for _ in 0..40 {
@@ -1170,7 +1211,7 @@ mod tests {
                 PipelineConfig { mul_latency, ..PipelineConfig::default() },
                 PredictorKind::NotTaken.build(),
             );
-            pipe.load(&prog);
+            pipe.load(&prog).unwrap();
             let s = pipe.run().unwrap();
             (s.stats.cycles, s.stats.ex_stall_cycles, pipe.reg(Reg::new(6)))
         };
@@ -1198,7 +1239,7 @@ mod tests {
             PipelineConfig { div_latency: 12, ..PipelineConfig::default() },
             PredictorKind::NotTaken.build(),
         );
-        pipe.load(&prog);
+        pipe.load(&prog).unwrap();
         let s = pipe.run().unwrap();
         assert_eq!(pipe.reg(Reg::new(6)), 14 + 2);
         assert_eq!(s.stats.ex_stall_cycles, 2 * 11);
@@ -1221,7 +1262,7 @@ mod tests {
                 PipelineConfig { ras_entries, ..PipelineConfig::default() },
                 PredictorKind::Bimodal { entries: 64 }.build(),
             );
-            pipe.load(&prog);
+            pipe.load(&prog).unwrap();
             let s = pipe.run().unwrap();
             (s.stats.cycles, s.stats.indirect_flushes, pipe.reg(Reg::V0))
         };
@@ -1339,7 +1380,7 @@ mod tests {
 
     #[test]
     fn folded_branches_reduce_pipeline_traffic() {
-        use crate::hooks::{FetchHooks, Folded, PublishPoint};
+        use crate::hooks::{Folded, PublishPoint, SimHooks};
         use asbr_isa::Cond;
 
         /// A minimal always-fold unit for the countdown's back edge,
@@ -1353,7 +1394,7 @@ mod tests {
             in_flight: u32,
             value: i32,
         }
-        impl FetchHooks for TinyFold {
+        impl SimHooks for TinyFold {
             fn publish_point(&self) -> PublishPoint {
                 PublishPoint::Mem
             }
@@ -1421,7 +1462,7 @@ mod tests {
             PredictorKind::NotTaken.build(),
             hooks,
         );
-        folded.load(&prog);
+        folded.load(&prog).unwrap();
         let f = folded.run().unwrap();
 
         let (_, base) = run_pipe(src, PredictorKind::NotTaken);

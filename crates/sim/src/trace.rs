@@ -1,6 +1,6 @@
 //! Chrome-trace-event rendering of the per-cycle attribution stream.
 //!
-//! [`ChromeTracer`] is a [`TraceHooks`] sink that turns the pipeline's
+//! [`ChromeTracer`] is a [`SimHooks`] sink that turns the pipeline's
 //! cycle/fold/flush events into the Chrome trace-event JSON format
 //! (load the file at `chrome://tracing` or <https://ui.perfetto.dev>).
 //! It emits:
@@ -13,7 +13,7 @@
 //!
 //! The tracer is cheap but not free (one small allocation per event);
 //! attach it only for diagnostic runs. Because the pipeline owns its sink
-//! as a `Box<dyn TraceHooks>`, the tracer clones share state through an
+//! as a `Box<dyn SimHooks>`, the tracer clones share state through an
 //! `Rc`: keep one handle, give the pipeline the clone, and render with
 //! [`ChromeTracer::to_json`] after the run.
 
@@ -21,7 +21,7 @@ use std::cell::RefCell;
 use std::fmt::Write as _;
 use std::rc::Rc;
 
-use crate::hooks::TraceHooks;
+use crate::hooks::SimHooks;
 use crate::stats::{CycleBucket, NUM_BUCKETS};
 
 /// Default cycle interval between counter snapshots.
@@ -63,7 +63,7 @@ impl TraceState {
     }
 }
 
-/// A [`TraceHooks`] sink rendering Chrome trace-event JSON.
+/// A [`SimHooks`] sink rendering Chrome trace-event JSON.
 ///
 /// Clones share state: hand a clone to [`crate::Pipeline::set_tracer`] and
 /// keep the original to call [`ChromeTracer::to_json`] afterwards.
@@ -129,7 +129,7 @@ impl ChromeTracer {
     }
 }
 
-impl TraceHooks for ChromeTracer {
+impl SimHooks for ChromeTracer {
     fn on_cycle(&mut self, cycle: u64, bucket: CycleBucket, _origin_pc: u32) {
         let mut st = self.state.borrow_mut();
         st.window[bucket as usize] += 1;

@@ -88,10 +88,10 @@ fn render(ops: &[Op], iterations: u32) -> String {
 
 fn run_both(src: &str, kind: PredictorKind) -> ([u32; 32], [u32; 32], u64, u64) {
     let prog = assemble(src).expect("generated program assembles");
-    let mut it = Interp::new(&prog);
+    let mut it = Interp::new(&prog).expect("valid text");
     it.run(20_000_000).expect("interp halts");
     let mut pipe = Pipeline::new(PipelineConfig::default(), kind.build());
-    pipe.load(&prog);
+    pipe.load(&prog).expect("valid text");
     let p = pipe.run().expect("pipeline halts");
     let mut a = [0u32; 32];
     let mut b = [0u32; 32];
@@ -137,7 +137,7 @@ proptest! {
     ) {
         let src = render(&ops, iterations);
         let prog = assemble(&src).expect("assembles");
-        let mut it = Interp::new(&prog);
+        let mut it = Interp::new(&prog).expect("valid text");
         it.run(20_000_000).expect("interp halts");
 
         let mut pipe = Pipeline::new(
@@ -150,7 +150,7 @@ proptest! {
             },
             PredictorKind::Bimodal { entries: 128 }.build(),
         );
-        pipe.load(&prog);
+        pipe.load(&prog).expect("valid text");
         pipe.run().expect("pipeline halts");
         for r in Reg::all() {
             prop_assert_eq!(pipe.reg(r), it.reg(r), "r{} mismatch\n{}", r.index(), src);

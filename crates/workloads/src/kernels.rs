@@ -397,7 +397,7 @@ mod tests {
     #[test]
     fn fig2_counts_values_over_threshold() {
         let prog = fig2_kernel(100);
-        let mut it = Interp::new(&prog);
+        let mut it = Interp::new(&prog).unwrap();
         let input = [50, 150, 100, 99, 101, -7, 3000];
         it.feed_input(input);
         let run = it.run(1_000_000).unwrap();
@@ -410,7 +410,7 @@ mod tests {
         // Alternating input around the threshold makes br_fig2 alternate.
         let prog = fig2_kernel(0);
         assert!(prog.symbol("br_fig2").is_some());
-        let mut it = Interp::new(&prog);
+        let mut it = Interp::new(&prog).unwrap();
         it.feed_input([1, -1, 1, -1, 1, -1]);
         let run = it.run(1_000_000).unwrap();
         assert_eq!(run.output, vec![3]);
@@ -419,7 +419,7 @@ mod tests {
     #[test]
     fn crc32_guest_matches_reference() {
         let input: Vec<i32> = (0..200).map(|i| (i * 37 + 11) & 0xFF).collect();
-        let mut it = Interp::new(&crc32_kernel());
+        let mut it = Interp::new(&crc32_kernel()).unwrap();
         it.feed_input(input.iter().copied());
         let run = it.run(10_000_000).unwrap();
         assert_eq!(run.output, crc32_reference(&input));
@@ -431,7 +431,7 @@ mod tests {
         let input: Vec<i32> = b"123456789".iter().map(|&b| i32::from(b)).collect();
         let out = crc32_reference(&input);
         assert_eq!(*out.last().unwrap() as u32, 0xCBF4_3926);
-        let mut it = Interp::new(&crc32_kernel());
+        let mut it = Interp::new(&crc32_kernel()).unwrap();
         it.feed_input(input);
         let run = it.run(1_000_000).unwrap();
         assert_eq!(*run.output.last().unwrap() as u32, 0xCBF4_3926);
@@ -441,7 +441,7 @@ mod tests {
     fn g711_guest_matches_reference() {
         let mut input: Vec<i32> = vec![0, 1, -1, 32767, -32768, 0x84, -0x84, 255, -255];
         input.extend((0..500).map(|i| ((i * 1103) % 65536) - 32768));
-        let mut it = Interp::new(&g711_ulaw_kernel());
+        let mut it = Interp::new(&g711_ulaw_kernel()).unwrap();
         it.feed_input(input.iter().copied());
         let run = it.run(10_000_000).unwrap();
         assert_eq!(run.output, g711_ulaw_reference(&input));
@@ -449,7 +449,7 @@ mod tests {
 
     #[test]
     fn g711_guest_zero_encodes_to_ff() {
-        let mut it = Interp::new(&g711_ulaw_kernel());
+        let mut it = Interp::new(&g711_ulaw_kernel()).unwrap();
         it.feed_input([0]);
         let run = it.run(100_000).unwrap();
         assert_eq!(run.output, vec![0xFF]);
@@ -458,7 +458,7 @@ mod tests {
     #[test]
     fn protocol_guest_matches_reference() {
         let input = protocol_input(50, 99);
-        let mut it = Interp::new(&protocol_kernel());
+        let mut it = Interp::new(&protocol_kernel()).unwrap();
         it.feed_input(input.iter().copied());
         let run = it.run(10_000_000).unwrap();
         assert_eq!(run.output, protocol_reference(&input));
@@ -471,7 +471,7 @@ mod tests {
     #[test]
     fn protocol_handles_degenerate_streams() {
         for input in [vec![], vec![0xAA], vec![0xAA, 0, 0], vec![1, 2, 3]] {
-            let mut it = Interp::new(&protocol_kernel());
+            let mut it = Interp::new(&protocol_kernel()).unwrap();
             it.feed_input(input.iter().copied());
             let run = it.run(1_000_000).unwrap();
             assert_eq!(run.output, protocol_reference(&input), "{input:?}");
@@ -481,7 +481,7 @@ mod tests {
     #[test]
     fn fig1_b4_follows_b1() {
         let prog = fig1_kernel();
-        let mut it = Interp::new(&prog);
+        let mut it = Interp::new(&prog).unwrap();
         // Tuples (c1, c2, c3, c5): B4 taken iff c1 != 0.
         it.feed_input([1, 0, 0, 0, 0, 1, 1, 0, 1, 1, 0, 1]);
         let run = it.run(1_000_000).unwrap();

@@ -25,7 +25,7 @@
 //!
 //! let w = Workload::AdpcmEncode;
 //! let input = w.input(200);
-//! let mut interp = Interp::new(&w.program());
+//! let mut interp = Interp::new(&w.program())?;
 //! interp.feed_input(input.iter().copied());
 //! let run = interp.run(100_000_000)?;
 //! assert_eq!(run.output, w.reference_output(&input));

@@ -44,6 +44,18 @@ impl Workload {
         }
     }
 
+    /// Short machine-friendly identifier (bench IDs, file names, CLI
+    /// arguments) — the one place workload slugs are defined.
+    #[must_use]
+    pub fn slug(self) -> &'static str {
+        match self {
+            Workload::AdpcmEncode => "adpcm_enc",
+            Workload::AdpcmDecode => "adpcm_dec",
+            Workload::G721Encode => "g721_enc",
+            Workload::G721Decode => "g721_dec",
+        }
+    }
+
     /// The guest's assembly source.
     #[must_use]
     pub fn source(self) -> String {
@@ -81,7 +93,7 @@ impl Workload {
     /// memory fault) or fails to halt within [`Workload::MAX_GUEST_STEPS`]
     /// instructions.
     pub fn run(self, input: &[i32]) -> Result<RunSummary, SimError> {
-        let mut interp = Interp::new(&self.program());
+        let mut interp = Interp::new(&self.program())?;
         interp.feed_input(input.iter().copied());
         interp.run(Self::MAX_GUEST_STEPS)
     }
@@ -175,7 +187,7 @@ mod tests {
         // back as a SimError, not a panic.
         let w = Workload::AdpcmEncode;
         let input = w.input(50);
-        let mut it = asbr_sim::Interp::new(&w.program());
+        let mut it = asbr_sim::Interp::new(&w.program()).unwrap();
         it.feed_input(input.iter().copied());
         assert!(matches!(it.run(10), Err(asbr_sim::SimError::Limit { limit: 10 })));
         // And the Workload::run wrapper succeeds on the same input.

@@ -45,7 +45,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         PredictorKind::Bimodal { entries: 512 }.build(),
         unit,
     );
-    custom.load(&program);
+    custom.load(&program)?;
     custom.feed_input(input.iter().copied());
 
     // Trace the first few cycles as a pipeline diagram.

@@ -71,13 +71,13 @@ case "${1:-all}" in
       run_cargo test --release -p "$p" --lib -q
     done
     run_cargo test --release -p asbr-experiments \
-      --test pipeline_vs_interp --test asbr_correctness --test asbr_speedup \
-      --test experiment_tables --test scheduling_support \
+      --test pipeline_vs_interp --test lockstep --test asbr_correctness \
+      --test asbr_speedup --test experiment_tables --test scheduling_support \
       --test customization_image --test cli --test config_matrix \
       --test sweep --test attribution -q
     run_cargo test --release -p asbr-check --test static_check -q
     # Bench targets: typecheck only (the criterion stub measures nothing).
-    run_cargo check -p asbr-bench --benches
+    run_cargo check -p asbr-harness --benches
     ;;
   *)
     echo "usage: $0 [build|test|run ...]" >&2

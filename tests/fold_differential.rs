@@ -77,7 +77,7 @@ proptest! {
         let prog = assemble(&src).expect("generated program assembles");
 
         // Reference run.
-        let mut it = Interp::new(&prog);
+        let mut it = Interp::new(&prog).expect("valid text");
         it.run(50_000_000).expect("interp halts");
 
         // Install a BIT entry for EVERY zero-compare branch in the text.

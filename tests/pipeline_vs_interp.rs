@@ -11,7 +11,7 @@ use asbr_workloads::Workload;
 const SAMPLES: usize = 250;
 
 fn functional(w: Workload, input: &[i32]) -> (Vec<i32>, u64) {
-    let mut it = Interp::new(&w.program());
+    let mut it = Interp::new(&w.program()).expect("valid text");
     it.feed_input(input.iter().copied());
     let run = it.run(1_000_000_000).expect("functional run halts");
     (run.output, run.instructions)

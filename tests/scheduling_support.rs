@@ -14,7 +14,7 @@ fn hoisting_preserves_codec_output() {
     for w in Workload::ALL {
         let input = w.input(150);
         let (scheduled, _) = hoist_predicates(&w.program());
-        let mut it = Interp::new(&scheduled);
+        let mut it = Interp::new(&scheduled).expect("valid text");
         it.feed_input(input.iter().copied());
         let run = it.run(1_000_000_000).expect("scheduled guest halts");
         assert_eq!(run.output, w.reference_output(&input), "{}", w.name());

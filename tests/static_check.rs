@@ -197,7 +197,7 @@ fn hoisting_preserves_behaviour_on_random_programs() {
         assert!(violations.is_empty(), "case {case}: {violations:?}\n{src}");
 
         let run = |p: &Program| {
-            let mut interp = Interp::new(p);
+            let mut interp = Interp::new(p).expect("valid text");
             let summary = interp.run(1_000_000).unwrap_or_else(|e| {
                 panic!("case {case}: guest failed: {e}\n{src}")
             });
