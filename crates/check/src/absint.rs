@@ -1,0 +1,984 @@
+//! Interval abstract interpretation over the ISA: a sound value-range
+//! domain per register, iterated to fixpoint over [`asbr_flow::Cfg`].
+//!
+//! Every register is abstracted to a closed interval `[lo, hi]` of its
+//! signed 32-bit value. Transfer functions mirror the shared execution
+//! semantics (`asbr_sim::exec`) exactly: wrapping arithmetic that *may*
+//! leave the `i32` range goes to ⊤ rather than modelling modular
+//! intervals, comparison results are `[0, 1]`, narrow loads take their
+//! width-derived range, and calls clobber the link register plus the
+//! caller-saved convention set to ⊤ (the CFG is intra-procedural).
+//!
+//! Termination comes from *delayed widening*: a block whose incoming
+//! state keeps changing (only loop heads do, via their back edges) has
+//! its interval bounds widened to the domain extremes after a fixed
+//! number of re-joins. Branch edges are refined — the taken edge of a
+//! `BranchZ` meets the predicate's interval with the condition's region,
+//! the fall-through edge with its negation — and refinement to the empty
+//! interval proves the edge infeasible, so no state flows along it.
+//!
+//! [`ValueRanges`] is the query surface: per-instruction ranges for the
+//! lints and loop-bound inference (`bounds`), and the per-register
+//! *global* write range the fold-soundness prover uses to show that a
+//! branch direction is independent of publish staleness (`prover`).
+
+use asbr_asm::{Program, STACK_TOP};
+use asbr_flow::{defines_reg, Cfg, CALL_CLOBBERS};
+use asbr_isa::{Cond, Instr, MemWidth, Reg};
+
+const I32_MIN: i64 = i32::MIN as i64;
+const I32_MAX: i64 = i32::MAX as i64;
+
+/// How many times a block's incoming state may be re-joined before the
+/// join is replaced by widening (only loop heads ever get this far).
+const WIDEN_AFTER: u32 = 3;
+
+/// A closed interval of signed 32-bit values, `⊥` (empty) when `lo > hi`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interval {
+    lo: i64,
+    hi: i64,
+}
+
+impl Interval {
+    /// The full domain `[i32::MIN, i32::MAX]` (no information).
+    #[must_use]
+    pub const fn top() -> Interval {
+        Interval { lo: I32_MIN, hi: I32_MAX }
+    }
+
+    /// The empty interval (unreachable / infeasible).
+    #[must_use]
+    pub const fn bottom() -> Interval {
+        Interval { lo: 1, hi: 0 }
+    }
+
+    /// The singleton interval holding exactly `v`.
+    #[must_use]
+    pub const fn constant(v: i32) -> Interval {
+        Interval { lo: v as i64, hi: v as i64 }
+    }
+
+    /// An interval from explicit bounds, clamped to the `i32` domain;
+    /// `lo > hi` yields ⊥.
+    #[must_use]
+    pub fn new(lo: i64, hi: i64) -> Interval {
+        if lo > hi {
+            return Interval::bottom();
+        }
+        Interval { lo: lo.max(I32_MIN), hi: hi.min(I32_MAX) }
+    }
+
+    /// Result of an operation whose exact bounds are `lo..=hi` *before*
+    /// 32-bit truncation: any bound outside the `i32` range means the
+    /// machine result may wrap, so the whole interval degrades to ⊤.
+    fn wrapped(lo: i64, hi: i64) -> Interval {
+        if lo > hi {
+            Interval::bottom()
+        } else if lo < I32_MIN || hi > I32_MAX {
+            Interval::top()
+        } else {
+            Interval { lo, hi }
+        }
+    }
+
+    /// Lower bound (meaningless for ⊥).
+    #[must_use]
+    pub const fn lo(&self) -> i64 {
+        self.lo
+    }
+
+    /// Upper bound (meaningless for ⊥).
+    #[must_use]
+    pub const fn hi(&self) -> i64 {
+        self.hi
+    }
+
+    /// Whether this is the empty interval.
+    #[must_use]
+    pub const fn is_bottom(&self) -> bool {
+        self.lo > self.hi
+    }
+
+    /// Whether this is the full domain.
+    #[must_use]
+    pub fn is_top(&self) -> bool {
+        *self == Interval::top()
+    }
+
+    /// The single value, if the interval is a singleton.
+    #[must_use]
+    pub const fn as_const(&self) -> Option<i32> {
+        if self.lo == self.hi {
+            Some(self.lo as i32)
+        } else {
+            None
+        }
+    }
+
+    /// Whether `v` lies inside the interval.
+    #[must_use]
+    pub const fn contains(&self, v: i32) -> bool {
+        self.lo <= v as i64 && v as i64 <= self.hi
+    }
+
+    /// Least upper bound.
+    #[must_use]
+    pub fn join(&self, other: &Interval) -> Interval {
+        if self.is_bottom() {
+            return *other;
+        }
+        if other.is_bottom() {
+            return *self;
+        }
+        Interval { lo: self.lo.min(other.lo), hi: self.hi.max(other.hi) }
+    }
+
+    /// Greatest lower bound.
+    #[must_use]
+    pub fn meet(&self, other: &Interval) -> Interval {
+        Interval::new(self.lo.max(other.lo), self.hi.min(other.hi))
+    }
+
+    /// Standard interval widening: any bound that moved jumps to the
+    /// domain extreme, guaranteeing fixpoint termination.
+    #[must_use]
+    pub fn widen(&self, next: &Interval) -> Interval {
+        if self.is_bottom() {
+            return *next;
+        }
+        if next.is_bottom() {
+            return *self;
+        }
+        Interval {
+            lo: if next.lo < self.lo { I32_MIN } else { self.lo },
+            hi: if next.hi > self.hi { I32_MAX } else { self.hi },
+        }
+    }
+
+    /// If every value in the interval evaluates `cond` the same way,
+    /// that direction; `None` when the interval straddles the condition
+    /// (or is ⊥, where no claim is made).
+    #[must_use]
+    pub fn decides(&self, cond: Cond) -> Option<bool> {
+        if self.is_bottom() {
+            return None;
+        }
+        let lo = cond.eval(self.lo as i32);
+        let hi = cond.eval(self.hi as i32);
+        // Every condition's region is bounded by zero, so agreement at
+        // the endpoints decides the interval unless it straddles zero
+        // with an `Eq`/`Ne` (0 inside evaluates differently).
+        if lo != hi {
+            return None;
+        }
+        if matches!(cond, Cond::Eq | Cond::Ne) && self.lo < 0 && self.hi > 0 {
+            return None;
+        }
+        Some(lo)
+    }
+
+    /// The subset of the interval on which `cond` holds (for branch-edge
+    /// refinement). ⊥ means the edge is infeasible.
+    #[must_use]
+    pub fn refine(&self, cond: Cond) -> Interval {
+        if self.is_bottom() {
+            return *self;
+        }
+        match cond {
+            Cond::Eq => self.meet(&Interval::constant(0)),
+            Cond::Ne => {
+                // Only endpoint zeros can be trimmed without splitting.
+                let mut r = *self;
+                if r.lo == 0 {
+                    r.lo = 1;
+                }
+                if r.hi == 0 {
+                    r.hi = -1;
+                }
+                if r.lo > r.hi {
+                    Interval::bottom()
+                } else {
+                    r
+                }
+            }
+            Cond::Lez => self.meet(&Interval::new(I32_MIN, 0)),
+            Cond::Gtz => self.meet(&Interval::new(1, I32_MAX)),
+            Cond::Ltz => self.meet(&Interval::new(I32_MIN, -1)),
+            Cond::Gez => self.meet(&Interval::new(0, I32_MAX)),
+        }
+    }
+
+    // --- transfer arithmetic -----------------------------------------
+
+    fn add(a: Interval, b: Interval) -> Interval {
+        if a.is_bottom() || b.is_bottom() {
+            return Interval::bottom();
+        }
+        Interval::wrapped(a.lo + b.lo, a.hi + b.hi)
+    }
+
+    fn sub(a: Interval, b: Interval) -> Interval {
+        if a.is_bottom() || b.is_bottom() {
+            return Interval::bottom();
+        }
+        Interval::wrapped(a.lo - b.hi, a.hi - b.lo)
+    }
+
+    fn mul(a: Interval, b: Interval) -> Interval {
+        if a.is_bottom() || b.is_bottom() {
+            return Interval::bottom();
+        }
+        let corners =
+            [a.lo * b.lo, a.lo * b.hi, a.hi * b.lo, a.hi * b.hi];
+        let lo = corners.iter().copied().min().unwrap();
+        let hi = corners.iter().copied().max().unwrap();
+        Interval::wrapped(lo, hi)
+    }
+
+    /// Signed division with the ISA's divide-by-zero-yields-zero rule;
+    /// `|q| <= |dividend|` bounds the magnitude (the `i32::MIN / -1`
+    /// wrap lands back on `i32::MIN`, inside the bound).
+    fn div(a: Interval, b: Interval) -> Interval {
+        if a.is_bottom() || b.is_bottom() {
+            return Interval::bottom();
+        }
+        if let (Some(x), Some(y)) = (a.as_const(), b.as_const()) {
+            return Interval::constant(if y == 0 { 0 } else { x.wrapping_div(y) });
+        }
+        let mag = a.lo.abs().max(a.hi.abs());
+        Interval::new(-mag, mag)
+    }
+
+    /// Signed remainder: magnitude below the divisor's, sign follows the
+    /// dividend, and both `x % 0 -> 0` and the `i32::MIN % -1` wrap give
+    /// zero (always inside the result).
+    fn rem(a: Interval, b: Interval) -> Interval {
+        if a.is_bottom() || b.is_bottom() {
+            return Interval::bottom();
+        }
+        let m = b.lo.abs().max(b.hi.abs());
+        if m == 0 {
+            return Interval::constant(0);
+        }
+        let lo = if a.lo >= 0 { 0 } else { a.lo.max(-(m - 1)) };
+        let hi = if a.hi <= 0 { 0 } else { a.hi.min(m - 1) };
+        Interval::new(lo, hi)
+    }
+
+    fn bit_op(a: Interval, b: Interval, op: impl Fn(i32, i32) -> i32, kind: BitKind) -> Interval {
+        if a.is_bottom() || b.is_bottom() {
+            return Interval::bottom();
+        }
+        if let (Some(x), Some(y)) = (a.as_const(), b.as_const()) {
+            return Interval::constant(op(x, y));
+        }
+        match kind {
+            // `x & y` with one operand known non-negative is bounded by
+            // that operand's maximum (masking clears bits).
+            BitKind::And if a.lo >= 0 || b.lo >= 0 => {
+                let hi = if a.lo >= 0 && b.lo >= 0 { a.hi.min(b.hi) } else if a.lo >= 0 { a.hi } else { b.hi };
+                Interval::new(0, hi)
+            }
+            // For non-negative x, y: max(x, y) <= x|y <= x + y.
+            BitKind::Or if a.lo >= 0 && b.lo >= 0 => {
+                Interval::new(a.lo.max(b.lo), (a.hi + b.hi).min(I32_MAX))
+            }
+            // x ^ y <= x | y <= x + y for non-negative operands.
+            BitKind::Xor if a.lo >= 0 && b.lo >= 0 => {
+                Interval::new(0, (a.hi + b.hi).min(I32_MAX))
+            }
+            _ => Interval::top(),
+        }
+    }
+
+    fn shift_left(a: Interval, shamt: u32) -> Interval {
+        if a.is_bottom() {
+            return Interval::bottom();
+        }
+        let f = 1i64 << shamt.min(31);
+        Interval::wrapped(a.lo * f, a.hi * f)
+    }
+
+    fn shift_right_logical(a: Interval, shamt: u32) -> Interval {
+        if a.is_bottom() {
+            return Interval::bottom();
+        }
+        if shamt == 0 {
+            return a;
+        }
+        if a.lo >= 0 {
+            return Interval::new(a.lo >> shamt, a.hi >> shamt);
+        }
+        // A negative operand shifts into a large non-negative value; for
+        // shamt >= 1 the result always fits in [0, u32::MAX >> shamt].
+        Interval::new(0, (u64::from(u32::MAX) >> shamt) as i64)
+    }
+
+    fn shift_right_arith(a: Interval, shamt: u32) -> Interval {
+        if a.is_bottom() {
+            return Interval::bottom();
+        }
+        Interval::new(a.lo >> shamt.min(31), a.hi >> shamt.min(31))
+    }
+
+    /// Variable arithmetic shift: `x >> s` for s in 0..=31 stays inside
+    /// `[min(x, 0-side), max(x, -1/0)]` per sign.
+    fn shift_right_arith_var(a: Interval) -> Interval {
+        if a.is_bottom() {
+            return Interval::bottom();
+        }
+        if a.lo >= 0 {
+            Interval::new(0, a.hi)
+        } else if a.hi < 0 {
+            Interval::new(a.lo, -1)
+        } else {
+            a
+        }
+    }
+
+    fn load_range(width: MemWidth, unsigned: bool) -> Interval {
+        match (width, unsigned) {
+            (MemWidth::Byte, false) => Interval::new(-128, 127),
+            (MemWidth::Byte, true) => Interval::new(0, 255),
+            (MemWidth::Half, false) => Interval::new(-32768, 32767),
+            (MemWidth::Half, true) => Interval::new(0, 65535),
+            (MemWidth::Word, _) => Interval::top(),
+        }
+    }
+}
+
+impl std::fmt::Display for Interval {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_bottom() {
+            write!(f, "⊥")
+        } else if self.is_top() {
+            write!(f, "⊤")
+        } else if let Some(c) = self.as_const() {
+            write!(f, "[{c}]")
+        } else {
+            write!(f, "[{}, {}]", self.lo, self.hi)
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+enum BitKind {
+    And,
+    Or,
+    Xor,
+    Other,
+}
+
+/// One abstract register file: an interval per architectural register,
+/// with `r0` pinned to the constant zero.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AbsState {
+    regs: [Interval; 32],
+}
+
+impl AbsState {
+    /// The state at the program entry point: the loader zeroes every
+    /// register and points `sp` at the top of the stack.
+    #[must_use]
+    pub fn entry() -> AbsState {
+        let mut regs = [Interval::constant(0); 32];
+        regs[usize::from(Reg::SP)] = Interval::constant(STACK_TOP as i32);
+        AbsState { regs }
+    }
+
+    /// The no-information state (every register ⊤ except `r0`), used to
+    /// seed blocks entered through unmodelled call edges.
+    #[must_use]
+    pub fn top() -> AbsState {
+        let mut regs = [Interval::top(); 32];
+        regs[0] = Interval::constant(0);
+        AbsState { regs }
+    }
+
+    /// The interval of `reg` in this state.
+    #[must_use]
+    pub fn get(&self, reg: Reg) -> Interval {
+        self.regs[usize::from(reg)]
+    }
+
+    fn set(&mut self, reg: Reg, v: Interval) {
+        if reg != Reg::ZERO {
+            self.regs[usize::from(reg)] = v;
+        }
+    }
+
+    fn join_from(&mut self, other: &AbsState) -> bool {
+        let mut changed = false;
+        for (mine, theirs) in self.regs.iter_mut().zip(&other.regs) {
+            let joined = mine.join(theirs);
+            if joined != *mine {
+                *mine = joined;
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    fn widen_from(&mut self, other: &AbsState) -> bool {
+        let mut changed = false;
+        for (mine, theirs) in self.regs.iter_mut().zip(&other.regs) {
+            let widened = mine.widen(&mine.join(theirs));
+            if widened != *mine {
+                *mine = widened;
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    /// Applies one instruction's effect on the register file.
+    pub fn transfer(&mut self, instr: Instr) {
+        let g = |s: &AbsState, r: Reg| s.get(r);
+        match instr {
+            Instr::Add { rd, rs, rt } => self.set(rd, Interval::add(g(self, rs), g(self, rt))),
+            Instr::Sub { rd, rs, rt } => self.set(rd, Interval::sub(g(self, rs), g(self, rt))),
+            Instr::And { rd, rs, rt } => {
+                self.set(rd, Interval::bit_op(g(self, rs), g(self, rt), |a, b| a & b, BitKind::And));
+            }
+            Instr::Or { rd, rs, rt } => {
+                self.set(rd, Interval::bit_op(g(self, rs), g(self, rt), |a, b| a | b, BitKind::Or));
+            }
+            Instr::Xor { rd, rs, rt } => {
+                self.set(rd, Interval::bit_op(g(self, rs), g(self, rt), |a, b| a ^ b, BitKind::Xor));
+            }
+            Instr::Nor { rd, rs, rt } => {
+                self.set(rd, Interval::bit_op(g(self, rs), g(self, rt), |a, b| !(a | b), BitKind::Other));
+            }
+            Instr::Slt { rd, rs, rt } => {
+                let (a, b) = (g(self, rs), g(self, rt));
+                let v = if a.is_bottom() || b.is_bottom() {
+                    Interval::bottom()
+                } else if a.hi < b.lo {
+                    Interval::constant(1)
+                } else if a.lo >= b.hi {
+                    Interval::constant(0)
+                } else {
+                    Interval::new(0, 1)
+                };
+                self.set(rd, v);
+            }
+            Instr::Sltu { rd, .. } => self.set(rd, Interval::new(0, 1)),
+            Instr::Mul { rd, rs, rt } => self.set(rd, Interval::mul(g(self, rs), g(self, rt))),
+            Instr::Div { rd, rs, rt } => self.set(rd, Interval::div(g(self, rs), g(self, rt))),
+            Instr::Rem { rd, rs, rt } => self.set(rd, Interval::rem(g(self, rs), g(self, rt))),
+            Instr::Sll { rd, rt, shamt } => {
+                self.set(rd, Interval::shift_left(g(self, rt), u32::from(shamt)));
+            }
+            Instr::Srl { rd, rt, shamt } => {
+                self.set(rd, Interval::shift_right_logical(g(self, rt), u32::from(shamt)));
+            }
+            Instr::Sra { rd, rt, shamt } => {
+                self.set(rd, Interval::shift_right_arith(g(self, rt), u32::from(shamt)));
+            }
+            Instr::Sllv { rd, rt, rs } => {
+                let v = match g(self, rs).as_const() {
+                    Some(s) => Interval::shift_left(g(self, rt), (s as u32) & 31),
+                    None => Interval::top(),
+                };
+                self.set(rd, v);
+            }
+            Instr::Srlv { rd, rt, rs } => {
+                let v = match g(self, rs).as_const() {
+                    Some(s) => Interval::shift_right_logical(g(self, rt), (s as u32) & 31),
+                    None => {
+                        let a = g(self, rt);
+                        if !a.is_bottom() && a.lo >= 0 {
+                            // x >> s <= x for non-negative x, any s.
+                            Interval::new(0, a.hi)
+                        } else {
+                            Interval::top()
+                        }
+                    }
+                };
+                self.set(rd, v);
+            }
+            Instr::Srav { rd, rt, rs } => {
+                let v = match g(self, rs).as_const() {
+                    Some(s) => Interval::shift_right_arith(g(self, rt), (s as u32) & 31),
+                    None => Interval::shift_right_arith_var(g(self, rt)),
+                };
+                self.set(rd, v);
+            }
+            Instr::Addi { rt, rs, imm } => {
+                self.set(rt, Interval::add(g(self, rs), Interval::constant(i32::from(imm))));
+            }
+            Instr::Slti { rt, rs, imm } => {
+                let (a, b) = (g(self, rs), Interval::constant(i32::from(imm)));
+                let v = if a.is_bottom() {
+                    Interval::bottom()
+                } else if a.hi < b.lo {
+                    Interval::constant(1)
+                } else if a.lo >= b.hi {
+                    Interval::constant(0)
+                } else {
+                    Interval::new(0, 1)
+                };
+                self.set(rt, v);
+            }
+            Instr::Sltiu { rt, .. } => self.set(rt, Interval::new(0, 1)),
+            Instr::Andi { rt, rs, imm } => {
+                let v = match g(self, rs).as_const() {
+                    Some(x) => Interval::constant(x & i32::from(imm)),
+                    None => Interval::new(0, i64::from(imm)),
+                };
+                self.set(rt, v);
+            }
+            Instr::Ori { rt, rs, imm } => {
+                let v = Interval::bit_op(
+                    g(self, rs),
+                    Interval::constant(i32::from(imm)),
+                    |a, b| a | b,
+                    BitKind::Or,
+                );
+                self.set(rt, v);
+            }
+            Instr::Xori { rt, rs, imm } => {
+                let v = Interval::bit_op(
+                    g(self, rs),
+                    Interval::constant(i32::from(imm)),
+                    |a, b| a ^ b,
+                    BitKind::Xor,
+                );
+                self.set(rt, v);
+            }
+            Instr::Lui { rt, imm } => {
+                self.set(rt, Interval::constant(((u32::from(imm)) << 16) as i32));
+            }
+            Instr::Load { rt, width, unsigned, .. } => {
+                self.set(rt, Interval::load_range(width, unsigned));
+            }
+            Instr::Jal { .. } => self.clobber_call(Reg::RA),
+            Instr::Jalr { rd, .. } => self.clobber_call(rd),
+            Instr::Store { .. }
+            | Instr::BranchZ { .. }
+            | Instr::Beq { .. }
+            | Instr::Bne { .. }
+            | Instr::J { .. }
+            | Instr::Jr { .. }
+            | Instr::CtrlW { .. }
+            | Instr::Halt => {}
+        }
+    }
+
+    /// A call defines the link register and may redefine every
+    /// caller-saved register in the callee — all go to ⊤ (the CFG holds
+    /// no call/return edges, matching the reaching-defs convention).
+    fn clobber_call(&mut self, link: Reg) {
+        self.set(link, Interval::top());
+        for &r in &CALL_CLOBBERS {
+            self.set(Reg::new(r), Interval::top());
+        }
+    }
+}
+
+/// The fixpoint result: per-block entry states plus per-register global
+/// write ranges, queryable per instruction.
+#[derive(Debug, Clone)]
+pub struct ValueRanges {
+    instrs: Vec<Instr>,
+    pcs: Vec<u32>,
+    /// Per block: `(start, end)` instruction-index bounds.
+    spans: Vec<(usize, usize)>,
+    /// Block index per instruction.
+    owner: Vec<usize>,
+    /// Fixpoint entry state per block; `None` = never reached.
+    ins: Vec<Option<AbsState>>,
+    /// Join of the entry value and every value any reachable definition
+    /// of the register can write.
+    global: [Interval; 32],
+    /// Blocks whose entry state was seeded ⊤ (unmodelled in-edges).
+    seeded_top: Vec<bool>,
+    /// The block containing the architectural entry point.
+    entry_block: Option<usize>,
+}
+
+impl ValueRanges {
+    /// Runs the interval analysis over `program`'s CFG to fixpoint.
+    #[must_use]
+    pub fn compute(program: &Program, cfg: &Cfg) -> ValueRanges {
+        let blocks = cfg.blocks();
+        let instrs: Vec<Instr> = cfg.instrs().to_vec();
+        let pcs: Vec<u32> = (0..instrs.len()).map(|i| cfg.pc_of(i)).collect();
+        let spans: Vec<(usize, usize)> = blocks.iter().map(|b| (b.start, b.end)).collect();
+        let mut owner = vec![0usize; instrs.len()];
+        for (bi, &(s, e)) in spans.iter().enumerate() {
+            for o in owner.iter_mut().take(e).skip(s) {
+                *o = bi;
+            }
+        }
+
+        let mut ins: Vec<Option<AbsState>> = vec![None; blocks.len()];
+        let mut joins = vec![0u32; blocks.len()];
+        let mut worklist: Vec<usize> = Vec::new();
+        let mut seeded_top = vec![false; blocks.len()];
+        let mut entry_block = None;
+
+        // Seeds: the architectural entry gets the loader state; blocks
+        // with no CFG predecessors (label-entered callees, dead code)
+        // and every direct-call target get ⊤ — the analysis claims
+        // nothing about unmodelled call edges (`jr ra` is assumed to
+        // return to its call site, the standard convention the CFG's
+        // fall-through-on-`jal` encoding models). Truly indirect control
+        // (`jalr`, computed `jr`) can land on *any* block, so its
+        // presence seeds every block ⊤.
+        let seed = |bi: usize, state: AbsState, ins: &mut Vec<Option<AbsState>>, wl: &mut Vec<usize>| {
+            match &mut ins[bi] {
+                Some(existing) => {
+                    if existing.join_from(&state) {
+                        wl.push(bi);
+                    }
+                }
+                slot @ None => {
+                    *slot = Some(state);
+                    wl.push(bi);
+                }
+            }
+        };
+        if let Some(entry_idx) = cfg.index_of(program.entry()) {
+            let bi = cfg.block_of(entry_idx);
+            entry_block = Some(bi);
+            seed(bi, AbsState::entry(), &mut ins, &mut worklist);
+        }
+        let has_indirect = instrs.iter().any(|i| match i {
+            Instr::Jalr { .. } => true,
+            Instr::Jr { rs } => *rs != Reg::RA,
+            _ => false,
+        });
+        for (bi, b) in blocks.iter().enumerate() {
+            if b.preds.is_empty() || has_indirect {
+                seeded_top[bi] = true;
+                seed(bi, AbsState::top(), &mut ins, &mut worklist);
+            }
+        }
+        for (i, instr) in instrs.iter().enumerate() {
+            if matches!(instr, Instr::Jal { .. }) {
+                if let Some(target) = instr.direct_jump_target(pcs[i]) {
+                    if let Some(idx) = cfg.index_of(target) {
+                        let bi = cfg.block_of(idx);
+                        seeded_top[bi] = true;
+                        seed(bi, AbsState::top(), &mut ins, &mut worklist);
+                    }
+                }
+            }
+        }
+
+        while let Some(bi) = worklist.pop() {
+            let Some(state) = ins[bi].clone() else { continue };
+            let (start, end) = spans[bi];
+            let mut out = state;
+            for &instr in &instrs[start..end] {
+                out.transfer(instr);
+            }
+            // Branch-edge refinement on the terminator.
+            let term = if end > start { Some(instrs[end - 1]) } else { None };
+            let (taken_succ, cond_reg) = match term {
+                Some(Instr::BranchZ { cond, rs, .. }) => {
+                    let info = term.unwrap().branch().expect("BranchZ is a branch");
+                    let target_idx = cfg.index_of(info.target(pcs[end - 1]));
+                    (target_idx.map(|i| (cfg.block_of(i), cond)), Some(rs))
+                }
+                _ => (None, None),
+            };
+            for &succ in &blocks[bi].succs {
+                let mut edge_state = out.clone();
+                if let (Some((taken_block, cond)), Some(rs)) = (taken_succ, cond_reg) {
+                    // Only refine when taken and fall-through lead to
+                    // *different* blocks; a self-target is both.
+                    let fall_block =
+                        spans.iter().position(|&(s, _)| s == end).filter(|&fb| fb != taken_block);
+                    let refined = if succ == taken_block {
+                        edge_state.get(rs).refine(cond)
+                    } else if Some(succ) == fall_block {
+                        edge_state.get(rs).refine(cond.negate())
+                    } else {
+                        edge_state.get(rs)
+                    };
+                    if refined.is_bottom() {
+                        continue; // infeasible edge
+                    }
+                    edge_state.set(rs, refined);
+                }
+                let changed = match &mut ins[succ] {
+                    Some(existing) => {
+                        joins[succ] += 1;
+                        if joins[succ] > WIDEN_AFTER {
+                            existing.widen_from(&edge_state)
+                        } else {
+                            existing.join_from(&edge_state)
+                        }
+                    }
+                    slot @ None => {
+                        *slot = Some(edge_state);
+                        true
+                    }
+                };
+                if changed {
+                    worklist.push(succ);
+                }
+            }
+        }
+
+        // Global per-register write ranges: the entry values plus every
+        // value a reachable definition can produce (the set the ASBR
+        // direction table can ever have latched — it powers up holding
+        // zeroes, matching the architectural reset state).
+        let mut global = [Interval::bottom(); 32];
+        let entry = AbsState::entry();
+        for (r, g) in global.iter_mut().enumerate() {
+            *g = g
+                .join(&entry.get(Reg::new(r as u8)))
+                .join(&Interval::constant(0));
+        }
+        for (bi, &(s, e)) in spans.iter().enumerate() {
+            let Some(state) = &ins[bi] else { continue };
+            let mut cur = state.clone();
+            for &instr in &instrs[s..e] {
+                cur.transfer(instr);
+                for r in 1..32u8 {
+                    let reg = Reg::new(r);
+                    if defines_reg(instr, reg) {
+                        // The written value is the post-transfer range
+                        // (⊤ for call clobbers).
+                        global[usize::from(reg)] =
+                            global[usize::from(reg)].join(&cur.get(reg));
+                    }
+                }
+            }
+        }
+
+        ValueRanges { instrs, pcs, spans, owner, ins, global, seeded_top, entry_block }
+    }
+
+    /// Whether `block`'s entry state was seeded ⊤ for an unmodelled edge
+    /// (call target, pred-less block, or any block in the presence of
+    /// truly indirect control) — its incoming CFG edges do not account
+    /// for all the state that can reach it.
+    #[must_use]
+    pub fn seeded_top(&self, block: usize) -> bool {
+        self.seeded_top[block]
+    }
+
+    /// The block holding the architectural entry point, if it is inside
+    /// the text segment. Its entry state includes the loader state in
+    /// addition to any incoming CFG edges.
+    #[must_use]
+    pub fn entry_block(&self) -> Option<usize> {
+        self.entry_block
+    }
+
+    /// The interval of `reg` immediately before instruction `index`
+    /// executes; ⊥ if the instruction was proven unreachable.
+    #[must_use]
+    pub fn before(&self, index: usize, reg: Reg) -> Interval {
+        let bi = self.owner[index];
+        let Some(state) = &self.ins[bi] else {
+            return Interval::bottom();
+        };
+        let mut cur = state.clone();
+        for i in self.spans[bi].0..index {
+            cur.transfer(self.instrs[i]);
+        }
+        cur.get(reg)
+    }
+
+    /// The value range instruction `index` writes to its destination,
+    /// or `None` for non-writing instructions and unreachable code.
+    #[must_use]
+    pub fn written(&self, index: usize) -> Option<(Reg, Interval)> {
+        let dst = self.instrs[index].dst()?;
+        let bi = self.owner[index];
+        self.ins[bi].as_ref()?;
+        let mut cur = self.ins[bi].clone().unwrap();
+        for i in self.spans[bi].0..=index {
+            cur.transfer(self.instrs[i]);
+        }
+        Some((dst, cur.get(dst)))
+    }
+
+    /// The join of the register's entry value and every value any
+    /// reachable definition can write — an over-approximation of every
+    /// value the register (and hence a published copy of it) ever holds.
+    #[must_use]
+    pub fn global_range(&self, reg: Reg) -> Interval {
+        self.global[usize::from(reg)]
+    }
+
+    /// The interval of `reg` flowing along the `pred → succ` block edge
+    /// (the predecessor's exit state, branch-refined for that edge).
+    /// ⊥ when the predecessor is unreachable or the edge infeasible.
+    #[must_use]
+    pub fn edge_range(&self, pred: usize, succ: usize, reg: Reg) -> Interval {
+        let Some(state) = &self.ins[pred] else {
+            return Interval::bottom();
+        };
+        let (start, end) = self.spans[pred];
+        let mut cur = state.clone();
+        for i in start..end {
+            cur.transfer(self.instrs[i]);
+        }
+        let term = if end > start { Some(self.instrs[end - 1]) } else { None };
+        if let Some(Instr::BranchZ { cond, rs, .. }) = term {
+            if rs == reg {
+                let info = term.unwrap().branch().expect("BranchZ is a branch");
+                let taken_idx = self
+                    .pcs
+                    .iter()
+                    .position(|&pc| pc == info.target(self.pcs[end - 1]));
+                let taken_block = taken_idx.map(|i| self.owner[i]);
+                let fall_block = self.spans.iter().position(|&(s, _)| s == end);
+                if taken_block != fall_block {
+                    if Some(succ) == taken_block {
+                        return cur.get(rs).refine(cond);
+                    }
+                    if Some(succ) == fall_block {
+                        return cur.get(rs).refine(cond.negate());
+                    }
+                }
+            }
+        }
+        cur.get(reg)
+    }
+
+    /// Number of instructions covered by the analysis.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Whether the analyzed text segment is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asbr_asm::assemble;
+
+    fn ranges(src: &str) -> (Program, Cfg, ValueRanges) {
+        let p = assemble(src).unwrap();
+        let cfg = Cfg::build(&p);
+        let vr = ValueRanges::compute(&p, &cfg);
+        (p, cfg, vr)
+    }
+
+    #[test]
+    fn constants_propagate_and_join() {
+        let (p, cfg, vr) = ranges(
+            "main:   li   r8, 5
+                    beqz r4, other
+                    li   r8, 9
+            other:  add  r9, r8, r8
+                    halt",
+        );
+        let add_idx = cfg.index_of(p.symbol("other").unwrap()).unwrap();
+        let r8 = vr.before(add_idx, Reg::new(8));
+        assert_eq!((r8.lo(), r8.hi()), (5, 9));
+        let (dst, sum) = vr.written(add_idx).unwrap();
+        assert_eq!(dst, Reg::new(9));
+        assert_eq!((sum.lo(), sum.hi()), (10, 18));
+    }
+
+    #[test]
+    fn branch_edges_refine_the_predicate() {
+        let (p, cfg, vr) = ranges(
+            "main:   lb   r4, 0(r0)
+                    bgez r4, pos
+                    halt
+            pos:    add  r5, r4, r0
+                    halt",
+        );
+        let pos_idx = cfg.index_of(p.symbol("pos").unwrap()).unwrap();
+        let r4 = vr.before(pos_idx, Reg::new(4));
+        assert_eq!((r4.lo(), r4.hi()), (0, 127), "taken edge keeps only >= 0");
+    }
+
+    #[test]
+    fn widening_terminates_on_loops_and_stays_sound() {
+        let (_, cfg, vr) = ranges(
+            "main:   li   r4, 10
+            loop:   addi r4, r4, -1
+                    bnez r4, loop
+                    halt",
+        );
+        // The decremented counter widens; soundness means the range
+        // always contains the dynamic values 10..=0.
+        let dec = cfg.index_of(0x1004).unwrap();
+        let r4 = vr.before(dec, Reg::new(4));
+        for v in 0..=10 {
+            assert!(r4.contains(v), "{r4} should contain {v}");
+        }
+    }
+
+    #[test]
+    fn comparison_results_are_bounded_and_global_ranges_cover_writes() {
+        let (p, cfg, vr) = ranges(
+            "main:   lw   r4, 0(r0)
+                    slt  r8, r4, r5
+                    bnez r8, main
+                    halt",
+        );
+        let slt = cfg.index_of(0x1004).unwrap();
+        let (_, r8) = vr.written(slt).unwrap();
+        assert_eq!((r8.lo(), r8.hi()), (0, 1));
+        let g = vr.global_range(Reg::new(8));
+        assert_eq!((g.lo(), g.hi()), (0, 1), "global: entry 0 joined with [0,1]");
+        let _ = p;
+    }
+
+    #[test]
+    fn calls_clobber_the_convention_set() {
+        let (p, cfg, vr) = ranges(
+            "main:   li   r8, 3
+                    li   r17, 4
+                    jal  f
+                    add  r9, r8, r8
+                    halt
+            f:      jr   r31",
+        );
+        let add_idx = cfg.index_of(p.symbol("main").unwrap() + 12).unwrap();
+        assert!(vr.before(add_idx, Reg::new(8)).is_top(), "r8 is caller-saved");
+        let r17 = vr.before(add_idx, Reg::new(17));
+        assert_eq!(r17.as_const(), Some(4), "r17 is callee-saved");
+    }
+
+    #[test]
+    fn infeasible_edges_carry_no_state() {
+        let (p, cfg, vr) = ranges(
+            "main:   li   r4, 1
+                    beqz r4, dead
+                    halt
+            dead:   li   r8, 7
+                    halt",
+        );
+        let dead = cfg.index_of(p.symbol("dead").unwrap()).unwrap();
+        assert!(
+            vr.before(dead, Reg::new(4)).is_bottom(),
+            "edge from a constant-false beqz is infeasible"
+        );
+    }
+
+    #[test]
+    fn interval_algebra_sanity() {
+        let a = Interval::new(-3, 5);
+        assert!(a.join(&Interval::constant(9)).contains(9));
+        assert!(a.meet(&Interval::new(0, 99)).lo() == 0);
+        assert_eq!(a.refine(Cond::Gtz).lo(), 1);
+        assert_eq!(a.refine(Cond::Eq).as_const(), Some(0));
+        assert!(Interval::constant(0).refine(Cond::Ne).is_bottom());
+        assert_eq!(Interval::new(1, 8).decides(Cond::Gtz), Some(true));
+        assert_eq!(Interval::new(-4, 4).decides(Cond::Ne), None);
+        assert_eq!(Interval::new(0, 0).decides(Cond::Gez), Some(true));
+        let w = Interval::new(0, 10).widen(&Interval::new(0, 11));
+        assert_eq!(w.hi(), I32_MAX);
+        assert_eq!(w.lo(), 0);
+    }
+}

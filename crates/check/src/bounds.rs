@@ -1,0 +1,719 @@
+//! Loop-bound inference and the static cycle-bound (WCET) analyzer.
+//!
+//! Two layers on top of the interval domain ([`crate::absint`]):
+//!
+//! 1. **Counted-loop bounds** ([`find_loops`]): natural loops are located
+//!    via DFS back edges over the [`Cfg`], and for the restricted *counted*
+//!    shape — a single-back-edge loop whose latch is a zero-compare branch
+//!    over an induction register updated by exactly one constant-stride
+//!    `addi` — the maximum number of back-edge traversals *per loop entry*
+//!    is derived from the interval of the induction register at entry.
+//!    Loops with no exit edge at all are flagged `W005`; loops whose bound
+//!    is not inferable are noted `I003`.
+//! 2. **Static cycle bound** ([`cycle_bound`]): given an execution profile
+//!    (dynamic retire counts per pc from the functional interpreter) and
+//!    the machine parameters the pipelined simulator runs with
+//!    ([`MachineParams`]), compute a guaranteed upper bound on the
+//!    cycle-accurate simulator's cycle count, bucket by bucket. Every
+//!    term worst-cases a pipeline mechanism (flush geometry, load-use
+//!    interlock, EX occupancy, cache misses) using the shared timing
+//!    facts in [`asbr_sim::timing`]; ASBR fold credit is taken *only* for
+//!    branches the fold-soundness prover discharges, which provably never
+//!    mispredict. See `docs/analysis.md` for the soundness argument of
+//!    each term.
+
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+use asbr_asm::Program;
+use asbr_flow::{defines_reg, Cfg};
+use asbr_isa::{Cond, Instr};
+use asbr_sim::{timing, Interp, SimError, SimHooks, DEFAULT_MAX_STEPS};
+
+use crate::absint::{AbsState, Interval, ValueRanges};
+use crate::lints::entry_block;
+use crate::report::{Diagnostic, Report, Severity};
+
+/// A natural loop discovered from a DFS back edge `latch → head`.
+#[derive(Debug, Clone)]
+pub struct NaturalLoop {
+    /// Block index of the loop head (the back edge's target).
+    pub head: usize,
+    /// Block index of the latch (the back edge's source).
+    pub latch: usize,
+    /// Blocks of the loop body: `head`, `latch`, and every block on a
+    /// head-free path to the latch.
+    pub body: BTreeSet<usize>,
+    /// Maximum back-edge traversals per loop entry, when the loop matches
+    /// the counted shape; `None` when no bound could be inferred.
+    pub bound: Option<u64>,
+}
+
+/// DFS colors for iterative back-edge detection.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Color {
+    White,
+    Gray,
+    Black,
+}
+
+/// All DFS back edges `(from, to)` over the block graph, searched from
+/// the entry block and every predecessor-less block.
+fn back_edges(cfg: &Cfg, program: &Program) -> Vec<(usize, usize)> {
+    let blocks = cfg.blocks();
+    let mut color = vec![Color::White; blocks.len()];
+    let mut edges = Vec::new();
+    let mut roots: Vec<usize> = vec![entry_block(cfg, program)];
+    roots.extend((0..blocks.len()).filter(|&b| blocks[b].preds.is_empty()));
+    for root in roots {
+        if color[root] != Color::White {
+            continue;
+        }
+        color[root] = Color::Gray;
+        let mut stack: Vec<(usize, usize)> = vec![(root, 0)];
+        while let Some(&mut (node, ref mut next)) = stack.last_mut() {
+            if *next < blocks[node].succs.len() {
+                let s = blocks[node].succs[*next];
+                *next += 1;
+                match color[s] {
+                    Color::White => {
+                        color[s] = Color::Gray;
+                        stack.push((s, 0));
+                    }
+                    Color::Gray => edges.push((node, s)),
+                    Color::Black => {}
+                }
+            } else {
+                color[node] = Color::Black;
+                stack.pop();
+            }
+        }
+    }
+    edges
+}
+
+/// The loop body of back edge `latch → head`: `head` plus every block
+/// that reaches `latch` without passing through `head`.
+fn loop_body(cfg: &Cfg, head: usize, latch: usize) -> BTreeSet<usize> {
+    let mut body = BTreeSet::from([head, latch]);
+    // The backward walk never expands the head; a self-loop (latch ==
+    // head) therefore has nothing to expand at all.
+    let mut work: VecDeque<usize> = VecDeque::new();
+    if latch != head {
+        work.push_back(latch);
+    }
+    while let Some(b) = work.pop_front() {
+        for &p in &cfg.blocks()[b].preds {
+            if p != head && body.insert(p) {
+                work.push_back(p);
+            }
+        }
+    }
+    body
+}
+
+/// Block indices forward-reachable from `from` through CFG successor
+/// edges (including `from` itself).
+fn reachable_from_block(cfg: &Cfg, from: usize) -> Vec<bool> {
+    let mut seen = vec![false; cfg.blocks().len()];
+    seen[from] = true;
+    let mut work = VecDeque::from([from]);
+    while let Some(b) = work.pop_front() {
+        for &s in &cfg.blocks()[b].succs {
+            if !seen[s] {
+                seen[s] = true;
+                work.push_back(s);
+            }
+        }
+    }
+    seen
+}
+
+/// Attempts to infer the counted-loop traversal bound for the back edge
+/// `latch → head` with body `body`. Every returned bound is a sound
+/// maximum of back-edge traversals per entry into the loop.
+fn infer_bound(
+    cfg: &Cfg,
+    ranges: &ValueRanges,
+    head: usize,
+    latch: usize,
+    body: &BTreeSet<usize>,
+) -> Option<u64> {
+    let blocks = cfg.blocks();
+    let instrs = cfg.instrs();
+
+    // (a) The interval fixpoint must carry real information into the head:
+    // a head seeded ⊤ (indirect control flow, unknown entry) gives the
+    // induction register no usable entry interval.
+    if ranges.seeded_top(head) {
+        return None;
+    }
+
+    // (b) Single back edge: every other predecessor of the head must be a
+    // genuine loop entry, i.e. not itself reachable from the head. This
+    // rejects second latches (even DFS cross-edge latches the back-edge
+    // walk classified differently), whose head-free stride applications
+    // would let a `bnez` counter skip its exit value.
+    let reach = reachable_from_block(cfg, head);
+    if blocks[head].preds.iter().any(|&p| p != latch && reach[p]) {
+        return None;
+    }
+
+    // (c) The latch terminator is a zero-compare branch whose taken edge
+    // is exactly the head's first instruction.
+    let term_idx = blocks[latch].end - 1;
+    let Instr::BranchZ { cond, rs, .. } = instrs[term_idx] else {
+        return None;
+    };
+    let target = instrs[term_idx].branch()?.target(cfg.pc_of(term_idx));
+    if cfg.index_of(target) != Some(blocks[head].start) {
+        return None;
+    }
+
+    // (f) The latch's fall-through must leave the body (and must not be
+    // the head itself, which would make the back edge unconditional):
+    // the false test exits the loop.
+    if blocks[latch].end < instrs.len() {
+        let fall = cfg.block_of(blocks[latch].end);
+        if fall == head || body.contains(&fall) {
+            return None;
+        }
+    }
+
+    // (g) No side entries: every non-head body block is entered only from
+    // inside the body, so the entry interval at the head covers every
+    // value the induction register can hold when the loop starts.
+    for &b in body {
+        if b != head && blocks[b].preds.iter().any(|p| !body.contains(p)) {
+            return None;
+        }
+    }
+
+    // (d) Exactly one definition of the induction register in the body —
+    // a constant-stride `addi rs, rs, imm` — located in the head or latch
+    // block, so each back-edge traversal applies the stride exactly once
+    // and the latch tests the value after every application. Call
+    // instructions clobbering `rs` count as extra definitions
+    // (`defines_reg`), rejecting the shape.
+    let mut def = None;
+    for &b in body {
+        let blk = &blocks[b];
+        for (off, &instr) in instrs[blk.start..blk.end].iter().enumerate() {
+            if defines_reg(instr, rs) {
+                if def.is_some() {
+                    return None;
+                }
+                def = Some((b, blk.start + off));
+            }
+        }
+    }
+    let (def_block, def_idx) = def?;
+    if def_block != head && def_block != latch {
+        return None;
+    }
+    let Instr::Addi { rt, rs: src, imm } = instrs[def_idx] else {
+        return None;
+    };
+    if rt != rs || src != rs || imm == 0 {
+        return None;
+    }
+    let stride = i64::from(imm);
+
+    // (e) Entry interval of the induction register: join over every
+    // loop-entry edge into the head, plus the architectural entry state
+    // when the head is the program entry block.
+    let mut init = Interval::bottom();
+    for &p in &blocks[head].preds {
+        if !body.contains(&p) {
+            init = init.join(&ranges.edge_range(p, head, rs));
+        }
+    }
+    if ranges.entry_block() == Some(head) {
+        init = init.join(&AbsState::entry().get(rs));
+    }
+    if init.is_bottom() {
+        // The head is unreachable along any feasible entry edge: the back
+        // edge is never traversed.
+        return Some(0);
+    }
+    let (lo, hi) = (init.lo(), init.hi());
+
+    // At the k-th latch test the register holds `init + k*stride` (one
+    // stride per traversal, conditions (b)/(d)/(f) above). The `+ 2`
+    // slack absorbs the entry pass and the strict/non-strict boundary in
+    // one conservative constant.
+    match cond {
+        Cond::Gtz | Cond::Gez if stride < 0 => Some((hi.max(0) / -stride) as u64 + 2),
+        Cond::Ltz | Cond::Lez if stride > 0 => Some(((-lo).max(0) / stride) as u64 + 2),
+        // `bnez` only counts down (up) reliably with stride −1 (+1) from a
+        // strictly positive (negative) start: the counter then hits zero
+        // exactly, without wrapping past it.
+        Cond::Ne if stride == -1 && lo >= 1 => Some(hi.max(0) as u64 + 2),
+        Cond::Ne if stride == 1 && hi <= -1 => Some((-lo).max(0) as u64 + 2),
+        _ => None,
+    }
+}
+
+/// Finds every natural loop (one per DFS back edge) and infers counted
+/// bounds where the shape allows (see [`NaturalLoop::bound`]).
+#[must_use]
+pub fn find_loops(program: &Program, cfg: &Cfg, ranges: &ValueRanges) -> Vec<NaturalLoop> {
+    back_edges(cfg, program)
+        .into_iter()
+        .map(|(latch, head)| {
+            let body = loop_body(cfg, head, latch);
+            let bound = infer_bound(cfg, ranges, head, latch, &body);
+            NaturalLoop { head, latch, body, bound }
+        })
+        .collect()
+}
+
+/// Whether the loop provably never transfers control out of its body: no
+/// block has an exit edge, and no call could diverge elsewhere (`jal` /
+/// `jalr` leave the body through the call-edge side channel the CFG does
+/// not model).
+fn has_no_exit(cfg: &Cfg, body: &BTreeSet<usize>) -> bool {
+    body.iter().all(|&bi| {
+        let b = &cfg.blocks()[bi];
+        !b.succs.is_empty()
+            && b.succs.iter().all(|s| body.contains(s))
+            && (b.start..b.end)
+                .all(|i| !matches!(cfg.instrs()[i], Instr::Jal { .. } | Instr::Jalr { .. }))
+    })
+}
+
+/// Loop-bound lints: `W005` (warning) for loops with no exit edge, `I003`
+/// (info) for loops whose bound the counted-loop analysis cannot infer.
+/// Loops with an inferred bound produce no diagnostic.
+pub fn check_loop_bounds(
+    report: &mut Report,
+    program: &Program,
+    cfg: &Cfg,
+    ranges: &ValueRanges,
+) {
+    let mut flagged = BTreeSet::new();
+    for l in find_loops(program, cfg, ranges) {
+        if l.bound.is_some() || !flagged.insert(l.head) {
+            continue;
+        }
+        let pc = cfg.pc_of(cfg.blocks()[l.head].start);
+        if has_no_exit(cfg, &l.body) {
+            report.push(Diagnostic::at(
+                program,
+                pc,
+                "W005",
+                Severity::Warning,
+                "loop has no exit edge: control cannot leave the body once entered".to_string(),
+            ));
+        } else {
+            report.push(Diagnostic::at(
+                program,
+                pc,
+                "I003",
+                Severity::Info,
+                "loop bound not statically inferable (not a recognized counted loop)".to_string(),
+            ));
+        }
+    }
+}
+
+/// Machine parameters of the cycle-bound model — the same knobs the
+/// pipelined simulator is configured with (`PipelineConfig` /
+/// `MemSystemConfig` on the simulator side).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MachineParams {
+    /// EX occupancy of `mul` in cycles (≥ 1).
+    pub mul_latency: u32,
+    /// EX occupancy of `div`/`rem` in cycles (≥ 1).
+    pub div_latency: u32,
+    /// I-cache capacity in bytes.
+    pub icache_bytes: u32,
+    /// I-cache line size in bytes.
+    pub icache_line: u32,
+    /// I-cache associativity (ways).
+    pub icache_assoc: u32,
+    /// I-cache miss penalty in cycles.
+    pub icache_penalty: u32,
+    /// D-cache miss penalty in cycles.
+    pub dcache_penalty: u32,
+}
+
+impl Default for MachineParams {
+    /// Matches the simulator defaults: unit mul/div latency and the
+    /// paper's 8 KB, 32 B-line, 2-way caches with an 8-cycle miss.
+    fn default() -> MachineParams {
+        MachineParams {
+            mul_latency: 1,
+            div_latency: 1,
+            icache_bytes: 8192,
+            icache_line: 32,
+            icache_assoc: 2,
+            icache_penalty: 8,
+            dcache_penalty: 8,
+        }
+    }
+}
+
+/// Dynamic retire counts per pc, collected from a functional
+/// ([`Interp`]) run — the workload-specific input to [`cycle_bound`].
+#[derive(Debug, Clone, Default)]
+pub struct ExecutionProfile {
+    /// Total dynamic instructions retired (including `halt`).
+    pub instructions: u64,
+    counts: HashMap<u32, u64>,
+}
+
+impl ExecutionProfile {
+    /// Runs `program` to `halt` under the functional interpreter with the
+    /// given input samples and records per-pc retire counts.
+    pub fn collect(program: &Program, input: &[i32]) -> Result<ExecutionProfile, SimError> {
+        struct Counter {
+            counts: HashMap<u32, u64>,
+        }
+        impl SimHooks for Counter {
+            fn on_retire(&mut self, pc: u32, _instr: Instr, _icount: u64) {
+                *self.counts.entry(pc).or_insert(0) += 1;
+            }
+        }
+        let mut interp = Interp::new(program)?;
+        interp.feed_input(input.iter().copied());
+        let mut counter = Counter { counts: HashMap::new() };
+        let summary = interp.run_observed(DEFAULT_MAX_STEPS, &mut counter)?;
+        Ok(ExecutionProfile { instructions: summary.instructions, counts: counter.counts })
+    }
+
+    /// Dynamic retire count of the instruction at `pc`.
+    #[must_use]
+    pub fn count(&self, pc: u32) -> u64 {
+        self.counts.get(&pc).copied().unwrap_or(0)
+    }
+}
+
+/// A static upper bound on the pipelined simulator's cycle count, split
+/// by the simulator's own attribution buckets. Every field bounds the
+/// corresponding bucket individually, so [`CycleBound::total`] bounds the
+/// total cycle count.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CycleBound {
+    /// Retire slots (one per dynamic instruction).
+    pub useful: u64,
+    /// Pipeline fill/drain, including wrong-path `halt` fetch leakage.
+    pub fill_drain: u64,
+    /// Conditional-branch mispredict flushes (2 slots each) for every
+    /// non-credited branch execution.
+    pub branch_flush: u64,
+    /// Direct-jump decode redirects, right-path and wrong-path.
+    pub jump_redirect: u64,
+    /// Indirect-jump flushes (2 slots each).
+    pub indirect_flush: u64,
+    /// Load-use interlock bubbles (1 per load execution).
+    pub load_use: u64,
+    /// Extra EX occupancy of multi-cycle instructions.
+    pub ex_occupancy: u64,
+    /// D-cache miss stalls (full penalty per access).
+    pub dcache_stall: u64,
+    /// I-cache miss stalls (penalty × miss bound).
+    pub icache_stall: u64,
+}
+
+impl CycleBound {
+    /// The total cycle bound: sum of every per-bucket bound.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.useful
+            .saturating_add(self.fill_drain)
+            .saturating_add(self.branch_flush)
+            .saturating_add(self.jump_redirect)
+            .saturating_add(self.indirect_flush)
+            .saturating_add(self.load_use)
+            .saturating_add(self.ex_occupancy)
+            .saturating_add(self.dcache_stall)
+            .saturating_add(self.icache_stall)
+    }
+}
+
+/// Computes the static cycle bound for one profiled execution.
+///
+/// `credited` lists the pcs of branches that are both *selected* for ASBR
+/// folding and *proven* sound by the fold prover: such branches provably
+/// fold on every execution (the publish-before-fetch obligation holds on
+/// every path), so they never flush — they are the only branches whose
+/// worst-case flush penalty is waived. All other conditional branches are
+/// worst-cased as mispredicted every time.
+#[must_use]
+pub fn cycle_bound(
+    cfg: &Cfg,
+    params: &MachineParams,
+    profile: &ExecutionProfile,
+    credited: &[u32],
+) -> CycleBound {
+    let n = profile.instructions;
+    let mut branches = 0u64; // conditional-branch retires
+    let mut credited_branches = 0u64;
+    let mut jumps = 0u64; // j / jal retires
+    let mut indirects = 0u64; // jr / jalr retires
+    let mut loads = 0u64;
+    let mut stores = 0u64;
+    let mut ex_extra = 0u64;
+    let mut max_latency = 1u64;
+    for (i, &instr) in cfg.instrs().iter().enumerate() {
+        let pc = cfg.pc_of(i);
+        let latency =
+            u64::from(timing::ex_latency(instr, params.mul_latency, params.div_latency));
+        max_latency = max_latency.max(latency);
+        let count = profile.count(pc);
+        if count == 0 {
+            continue;
+        }
+        match instr {
+            Instr::BranchZ { .. } | Instr::Beq { .. } | Instr::Bne { .. } => {
+                branches += count;
+                if credited.contains(&pc) {
+                    credited_branches += count;
+                }
+            }
+            Instr::J { .. } | Instr::Jal { .. } => jumps += count,
+            Instr::Jr { .. } | Instr::Jalr { .. } => indirects += count,
+            _ => {}
+        }
+        if instr.is_load() {
+            loads += count;
+        }
+        if instr.is_store() {
+            stores += count;
+        }
+        ex_extra = ex_extra.saturating_add((latency - 1).saturating_mul(count));
+    }
+
+    // Wrong-path fetch bound: every EX-resolved flush squashes at most 2
+    // in-flight slots, every ID redirect at most 1, plus the initial fill
+    // depth. Wrong-path fetches never retire, never reach EX, but do
+    // touch the I-cache, can redirect in decode, and can fetch `halt`.
+    let wrong_path = timing::BRANCH_FLUSH_SLOTS as u64 * branches
+        + timing::INDIRECT_FLUSH_SLOTS as u64 * indirects
+        + timing::JUMP_REDIRECT_SLOTS as u64 * jumps
+        + timing::PIPE_FILL_CYCLES as u64;
+
+    // Fill/drain: the initial fill, plus — for every flush opportunity —
+    // the fill bubbles a wrong-path `halt` fetch can leak downstream
+    // before the flush restarts fetch (at most 1 + max EX latency each).
+    let fill_drain = u64::from(timing::PIPE_FILL_CYCLES)
+        + (1 + max_latency).saturating_mul(branches + indirects);
+
+    // Credited branches provably fold at fetch: no flush, ever. Every
+    // other conditional branch is worst-cased as mispredicted.
+    let branch_flush = u64::from(timing::BRANCH_FLUSH_SLOTS)
+        .saturating_mul(branches - credited_branches);
+    let indirect_flush = u64::from(timing::INDIRECT_FLUSH_SLOTS).saturating_mul(indirects);
+
+    // Right-path direct jumps redirect once in decode; wrong-path fetched
+    // direct jumps may redirect too, at most once per wrong-path slot.
+    let jump_redirect =
+        u64::from(timing::JUMP_REDIRECT_SLOTS).saturating_mul(jumps) + wrong_path;
+
+    let load_use = u64::from(timing::LOAD_USE_SLOTS).saturating_mul(loads);
+
+    // MMIO accesses are untimed in the simulator, so charging the full
+    // D-cache penalty for *every* load and store is a sound worst case.
+    let dcache_stall = u64::from(params.dcache_penalty).saturating_mul(loads + stores);
+
+    // I-cache miss bound: the smaller of
+    //  * the streaming bound — a miss needs a line boundary, and each
+    //    fetch is either sequential (one boundary per line of fetches) or
+    //    a discontinuity (taken branch, jump, indirect, flush restart, or
+    //    a wrong-path slot);
+    //  * the residency bound — when the whole text fits without conflict
+    //    (contiguous lines round-robin across modulo-indexed sets, at
+    //    most `assoc` per set), no fetched line is ever evicted, so each
+    //    text line misses at most once. Every fetch address is in-text
+    //    (BTB and redirect targets come from executed instructions;
+    //    wrong-path sequential overrun is at most one line, covered by
+    //    the `+ 1` alignment slack), so the residency argument covers
+    //    wrong-path fetches too.
+    let line = u64::from(params.icache_line.max(4));
+    let words_per_line = line / 4;
+    let text_bytes = 4 * cfg.instrs().len() as u64;
+    let text_lines = text_bytes.div_ceil(line) + 1;
+    let sets = u64::from(params.icache_bytes) / (line * u64::from(params.icache_assoc).max(1));
+    let stream = 1
+        + (branches + indirects + jumps)
+        + (branches + indirects)
+        + wrong_path
+        + (n + wrong_path).div_ceil(words_per_line);
+    let mut misses = stream;
+    if sets > 0 && text_lines.div_ceil(sets) <= u64::from(params.icache_assoc) {
+        misses = misses.min(text_lines);
+    }
+    let icache_stall = u64::from(params.icache_penalty).saturating_mul(misses);
+
+    CycleBound {
+        useful: n,
+        fill_drain,
+        branch_flush,
+        jump_redirect,
+        indirect_flush,
+        load_use,
+        ex_occupancy: ex_extra,
+        dcache_stall,
+        icache_stall,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asbr_asm::assemble;
+
+    fn analyze(src: &str) -> (Program, Cfg, ValueRanges) {
+        let p = assemble(src).unwrap();
+        let cfg = Cfg::build(&p);
+        let vr = ValueRanges::compute(&p, &cfg);
+        (p, cfg, vr)
+    }
+
+    #[test]
+    fn counted_down_loop_bound_is_inferred() {
+        let (p, cfg, vr) = analyze(
+            "
+            main:   li   r4, 10
+            loop:   addi r4, r4, -1
+                    nop
+                    bnez r4, loop
+                    halt
+            ",
+        );
+        let loops = find_loops(&p, &cfg, &vr);
+        assert_eq!(loops.len(), 1);
+        let bound = loops[0].bound.expect("counted loop must infer a bound");
+        // 10 traversals actually happen; the bound carries +2 slack.
+        assert!((10..=12).contains(&bound), "bound {bound}");
+    }
+
+    #[test]
+    fn counted_up_loop_against_negative_start_is_inferred() {
+        let (p, cfg, vr) = analyze(
+            "
+            main:   li   r4, -7
+            loop:   addi r4, r4, 1
+                    bltz r4, loop
+                    halt
+            ",
+        );
+        let loops = find_loops(&p, &cfg, &vr);
+        let bound = loops[0].bound.expect("bltz counted loop");
+        assert!((7..=9).contains(&bound), "bound {bound}");
+    }
+
+    #[test]
+    fn data_dependent_loop_gets_info_not_warning() {
+        // Exit condition depends on a loaded value: not a counted loop,
+        // but it has an exit edge, so I003 (info), never W005.
+        let (p, cfg, vr) = analyze(
+            "
+            main:   la   r9, buf
+            loop:   lw   r4, 0(r9)
+                    bnez r4, loop
+                    halt
+            .data
+            buf:    .word 0
+            ",
+        );
+        let mut r = Report::new("t");
+        check_loop_bounds(&mut r, &p, &cfg, &vr);
+        let codes: Vec<&str> = r.diagnostics().iter().map(|d| d.code).collect();
+        assert_eq!(codes, ["I003"], "{}", r.render_text());
+        assert!(r.worst() < Some(Severity::Warning));
+    }
+
+    #[test]
+    fn exitless_loop_is_flagged_w005() {
+        let (p, cfg, vr) = analyze("main: nop\nloop: j loop");
+        let mut r = Report::new("t");
+        check_loop_bounds(&mut r, &p, &cfg, &vr);
+        assert!(
+            r.diagnostics().iter().any(|d| d.code == "W005"),
+            "{}",
+            r.render_text()
+        );
+    }
+
+    #[test]
+    fn stride_on_one_arm_only_defeats_inference() {
+        // The induction update sits on only one arm of an if, i.e. not in
+        // the head or latch block: the counted shape must be rejected.
+        let (p, cfg, vr) = analyze(
+            "
+            main:   li   r4, 8
+                    li   r5, 0
+            loop:   beqz r5, skip
+                    addi r4, r4, -1
+            skip:   bnez r4, loop
+                    halt
+            ",
+        );
+        for l in find_loops(&p, &cfg, &vr) {
+            assert_eq!(l.bound, None, "head {}", l.head);
+        }
+    }
+
+    #[test]
+    fn orphan_cycle_reports_no_spurious_warning() {
+        let (p, cfg, vr) = analyze(
+            "
+            main:   halt
+            orphanl: addi r4, r4, -1
+                    bgtz r4, orphanl
+                    halt
+            ",
+        );
+        // The orphan loop is reachable from no DFS root (its only pred is
+        // itself), so no back edge — and no spurious W005 — is reported;
+        // the reachability lint (W001) owns this case.
+        let mut r = Report::new("t");
+        check_loop_bounds(&mut r, &p, &cfg, &vr);
+        assert!(r.diagnostics().iter().all(|d| d.code != "W005"));
+    }
+
+    #[test]
+    fn profile_counts_match_the_run() {
+        let p = assemble(
+            "
+            main:   li   r4, 3
+            loop:   addi r4, r4, -1
+                    bnez r4, loop
+                    halt
+            ",
+        )
+        .unwrap();
+        let prof = ExecutionProfile::collect(&p, &[]).unwrap();
+        assert_eq!(prof.instructions, 1 + 3 * 2 + 1);
+        assert_eq!(prof.count(p.symbol("loop").unwrap()), 3);
+        assert_eq!(prof.count(0x1000), 1);
+    }
+
+    #[test]
+    fn cycle_bound_dominates_a_hand_counted_floor() {
+        let p = assemble(
+            "
+            main:   li   r4, 5
+            loop:   addi r4, r4, -1
+                    mul  r6, r4, r4
+                    bnez r4, loop
+                    halt
+            ",
+        )
+        .unwrap();
+        let cfg = Cfg::build(&p);
+        let prof = ExecutionProfile::collect(&p, &[]).unwrap();
+        let params = MachineParams { mul_latency: 4, ..MachineParams::default() };
+        let b = cycle_bound(&cfg, &params, &prof, &[]);
+        // Floor: every instruction retires once and each mul occupies EX
+        // for 3 extra cycles.
+        assert_eq!(b.useful, prof.instructions);
+        assert_eq!(b.ex_occupancy, 3 * 5);
+        assert!(b.total() >= prof.instructions + 3 * 5 + 4);
+        // Crediting the loop branch removes exactly its flush term.
+        let credited = cycle_bound(&cfg, &params, &prof, &[p.symbol("loop").unwrap() + 8]);
+        assert_eq!(b.branch_flush - credited.branch_flush, 2 * 5);
+        assert_eq!(credited.useful, b.useful);
+    }
+}

@@ -4,21 +4,32 @@
 //!
 //! 1. **Dataflow analyses** ([`dataflow`]): reaching definitions with
 //!    uninitialised-at-entry pseudo-sites, and backward liveness.
-//! 2. **Lints** ([`lints`]): structural and dataflow checks over an
-//!    assembled image — decodability, control-transfer targets, static
-//!    alignment, reachability, zero-register writes, use-before-init,
-//!    dead definitions.
-//! 3. **Provers**: the ASBR fold-soundness prover ([`prover`]) that
+//! 2. **Abstract interpretation** ([`absint`]): a sound per-register
+//!    interval (value-range) domain with widening at loop heads, exposed
+//!    as [`ValueRanges`]; feeds the loop-bound analysis, the prover's
+//!    range-constant proofs, and the property tests.
+//! 3. **Lints** ([`lints`], [`bounds`]): structural and dataflow checks
+//!    over an assembled image — decodability, control-transfer targets,
+//!    static alignment, reachability, zero-register writes,
+//!    use-before-init, dead definitions, and loop-bound findings
+//!    (exitless loops, non-inferable bounds).
+//! 4. **Provers**: the ASBR fold-soundness prover ([`prover`]) that
 //!    discharges the paper's publish-before-fetch obligation for every
-//!    BIT entry, and the schedule validator ([`schedule_check`]) that
-//!    proves `hoist_predicates` output is a dependence-preserving
-//!    per-block permutation of its input.
+//!    BIT entry (by def→use distance, or by a range-constant predicate
+//!    from the interval domain), and the schedule validator
+//!    ([`schedule_check`]) that proves `hoist_predicates` output is a
+//!    dependence-preserving per-block permutation of its input.
+//! 5. **Cycle bounds** ([`bounds`]): the static WCET analyzer — counted
+//!    loop bounds and a guaranteed upper bound ([`CycleBound`]) on the
+//!    pipelined simulator's cycle count for a profiled execution.
 //!
 //! See `docs/analysis.md` for the lattices and proof obligations, and the
 //! `asbr-lint` binary for the CLI entry point.
 
 #![warn(missing_docs)]
 
+pub mod absint;
+pub mod bounds;
 pub mod dataflow;
 pub mod lints;
 pub mod prover;
@@ -29,10 +40,15 @@ use asbr_asm::Program;
 use asbr_core::BitEntry;
 use asbr_flow::Cfg;
 
+pub use absint::{AbsState, Interval, ValueRanges};
+pub use bounds::{
+    check_loop_bounds, cycle_bound, find_loops, CycleBound, ExecutionProfile, MachineParams,
+    NaturalLoop,
+};
 pub use dataflow::{DefSite, Liveness, ReachingDefs};
 pub use prover::{
-    branch_is_installable, branch_is_provable, min_def_distance, prove_bit, prove_entry,
-    FoldProof, FoldViolation,
+    branch_is_installable, branch_is_provable, branch_is_range_provable, min_def_distance,
+    prove_bit, prove_entry, prove_entry_with_ranges, FoldProof, FoldViolation, ProofMethod,
 };
 pub use report::{Diagnostic, Report, Severity};
 pub use schedule_check::{validate_schedule, ScheduleViolation};
@@ -54,6 +70,8 @@ pub fn check_program(name: &str, program: &Program) -> Report {
     lints::check_use_before_init(&mut report, program, &cfg, &rd);
     let lv = Liveness::compute(&cfg);
     lints::check_dead_defs(&mut report, program, &cfg, &lv);
+    let vr = ValueRanges::compute(program, &cfg);
+    bounds::check_loop_bounds(&mut report, program, &cfg, &vr);
     report
 }
 

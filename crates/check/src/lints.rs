@@ -12,8 +12,10 @@
 //! | W002 | warning  | no `halt` reachable from the entry point |
 //! | W003 | warning  | non-`nop` instruction writes the hardwired zero register |
 //! | W004 | warning  | register possibly used before initialisation |
+//! | W005 | warning  | loop has no exit edge (control cannot leave; emitted by [`crate::bounds`]) |
 //! | I001 | info     | register definition is never used (dead) |
 //! | I002 | info     | block only reachable through an uncalled label (unused routine) |
+//! | I003 | info     | loop bound not statically inferable (emitted by [`crate::bounds`]) |
 
 use std::collections::VecDeque;
 

@@ -26,6 +26,26 @@ use asbr_core::BitEntry;
 use asbr_flow::{defines_reg, Cfg, DISTANCE_CAP};
 use asbr_isa::{Cond, Reg};
 
+use crate::absint::ValueRanges;
+
+/// How a fold-soundness obligation was discharged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProofMethod {
+    /// The distance argument: every path keeps the last definition of
+    /// the predicate at least `threshold` slots from the branch, so the
+    /// published value is always the architectural one.
+    Distance,
+    /// The value-range argument: the join of every value the predicate
+    /// register can ever hold (entry value plus every reachable
+    /// definition, per the interval domain) decides the condition one
+    /// way, so *any* published value — however stale — folds the branch
+    /// in the direction it architecturally goes.
+    RangeConstant {
+        /// The invariant branch direction.
+        taken: bool,
+    },
+}
+
 /// A discharged proof obligation: the entry at `pc` is sound to fold.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FoldProof {
@@ -40,6 +60,8 @@ pub struct FoldProof {
     pub min_distance: u32,
     /// The threshold the proof was discharged against.
     pub threshold: u32,
+    /// Which argument discharged the obligation.
+    pub method: ProofMethod,
 }
 
 /// A rejected proof obligation, machine-readable.
@@ -191,6 +213,25 @@ pub fn prove_entry(
     entry: &BitEntry,
     threshold: u32,
 ) -> Result<FoldProof, FoldViolation> {
+    prove_entry_with_ranges(program, cfg, None, entry, threshold)
+}
+
+/// [`prove_entry`] with a precomputed interval fixpoint, so batch callers
+/// amortise the value-range analysis across entries. With `ranges: None`
+/// the fixpoint is computed on demand, and only when the distance
+/// argument alone fails.
+///
+/// # Errors
+///
+/// Returns the [`FoldViolation`] rejecting the entry when neither the
+/// distance nor the value-range argument discharges the obligation.
+pub fn prove_entry_with_ranges(
+    program: &Program,
+    cfg: &Cfg,
+    ranges: Option<&ValueRanges>,
+    entry: &BitEntry,
+    threshold: u32,
+) -> Result<FoldProof, FoldViolation> {
     let Some(index) = cfg.index_of(entry.pc) else {
         return Err(FoldViolation::OutsideText { pc: entry.pc });
     };
@@ -200,6 +241,25 @@ pub fn prove_entry(
     let (reg, cond) = entry.di;
     let (distance, def_index) = min_def_distance(cfg, index, reg);
     if distance < threshold {
+        // The distance-only argument fails: fall back to the interval
+        // domain. If every value the predicate can ever hold decides the
+        // condition uniformly, staleness of the published copy is
+        // irrelevant — the fold direction is always architecturally
+        // correct, at any threshold.
+        let decided = match ranges {
+            Some(r) => r.global_range(reg).decides(cond),
+            None => ValueRanges::compute(program, cfg).global_range(reg).decides(cond),
+        };
+        if let Some(taken) = decided {
+            return Ok(FoldProof {
+                pc: entry.pc,
+                reg,
+                cond,
+                min_distance: distance,
+                threshold,
+                method: ProofMethod::RangeConstant { taken },
+            });
+        }
         return Err(FoldViolation::Distance {
             pc: entry.pc,
             reg,
@@ -209,7 +269,14 @@ pub fn prove_entry(
             def_pc: def_index.map(|j| cfg.pc_of(j)).unwrap_or(entry.pc),
         });
     }
-    Ok(FoldProof { pc: entry.pc, reg, cond, min_distance: distance, threshold })
+    Ok(FoldProof {
+        pc: entry.pc,
+        reg,
+        cond,
+        min_distance: distance,
+        threshold,
+        method: ProofMethod::Distance,
+    })
 }
 
 /// Proves every entry of a BIT selection, partitioning into discharged
@@ -221,10 +288,11 @@ pub fn prove_bit(
     threshold: u32,
 ) -> (Vec<FoldProof>, Vec<FoldViolation>) {
     let cfg = Cfg::build(program);
+    let ranges = ValueRanges::compute(program, &cfg);
     let mut proofs = Vec::new();
     let mut violations = Vec::new();
     for entry in entries {
-        match prove_entry(program, &cfg, entry, threshold) {
+        match prove_entry_with_ranges(program, &cfg, Some(&ranges), entry, threshold) {
             Ok(p) => proofs.push(p),
             Err(v) => violations.push(v),
         }
@@ -263,6 +331,25 @@ pub fn branch_is_provable(program: &Program, cfg: &Cfg, pc: u32, threshold: u32)
 pub fn branch_is_installable(program: &Program, cfg: &Cfg, pc: u32) -> bool {
     cfg.index_of(pc).is_some()
         && BitEntry::from_program(program, pc).is_ok_and(|e| e.consistent_with(program))
+}
+
+/// Whether the branch at `pc` is provable by the value-range argument
+/// *alone*: the interval domain's global range of the predicate register
+/// decides the condition uniformly, independent of any def→branch
+/// distance. Used by the WCET analyzer's per-branch prover table to
+/// attribute which argument (distance vs. range) carries each credit.
+#[must_use]
+pub fn branch_is_range_provable(
+    program: &Program,
+    ranges: &ValueRanges,
+    pc: u32,
+) -> bool {
+    BitEntry::from_program(program, pc).is_ok_and(|e| {
+        e.consistent_with(program) && {
+            let (reg, cond) = e.di;
+            ranges.global_range(reg).decides(cond).is_some()
+        }
+    })
 }
 
 #[cfg(test)]
@@ -384,6 +471,36 @@ mod tests {
             let (d, _) = min_def_distance(&cfg, c.index, c.reg);
             assert_eq!(d, c.min_def_distance, "disagreement at {:#x}", c.pc);
         }
+    }
+
+    #[test]
+    fn range_constant_predicate_proves_where_distance_fails() {
+        // r8 is a mask result redefined immediately before the branch —
+        // the distance argument rejects at any threshold > 0 — but every
+        // value it can hold is >= 0, so `bgez` is range-provable.
+        let p = prog(
+            "
+            main:   lw   r4, 0(r0)
+                    andi r8, r4, 255
+            br:     bgez r8, main
+                    halt
+            ",
+        );
+        let cfg = Cfg::build(&p);
+        let e = BitEntry::from_program(&p, p.symbol("br").unwrap()).unwrap();
+        let proof = prove_entry(&p, &cfg, &e, 3).unwrap();
+        assert_eq!(proof.method, ProofMethod::RangeConstant { taken: true }, "{proof:?}");
+        assert!(proof.min_distance < 3, "distance alone must not carry this");
+        let ranges = ValueRanges::compute(&p, &cfg);
+        assert!(branch_is_range_provable(&p, &ranges, p.symbol("br").unwrap()));
+        assert!(branch_is_provable(&p, &cfg, p.symbol("br").unwrap(), 3));
+
+        // An undecided predicate still rejects on distance.
+        let p2 = prog("main: lw r4, 0(r0)\nbr: bnez r4, main\nhalt");
+        let cfg2 = Cfg::build(&p2);
+        let e2 = BitEntry::from_program(&p2, p2.symbol("br").unwrap()).unwrap();
+        let v = prove_entry(&p2, &cfg2, &e2, 3).unwrap_err();
+        assert_eq!(v.code(), "ASBR02");
     }
 
     #[test]

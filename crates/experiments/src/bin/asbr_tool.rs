@@ -24,6 +24,11 @@
 //!   --reps <n>             timed repetitions, best kept (default 5)
 //!   --out <path>           write BENCH_throughput.json here
 //!   --check <golden.json>  fail if simulated cycle counts drift from the golden
+//! asbr_tool wcet [options]                    static cycle-bound (WCET) cross-check:
+//!                                             every workload, baseline + ASBR; fails
+//!                                             if any bound < simulated cycles
+//!   --samples <n>          input samples (default 400)
+//!   --out <path>           write the report here (default results/WCET_report.json)
 //! ```
 //!
 //! Workload names for `trace` match the benchmark names of the tables
@@ -325,6 +330,139 @@ fn cmd_bench(opts: &BenchOpts) -> Result<(), String> {
     Ok(())
 }
 
+struct WcetOpts {
+    samples: usize,
+    out: String,
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Per-branch prover verdicts for one ASBR run's selection: whether the
+/// def→use distance argument alone discharges the fold obligation, and
+/// whether the interval domain's range-constant argument does. A branch
+/// with `range && !distance` is exactly one the interval-extended prover
+/// admits where `min_def_distance` cannot.
+fn branch_verdicts(program: &Program, selected: &[u32], threshold: u32) -> Vec<String> {
+    let cfg = Cfg::build(program);
+    let ranges = asbr_check::ValueRanges::compute(program, &cfg);
+    selected
+        .iter()
+        .map(|&pc| {
+            let (dist, distance_ok) = asbr_core::BitEntry::from_program(program, pc)
+                .ok()
+                .and_then(|e| asbr_check::prove_entry(program, &cfg, &e, threshold).ok())
+                .map_or((0, false), |p| (p.min_distance, p.min_distance >= threshold));
+            let range_ok = asbr_check::branch_is_range_provable(program, &ranges, pc);
+            format!(
+                "{{\"pc\": {pc}, \"min_distance\": {dist}, \
+                 \"distance_provable\": {distance_ok}, \"range_provable\": {range_ok}}}"
+            )
+        })
+        .collect()
+}
+
+fn cmd_wcet(opts: &WcetOpts) -> Result<(), String> {
+    use asbr_harness::{attach_bound, RunSpec};
+
+    let mut runs = Vec::new();
+    let mut violations = Vec::new();
+    let mut range_only = 0u32;
+    println!(
+        "{:<34} {:>11} {:>12} {:>9} {:>8}",
+        "run", "cycles", "bound", "tight", "credited"
+    );
+    for &w in &Workload::ALL {
+        let specs = [
+            RunSpec::baseline(w, PredictorKind::Bimodal { entries: 2048 }, opts.samples),
+            RunSpec::asbr(w, PredictorKind::Bimodal { entries: 512 }, opts.samples),
+        ];
+        for spec in specs {
+            let mut out = spec.execute().map_err(|e| e.to_string())?;
+            let rec = attach_bound(&spec, &mut out).map_err(|e| e.to_string())?;
+            println!(
+                "{:<34} {:>11} {:>12} {:>8.3}x {:>8}",
+                rec.label,
+                rec.cycles,
+                rec.bound.total(),
+                rec.tightness(),
+                rec.credited.len()
+            );
+            if !rec.holds() {
+                violations.push(rec.label.clone());
+            }
+            let threshold = spec.asbr.map_or(3, |k| k.publish.threshold());
+            let program = spec.program();
+            let verdicts = branch_verdicts(&program, &out.selected, threshold);
+            range_only += verdicts.iter().filter(|v| {
+                v.contains("\"distance_provable\": false") && v.contains("\"range_provable\": true")
+            }).count() as u32;
+            let b = &rec.bound;
+            runs.push(format!(
+                "    {{\n      \"label\": \"{}\",\n      \"cycles\": {},\n      \"bound\": {},\n      \
+                 \"tightness\": {:.4},\n      \"instructions\": {},\n      \"buckets\": {{\
+                 \"useful\": {}, \"fill_drain\": {}, \"branch_flush\": {}, \"jump_redirect\": {}, \
+                 \"indirect_flush\": {}, \"load_use\": {}, \"ex_occupancy\": {}, \
+                 \"dcache_stall\": {}, \"icache_stall\": {}}},\n      \"credited\": [{}],\n      \
+                 \"selected\": [{}],\n      \"branches\": [{}]\n    }}",
+                json_escape(&rec.label),
+                rec.cycles,
+                b.total(),
+                rec.tightness(),
+                rec.instructions,
+                b.useful,
+                b.fill_drain,
+                b.branch_flush,
+                b.jump_redirect,
+                b.indirect_flush,
+                b.load_use,
+                b.ex_occupancy,
+                b.dcache_stall,
+                b.icache_stall,
+                rec.credited.iter().map(ToString::to_string).collect::<Vec<_>>().join(", "),
+                out.selected.iter().map(ToString::to_string).collect::<Vec<_>>().join(", "),
+                verdicts.join(", "),
+            ));
+        }
+    }
+    let json = format!(
+        "{{\n  \"schema\": \"asbr-wcet v1\",\n  \"samples\": {},\n  \
+         \"range_only_provable_branches\": {},\n  \"runs\": [\n{}\n  ]\n}}\n",
+        opts.samples,
+        range_only,
+        runs.join(",\n"),
+    );
+    if let Some(dir) = std::path::Path::new(&opts.out).parent() {
+        if !dir.as_os_str().is_empty() {
+            fs::create_dir_all(dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+        }
+    }
+    fs::write(&opts.out, json).map_err(|e| format!("cannot write {}: {e}", opts.out))?;
+    println!("wrote {}", opts.out);
+    if range_only > 0 {
+        println!("{range_only} selected branch(es) provable by value range only");
+    } else {
+        println!(
+            "no selected branch needs the range argument (see per-branch verdicts in the report)"
+        );
+    }
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("static bound below simulated cycles for: {}", violations.join(", ")))
+    }
+}
+
 fn parse_predictor(name: &str) -> Result<PredictorKind, String> {
     Ok(match name {
         "nottaken" | "not-taken" => PredictorKind::NotTaken,
@@ -339,6 +477,7 @@ fn usage() -> String {
     "usage: asbr_tool <asm|analyze|lint|customize|run> <file.s> [options]\n\
      \x20      asbr_tool trace <workload> [--samples n] [--out path] [--interval n] [--asbr]\n\
      \x20      asbr_tool bench [--samples n] [--reps n] [--out path] [--check golden.json]\n\
+     \x20      asbr_tool wcet [--samples n] [--out path]\n\
      see the module docs (src/bin/asbr_tool.rs) for options"
         .to_owned()
 }
@@ -383,6 +522,31 @@ fn real_main() -> Result<(), String> {
             i += 1;
         }
         return cmd_bench(&opts);
+    }
+    if cmd == "wcet" {
+        let mut opts = WcetOpts {
+            samples: SAMPLES_SMOKE,
+            out: "results/WCET_report.json".to_owned(),
+        };
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--samples" => {
+                    i += 1;
+                    opts.samples = args
+                        .get(i)
+                        .and_then(|s| s.parse().ok())
+                        .ok_or("bad --samples count")?;
+                }
+                "--out" => {
+                    i += 1;
+                    opts.out = args.get(i).ok_or("missing path after --out")?.clone();
+                }
+                other => return Err(format!("unknown option `{other}`")),
+            }
+            i += 1;
+        }
+        return cmd_wcet(&opts);
     }
     let file = args.get(1).ok_or_else(usage)?;
     match cmd.as_str() {

@@ -14,6 +14,7 @@
 
 pub use asbr_asm::Program;
 pub use asbr_harness::{
-    AsbrSpec, BenchEntry, CacheMode, Executor, MicroTweaks, ResultCache, RunMatrix, RunOutcome,
-    RunSpec, SweepBench, AUX_BTB, BASELINE_BTB, PROFILE_PREDICTOR, SAMPLES_FULL, SAMPLES_SMOKE,
+    attach_bound, cross_check, machine_params, AsbrSpec, BenchEntry, CacheMode, Executor,
+    MicroTweaks, ResultCache, RunMatrix, RunOutcome, RunSpec, SweepBench, WcetRecord, AUX_BTB,
+    BASELINE_BTB, PROFILE_PREDICTOR, SAMPLES_FULL, SAMPLES_SMOKE,
 };

@@ -34,7 +34,10 @@ use crate::spec::{RunOutcome, RunSpec};
 ///
 /// v2: adds the `attribution` bucket line and per-branch-site `site`
 /// lines (cycle attribution travels with the cached outcome).
-pub const CACHE_FORMAT: &str = "asbr-run-cache v2";
+///
+/// v3: adds the optional `static_bound` line (the WCET analyzer's cycle
+/// bound travels with the cached outcome when the cross-check ran).
+pub const CACHE_FORMAT: &str = "asbr-run-cache v3";
 
 /// Handle to a cache root directory.
 #[derive(Debug, Clone)]
@@ -215,6 +218,9 @@ fn render_entry(key: &str, label: &str, o: &RunOutcome) -> String {
         sel.push_str(&pc.to_string());
     }
     line(sel);
+    if let Some(bound) = o.static_bound {
+        line(format!("static_bound {bound}"));
+    }
     line(format!("wall_nanos {}", o.wall_nanos));
     line("end".to_owned());
     out
@@ -235,6 +241,7 @@ fn parse_entry(text: &str, want_key: &str) -> Option<RunOutcome> {
     let mut sites = std::collections::BTreeMap::new();
     let mut asbr = None;
     let mut selected = Vec::new();
+    let mut static_bound = None;
     let mut complete = false;
     for l in lines {
         let (tag, rest) = l.split_once(' ').unwrap_or((l, ""));
@@ -309,6 +316,7 @@ fn parse_entry(text: &str, want_key: &str) -> Option<RunOutcome> {
                 });
             }
             "selected" => selected = nums_any::<u32>(rest)?,
+            "static_bound" => static_bound = Some(rest.parse().ok()?),
             "wall_nanos" => {}
             "end" => complete = true,
             _ => return None,
@@ -319,7 +327,7 @@ fn parse_entry(text: &str, want_key: &str) -> Option<RunOutcome> {
     }
     summary.stats.branches = AccuracyTracker::from_records(records);
     summary.stats.attribution = CycleAttribution::from_parts(buckets, sites);
-    Some(RunOutcome { summary, asbr, selected, wall_nanos: 0, cached: true })
+    Some(RunOutcome { summary, asbr, selected, static_bound, wall_nanos: 0, cached: true })
 }
 
 fn nums<T: std::str::FromStr>(s: &str, expect: usize) -> Option<Vec<T>> {
@@ -346,7 +354,8 @@ mod tests {
     #[test]
     fn round_trips_an_asbr_outcome() {
         let spec = RunSpec::asbr(Workload::AdpcmEncode, PredictorKind::NotTaken, 50);
-        let out = spec.execute().unwrap();
+        let mut out = spec.execute().unwrap();
+        out.static_bound = Some(out.cycles() * 3);
         let program = spec.program();
         let input = spec.workload.input(spec.samples);
         let key = ResultCache::key(&spec, &program, &input);
@@ -357,6 +366,7 @@ mod tests {
         let back = cache.load(&key).expect("warm cache hits");
         assert!(back.cached);
         assert!(back.same_result(&out), "cache round-trip must be lossless");
+        assert_eq!(back.static_bound, out.static_bound, "static bound travels with the entry");
         let _ = fs::remove_dir_all(cache.root());
     }
 

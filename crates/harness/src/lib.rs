@@ -32,6 +32,7 @@ pub mod hash;
 pub mod matrix;
 pub mod spec;
 pub mod throughput;
+pub mod wcet;
 
 pub use bench::{BenchEntry, SweepBench, BENCH_SCHEMA};
 pub use cache::{ResultCache, CACHE_FORMAT};
@@ -46,3 +47,4 @@ pub use throughput::{
     ThroughputBench, ThroughputEntry, ThroughputSpec, THROUGHPUT_REPS, THROUGHPUT_SAMPLES,
     THROUGHPUT_SCHEMA,
 };
+pub use wcet::{attach_bound, cross_check, machine_params, WcetRecord};

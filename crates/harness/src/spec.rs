@@ -277,6 +277,7 @@ impl RunSpec {
                     summary,
                     asbr: None,
                     selected: Vec::new(),
+                    static_bound: None,
                     wall_nanos: nanos_since(started),
                     cached: false,
                 }
@@ -309,6 +310,7 @@ impl RunSpec {
                     summary,
                     asbr: Some(asbr),
                     selected,
+                    static_bound: None,
                     wall_nanos: nanos_since(started),
                     cached: false,
                 }
@@ -331,6 +333,10 @@ pub struct RunOutcome {
     pub asbr: Option<AsbrStats>,
     /// Branch PCs installed in the BIT, best first (empty for baselines).
     pub selected: Vec<u32>,
+    /// Static worst-case cycle bound from the `asbr-check` WCET analyzer
+    /// (see [`crate::wcet`]), attached after the run by the cross-check
+    /// and persisted through the result cache. `None` until computed.
+    pub static_bound: Option<u64>,
     /// Wall-clock nanoseconds spent producing this outcome — the
     /// simulation itself, or the cache load on a hit.
     pub wall_nanos: u64,
@@ -359,7 +365,9 @@ impl RunOutcome {
     }
 
     /// Equality on everything the simulation determines — summary, fold
-    /// stats, selected PCs — ignoring wall-clock and cache provenance.
+    /// stats, selected PCs — ignoring wall-clock, cache provenance, and
+    /// the static cycle bound (analysis metadata attached after the run,
+    /// not a property of the simulation itself).
     #[must_use]
     pub fn same_result(&self, other: &RunOutcome) -> bool {
         self.summary.stats == other.summary.stats

@@ -40,11 +40,7 @@ pub(crate) enum RasClass {
 
 impl SlotMeta {
     pub(crate) fn from_instr(instr: Instr, pc: u32, mul_latency: u32, div_latency: u32) -> SlotMeta {
-        let latency = match instr {
-            Instr::Mul { .. } => mul_latency.max(1),
-            Instr::Div { .. } | Instr::Rem { .. } => div_latency.max(1),
-            _ => 1,
-        };
+        let latency = crate::timing::ex_latency(instr, mul_latency, div_latency);
         let ras = match instr {
             Instr::Jal { .. } | Instr::Jalr { .. } => RasClass::Push,
             Instr::Jr { rs } if rs == Reg::RA => RasClass::PopReturn,

@@ -9,13 +9,11 @@
 //! attribution events. [`NullHooks`] is the do-nothing implementation
 //! (the uncustomized baseline processor).
 //!
-//! `SimHooks` replaces three older single-purpose traits — `FetchHooks`
+//! `SimHooks` replaced three older single-purpose traits — `FetchHooks`
 //! (pipeline fetch customization), `TraceHooks` (per-cycle trace sinks),
-//! and `Observer` (interpreter retire stream). Those names remain as
-//! deprecated marker shims for one release: a generic *bound* on them
-//! still compiles (with a deprecation warning), but implementors must
-//! move to `SimHooks`. Two methods were renamed in the merge: the
-//! pipeline's retire event is now [`SimHooks::on_commit`] (the
+//! and `Observer` (interpreter retire stream); their deprecated marker
+//! shims have since been removed. Two methods were renamed in the merge:
+//! the pipeline's retire event is now [`SimHooks::on_commit`] (the
 //! interpreter's architectural retire kept [`SimHooks::on_retire`]), and
 //! the interpreter's `on_ctrl_write` merged into
 //! [`SimHooks::note_ctrl_write`], which both engines now drive.
@@ -188,27 +186,6 @@ pub struct NullHooks;
 
 impl SimHooks for NullHooks {}
 
-/// Former fetch-customization trait, merged into [`SimHooks`].
-///
-/// Kept for one release as a marker shim: generic bounds on `FetchHooks`
-/// still compile (every `SimHooks` implements it), but implementations
-/// must move to `SimHooks`.
-#[deprecated(since = "0.2.0", note = "merged into SimHooks; bound on SimHooks instead")]
-pub trait FetchHooks: SimHooks {}
-
-#[allow(deprecated)]
-impl<T: SimHooks + ?Sized> FetchHooks for T {}
-
-/// Former trace-sink trait, merged into [`SimHooks`].
-///
-/// Kept for one release as a marker shim; note the retire event is now
-/// [`SimHooks::on_commit`].
-#[deprecated(since = "0.2.0", note = "merged into SimHooks; bound on SimHooks instead")]
-pub trait TraceHooks: SimHooks {}
-
-#[allow(deprecated)]
-impl<T: SimHooks + ?Sized> TraceHooks for T {}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -231,14 +208,15 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_still_bound() {
-        // Old-style generic bounds keep compiling against the shims.
-        fn takes_fetch_hooks<H: FetchHooks>(h: &H) -> PublishPoint {
+    fn simhooks_bounds_cover_the_former_shim_uses() {
+        // The deprecated FetchHooks/TraceHooks/Observer marker shims are
+        // gone; the unified trait serves every former bound, including
+        // unsized (trait-object) receivers.
+        fn takes_hooks<H: SimHooks>(h: &H) -> PublishPoint {
             h.publish_point()
         }
-        fn takes_trace_hooks<H: TraceHooks + ?Sized>(_h: &H) {}
-        assert_eq!(takes_fetch_hooks(&NullHooks), PublishPoint::Commit);
-        takes_trace_hooks(&NullHooks);
+        fn takes_dyn_hooks<H: SimHooks + ?Sized>(_h: &H) {}
+        assert_eq!(takes_hooks(&NullHooks), PublishPoint::Commit);
+        takes_dyn_hooks::<dyn SimHooks>(&NullHooks);
     }
 }

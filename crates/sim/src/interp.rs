@@ -9,26 +9,6 @@ use crate::exec::{execute, extend_load, ControlEffect};
 use crate::hooks::{NullHooks, SimHooks};
 use crate::SimError;
 
-/// Former interpreter observation trait, merged into [`SimHooks`].
-///
-/// Kept for one release as a marker shim: generic bounds on `Observer`
-/// still compile (every `SimHooks` implements it), but implementations
-/// must move to `SimHooks`. Note the merge renamed `on_ctrl_write` to
-/// [`SimHooks::note_ctrl_write`].
-#[deprecated(since = "0.2.0", note = "merged into SimHooks; bound on SimHooks instead")]
-pub trait Observer: SimHooks {}
-
-#[allow(deprecated)]
-impl<T: SimHooks + ?Sized> Observer for T {}
-
-/// The do-nothing observer.
-#[deprecated(since = "0.2.0", note = "use NullHooks")]
-#[derive(Debug, Clone, Copy, Default)]
-pub struct NullObserver;
-
-#[allow(deprecated)]
-impl SimHooks for NullObserver {}
-
 /// Default step budget of the one-call [`Interp::execute`] entry point —
 /// matches the profiling pass's budget.
 pub const DEFAULT_MAX_STEPS: u64 = 2_000_000_000;

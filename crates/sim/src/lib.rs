@@ -27,8 +27,12 @@
 //! tracking in-flight predicate writers, receiving early register
 //! publishes at a configurable pipeline point), profilers consume the
 //! interpreter's retire stream, and trace sinks consume the pipeline's
-//! per-cycle attribution events. The former `FetchHooks` / `TraceHooks` /
-//! `Observer` traits remain as deprecated marker shims for one release.
+//! per-cycle attribution events.
+//!
+//! The [`timing`] module publishes the pipeline's per-instruction EX
+//! latencies and flush/interlock geometry as plain data, so static
+//! analyzers (the `asbr-check` cycle-bound analyzer) can reason about
+//! cycles without instantiating a simulator.
 //!
 //! # Examples
 //!
@@ -62,15 +66,12 @@ mod interp;
 mod pipeline;
 mod snapshot;
 mod stats;
+pub mod timing;
 mod trace;
 
 pub use error::SimError;
 pub use hooks::{Folded, NullHooks, PublishPoint, SimHooks};
-#[allow(deprecated)]
-pub use hooks::{FetchHooks, TraceHooks};
 pub use interp::{Interp, RunSummary, DEFAULT_MAX_STEPS};
-#[allow(deprecated)]
-pub use interp::{NullObserver, Observer};
 pub use pipeline::{Pipeline, PipelineConfig, PipelineSummary};
 pub use snapshot::{PipeSnapshot, StageView};
 pub use stats::{Activity, BranchSite, CycleAttribution, CycleBucket, PipelineStats, NUM_BUCKETS};

@@ -1,0 +1,62 @@
+//! Public per-instruction timing facts of the 5-stage pipeline.
+//!
+//! The pipeline derives these numbers internally (`SlotMeta` bakes the EX
+//! occupancy into its per-slot metadata; the stage logic hard-codes the
+//! flush geometry). Static analyzers — notably the `asbr-check` cycle-bound
+//! analyzer — need the same facts without instantiating a simulator, so
+//! they live here as the single source of truth both sides share.
+
+use asbr_isa::Instr;
+
+/// Fetch slots squashed by a wrong-path conditional branch resolving in
+/// EX: the decode slot plus the fetch in flight (the classic 2-cycle
+/// penalty of a 5-stage pipe).
+pub const BRANCH_FLUSH_SLOTS: u32 = 2;
+
+/// Fetch slots squashed by an indirect jump (`jr`/`jalr`) resolving in EX
+/// — same wrong-path depth as a mispredicted branch.
+pub const INDIRECT_FLUSH_SLOTS: u32 = 2;
+
+/// Fetch slots lost to a direct jump (`j`/`jal`) redirecting in decode.
+pub const JUMP_REDIRECT_SLOTS: u32 = 1;
+
+/// Bubbles a dependent instruction waits behind a load (the load-use
+/// interlock).
+pub const LOAD_USE_SLOTS: u32 = 1;
+
+/// Cycles the pipeline spends filling before the first instruction can
+/// retire (stages between IF and WB).
+pub const PIPE_FILL_CYCLES: u32 = 4;
+
+/// EX-stage occupancy of `instr` in cycles (≥ 1) under the configured
+/// multiply/divide latencies — the same number `SlotMeta` bakes into the
+/// pipeline's per-slot metadata.
+#[must_use]
+pub fn ex_latency(instr: Instr, mul_latency: u32, div_latency: u32) -> u32 {
+    match instr {
+        Instr::Mul { .. } => mul_latency.max(1),
+        Instr::Div { .. } | Instr::Rem { .. } => div_latency.max(1),
+        _ => 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asbr_isa::Reg;
+
+    #[test]
+    fn latencies_follow_the_configuration() {
+        let r = Reg::new(2);
+        let mul = Instr::Mul { rd: r, rs: r, rt: r };
+        let div = Instr::Div { rd: r, rs: r, rt: r };
+        let rem = Instr::Rem { rd: r, rs: r, rt: r };
+        let add = Instr::Add { rd: r, rs: r, rt: r };
+        assert_eq!(ex_latency(mul, 4, 12), 4);
+        assert_eq!(ex_latency(div, 4, 12), 12);
+        assert_eq!(ex_latency(rem, 4, 12), 12);
+        assert_eq!(ex_latency(add, 4, 12), 1);
+        // Degenerate configurations clamp to a single cycle.
+        assert_eq!(ex_latency(mul, 0, 0), 1);
+    }
+}

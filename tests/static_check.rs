@@ -215,3 +215,101 @@ fn hoisting_preserves_behaviour_on_random_programs() {
         "the generator never produced a hoistable block — property is vacuous"
     );
 }
+
+// ---------------------------------------------------------------------
+// Property test: the interval domain is sound on randomly generated
+// guests — every architecturally retired register write lands inside
+// the statically computed range of that instruction's destination.
+// ---------------------------------------------------------------------
+
+#[test]
+fn interval_domain_bounds_every_retired_write_on_random_programs() {
+    use asbr_check::ValueRanges;
+    use asbr_isa::{Instr, Reg};
+    use asbr_sim::SimHooks;
+
+    struct RangeAudit<'a> {
+        cfg: &'a Cfg,
+        vr: &'a ValueRanges,
+        pending: Option<(Reg, u32)>,
+        checked: u64,
+        violations: Vec<String>,
+    }
+    impl SimHooks for RangeAudit<'_> {
+        fn on_reg_write(&mut self, reg: Reg, value: u32, _icount: u64) {
+            self.pending = Some((reg, value));
+        }
+        fn on_retire(&mut self, pc: u32, _instr: Instr, _icount: u64) {
+            let Some((reg, value)) = self.pending.take() else { return };
+            let Some(index) = self.cfg.index_of(pc) else { return };
+            let Some((dst, range)) = self.vr.written(index) else { return };
+            if dst != reg {
+                return;
+            }
+            self.checked += 1;
+            if !range.contains(value as i32) {
+                self.violations.push(format!(
+                    "pc {pc:#x}: {dst:?} = {} outside {range:?}",
+                    value as i32
+                ));
+            }
+        }
+    }
+
+    let mut rng = XorShift(0xab51_d75e_ed00_0002);
+    let mut checked = 0u64;
+    for case in 0..40 {
+        let src = random_program(&mut rng);
+        let p = assemble(&src).unwrap_or_else(|e| panic!("case {case}: {e}\n{src}"));
+        let cfg = Cfg::build(&p);
+        let vr = ValueRanges::compute(&p, &cfg);
+        let mut audit =
+            RangeAudit { cfg: &cfg, vr: &vr, pending: None, checked: 0, violations: Vec::new() };
+        let mut interp = Interp::new(&p).expect("valid text");
+        interp
+            .run_observed(1_000_000, &mut audit)
+            .unwrap_or_else(|e| panic!("case {case}: guest failed: {e}\n{src}"));
+        assert!(
+            audit.violations.is_empty(),
+            "case {case}: retired values escaped their intervals:\n{}\n{src}",
+            audit.violations.join("\n")
+        );
+        checked += audit.checked;
+    }
+    assert!(checked > 1_000, "only {checked} writes audited — property is vacuous");
+}
+
+// ---------------------------------------------------------------------
+// Golden: the asbr-lint JSON report schema. Tools parse this output, so
+// key names, nesting, and optional-field behaviour are pinned exactly.
+// Regenerate tests/goldens/lint_report.json only on a deliberate schema
+// change, and note it in docs/analysis.md.
+// ---------------------------------------------------------------------
+
+#[test]
+fn lint_json_schema_matches_the_golden() {
+    use asbr_check::Diagnostic;
+
+    let p = assemble("main:   li   r4, 1\nbr:     bnez r4, main\n        halt").unwrap();
+    let mut r = Report::new("golden");
+    r.push(Diagnostic::at(
+        &p,
+        p.symbol("br").unwrap(),
+        "W005",
+        Severity::Warning,
+        "loop has no exit edge: control cannot leave the body once entered".to_owned(),
+    ));
+    r.push(Diagnostic::global(
+        "I003",
+        Severity::Info,
+        "loop bound not statically inferable (not a recognized counted loop)".to_owned(),
+    ));
+    let golden_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/goldens/lint_report.json");
+    let golden = std::fs::read_to_string(golden_path)
+        .unwrap_or_else(|e| panic!("cannot read {golden_path}: {e}"));
+    assert_eq!(
+        r.to_json(),
+        golden.trim_end(),
+        "asbr-lint JSON schema drifted from tests/goldens/lint_report.json"
+    );
+}

@@ -1,0 +1,95 @@
+//! Differential WCET validation: the static cycle-bound analyzer must
+//! dominate the cycle-accurate simulator on every workload and machine
+//! configuration it claims to cover.
+//!
+//! Each case executes a [`RunSpec`] bit-exactly and then asks
+//! [`cross_check`] for the static bound under the *same* machine
+//! parameters. The bound is a guarantee, so `bound >= cycles` is a hard
+//! assertion, not a tolerance; the tightness ratio is additionally kept
+//! under 10x so the bound stays useful, not just sound.
+
+use asbr_bpred::PredictorKind;
+use asbr_experiments::runner::{cross_check, AsbrSpec, Executor, MicroTweaks, RunSpec};
+use asbr_sim::PublishPoint;
+use asbr_workloads::Workload;
+
+fn assert_sound(spec: &RunSpec, out: &asbr_experiments::runner::RunOutcome) {
+    let rec = cross_check(spec, out).unwrap();
+    assert!(
+        rec.holds(),
+        "{}: static bound {} < simulated cycles {}",
+        rec.label,
+        rec.bound.total(),
+        rec.cycles
+    );
+    assert!(
+        rec.tightness() <= 10.0,
+        "{}: bound is sound but uselessly loose ({:.2}x)",
+        rec.label,
+        rec.tightness()
+    );
+    for pc in &rec.credited {
+        assert!(out.selected.contains(pc), "{}: credited {pc:#x} never installed", rec.label);
+    }
+}
+
+#[test]
+fn bound_dominates_every_workload_baseline_and_asbr() {
+    let samples = 80;
+    let mut specs = Vec::new();
+    for &w in &Workload::ALL {
+        specs.push(RunSpec::baseline(w, PredictorKind::Bimodal { entries: 2048 }, samples));
+        specs.push(RunSpec::baseline(w, PredictorKind::NotTaken, samples));
+        specs.push(RunSpec::asbr(w, PredictorKind::Bimodal { entries: 512 }, samples));
+    }
+    let outcomes = Executor::new().run(&specs).unwrap();
+    for (spec, out) in specs.iter().zip(&outcomes) {
+        assert_sound(spec, out);
+    }
+}
+
+#[test]
+fn bound_dominates_across_the_tweak_matrix() {
+    let w = Workload::AdpcmEncode;
+    let samples = 60;
+    let mut specs = Vec::new();
+    for publish in [PublishPoint::Execute, PublishPoint::Mem, PublishPoint::Commit] {
+        for mul_latency in [1u32, 6] {
+            let tweaks = MicroTweaks { ras_entries: 4, ..MicroTweaks::muldiv(mul_latency, 18) };
+            specs.push(
+                RunSpec::asbr(w, PredictorKind::Bimodal { entries: 128 }, samples)
+                    .with_tweaks(tweaks)
+                    .with_asbr(AsbrSpec { publish, ..AsbrSpec::default() }),
+            );
+        }
+    }
+    let outcomes = Executor::new().run(&specs).unwrap();
+    for (spec, out) in specs.iter().zip(&outcomes) {
+        assert_sound(spec, out);
+    }
+}
+
+#[test]
+fn bound_survives_a_tiny_icache() {
+    // 512 B / 32 B lines / 2-way: the text no longer fits, so the
+    // analyzer must fall back to the streaming miss bound and still
+    // dominate the simulator's real conflict misses.
+    let w = Workload::AdpcmDecode;
+    let samples = 60;
+    let tweaks = MicroTweaks { cache_bytes: 512, ..MicroTweaks::default() };
+    for spec in [
+        RunSpec::baseline(w, PredictorKind::Bimodal { entries: 2048 }, samples)
+            .with_tweaks(tweaks),
+        RunSpec::asbr(w, PredictorKind::Bimodal { entries: 512 }, samples).with_tweaks(tweaks),
+    ] {
+        let out = spec.execute().unwrap();
+        let rec = cross_check(&spec, &out).unwrap();
+        assert!(
+            rec.holds(),
+            "{}: static bound {} < simulated cycles {}",
+            rec.label,
+            rec.bound.total(),
+            rec.cycles
+        );
+    }
+}
