@@ -26,10 +26,10 @@ use asbr_bpred::{PredictorKind, StaticPerBranch};
 use asbr_core::{AsbrConfig, AsbrUnit, BitEntry};
 use asbr_flow::select_static;
 use asbr_profile::profile;
-use asbr_sim::{Pipeline, PipelineConfig, PublishPoint, SimError};
+use asbr_sim::{Pipeline, PipelineConfig, PublishPoint};
 use asbr_workloads::Workload;
 
-use crate::runner::{AsbrSpec, Executor, MicroTweaks, RunOutcome, RunSpec, AUX_BTB};
+use crate::runner::{AsbrSpec, Executor, HarnessError, MicroTweaks, RunOutcome, RunSpec, AUX_BTB};
 
 /// A generic ablation data point.
 #[derive(Debug, Clone, Serialize)]
@@ -63,7 +63,7 @@ fn sweep(
     w: Workload,
     specs: Vec<RunSpec>,
     settings: Vec<String>,
-) -> Result<Vec<Point>, SimError> {
+) -> Result<Vec<Point>, HarnessError> {
     let outcomes = Executor::new().run(&specs)?;
     Ok(settings
         .into_iter()
@@ -77,7 +77,7 @@ fn sweep(
 /// # Errors
 ///
 /// Propagates any [`SimError`].
-pub fn bit_size(w: Workload, samples: usize, sizes: &[usize]) -> Result<Vec<Point>, SimError> {
+pub fn bit_size(w: Workload, samples: usize, sizes: &[usize]) -> Result<Vec<Point>, HarnessError> {
     let specs = sizes
         .iter()
         .map(|&n| {
@@ -93,7 +93,7 @@ pub fn bit_size(w: Workload, samples: usize, sizes: &[usize]) -> Result<Vec<Poin
 /// # Errors
 ///
 /// Propagates any [`SimError`].
-pub fn publish_point(w: Workload, samples: usize) -> Result<Vec<Point>, SimError> {
+pub fn publish_point(w: Workload, samples: usize) -> Result<Vec<Point>, HarnessError> {
     let points = [PublishPoint::Execute, PublishPoint::Mem, PublishPoint::Commit];
     let specs = points
         .into_iter()
@@ -114,7 +114,7 @@ pub fn publish_point(w: Workload, samples: usize) -> Result<Vec<Point>, SimError
 /// # Errors
 ///
 /// Propagates any [`SimError`].
-pub fn scheduling(w: Workload, samples: usize) -> Result<Vec<Point>, SimError> {
+pub fn scheduling(w: Workload, samples: usize) -> Result<Vec<Point>, HarnessError> {
     let specs = [false, true]
         .into_iter()
         .map(|hoist| {
@@ -144,7 +144,7 @@ pub struct AuxPoint {
 /// # Errors
 ///
 /// Propagates any [`SimError`].
-pub fn aux_size(w: Workload, samples: usize, sizes: &[usize]) -> Result<Vec<AuxPoint>, SimError> {
+pub fn aux_size(w: Workload, samples: usize, sizes: &[usize]) -> Result<Vec<AuxPoint>, HarnessError> {
     let specs: Vec<RunSpec> = sizes
         .iter()
         .flat_map(|&entries| {
@@ -174,7 +174,7 @@ pub fn aux_size(w: Workload, samples: usize, sizes: &[usize]) -> Result<Vec<AuxP
 /// # Errors
 ///
 /// Propagates any [`SimError`].
-pub fn bank_switching(iterations: u32) -> Result<(u64, u64), SimError> {
+pub fn bank_switching(iterations: u32) -> Result<(u64, u64), HarnessError> {
     let src = format!(
         "
         main:   li   r4, {iterations}
@@ -199,7 +199,7 @@ pub fn bank_switching(iterations: u32) -> Result<(u64, u64), SimError> {
     let b1 = prog.symbol("b1").expect("b1");
     let b2 = prog.symbol("b2").expect("b2");
 
-    let run = |banks: usize| -> Result<u64, SimError> {
+    let run = |banks: usize| -> Result<u64, HarnessError> {
         let mut unit = AsbrUnit::new(AsbrConfig { bit_entries: 1, banks, ..AsbrConfig::default() });
         unit.install(0, vec![BitEntry::from_program(&prog, b1).expect("entry b1")])
             .expect("fits");
@@ -249,7 +249,7 @@ pub fn muldiv_latency(
     w: Workload,
     samples: usize,
     latencies: &[(u32, u32)],
-) -> Result<Vec<LatencyPoint>, SimError> {
+) -> Result<Vec<LatencyPoint>, HarnessError> {
     let specs: Vec<RunSpec> = latencies
         .iter()
         .flat_map(|&(mul, div)| {
@@ -296,7 +296,7 @@ pub struct RasPoint {
 /// # Errors
 ///
 /// Propagates any [`SimError`].
-pub fn ras(w: Workload, samples: usize) -> Result<Vec<RasPoint>, SimError> {
+pub fn ras(w: Workload, samples: usize) -> Result<Vec<RasPoint>, HarnessError> {
     let sizes = [0usize, 8];
     let specs: Vec<RunSpec> = sizes
         .into_iter()
@@ -342,7 +342,7 @@ pub struct CachePoint {
 /// # Errors
 ///
 /// Propagates any [`SimError`].
-pub fn cache_size(w: Workload, samples: usize, sizes: &[u32]) -> Result<Vec<CachePoint>, SimError> {
+pub fn cache_size(w: Workload, samples: usize, sizes: &[u32]) -> Result<Vec<CachePoint>, HarnessError> {
     let specs: Vec<RunSpec> = sizes
         .iter()
         .flat_map(|&cache_bytes| {
@@ -391,7 +391,7 @@ pub struct FamilyRow {
 /// # Errors
 ///
 /// Propagates any [`SimError`].
-pub fn predictor_family(w: Workload, samples: usize) -> Result<Vec<FamilyRow>, SimError> {
+pub fn predictor_family(w: Workload, samples: usize) -> Result<Vec<FamilyRow>, HarnessError> {
     let kinds = [
         PredictorKind::NotTaken,
         PredictorKind::Bimodal { entries: 2048 },
@@ -459,7 +459,7 @@ pub struct SelectionPoint {
 /// # Errors
 ///
 /// Propagates any [`SimError`].
-pub fn static_selection(w: Workload, samples: usize) -> Result<Vec<SelectionPoint>, SimError> {
+pub fn static_selection(w: Workload, samples: usize) -> Result<Vec<SelectionPoint>, HarnessError> {
     let mut rows = Vec::new();
 
     // Profiled path (the harness default).

@@ -22,10 +22,10 @@
 use serde::Serialize;
 
 use asbr_bpred::PredictorKind;
-use asbr_sim::{CycleBucket, SimError, NUM_BUCKETS};
+use asbr_sim::{CycleBucket, NUM_BUCKETS};
 use asbr_workloads::Workload;
 
-use crate::runner::{Executor, RunOutcome, RunSpec};
+use crate::runner::{Executor, HarnessError, RunOutcome, RunSpec};
 use crate::tablefmt::{thousands, Table};
 
 /// The general-purpose baseline of the headline comparison (the paper's
@@ -137,7 +137,7 @@ pub fn specs(samples: usize) -> Vec<RunSpec> {
 /// # Errors
 ///
 /// Propagates any [`SimError`] from the underlying runs.
-pub fn table(samples: usize) -> Result<Vec<Row>, SimError> {
+pub fn table(samples: usize) -> Result<Vec<Row>, HarnessError> {
     table_with(&Executor::new(), samples)
 }
 
@@ -146,7 +146,7 @@ pub fn table(samples: usize) -> Result<Vec<Row>, SimError> {
 /// # Errors
 ///
 /// Propagates any [`SimError`] from the underlying runs.
-pub fn table_with(executor: &Executor, samples: usize) -> Result<Vec<Row>, SimError> {
+pub fn table_with(executor: &Executor, samples: usize) -> Result<Vec<Row>, HarnessError> {
     let specs = specs(samples);
     let outcomes = executor.run(&specs)?;
     Ok(Workload::ALL

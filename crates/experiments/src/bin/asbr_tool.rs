@@ -29,7 +29,33 @@
 //!                                             if any bound < simulated cycles
 //!   --samples <n>          input samples (default 400)
 //!   --out <path>           write the report here (default results/WCET_report.json)
+//! asbr_tool serve [options]                   HTTP simulation service (POST /run,
+//!                                             POST /sweep, GET /healthz, GET /stats);
+//!                                             runs until killed
+//!   --addr <host:port>     listen address (default 127.0.0.1:7781; port 0 = any)
+//!   --threads <n>          executor workers (default: one per core)
+//!   --queue <n>            admission-queue bound; full queue answers 503
+//!                          (default 0 = unbounded)
+//!   --cache <dir>          shared on-disk result cache (default results/serve-cache)
+//!   --no-cache             disable the on-disk cache
+//!   --refresh              ignore existing cache entries but rewrite them
+//!   --stats-every <secs>   print an executor stats line periodically (default off)
+//! asbr_tool loadgen [options]                 replay a mixed request population
+//!                                             against a running server; write
+//!                                             results/BENCH_serve.json
+//!   --addr <host:port>     server address (default 127.0.0.1:7781)
+//!   --clients <n>          concurrent client threads (default 4)
+//!   --cold <n>             distinct cold specs, replayed once warm (default 32)
+//!   --hot <n>              hot repeats of one fixed spec (default 200)
+//!   --malformed <n>        malformed bodies expecting 400 (default 20)
+//!   --samples <n>          input samples per generated spec (default 60)
+//!   --out <path>           report path (default results/BENCH_serve.json)
+//!   --require-hits         fail unless the warm phase saw cache hits
+//!   --max-p99-ms <ms>      fail if the p99 latency exceeds this bound
 //! ```
+//!
+//! Exit codes: `0` success, `2` any error, except `3` for retryable
+//! backpressure ([`HarnessError::Overloaded`]).
 //!
 //! Workload names for `trace` match the benchmark names of the tables
 //! ignoring case and punctuation (`adpcm-encode`, `g721-decode`, …) or
@@ -43,12 +69,38 @@ use asbr_bpred::PredictorKind;
 use asbr_core::{decode_image, encode_image, AsbrConfig, AsbrUnit};
 use asbr_flow::{call_aware_depths, candidates, select_static, Cfg};
 use asbr_harness::{
-    ThroughputSpec, AUX_BTB, PROFILE_PREDICTOR, SAMPLES_SMOKE, THROUGHPUT_REPS,
-    THROUGHPUT_SAMPLES,
+    CacheMode, HarnessError, LoadgenConfig, Server, ServerConfig, ThroughputSpec, AUX_BTB,
+    PROFILE_PREDICTOR, SAMPLES_SMOKE, THROUGHPUT_REPS, THROUGHPUT_SAMPLES,
 };
 use asbr_profile::{profile, select_branches, SelectionConfig};
 use asbr_sim::{ChromeTracer, CycleBucket, Pipeline, PipelineConfig, PublishPoint};
 use asbr_workloads::Workload;
+
+/// A CLI failure carrying the process exit code alongside the message.
+/// Harness errors pick their code via [`HarnessError::exit_code`] (3 for
+/// retryable backpressure, 2 otherwise); plain string errors exit 2.
+struct CliError {
+    code: u8,
+    msg: String,
+}
+
+impl From<String> for CliError {
+    fn from(msg: String) -> CliError {
+        CliError { code: 2, msg }
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(msg: &str) -> CliError {
+        CliError { code: 2, msg: msg.to_owned() }
+    }
+}
+
+impl From<HarnessError> for CliError {
+    fn from(e: HarnessError) -> CliError {
+        CliError { code: e.exit_code(), msg: e.to_string() }
+    }
+}
 
 fn load_program(path: &str) -> Result<Program, String> {
     let src = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -294,7 +346,7 @@ struct BenchOpts {
     check: Option<String>,
 }
 
-fn cmd_bench(opts: &BenchOpts) -> Result<(), String> {
+fn cmd_bench(opts: &BenchOpts) -> Result<(), CliError> {
     let spec = ThroughputSpec::standard(opts.samples, opts.reps);
     println!(
         "host-throughput bench: {} runs at {} samples, best of {}",
@@ -302,7 +354,7 @@ fn cmd_bench(opts: &BenchOpts) -> Result<(), String> {
         opts.samples,
         spec.reps
     );
-    let bench = spec.measure().map_err(|e| e.to_string())?;
+    let bench = spec.measure()?;
     println!(
         "{:<32} {:>11} {:>11} {:>10} {:>8}",
         "run", "cycles", "best ms", "Mcyc/s", "MIPS"
@@ -372,7 +424,7 @@ fn branch_verdicts(program: &Program, selected: &[u32], threshold: u32) -> Vec<S
         .collect()
 }
 
-fn cmd_wcet(opts: &WcetOpts) -> Result<(), String> {
+fn cmd_wcet(opts: &WcetOpts) -> Result<(), CliError> {
     use asbr_harness::{attach_bound, RunSpec};
 
     let mut runs = Vec::new();
@@ -388,8 +440,8 @@ fn cmd_wcet(opts: &WcetOpts) -> Result<(), String> {
             RunSpec::asbr(w, PredictorKind::Bimodal { entries: 512 }, opts.samples),
         ];
         for spec in specs {
-            let mut out = spec.execute().map_err(|e| e.to_string())?;
-            let rec = attach_bound(&spec, &mut out).map_err(|e| e.to_string())?;
+            let mut out = spec.execute()?;
+            let rec = attach_bound(&spec, &mut out).map_err(HarnessError::from)?;
             println!(
                 "{:<34} {:>11} {:>12} {:>8.3}x {:>8}",
                 rec.label,
@@ -459,8 +511,102 @@ fn cmd_wcet(opts: &WcetOpts) -> Result<(), String> {
     if violations.is_empty() {
         Ok(())
     } else {
-        Err(format!("static bound below simulated cycles for: {}", violations.join(", ")))
+        Err(format!("static bound below simulated cycles for: {}", violations.join(", ")).into())
     }
+}
+
+struct ServeOpts {
+    addr: String,
+    threads: usize,
+    queue: usize,
+    cache: CacheMode,
+    stats_every: u64,
+}
+
+fn cmd_serve(opts: &ServeOpts) -> Result<(), CliError> {
+    let config = ServerConfig {
+        addr: opts.addr.clone(),
+        threads: opts.threads,
+        queue: opts.queue,
+        cache: opts.cache.clone(),
+    };
+    let server = Server::start(&config)
+        .map_err(|e| format!("cannot serve on {}: {e}", config.addr))?;
+    println!("serving on http://{}", server.addr());
+    match &opts.cache {
+        CacheMode::Disabled => println!("result cache: disabled"),
+        CacheMode::Enabled(dir) => println!("result cache: {}", dir.display()),
+        CacheMode::Refresh(dir) => println!("result cache: {} (refresh)", dir.display()),
+    }
+    if opts.queue > 0 {
+        println!("admission queue: {} slots (full queue answers 503)", opts.queue);
+    }
+    // Serve until the process is killed; the acceptor and executor live
+    // on background threads.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(opts.stats_every.max(1)));
+        if opts.stats_every > 0 {
+            let s = server.stats();
+            println!(
+                "stats: {} submitted, {} completed, {} dedup, {} cache hits, \
+                 {} queued, {:.1} runs/s",
+                s.submitted,
+                s.completed,
+                s.dedup_hits,
+                s.cache_hits,
+                s.queue_depth,
+                s.runs_per_sec()
+            );
+        }
+    }
+}
+
+struct LoadgenOpts {
+    config: LoadgenConfig,
+    out: String,
+    require_hits: bool,
+    max_p99_ms: Option<f64>,
+}
+
+fn cmd_loadgen(opts: &LoadgenOpts) -> Result<(), CliError> {
+    let cfg = &opts.config;
+    println!(
+        "loadgen against {}: {} clients, {} cold + {} replay + {} hot + {} malformed",
+        cfg.addr, cfg.clients, cfg.cold, cfg.cold, cfg.hot, cfg.malformed
+    );
+    let report = asbr_harness::loadgen::run(cfg)
+        .map_err(|e| format!("loadgen against {}: {e}", cfg.addr))?;
+    println!(
+        "{} requests in {:.2}s: {} ok, {} bad-request, {} overloaded, {} failed",
+        report.requests,
+        report.wall_secs,
+        report.ok,
+        report.bad_request,
+        report.overloaded,
+        report.failed
+    );
+    println!(
+        "{:.1} runs/s, p50 {:.2} ms, p99 {:.2} ms, cache hit rate {:.1}% ({:.1}% warm)",
+        report.runs_per_sec(),
+        report.p50_ms,
+        report.p99_ms,
+        report.cache_hit_rate() * 100.0,
+        report.warm_hit_rate() * 100.0
+    );
+    report.write(&opts.out).map_err(|e| format!("cannot write {}: {e}", opts.out))?;
+    println!("wrote {}", opts.out);
+    if report.failed > 0 {
+        return Err(format!("{} request(s) failed outright", report.failed).into());
+    }
+    if opts.require_hits && report.warm_cached == 0 {
+        return Err("no cache hits in the warm phase (expected repeats to coalesce)".into());
+    }
+    if let Some(bound) = opts.max_p99_ms {
+        if report.p99_ms > bound {
+            return Err(format!("p99 {:.2} ms exceeds the {bound:.2} ms bound", report.p99_ms).into());
+        }
+    }
+    Ok(())
 }
 
 fn parse_predictor(name: &str) -> Result<PredictorKind, String> {
@@ -478,13 +624,139 @@ fn usage() -> String {
      \x20      asbr_tool trace <workload> [--samples n] [--out path] [--interval n] [--asbr]\n\
      \x20      asbr_tool bench [--samples n] [--reps n] [--out path] [--check golden.json]\n\
      \x20      asbr_tool wcet [--samples n] [--out path]\n\
+     \x20      asbr_tool serve [--addr host:port] [--threads n] [--queue n]\n\
+     \x20                      [--cache dir|--no-cache] [--refresh] [--stats-every secs]\n\
+     \x20      asbr_tool loadgen [--addr host:port] [--clients n] [--cold n] [--hot n]\n\
+     \x20                        [--malformed n] [--samples n] [--out path]\n\
+     \x20                        [--require-hits] [--max-p99-ms ms]\n\
      see the module docs (src/bin/asbr_tool.rs) for options"
         .to_owned()
 }
 
-fn real_main() -> Result<(), String> {
+fn real_main() -> Result<(), CliError> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().ok_or_else(usage)?;
+    if cmd == "serve" {
+        let mut opts = ServeOpts {
+            addr: "127.0.0.1:7781".to_owned(),
+            threads: 0,
+            queue: 0,
+            cache: CacheMode::Enabled("results/serve-cache".into()),
+            stats_every: 0,
+        };
+        let mut refresh = false;
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--addr" => {
+                    i += 1;
+                    opts.addr = args.get(i).ok_or("missing address after --addr")?.clone();
+                }
+                "--threads" => {
+                    i += 1;
+                    opts.threads = args
+                        .get(i)
+                        .and_then(|s| s.parse().ok())
+                        .ok_or("bad --threads count")?;
+                }
+                "--queue" => {
+                    i += 1;
+                    opts.queue =
+                        args.get(i).and_then(|s| s.parse().ok()).ok_or("bad --queue count")?;
+                }
+                "--cache" => {
+                    i += 1;
+                    let dir = args.get(i).ok_or("missing directory after --cache")?;
+                    opts.cache = CacheMode::Enabled(dir.into());
+                }
+                "--no-cache" => opts.cache = CacheMode::Disabled,
+                "--refresh" => refresh = true,
+                "--stats-every" => {
+                    i += 1;
+                    opts.stats_every = args
+                        .get(i)
+                        .and_then(|s| s.parse().ok())
+                        .ok_or("bad --stats-every seconds")?;
+                }
+                other => return Err(format!("unknown option `{other}`").into()),
+            }
+            i += 1;
+        }
+        if refresh {
+            opts.cache = match opts.cache {
+                CacheMode::Disabled => {
+                    return Err("--refresh needs a cache directory (drop --no-cache)".into())
+                }
+                CacheMode::Enabled(dir) | CacheMode::Refresh(dir) => CacheMode::Refresh(dir),
+            };
+        }
+        return cmd_serve(&opts);
+    }
+    if cmd == "loadgen" {
+        let mut opts = LoadgenOpts {
+            config: LoadgenConfig::default(),
+            out: "results/BENCH_serve.json".to_owned(),
+            require_hits: false,
+            max_p99_ms: None,
+        };
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--addr" => {
+                    i += 1;
+                    opts.config.addr =
+                        args.get(i).ok_or("missing address after --addr")?.clone();
+                }
+                "--clients" => {
+                    i += 1;
+                    opts.config.clients = args
+                        .get(i)
+                        .and_then(|s| s.parse().ok())
+                        .ok_or("bad --clients count")?;
+                }
+                "--cold" => {
+                    i += 1;
+                    opts.config.cold =
+                        args.get(i).and_then(|s| s.parse().ok()).ok_or("bad --cold count")?;
+                }
+                "--hot" => {
+                    i += 1;
+                    opts.config.hot =
+                        args.get(i).and_then(|s| s.parse().ok()).ok_or("bad --hot count")?;
+                }
+                "--malformed" => {
+                    i += 1;
+                    opts.config.malformed = args
+                        .get(i)
+                        .and_then(|s| s.parse().ok())
+                        .ok_or("bad --malformed count")?;
+                }
+                "--samples" => {
+                    i += 1;
+                    opts.config.samples = args
+                        .get(i)
+                        .and_then(|s| s.parse().ok())
+                        .ok_or("bad --samples count")?;
+                }
+                "--out" => {
+                    i += 1;
+                    opts.out = args.get(i).ok_or("missing path after --out")?.clone();
+                }
+                "--require-hits" => opts.require_hits = true,
+                "--max-p99-ms" => {
+                    i += 1;
+                    opts.max_p99_ms = Some(
+                        args.get(i)
+                            .and_then(|s| s.parse().ok())
+                            .ok_or("bad --max-p99-ms bound")?,
+                    );
+                }
+                other => return Err(format!("unknown option `{other}`").into()),
+            }
+            i += 1;
+        }
+        return cmd_loadgen(&opts);
+    }
     if cmd == "bench" {
         // The only file-less subcommand: parse its flags and go.
         let mut opts = BenchOpts {
@@ -517,7 +789,7 @@ fn real_main() -> Result<(), String> {
                     opts.check =
                         Some(args.get(i).ok_or("missing path after --check")?.clone());
                 }
-                other => return Err(format!("unknown option `{other}`")),
+                other => return Err(format!("unknown option `{other}`").into()),
             }
             i += 1;
         }
@@ -542,7 +814,7 @@ fn real_main() -> Result<(), String> {
                     i += 1;
                     opts.out = args.get(i).ok_or("missing path after --out")?.clone();
                 }
-                other => return Err(format!("unknown option `{other}`")),
+                other => return Err(format!("unknown option `{other}`").into()),
             }
             i += 1;
         }
@@ -550,15 +822,15 @@ fn real_main() -> Result<(), String> {
     }
     let file = args.get(1).ok_or_else(usage)?;
     match cmd.as_str() {
-        "asm" => cmd_asm(file),
-        "analyze" => cmd_analyze(file),
-        "lint" => cmd_lint(file),
+        "asm" => cmd_asm(file).map_err(CliError::from),
+        "analyze" => cmd_analyze(file).map_err(CliError::from),
+        "lint" => cmd_lint(file).map_err(CliError::from),
         "customize" => {
             let out = match args.get(2).map(String::as_str) {
                 Some("-o") => args.get(3).ok_or("missing output path after -o")?,
-                _ => return Err(usage()),
+                _ => return Err(usage().into()),
             };
-            cmd_customize(file, out)
+            cmd_customize(file, out).map_err(CliError::from)
         }
         "run" => {
             let mut opts = RunOpts {
@@ -599,11 +871,11 @@ fn real_main() -> Result<(), String> {
                             .and_then(|s| s.parse().ok())
                             .ok_or("bad --trace count")?;
                     }
-                    other => return Err(format!("unknown option `{other}`")),
+                    other => return Err(format!("unknown option `{other}`").into()),
                 }
                 i += 1;
             }
-            cmd_run(file, &opts)
+            cmd_run(file, &opts).map_err(CliError::from)
         }
         "trace" => {
             let mut opts = TraceOpts {
@@ -635,22 +907,22 @@ fn real_main() -> Result<(), String> {
                             .ok_or("bad --interval count")?;
                     }
                     "--asbr" => opts.asbr = true,
-                    other => return Err(format!("unknown option `{other}`")),
+                    other => return Err(format!("unknown option `{other}`").into()),
                 }
                 i += 1;
             }
-            cmd_trace(file, &opts)
+            cmd_trace(file, &opts).map_err(CliError::from)
         }
-        _ => Err(usage()),
+        _ => Err(usage().into()),
     }
 }
 
 fn main() -> ExitCode {
     match real_main() {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("asbr_tool: {msg}");
-            ExitCode::from(2)
+        Err(e) => {
+            eprintln!("asbr_tool: {}", e.msg);
+            ExitCode::from(e.code)
         }
     }
 }

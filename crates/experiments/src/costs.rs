@@ -21,10 +21,10 @@ use serde::Serialize;
 
 use asbr_bpred::{Btb, PredictorKind};
 use asbr_core::AsbrConfig;
-use asbr_sim::{Activity, SimError};
+use asbr_sim::Activity;
 use asbr_workloads::Workload;
 
-use crate::runner::{Executor, RunSpec, AUX_BTB, BASELINE_BTB};
+use crate::runner::{Executor, HarnessError, RunSpec, AUX_BTB, BASELINE_BTB};
 
 /// Per-event energy constants, in arbitrary picojoule-like units.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize)]
@@ -101,7 +101,7 @@ pub struct PowerRow {
 /// # Errors
 ///
 /// Propagates any [`SimError`].
-pub fn power_table(samples: usize) -> Result<Vec<PowerRow>, SimError> {
+pub fn power_table(samples: usize) -> Result<Vec<PowerRow>, HarnessError> {
     let model = EnergyModel::default();
     let baseline_kind = PredictorKind::Bimodal { entries: 2048 };
     let aux_kind = PredictorKind::Bimodal { entries: 256 };

@@ -12,10 +12,9 @@
 use serde::Serialize;
 
 use asbr_bpred::PredictorKind;
-use asbr_sim::SimError;
 use asbr_workloads::Workload;
 
-use crate::runner::{AsbrSpec, Executor, MicroTweaks, RunMatrix, AUX_BTB};
+use crate::runner::{AsbrSpec, Executor, HarnessError, MicroTweaks, RunMatrix, AUX_BTB};
 use crate::tablefmt::{thousands, Table};
 
 /// The auxiliary predictors of Figure 11, paired with the baseline each is
@@ -89,7 +88,7 @@ pub fn matrix(samples: usize, cfg: Config) -> RunMatrix {
 /// # Errors
 ///
 /// Propagates any [`SimError`] from the underlying runs.
-pub fn table(samples: usize, cfg: Config) -> Result<Vec<Row>, SimError> {
+pub fn table(samples: usize, cfg: Config) -> Result<Vec<Row>, HarnessError> {
     table_with(&Executor::new(), samples, cfg)
 }
 
@@ -102,7 +101,7 @@ pub fn table_with(
     executor: &Executor,
     samples: usize,
     cfg: Config,
-) -> Result<Vec<Row>, SimError> {
+) -> Result<Vec<Row>, HarnessError> {
     let outcomes = matrix(samples, cfg).run(executor)?;
     let workloads = Workload::ALL.len();
     let mut rows = Vec::with_capacity(workloads * AUXILIARIES.len());

@@ -7,10 +7,9 @@
 use serde::Serialize;
 
 use asbr_bpred::PredictorKind;
-use asbr_sim::SimError;
 use asbr_workloads::Workload;
 
-use crate::runner::{Executor, RunMatrix};
+use crate::runner::{Executor, HarnessError, RunMatrix};
 use crate::tablefmt::{thousands, Table};
 
 /// One cell group of Figure 6.
@@ -42,7 +41,7 @@ pub fn matrix(samples: usize, kinds: &[PredictorKind]) -> RunMatrix {
 /// # Errors
 ///
 /// Propagates any [`SimError`] from the 12 underlying runs.
-pub fn table(samples: usize) -> Result<Vec<Row>, SimError> {
+pub fn table(samples: usize) -> Result<Vec<Row>, HarnessError> {
     table_with(&Executor::new(), samples)
 }
 
@@ -51,7 +50,7 @@ pub fn table(samples: usize) -> Result<Vec<Row>, SimError> {
 /// # Errors
 ///
 /// Propagates any [`SimError`] from the 12 underlying runs.
-pub fn table_with(executor: &Executor, samples: usize) -> Result<Vec<Row>, SimError> {
+pub fn table_with(executor: &Executor, samples: usize) -> Result<Vec<Row>, HarnessError> {
     table_for(executor, samples, &PredictorKind::BASELINES)
 }
 
@@ -62,7 +61,7 @@ pub fn table_with(executor: &Executor, samples: usize) -> Result<Vec<Row>, SimEr
 /// # Errors
 ///
 /// Propagates any [`SimError`].
-pub fn extended_table(samples: usize) -> Result<Vec<Row>, SimError> {
+pub fn extended_table(samples: usize) -> Result<Vec<Row>, HarnessError> {
     let mut kinds = PredictorKind::BASELINES.to_vec();
     kinds.push(PredictorKind::Tournament { hist_bits: 11, entries: 2048 });
     table_for(&Executor::new(), samples, &kinds)
@@ -72,7 +71,7 @@ fn table_for(
     executor: &Executor,
     samples: usize,
     kinds: &[PredictorKind],
-) -> Result<Vec<Row>, SimError> {
+) -> Result<Vec<Row>, HarnessError> {
     let specs = matrix(samples, kinds).specs();
     let outcomes = executor.run(&specs)?;
     Ok(specs

@@ -28,7 +28,7 @@
 //!
 //! let spec = RunSpec::baseline(Workload::AdpcmEncode, PredictorKind::NotTaken, SAMPLES_SMOKE);
 //! assert!(spec.execute()?.summary.stats.cpi() > 1.0);
-//! # Ok::<(), asbr_sim::SimError>(())
+//! # Ok::<(), asbr_experiments::runner::HarnessError>(())
 //! ```
 
 pub use asbr_harness as harness;

@@ -15,6 +15,7 @@
 pub use asbr_asm::Program;
 pub use asbr_harness::{
     attach_bound, cross_check, machine_params, AsbrSpec, BenchEntry, CacheMode, Executor,
-    MicroTweaks, ResultCache, RunMatrix, RunOutcome, RunSpec, SweepBench, WcetRecord, AUX_BTB,
-    BASELINE_BTB, PROFILE_PREDICTOR, SAMPLES_FULL, SAMPLES_SMOKE,
+    ExecutorStats, HarnessError, LoadgenConfig, LoadgenReport, MicroTweaks, ResultCache,
+    RunHandle, RunMatrix, RunOutcome, RunSpec, Server, ServerConfig, SharedExecutor, SweepBench,
+    WcetRecord, AUX_BTB, BASELINE_BTB, PROFILE_PREDICTOR, SAMPLES_FULL, SAMPLES_SMOKE,
 };

@@ -26,6 +26,7 @@ use asbr_bpred::{AccuracyTracker, BranchRecord};
 use asbr_core::AsbrStats;
 use asbr_sim::{BranchSite, CycleAttribution, PipelineSummary, PublishPoint, NUM_BUCKETS};
 
+use crate::error::HarnessError;
 use crate::hash::Sha256;
 use crate::spec::{RunOutcome, RunSpec};
 
@@ -111,26 +112,45 @@ impl ResultCache {
     }
 
     /// Loads the outcome stored under `key`, or `None` on a miss (absent,
-    /// unreadable, or version-skewed entry).
+    /// unreadable, or version-skewed entry). This is the tolerant path
+    /// the executor uses: the cache is an accelerator, never a source of
+    /// truth. Use [`ResultCache::load_strict`] to surface *why* an entry
+    /// was rejected.
     #[must_use]
     pub fn load(&self, key: &str) -> Option<RunOutcome> {
-        let text = fs::read_to_string(self.path_of(key)).ok()?;
-        parse_entry(&text, key)
+        self.load_strict(key).ok().flatten()
+    }
+
+    /// Loads the outcome stored under `key`, distinguishing absence
+    /// (`Ok(None)`) from corruption.
+    ///
+    /// # Errors
+    ///
+    /// [`HarnessError::CacheEntry`] with the 1-based line of the first
+    /// offense when the entry exists but does not parse — including any
+    /// trailing content after the `end` marker, which older revisions
+    /// silently accepted.
+    pub fn load_strict(&self, key: &str) -> Result<Option<RunOutcome>, HarnessError> {
+        let Ok(text) = fs::read_to_string(self.path_of(key)) else {
+            return Ok(None);
+        };
+        parse_entry(&text, key).map(Some)
     }
 
     /// Stores `outcome` under `key` atomically.
     ///
     /// # Errors
     ///
-    /// Propagates filesystem errors (the caller typically degrades to
-    /// uncached operation).
-    pub fn store(&self, key: &str, label: &str, outcome: &RunOutcome) -> io::Result<()> {
+    /// [`HarnessError::CacheIo`] on filesystem failure (the executor
+    /// degrades to uncached operation).
+    pub fn store(&self, key: &str, label: &str, outcome: &RunOutcome) -> Result<(), HarnessError> {
         let path = self.path_of(key);
+        let io = |e: &io::Error| HarnessError::cache_io("store", path.display().to_string(), e);
         let dir = path.parent().expect("cache paths have a parent");
-        fs::create_dir_all(dir)?;
+        fs::create_dir_all(dir).map_err(|e| io(&e))?;
         let tmp = dir.join(format!(".{key}.tmp"));
-        fs::write(&tmp, render_entry(key, label, outcome))?;
-        fs::rename(&tmp, &path)
+        fs::write(&tmp, render_entry(key, label, outcome)).map_err(|e| io(&e))?;
+        fs::rename(&tmp, &path).map_err(|e| io(&e))
     }
 
     /// Removes the entry under `key` if present (the `--refresh` path).
@@ -226,10 +246,16 @@ fn render_entry(key: &str, label: &str, o: &RunOutcome) -> String {
     out
 }
 
-fn parse_entry(text: &str, want_key: &str) -> Option<RunOutcome> {
-    let mut lines = text.lines();
-    if lines.next()? != CACHE_FORMAT {
-        return None;
+fn parse_entry(text: &str, want_key: &str) -> Result<RunOutcome, HarnessError> {
+    let corrupt = |line: usize, message: &str| HarnessError::CacheEntry {
+        line,
+        message: message.to_owned(),
+    };
+    let mut lines = text.lines().enumerate().map(|(i, l)| (i + 1, l));
+    match lines.next() {
+        Some((_, header)) if header == CACHE_FORMAT => {}
+        Some((n, _)) => return Err(corrupt(n, "version-skewed or foreign header")),
+        None => return Err(corrupt(1, "empty entry")),
     }
     let mut summary = PipelineSummary {
         stats: asbr_sim::PipelineStats::default(),
@@ -243,18 +269,24 @@ fn parse_entry(text: &str, want_key: &str) -> Option<RunOutcome> {
     let mut selected = Vec::new();
     let mut static_bound = None;
     let mut complete = false;
-    for l in lines {
+    for (n, l) in lines {
+        if complete {
+            // Anything after `end` — even a well-formed line — means the
+            // entry was appended to or spliced; older revisions silently
+            // accepted such trailing garbage.
+            return Err(corrupt(n, "trailing content after the `end` marker"));
+        }
         let (tag, rest) = l.split_once(' ').unwrap_or((l, ""));
         match tag {
             "key" => {
                 if rest != want_key {
-                    return None;
+                    return Err(corrupt(n, "entry key does not match its filename"));
                 }
             }
             "label" => {}
             "halted" => summary.halted = rest == "1",
             "stats" => {
-                let v = nums::<u64>(rest, 10)?;
+                let v = nums::<u64>(rest, 10).ok_or_else(|| corrupt(n, "bad stats line"))?;
                 let s = &mut summary.stats;
                 [
                     s.cycles,
@@ -267,10 +299,10 @@ fn parse_entry(text: &str, want_key: &str) -> Option<RunOutcome> {
                     s.dcache_stall_cycles,
                     s.ex_stall_cycles,
                     s.folded_branches,
-                ] = v[..].try_into().ok()?;
+                ] = v[..].try_into().expect("nums checked the arity");
             }
             "activity" => {
-                let v = nums::<u64>(rest, 8)?;
+                let v = nums::<u64>(rest, 8).ok_or_else(|| corrupt(n, "bad activity line"))?;
                 let a = &mut summary.stats.activity;
                 [
                     a.fetched,
@@ -281,15 +313,17 @@ fn parse_entry(text: &str, want_key: &str) -> Option<RunOutcome> {
                     a.reg_writes,
                     a.predictor_lookups,
                     a.predictor_updates,
-                ] = v[..].try_into().ok()?;
+                ] = v[..].try_into().expect("nums checked the arity");
             }
             "attribution" => {
-                let v = nums::<u64>(rest, NUM_BUCKETS)?;
-                buckets = v[..].try_into().ok()?;
+                let v = nums::<u64>(rest, NUM_BUCKETS)
+                    .ok_or_else(|| corrupt(n, "bad attribution line"))?;
+                buckets = v[..].try_into().expect("nums checked the arity");
             }
             "site" => {
-                let v = nums::<u64>(rest, 5)?;
-                let pc = u32::try_from(v[0]).ok()?;
+                let v = nums::<u64>(rest, 5).ok_or_else(|| corrupt(n, "bad site line"))?;
+                let pc =
+                    u32::try_from(v[0]).map_err(|_| corrupt(n, "site pc out of range"))?;
                 sites.insert(
                     pc,
                     BranchSite {
@@ -301,13 +335,17 @@ fn parse_entry(text: &str, want_key: &str) -> Option<RunOutcome> {
                 );
             }
             "branch" => {
-                let v = nums::<u64>(rest, 4)?;
-                let pc = u32::try_from(v[0]).ok()?;
+                let v = nums::<u64>(rest, 4).ok_or_else(|| corrupt(n, "bad branch line"))?;
+                let pc =
+                    u32::try_from(v[0]).map_err(|_| corrupt(n, "branch pc out of range"))?;
                 records.push((pc, BranchRecord { executed: v[1], correct: v[2], taken: v[3] }));
             }
-            "output" => summary.output = nums_any::<i32>(rest)?,
+            "output" => {
+                summary.output =
+                    nums_any::<i32>(rest).ok_or_else(|| corrupt(n, "bad output line"))?;
+            }
             "asbr" => {
-                let v = nums::<u64>(rest, 4)?;
+                let v = nums::<u64>(rest, 4).ok_or_else(|| corrupt(n, "bad asbr line"))?;
                 asbr = Some(AsbrStats {
                     folds_taken: v[0],
                     folds_fallthrough: v[1],
@@ -315,19 +353,28 @@ fn parse_entry(text: &str, want_key: &str) -> Option<RunOutcome> {
                     bank_switches: v[3],
                 });
             }
-            "selected" => selected = nums_any::<u32>(rest)?,
-            "static_bound" => static_bound = Some(rest.parse().ok()?),
+            "selected" => {
+                selected =
+                    nums_any::<u32>(rest).ok_or_else(|| corrupt(n, "bad selected line"))?;
+            }
+            "static_bound" => {
+                static_bound =
+                    Some(rest.parse().map_err(|_| corrupt(n, "bad static_bound line"))?);
+            }
             "wall_nanos" => {}
             "end" => complete = true,
-            _ => return None,
+            _ => return Err(corrupt(n, "unknown line tag")),
         }
     }
     if !complete {
-        return None;
+        return Err(corrupt(
+            text.lines().count().max(1),
+            "truncated entry (no `end` marker)",
+        ));
     }
     summary.stats.branches = AccuracyTracker::from_records(records);
     summary.stats.attribution = CycleAttribution::from_parts(buckets, sites);
-    Some(RunOutcome { summary, asbr, selected, static_bound, wall_nanos: 0, cached: true })
+    Ok(RunOutcome { summary, asbr, selected, static_bound, wall_nanos: 0, cached: true })
 }
 
 fn nums<T: std::str::FromStr>(s: &str, expect: usize) -> Option<Vec<T>> {
@@ -412,6 +459,38 @@ mod tests {
         // Truncation (no `end` marker) is a miss too.
         fs::write(&path, text.lines().take(4).collect::<Vec<_>>().join("\n")).unwrap();
         assert!(cache.load(&key).is_none());
+        let _ = fs::remove_dir_all(cache.root());
+    }
+
+    #[test]
+    fn trailing_garbage_after_end_is_rejected_with_position() {
+        let spec = RunSpec::baseline(Workload::AdpcmEncode, PredictorKind::NotTaken, 30);
+        let out = spec.execute().unwrap();
+        let program = spec.program();
+        let input = spec.workload.input(spec.samples);
+        let key = ResultCache::key(&spec, &program, &input);
+        let cache = tmp_cache("trailing");
+        cache.store(&key, "x", &out).unwrap();
+        let path = cache.root().join(&key[..2]).join(format!("{key}.run"));
+        let text = fs::read_to_string(&path).unwrap();
+        let clean_lines = text.lines().count();
+
+        // A *well-formed* line appended after `end` — the case the old
+        // loader silently accepted.
+        fs::write(&path, format!("{text}wall_nanos 7\n")).unwrap();
+        assert!(cache.load(&key).is_none(), "tolerant loader must treat it as a miss");
+        match cache.load_strict(&key) {
+            Err(HarnessError::CacheEntry { line, message }) => {
+                assert_eq!(line, clean_lines + 1, "error must point at the trailing line");
+                assert!(message.contains("trailing"), "{message}");
+            }
+            other => panic!("expected a positioned CacheEntry error, got {other:?}"),
+        }
+
+        // Absent entries are not errors, and clean entries still load.
+        assert!(cache.load_strict("00no-such-key").unwrap().is_none());
+        fs::write(&path, &text).unwrap();
+        assert!(cache.load_strict(&key).unwrap().is_some());
         let _ = fs::remove_dir_all(cache.root());
     }
 }

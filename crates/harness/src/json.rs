@@ -1,0 +1,491 @@
+//! A minimal, dependency-free JSON reader with positioned errors.
+//!
+//! The harness deliberately carries no serde: every artifact it writes
+//! (`BENCH_*.json`, cache entries, HTTP bodies) is rendered by hand.
+//! Reading used to be ad hoc — scanning string searches that accepted
+//! trailing garbage after the top-level value. This module replaces them
+//! with one strict recursive-descent parser:
+//!
+//! * every error carries a 1-based **line and column**;
+//! * the top-level value must be followed by nothing but whitespace —
+//!   trailing garbage is rejected, not ignored;
+//! * numbers keep integer precision (`i64`) when they have one.
+//!
+//! It parses the JSON the harness itself emits plus everything clients
+//! may reasonably send to `asbr_tool serve`: all escape sequences
+//! (including `\uXXXX` surrogate pairs), nested containers with a depth
+//! limit, and exponent floats.
+
+use core::fmt;
+
+use crate::error::HarnessError;
+
+/// Containers deeper than this are rejected (stack-overflow guard for
+/// adversarial request bodies).
+const MAX_DEPTH: usize = 64;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number with no fractional part, within `i64` range.
+    Int(i64),
+    /// Any other number.
+    Float(f64),
+    /// A string (escapes resolved).
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, in source order (duplicate keys keep the last value on
+    /// lookup, like serde's default).
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Object field lookup (last occurrence wins); `None` for missing
+    /// fields and non-objects.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(fields) => fields.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is one.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64`, if it is an integer.
+    #[must_use]
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64` (integers convert).
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(n) => Some(*n as f64),
+            Value::Float(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if it is a non-negative integer.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Int(n) => u64::try_from(*n).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a `bool`, if it is one.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is one.
+    #[must_use]
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// A parse failure at a 1-based line and column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// 1-based line of the offense.
+    pub line: usize,
+    /// 1-based column of the offense.
+    pub col: usize,
+    /// What was wrong there.
+    pub message: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}, column {}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl From<JsonError> for HarnessError {
+    fn from(e: JsonError) -> HarnessError {
+        HarnessError::SpecParse { line: e.line, col: e.col, message: e.message }
+    }
+}
+
+/// Parses `text` as exactly one JSON value: leading/trailing whitespace
+/// is allowed, anything else after the value is an error.
+///
+/// # Errors
+///
+/// Returns the first [`JsonError`], positioned at the offending byte.
+pub fn parse(text: &str) -> Result<Value, JsonError> {
+    let mut p = Parser { bytes: text.as_bytes(), at: 0 };
+    p.skip_ws();
+    let value = p.value(0)?;
+    p.skip_ws();
+    if p.at < p.bytes.len() {
+        return Err(p.err("trailing garbage after the top-level value"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: impl Into<String>) -> JsonError {
+        let mut line = 1;
+        let mut col = 1;
+        for &b in &self.bytes[..self.at.min(self.bytes.len())] {
+            if b == b'\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }
+        JsonError { line, col, message: message.into() }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.at) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.at += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.at).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.peek() == Some(b) {
+            self.at += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.eat(b) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn keyword(&mut self, word: &str, value: Value) -> Result<Value, JsonError> {
+        if self.bytes[self.at..].starts_with(word.as_bytes()) {
+            self.at += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("expected `{word}`")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Value, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err(format!("nesting deeper than {MAX_DEPTH}")));
+        }
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') => self.keyword("true", Value::Bool(true)),
+            Some(b'f') => self.keyword("false", Value::Bool(false)),
+            Some(b'n') => self.keyword("null", Value::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(other) => Err(self.err(format!("unexpected byte `{}`", other as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Value, JsonError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.eat(b'}') {
+            return Ok(Value::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            if self.peek() != Some(b'"') {
+                return Err(self.err("expected a string key"));
+            }
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            fields.push((key, value));
+            self.skip_ws();
+            if self.eat(b',') {
+                continue;
+            }
+            self.expect(b'}')?;
+            return Ok(Value::Obj(fields));
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Value, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.eat(b']') {
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            if self.eat(b',') {
+                continue;
+            }
+            self.expect(b']')?;
+            return Ok(Value::Arr(items));
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.at += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.at += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.at += 1;
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: require the low half.
+                                if !(self.eat(b'\\') && self.eat(b'u')) {
+                                    return Err(self.err("lone high surrogate"));
+                                }
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                let code =
+                                    0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(code)
+                            } else {
+                                char::from_u32(hi)
+                            };
+                            let Some(c) = c else {
+                                return Err(self.err("invalid unicode escape"));
+                            };
+                            out.push(c);
+                            continue; // hex4 advanced past the digits
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.at += 1;
+                }
+                Some(b) if b < 0x20 => {
+                    return Err(self.err("raw control character in string"))
+                }
+                Some(_) => {
+                    // Copy one UTF-8 scalar; the source is a &str so the
+                    // boundaries are valid by construction.
+                    let rest = &self.bytes[self.at..];
+                    let len = utf8_len(rest[0]);
+                    let chunk = std::str::from_utf8(&rest[..len.min(rest.len())])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    out.push_str(chunk);
+                    self.at += chunk.len();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let mut code = 0u32;
+        for _ in 0..4 {
+            let b = self.peek().ok_or_else(|| self.err("truncated unicode escape"))?;
+            let digit = (b as char)
+                .to_digit(16)
+                .ok_or_else(|| self.err("bad hex digit in unicode escape"))?;
+            code = code * 16 + digit;
+            self.at += 1;
+        }
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<Value, JsonError> {
+        let start = self.at;
+        self.eat(b'-');
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.at += 1;
+        }
+        let mut integral = true;
+        if self.eat(b'.') {
+            integral = false;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.at += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            integral = false;
+            self.at += 1;
+            let _ = self.eat(b'+') || self.eat(b'-');
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.at += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.at])
+            .expect("number bytes are ASCII");
+        if integral {
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(Value::Int(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| self.err(format!("bad number `{text}`")))
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+/// Escapes `s` as the contents of a JSON string literal (no surrounding
+/// quotes) — the one escape routine every hand renderer in the harness
+/// shares.
+#[must_use]
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_shapes_the_harness_emits() {
+        let v = parse(
+            r#"{ "schema": "x", "n": 3, "neg": -7, "f": 1.5, "e": 2e3,
+                "ok": true, "no": false, "nil": null,
+                "arr": [1, 2, 3], "nested": {"a": [{"b": "c"}]} }"#,
+        )
+        .unwrap();
+        assert_eq!(v.get("schema").and_then(Value::as_str), Some("x"));
+        assert_eq!(v.get("n").and_then(Value::as_i64), Some(3));
+        assert_eq!(v.get("neg").and_then(Value::as_i64), Some(-7));
+        assert_eq!(v.get("f").and_then(Value::as_f64), Some(1.5));
+        assert_eq!(v.get("e").and_then(Value::as_f64), Some(2000.0));
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true));
+        assert_eq!(v.get("nil"), Some(&Value::Null));
+        assert_eq!(v.get("arr").and_then(Value::as_arr).map(<[Value]>::len), Some(3));
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn rejects_trailing_garbage_with_position() {
+        let e = parse("{\"a\": 1}\nxx").unwrap_err();
+        assert_eq!((e.line, e.col), (2, 1), "{e}");
+        assert!(e.message.contains("trailing garbage"));
+        // A second top-level value is garbage too.
+        assert!(parse("1 2").is_err());
+        assert!(parse("{} {}").is_err());
+        // Whitespace alone is fine.
+        assert_eq!(parse(" 1 \n").unwrap(), Value::Int(1));
+    }
+
+    #[test]
+    fn positions_point_at_the_offense() {
+        // Line 2 is `  "a": @` — the `@` sits at column 8.
+        let e = parse("{\n  \"a\": @\n}").unwrap_err();
+        assert_eq!((e.line, e.col), (2, 8), "{e}");
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let v = parse(r#""a\"b\\c\ndA😀""#).unwrap();
+        assert_eq!(v.as_str(), Some("a\"b\\c\ndA😀"));
+        assert!(parse(r#""\q""#).is_err());
+        assert!(parse(r#""\uD800""#).is_err(), "lone surrogate");
+        assert!(parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn numbers_keep_integer_precision() {
+        assert_eq!(parse("9007199254740993").unwrap(), Value::Int(9_007_199_254_740_993));
+        assert_eq!(parse("1.0").unwrap(), Value::Float(1.0));
+        assert!(parse("1e").is_err());
+    }
+
+    #[test]
+    fn depth_limit_guards_adversarial_bodies() {
+        let deep = "[".repeat(100) + &"]".repeat(100);
+        assert!(parse(&deep).unwrap_err().message.contains("nesting"));
+    }
+
+    #[test]
+    fn escape_matches_parse() {
+        let s = "a\"b\\c\nd\te\u{1}";
+        let rendered = format!("\"{}\"", escape(s));
+        assert_eq!(parse(&rendered).unwrap().as_str(), Some(s));
+    }
+}

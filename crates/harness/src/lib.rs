@@ -3,11 +3,16 @@
 //! One run is a [`RunSpec`] — workload, input scale, predictor, BTB,
 //! [`MicroTweaks`], optional [`AsbrSpec`] customization — executed into a
 //! [`RunOutcome`]. Sweeps fan specs over axes with [`RunMatrix`] and run
-//! them on an [`Executor`]: a work-stealing thread pool with
-//! deterministic result ordering, shared-prefix memoization per
-//! `(workload, hoist, samples)`, in-batch dedup, and a content-addressed
-//! on-disk [`ResultCache`] under `results/cache/` (see [`CacheMode`] for
-//! the `--no-cache` / `--refresh` escape hatches). [`SweepBench`] records
+//! them on an [`Executor`]: a builder for a long-lived `Send + Sync`
+//! worker pool ([`SharedExecutor`]) with `&self` submission, typed
+//! [`RunHandle`]s, in-flight request dedup, bounded-queue backpressure,
+//! deterministic batch ordering, shared-prefix memoization per
+//! `(workload, hoist, samples)`, and a content-addressed on-disk
+//! [`ResultCache`] under `results/cache/` (see [`CacheMode`] for the
+//! `--no-cache` / `--refresh` escape hatches). Failures surface as
+//! [`HarnessError`]. [`serve`] exposes the pool over HTTP/1.1 for
+//! `asbr_tool serve`, and [`loadgen`] replays mixed request workloads
+//! against it. [`SweepBench`] records
 //! per-run wall-clock and simulated cycles into `BENCH_sweep.json`, and
 //! [`ThroughputSpec`] measures the simulator hot loop itself — simulated
 //! cycles and instructions per host second, best-of-N — into
@@ -26,17 +31,26 @@
 
 pub mod bench;
 pub mod cache;
+pub mod error;
 pub mod executor;
 pub mod figures;
 pub mod hash;
+pub mod json;
+pub mod loadgen;
 pub mod matrix;
+pub mod serve;
+pub mod shared;
 pub mod spec;
 pub mod throughput;
 pub mod wcet;
 
 pub use bench::{BenchEntry, SweepBench, BENCH_SCHEMA};
 pub use cache::{ResultCache, CACHE_FORMAT};
+pub use error::HarnessError;
 pub use executor::{CacheMode, Executor};
+pub use loadgen::{LoadgenConfig, LoadgenReport, SERVE_BENCH_SCHEMA};
+pub use serve::{Server, ServerConfig};
+pub use shared::{ExecutorStats, RunHandle, SharedExecutor};
 pub use figures::{baseline_predictors, BENCH_SAMPLES};
 pub use matrix::RunMatrix;
 pub use spec::{

@@ -1,0 +1,425 @@
+//! The `asbr-serve` load generator behind `asbr_tool loadgen`.
+//!
+//! Replays a mixed request workload against a running [`crate::serve`]
+//! server from many concurrent client threads and measures it end to
+//! end: per-request latency percentiles, sustained runs per second, and
+//! the cache hit rate observed by clients. The mix is deterministic and
+//! covers the three request populations a service actually sees:
+//!
+//! 1. **Cold sweeps** — distinct specs (varying sample counts) that miss
+//!    every cache layer and force simulations;
+//! 2. **hot-cache repeats** — the same specs again plus a hammered fixed
+//!    spec, which must come back `"cached": true` (disk cache or
+//!    in-flight dedup);
+//! 3. **malformed specs** — bodies that must answer `400` without
+//!    disturbing the executor.
+//!
+//! The report lands in `results/BENCH_serve.json` (schema
+//! [`SERVE_BENCH_SCHEMA`]); CI's serve-smoke job asserts nonzero warm
+//! hits and a sane p99 from it. The client is the same dependency-free
+//! `std::net` HTTP/1.1 the server speaks.
+
+use std::fs;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use crate::serve::spec_to_json;
+use crate::spec::RunSpec;
+use asbr_bpred::PredictorKind;
+use asbr_workloads::Workload;
+
+/// Schema tag of `BENCH_serve.json`.
+pub const SERVE_BENCH_SCHEMA: &str = "asbr-serve-bench v1";
+
+/// Load-generator configuration. The total request count is
+/// `cold + cold + hot + malformed` (the cold population is replayed once
+/// to form the warm phase).
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Server address (`host:port`).
+    pub addr: String,
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// Distinct cold specs (each also replayed once in the warm phase).
+    pub cold: usize,
+    /// Hot repeats of one fixed spec in the warm phase.
+    pub hot: usize,
+    /// Malformed request bodies (expect `400`).
+    pub malformed: usize,
+    /// Base input size for the generated specs.
+    pub samples: usize,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> LoadgenConfig {
+        LoadgenConfig {
+            addr: "127.0.0.1:7781".to_owned(),
+            clients: 4,
+            cold: 32,
+            hot: 200,
+            malformed: 20,
+            samples: 60,
+        }
+    }
+}
+
+/// What one request population is allowed to answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Expect {
+    Outcome,
+    BadRequest,
+}
+
+/// Aggregated measurements of one loadgen session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadgenReport {
+    /// Requests issued.
+    pub requests: usize,
+    /// `200` responses.
+    pub ok: usize,
+    /// `400` responses (the malformed population).
+    pub bad_request: usize,
+    /// `503` responses (backpressure refusals).
+    pub overloaded: usize,
+    /// Transport failures or unexpected statuses.
+    pub failed: usize,
+    /// `200` responses marked `"cached": true`, across all phases.
+    pub cached: usize,
+    /// `200` responses in the warm phase, and how many were cached.
+    pub warm_ok: usize,
+    /// Cached responses within the warm phase — the number CI asserts
+    /// to be nonzero.
+    pub warm_cached: usize,
+    /// Wall-clock seconds for the whole session.
+    pub wall_secs: f64,
+    /// Median `200` latency in milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile `200` latency in milliseconds.
+    pub p99_ms: f64,
+    /// Raw `GET /stats` body snapshot taken after the run (a JSON
+    /// object, embedded verbatim in the report).
+    pub server_stats: String,
+}
+
+impl LoadgenReport {
+    /// Completed `200` responses per wall-clock second.
+    #[must_use]
+    pub fn runs_per_sec(&self) -> f64 {
+        if self.wall_secs > 0.0 { self.ok as f64 / self.wall_secs } else { 0.0 }
+    }
+
+    /// Client-observed cache hit rate over all `200` responses.
+    #[must_use]
+    pub fn cache_hit_rate(&self) -> f64 {
+        if self.ok > 0 { self.cached as f64 / self.ok as f64 } else { 0.0 }
+    }
+
+    /// Cache hit rate within the warm phase only.
+    #[must_use]
+    pub fn warm_hit_rate(&self) -> f64 {
+        if self.warm_ok > 0 { self.warm_cached as f64 / self.warm_ok as f64 } else { 0.0 }
+    }
+
+    /// Renders the `BENCH_serve.json` document.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let server = if self.server_stats.trim_start().starts_with('{') {
+            self.server_stats.trim().to_owned()
+        } else {
+            "null".to_owned()
+        };
+        format!(
+            "{{\n  \"schema\": \"{SERVE_BENCH_SCHEMA}\",\n  \"requests\": {},\n  \"ok\": {},\n  \
+             \"bad_request\": {},\n  \"overloaded\": {},\n  \"failed\": {},\n  \
+             \"wall_secs\": {:.3},\n  \"runs_per_sec\": {:.3},\n  \"p50_ms\": {:.3},\n  \
+             \"p99_ms\": {:.3},\n  \"cache_hit_rate\": {:.4},\n  \"warm_hit_rate\": {:.4},\n  \
+             \"server\": {server}\n}}\n",
+            self.requests,
+            self.ok,
+            self.bad_request,
+            self.overloaded,
+            self.failed,
+            self.wall_secs,
+            self.runs_per_sec(),
+            self.p50_ms,
+            self.p99_ms,
+            self.cache_hit_rate(),
+            self.warm_hit_rate(),
+        )
+    }
+
+    /// Writes the report to `path`, creating parent directories.
+    ///
+    /// # Errors
+    ///
+    /// Any filesystem error.
+    pub fn write(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let path = path.as_ref();
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                fs::create_dir_all(dir)?;
+            }
+        }
+        fs::write(path, self.to_json())
+    }
+}
+
+/// One minimal HTTP/1.1 exchange over a fresh connection; returns
+/// `(status, body)`.
+///
+/// # Errors
+///
+/// Any transport error, or a response the reader cannot frame.
+pub fn http_request(addr: &str, method: &str, path: &str, body: &str) -> io::Result<(u16, String)> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(120)))?;
+    let mut writer = stream.try_clone()?;
+    write!(
+        writer,
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\
+         Content-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )?;
+    writer.flush()?;
+
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let status: u16 = line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, format!("bad status line {line:?}")))?;
+    let mut content_length: Option<usize> = None;
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 || line.trim().is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().ok();
+            }
+        }
+    }
+    let mut body = Vec::new();
+    match content_length {
+        Some(n) => {
+            body.resize(n, 0);
+            reader.read_exact(&mut body)?;
+        }
+        None => {
+            reader.read_to_end(&mut body)?;
+        }
+    }
+    String::from_utf8(body)
+        .map(|text| (status, text))
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "response body is not UTF-8"))
+}
+
+/// A generated request: the body to POST and what it may answer.
+#[derive(Debug, Clone)]
+struct PlannedRequest {
+    body: String,
+    expect: Expect,
+    warm: bool,
+}
+
+fn plan(config: &LoadgenConfig) -> Vec<PlannedRequest> {
+    let base = config.samples.max(2);
+    let workloads = Workload::ALL;
+    let cold_spec = |i: usize| {
+        // Distinct sample counts defeat every cache layer: each cold
+        // request is a fresh simulation.
+        let workload = workloads[i % workloads.len()];
+        let mut spec = RunSpec::baseline(workload, PredictorKind::NotTaken, base + i);
+        if i.is_multiple_of(3) {
+            spec = RunSpec::asbr(workload, PredictorKind::NotTaken, base + i);
+        }
+        spec
+    };
+    let hot_spec = RunSpec::baseline(Workload::AdpcmEncode, PredictorKind::NotTaken, base);
+
+    let mut requests = Vec::new();
+    for i in 0..config.cold {
+        requests.push(PlannedRequest {
+            body: spec_to_json(&cold_spec(i)),
+            expect: Expect::Outcome,
+            warm: false,
+        });
+    }
+    // Warm phase: the same cold population again, plus the hammered hot
+    // spec — every one of these can be served without a new simulation.
+    for i in 0..config.cold {
+        requests.push(PlannedRequest {
+            body: spec_to_json(&cold_spec(i)),
+            expect: Expect::Outcome,
+            warm: true,
+        });
+    }
+    for _ in 0..config.hot {
+        requests.push(PlannedRequest {
+            body: spec_to_json(&hot_spec),
+            expect: Expect::Outcome,
+            warm: true,
+        });
+    }
+    for i in 0..config.malformed {
+        let body = match i % 4 {
+            0 => "{\"workload\": \"adpcm_enc\"".to_owned(), // truncated
+            1 => "{\"workload\": \"adpcm_enc\", \"samples\": 10} trailing".to_owned(),
+            2 => "{\"workload\": \"mp3_dec\", \"samples\": 10}".to_owned(),
+            _ => "{\"workload\": \"adpcm_enc\", \"samples\": 10, \"smaples\": 1}".to_owned(),
+        };
+        requests.push(PlannedRequest { body, expect: Expect::BadRequest, warm: false });
+    }
+    requests
+}
+
+/// Runs the session: the cold phase first (so the warm phase has a
+/// populated cache), then warm + malformed interleaved across
+/// `config.clients` threads.
+///
+/// # Errors
+///
+/// A transport-level [`io::Error`] if the server cannot be reached at
+/// all (individual request failures are counted, not fatal).
+pub fn run(config: &LoadgenConfig) -> io::Result<LoadgenReport> {
+    // Fail fast (and loudly) if there is no server at the address.
+    let (status, _) = http_request(&config.addr, "GET", "/healthz", "")?;
+    if status != 200 {
+        return Err(io::Error::other(format!("healthz answered {status}")));
+    }
+
+    let requests = plan(config);
+    let split = config.cold; // cold phase: [0, split)
+    let started = Instant::now();
+    let cold_tally = drive(&config.addr, &requests[..split], config.clients);
+    let warm_tally = drive(&config.addr, &requests[split..], config.clients);
+    let wall_secs = started.elapsed().as_secs_f64();
+
+    let mut latencies = cold_tally.latencies;
+    latencies.extend(&warm_tally.latencies);
+    latencies.sort_unstable();
+    let pct = |p: f64| -> f64 {
+        if latencies.is_empty() {
+            return 0.0;
+        }
+        let idx = ((latencies.len() - 1) as f64 * p).round() as usize;
+        latencies[idx] as f64 / 1.0e6
+    };
+
+    let (status, server_stats) = http_request(&config.addr, "GET", "/stats", "")?;
+    let server_stats = if status == 200 { server_stats } else { "null".to_owned() };
+
+    Ok(LoadgenReport {
+        requests: requests.len(),
+        ok: cold_tally.ok + warm_tally.ok,
+        bad_request: cold_tally.bad_request + warm_tally.bad_request,
+        overloaded: cold_tally.overloaded + warm_tally.overloaded,
+        failed: cold_tally.failed + warm_tally.failed,
+        cached: cold_tally.cached + warm_tally.cached,
+        warm_ok: warm_tally.warm_ok,
+        warm_cached: warm_tally.warm_cached,
+        wall_secs,
+        p50_ms: pct(0.50),
+        p99_ms: pct(0.99),
+        server_stats,
+    })
+}
+
+#[derive(Debug, Default)]
+struct Tally {
+    ok: usize,
+    bad_request: usize,
+    overloaded: usize,
+    failed: usize,
+    cached: usize,
+    warm_ok: usize,
+    warm_cached: usize,
+    latencies: Vec<u64>,
+}
+
+fn drive(addr: &str, requests: &[PlannedRequest], clients: usize) -> Tally {
+    let next = AtomicUsize::new(0);
+    let tally = Mutex::new(Tally::default());
+    thread::scope(|scope| {
+        for _ in 0..clients.max(1) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(req) = requests.get(i) else { break };
+                let sent = Instant::now();
+                let result = http_request(addr, "POST", "/run", &req.body);
+                let nanos = u64::try_from(sent.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                let mut t = tally.lock().expect("tally lock never poisoned");
+                match result {
+                    Ok((200, body)) if req.expect == Expect::Outcome => {
+                        t.ok += 1;
+                        t.latencies.push(nanos);
+                        let cached = body.contains("\"cached\": true");
+                        if cached {
+                            t.cached += 1;
+                        }
+                        if req.warm {
+                            t.warm_ok += 1;
+                            if cached {
+                                t.warm_cached += 1;
+                            }
+                        }
+                    }
+                    Ok((400, _)) if req.expect == Expect::BadRequest => t.bad_request += 1,
+                    Ok((503, _)) => t.overloaded += 1,
+                    Ok(_) | Err(_) => t.failed += 1,
+                }
+            });
+        }
+    });
+    tally.into_inner().expect("tally lock never poisoned")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_covers_all_three_populations() {
+        let config = LoadgenConfig { cold: 8, hot: 5, malformed: 4, ..LoadgenConfig::default() };
+        let requests = plan(&config);
+        assert_eq!(requests.len(), 8 + 8 + 5 + 4);
+        assert!(requests[..8].iter().all(|r| !r.warm && r.expect == Expect::Outcome));
+        assert!(requests[8..21].iter().all(|r| r.warm));
+        assert!(requests[21..].iter().all(|r| r.expect == Expect::BadRequest));
+        // The warm replay reuses the cold bodies verbatim.
+        assert_eq!(requests[0].body, requests[8].body);
+    }
+
+    #[test]
+    fn report_rates_and_json_shape() {
+        let report = LoadgenReport {
+            requests: 10,
+            ok: 8,
+            bad_request: 2,
+            overloaded: 0,
+            failed: 0,
+            cached: 4,
+            warm_ok: 4,
+            warm_cached: 3,
+            wall_secs: 2.0,
+            p50_ms: 1.5,
+            p99_ms: 9.0,
+            server_stats: "{\"submitted\": 8}".to_owned(),
+        };
+        assert!((report.cache_hit_rate() - 0.5).abs() < 1e-9);
+        assert!((report.warm_hit_rate() - 0.75).abs() < 1e-9);
+        assert!((report.runs_per_sec() - 4.0).abs() < 1e-9);
+        let json = report.to_json();
+        let v = crate::json::parse(&json).unwrap();
+        assert_eq!(v.get("schema").and_then(crate::json::Value::as_str), Some(SERVE_BENCH_SCHEMA));
+        assert_eq!(v.get("server").and_then(|s| s.get("submitted")).and_then(crate::json::Value::as_u64), Some(8));
+    }
+}

@@ -15,9 +15,9 @@
 //! `docs/harness.md`.
 
 use asbr_bpred::PredictorKind;
-use asbr_sim::SimError;
 use asbr_workloads::Workload;
 
+use crate::error::HarnessError;
 use crate::executor::Executor;
 use crate::spec::{AsbrSpec, MicroTweaks, RunOutcome, RunSpec, AUX_BTB, BASELINE_BTB};
 
@@ -180,9 +180,9 @@ impl RunMatrix {
     ///
     /// # Errors
     ///
-    /// Propagates the first [`SimError`] of any spec (by expansion
+    /// Propagates the first [`HarnessError`] of any spec (by expansion
     /// order).
-    pub fn run(&self, executor: &Executor) -> Result<Vec<RunOutcome>, SimError> {
+    pub fn run(&self, executor: &Executor) -> Result<Vec<RunOutcome>, HarnessError> {
         executor.run(&self.specs())
     }
 }

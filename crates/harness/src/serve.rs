@@ -1,0 +1,872 @@
+//! `asbr-serve`: simulation-as-a-service over HTTP/1.1 on `std::net`.
+//!
+//! [`Server`] binds a TCP listener and serves the [`SharedExecutor`]
+//! submission API to any number of concurrent clients — no web
+//! framework, no serde; the request/response JSON is parsed and rendered
+//! by [`crate::json`], in keeping with the harness's dependency-free
+//! policy. The endpoints:
+//!
+//! | Method + path   | Body                    | Response                       |
+//! |-----------------|-------------------------|--------------------------------|
+//! | `POST /run`     | one spec (see below)    | one outcome object             |
+//! | `POST /sweep`   | a matrix fan-out        | `{"results": [outcome, ...]}`  |
+//! | `GET /healthz`  | —                       | `{"ok": true, ...}`            |
+//! | `GET /stats`    | —                       | executor counters + rates      |
+//!
+//! A run request names a [`RunSpec`] in JSON:
+//!
+//! ```json
+//! {"workload": "adpcm_enc", "samples": 400, "predictor": "bimodal",
+//!  "asbr": {"publish": "mem", "bit_entries": 16}, "static_bound": true}
+//! ```
+//!
+//! Every client shares the server's executor, so all the work-avoidance
+//! layers apply across clients: identical in-flight requests coalesce
+//! onto one simulation (request dedup), finished runs land in the
+//! content-addressed on-disk cache, and the shared prefix (program +
+//! input + profile) is memoized per `(workload, hoist, samples)`. When
+//! the bounded admission queue is full, `POST /run` answers
+//! `503 Service Unavailable` with a `Retry-After` header — the HTTP
+//! rendering of [`HarnessError::Overloaded`]. Malformed or semantically
+//! invalid specs answer `400` with the positioned parse error.
+//!
+//! See `docs/serving.md` for the wire format in full and
+//! `asbr_tool serve` / `asbr_tool loadgen` for the CLI entry points.
+
+use std::io::{self, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::num::NonZeroU32;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use asbr_bpred::PredictorKind;
+use asbr_sim::{CycleBucket, PublishPoint};
+use asbr_workloads::Workload;
+
+use crate::error::HarnessError;
+use crate::executor::{CacheMode, Executor};
+use crate::json::{self, Value};
+use crate::shared::{ExecutorStats, SharedExecutor};
+use crate::spec::{AsbrSpec, MicroTweaks, RunOutcome, RunSpec, AUX_BTB, BASELINE_BTB};
+use crate::wcet;
+
+/// Schema tag in `/healthz` and error bodies.
+pub const SERVE_SCHEMA: &str = "asbr-serve v1";
+
+/// Maximum accepted request body, in bytes (a spec is a few hundred
+/// bytes; a sweep a few KB — anything larger is a client bug).
+const MAX_BODY: usize = 1 << 20;
+
+// ---------------------------------------------------------------------------
+// Wire codec: RunSpec / sweep requests in, RunOutcome out.
+// ---------------------------------------------------------------------------
+
+/// A decoded `POST /run` body: the spec plus request-level options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunRequest {
+    /// The run to execute.
+    pub spec: RunSpec,
+    /// Attach the static WCET bound to the outcome (`"static_bound":
+    /// true`).
+    pub static_bound: bool,
+}
+
+fn bad(msg: impl Into<String>) -> HarnessError {
+    HarnessError::Spec(msg.into())
+}
+
+fn normalize(name: &str) -> String {
+    name.chars().filter(char::is_ascii_alphanumeric).collect::<String>().to_ascii_lowercase()
+}
+
+/// Resolves a workload by paper name (`"ADPCM Encode"`), slug
+/// (`"adpcm_enc"`), or any punctuation/case variant of either.
+///
+/// # Errors
+///
+/// [`HarnessError::Spec`] naming the unknown workload.
+pub fn workload_from_str(name: &str) -> Result<Workload, HarnessError> {
+    let want = normalize(name);
+    Workload::ALL
+        .into_iter()
+        .find(|w| normalize(w.name()) == want || normalize(w.slug()) == want)
+        .ok_or_else(|| bad(format!("unknown workload `{name}`")))
+}
+
+fn predictor_from_value(v: &Value) -> Result<PredictorKind, HarnessError> {
+    if let Some(name) = v.as_str() {
+        return match normalize(name).as_str() {
+            "nottaken" => Ok(PredictorKind::NotTaken),
+            "taken" => Ok(PredictorKind::Taken),
+            "bimodal" => Ok(PredictorKind::Bimodal { entries: 2048 }),
+            "gshare" => Ok(PredictorKind::Gshare { hist_bits: 11, entries: 2048 }),
+            "tournament" => Ok(PredictorKind::Tournament { hist_bits: 11, entries: 2048 }),
+            _ => Err(bad(format!("unknown predictor `{name}`"))),
+        };
+    }
+    let Value::Obj(fields) = v else {
+        return Err(bad("`predictor` must be a name or an object"));
+    };
+    let kind = v
+        .get("kind")
+        .and_then(Value::as_str)
+        .ok_or_else(|| bad("predictor object needs a string `kind`"))?;
+    let entries = opt_usize(v, "entries")?;
+    let hist_bits = opt_u64(v, "hist_bits")?.map(|b| u32::try_from(b).unwrap_or(u32::MAX));
+    for (key, _) in fields {
+        if !matches!(
+            key.as_str(),
+            "kind" | "entries" | "hist_bits" | "bht_entries" | "pht_entries"
+        ) {
+            return Err(bad(format!("unknown predictor field `{key}`")));
+        }
+    }
+    Ok(match normalize(kind).as_str() {
+        "nottaken" => PredictorKind::NotTaken,
+        "taken" => PredictorKind::Taken,
+        "bimodal" => PredictorKind::Bimodal { entries: entries.unwrap_or(2048) },
+        "gshare" => PredictorKind::Gshare {
+            hist_bits: hist_bits.unwrap_or(11),
+            entries: entries.unwrap_or(2048),
+        },
+        "tournament" => PredictorKind::Tournament {
+            hist_bits: hist_bits.unwrap_or(11),
+            entries: entries.unwrap_or(2048),
+        },
+        "local" => PredictorKind::Local {
+            hist_bits: hist_bits.unwrap_or(8),
+            bht_entries: opt_usize(v, "bht_entries")?.unwrap_or(512),
+            pht_entries: opt_usize(v, "pht_entries")?.unwrap_or(2048),
+        },
+        other => return Err(bad(format!("unknown predictor kind `{other}`"))),
+    })
+}
+
+fn opt_u64(obj: &Value, key: &str) -> Result<Option<u64>, HarnessError> {
+    match obj.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(v) => {
+            v.as_u64().map(Some).ok_or_else(|| bad(format!("`{key}` must be a non-negative integer")))
+        }
+    }
+}
+
+fn opt_usize(obj: &Value, key: &str) -> Result<Option<usize>, HarnessError> {
+    Ok(opt_u64(obj, key)?.map(|v| usize::try_from(v).unwrap_or(usize::MAX)))
+}
+
+fn opt_bool(obj: &Value, key: &str) -> Result<Option<bool>, HarnessError> {
+    match obj.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(v) => v.as_bool().map(Some).ok_or_else(|| bad(format!("`{key}` must be a boolean"))),
+    }
+}
+
+fn tweaks_from_value(v: &Value) -> Result<MicroTweaks, HarnessError> {
+    let Value::Obj(fields) = v else {
+        return Err(bad("`tweaks` must be an object"));
+    };
+    for (key, _) in fields {
+        if !matches!(key.as_str(), "mul_latency" | "div_latency" | "ras_entries" | "cache_bytes") {
+            return Err(bad(format!("unknown tweaks field `{key}`")));
+        }
+    }
+    let latency = |key: &str| -> Result<NonZeroU32, HarnessError> {
+        match opt_u64(v, key)? {
+            None => Ok(NonZeroU32::MIN),
+            Some(n) => u32::try_from(n)
+                .ok()
+                .and_then(NonZeroU32::new)
+                .ok_or_else(|| bad(format!("`{key}` must be between 1 and {}", u32::MAX))),
+        }
+    };
+    Ok(MicroTweaks {
+        mul_latency: latency("mul_latency")?,
+        div_latency: latency("div_latency")?,
+        ras_entries: opt_usize(v, "ras_entries")?.unwrap_or(0),
+        cache_bytes: opt_u64(v, "cache_bytes")?
+            .map(|n| u32::try_from(n).map_err(|_| bad("`cache_bytes` too large")))
+            .transpose()?
+            .unwrap_or(0),
+    })
+}
+
+fn asbr_from_value(v: &Value) -> Result<Option<AsbrSpec>, HarnessError> {
+    match v {
+        Value::Null | Value::Bool(false) => Ok(None),
+        Value::Bool(true) => Ok(Some(AsbrSpec::default())),
+        Value::Obj(fields) => {
+            for (key, _) in fields {
+                if !matches!(key.as_str(), "publish" | "bit_entries" | "hoist") {
+                    return Err(bad(format!("unknown asbr field `{key}`")));
+                }
+            }
+            let publish = match v.get("publish").and_then(Value::as_str) {
+                None => PublishPoint::Mem,
+                Some(name) => match normalize(name).as_str() {
+                    "execute" | "ex" => PublishPoint::Execute,
+                    "mem" => PublishPoint::Mem,
+                    "commit" => PublishPoint::Commit,
+                    other => return Err(bad(format!("unknown publish point `{other}`"))),
+                },
+            };
+            Ok(Some(AsbrSpec {
+                publish,
+                bit_entries: opt_usize(v, "bit_entries")?.unwrap_or(16),
+                hoist: opt_bool(v, "hoist")?.unwrap_or(false),
+            }))
+        }
+        _ => Err(bad("`asbr` must be a boolean or an object")),
+    }
+}
+
+/// Decodes one `POST /run` body from an already-parsed JSON value.
+///
+/// # Errors
+///
+/// [`HarnessError::Spec`] on a missing/ill-typed field or an unknown
+/// key (unknown keys are rejected so typos fail loudly instead of
+/// silently running a default).
+pub fn run_request_from_value(v: &Value) -> Result<RunRequest, HarnessError> {
+    let Value::Obj(fields) = v else {
+        return Err(bad("a run request must be a JSON object"));
+    };
+    for (key, _) in fields {
+        if !matches!(
+            key.as_str(),
+            "workload" | "samples" | "predictor" | "btb_entries" | "tweaks" | "asbr"
+                | "static_bound"
+        ) {
+            return Err(bad(format!("unknown spec field `{key}`")));
+        }
+    }
+    let workload = workload_from_str(
+        v.get("workload")
+            .and_then(Value::as_str)
+            .ok_or_else(|| bad("missing required string field `workload`"))?,
+    )?;
+    let samples = opt_usize(v, "samples")?
+        .ok_or_else(|| bad("missing required integer field `samples`"))?;
+    if samples == 0 {
+        return Err(bad("`samples` must be at least 1"));
+    }
+    let predictor = match v.get("predictor") {
+        None | Some(Value::Null) => PredictorKind::NotTaken,
+        Some(p) => predictor_from_value(p)?,
+    };
+    let asbr = match v.get("asbr") {
+        None => None,
+        Some(a) => asbr_from_value(a)?,
+    };
+    let btb_entries = opt_usize(v, "btb_entries")?
+        .unwrap_or(if asbr.is_some() { AUX_BTB } else { BASELINE_BTB });
+    let tweaks = match v.get("tweaks") {
+        None | Some(Value::Null) => MicroTweaks::default(),
+        Some(t) => tweaks_from_value(t)?,
+    };
+    Ok(RunRequest {
+        spec: RunSpec { workload, samples, predictor, btb_entries, tweaks, asbr },
+        static_bound: opt_bool(v, "static_bound")?.unwrap_or(false),
+    })
+}
+
+/// Decodes one `POST /run` body from request text.
+///
+/// # Errors
+///
+/// [`HarnessError::SpecParse`] (positioned) when the text is not valid
+/// JSON — including trailing garbage after the object — and
+/// [`HarnessError::Spec`] when it is valid JSON but not a valid spec.
+pub fn parse_run_request(text: &str) -> Result<RunRequest, HarnessError> {
+    run_request_from_value(&json::parse(text)?)
+}
+
+/// Decodes a `POST /sweep` body into the expanded spec list plus the
+/// request-level `static_bound` flag. The body fans specs over axes:
+///
+/// ```json
+/// {"workloads": ["all"], "samples": [400],
+///  "arms": [{"predictor": "bimodal"},
+///           {"predictor": "bimodal", "asbr": true}]}
+/// ```
+///
+/// Expansion order is `samples → arms → workloads` (workloads
+/// innermost), matching [`crate::RunMatrix`].
+///
+/// # Errors
+///
+/// As [`parse_run_request`], plus [`HarnessError::Spec`] for an empty
+/// expansion.
+pub fn parse_sweep_request(text: &str) -> Result<(Vec<RunSpec>, bool), HarnessError> {
+    let v = json::parse(text)?;
+    let Value::Obj(fields) = &v else {
+        return Err(bad("a sweep request must be a JSON object"));
+    };
+    for (key, _) in fields {
+        if !matches!(key.as_str(), "workloads" | "samples" | "arms" | "static_bound") {
+            return Err(bad(format!("unknown sweep field `{key}`")));
+        }
+    }
+    let workloads: Vec<Workload> = match v.get("workloads") {
+        None | Some(Value::Null) => Workload::ALL.to_vec(),
+        Some(Value::Str(one)) if normalize(one) == "all" => Workload::ALL.to_vec(),
+        Some(Value::Arr(items)) => items
+            .iter()
+            .map(|w| {
+                w.as_str()
+                    .ok_or_else(|| bad("`workloads` entries must be strings"))
+                    .and_then(workload_from_str)
+            })
+            .collect::<Result<_, _>>()?,
+        Some(_) => return Err(bad("`workloads` must be \"all\" or an array of names")),
+    };
+    let samples: Vec<usize> = match v.get("samples") {
+        Some(Value::Int(_)) => vec![opt_usize(&v, "samples")?.expect("int present")],
+        Some(Value::Arr(items)) => items
+            .iter()
+            .map(|s| s.as_u64().map(|n| n as usize).ok_or_else(|| bad("`samples` must be integers")))
+            .collect::<Result<_, _>>()?,
+        _ => return Err(bad("missing `samples` (an integer or array of integers)")),
+    };
+    let Some(Value::Arr(arms)) = v.get("arms") else {
+        return Err(bad("missing `arms` (an array of arm objects)"));
+    };
+
+    let mut specs = Vec::new();
+    for &n in &samples {
+        if n == 0 {
+            return Err(bad("`samples` must be at least 1"));
+        }
+        for arm in arms {
+            let Value::Obj(arm_fields) = arm else {
+                return Err(bad("each arm must be an object"));
+            };
+            for (key, _) in arm_fields {
+                if !matches!(key.as_str(), "predictor" | "btb_entries" | "tweaks" | "asbr") {
+                    return Err(bad(format!("unknown arm field `{key}`")));
+                }
+            }
+            for &workload in &workloads {
+                // An arm is a spec minus workload/samples; reuse the run
+                // decoder by splicing those in.
+                let mut obj = vec![
+                    ("workload".to_owned(), Value::Str(workload.slug().to_owned())),
+                    ("samples".to_owned(), Value::Int(n as i64)),
+                ];
+                obj.extend(arm_fields.iter().cloned());
+                specs.push(run_request_from_value(&Value::Obj(obj))?.spec);
+            }
+        }
+    }
+    if specs.is_empty() {
+        return Err(bad("the sweep expands to no runs"));
+    }
+    Ok((specs, opt_bool(&v, "static_bound")?.unwrap_or(false)))
+}
+
+/// Renders a spec back to its request JSON (round-trips through
+/// [`parse_run_request`]); used by the response envelope and the load
+/// generator.
+#[must_use]
+pub fn spec_to_json(spec: &RunSpec) -> String {
+    let predictor = match spec.predictor {
+        PredictorKind::NotTaken => "{\"kind\": \"not-taken\"}".to_owned(),
+        PredictorKind::Taken => "{\"kind\": \"taken\"}".to_owned(),
+        PredictorKind::Bimodal { entries } => {
+            format!("{{\"kind\": \"bimodal\", \"entries\": {entries}}}")
+        }
+        PredictorKind::Gshare { hist_bits, entries } => {
+            format!("{{\"kind\": \"gshare\", \"hist_bits\": {hist_bits}, \"entries\": {entries}}}")
+        }
+        PredictorKind::Tournament { hist_bits, entries } => format!(
+            "{{\"kind\": \"tournament\", \"hist_bits\": {hist_bits}, \"entries\": {entries}}}"
+        ),
+        PredictorKind::Local { hist_bits, bht_entries, pht_entries } => format!(
+            "{{\"kind\": \"local\", \"hist_bits\": {hist_bits}, \"bht_entries\": {bht_entries}, \
+             \"pht_entries\": {pht_entries}}}"
+        ),
+    };
+    let asbr = spec.asbr.map_or("false".to_owned(), |a| {
+        let publish = match a.publish {
+            PublishPoint::Execute => "execute",
+            PublishPoint::Mem => "mem",
+            PublishPoint::Commit => "commit",
+        };
+        format!(
+            "{{\"publish\": \"{publish}\", \"bit_entries\": {}, \"hoist\": {}}}",
+            a.bit_entries, a.hoist
+        )
+    });
+    format!(
+        "{{\"workload\": \"{}\", \"samples\": {}, \"predictor\": {predictor}, \
+         \"btb_entries\": {}, \"tweaks\": {{\"mul_latency\": {}, \"div_latency\": {}, \
+         \"ras_entries\": {}, \"cache_bytes\": {}}}, \"asbr\": {asbr}}}",
+        spec.workload.slug(),
+        spec.samples,
+        spec.btb_entries,
+        spec.tweaks.mul_latency,
+        spec.tweaks.div_latency,
+        spec.tweaks.ras_entries,
+        spec.tweaks.cache_bytes,
+    )
+}
+
+/// Renders an outcome as the response body. Everything the simulation
+/// determines lives under `"result"` (byte-identical across cache hits,
+/// dedup, and fresh runs of an equal spec); the volatile provenance
+/// fields (`cached`, `wall_nanos`) sit beside it.
+#[must_use]
+pub fn outcome_to_json(spec: &RunSpec, outcome: &RunOutcome) -> String {
+    let stats = &outcome.summary.stats;
+    let attribution = CycleBucket::ALL
+        .iter()
+        .map(|&b| format!("\"{}\": {}", b.name(), stats.attribution.get(b)))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let asbr = outcome.asbr.map_or("null".to_owned(), |a| {
+        format!(
+            "{{\"folds_taken\": {}, \"folds_fallthrough\": {}, \"blocked_invalid\": {}, \
+             \"bank_switches\": {}}}",
+            a.folds_taken, a.folds_fallthrough, a.blocked_invalid, a.bank_switches
+        )
+    });
+    let selected =
+        outcome.selected.iter().map(ToString::to_string).collect::<Vec<_>>().join(", ");
+    let mut output_hash = crate::hash::Sha256::new();
+    for &s in &outcome.summary.output {
+        output_hash.update_u64(s as u64);
+    }
+    let result = format!(
+        "{{\"cycles\": {}, \"retired\": {}, \"halted\": {}, \"folded_branches\": {}, \
+         \"branch_flushes\": {}, \"attribution\": {{{attribution}}}, \"asbr\": {asbr}, \
+         \"selected\": [{selected}], \"output_len\": {}, \"output_sha256\": \"{}\"}}",
+        stats.cycles,
+        stats.retired,
+        outcome.summary.halted,
+        stats.folded_branches,
+        stats.branch_flushes,
+        outcome.summary.output.len(),
+        output_hash.finish_hex(),
+    );
+    let bound = outcome
+        .static_bound
+        .map_or("null".to_owned(), |b| b.to_string());
+    format!(
+        "{{\"schema\": \"{SERVE_SCHEMA}\", \"label\": \"{}\", \"spec\": {}, \
+         \"result\": {result}, \"static_bound\": {bound}, \"cached\": {}, \"wall_nanos\": {}}}",
+        json::escape(&spec.label()),
+        spec_to_json(spec),
+        outcome.cached,
+        outcome.wall_nanos,
+    )
+}
+
+fn error_body(e: &HarnessError) -> String {
+    let kind = match e {
+        HarnessError::Sim(_) => "sim",
+        HarnessError::Unit(_) => "unit",
+        HarnessError::CacheIo { .. } => "cache_io",
+        HarnessError::CacheEntry { .. } => "cache_entry",
+        HarnessError::Spec(_) => "spec",
+        HarnessError::SpecParse { .. } => "spec_parse",
+        HarnessError::Overloaded { .. } => "overloaded",
+        HarnessError::Shutdown => "shutdown",
+    };
+    format!(
+        "{{\"schema\": \"{SERVE_SCHEMA}\", \"error\": \"{}\", \"kind\": \"{kind}\"}}",
+        json::escape(&e.to_string())
+    )
+}
+
+// ---------------------------------------------------------------------------
+// HTTP plumbing.
+// ---------------------------------------------------------------------------
+
+/// Server configuration: the listen address plus the executor knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address; port `0` picks a free port (handy in tests).
+    pub addr: String,
+    /// Executor worker threads (`0` → one per core).
+    pub threads: usize,
+    /// Admission-queue capacity (`0` → unbounded; bounded queues answer
+    /// `503` when full).
+    pub queue: usize,
+    /// Result-cache mode shared by every client.
+    pub cache: CacheMode,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            threads: 0,
+            queue: 0,
+            cache: CacheMode::Disabled,
+        }
+    }
+}
+
+struct ServerShared {
+    executor: SharedExecutor,
+    stopping: AtomicBool,
+}
+
+/// A running `asbr-serve` instance. Dropping (or [`Server::stop`]) shuts
+/// the listener and the executor down.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<ServerShared>,
+    acceptor: Option<thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server").field("addr", &self.addr).finish_non_exhaustive()
+    }
+}
+
+impl Server {
+    /// Binds the listener and starts serving on background threads
+    /// (one acceptor, one thread per live connection).
+    ///
+    /// # Errors
+    ///
+    /// Any [`io::Error`] from binding the address.
+    pub fn start(config: &ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(config.addr.as_str())?;
+        let addr = listener.local_addr()?;
+        let executor =
+            Executor::new().threads(config.threads).queue(config.queue).cache(config.cache.clone()).shared();
+        let shared = Arc::new(ServerShared { executor, stopping: AtomicBool::new(false) });
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if shared.stopping.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let shared = Arc::clone(&shared);
+                    thread::spawn(move || {
+                        let _ = serve_connection(stream, &shared);
+                    });
+                }
+            })
+        };
+        Ok(Server { addr, shared, acceptor: Some(acceptor) })
+    }
+
+    /// The bound address (with the actual port when `addr` asked for 0).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Snapshots the underlying executor's counters.
+    #[must_use]
+    pub fn stats(&self) -> ExecutorStats {
+        self.shared.executor.stats()
+    }
+
+    /// Stops accepting connections and shuts the executor down (queued
+    /// work drains first).
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.shared.stopping.store(true, Ordering::SeqCst);
+        // Poke the blocking accept() so the acceptor observes the flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+struct Request {
+    method: String,
+    path: String,
+    keep_alive: bool,
+    body: String,
+}
+
+/// Reads one HTTP/1.1 request; `Ok(None)` on clean EOF between
+/// requests (client closed a keep-alive connection).
+fn read_request(reader: &mut BufReader<TcpStream>) -> io::Result<Option<Request>> {
+    let mut line = String::new();
+    if read_header_line(reader, &mut line)? == 0 {
+        return Ok(None);
+    }
+    let mut parts = line.split_whitespace();
+    let method = parts.next().unwrap_or_default().to_owned();
+    let path = parts.next().unwrap_or_default().to_owned();
+    let version = parts.next().unwrap_or_default().to_owned();
+    let mut keep_alive = version != "HTTP/1.0";
+    let mut content_length = 0usize;
+    loop {
+        line.clear();
+        if read_header_line(reader, &mut line)? == 0 || line.is_empty() {
+            break;
+        }
+        let (name, value) = line.split_once(':').unwrap_or((line.as_str(), ""));
+        let value = value.trim();
+        match name.to_ascii_lowercase().as_str() {
+            "content-length" => {
+                content_length = value.parse().map_err(|_| {
+                    io::Error::new(io::ErrorKind::InvalidData, "bad Content-Length")
+                })?;
+            }
+            "connection" => keep_alive = !value.eq_ignore_ascii_case("close"),
+            _ => {}
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "request body too large"));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    let body = String::from_utf8(body)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "request body is not UTF-8"))?;
+    Ok(Some(Request { method, path, keep_alive, body }))
+}
+
+/// Reads one CRLF-terminated header line into `buf` (trimmed); returns
+/// the raw byte count read (0 = EOF).
+fn read_header_line(reader: &mut BufReader<TcpStream>, buf: &mut String) -> io::Result<usize> {
+    use std::io::BufRead;
+    buf.clear();
+    let n = reader.read_line(buf)?;
+    while buf.ends_with('\n') || buf.ends_with('\r') {
+        buf.pop();
+    }
+    Ok(n)
+}
+
+fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    extra_headers: &[(&str, String)],
+    body: &str,
+) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n",
+        body.len()
+    );
+    for (name, value) in extra_headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+fn error_response(stream: &mut TcpStream, e: &HarnessError) -> io::Result<()> {
+    let (status, reason): (u16, &str) = match e {
+        HarnessError::Overloaded { .. } => (503, "Service Unavailable"),
+        HarnessError::Shutdown => (503, "Service Unavailable"),
+        HarnessError::Spec(_) | HarnessError::SpecParse { .. } => (400, "Bad Request"),
+        _ => (500, "Internal Server Error"),
+    };
+    let retry: &[(&str, String)] = if status == 503 { &[("Retry-After", "1".to_owned())] } else { &[] };
+    write_response(stream, status, reason, retry, &error_body(e))
+}
+
+fn serve_connection(stream: TcpStream, shared: &ServerShared) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    while let Some(req) = read_request(&mut reader)? {
+        let keep_alive = req.keep_alive && !shared.stopping.load(Ordering::SeqCst);
+        match (req.method.as_str(), req.path.as_str()) {
+            ("GET", "/healthz") => {
+                let body = format!(
+                    "{{\"schema\": \"{SERVE_SCHEMA}\", \"ok\": true, \"workers\": {}, \
+                     \"queue_capacity\": {}}}",
+                    shared.executor.workers(),
+                    if shared.executor.capacity() == usize::MAX {
+                        "null".to_owned()
+                    } else {
+                        shared.executor.capacity().to_string()
+                    },
+                );
+                write_response(&mut writer, 200, "OK", &[], &body)?;
+            }
+            ("GET", "/stats") => {
+                write_response(&mut writer, 200, "OK", &[], &stats_body(&shared.executor.stats()))?;
+            }
+            ("POST", "/run") => match handle_run(shared, &req.body) {
+                Ok(body) => write_response(&mut writer, 200, "OK", &[], &body)?,
+                Err(e) => error_response(&mut writer, &e)?,
+            },
+            ("POST", "/sweep") => match handle_sweep(shared, &req.body) {
+                Ok(body) => write_response(&mut writer, 200, "OK", &[], &body)?,
+                Err(e) => error_response(&mut writer, &e)?,
+            },
+            (_, "/healthz" | "/stats" | "/run" | "/sweep") => {
+                // Known endpoint, wrong method.
+                let body = format!(
+                    "{{\"schema\": \"{SERVE_SCHEMA}\", \"error\": \"method not allowed\", \
+                     \"kind\": \"method\"}}"
+                );
+                write_response(&mut writer, 405, "Method Not Allowed", &[], &body)?;
+            }
+            ("GET" | "POST", _) => {
+                let body = format!(
+                    "{{\"schema\": \"{SERVE_SCHEMA}\", \"error\": \"no such endpoint\", \
+                     \"kind\": \"not_found\"}}"
+                );
+                write_response(&mut writer, 404, "Not Found", &[], &body)?;
+            }
+            _ => {
+                let body = format!(
+                    "{{\"schema\": \"{SERVE_SCHEMA}\", \"error\": \"method not allowed\", \
+                     \"kind\": \"method\"}}"
+                );
+                write_response(&mut writer, 405, "Method Not Allowed", &[], &body)?;
+            }
+        }
+        if !keep_alive {
+            break;
+        }
+    }
+    Ok(())
+}
+
+fn stats_body(stats: &ExecutorStats) -> String {
+    format!(
+        "{{\"schema\": \"{SERVE_SCHEMA}\", \"submitted\": {}, \"completed\": {}, \
+         \"dedup_hits\": {}, \"cache_hits\": {}, \"computed\": {}, \"errors\": {}, \
+         \"queue_depth\": {}, \"inflight\": {}, \"uptime_secs\": {:.3}, \
+         \"runs_per_sec\": {:.3}, \"cache_hit_rate\": {:.4}}}",
+        stats.submitted,
+        stats.completed,
+        stats.dedup_hits,
+        stats.cache_hits,
+        stats.computed,
+        stats.errors,
+        stats.queue_depth,
+        stats.inflight,
+        stats.uptime_secs,
+        stats.runs_per_sec(),
+        stats.cache_hit_rate(),
+    )
+}
+
+fn handle_run(shared: &ServerShared, body: &str) -> Result<String, HarnessError> {
+    let req = parse_run_request(body)?;
+    let handle = shared.executor.try_submit(req.spec)?;
+    let mut outcome = handle.wait()?;
+    if req.static_bound && outcome.static_bound.is_none() {
+        // Attached after the wait so the WCET pass never alters the
+        // dedup identity or blocks a worker thread.
+        wcet::attach_bound(&req.spec, &mut outcome)?;
+    }
+    Ok(outcome_to_json(&req.spec, &outcome))
+}
+
+fn handle_sweep(shared: &ServerShared, body: &str) -> Result<String, HarnessError> {
+    let (specs, static_bound) = parse_sweep_request(body)?;
+    // Blocking submission: a sweep is one client request fanning out many
+    // runs; admission backpressure paces it instead of refusing it.
+    let handles = specs
+        .iter()
+        .map(|&spec| shared.executor.submit(spec))
+        .collect::<Result<Vec<_>, _>>()?;
+    let mut results = Vec::with_capacity(specs.len());
+    for (spec, handle) in specs.iter().zip(handles) {
+        let mut outcome = handle.wait()?;
+        if static_bound && outcome.static_bound.is_none() {
+            wcet::attach_bound(spec, &mut outcome)?;
+        }
+        results.push(outcome_to_json(spec, &outcome));
+    }
+    Ok(format!(
+        "{{\"schema\": \"{SERVE_SCHEMA}\", \"count\": {}, \"results\": [{}]}}",
+        results.len(),
+        results.join(", ")
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_request_round_trips_through_spec_json() {
+        let spec = RunSpec::asbr(Workload::G721Decode, PredictorKind::Bimodal { entries: 512 }, 77);
+        let text = format!("{{\"static_bound\": true, {}", &spec_to_json(&spec)[1..]);
+        let req = parse_run_request(&text).unwrap();
+        assert_eq!(req.spec, spec);
+        assert!(req.static_bound);
+    }
+
+    #[test]
+    fn unknown_fields_and_workloads_are_rejected() {
+        let e = parse_run_request(r#"{"workload": "adpcm_enc", "samples": 10, "smaples": 1}"#)
+            .unwrap_err();
+        assert!(matches!(&e, HarnessError::Spec(m) if m.contains("smaples")), "{e}");
+        let e = parse_run_request(r#"{"workload": "mp3", "samples": 10}"#).unwrap_err();
+        assert!(e.to_string().contains("mp3"), "{e}");
+        assert!(parse_run_request(r#"{"workload": "adpcm_enc"}"#).is_err(), "samples required");
+    }
+
+    #[test]
+    fn trailing_garbage_is_a_positioned_parse_error() {
+        let e = parse_run_request("{\"workload\": \"adpcm_enc\", \"samples\": 10} extra")
+            .unwrap_err();
+        match e {
+            HarnessError::SpecParse { line: 1, col, .. } => {
+                assert!(col > 40, "position must land on the trailing text, got column {col}");
+            }
+            other => panic!("expected SpecParse, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn workload_names_and_slugs_resolve() {
+        for w in Workload::ALL {
+            assert_eq!(workload_from_str(w.name()).unwrap(), w);
+            assert_eq!(workload_from_str(w.slug()).unwrap(), w);
+        }
+        assert_eq!(workload_from_str("ADPCM-encode").unwrap(), Workload::AdpcmEncode);
+    }
+
+    #[test]
+    fn sweep_expands_workloads_innermost() {
+        let (specs, _) = parse_sweep_request(
+            r#"{"workloads": "all", "samples": 25,
+                "arms": [{"predictor": "not-taken"}, {"predictor": "not-taken", "asbr": true}]}"#,
+        )
+        .unwrap();
+        assert_eq!(specs.len(), 8);
+        assert!(specs[..4].iter().all(|s| s.asbr.is_none()));
+        assert!(specs[4..].iter().all(|s| s.asbr.is_some()));
+        assert_eq!(specs[0].workload, Workload::AdpcmEncode);
+        assert_eq!(specs[0].btb_entries, BASELINE_BTB);
+        assert_eq!(specs[4].btb_entries, AUX_BTB);
+    }
+
+    #[test]
+    fn outcome_json_parses_and_carries_result_fields() {
+        let spec = RunSpec::baseline(Workload::AdpcmEncode, PredictorKind::NotTaken, 30);
+        let out = spec.execute().unwrap();
+        let v = json::parse(&outcome_to_json(&spec, &out)).unwrap();
+        let result = v.get("result").expect("result object");
+        assert_eq!(result.get("cycles").and_then(Value::as_u64), Some(out.cycles()));
+        assert_eq!(result.get("halted").and_then(Value::as_bool), Some(true));
+        assert!(result.get("attribution").and_then(|a| a.get("useful")).is_some());
+        assert_eq!(v.get("cached").and_then(Value::as_bool), Some(false));
+    }
+}

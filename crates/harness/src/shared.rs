@@ -1,0 +1,559 @@
+//! The long-lived, shareable form of the executor.
+//!
+//! [`SharedExecutor`] is the redesigned core the whole harness now runs
+//! on: a pool of persistent worker threads behind a bounded admission
+//! queue, submitted to through `&self` — so one executor can be shared
+//! by any number of client threads (the HTTP server in [`crate::serve`]
+//! hands one to every connection handler). The batch API
+//! ([`crate::Executor::run`]) is a thin wrapper that submits every spec
+//! and waits for the handles in input order.
+//!
+//! Three properties the redesign pins down:
+//!
+//! * **`Send + Sync` by construction.** Submission takes `&self`; every
+//!   internal cell is a `Mutex`, `Condvar`, or atomic. The static
+//!   assertions in `tests/api_surface.rs` keep it that way.
+//! * **In-flight request dedup.** Submissions are keyed by the same
+//!   content hash the on-disk [`ResultCache`] uses. While a spec is
+//!   queued or running, an identical submission *coalesces* onto the
+//!   same computation instead of enqueueing a second run; its
+//!   [`RunHandle`] reports [`RunHandle::coalesced`] and the outcome
+//!   comes back marked `cached`.
+//! * **Bounded-queue backpressure.** [`SharedExecutor::try_submit`]
+//!   refuses with [`HarnessError::Overloaded`] when the queue is full
+//!   (the server maps this to HTTP 503 + `Retry-After`);
+//!   [`SharedExecutor::submit`] blocks for space instead.
+//!
+//! Work avoidance layering is unchanged from the batch executor: disk
+//! cache first (per [`crate::CacheMode`]), then the shared-prefix memo
+//! (program text, input vector, and profile report per
+//! `(workload, hoist, samples)`), then the run itself.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::Instant;
+
+use asbr_asm::Program;
+use asbr_profile::{profile, ProfileReport};
+use asbr_sim::SimError;
+use asbr_workloads::Workload;
+
+use crate::cache::ResultCache;
+use crate::error::HarnessError;
+use crate::spec::{RunOutcome, RunSpec, PROFILE_PREDICTOR};
+
+/// Distinct `(workload, hoist, samples)` prefixes kept memoized before
+/// the map is reset (guards server memory against unbounded distinct
+/// sample counts).
+const PREFIX_CAP: usize = 128;
+
+/// Shared prefix of all specs on one `(workload, hoist, samples)` key:
+/// the assembled program, the input vector, and (lazily, for ASBR specs)
+/// the profile report.
+pub(crate) struct Prefix {
+    pub(crate) program: Program,
+    pub(crate) input: Vec<i32>,
+    report: Mutex<Option<Arc<ProfileReport>>>,
+}
+
+impl Prefix {
+    pub(crate) fn build(workload: Workload, hoist: bool, samples: usize) -> Prefix {
+        let base = workload.program();
+        let program = if hoist { asbr_flow::schedule::hoist_predicates(&base).0 } else { base };
+        Prefix { program, input: workload.input(samples), report: Mutex::new(None) }
+    }
+
+    pub(crate) fn report(&self) -> Result<Arc<ProfileReport>, SimError> {
+        let mut slot = self.report.lock().expect("profile lock never poisoned");
+        if let Some(r) = &*slot {
+            return Ok(Arc::clone(r));
+        }
+        let r = Arc::new(profile(&self.program, &self.input, &[PROFILE_PREDICTOR])?);
+        *slot = Some(Arc::clone(&r));
+        Ok(r)
+    }
+}
+
+/// One submitted run: its spec, resolved prefix, content key, and the
+/// slot its result lands in.
+struct JobState {
+    spec: RunSpec,
+    key: String,
+    prefix: Arc<Prefix>,
+    slot: Mutex<Option<Result<RunOutcome, HarnessError>>>,
+    done: Condvar,
+}
+
+impl JobState {
+    fn finish(&self, result: Result<RunOutcome, HarnessError>) {
+        *self.slot.lock().expect("job slot lock never poisoned") = Some(result);
+        self.done.notify_all();
+    }
+}
+
+struct Queue {
+    jobs: VecDeque<Arc<JobState>>,
+    shutdown: bool,
+}
+
+/// Monotonic counters of a [`SharedExecutor`]; snapshot them with
+/// [`SharedExecutor::stats`].
+#[derive(Default)]
+struct Counters {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    dedup_hits: AtomicU64,
+    cache_hits: AtomicU64,
+    computed: AtomicU64,
+    errors: AtomicU64,
+}
+
+/// A point-in-time statistics snapshot of a [`SharedExecutor`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub struct ExecutorStats {
+    /// Specs admitted (primaries; coalesced submissions count under
+    /// `dedup_hits` instead).
+    pub submitted: u64,
+    /// Jobs finished (success or error).
+    pub completed: u64,
+    /// Submissions that coalesced onto an identical in-flight job.
+    pub dedup_hits: u64,
+    /// Jobs served from the on-disk result cache.
+    pub cache_hits: u64,
+    /// Jobs that actually simulated.
+    pub computed: u64,
+    /// Jobs that finished with an error.
+    pub errors: u64,
+    /// Jobs currently waiting in the admission queue.
+    pub queue_depth: usize,
+    /// Jobs admitted but not yet finished (queued + running).
+    pub inflight: usize,
+    /// Seconds since the executor was built.
+    pub uptime_secs: f64,
+}
+
+impl ExecutorStats {
+    /// Completed jobs per second of uptime.
+    #[must_use]
+    pub fn runs_per_sec(&self) -> f64 {
+        if self.uptime_secs > 0.0 { self.completed as f64 / self.uptime_secs } else { 0.0 }
+    }
+
+    /// Disk-cache hits as a fraction of completed jobs.
+    #[must_use]
+    pub fn cache_hit_rate(&self) -> f64 {
+        if self.completed > 0 { self.cache_hits as f64 / self.completed as f64 } else { 0.0 }
+    }
+}
+
+struct Inner {
+    queue: Mutex<Queue>,
+    work_ready: Condvar,
+    space_ready: Condvar,
+    capacity: usize,
+    cache: Option<(ResultCache, bool)>,
+    prefixes: Mutex<HashMap<(Workload, bool, usize), Arc<Prefix>>>,
+    inflight: Mutex<HashMap<String, Arc<JobState>>>,
+    stats: Counters,
+    started: Instant,
+}
+
+/// A long-lived executor: persistent workers, `&self` submission,
+/// in-flight dedup, bounded-queue backpressure. Build one with
+/// [`crate::Executor::shared`]; it shuts down (draining queued work) on
+/// drop.
+///
+/// # Examples
+///
+/// ```
+/// use asbr_bpred::PredictorKind;
+/// use asbr_harness::{Executor, RunSpec};
+/// use asbr_workloads::Workload;
+///
+/// let shared = Executor::new().threads(2).shared();
+/// let spec = RunSpec::baseline(Workload::AdpcmEncode, PredictorKind::NotTaken, 50);
+/// let a = shared.submit(spec)?;
+/// let b = shared.submit(spec)?; // identical: coalesces while in flight
+/// let out = a.wait()?;
+/// assert!(out.summary.halted);
+/// # let _ = b;
+/// # Ok::<(), asbr_harness::HarnessError>(())
+/// ```
+pub struct SharedExecutor {
+    inner: Arc<Inner>,
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for SharedExecutor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedExecutor")
+            .field("workers", &self.workers.len())
+            .field("capacity", &self.inner.capacity)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SharedExecutor {
+    pub(crate) fn start(
+        threads: usize,
+        capacity: usize,
+        cache: Option<(ResultCache, bool)>,
+    ) -> SharedExecutor {
+        let inner = Arc::new(Inner {
+            queue: Mutex::new(Queue { jobs: VecDeque::new(), shutdown: false }),
+            work_ready: Condvar::new(),
+            space_ready: Condvar::new(),
+            capacity: capacity.max(1),
+            cache,
+            prefixes: Mutex::new(HashMap::new()),
+            inflight: Mutex::new(HashMap::new()),
+            stats: Counters::default(),
+            started: Instant::now(),
+        });
+        let workers = (0..threads.max(1))
+            .map(|_| {
+                let inner = Arc::clone(&inner);
+                thread::spawn(move || worker_loop(&inner))
+            })
+            .collect();
+        SharedExecutor { inner, workers }
+    }
+
+    /// The admission-queue capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity
+    }
+
+    /// Worker threads serving the queue.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Jobs currently waiting in the admission queue.
+    #[must_use]
+    pub fn queue_depth(&self) -> usize {
+        self.inner.queue.lock().expect("queue lock never poisoned").jobs.len()
+    }
+
+    /// Snapshots the executor's counters.
+    #[must_use]
+    pub fn stats(&self) -> ExecutorStats {
+        let s = &self.inner.stats;
+        ExecutorStats {
+            submitted: s.submitted.load(Ordering::Relaxed),
+            completed: s.completed.load(Ordering::Relaxed),
+            dedup_hits: s.dedup_hits.load(Ordering::Relaxed),
+            cache_hits: s.cache_hits.load(Ordering::Relaxed),
+            computed: s.computed.load(Ordering::Relaxed),
+            errors: s.errors.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth(),
+            inflight: self.inner.inflight.lock().expect("inflight lock never poisoned").len(),
+            uptime_secs: self.inner.started.elapsed().as_secs_f64(),
+        }
+    }
+
+    /// The memoized prefix for a spec's `(workload, hoist, samples)` key,
+    /// building it on first use.
+    fn prefix_for(&self, spec: &RunSpec) -> Arc<Prefix> {
+        let key = (spec.workload, spec.hoist(), spec.samples);
+        let mut map = self.inner.prefixes.lock().expect("prefix lock never poisoned");
+        if map.len() >= PREFIX_CAP && !map.contains_key(&key) {
+            // Unbounded distinct sample counts must not grow server
+            // memory forever; resetting the memo only costs recomputes.
+            map.clear();
+        }
+        Arc::clone(
+            map.entry(key)
+                .or_insert_with(|| Arc::new(Prefix::build(spec.workload, spec.hoist(), spec.samples))),
+        )
+    }
+
+    /// Submits a spec, blocking while the admission queue is full.
+    ///
+    /// # Errors
+    ///
+    /// [`HarnessError::Shutdown`] if the executor is shutting down.
+    pub fn submit(&self, spec: RunSpec) -> Result<RunHandle, HarnessError> {
+        self.admit(spec, true)
+    }
+
+    /// Submits a spec without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`HarnessError::Overloaded`] when the queue is full (the
+    /// backpressure signal), [`HarnessError::Shutdown`] if the executor
+    /// is shutting down.
+    pub fn try_submit(&self, spec: RunSpec) -> Result<RunHandle, HarnessError> {
+        self.admit(spec, false)
+    }
+
+    fn admit(&self, spec: RunSpec, block: bool) -> Result<RunHandle, HarnessError> {
+        let prefix = self.prefix_for(&spec);
+        let key = ResultCache::key(&spec, &prefix.program, &prefix.input);
+
+        // Dedup: while an identical spec is queued or running, join it
+        // instead of enqueueing a second computation. The check and the
+        // insert happen under one lock so concurrent identical
+        // submissions cannot both become primaries.
+        let job = {
+            let mut inflight =
+                self.inner.inflight.lock().expect("inflight lock never poisoned");
+            if let Some(job) = inflight.get(&key) {
+                self.inner.stats.dedup_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(RunHandle { job: Arc::clone(job), coalesced: true });
+            }
+            let job = Arc::new(JobState {
+                spec,
+                key: key.clone(),
+                prefix,
+                slot: Mutex::new(None),
+                done: Condvar::new(),
+            });
+            inflight.insert(key.clone(), Arc::clone(&job));
+            job
+        };
+
+        // Admission: a queue slot, or backpressure.
+        let mut q = self.inner.queue.lock().expect("queue lock never poisoned");
+        loop {
+            if q.shutdown {
+                drop(q);
+                self.abort_admission(&key, &job, HarnessError::Shutdown);
+                return Err(HarnessError::Shutdown);
+            }
+            if q.jobs.len() < self.inner.capacity {
+                break;
+            }
+            if !block {
+                drop(q);
+                let e = HarnessError::Overloaded { capacity: self.inner.capacity };
+                self.abort_admission(&key, &job, e.clone());
+                return Err(e);
+            }
+            q = self.inner.space_ready.wait(q).expect("queue lock never poisoned");
+        }
+        q.jobs.push_back(Arc::clone(&job));
+        drop(q);
+        self.inner.stats.submitted.fetch_add(1, Ordering::Relaxed);
+        self.inner.work_ready.notify_one();
+        Ok(RunHandle { job, coalesced: false })
+    }
+
+    /// Rolls back a failed admission: the job leaves the dedup map and
+    /// any handle that coalesced onto it in the window receives the same
+    /// error instead of waiting forever.
+    fn abort_admission(&self, key: &str, job: &Arc<JobState>, error: HarnessError) {
+        self.inner.inflight.lock().expect("inflight lock never poisoned").remove(key);
+        job.finish(Err(error));
+    }
+
+    /// Requests shutdown and joins the workers, draining queued jobs
+    /// first. Called automatically on drop.
+    pub fn shutdown(&mut self) {
+        {
+            let mut q = self.inner.queue.lock().expect("queue lock never poisoned");
+            q.shutdown = true;
+        }
+        self.inner.work_ready.notify_all();
+        self.inner.space_ready.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for SharedExecutor {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// A typed handle to one submitted run; redeem it with
+/// [`RunHandle::wait`].
+#[derive(Debug)]
+pub struct RunHandle {
+    job: Arc<JobState>,
+    coalesced: bool,
+}
+
+impl std::fmt::Debug for JobState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobState").field("spec", &self.spec).finish_non_exhaustive()
+    }
+}
+
+impl RunHandle {
+    /// The spec this handle tracks.
+    #[must_use]
+    pub fn spec(&self) -> &RunSpec {
+        &self.job.spec
+    }
+
+    /// Whether this submission coalesced onto an identical in-flight
+    /// run (request dedup) instead of scheduling its own computation.
+    #[must_use]
+    pub fn coalesced(&self) -> bool {
+        self.coalesced
+    }
+
+    /// Whether the result is already available ([`RunHandle::wait`]
+    /// would not block).
+    #[must_use]
+    pub fn is_finished(&self) -> bool {
+        self.job.slot.lock().expect("job slot lock never poisoned").is_some()
+    }
+
+    /// Blocks until the run finishes and returns its outcome. A
+    /// coalesced handle's outcome is marked `cached`: it was served
+    /// without a second simulation.
+    ///
+    /// # Errors
+    ///
+    /// The [`HarnessError`] the run produced (shared verbatim by every
+    /// coalesced handle of the same job).
+    pub fn wait(self) -> Result<RunOutcome, HarnessError> {
+        let mut slot = self.job.slot.lock().expect("job slot lock never poisoned");
+        while slot.is_none() {
+            slot = self.job.done.wait(slot).expect("job slot lock never poisoned");
+        }
+        let mut result = slot.as_ref().expect("loop exits only when filled").clone();
+        if self.coalesced {
+            if let Ok(outcome) = &mut result {
+                outcome.cached = true;
+            }
+        }
+        result
+    }
+}
+
+fn worker_loop(inner: &Inner) {
+    loop {
+        let job = {
+            let mut q = inner.queue.lock().expect("queue lock never poisoned");
+            loop {
+                if let Some(job) = q.jobs.pop_front() {
+                    break job;
+                }
+                if q.shutdown {
+                    return;
+                }
+                q = inner.work_ready.wait(q).expect("queue lock never poisoned");
+            }
+        };
+        inner.space_ready.notify_one();
+        let result = run_job(inner, &job);
+        // Leave the dedup map *before* publishing the result: a submitter
+        // that found the job in the map will still see the filled slot;
+        // one that missed it starts a fresh (or disk-cached) run.
+        inner.inflight.lock().expect("inflight lock never poisoned").remove(&job.key);
+        if result.is_err() {
+            inner.stats.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        inner.stats.completed.fetch_add(1, Ordering::Relaxed);
+        job.finish(result);
+    }
+}
+
+fn run_job(inner: &Inner, job: &JobState) -> Result<RunOutcome, HarnessError> {
+    if let Some((store, refresh)) = &inner.cache {
+        if *refresh {
+            store.evict(&job.key);
+        } else if let Some(hit) = store.load(&job.key) {
+            inner.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(hit);
+        }
+    }
+    inner.stats.computed.fetch_add(1, Ordering::Relaxed);
+    let report = match job.spec.asbr {
+        Some(_) => Some(job.prefix.report()?),
+        None => None,
+    };
+    let outcome =
+        job.spec.execute_prepared(&job.prefix.program, &job.prefix.input, report.as_deref())?;
+    if let Some((store, _)) = &inner.cache {
+        // Cache write failure degrades to uncached operation.
+        let _ = store.store(&job.key, &job.spec.label(), &outcome);
+    }
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::Executor;
+    use asbr_bpred::PredictorKind;
+
+    fn spec(samples: usize) -> RunSpec {
+        RunSpec::baseline(Workload::AdpcmEncode, PredictorKind::NotTaken, samples)
+    }
+
+    #[test]
+    fn submit_and_wait_round_trip() {
+        let shared = Executor::new().threads(2).shared();
+        let handle = shared.submit(spec(40)).unwrap();
+        let direct = spec(40).execute().unwrap();
+        let out = handle.wait().unwrap();
+        assert!(out.same_result(&direct));
+        let stats = shared.stats();
+        assert_eq!(stats.submitted, 1);
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.computed, 1);
+    }
+
+    #[test]
+    fn identical_inflight_submissions_coalesce() {
+        // One worker and a first long job keep the queue occupied so the
+        // identical pair is still in flight when the duplicate arrives.
+        let shared = Executor::new().threads(1).shared();
+        let warmup = shared.submit(spec(2000)).unwrap();
+        let first = shared.submit(spec(60)).unwrap();
+        let second = shared.submit(spec(60)).unwrap();
+        assert!(!first.coalesced());
+        assert!(second.coalesced(), "identical queued spec must coalesce");
+        let a = first.wait().unwrap();
+        let b = second.wait().unwrap();
+        assert!(a.same_result(&b));
+        assert!(b.cached, "coalesced outcomes are marked served-without-simulating");
+        assert!(!a.cached);
+        assert_eq!(shared.stats().dedup_hits, 1);
+        let _ = warmup.wait().unwrap();
+    }
+
+    #[test]
+    fn try_submit_applies_backpressure() {
+        let shared = Executor::new().threads(1).queue(1).shared();
+        // Fill the single worker and the single queue slot, then expect
+        // 503-shaped refusals. Distinct sample counts keep the specs from
+        // coalescing instead of queueing.
+        let running = shared.submit(spec(300)).unwrap();
+        let mut handles = vec![running];
+        let mut overloaded = 0;
+        for s in [301, 302, 303, 304, 305] {
+            match shared.try_submit(spec(s)) {
+                Ok(h) => handles.push(h),
+                Err(HarnessError::Overloaded { capacity }) => {
+                    assert_eq!(capacity, 1);
+                    overloaded += 1;
+                }
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert!(overloaded > 0, "a 1-slot queue must refuse some of 5 rapid submissions");
+        for h in handles {
+            let _ = h.wait().unwrap();
+        }
+    }
+
+    #[test]
+    fn shutdown_refuses_new_work() {
+        let mut shared = Executor::new().threads(1).shared();
+        shared.shutdown();
+        assert!(matches!(shared.submit(spec(40)), Err(HarnessError::Shutdown)));
+    }
+}

@@ -16,8 +16,10 @@ use asbr_bpred::PredictorKind;
 use asbr_core::{AsbrConfig, AsbrStats, AsbrUnit};
 use asbr_flow::schedule::hoist_predicates;
 use asbr_profile::{profile, select_branches, ProfileReport, SelectionConfig};
-use asbr_sim::{Pipeline, PipelineConfig, PipelineSummary, PublishPoint, SimError};
+use asbr_sim::{Pipeline, PipelineConfig, PipelineSummary, PublishPoint};
 use asbr_workloads::Workload;
+
+use crate::error::HarnessError;
 
 /// Baseline branch-target-buffer entries (paper Sec. 8).
 pub const BASELINE_BTB: usize = 2048;
@@ -135,7 +137,7 @@ impl Default for AsbrSpec {
 /// let out = spec.execute()?;
 /// assert!(out.summary.halted);
 /// assert!(out.asbr.is_none());
-/// # Ok::<(), asbr_sim::SimError>(())
+/// # Ok::<(), asbr_harness::HarnessError>(())
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct RunSpec {
@@ -235,8 +237,9 @@ impl RunSpec {
     ///
     /// # Errors
     ///
-    /// Propagates any [`SimError`] from profiling or the timed run.
-    pub fn execute(&self) -> Result<RunOutcome, SimError> {
+    /// Returns a [`HarnessError`]: any simulator error from profiling or
+    /// the timed run, or a failed ASBR unit construction.
+    pub fn execute(&self) -> Result<RunOutcome, HarnessError> {
         let program = self.program();
         let input = self.workload.input(self.samples);
         let report = match self.asbr {
@@ -253,17 +256,20 @@ impl RunSpec {
     ///
     /// # Errors
     ///
-    /// Propagates any [`SimError`] from the timed run.
+    /// Returns a [`HarnessError`]: any simulator error from the timed
+    /// run, or [`HarnessError::Unit`] when the selected branches cannot
+    /// build BIT entries (previously a panic).
     ///
     /// # Panics
     ///
-    /// Panics if an ASBR spec is given no profile report.
+    /// Panics if an ASBR spec is given no profile report (an API-contract
+    /// violation by the caller, not a data-dependent failure).
     pub fn execute_prepared(
         &self,
         program: &Program,
         input: &[i32],
         report: Option<&ProfileReport>,
-    ) -> Result<RunOutcome, SimError> {
+    ) -> Result<RunOutcome, HarnessError> {
         let started = Instant::now();
         let cfg = self
             .tweaks
@@ -302,7 +308,7 @@ impl RunSpec {
                     program,
                     &selected,
                 )
-                .expect("selected branches always build BIT entries");
+                .map_err(HarnessError::Unit)?;
                 let mut pipe = Pipeline::with_hooks(cfg, self.predictor.build(), unit);
                 let summary = pipe.execute(program, input.iter().copied())?;
                 let asbr = pipe.into_hooks().stats();

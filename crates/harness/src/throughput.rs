@@ -37,6 +37,8 @@ use std::time::Instant;
 
 use asbr_profile::profile;
 
+use crate::error::HarnessError;
+use crate::json::{self, Value};
 use crate::spec::{RunSpec, PROFILE_PREDICTOR};
 
 /// Schema tag written into the JSON.
@@ -80,15 +82,14 @@ impl ThroughputSpec {
     ///
     /// # Errors
     ///
-    /// Propagates any [`asbr_sim::SimError`] from preparation or a timed
-    /// run.
+    /// Propagates any [`HarnessError`] from preparation or a timed run.
     ///
     /// # Panics
     ///
     /// Panics if the deterministic simulator disagrees with itself: a
     /// repetition returning a different simulated cycle count is a
     /// simulator bug, not measurement noise.
-    pub fn measure(&self) -> Result<ThroughputBench, asbr_sim::SimError> {
+    pub fn measure(&self) -> Result<ThroughputBench, HarnessError> {
         let mut entries = Vec::with_capacity(self.specs.len());
         for spec in &self.specs {
             // Everything data-dependent happens outside the timed region:
@@ -236,45 +237,44 @@ impl ThroughputBench {
     }
 
     /// Extracts the `(label, cycles)` pairs from a rendered
-    /// `BENCH_throughput.json` — the golden-comparison fields. A scanning
-    /// parser, matched to [`ThroughputBench::to_json`]'s own output (the
-    /// harness deliberately carries no JSON dependency); it keys on the
-    /// `"label"`/`"cycles"` members each entry emits.
+    /// `BENCH_throughput.json` — the golden-comparison fields. A real
+    /// parse via [`crate::json`] (still dependency-free): the document
+    /// must be exactly one well-formed JSON value — the previous
+    /// scanning parser silently accepted trailing garbage and
+    /// mid-document truncation — and each entry must carry a string
+    /// `label` and an integer `cycles`.
     ///
     /// # Errors
     ///
-    /// Returns a description of the first malformed entry.
-    pub fn parse_cycles(json: &str) -> Result<Vec<(String, u64)>, String> {
-        let mut out = Vec::new();
-        let mut rest = json;
-        while let Some(at) = rest.find("\"label\":") {
-            rest = &rest[at + "\"label\":".len()..];
-            let open = rest
-                .find('"')
-                .ok_or_else(|| format!("entry {}: unterminated label", out.len()))?;
-            rest = &rest[open + 1..];
-            let close = rest
-                .find('"')
-                .ok_or_else(|| format!("entry {}: unterminated label", out.len()))?;
-            let label = rest[..close].to_owned();
-            rest = &rest[close + 1..];
-            let at = rest
-                .find("\"cycles\":")
-                .ok_or_else(|| format!("entry `{label}`: no cycles field"))?;
-            let digits: String = rest[at + "\"cycles\":".len()..]
-                .trim_start()
-                .chars()
-                .take_while(char::is_ascii_digit)
-                .collect();
-            let cycles = digits
-                .parse::<u64>()
-                .map_err(|_| format!("entry `{label}`: bad cycles value"))?;
-            out.push((label, cycles));
+    /// [`HarnessError::SpecParse`] (with 1-based line/column) when the
+    /// text is not valid JSON, including anything after the closing
+    /// brace; [`HarnessError::Spec`] naming the first malformed entry
+    /// otherwise.
+    pub fn parse_cycles(text: &str) -> Result<Vec<(String, u64)>, HarnessError> {
+        let doc = json::parse(text)?;
+        let entries = doc.get("entries").and_then(Value::as_arr).ok_or_else(|| {
+            HarnessError::Spec("no `entries` array (not a BENCH_throughput.json?)".to_owned())
+        })?;
+        if entries.is_empty() {
+            return Err(HarnessError::Spec("`entries` is empty".to_owned()));
         }
-        if out.is_empty() {
-            return Err("no entries found (not a BENCH_throughput.json?)".to_owned());
-        }
-        Ok(out)
+        entries
+            .iter()
+            .enumerate()
+            .map(|(i, e)| {
+                let label = e
+                    .get("label")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| {
+                        HarnessError::Spec(format!("entry {i}: missing string `label`"))
+                    })?
+                    .to_owned();
+                let cycles = e.get("cycles").and_then(Value::as_u64).ok_or_else(|| {
+                    HarnessError::Spec(format!("entry `{label}`: missing integer `cycles`"))
+                })?;
+                Ok((label, cycles))
+            })
+            .collect()
     }
 
     /// Compares simulated cycle counts against a golden rendering,
@@ -284,9 +284,10 @@ impl ThroughputBench {
     /// # Errors
     ///
     /// Lists every label whose cycles drifted or that is missing from
-    /// either side.
+    /// either side; a golden file that does not parse reports the
+    /// positioned [`HarnessError`] rendering.
     pub fn check_against(&self, golden_json: &str) -> Result<(), String> {
-        let golden = ThroughputBench::parse_cycles(golden_json)?;
+        let golden = ThroughputBench::parse_cycles(golden_json).map_err(|e| e.to_string())?;
         let mut drift = Vec::new();
         for (label, want) in &golden {
             match self.entries.iter().find(|e| e.label == *label) {
@@ -312,21 +313,7 @@ impl ThroughputBench {
 }
 
 fn json_str(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
+    format!("\"{}\"", json::escape(s))
 }
 
 #[cfg(test)]
@@ -400,6 +387,45 @@ mod tests {
         missing.entries.pop();
         assert!(missing.check_against(&json).unwrap_err().contains("missing"));
         assert!(ThroughputBench::parse_cycles("{}").is_err());
+    }
+
+    #[test]
+    fn parse_cycles_rejects_malformed_goldens() {
+        let bench = ThroughputBench {
+            samples: 10,
+            reps: 1,
+            entries: vec![ThroughputEntry {
+                label: "a/b/baseline".to_owned(),
+                workload: String::new(),
+                predictor: String::new(),
+                asbr: false,
+                samples: 10,
+                cycles: 100,
+                retired: 1,
+                best_nanos: 1,
+            }],
+        };
+        let json = bench.to_json();
+
+        // Trailing garbage after the document — the scanning parser this
+        // replaced accepted it silently.
+        let e = ThroughputBench::parse_cycles(&format!("{json}{{}}")).unwrap_err();
+        assert!(
+            matches!(e, HarnessError::SpecParse { line, .. } if line > 1),
+            "expected a positioned parse error, got {e:?}"
+        );
+
+        // Mid-document truncation is a parse error, not an empty result.
+        let truncated = &json[..json.len() / 2];
+        assert!(matches!(
+            ThroughputBench::parse_cycles(truncated),
+            Err(HarnessError::SpecParse { .. })
+        ));
+
+        // Structurally valid JSON with a broken entry is named precisely.
+        let e = ThroughputBench::parse_cycles(r#"{"entries": [{"label": "x"}]}"#).unwrap_err();
+        assert!(e.to_string().contains("`x`"), "{e}");
+        assert!(e.to_string().contains("cycles"), "{e}");
     }
 
     #[test]

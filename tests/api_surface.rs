@@ -1,0 +1,71 @@
+//! API-surface guarantees for the serving stack: the executor types are
+//! `Send + Sync` by construction (the forcing function behind
+//! `Executor::shared()`), and harness errors map to stable process exit
+//! codes. Everything here is checked at compile time or with trivial
+//! assertions — if a `Mutex`-free interior-mutability shortcut ever
+//! sneaks into these types, this file stops compiling.
+
+use asbr_experiments::harness::{CacheMode, ResultCache};
+use asbr_experiments::runner::{
+    Executor, ExecutorStats, HarnessError, RunHandle, RunOutcome, RunSpec, Server, ServerConfig,
+    SharedExecutor,
+};
+
+fn send<T: Send>() {}
+fn sync<T: Sync>() {}
+fn send_sync<T: Send + Sync>() {}
+
+#[test]
+fn executor_api_is_send_and_sync() {
+    send_sync::<Executor>();
+    send_sync::<SharedExecutor>();
+    send_sync::<ExecutorStats>();
+    send_sync::<RunSpec>();
+    send_sync::<RunOutcome>();
+    send_sync::<ResultCache>();
+    send_sync::<CacheMode>();
+    send_sync::<HarnessError>();
+    send_sync::<Server>();
+    send_sync::<ServerConfig>();
+}
+
+#[test]
+fn run_handles_move_and_share_across_threads() {
+    send::<RunHandle>();
+    sync::<RunHandle>();
+}
+
+/// A `&SharedExecutor` must be usable from plainly-scoped threads — no
+/// `Arc`, no cloning, no `&mut`. This is the API shape the HTTP server
+/// relies on; keeping it in a test pins it as a public contract.
+#[test]
+fn shared_executor_submits_through_a_shared_reference() {
+    use asbr_bpred::PredictorKind;
+    use asbr_workloads::Workload;
+
+    let shared = Executor::new().threads(2).shared();
+    let spec = RunSpec::baseline(Workload::AdpcmEncode, PredictorKind::NotTaken, 40);
+    let outcomes: Vec<RunOutcome> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let exec = &shared;
+                scope.spawn(move || exec.submit(spec).unwrap().wait().unwrap())
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for pair in outcomes.windows(2) {
+        assert!(pair[0].same_result(&pair[1]), "shared submission diverged");
+    }
+}
+
+#[test]
+fn exit_codes_distinguish_backpressure_from_failure() {
+    assert_eq!(HarnessError::Overloaded { capacity: 4 }.exit_code(), 3);
+    assert_eq!(HarnessError::Shutdown.exit_code(), 2);
+    assert_eq!(HarnessError::Spec("nope".to_owned()).exit_code(), 2);
+    assert_eq!(
+        HarnessError::SpecParse { line: 1, col: 2, message: "bad".to_owned() }.exit_code(),
+        2
+    );
+}

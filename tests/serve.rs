@@ -1,0 +1,235 @@
+//! Serving integration: concurrent HTTP clients must observe exactly the
+//! results a direct `RunSpec::execute` produces, identical in-flight
+//! requests must coalesce (visible in `GET /stats`), a bounded admission
+//! queue must refuse overload with `503`, and the on-disk result cache
+//! must turn a cold population warm — across server instances.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use asbr_bpred::PredictorKind;
+use asbr_experiments::harness::loadgen::http_request;
+use asbr_experiments::harness::serve::outcome_to_json;
+use asbr_experiments::harness::CacheMode;
+use asbr_experiments::runner::{RunSpec, Server, ServerConfig};
+use asbr_workloads::Workload;
+
+fn scratch_cache(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("asbr-serve-test-{tag}-{}", std::process::id()));
+    // Stale leftovers from a crashed run would turn cold runs warm.
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn start(config: &ServerConfig) -> (Server, String) {
+    let server = Server::start(config).expect("bind an ephemeral port");
+    let addr = server.addr().to_string();
+    (server, addr)
+}
+
+fn post(addr: &str, path: &str, body: &str) -> (u16, String) {
+    http_request(addr, "POST", path, body).expect("transport")
+}
+
+/// Extracts the deterministic `"result": {...}` object from a response
+/// envelope, brace-matched so nested objects survive.
+fn extract_result(body: &str) -> &str {
+    let start = body.find("\"result\": {").expect("envelope has a result object") + 10;
+    let bytes = body.as_bytes();
+    let mut depth = 0usize;
+    for (i, &b) in bytes.iter().enumerate().skip(start) {
+        match b {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return &body[start..=i];
+                }
+            }
+            _ => {}
+        }
+    }
+    panic!("unterminated result object in {body}");
+}
+
+#[test]
+fn concurrent_clients_match_direct_execution_byte_for_byte() {
+    let (server, addr) = start(&ServerConfig::default());
+    let specs = [
+        RunSpec::baseline(Workload::AdpcmEncode, PredictorKind::NotTaken, 50),
+        RunSpec::baseline(Workload::G721Decode, PredictorKind::Bimodal { entries: 2048 }, 50),
+        RunSpec::asbr(Workload::AdpcmEncode, PredictorKind::Bimodal { entries: 512 }, 50),
+    ];
+    let bodies = [
+        r#"{"workload": "adpcm-encode", "samples": 50}"#,
+        r#"{"workload": "g721-decode", "samples": 50, "predictor": "bimodal"}"#,
+        r#"{"workload": "adpcm-encode", "samples": 50, "predictor": {"kind": "bimodal", "entries": 512}, "btb_entries": 512, "asbr": true}"#,
+    ];
+    // Every client hammers every spec; all responses for one spec must be
+    // identical to each other and to a direct in-process execute.
+    let responses: Vec<Vec<String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let addr = &addr;
+                scope.spawn(move || {
+                    bodies
+                        .iter()
+                        .map(|body| {
+                            let (status, resp) = post(addr, "/run", body);
+                            assert_eq!(status, 200, "{resp}");
+                            resp
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for (i, spec) in specs.iter().enumerate() {
+        let direct = spec.execute().expect("direct run");
+        let expected = outcome_to_json(spec, &direct);
+        let want = extract_result(&expected);
+        for client in &responses {
+            assert_eq!(
+                extract_result(&client[i]),
+                want,
+                "served result diverged from direct execution for {}",
+                spec.label()
+            );
+        }
+    }
+    server.stop();
+}
+
+#[test]
+fn identical_inflight_requests_coalesce_and_stats_show_it() {
+    // One worker serializes execution: the blocker occupies it while the
+    // identical pair is admitted, so the second of the pair must coalesce
+    // onto the first instead of running again.
+    let config = ServerConfig { threads: 1, ..ServerConfig::default() };
+    let (server, addr) = start(&config);
+    let blocker = r#"{"workload": "g721-encode", "samples": 150000}"#;
+    let repeat = r#"{"workload": "adpcm-decode", "samples": 6000}"#;
+    let bodies = std::thread::scope(|scope| {
+        let b = scope.spawn(|| post(&addr, "/run", blocker));
+        std::thread::sleep(Duration::from_millis(50));
+        let r1 = scope.spawn(|| post(&addr, "/run", repeat));
+        std::thread::sleep(Duration::from_millis(50));
+        let r2 = scope.spawn(|| post(&addr, "/run", repeat));
+        [b.join().unwrap(), r1.join().unwrap(), r2.join().unwrap()]
+    });
+    for (status, body) in &bodies {
+        assert_eq!(*status, 200, "{body}");
+    }
+    assert_eq!(extract_result(&bodies[1].1), extract_result(&bodies[2].1));
+    // The coalesced response is flagged: it reused another client's run.
+    assert!(
+        bodies[1].1.contains("\"cached\": true") || bodies[2].1.contains("\"cached\": true"),
+        "neither identical response was marked as reused"
+    );
+    let stats = server.stats();
+    assert!(stats.dedup_hits >= 1, "expected in-flight dedup, stats: {stats:?}");
+    let (status, stats_body) = http_request(&addr, "GET", "/stats", "").expect("stats");
+    assert_eq!(status, 200);
+    assert!(!stats_body.contains("\"dedup_hits\": 0"), "stats JSON shows no dedup: {stats_body}");
+    server.stop();
+}
+
+#[test]
+fn full_admission_queue_answers_503() {
+    // One worker, one queue slot: a long blocker occupies the worker, the
+    // next request fills the slot, and everything after that must be
+    // refused with 503 rather than queued without bound.
+    let config = ServerConfig { threads: 1, queue: 1, ..ServerConfig::default() };
+    let (server, addr) = start(&config);
+    let blocker = r#"{"workload": "g721-encode", "samples": 150000}"#;
+    std::thread::scope(|scope| {
+        let running = scope.spawn(|| post(&addr, "/run", blocker));
+        std::thread::sleep(Duration::from_millis(50));
+        let queued =
+            scope.spawn(|| post(&addr, "/run", r#"{"workload": "adpcm-encode", "samples": 9000}"#));
+        std::thread::sleep(Duration::from_millis(50));
+        let mut refused = None;
+        for samples in 100..120 {
+            let body = format!("{{\"workload\": \"adpcm-decode\", \"samples\": {samples}}}");
+            let (status, resp) = post(&addr, "/run", &body);
+            if status == 503 {
+                refused = Some(resp);
+                break;
+            }
+            // The blocker may have finished already; keep probing while
+            // the queue drains, but never accept a non-200.
+            assert_eq!(status, 200, "{resp}");
+        }
+        let refusal = refused.expect("no request was refused while the queue was full");
+        assert!(refusal.contains("overloaded"), "{refusal}");
+        assert_eq!(running.join().unwrap().0, 200);
+        assert_eq!(queued.join().unwrap().0, 200);
+    });
+    server.stop();
+}
+
+#[test]
+fn on_disk_cache_turns_cold_requests_warm_across_servers() {
+    let root = scratch_cache("warm");
+    let body = r#"{"workload": "adpcm-encode", "samples": 60}"#;
+    let config = ServerConfig { cache: CacheMode::Enabled(root.clone()), ..ServerConfig::default() };
+
+    let (cold_server, cold_addr) = start(&config);
+    let (status, cold) = post(&cold_addr, "/run", body);
+    assert_eq!(status, 200, "{cold}");
+    assert!(cold.contains("\"cached\": false"), "first request must compute: {cold}");
+    cold_server.stop();
+
+    // A fresh server over the same cache directory: the same request must
+    // be a disk hit, with an identical result payload.
+    let (warm_server, warm_addr) = start(&config);
+    let (status, warm) = post(&warm_addr, "/run", body);
+    assert_eq!(status, 200, "{warm}");
+    assert!(warm.contains("\"cached\": true"), "second server must hit the shared cache: {warm}");
+    assert_eq!(extract_result(&cold), extract_result(&warm));
+    let stats = warm_server.stats();
+    assert!(stats.cache_hits >= 1, "stats: {stats:?}");
+    warm_server.stop();
+
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn malformed_and_unknown_requests_fail_loudly() {
+    let (server, addr) = start(&ServerConfig::default());
+    // Trailing garbage after a valid spec: positioned parse error.
+    let (status, body) =
+        post(&addr, "/run", r#"{"workload": "adpcm-encode", "samples": 40} extra"#);
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("line"), "parse errors must carry a position: {body}");
+    // A typo'd key must not be silently ignored.
+    let (status, body) = post(&addr, "/run", r#"{"workload": "adpcm-encode", "sample": 40}"#);
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("sample"), "unknown keys must be named: {body}");
+    // Unknown endpoint and method.
+    let (status, _) = post(&addr, "/nope", "{}");
+    assert_eq!(status, 404);
+    let (status, _) = http_request(&addr, "GET", "/run", "").expect("transport");
+    assert_eq!(status, 405);
+    server.stop();
+}
+
+#[test]
+fn sweep_endpoint_expands_the_matrix_in_order() {
+    let (server, addr) = start(&ServerConfig::default());
+    let body = r#"{
+        "workloads": ["adpcm-encode", "adpcm-decode"],
+        "samples": [40],
+        "arms": [{"predictor": "not-taken"}, {"predictor": "bimodal"}]
+    }"#;
+    let (status, resp) = post(&addr, "/sweep", body);
+    assert_eq!(status, 200, "{resp}");
+    assert_eq!(resp.matches("\"result\": {").count(), 4, "{resp}");
+    // Expansion order is samples -> arms -> workloads; spot-check the
+    // first envelope pairs the first workload with the first arm.
+    let first = resp.find("ADPCM Encode/not taken").expect("first run label");
+    let second = resp.find("ADPCM Decode/not taken").expect("second run label");
+    assert!(first < second, "sweep order changed: {resp}");
+    server.stop();
+}
