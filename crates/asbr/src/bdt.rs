@@ -67,6 +67,15 @@ impl Bdt {
         self.entries[usize::from(reg)].bits = bits_for(value as i32);
     }
 
+    /// Resynchronizes the whole table with an architectural register file
+    /// known to have no writers in flight (a pipeline restore): every row
+    /// is re-latched from `regs` and its validity counter cleared.
+    pub fn resync(&mut self, regs: &[u32; NUM_REGS]) {
+        for (e, &v) in self.entries.iter_mut().zip(regs) {
+            *e = BdtEntry { bits: bits_for(v as i32), writers: 0 };
+        }
+    }
+
     /// A decoded instruction writing `reg` entered the pipeline.
     pub fn note_fetch_writer(&mut self, reg: Reg) {
         let e = &mut self.entries[usize::from(reg)];

@@ -195,6 +195,17 @@ impl SimHooks for AsbrUnit {
         self.cfg.publish
     }
 
+    fn fold_candidate(&self, pc: u32) -> bool {
+        // Union over all banks: a non-active-bank hit answers "maybe"
+        // conservatively (its `try_fold` would miss with no side effects),
+        // so candidacy stays valid across bank switches without
+        // re-marking. Everything outside every BIT can never fold — the
+        // fetch stage skips the linear BIT scan for those PCs entirely,
+        // which is the whole host-throughput win: the scan used to run on
+        // every fetched word.
+        self.banks.iter().any(|b| b.lookup(pc).is_some())
+    }
+
     fn try_fold(&mut self, pc: u32, _word: u32) -> Option<Folded> {
         // The PC-field match *is* the identification: "the existence of
         // the PC field in BIT is the factor that determines that the
@@ -248,6 +259,16 @@ impl SimHooks for AsbrUnit {
                 self.stats.bank_switches += 1;
             }
         }
+    }
+
+    fn note_restore(&mut self, regs: &[u32; 32]) {
+        // A mid-run restore replaces every architectural register: the
+        // BDT's latched directions (reset values at construction) are now
+        // stale, and folding on them would steer execution down wrong
+        // paths. Re-latch every row from the restored file — the pipeline
+        // is empty, so no writers are in flight and the rebuilt table is
+        // exactly what warmed hardware would hold.
+        self.bdt.resync(regs);
     }
 }
 
@@ -451,6 +472,37 @@ mod tests {
         assert_eq!(pipe.hooks().active_bank(), 1);
         assert_eq!(stats.bank_switches, 1);
         assert!(stats.folds() >= 90, "both loops fold: {stats:?}");
+    }
+
+    #[test]
+    fn restore_resyncs_predicate_storage() {
+        // Cut the countdown loop mid-run and restore an ASBR pipeline
+        // from the architectural checkpoint. The unit's BDT was built for
+        // the *reset* register file (r4 == 0); without the restore
+        // resync it would fold the back edge fall-through on the first
+        // fetch and halt the loop 100-odd iterations early.
+        let prog = assemble(FOLDABLE_LOOP).unwrap();
+        let mut scout = asbr_sim::Interp::new(&prog).unwrap();
+        assert!(scout.run_until(500).unwrap());
+        let ckpt = scout.checkpoint();
+
+        let unit = AsbrUnit::for_branches(
+            AsbrConfig::default(),
+            &prog,
+            &[prog.symbol("br").unwrap()],
+        )
+        .unwrap();
+        let mut pipe = Pipeline::with_hooks(
+            PipelineConfig::default(),
+            PredictorKind::NotTaken.build(),
+            unit,
+        );
+        pipe.restore(&prog, &ckpt).unwrap();
+        let tail = pipe.run().unwrap();
+        assert!(tail.halted);
+        assert_eq!(pipe.reg(Reg::V0), 200, "restored loop must finish all iterations");
+        // Folding still engages on the warmed-up tail.
+        assert!(pipe.hooks().stats().folds() > 0);
     }
 
     #[test]

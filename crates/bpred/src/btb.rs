@@ -77,6 +77,7 @@ impl Btb {
     }
 
     /// Looks up the cached target for the branch at `pc`.
+    #[inline]
     pub fn lookup(&mut self, pc: u32) -> Option<u32> {
         self.stats.lookups += 1;
         let e = self.entries[self.slot(pc)];
@@ -89,6 +90,7 @@ impl Btb {
     }
 
     /// Installs/refreshes the target of a resolved taken branch.
+    #[inline]
     pub fn update(&mut self, pc: u32, target: u32) {
         let slot = self.slot(pc);
         self.entries[slot] = BtbEntry { valid: true, tag: pc, target };
@@ -151,6 +153,7 @@ impl ReturnStack {
 
     /// Records a call's return address; the oldest entry is dropped when
     /// full (circular behaviour, matching hardware).
+    #[inline]
     pub fn push(&mut self, return_addr: u32) {
         if self.stack.len() == self.capacity {
             self.stack.remove(0);
@@ -159,6 +162,7 @@ impl ReturnStack {
     }
 
     /// Predicts the target of a return.
+    #[inline]
     pub fn pop(&mut self) -> Option<u32> {
         self.stack.pop()
     }

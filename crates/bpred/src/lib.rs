@@ -51,7 +51,7 @@ pub use predictors::{
 /// branches resolve before the next branch is predicted... except for the
 /// 1–2 cycle window the pipeline itself models; this matches the classic
 /// trace-driven evaluation style of the paper.
-pub trait Predictor {
+pub trait Predictor: std::fmt::Debug {
     /// Predicted direction (`true` = taken) for a conditional branch at
     /// `pc`.
     fn predict(&mut self, pc: u32) -> bool;
@@ -62,4 +62,9 @@ pub trait Predictor {
 
     /// Short human-readable name, e.g. `"gshare"` or `"bi-512"`.
     fn name(&self) -> &str;
+
+    /// Clones the predictor behind the trait object — snapshotting
+    /// trained state for sampled simulation (functional warming carries a
+    /// predictor along the architectural path and checkpoints clone it).
+    fn clone_box(&self) -> Box<dyn Predictor>;
 }

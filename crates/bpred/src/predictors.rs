@@ -8,14 +8,20 @@ use crate::Predictor;
 pub struct NotTaken;
 
 impl Predictor for NotTaken {
+    #[inline]
     fn predict(&mut self, _pc: u32) -> bool {
         false
     }
 
+    #[inline]
     fn update(&mut self, _pc: u32, _taken: bool) {}
 
     fn name(&self) -> &str {
         "not taken"
+    }
+
+    fn clone_box(&self) -> Box<dyn Predictor> {
+        Box::new(self.clone())
     }
 }
 
@@ -24,18 +30,25 @@ impl Predictor for NotTaken {
 pub struct Taken;
 
 impl Predictor for Taken {
+    #[inline]
     fn predict(&mut self, _pc: u32) -> bool {
         true
     }
 
+    #[inline]
     fn update(&mut self, _pc: u32, _taken: bool) {}
 
     fn name(&self) -> &str {
         "taken"
     }
+
+    fn clone_box(&self) -> Box<dyn Predictor> {
+        Box::new(self.clone())
+    }
 }
 
 /// Advances a 2-bit saturating counter (0–3; ≥2 predicts taken).
+#[inline]
 fn saturate(counter: u8, taken: bool) -> u8 {
     if taken {
         (counter + 1).min(3)
@@ -79,10 +92,12 @@ impl Bimodal {
 }
 
 impl Predictor for Bimodal {
+    #[inline]
     fn predict(&mut self, pc: u32) -> bool {
         self.counters[self.index(pc)] >= 2
     }
 
+    #[inline]
     fn update(&mut self, pc: u32, taken: bool) {
         let i = self.index(pc);
         self.counters[i] = saturate(self.counters[i], taken);
@@ -90,6 +105,10 @@ impl Predictor for Bimodal {
 
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn clone_box(&self) -> Box<dyn Predictor> {
+        Box::new(self.clone())
     }
 }
 
@@ -136,10 +155,12 @@ impl Gshare {
 }
 
 impl Predictor for Gshare {
+    #[inline]
     fn predict(&mut self, pc: u32) -> bool {
         self.counters[self.index(pc)] >= 2
     }
 
+    #[inline]
     fn update(&mut self, pc: u32, taken: bool) {
         let i = self.index(pc);
         self.counters[i] = saturate(self.counters[i], taken);
@@ -148,6 +169,10 @@ impl Predictor for Gshare {
 
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn clone_box(&self) -> Box<dyn Predictor> {
+        Box::new(self.clone())
     }
 }
 
@@ -194,11 +219,13 @@ impl Local {
 }
 
 impl Predictor for Local {
+    #[inline]
     fn predict(&mut self, pc: u32) -> bool {
         let h = self.histories[self.bht_slot(pc)];
         self.counters[self.pht_slot(h)] >= 2
     }
 
+    #[inline]
     fn update(&mut self, pc: u32, taken: bool) {
         let b = self.bht_slot(pc);
         let h = self.histories[b];
@@ -209,6 +236,10 @@ impl Predictor for Local {
 
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn clone_box(&self) -> Box<dyn Predictor> {
+        Box::new(self.clone())
     }
 }
 
@@ -239,14 +270,20 @@ impl StaticPerBranch {
 }
 
 impl Predictor for StaticPerBranch {
+    #[inline]
     fn predict(&mut self, pc: u32) -> bool {
         self.directions.get(&pc).copied().unwrap_or(self.fallback)
     }
 
+    #[inline]
     fn update(&mut self, _pc: u32, _taken: bool) {}
 
     fn name(&self) -> &str {
         "static-profile"
+    }
+
+    fn clone_box(&self) -> Box<dyn Predictor> {
+        Box::new(self.clone())
     }
 }
 
@@ -287,6 +324,7 @@ impl Tournament {
 }
 
 impl Predictor for Tournament {
+    #[inline]
     fn predict(&mut self, pc: u32) -> bool {
         // Chooser >= 2 selects gshare.
         if self.chooser[self.slot(pc)] >= 2 {
@@ -296,6 +334,7 @@ impl Predictor for Tournament {
         }
     }
 
+    #[inline]
     fn update(&mut self, pc: u32, taken: bool) {
         let b = self.bimodal.predict(pc);
         let g = self.gshare.predict(pc);
@@ -309,6 +348,10 @@ impl Predictor for Tournament {
 
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn clone_box(&self) -> Box<dyn Predictor> {
+        Box::new(self.clone())
     }
 }
 

@@ -342,8 +342,27 @@ fn cmd_trace(name: &str, opts: &TraceOpts) -> Result<(), String> {
 struct BenchOpts {
     samples: usize,
     reps: usize,
+    /// Also run every spec through the lock-step batch engine at this
+    /// lane width and report the aggregate-throughput ratio.
+    batch: Option<u32>,
+    /// Also run every spec under the sampled (checkpoint + warm-up)
+    /// strategy and append the estimates to the report.
+    sampled: bool,
     out: Option<String>,
     check: Option<String>,
+}
+
+fn print_entries(bench: &asbr_harness::ThroughputBench) {
+    for e in &bench.entries {
+        println!(
+            "{:<38} {:>11} {:>11.2} {:>10.1} {:>8.1}",
+            e.label,
+            e.cycles,
+            e.best_nanos as f64 / 1e6,
+            e.cycles_per_sec() as f64 / 1e6,
+            e.mips()
+        );
+    }
 }
 
 fn cmd_bench(opts: &BenchOpts) -> Result<(), CliError> {
@@ -354,20 +373,32 @@ fn cmd_bench(opts: &BenchOpts) -> Result<(), CliError> {
         opts.samples,
         spec.reps
     );
-    let bench = spec.measure()?;
+    let mut bench = spec.measure()?;
     println!(
-        "{:<32} {:>11} {:>11} {:>10} {:>8}",
+        "{:<38} {:>11} {:>11} {:>10} {:>8}",
         "run", "cycles", "best ms", "Mcyc/s", "MIPS"
     );
-    for e in &bench.entries {
+    print_entries(&bench);
+    if let Some(width) = opts.batch {
+        let width = std::num::NonZeroU32::new(width).ok_or("--batch width must be >= 1")?;
+        let batched = spec.measure_batched(width)?;
+        print_entries(&batched);
+        bench.extend(batched);
+        let scalar = bench.aggregate_mips("scalar").unwrap_or(0.0);
+        let agg = bench.aggregate_mips(&format!("batched@{width}")).unwrap_or(0.0);
         println!(
-            "{:<32} {:>11} {:>11.2} {:>10.1} {:>8.1}",
-            e.label,
-            e.cycles,
-            e.best_nanos as f64 / 1e6,
-            e.cycles_per_sec() as f64 / 1e6,
-            e.mips()
+            "aggregate: batched {agg:.1} MIPS vs scalar {scalar:.1} MIPS -> {:.2}x",
+            if scalar > 0.0 { agg / scalar } else { 0.0 }
         );
+    }
+    if opts.sampled {
+        let windows = std::num::NonZeroU32::new(8).unwrap();
+        let sampled = spec.sampled(windows, 1000).measure()?;
+        print_entries(&sampled);
+        bench.extend(sampled);
+    }
+    for warning in bench.spread_warnings() {
+        println!("warning: {warning}");
     }
     if let Some(out) = &opts.out {
         bench.write(out).map_err(|e| format!("cannot write {out}: {e}"))?;
@@ -622,7 +653,8 @@ fn parse_predictor(name: &str) -> Result<PredictorKind, String> {
 fn usage() -> String {
     "usage: asbr_tool <asm|analyze|lint|customize|run> <file.s> [options]\n\
      \x20      asbr_tool trace <workload> [--samples n] [--out path] [--interval n] [--asbr]\n\
-     \x20      asbr_tool bench [--samples n] [--reps n] [--out path] [--check golden.json]\n\
+     \x20      asbr_tool bench [--samples n] [--reps n] [--batch width] [--sampled]\n\
+     \x20                      [--out path] [--check golden.json]\n\
      \x20      asbr_tool wcet [--samples n] [--out path]\n\
      \x20      asbr_tool serve [--addr host:port] [--threads n] [--queue n]\n\
      \x20                      [--cache dir|--no-cache] [--refresh] [--stats-every secs]\n\
@@ -762,6 +794,8 @@ fn real_main() -> Result<(), CliError> {
         let mut opts = BenchOpts {
             samples: THROUGHPUT_SAMPLES,
             reps: THROUGHPUT_REPS,
+            batch: None,
+            sampled: false,
             out: None,
             check: None,
         };
@@ -780,6 +814,15 @@ fn real_main() -> Result<(), CliError> {
                     opts.reps =
                         args.get(i).and_then(|s| s.parse().ok()).ok_or("bad --reps count")?;
                 }
+                "--batch" => {
+                    i += 1;
+                    opts.batch = Some(
+                        args.get(i)
+                            .and_then(|s| s.parse().ok())
+                            .ok_or("bad --batch width")?,
+                    );
+                }
+                "--sampled" => opts.sampled = true,
                 "--out" => {
                     i += 1;
                     opts.out = Some(args.get(i).ok_or("missing path after --out")?.clone());

@@ -28,7 +28,8 @@ use asbr_sim::{BranchSite, CycleAttribution, PipelineSummary, PublishPoint, NUM_
 
 use crate::error::HarnessError;
 use crate::hash::Sha256;
-use crate::spec::{RunOutcome, RunSpec};
+use crate::sampled::SampledMeta;
+use crate::spec::{ExecStrategy, RunOutcome, RunSpec};
 
 /// Bumped whenever the key derivation or entry format changes; old
 /// entries then miss instead of deserializing garbage.
@@ -38,7 +39,13 @@ use crate::spec::{RunOutcome, RunSpec};
 ///
 /// v3: adds the optional `static_bound` line (the WCET analyzer's cycle
 /// bound travels with the cached outcome when the cross-check ran).
-pub const CACHE_FORMAT: &str = "asbr-run-cache v3";
+///
+/// v4: sampled-strategy runs hash to their own keys (windows + warm-up
+/// enter the digest) and carry an optional `sampled` reconstruction line;
+/// exact (scalar/batched) runs share one key because the two engines are
+/// bit-identical. A sampled entry can therefore never be served for an
+/// exact spec, or vice versa.
+pub const CACHE_FORMAT: &str = "asbr-run-cache v4";
 
 /// Handle to a cache root directory.
 #[derive(Debug, Clone)]
@@ -102,6 +109,19 @@ impl ResultCache {
                 h.update_u64(u64::from(publish_code(knobs.publish)));
                 h.update_u64(knobs.bit_entries as u64);
                 h.update_u64(u64::from(knobs.hoist));
+            }
+        }
+        match spec.strategy {
+            // Scalar and the lock-step lane engine produce bit-identical
+            // outcomes, so they deliberately share one key.
+            ExecStrategy::Scalar | ExecStrategy::Batched { .. } => {}
+            // Sampled results are estimates: distinct key, so they are
+            // never silently substituted for an exact run (or vice
+            // versa).
+            ExecStrategy::Sampled { windows, warmup } => {
+                h.update_str("sampled");
+                h.update_u64(u64::from(windows.get()));
+                h.update_u64(u64::from(warmup));
             }
         }
         h.finish_hex()
@@ -241,6 +261,20 @@ fn render_entry(key: &str, label: &str, o: &RunOutcome) -> String {
     if let Some(bound) = o.static_bound {
         line(format!("static_bound {bound}"));
     }
+    if let Some(m) = o.sampled {
+        // f64 fields travel as IEEE-754 bit patterns for a lossless
+        // round-trip (decimal rendering would not be).
+        line(format!(
+            "sampled {} {} {} {} {} {} {}",
+            m.windows,
+            m.warmup,
+            m.measured_retires,
+            m.measured_cycles,
+            m.total_instructions,
+            m.cpi_hat.to_bits(),
+            m.rel_error_bound.to_bits(),
+        ));
+    }
     line(format!("wall_nanos {}", o.wall_nanos));
     line("end".to_owned());
     out
@@ -268,6 +302,7 @@ fn parse_entry(text: &str, want_key: &str) -> Result<RunOutcome, HarnessError> {
     let mut asbr = None;
     let mut selected = Vec::new();
     let mut static_bound = None;
+    let mut sampled = None;
     let mut complete = false;
     for (n, l) in lines {
         if complete {
@@ -361,6 +396,20 @@ fn parse_entry(text: &str, want_key: &str) -> Result<RunOutcome, HarnessError> {
                 static_bound =
                     Some(rest.parse().map_err(|_| corrupt(n, "bad static_bound line"))?);
             }
+            "sampled" => {
+                let v = nums::<u64>(rest, 7).ok_or_else(|| corrupt(n, "bad sampled line"))?;
+                sampled = Some(SampledMeta {
+                    windows: u32::try_from(v[0])
+                        .map_err(|_| corrupt(n, "sampled windows out of range"))?,
+                    warmup: u32::try_from(v[1])
+                        .map_err(|_| corrupt(n, "sampled warmup out of range"))?,
+                    measured_retires: v[2],
+                    measured_cycles: v[3],
+                    total_instructions: v[4],
+                    cpi_hat: f64::from_bits(v[5]),
+                    rel_error_bound: f64::from_bits(v[6]),
+                });
+            }
             "wall_nanos" => {}
             "end" => complete = true,
             _ => return Err(corrupt(n, "unknown line tag")),
@@ -374,7 +423,7 @@ fn parse_entry(text: &str, want_key: &str) -> Result<RunOutcome, HarnessError> {
     }
     summary.stats.branches = AccuracyTracker::from_records(records);
     summary.stats.attribution = CycleAttribution::from_parts(buckets, sites);
-    Ok(RunOutcome { summary, asbr, selected, static_bound, wall_nanos: 0, cached: true })
+    Ok(RunOutcome { summary, asbr, selected, static_bound, sampled, wall_nanos: 0, cached: true })
 }
 
 fn nums<T: std::str::FromStr>(s: &str, expect: usize) -> Option<Vec<T>> {
@@ -438,6 +487,39 @@ mod tests {
                 assert_ne!(x, y);
             }
         }
+    }
+
+    #[test]
+    fn sampled_keys_are_distinct_and_never_substituted() {
+        use std::num::NonZeroU32;
+        let w = Workload::AdpcmEncode;
+        let scalar = RunSpec::baseline(w, PredictorKind::NotTaken, 50);
+        let batched = scalar
+            .with_strategy(ExecStrategy::Batched { width: NonZeroU32::new(8).unwrap() });
+        let sampled = scalar.with_strategy(ExecStrategy::Sampled {
+            windows: NonZeroU32::new(4).unwrap(),
+            warmup: 200,
+        });
+        let prog = w.program();
+        let input = w.input(50);
+        let k_scalar = ResultCache::key(&scalar, &prog, &input);
+        let k_batched = ResultCache::key(&batched, &prog, &input);
+        let k_sampled = ResultCache::key(&sampled, &prog, &input);
+        // Bit-identical engines share the key; the estimate does not.
+        assert_eq!(k_scalar, k_batched);
+        assert_ne!(k_scalar, k_sampled);
+
+        // A stored sampled outcome is invisible under the exact key, and
+        // its reconstruction metadata survives the round-trip losslessly.
+        let out = sampled.execute().unwrap();
+        assert!(out.sampled.is_some());
+        let cache = tmp_cache("sampled");
+        cache.store(&k_sampled, &sampled.label(), &out).unwrap();
+        assert!(cache.load(&k_scalar).is_none(), "sampled entry served for an exact spec");
+        let back = cache.load(&k_sampled).expect("sampled entry hits its own key");
+        assert_eq!(back.sampled, out.sampled, "sampled meta must round-trip bit-exactly");
+        assert!(back.same_result(&out));
+        let _ = fs::remove_dir_all(cache.root());
     }
 
     #[test]

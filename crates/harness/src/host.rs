@@ -1,0 +1,96 @@
+//! Host machine metadata stamped into benchmark artifacts.
+//!
+//! Wall-clock benchmark numbers (`BENCH_throughput.json`,
+//! `BENCH_serve.json`) are only interpretable next to the machine that
+//! produced them: a 2.1 GHz shared CI runner and a desktop disagree by
+//! integers, not percentages. [`HostInfo::gather`] records the CPU model,
+//! core count, compiler, and source revision alongside every benchmark so
+//! committed artifacts and CI uploads are self-describing. Every field
+//! degrades to `"unknown"` rather than failing — metadata must never
+//! break a measurement.
+
+use std::fs;
+use std::process::Command;
+
+use crate::json;
+
+/// Host metadata block of a benchmark artifact (schema v2 additions).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HostInfo {
+    /// CPU model string from `/proc/cpuinfo` (`"unknown"` off Linux).
+    pub cpu_model: String,
+    /// Logical cores available to this process.
+    pub cores: usize,
+    /// `rustc --version` of the toolchain on `PATH`.
+    pub rustc: String,
+    /// Short git revision of the working tree (`"unknown"` outside a
+    /// checkout).
+    pub git_rev: String,
+    /// Worker threads the benchmark was configured with.
+    pub threads: usize,
+}
+
+impl HostInfo {
+    /// Collects the metadata, degrading any unavailable field to
+    /// `"unknown"`.
+    #[must_use]
+    pub fn gather(threads: usize) -> HostInfo {
+        HostInfo {
+            cpu_model: cpu_model().unwrap_or_else(|| "unknown".to_owned()),
+            cores: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+            rustc: command_line("rustc", &["--version"]).unwrap_or_else(|| "unknown".to_owned()),
+            git_rev: command_line("git", &["rev-parse", "--short", "HEAD"])
+                .unwrap_or_else(|| "unknown".to_owned()),
+            threads,
+        }
+    }
+
+    /// Renders the block as a JSON object (no trailing newline), indented
+    /// for embedding under a top-level `"host"` key.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{ \"cpu_model\": \"{}\", \"cores\": {}, \"rustc\": \"{}\", \
+             \"git_rev\": \"{}\", \"threads\": {} }}",
+            json::escape(&self.cpu_model),
+            self.cores,
+            json::escape(&self.rustc),
+            json::escape(&self.git_rev),
+            self.threads,
+        )
+    }
+}
+
+fn cpu_model() -> Option<String> {
+    let text = fs::read_to_string("/proc/cpuinfo").ok()?;
+    let line = text.lines().find(|l| l.starts_with("model name"))?;
+    Some(line.split_once(':')?.1.trim().to_owned())
+}
+
+fn command_line(cmd: &str, args: &[&str]) -> Option<String> {
+    let out = Command::new(cmd).args(args).output().ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    let line = String::from_utf8(out.stdout).ok()?;
+    let line = line.lines().next()?.trim();
+    (!line.is_empty()).then(|| line.to_owned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gather_never_fails_and_renders_json() {
+        let h = HostInfo::gather(3);
+        assert!(h.cores >= 1);
+        assert_eq!(h.threads, 3);
+        assert!(!h.cpu_model.is_empty());
+        let json = h.to_json();
+        let doc = crate::json::parse(&json).unwrap();
+        assert_eq!(doc.get("threads").and_then(crate::json::Value::as_u64), Some(3));
+        assert!(doc.get("cpu_model").and_then(crate::json::Value::as_str).is_some());
+        assert!(doc.get("rustc").is_some() && doc.get("git_rev").is_some());
+    }
+}

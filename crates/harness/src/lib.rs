@@ -36,8 +36,10 @@ pub mod executor;
 pub mod figures;
 pub mod hash;
 pub mod json;
+pub mod host;
 pub mod loadgen;
 pub mod matrix;
+pub mod sampled;
 pub mod serve;
 pub mod shared;
 pub mod spec;
@@ -53,9 +55,11 @@ pub use serve::{Server, ServerConfig};
 pub use shared::{ExecutorStats, RunHandle, SharedExecutor};
 pub use figures::{baseline_predictors, BENCH_SAMPLES};
 pub use matrix::RunMatrix;
+pub use host::HostInfo;
+pub use sampled::SampledMeta;
 pub use spec::{
-    AsbrSpec, MicroTweaks, RunOutcome, RunSpec, AUX_BTB, BASELINE_BTB, PROFILE_PREDICTOR,
-    SAMPLES_FULL, SAMPLES_SMOKE,
+    AsbrSpec, ExecStrategy, MicroTweaks, RunOutcome, RunSpec, AUX_BTB, BASELINE_BTB,
+    PROFILE_PREDICTOR, SAMPLES_FULL, SAMPLES_SMOKE,
 };
 pub use throughput::{
     ThroughputBench, ThroughputEntry, ThroughputSpec, THROUGHPUT_REPS, THROUGHPUT_SAMPLES,

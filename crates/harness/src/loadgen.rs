@@ -34,7 +34,11 @@ use asbr_bpred::PredictorKind;
 use asbr_workloads::Workload;
 
 /// Schema tag of `BENCH_serve.json`.
-pub const SERVE_BENCH_SCHEMA: &str = "asbr-serve-bench v1";
+///
+/// v2 added the `"host"` metadata block and the `"clients"` count;
+/// readers of v1 documents ignore unknown keys, so the bump is
+/// backward-compatible for every consumer in this repository.
+pub const SERVE_BENCH_SCHEMA: &str = "asbr-serve-bench v2";
 
 /// Load-generator configuration. The total request count is
 /// `cold + cold + hot + malformed` (the cold population is replayed once
@@ -104,6 +108,8 @@ pub struct LoadgenReport {
     /// Raw `GET /stats` body snapshot taken after the run (a JSON
     /// object, embedded verbatim in the report).
     pub server_stats: String,
+    /// Concurrent client threads the session was driven with.
+    pub clients: usize,
 }
 
 impl LoadgenReport {
@@ -134,11 +140,14 @@ impl LoadgenReport {
             "null".to_owned()
         };
         format!(
-            "{{\n  \"schema\": \"{SERVE_BENCH_SCHEMA}\",\n  \"requests\": {},\n  \"ok\": {},\n  \
+            "{{\n  \"schema\": \"{SERVE_BENCH_SCHEMA}\",\n  \"host\": {},\n  \
+             \"clients\": {},\n  \"requests\": {},\n  \"ok\": {},\n  \
              \"bad_request\": {},\n  \"overloaded\": {},\n  \"failed\": {},\n  \
              \"wall_secs\": {:.3},\n  \"runs_per_sec\": {:.3},\n  \"p50_ms\": {:.3},\n  \
              \"p99_ms\": {:.3},\n  \"cache_hit_rate\": {:.4},\n  \"warm_hit_rate\": {:.4},\n  \
              \"server\": {server}\n}}\n",
+            crate::host::HostInfo::gather(self.clients).to_json(),
+            self.clients,
             self.requests,
             self.ok,
             self.bad_request,
@@ -330,6 +339,7 @@ pub fn run(config: &LoadgenConfig) -> io::Result<LoadgenReport> {
         p50_ms: pct(0.50),
         p99_ms: pct(0.99),
         server_stats,
+        clients: config.clients,
     })
 }
 
@@ -413,6 +423,7 @@ mod tests {
             p50_ms: 1.5,
             p99_ms: 9.0,
             server_stats: "{\"submitted\": 8}".to_owned(),
+            clients: 4,
         };
         assert!((report.cache_hit_rate() - 0.5).abs() < 1e-9);
         assert!((report.warm_hit_rate() - 0.75).abs() < 1e-9);

@@ -267,7 +267,17 @@ pub fn run_request_from_value(v: &Value) -> Result<RunRequest, HarnessError> {
         Some(t) => tweaks_from_value(t)?,
     };
     Ok(RunRequest {
-        spec: RunSpec { workload, samples, predictor, btb_entries, tweaks, asbr },
+        spec: RunSpec {
+            workload,
+            samples,
+            predictor,
+            btb_entries,
+            tweaks,
+            asbr,
+            // The HTTP surface serves exact results only; sampled
+            // estimates never enter the shared server cache.
+            strategy: crate::spec::ExecStrategy::Scalar,
+        },
         static_bound: opt_bool(v, "static_bound")?.unwrap_or(false),
     })
 }

@@ -16,10 +16,11 @@ use asbr_bpred::PredictorKind;
 use asbr_core::{AsbrConfig, AsbrStats, AsbrUnit};
 use asbr_flow::schedule::hoist_predicates;
 use asbr_profile::{profile, select_branches, ProfileReport, SelectionConfig};
-use asbr_sim::{Pipeline, PipelineConfig, PipelineSummary, PublishPoint};
+use asbr_sim::{BatchPipeline, NullHooks, Pipeline, PipelineConfig, PipelineSummary, PublishPoint};
 use asbr_workloads::Workload;
 
 use crate::error::HarnessError;
+use crate::sampled::{self, SampledMeta};
 
 /// Baseline branch-target-buffer entries (paper Sec. 8).
 pub const BASELINE_BTB: usize = 2048;
@@ -98,6 +99,56 @@ impl MicroTweaks {
     }
 }
 
+/// How the harness drives the simulation engine for a spec.
+///
+/// `Scalar` and `Batched` are *exact* and interchangeable: the lock-step
+/// lane engine ([`asbr_sim::BatchPipeline`]) retires bit-identical
+/// per-run cycles and statistics, so the two strategies share a result
+/// cache key. `Sampled` is an *approximation* — architectural state is
+/// advanced by the fast functional interpreter and the cycle-accurate
+/// pipeline only measures `windows` warm-started intervals, from which
+/// whole-run cycles are reconstructed (see [`crate::sampled`]) — so it
+/// hashes to a distinct cache key and is never substituted for an exact
+/// result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ExecStrategy {
+    /// One cycle-accurate [`Pipeline`] per run — the reference path.
+    #[default]
+    Scalar,
+    /// The lock-step batched lane engine. A single spec executes on one
+    /// lane (bit-identical to `Scalar`); `width` is the lane count used
+    /// when the throughput bench aggregates independent runs into one
+    /// [`asbr_sim::BatchPipeline`].
+    Batched {
+        /// Lanes advanced together per batch.
+        width: NonZeroU32,
+    },
+    /// Sampled (checkpoint + warm-up) execution: `windows` detailed
+    /// intervals, each preceded by `warmup` discarded retires that warm
+    /// the caches, predictor, BTB, and hook state left cold by a
+    /// checkpoint restore.
+    Sampled {
+        /// Number of detailed measurement windows (evenly spaced).
+        windows: NonZeroU32,
+        /// Retires discarded per window before measuring (window 0 runs
+        /// from reset, which is exact, and needs no warm-up).
+        warmup: u32,
+    },
+}
+
+impl ExecStrategy {
+    /// Short machine label (`"scalar"`, `"batched@8"`, `"sampled@8+2000"`)
+    /// used in `BENCH_throughput.json` entries.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            ExecStrategy::Scalar => "scalar".to_owned(),
+            ExecStrategy::Batched { width } => format!("batched@{width}"),
+            ExecStrategy::Sampled { windows, warmup } => format!("sampled@{windows}+{warmup}"),
+        }
+    }
+}
+
 /// ASBR customization knobs of a [`RunSpec`]. `None` in the spec means a
 /// plain baseline pipeline with no fetch customization at all.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -154,6 +205,8 @@ pub struct RunSpec {
     pub tweaks: MicroTweaks,
     /// ASBR customization; `None` runs the uncustomized baseline.
     pub asbr: Option<AsbrSpec>,
+    /// Which engine executes the run (scalar, batched lanes, or sampled).
+    pub strategy: ExecStrategy,
 }
 
 impl RunSpec {
@@ -167,6 +220,7 @@ impl RunSpec {
             btb_entries: BASELINE_BTB,
             tweaks: MicroTweaks::default(),
             asbr: None,
+            strategy: ExecStrategy::Scalar,
         }
     }
 
@@ -181,6 +235,7 @@ impl RunSpec {
             btb_entries: AUX_BTB,
             tweaks: MicroTweaks::default(),
             asbr: Some(AsbrSpec::default()),
+            strategy: ExecStrategy::Scalar,
         }
     }
 
@@ -205,6 +260,13 @@ impl RunSpec {
         self
     }
 
+    /// Replaces the execution strategy.
+    #[must_use]
+    pub fn with_strategy(mut self, strategy: ExecStrategy) -> RunSpec {
+        self.strategy = strategy;
+        self
+    }
+
     /// Whether the Sec. 5.1 hoisting scheduler runs before this spec.
     #[must_use]
     pub fn hoist(&self) -> bool {
@@ -223,11 +285,18 @@ impl RunSpec {
     }
 
     /// A short human label (`"ADPCM Encode/bi-512/asbr"`), used in
-    /// `BENCH_sweep.json` and progress output.
+    /// `BENCH_sweep.json` and progress output. Sampled specs carry a
+    /// `/sampled` suffix: their results are approximations and must never
+    /// be mistaken for (or compared against a golden of) exact runs.
+    /// Batched specs keep the plain label — they are bit-identical.
     #[must_use]
     pub fn label(&self) -> String {
         let mode = if self.asbr.is_some() { "asbr" } else { "baseline" };
-        format!("{}/{}/{}", self.workload.name(), self.predictor.label(), mode)
+        let base = format!("{}/{}/{}", self.workload.name(), self.predictor.label(), mode);
+        match self.strategy {
+            ExecStrategy::Sampled { .. } => format!("{base}/sampled"),
+            _ => base,
+        }
     }
 
     /// Executes the spec directly: assemble, (profile + select for ASBR
@@ -275,15 +344,32 @@ impl RunSpec {
             .tweaks
             .apply(PipelineConfig { btb_entries: self.btb_entries, ..PipelineConfig::default() });
 
+        if let ExecStrategy::Sampled { windows, warmup } = self.strategy {
+            let mut outcome = sampled::execute_sampled(self, cfg, program, input, report, windows, warmup)?;
+            outcome.wall_nanos = nanos_since(started);
+            return Ok(outcome);
+        }
+        // Scalar and Batched are interchangeable exact engines; a single
+        // spec runs on one lane of the batch engine (the multi-lane
+        // aggregate path lives in `crate::throughput`).
+        let batched = matches!(self.strategy, ExecStrategy::Batched { .. });
+
         let outcome = match self.asbr {
             None => {
-                let mut pipe = Pipeline::new(cfg, self.predictor.build());
-                let summary = pipe.execute(program, input.iter().copied())?;
+                let summary = if batched {
+                    let mut batch = BatchPipeline::new();
+                    batch.push_lane(cfg, self.predictor, NullHooks, program, input.iter().copied())?;
+                    batch.run()?.remove(0)
+                } else {
+                    let mut pipe = Pipeline::new(cfg, self.predictor.build());
+                    pipe.execute(program, input.iter().copied())?
+                };
                 RunOutcome {
                     summary,
                     asbr: None,
                     selected: Vec::new(),
                     static_bound: None,
+                    sampled: None,
                     wall_nanos: nanos_since(started),
                     cached: false,
                 }
@@ -309,14 +395,24 @@ impl RunSpec {
                     &selected,
                 )
                 .map_err(HarnessError::Unit)?;
-                let mut pipe = Pipeline::with_hooks(cfg, self.predictor.build(), unit);
-                let summary = pipe.execute(program, input.iter().copied())?;
-                let asbr = pipe.into_hooks().stats();
+                let (summary, asbr) = if batched {
+                    let mut batch = BatchPipeline::new();
+                    batch.push_lane(cfg, self.predictor, unit, program, input.iter().copied())?;
+                    let summary = batch.run()?.remove(0);
+                    let asbr = batch.hooks(0).stats();
+                    (summary, asbr)
+                } else {
+                    let mut pipe = Pipeline::with_hooks(cfg, self.predictor.build(), unit);
+                    let summary = pipe.execute(program, input.iter().copied())?;
+                    let asbr = pipe.into_hooks().stats();
+                    (summary, asbr)
+                };
                 RunOutcome {
                     summary,
                     asbr: Some(asbr),
                     selected,
                     static_bound: None,
+                    sampled: None,
                     wall_nanos: nanos_since(started),
                     cached: false,
                 }
@@ -343,6 +439,10 @@ pub struct RunOutcome {
     /// (see [`crate::wcet`]), attached after the run by the cross-check
     /// and persisted through the result cache. `None` until computed.
     pub static_bound: Option<u64>,
+    /// Reconstruction metadata for sampled runs (`None` for exact runs):
+    /// window coverage, the estimated CPI, and its error bound. Its
+    /// presence marks the `summary` cycles as *estimated*.
+    pub sampled: Option<SampledMeta>,
     /// Wall-clock nanoseconds spent producing this outcome — the
     /// simulation itself, or the cache load on a hit.
     pub wall_nanos: u64,

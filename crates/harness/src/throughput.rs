@@ -15,34 +15,59 @@
 //!
 //! ```json
 //! {
-//!   "schema": "asbr-throughput-bench-v1",
+//!   "schema": "asbr-throughput-bench-v2",
 //!   "samples": 4000,
 //!   "reps": 5,
+//!   "host": { "cpu_model": "...", "cores": 1, "rustc": "rustc 1.x",
+//!             "git_rev": "abc1234", "threads": 1 },
 //!   "entries": [ { "label": "ADPCM Encode/bimodal/baseline",
 //!                  "workload": "ADPCM Encode", "predictor": "bimodal",
-//!                  "asbr": false, "samples": 4000, "cycles": 216846,
-//!                  "retired": 180000, "best_nanos": 5135153,
-//!                  "cycles_per_sec": 42227758, "mips": 35.0 }, ... ]
+//!                  "asbr": false, "strategy": "scalar", "samples": 4000,
+//!                  "cycles": 216846, "retired": 180000,
+//!                  "best_nanos": 5135153, "mean_nanos": 5200000,
+//!                  "stddev_nanos": 40000, "cycles_per_sec": 42227758,
+//!                  "mips": 35.0 }, ... ]
 //! }
 //! ```
 //!
-//! (`retired` and `mips` — simulated instructions and simulated MIPS —
-//! are additive to the original v1 schema; consumers keying on the
-//! original fields are unaffected.)
+//! Schema history: v1 had no `host` block and no per-entry `strategy` /
+//! `mean_nanos` / `stddev_nanos`; all additions are purely additive, and
+//! the golden reader ([`ThroughputBench::parse_cycles`]) keys only on
+//! `label` + `cycles`, so v1 goldens stay checkable against v2 runs.
+//!
+//! Three measurement shapes share the schema, distinguished by each
+//! entry's `strategy` field:
+//!
+//! * `"scalar"` — one cycle-accurate pipeline per run (the reference);
+//! * `"batched@N"` — `N` independent lanes of the same spec advanced in
+//!   lock-step by one [`asbr_sim::BatchPipeline`]; `cycles` is the
+//!   per-lane count (asserted identical across lanes and bit-identical
+//!   to the scalar entry), `retired`/`mips` aggregate all lanes;
+//! * `"sampled@K+W"` — checkpoint/warm-up estimation (see
+//!   [`crate::sampled`]); `cycles` is the reconstruction and the label
+//!   carries a `/sampled` suffix so it can never collide with an exact
+//!   golden entry.
 
 use std::fs;
 use std::io;
+use std::num::NonZeroU32;
 use std::path::Path;
 use std::time::Instant;
 
 use asbr_profile::profile;
+use asbr_sim::{BatchPipeline, PipelineConfig};
 
 use crate::error::HarnessError;
+use crate::host::HostInfo;
 use crate::json::{self, Value};
-use crate::spec::{RunSpec, PROFILE_PREDICTOR};
+use crate::spec::{ExecStrategy, RunSpec, PROFILE_PREDICTOR};
 
 /// Schema tag written into the JSON.
-pub const THROUGHPUT_SCHEMA: &str = "asbr-throughput-bench-v1";
+pub const THROUGHPUT_SCHEMA: &str = "asbr-throughput-bench-v2";
+
+/// Repetition spread (standard deviation over mean) above which an entry
+/// earns a [`ThroughputBench::spread_warnings`] line.
+pub const SPREAD_WARN_FRACTION: f64 = 0.10;
 
 /// Default input scale for the committed `results/BENCH_throughput.json`.
 pub const THROUGHPUT_SAMPLES: usize = 4000;
@@ -78,7 +103,9 @@ impl ThroughputSpec {
     }
 
     /// Runs the measurement: untimed preparation per spec, then `reps`
-    /// timed pipeline runs keeping the best.
+    /// timed pipeline runs keeping the best (plus mean/stddev across the
+    /// repetitions). Each spec executes under its own
+    /// [`ExecStrategy`] — sampled specs measure the sampled path.
     ///
     /// # Errors
     ///
@@ -102,7 +129,7 @@ impl ThroughputSpec {
                 None => None,
             };
 
-            let mut best_nanos = u64::MAX;
+            let mut rep_nanos = Vec::with_capacity(self.reps);
             let mut cycles = 0u64;
             let mut retired = 0u64;
             for rep in 0..self.reps {
@@ -121,20 +148,168 @@ impl ThroughputSpec {
                         spec.label()
                     );
                 }
-                best_nanos = best_nanos.min(nanos);
+                rep_nanos.push(nanos);
             }
-            entries.push(ThroughputEntry {
-                label: spec.label(),
-                workload: spec.workload.name().to_owned(),
-                predictor: spec.predictor.label(),
-                asbr: spec.asbr.is_some(),
-                samples: spec.samples,
-                cycles,
-                retired,
-                best_nanos,
-            });
+            entries.push(ThroughputEntry::from_timings(spec, cycles, retired, &rep_nanos));
         }
-        Ok(ThroughputBench { samples: self.samples, reps: self.reps, entries })
+        Ok(ThroughputBench {
+            samples: self.samples,
+            reps: self.reps,
+            host: HostInfo::gather(1),
+            entries,
+        })
+    }
+
+    /// Measures the *aggregate* throughput of the lock-step lane engine:
+    /// for each spec, `width` independent lanes of that run advance one
+    /// cycle at a time inside a single [`BatchPipeline`], and the wall
+    /// clock covers all of them together.
+    ///
+    /// Per entry, `cycles` is the per-lane simulated cycle count —
+    /// asserted identical across lanes, and bit-identical to what the
+    /// scalar engine retires for the same spec — while `retired` (and
+    /// therefore `mips`) sums every lane, which is what "aggregate
+    /// simulated MIPS" means. Lane construction (decode, cache setup,
+    /// ASBR unit build) happens outside the timed region; the measurement
+    /// is the engine hot loop.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`HarnessError`] from preparation or a run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two lanes of the same deterministic spec disagree on
+    /// simulated cycles — an engine bug, not noise.
+    pub fn measure_batched(&self, width: NonZeroU32) -> Result<ThroughputBench, HarnessError> {
+        use asbr_core::{AsbrConfig, AsbrUnit};
+        use asbr_profile::{select_branches, SelectionConfig};
+        use asbr_sim::NullHooks;
+
+        let lanes = width.get() as usize;
+        let mut entries = Vec::with_capacity(self.specs.len());
+        for spec in &self.specs {
+            let spec = spec.with_strategy(ExecStrategy::Batched { width });
+            let program = spec.program();
+            let input = spec.workload.input(spec.samples);
+            let cfg = spec.tweaks.apply(PipelineConfig {
+                btb_entries: spec.btb_entries,
+                ..PipelineConfig::default()
+            });
+
+            // The profiled prefix is shared by every lane and repetition.
+            let selected = match spec.asbr {
+                None => Vec::new(),
+                Some(knobs) => {
+                    let report = profile(&program, &input, &[PROFILE_PREDICTOR])?;
+                    select_branches(
+                        &report,
+                        &program,
+                        &SelectionConfig {
+                            bit_entries: knobs.bit_entries,
+                            threshold: knobs.publish.threshold(),
+                            ..SelectionConfig::default()
+                        },
+                    )
+                }
+            };
+
+            let mut rep_nanos = Vec::with_capacity(self.reps);
+            let mut cycles = 0u64;
+            let mut retired_total = 0u64;
+            for rep in 0..self.reps {
+                let summaries = match spec.asbr {
+                    None => {
+                        let mut batch = BatchPipeline::new();
+                        for _ in 0..lanes {
+                            batch.push_lane(
+                                cfg,
+                                spec.predictor,
+                                NullHooks,
+                                &program,
+                                input.iter().copied(),
+                            )?;
+                        }
+                        let started = Instant::now();
+                        let summaries = batch.run()?;
+                        rep_nanos.push(
+                            u64::try_from(started.elapsed().as_nanos())
+                                .unwrap_or(u64::MAX)
+                                .max(1),
+                        );
+                        summaries
+                    }
+                    Some(knobs) => {
+                        let mut batch = BatchPipeline::new();
+                        for _ in 0..lanes {
+                            let unit = AsbrUnit::for_branches(
+                                AsbrConfig {
+                                    bit_entries: knobs.bit_entries,
+                                    publish: knobs.publish,
+                                    ..AsbrConfig::default()
+                                },
+                                &program,
+                                &selected,
+                            )
+                            .map_err(HarnessError::Unit)?;
+                            batch.push_lane(
+                                cfg,
+                                spec.predictor,
+                                unit,
+                                &program,
+                                input.iter().copied(),
+                            )?;
+                        }
+                        let started = Instant::now();
+                        let summaries = batch.run()?;
+                        rep_nanos.push(
+                            u64::try_from(started.elapsed().as_nanos())
+                                .unwrap_or(u64::MAX)
+                                .max(1),
+                        );
+                        summaries
+                    }
+                };
+                let lane_cycles = summaries[0].stats.cycles;
+                for s in &summaries {
+                    assert_eq!(
+                        s.stats.cycles,
+                        lane_cycles,
+                        "lanes of {} disagree on simulated cycles",
+                        spec.label()
+                    );
+                }
+                let total: u64 = summaries.iter().map(|s| s.stats.retired).sum();
+                if rep == 0 {
+                    cycles = lane_cycles;
+                    retired_total = total;
+                } else {
+                    assert_eq!(cycles, lane_cycles, "non-deterministic batch for {}", spec.label());
+                }
+            }
+            entries.push(ThroughputEntry::from_timings(&spec, cycles, retired_total, &rep_nanos));
+        }
+        Ok(ThroughputBench {
+            samples: self.samples,
+            reps: self.reps,
+            host: HostInfo::gather(1),
+            entries,
+        })
+    }
+
+    /// The same specs re-targeted at the sampled strategy; measure with
+    /// [`ThroughputSpec::measure`].
+    #[must_use]
+    pub fn sampled(&self, windows: NonZeroU32, warmup: u32) -> ThroughputSpec {
+        ThroughputSpec {
+            samples: self.samples,
+            reps: self.reps,
+            specs: self
+                .specs
+                .iter()
+                .map(|s| s.with_strategy(ExecStrategy::Sampled { windows, warmup }))
+                .collect(),
+        }
     }
 }
 
@@ -149,17 +324,53 @@ pub struct ThroughputEntry {
     pub predictor: String,
     /// Whether the run was ASBR-customized.
     pub asbr: bool,
+    /// Execution strategy label (`"scalar"`, `"batched@N"`,
+    /// `"sampled@K+W"`).
+    pub strategy: String,
     /// Input samples.
     pub samples: usize,
-    /// Simulated machine cycles (identical across repetitions).
+    /// Simulated machine cycles (identical across repetitions; per-lane
+    /// for batched entries, reconstructed estimate for sampled ones).
     pub cycles: u64,
-    /// Simulated instructions retired.
+    /// Simulated instructions retired (summed over lanes for batched
+    /// entries).
     pub retired: u64,
     /// Best wall-clock nanoseconds over the repetitions.
     pub best_nanos: u64,
+    /// Mean wall-clock nanoseconds across the repetitions.
+    pub mean_nanos: u64,
+    /// Sample standard deviation of the repetition wall-clocks (0 for a
+    /// single repetition).
+    pub stddev_nanos: u64,
 }
 
 impl ThroughputEntry {
+    /// Builds an entry from a spec's identity plus its repetition
+    /// wall-clock timings.
+    fn from_timings(spec: &RunSpec, cycles: u64, retired: u64, rep_nanos: &[u64]) -> ThroughputEntry {
+        let best_nanos = rep_nanos.iter().copied().min().unwrap_or(1);
+        let n = rep_nanos.len().max(1) as f64;
+        let mean = rep_nanos.iter().map(|&x| x as f64).sum::<f64>() / n;
+        let stddev = if rep_nanos.len() >= 2 {
+            (rep_nanos.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / (n - 1.0)).sqrt()
+        } else {
+            0.0
+        };
+        ThroughputEntry {
+            label: spec.label(),
+            workload: spec.workload.name().to_owned(),
+            predictor: spec.predictor.label(),
+            asbr: spec.asbr.is_some(),
+            strategy: spec.strategy.label(),
+            samples: spec.samples,
+            cycles,
+            retired,
+            best_nanos,
+            mean_nanos: mean.round() as u64,
+            stddev_nanos: stddev.round() as u64,
+        }
+    }
+
     /// Simulated cycles per host second at the best repetition.
     #[must_use]
     pub fn cycles_per_sec(&self) -> u64 {
@@ -170,6 +381,17 @@ impl ThroughputEntry {
     #[must_use]
     pub fn mips(&self) -> f64 {
         self.retired as f64 * 1000.0 / self.best_nanos as f64
+    }
+
+    /// Repetition spread: standard deviation over mean (0 when there is
+    /// no mean).
+    #[must_use]
+    pub fn spread(&self) -> f64 {
+        if self.mean_nanos == 0 {
+            0.0
+        } else {
+            self.stddev_nanos as f64 / self.mean_nanos as f64
+        }
     }
 }
 
@@ -187,11 +409,56 @@ pub struct ThroughputBench {
     pub samples: usize,
     /// Best-of repetitions used.
     pub reps: usize,
+    /// Machine the wall-clock numbers were taken on.
+    pub host: HostInfo,
     /// Per-spec records, in spec order.
     pub entries: Vec<ThroughputEntry>,
 }
 
 impl ThroughputBench {
+    /// Appends another bench's entries (e.g. the batched or sampled
+    /// section after the scalar one). Host metadata and scales must
+    /// already agree — both benches came from the same process.
+    pub fn extend(&mut self, other: ThroughputBench) {
+        self.entries.extend(other.entries);
+    }
+
+    /// Aggregate simulated MIPS over the entries matching `strategy`
+    /// (total retired instructions over total best wall-clock); `None`
+    /// when no entry matches.
+    #[must_use]
+    pub fn aggregate_mips(&self, strategy: &str) -> Option<f64> {
+        let picked: Vec<&ThroughputEntry> =
+            self.entries.iter().filter(|e| e.strategy == strategy).collect();
+        if picked.is_empty() {
+            return None;
+        }
+        let retired: u64 = picked.iter().map(|e| e.retired).sum();
+        let nanos: u64 = picked.iter().map(|e| e.best_nanos).sum();
+        Some(retired as f64 * 1000.0 / nanos.max(1) as f64)
+    }
+
+    /// One warning line per entry whose repetition spread exceeds
+    /// [`SPREAD_WARN_FRACTION`] — wall-clock numbers from such a run are
+    /// noise-dominated and should be re-measured on a quieter host.
+    #[must_use]
+    pub fn spread_warnings(&self) -> Vec<String> {
+        self.entries
+            .iter()
+            .filter(|e| e.spread() > SPREAD_WARN_FRACTION)
+            .map(|e| {
+                format!(
+                    "{}: wall-clock spread {:.0}% across {} reps (stddev {:.2} ms of mean {:.2} ms)",
+                    e.label,
+                    e.spread() * 100.0,
+                    self.reps,
+                    e.stddev_nanos as f64 / 1e6,
+                    e.mean_nanos as f64 / 1e6,
+                )
+            })
+            .collect()
+    }
+
     /// Renders the benchmark as pretty-printed JSON.
     #[must_use]
     pub fn to_json(&self) -> String {
@@ -200,21 +467,26 @@ impl ThroughputBench {
         s.push_str(&format!("  \"schema\": {},\n", json_str(THROUGHPUT_SCHEMA)));
         s.push_str(&format!("  \"samples\": {},\n", self.samples));
         s.push_str(&format!("  \"reps\": {},\n", self.reps));
+        s.push_str(&format!("  \"host\": {},\n", self.host.to_json()));
         s.push_str("  \"entries\": [");
         for (i, e) in self.entries.iter().enumerate() {
             s.push_str(if i == 0 { "\n" } else { ",\n" });
             s.push_str(&format!(
                 "    {{ \"label\": {}, \"workload\": {}, \"predictor\": {}, \
-                 \"asbr\": {}, \"samples\": {}, \"cycles\": {}, \"retired\": {}, \
-                 \"best_nanos\": {}, \"cycles_per_sec\": {}, \"mips\": {:.1} }}",
+                 \"asbr\": {}, \"strategy\": {}, \"samples\": {}, \"cycles\": {}, \
+                 \"retired\": {}, \"best_nanos\": {}, \"mean_nanos\": {}, \
+                 \"stddev_nanos\": {}, \"cycles_per_sec\": {}, \"mips\": {:.1} }}",
                 json_str(&e.label),
                 json_str(&e.workload),
                 json_str(&e.predictor),
                 e.asbr,
+                json_str(&e.strategy),
                 e.samples,
                 e.cycles,
                 e.retired,
                 e.best_nanos,
+                e.mean_nanos,
+                e.stddev_nanos,
                 e.cycles_per_sec(),
                 e.mips(),
             ));
@@ -279,7 +551,11 @@ impl ThroughputBench {
 
     /// Compares simulated cycle counts against a golden rendering,
     /// label by label. Wall-clock fields are ignored — only the
-    /// simulation results must match.
+    /// simulation results must match. Batched entries are held to the
+    /// same pinned cycles as scalar ones (they are bit-identical by
+    /// contract); sampled and batched entries *absent* from the golden
+    /// are tolerated, so a bench that also ran the auxiliary sections
+    /// still checks cleanly against a scalar-only golden.
     ///
     /// # Errors
     ///
@@ -290,16 +566,21 @@ impl ThroughputBench {
         let golden = ThroughputBench::parse_cycles(golden_json).map_err(|e| e.to_string())?;
         let mut drift = Vec::new();
         for (label, want) in &golden {
-            match self.entries.iter().find(|e| e.label == *label) {
-                None => drift.push(format!("`{label}`: missing from this run")),
-                Some(e) if e.cycles != *want => drift.push(format!(
-                    "`{label}`: simulated {} cycles, golden pins {want}",
-                    e.cycles
-                )),
-                Some(_) => {}
+            let mut found = false;
+            for e in self.entries.iter().filter(|e| e.label == *label) {
+                found = true;
+                if e.cycles != *want {
+                    drift.push(format!(
+                        "`{label}` ({}): simulated {} cycles, golden pins {want}",
+                        e.strategy, e.cycles
+                    ));
+                }
+            }
+            if !found {
+                drift.push(format!("`{label}`: missing from this run"));
             }
         }
-        for e in &self.entries {
+        for e in self.entries.iter().filter(|e| e.strategy == "scalar") {
             if !golden.iter().any(|(l, _)| l == &e.label) {
                 drift.push(format!("`{}`: not in the golden", e.label));
             }
@@ -347,10 +628,103 @@ mod tests {
             assert!(e.mips() > 0.0);
         }
         let json = bench.to_json();
-        assert!(json.contains("\"schema\": \"asbr-throughput-bench-v1\""));
+        assert!(json.contains("\"schema\": \"asbr-throughput-bench-v2\""));
+        assert!(json.contains("\"host\": {"));
+        assert!(json.contains("\"cpu_model\""));
+        assert!(json.contains("\"strategy\": \"scalar\""));
         assert!(json.contains("\"asbr\": true"));
+        assert!(json.contains("\"mean_nanos\": "));
+        assert!(json.contains("\"stddev_nanos\": "));
         assert!(json.contains("\"mips\": "));
         assert_eq!(json.matches("\"label\"").count(), 2);
+    }
+
+    #[test]
+    fn batched_lanes_are_bit_identical_and_aggregate() {
+        let t = ThroughputSpec {
+            samples: 40,
+            reps: 1,
+            specs: vec![
+                RunSpec::baseline(Workload::AdpcmEncode, PROFILE_PREDICTOR, 40),
+                RunSpec::asbr(Workload::AdpcmEncode, PROFILE_PREDICTOR, 40),
+            ],
+        };
+        let scalar = t.measure().unwrap();
+        let width = NonZeroU32::new(3).unwrap();
+        let batched = t.measure_batched(width).unwrap();
+        assert_eq!(batched.entries.len(), scalar.entries.len());
+        for (b, s) in batched.entries.iter().zip(&scalar.entries) {
+            assert_eq!(b.label, s.label);
+            assert_eq!(b.strategy, "batched@3");
+            assert_eq!(b.cycles, s.cycles, "{}: batched cycles must be bit-identical", b.label);
+            assert_eq!(b.retired, s.retired * 3, "{}: retired must sum the lanes", b.label);
+        }
+        // A combined bench still checks against a scalar-only golden.
+        let golden = scalar.to_json();
+        let mut combined = scalar.clone();
+        combined.extend(batched);
+        combined.check_against(&golden).unwrap();
+        assert!(combined.aggregate_mips("scalar").unwrap() > 0.0);
+        assert!(combined.aggregate_mips("batched@3").unwrap() > 0.0);
+        assert!(combined.aggregate_mips("batched@9").is_none());
+    }
+
+    #[test]
+    fn spread_warnings_fire_above_ten_percent() {
+        let mut e = ThroughputEntry {
+            label: "x".to_owned(),
+            workload: String::new(),
+            predictor: String::new(),
+            asbr: false,
+            strategy: "scalar".to_owned(),
+            samples: 1,
+            cycles: 1,
+            retired: 1,
+            best_nanos: 90,
+            mean_nanos: 100,
+            stddev_nanos: 5,
+        };
+        let mut bench = ThroughputBench {
+            samples: 1,
+            reps: 3,
+            host: HostInfo::gather(1),
+            entries: vec![e.clone()],
+        };
+        assert!(bench.spread_warnings().is_empty(), "5% spread is quiet");
+        e.stddev_nanos = 20;
+        bench.entries = vec![e];
+        let warns = bench.spread_warnings();
+        assert_eq!(warns.len(), 1);
+        assert!(warns[0].contains("20%"), "{warns:?}");
+    }
+
+    #[test]
+    fn v1_goldens_without_host_or_strategy_still_check() {
+        // A v1 document: no host block, no strategy/mean/stddev fields.
+        let golden = r#"{
+          "schema": "asbr-throughput-bench-v1",
+          "samples": 10, "reps": 1,
+          "entries": [ { "label": "a/b/baseline", "cycles": 100 } ]
+        }"#;
+        let bench = ThroughputBench {
+            samples: 10,
+            reps: 1,
+            host: HostInfo::gather(1),
+            entries: vec![ThroughputEntry {
+                label: "a/b/baseline".to_owned(),
+                workload: String::new(),
+                predictor: String::new(),
+                asbr: false,
+                strategy: "scalar".to_owned(),
+                samples: 10,
+                cycles: 100,
+                retired: 1,
+                best_nanos: 1,
+                mean_nanos: 1,
+                stddev_nanos: 0,
+            }],
+        };
+        bench.check_against(golden).unwrap();
     }
 
     #[test]
@@ -360,14 +734,18 @@ mod tests {
             workload: String::new(),
             predictor: String::new(),
             asbr: false,
+            strategy: "scalar".to_owned(),
             samples: 10,
             cycles,
             retired: 1,
             best_nanos: 1,
+            mean_nanos: 1,
+            stddev_nanos: 0,
         };
         let bench = ThroughputBench {
             samples: 10,
             reps: 1,
+            host: HostInfo::gather(1),
             entries: vec![entry("a/b/baseline", 100), entry("a/b/asbr", 90)],
         };
         let json = bench.to_json();
@@ -394,15 +772,19 @@ mod tests {
         let bench = ThroughputBench {
             samples: 10,
             reps: 1,
+            host: HostInfo::gather(1),
             entries: vec![ThroughputEntry {
                 label: "a/b/baseline".to_owned(),
                 workload: String::new(),
                 predictor: String::new(),
                 asbr: false,
+                strategy: "scalar".to_owned(),
                 samples: 10,
                 cycles: 100,
                 retired: 1,
                 best_nanos: 1,
+                mean_nanos: 1,
+                stddev_nanos: 0,
             }],
         };
         let json = bench.to_json();
@@ -435,10 +817,13 @@ mod tests {
             workload: String::new(),
             predictor: String::new(),
             asbr: false,
+            strategy: "scalar".to_owned(),
             samples: 0,
             cycles: u64::MAX,
             retired: 1,
             best_nanos: 1,
+            mean_nanos: 1,
+            stddev_nanos: 0,
         };
         assert_eq!(e.cycles_per_sec(), u64::MAX);
     }

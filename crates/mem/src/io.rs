@@ -49,6 +49,7 @@ impl SampleIo {
 
     /// Whether `addr` falls in the MMIO window.
     #[must_use]
+    #[inline]
     pub fn contains(addr: u32) -> bool {
         (MMIO_BASE..MMIO_LIMIT).contains(&addr)
     }
@@ -84,6 +85,7 @@ impl SampleIo {
     /// Device-register read. Reading [`MMIO_IN_POP`] consumes one input
     /// sample (returning 0 once exhausted); other defined registers are
     /// side-effect free; undefined offsets read 0.
+    #[inline]
     pub fn read(&mut self, addr: u32) -> u32 {
         debug_assert!(SampleIo::contains(addr));
         match addr {
@@ -96,6 +98,7 @@ impl SampleIo {
 
     /// Device-register write. Writing [`MMIO_OUT_PUSH`] appends to the
     /// output stream; other offsets are ignored.
+    #[inline]
     pub fn write(&mut self, addr: u32, value: u32) {
         debug_assert!(SampleIo::contains(addr));
         if addr == MMIO_OUT_PUSH {

@@ -196,6 +196,14 @@ impl Memory {
     pub fn resident_pages(&self) -> usize {
         self.pages.len()
     }
+
+    /// Iterates over the materialised pages as `(base_address, bytes)`
+    /// pairs (4 KiB each, unspecified order) — the raw material for bulk
+    /// copies into other memory representations (checkpoint restore, the
+    /// batch engine's flat lane memory).
+    pub fn pages(&self) -> impl Iterator<Item = (u32, &[u8])> + '_ {
+        self.pages.iter().map(|(&idx, bytes)| (idx << PAGE_BITS, &bytes[..]))
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,1318 @@
+//! Batched lock-step simulation: N independent cycle-accurate runs in one
+//! engine, bit-identical to N scalar [`crate::Pipeline`] runs.
+//!
+//! [`BatchPipeline`] holds N *lanes*. Each lane is a full 5-stage machine
+//! — same stage ordering, same attribution, same hook protocol as the
+//! scalar pipeline — but built on throughput-oriented state:
+//!
+//! * **flat lane memory** — guest memory below [`FLAT_LIMIT`] (text,
+//!   data, stack) is one linear byte array instead of the scalar engine's
+//!   hashed page map, so every load/store is an indexed access. Rare
+//!   higher addresses fall back to a sparse [`Memory`], and the partition
+//!   is by address alone, so semantics (zero-filled reads, alignment
+//!   errors) are unchanged.
+//! * **pooled pipeline slots** — in-flight instructions live in a small
+//!   fixed arena and the stage latches carry indices, so a slot is
+//!   written once at fetch instead of being copied through every latch.
+//! * **dense statistics** — per-branch-site attribution and prediction
+//!   records are arrays indexed by text offset (with a map spill for
+//!   out-of-text PCs), converted to the scalar engine's sparse maps only
+//!   when a summary is taken. The conversion is exact: the scalar maps
+//!   only ever hold touched (non-default) entries.
+//!
+//! Per-run simulated cycles, the full [`PipelineStats`] (including
+//! per-cycle attribution and per-site records), guest output, and
+//! architectural registers are **bit-identical** to the scalar engine —
+//! pinned by the `tests/batch.rs` differential tests. The win is host
+//! throughput only (see `docs/performance.md`, "Batched execution").
+
+use std::collections::BTreeMap;
+
+use asbr_asm::{Program, STACK_TOP};
+use asbr_bpred::{
+    AccuracyTracker, Bimodal, BranchRecord, Btb, Gshare, Predictor, PredictorKind, ReturnStack,
+};
+use asbr_isa::{Instr, Reg, INSTR_BYTES};
+use asbr_mem::{Access, CacheConfig, MemAccessError, Memory, MemSystemConfig, SampleIo};
+
+use crate::code::{CodeStore, RasClass, SlotMeta};
+use crate::exec::{execute, extend_load, ControlEffect, MemOp};
+use crate::hooks::{NullHooks, PublishPoint, SimHooks};
+use crate::pipeline::{PipelineConfig, PipelineSummary};
+use crate::stats::{Activity, BranchSite, CycleAttribution, CycleBucket, PipelineStats, NUM_BUCKETS};
+use crate::SimError;
+
+/// Guest addresses below this limit live in the lane's flat byte array;
+/// addresses at or above it (none of the linker's text/data/stack layout,
+/// which tops out at the 0x00F0_0000 stack) take the sparse fallback.
+/// 16 MiB per lane, allocated zeroed — the host commits only the pages a
+/// run actually touches.
+const FLAT_LIMIT: u32 = 0x0100_0000;
+
+/// Arena capacity (ring). There are seven latch positions (fetching,
+/// IF/ID, ID/EX, EX-hold, EX/MEM, MEM-hold, MEM/WB) so at most seven
+/// slots are live at once; 8 lets the ring reuse by masking.
+const POOL: usize = 8;
+
+/// Cycles one lane runs before the scheduler rotates to the next in
+/// [`BatchPipeline::run`] — large enough that a lane's working set
+/// (flat memory, caches, predictor tables) stays hot while it runs.
+const RUN_CHUNK: u64 = 1 << 16;
+
+/// A bubble tag (cause + origin PC), as in the scalar pipeline.
+type Gap = (CycleBucket, u32);
+
+const GAP_FILL: Gap = (CycleBucket::FillDrain, 0);
+
+// ----------------------------------------------------------------------
+// Lane memory
+// ----------------------------------------------------------------------
+
+/// Shift/mask port of [`asbr_mem::Cache`] for the hot per-cycle path.
+///
+/// [`CacheConfig::num_sets`] asserts power-of-two line size and set
+/// count, so the scalar model's `/ line_bytes`, `% num_sets`, and
+/// `/ num_sets` are exactly a shift and a mask — this cache produces the
+/// same hit/miss/penalty sequence (same true-LRU victim, same first-win
+/// tie-break) without the per-access integer divisions and hit/miss
+/// counters. Penalties are what feed the lane's timing; the counters are
+/// not part of [`PipelineStats`].
+#[derive(Clone)]
+struct LaneCache {
+    line_shift: u32,
+    set_mask: u32,
+    set_shift: u32,
+    assoc: u32,
+    miss_penalty: u32,
+    ways: Vec<CacheLine>,
+    clock: u64,
+}
+
+#[derive(Clone, Copy, Default)]
+struct CacheLine {
+    valid: bool,
+    tag: u32,
+    lru: u64,
+}
+
+impl LaneCache {
+    fn new(cfg: CacheConfig) -> LaneCache {
+        let num_sets = cfg.num_sets();
+        LaneCache {
+            line_shift: cfg.line_bytes.trailing_zeros(),
+            set_mask: num_sets - 1,
+            set_shift: num_sets.trailing_zeros(),
+            assoc: cfg.assoc,
+            miss_penalty: cfg.miss_penalty,
+            ways: vec![CacheLine::default(); (num_sets * cfg.assoc) as usize],
+            clock: 0,
+        }
+    }
+
+    #[inline]
+    fn access(&mut self, addr: u32) -> u32 {
+        self.clock += 1;
+        let line_addr = addr >> self.line_shift;
+        let set = line_addr & self.set_mask;
+        let tag = line_addr >> self.set_shift;
+        let base = (set * self.assoc) as usize;
+        let ways = &mut self.ways[base..base + self.assoc as usize];
+        for w in ways.iter_mut() {
+            if w.valid && w.tag == tag {
+                w.lru = self.clock;
+                return 0;
+            }
+        }
+        // Miss: fill the LRU (or first invalid) way, first-min winning —
+        // the same choice `Iterator::min_by_key` makes in the scalar model.
+        let mut victim = 0usize;
+        let mut best = u64::MAX;
+        for (i, w) in ways.iter().enumerate() {
+            let key = if w.valid { w.lru + 1 } else { 0 };
+            if key < best {
+                best = key;
+                victim = i;
+            }
+        }
+        ways[victim] = CacheLine { valid: true, tag, lru: self.clock };
+        self.miss_penalty
+    }
+}
+
+/// The lane's memory system: flat low memory + sparse high fallback +
+/// I/D caches + MMIO device. Every accessor mirrors
+/// [`asbr_mem::MemSystem`] exactly (check order, error values, cache and
+/// device side effects) so timing and behaviour are bit-identical.
+struct LaneMem {
+    flat: Vec<u8>,
+    high: Memory,
+    icache: LaneCache,
+    dcache: LaneCache,
+    io: SampleIo,
+}
+
+impl LaneMem {
+    fn new(cfg: MemSystemConfig) -> LaneMem {
+        LaneMem {
+            flat: vec![0; FLAT_LIMIT as usize],
+            high: Memory::new(),
+            icache: LaneCache::new(cfg.icache),
+            dcache: LaneCache::new(cfg.dcache),
+            io: SampleIo::new(),
+        }
+    }
+
+    /// Bulk-copies one loader page into the right region.
+    fn write_page(&mut self, base: u32, bytes: &[u8]) {
+        if base < FLAT_LIMIT {
+            // Pages are 4 KiB-aligned and FLAT_LIMIT is a page multiple,
+            // so a page starting below the limit fits entirely below it.
+            let b = base as usize;
+            self.flat[b..b + bytes.len()].copy_from_slice(bytes);
+        } else {
+            self.high.write_bytes(base, bytes);
+        }
+    }
+
+    #[inline]
+    fn read_u8(&self, addr: u32) -> u8 {
+        if addr < FLAT_LIMIT {
+            self.flat[addr as usize]
+        } else {
+            self.high.read_u8(addr)
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, addr: u32, value: u8) {
+        if addr < FLAT_LIMIT {
+            self.flat[addr as usize] = value;
+        } else {
+            self.high.write_u8(addr, value);
+        }
+    }
+
+    #[inline]
+    fn read_u16(&self, addr: u32) -> Result<u16, MemAccessError> {
+        if !addr.is_multiple_of(2) {
+            return Err(MemAccessError::Misaligned { addr, required_align: 2 });
+        }
+        if addr < FLAT_LIMIT {
+            let a = addr as usize;
+            Ok(u16::from_le_bytes([self.flat[a], self.flat[a + 1]]))
+        } else {
+            self.high.read_u16(addr)
+        }
+    }
+
+    #[inline]
+    fn write_u16(&mut self, addr: u32, value: u16) -> Result<(), MemAccessError> {
+        if !addr.is_multiple_of(2) {
+            return Err(MemAccessError::Misaligned { addr, required_align: 2 });
+        }
+        if addr < FLAT_LIMIT {
+            let a = addr as usize;
+            self.flat[a..a + 2].copy_from_slice(&value.to_le_bytes());
+            Ok(())
+        } else {
+            self.high.write_u16(addr, value)
+        }
+    }
+
+    #[inline]
+    fn read_u32(&self, addr: u32) -> Result<u32, MemAccessError> {
+        if !addr.is_multiple_of(4) {
+            return Err(MemAccessError::Misaligned { addr, required_align: 4 });
+        }
+        if addr < FLAT_LIMIT {
+            let a = addr as usize;
+            Ok(u32::from_le_bytes(self.flat[a..a + 4].try_into().expect("4-byte slice")))
+        } else {
+            self.high.read_u32(addr)
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, addr: u32, value: u32) -> Result<(), MemAccessError> {
+        if !addr.is_multiple_of(4) {
+            return Err(MemAccessError::Misaligned { addr, required_align: 4 });
+        }
+        if addr < FLAT_LIMIT {
+            let a = addr as usize;
+            self.flat[a..a + 4].copy_from_slice(&value.to_le_bytes());
+            Ok(())
+        } else {
+            self.high.write_u32(addr, value)
+        }
+    }
+
+    #[inline]
+    fn fetch_instr(&mut self, pc: u32) -> Result<Access, MemAccessError> {
+        let value = self.read_u32(pc)?;
+        let penalty = self.icache.access(pc);
+        Ok(Access { value, penalty })
+    }
+
+    #[inline]
+    fn fetch_penalty(&mut self, pc: u32) -> u32 {
+        self.icache.access(pc)
+    }
+
+    #[inline]
+    fn timed_read(&mut self, addr: u32, bytes: u32) -> Result<Access, MemAccessError> {
+        if SampleIo::contains(addr) {
+            if !addr.is_multiple_of(bytes) {
+                return Err(MemAccessError::Misaligned { addr, required_align: bytes });
+            }
+            return Ok(Access { value: self.io.read(addr & !3), penalty: 0 });
+        }
+        let value = match bytes {
+            1 => u32::from(self.read_u8(addr)),
+            2 => u32::from(self.read_u16(addr)?),
+            4 => self.read_u32(addr)?,
+            _ => return Err(MemAccessError::UnsupportedWidth { addr, bytes }),
+        };
+        let penalty = self.dcache.access(addr);
+        Ok(Access { value, penalty })
+    }
+
+    #[inline]
+    fn timed_write(&mut self, addr: u32, value: u32, bytes: u32) -> Result<u32, MemAccessError> {
+        if SampleIo::contains(addr) {
+            if !addr.is_multiple_of(bytes) {
+                return Err(MemAccessError::Misaligned { addr, required_align: bytes });
+            }
+            self.io.write(addr & !3, value);
+            return Ok(0);
+        }
+        match bytes {
+            1 => self.write_u8(addr, value as u8),
+            2 => self.write_u16(addr, value as u16)?,
+            4 => self.write_u32(addr, value)?,
+            _ => return Err(MemAccessError::UnsupportedWidth { addr, bytes }),
+        }
+        Ok(self.dcache.access(addr))
+    }
+}
+
+// ----------------------------------------------------------------------
+// Dense per-PC statistics
+// ----------------------------------------------------------------------
+
+/// Array-indexed per-PC records for in-text PCs (index = text offset / 4)
+/// with a sparse spill for everything else. Converts exactly to the
+/// scalar engine's maps: scalar maps only contain touched entries, and
+/// every touch increments a counter, so "non-default" is precisely
+/// "present in the scalar map".
+struct DenseMap<T> {
+    base: u32,
+    entries: Vec<T>,
+    spill: BTreeMap<u32, T>,
+}
+
+impl<T: Copy + Default + PartialEq> DenseMap<T> {
+    fn new(base: u32, len: usize) -> DenseMap<T> {
+        DenseMap { base, entries: vec![T::default(); len], spill: BTreeMap::new() }
+    }
+
+    #[inline]
+    fn get_mut(&mut self, pc: u32) -> &mut T {
+        let off = pc.wrapping_sub(self.base);
+        let idx = (off >> 2) as usize;
+        if off & 3 == 0 && idx < self.entries.len() {
+            &mut self.entries[idx]
+        } else {
+            self.spill.entry(pc).or_default()
+        }
+    }
+
+    /// The touched entries as `(pc, record)` pairs, dense then spill.
+    fn touched(&self) -> impl Iterator<Item = (u32, T)> + '_ {
+        let dflt = T::default();
+        self.entries
+            .iter()
+            .enumerate()
+            .filter(move |(_, t)| **t != dflt)
+            .map(move |(i, t)| (self.base.wrapping_add(4 * i as u32), *t))
+            .chain(self.spill.iter().map(|(&pc, &t)| (pc, t)))
+    }
+}
+
+/// Dense mirror of [`PipelineStats`]: same scalar counters, array
+/// attribution buckets, dense per-site/per-branch maps.
+struct LaneStats {
+    cycles: u64,
+    retired: u64,
+    branch_flushes: u64,
+    jump_redirects: u64,
+    indirect_flushes: u64,
+    load_use_stalls: u64,
+    icache_stall_cycles: u64,
+    dcache_stall_cycles: u64,
+    ex_stall_cycles: u64,
+    folded_branches: u64,
+    activity: Activity,
+    buckets: [u64; NUM_BUCKETS],
+    sites: DenseMap<BranchSite>,
+    branches: DenseMap<BranchRecord>,
+}
+
+impl LaneStats {
+    fn new(text_base: u32, text_len: usize) -> LaneStats {
+        LaneStats {
+            cycles: 0,
+            retired: 0,
+            branch_flushes: 0,
+            jump_redirects: 0,
+            indirect_flushes: 0,
+            load_use_stalls: 0,
+            icache_stall_cycles: 0,
+            dcache_stall_cycles: 0,
+            ex_stall_cycles: 0,
+            folded_branches: 0,
+            activity: Activity::default(),
+            buckets: [0; NUM_BUCKETS],
+            sites: DenseMap::new(text_base, text_len),
+            branches: DenseMap::new(text_base, text_len),
+        }
+    }
+
+    /// Mirrors [`CycleAttribution::charge`].
+    #[inline]
+    fn charge(&mut self, bucket: CycleBucket, origin_pc: u32) {
+        self.buckets[bucket as usize] += 1;
+        if bucket == CycleBucket::BranchFlush {
+            self.sites.get_mut(origin_pc).flush_cycles += 1;
+        }
+    }
+
+    /// Converts to the scalar representation — exact, see [`DenseMap`].
+    fn to_pipeline_stats(&self) -> PipelineStats {
+        let sites: BTreeMap<u32, BranchSite> = self.sites.touched().collect();
+        let mut buckets = self.buckets;
+        // One Useful charge per retire; counted once here instead of in
+        // stage_wb (see the comment there).
+        buckets[CycleBucket::Useful as usize] = self.retired;
+        PipelineStats {
+            cycles: self.cycles,
+            retired: self.retired,
+            branches: AccuracyTracker::from_records(self.branches.touched()),
+            branch_flushes: self.branch_flushes,
+            jump_redirects: self.jump_redirects,
+            indirect_flushes: self.indirect_flushes,
+            load_use_stalls: self.load_use_stalls,
+            icache_stall_cycles: self.icache_stall_cycles,
+            dcache_stall_cycles: self.dcache_stall_cycles,
+            ex_stall_cycles: self.ex_stall_cycles,
+            folded_branches: self.folded_branches,
+            activity: self.activity,
+            attribution: CycleAttribution::from_parts(buckets, sites),
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Lane predictor
+// ----------------------------------------------------------------------
+
+/// Statically-dispatched direction predictor for the common kinds, so the
+/// per-branch predict/update pair inlines into the lane instead of going
+/// through the scalar engine's `Box<dyn Predictor>` vtable. Behaviour is
+/// the concrete predictor's — same tables, same state transitions — and
+/// uncommon kinds fall back to the boxed form.
+enum LanePred {
+    NotTaken,
+    Taken,
+    Bimodal(Bimodal),
+    Gshare(Gshare),
+    Dyn(Box<dyn Predictor>),
+}
+
+impl LanePred {
+    fn from_kind(kind: PredictorKind) -> LanePred {
+        match kind {
+            PredictorKind::NotTaken => LanePred::NotTaken,
+            PredictorKind::Taken => LanePred::Taken,
+            PredictorKind::Bimodal { entries } => LanePred::Bimodal(Bimodal::new(entries)),
+            PredictorKind::Gshare { hist_bits, entries } => {
+                LanePred::Gshare(Gshare::new(hist_bits, entries))
+            }
+            other => LanePred::Dyn(other.build()),
+        }
+    }
+
+    #[inline]
+    fn predict(&mut self, pc: u32) -> bool {
+        match self {
+            LanePred::NotTaken => false,
+            LanePred::Taken => true,
+            LanePred::Bimodal(p) => p.predict(pc),
+            LanePred::Gshare(p) => p.predict(pc),
+            LanePred::Dyn(p) => p.predict(pc),
+        }
+    }
+
+    #[inline]
+    fn update(&mut self, pc: u32, taken: bool) {
+        match self {
+            LanePred::NotTaken | LanePred::Taken => {}
+            LanePred::Bimodal(p) => p.update(pc, taken),
+            LanePred::Gshare(p) => p.update(pc, taken),
+            LanePred::Dyn(p) => p.update(pc, taken),
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Lane
+// ----------------------------------------------------------------------
+
+/// One in-flight instruction (the arena entry). The scalar pipeline's
+/// slot, with two representation changes: lanes move arena *indices*
+/// through the latches instead of the whole struct, and instead of the
+/// full `ExecEffect` only the three pieces later stages read are kept —
+/// the memory operation, the load destination, and the writeback value
+/// (stored into `value` at EX, where the scalar engine defers it to MEM;
+/// nothing observes `value` between EX and MEM, and loads overwrite it
+/// at MEM exactly as the scalar engine does). The `halt` effect is
+/// equivalent to `meta.is_halt`, which WB uses instead.
+#[derive(Clone, Copy)]
+struct Slot {
+    pc: u32,
+    instr: Instr,
+    meta: SlotMeta,
+    assumed_next: u32,
+    predicted_taken: Option<bool>,
+    writer_pending: Option<Reg>,
+    mem_op: Option<MemOp>,
+    load_dst: Option<Reg>,
+    value: Option<(Reg, u32)>,
+}
+
+impl Slot {
+    fn dummy() -> Slot {
+        Slot {
+            pc: 0,
+            instr: Instr::Halt,
+            meta: SlotMeta::from_instr(Instr::Halt, 0, 1, 1),
+            assumed_next: 0,
+            predicted_taken: None,
+            writer_pending: None,
+            mem_op: None,
+            load_dst: None,
+            value: None,
+        }
+    }
+}
+
+struct Redirect {
+    target: u32,
+    pc: u32,
+    indirect: bool,
+}
+
+/// One complete 5-stage machine over lane-local state. Every stage is a
+/// literal port of the scalar [`crate::Pipeline`] stage of the same name
+/// (same order of checks, stat updates, hook calls, and early returns);
+/// deviations are only in data representation.
+struct Lane<H: SimHooks> {
+    cfg: PipelineConfig,
+    regs: [u32; 32],
+    pc: u32,
+    mem: LaneMem,
+    code: CodeStore,
+    pred: LanePred,
+    btb: Option<Btb>,
+    ras: Option<ReturnStack>,
+    hooks: H,
+
+    // Slot arena, allocated as a ring: slots enter in fetch order and die
+    // in order (in-order retirement; squashes only kill the youngest), so
+    // the slot allocated `POOL` fetches ago is always dead — at most 7 of
+    // the latch positions can be occupied at once. No free list needed.
+    pool: [Slot; POOL],
+    head: u32,
+
+    // Latches (arena indices), upstream to downstream.
+    fetching: Option<(usize, u32)>,
+    if_id: Option<usize>,
+    id_ex: Option<usize>,
+    ex_hold: Option<(usize, u32)>,
+    ex_mem: Option<usize>,
+    mem_hold: Option<(usize, u32)>,
+    mem_wb: Option<usize>,
+
+    gap_if_id: Gap,
+    gap_id_ex: Gap,
+    gap_ex_mem: Gap,
+    gap_mem_wb: Gap,
+
+    halted: bool,
+    halt_fetched: bool,
+    stats: LaneStats,
+}
+
+impl<H: SimHooks> Lane<H> {
+    fn new(
+        cfg: PipelineConfig,
+        pred: PredictorKind,
+        hooks: H,
+        program: &Program,
+        input: Vec<i32>,
+    ) -> Result<Lane<H>, SimError> {
+        let decoded = program.decoded().map_err(|source| SimError::InvalidText { source })?;
+        let text_base = decoded.text_base();
+        let text_len = decoded.len();
+
+        let mut mem = LaneMem::new(cfg.mem);
+        let mut staging = Memory::new();
+        program.load_into(&mut staging);
+        for (base, bytes) in staging.pages() {
+            mem.write_page(base, bytes);
+        }
+        mem.io.extend_input(input);
+
+        let mut code = CodeStore::new(decoded, cfg.mul_latency, cfg.div_latency);
+        code.mark_fold_candidates(|pc| hooks.fold_candidate(pc));
+
+        let mut regs = [0u32; 32];
+        regs[usize::from(Reg::SP)] = STACK_TOP;
+        Ok(Lane {
+            cfg,
+            regs,
+            pc: program.entry(),
+            mem,
+            code,
+            pred: LanePred::from_kind(pred),
+            btb: (cfg.btb_entries > 0).then(|| Btb::new(cfg.btb_entries)),
+            ras: (cfg.ras_entries > 0).then(|| ReturnStack::new(cfg.ras_entries)),
+            hooks,
+            pool: [Slot::dummy(); POOL],
+            head: 0,
+            fetching: None,
+            if_id: None,
+            id_ex: None,
+            ex_hold: None,
+            ex_mem: None,
+            mem_hold: None,
+            mem_wb: None,
+            gap_if_id: GAP_FILL,
+            gap_id_ex: GAP_FILL,
+            gap_ex_mem: GAP_FILL,
+            gap_mem_wb: GAP_FILL,
+            halted: false,
+            halt_fetched: false,
+            stats: LaneStats::new(text_base, text_len),
+        })
+    }
+
+    fn summary(&self) -> PipelineSummary {
+        PipelineSummary {
+            stats: self.stats.to_pipeline_stats(),
+            output: self.mem.io.output().to_vec(),
+            halted: self.halted,
+        }
+    }
+
+    fn cycle(&mut self) -> Result<(), SimError> {
+        if self.halted {
+            return Ok(());
+        }
+        self.stats.cycles += 1;
+
+        self.stage_wb();
+        if self.halted {
+            return Ok(());
+        }
+
+        if let Some((i, remaining)) = self.mem_hold.take() {
+            self.stats.dcache_stall_cycles += 1;
+            self.gap_mem_wb = (CycleBucket::DcacheStall, self.pool[i & (POOL - 1)].pc);
+            if remaining > 1 {
+                self.mem_hold = Some((i, remaining - 1));
+            } else {
+                self.finish_mem(i);
+            }
+            return Ok(());
+        }
+        if self.stage_mem()? {
+            return Ok(());
+        }
+
+        if let Some(r) = self.stage_ex() {
+            self.squash_if_id_and_fetch();
+            let bucket =
+                if r.indirect { CycleBucket::IndirectFlush } else { CycleBucket::BranchFlush };
+            self.gap_if_id = (bucket, r.pc);
+            self.gap_id_ex = (bucket, r.pc);
+            self.pc = r.target;
+            self.halt_fetched = false;
+            return Ok(());
+        }
+
+        if let Some(redirect) = self.stage_id() {
+            self.squash_fetch_in_flight();
+            self.pc = redirect;
+            self.halt_fetched = false;
+            return Ok(());
+        }
+
+        self.stage_if()
+    }
+
+    #[inline]
+    fn stage_wb(&mut self) {
+        let Some(i) = self.mem_wb.take() else {
+            let (bucket, origin) = self.gap_mem_wb;
+            self.stats.charge(bucket, origin);
+            return;
+        };
+        let slot = &self.pool[i & (POOL - 1)];
+        let (pc, is_branch) = (slot.pc, slot.meta.is_branch);
+        let (value, writer_pending) = (slot.value, slot.writer_pending);
+        let halt = slot.meta.is_halt;
+        // The Useful bucket is exactly `retired` (one charge per retire,
+        // and Useful is never a flush bucket); it is materialized from
+        // `retired` in `to_pipeline_stats` instead of counted here.
+        if is_branch {
+            self.stats.sites.get_mut(pc).retired += 1;
+        }
+        if let Some((r, v)) = value {
+            if !r.is_zero() {
+                self.regs[usize::from(r)] = v;
+                self.stats.activity.reg_writes += 1;
+            }
+        }
+        if let Some(wr) = writer_pending {
+            let v = value.expect("announced writer has a value").1;
+            self.hooks.note_publish(wr, v);
+        }
+        self.stats.retired += 1;
+        if halt {
+            self.halted = true;
+        }
+    }
+
+    #[inline]
+    fn stage_mem(&mut self) -> Result<bool, SimError> {
+        let Some(i) = self.ex_mem.take() else {
+            self.gap_mem_wb = self.gap_ex_mem;
+            return Ok(false);
+        };
+        let i = i & (POOL - 1);
+        if let Some(op) = self.pool[i].mem_op {
+            self.stats.activity.mem_ops += 1;
+            let pc = self.pool[i].pc;
+            let penalty = if let Some(value) = op.store {
+                let penalty = self
+                    .mem
+                    .timed_write(op.addr, value, op.bytes)
+                    .map_err(|source| SimError::Mem { pc, source })?;
+                self.code.note_store(op.addr, op.bytes);
+                penalty
+            } else {
+                let access = self
+                    .mem
+                    .timed_read(op.addr, op.bytes)
+                    .map_err(|source| SimError::Mem { pc, source })?;
+                let width = match op.bytes {
+                    1 => asbr_isa::MemWidth::Byte,
+                    2 => asbr_isa::MemWidth::Half,
+                    _ => asbr_isa::MemWidth::Word,
+                };
+                let dst = self.pool[i].load_dst.expect("loads have a destination");
+                self.pool[i].value = Some((dst, extend_load(access.value, width, op.unsigned)));
+                access.penalty
+            };
+            if penalty > 0 {
+                self.gap_mem_wb = (CycleBucket::DcacheStall, pc);
+                self.gap_ex_mem = (CycleBucket::DcacheStall, pc);
+                self.mem_hold = Some((i, penalty));
+                return Ok(true);
+            }
+        }
+        self.finish_mem(i);
+        Ok(false)
+    }
+
+    #[inline]
+    fn finish_mem(&mut self, i: usize) {
+        // `value` already holds the EX writeback (or the loaded value for
+        // loads); no fallback needed.
+        let i = i & (POOL - 1);
+        if self.hooks.publish_point() != PublishPoint::Commit {
+            if let (Some(wr), Some((_, v))) = (self.pool[i].writer_pending, self.pool[i].value) {
+                self.hooks.note_publish(wr, v);
+                self.pool[i].writer_pending = None;
+            }
+        }
+        self.mem_wb = Some(i);
+    }
+
+    #[inline]
+    fn stage_ex(&mut self) -> Option<Redirect> {
+        if let Some((i, remaining)) = self.ex_hold.take() {
+            self.stats.ex_stall_cycles += 1;
+            if remaining > 1 {
+                self.gap_ex_mem = (CycleBucket::ExOccupancy, self.pool[i & (POOL - 1)].pc);
+                self.ex_hold = Some((i, remaining - 1));
+                return None;
+            }
+            return self.finish_ex(i);
+        }
+        let Some(i) = self.id_ex.take() else {
+            self.gap_ex_mem = self.gap_id_ex;
+            return None;
+        };
+        let i = i & (POOL - 1);
+        let latency = self.pool[i].meta.latency;
+        if latency > 1 {
+            self.gap_ex_mem = (CycleBucket::ExOccupancy, self.pool[i].pc);
+            self.ex_hold = Some((i, latency - 1));
+            return None;
+        }
+        self.finish_ex(i)
+    }
+
+    #[inline]
+    fn finish_ex(&mut self, i: usize) -> Option<Redirect> {
+        let i = i & (POOL - 1);
+        let fwd = self.mem_wb.and_then(|j| self.pool[j & (POOL - 1)].value);
+        let (pc, instr) = (self.pool[i].pc, self.pool[i].instr);
+        let regs = &self.regs;
+        let read = |r: Reg| -> u32 {
+            if r.is_zero() {
+                return 0;
+            }
+            if let Some((fr, fv)) = fwd {
+                if fr == r {
+                    return fv;
+                }
+            }
+            regs[usize::from(r)]
+        };
+        let fx = execute(instr, pc, read);
+        self.pool[i].mem_op = fx.mem;
+        self.pool[i].load_dst = fx.load_dst;
+        self.pool[i].value = fx.writeback;
+        self.stats.activity.executed += 1;
+
+        let mut redirect = None;
+        if let Some(ctl) = fx.control {
+            let actual_next = ctl.next_pc(pc);
+            match ctl {
+                ControlEffect::Branch { taken, target } => {
+                    let predicted = self.pool[i].predicted_taken.unwrap_or(false);
+                    // Mirrors AccuracyTracker::record (the aggregate is
+                    // recomputed at summary time by from_records).
+                    let rec = self.stats.branches.get_mut(pc);
+                    rec.executed += 1;
+                    rec.taken += u64::from(taken);
+                    rec.correct += u64::from(predicted == taken);
+                    self.pred.update(pc, taken);
+                    self.stats.activity.predictor_updates += 1;
+                    if taken {
+                        if let Some(btb) = &mut self.btb {
+                            btb.update(pc, target);
+                        }
+                    }
+                    if actual_next != self.pool[i].assumed_next {
+                        self.stats.branch_flushes += 1;
+                        self.stats.sites.get_mut(pc).flushes += 1;
+                        redirect = Some(Redirect { target: actual_next, pc, indirect: false });
+                    }
+                }
+                ControlEffect::Jump { .. } => {
+                    if actual_next != self.pool[i].assumed_next {
+                        self.stats.indirect_flushes += 1;
+                        redirect = Some(Redirect { target: actual_next, pc, indirect: true });
+                    }
+                }
+            }
+        }
+        if let Some((ctrl, value)) = fx.ctrl_write {
+            self.hooks.note_ctrl_write(ctrl, value);
+        }
+        if self.hooks.publish_point() == PublishPoint::Execute {
+            if let (Some(wr), Some((_, v))) = (self.pool[i].writer_pending, fx.writeback) {
+                self.hooks.note_publish(wr, v);
+                self.pool[i].writer_pending = None;
+            }
+        }
+        self.ex_mem = Some(i);
+        redirect
+    }
+
+    #[inline]
+    fn stage_id(&mut self) -> Option<u32> {
+        if self.id_ex.is_some() {
+            return None;
+        }
+        let Some(i) = self.if_id.take() else {
+            self.gap_id_ex = self.gap_if_id;
+            return None;
+        };
+        let i = i & (POOL - 1);
+
+        if let Some(j) = self.ex_mem {
+            if let Some(dst) = self.pool[j & (POOL - 1)].load_dst {
+                let srcs = self.pool[i].meta.srcs;
+                if srcs.iter().flatten().any(|&s| s == dst) {
+                    self.stats.load_use_stalls += 1;
+                    self.gap_id_ex = (CycleBucket::LoadUse, self.pool[i].pc);
+                    self.if_id = Some(i);
+                    return None;
+                }
+            }
+        }
+
+        self.stats.activity.decoded += 1;
+        let mut redirect = None;
+        if let Some(target) = self.pool[i].meta.direct_target {
+            if target != self.pool[i].assumed_next {
+                self.pool[i].assumed_next = target;
+                self.stats.jump_redirects += 1;
+                self.gap_if_id = (CycleBucket::JumpRedirect, self.pool[i].pc);
+                redirect = Some(target);
+            }
+        }
+        self.id_ex = Some(i);
+        redirect
+    }
+
+    #[inline]
+    fn stage_if(&mut self) -> Result<(), SimError> {
+        if let Some((i, mut delay)) = self.fetching.take() {
+            if delay > 0 {
+                delay -= 1;
+                self.stats.icache_stall_cycles += 1;
+            }
+            if delay == 0 && self.if_id.is_none() {
+                self.if_id = Some(i);
+            } else {
+                if self.if_id.is_none() {
+                    self.gap_if_id = (CycleBucket::IcacheStall, self.pool[i].pc);
+                }
+                self.fetching = Some((i, delay));
+            }
+            return Ok(());
+        }
+        if self.if_id.is_some() {
+            return Ok(());
+        }
+        if self.halt_fetched {
+            self.gap_if_id = GAP_FILL;
+            return Ok(());
+        }
+
+        let pc = self.pc;
+        let (word, predecoded, penalty) = match self.code.fetch(pc) {
+            Some((instr, word, meta)) => (word, Some((instr, meta)), self.mem.fetch_penalty(pc)),
+            None => {
+                let access =
+                    self.mem.fetch_instr(pc).map_err(|source| SimError::Mem { pc, source })?;
+                (access.value, None, access.penalty)
+            }
+        };
+
+        let folded = match predecoded {
+            Some((_, meta)) if !meta.fold_cand => None,
+            _ => self.hooks.try_fold(pc, word),
+        };
+        // Everything is computed into locals and the slot is written once,
+        // fully formed — no read-back of a just-stored struct.
+        let (slot_pc, instr, meta, mut assumed_next, mut predicted_taken);
+        if let Some(folded) = folded {
+            self.stats.folded_branches += 1;
+            self.stats.sites.get_mut(pc).folds += 1;
+            slot_pc = folded.replacement_pc;
+            instr = folded.replacement;
+            meta = self.code.meta_for(
+                folded.replacement_pc,
+                folded.replacement,
+                self.cfg.mul_latency,
+                self.cfg.div_latency,
+            );
+            assumed_next = folded.next_pc;
+            predicted_taken = if meta.is_branch { Some(false) } else { None };
+        } else {
+            let (di, dm) = match predecoded {
+                Some(hit) => hit,
+                None => {
+                    let instr =
+                        Instr::decode(word).map_err(|_| SimError::InvalidInstr { pc, word })?;
+                    (
+                        instr,
+                        SlotMeta::from_instr(instr, pc, self.cfg.mul_latency, self.cfg.div_latency),
+                    )
+                }
+            };
+            slot_pc = pc;
+            instr = di;
+            meta = dm;
+            assumed_next = pc.wrapping_add(INSTR_BYTES);
+            predicted_taken = None;
+            if meta.is_branch {
+                self.stats.activity.predictor_lookups += 1;
+                let predicted = self.pred.predict(pc);
+                predicted_taken = Some(predicted);
+                if predicted {
+                    if let Some(target) = self.btb.as_mut().and_then(|b| b.lookup(pc)) {
+                        assumed_next = target;
+                    }
+                }
+            }
+        }
+        if let Some(ras) = &mut self.ras {
+            match meta.ras {
+                RasClass::Push => {
+                    ras.push(slot_pc.wrapping_add(INSTR_BYTES));
+                }
+                RasClass::PopReturn => {
+                    if let Some(target) = ras.pop() {
+                        assumed_next = target;
+                    }
+                }
+                RasClass::None => {}
+            }
+        }
+
+        self.stats.activity.fetched += 1;
+        let mut writer_pending = None;
+        if let Some(dst) = meta.dst {
+            self.hooks.note_fetch_writer(dst);
+            writer_pending = Some(dst);
+        }
+        if meta.is_halt {
+            self.halt_fetched = true;
+        }
+        self.pc = assumed_next;
+
+        let i = (self.head as usize) & (POOL - 1);
+        self.head = self.head.wrapping_add(1);
+        self.pool[i] = Slot {
+            pc: slot_pc,
+            instr,
+            meta,
+            assumed_next,
+            predicted_taken,
+            writer_pending,
+            mem_op: None,
+            load_dst: None,
+            value: None,
+        };
+
+        if penalty > 0 {
+            self.gap_if_id = (CycleBucket::IcacheStall, pc);
+            self.fetching = Some((i, penalty));
+        } else {
+            self.if_id = Some(i);
+        }
+        Ok(())
+    }
+
+    #[inline]
+    fn squash_slot(&mut self, i: usize) {
+        let i = i & (POOL - 1);
+        self.stats.activity.squashed += 1;
+        if let Some(r) = self.pool[i].writer_pending {
+            self.hooks.note_squash_writer(r);
+        }
+    }
+
+    fn squash_fetch_in_flight(&mut self) {
+        if let Some((i, _)) = self.fetching.take() {
+            self.squash_slot(i);
+        }
+    }
+
+    fn squash_if_id_and_fetch(&mut self) {
+        if let Some(i) = self.if_id.take() {
+            self.squash_slot(i);
+        }
+        self.squash_fetch_in_flight();
+    }
+}
+
+// ----------------------------------------------------------------------
+// BatchPipeline
+// ----------------------------------------------------------------------
+
+/// N independent cycle-accurate runs in one engine.
+///
+/// Lanes are added with [`push_lane`] (each with its own configuration,
+/// predictor, hooks, program, and input) and driven either strictly
+/// cycle-interleaved with [`step_all`] or to completion with [`run`].
+/// Lanes never interact, so both schedules produce identical per-lane
+/// results; `run` rotates in large per-lane chunks purely for host-cache
+/// locality.
+///
+/// # Examples
+///
+/// ```
+/// use asbr_asm::assemble;
+/// use asbr_bpred::PredictorKind;
+/// use asbr_sim::{BatchPipeline, NullHooks, PipelineConfig};
+///
+/// let prog = assemble("
+/// main:   li   r4, 10
+/// loop:   addi r4, r4, -1
+///         bnez r4, loop
+///         halt
+/// ")?;
+/// let mut batch = BatchPipeline::new();
+/// for _ in 0..4 {
+///     batch.push_lane(
+///         PipelineConfig::default(),
+///         PredictorKind::Bimodal { entries: 64 },
+///         NullHooks,
+///         &prog,
+///         [],
+///     )?;
+/// }
+/// let summaries = batch.run()?;
+/// assert_eq!(summaries.len(), 4);
+/// assert!(summaries.iter().all(|s| s.halted));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+///
+/// [`push_lane`]: BatchPipeline::push_lane
+/// [`step_all`]: BatchPipeline::step_all
+/// [`run`]: BatchPipeline::run
+pub struct BatchPipeline<H: SimHooks = NullHooks> {
+    lanes: Vec<Lane<H>>,
+}
+
+impl<H: SimHooks> Default for BatchPipeline<H> {
+    fn default() -> BatchPipeline<H> {
+        BatchPipeline::new()
+    }
+}
+
+impl<H: SimHooks> BatchPipeline<H> {
+    /// An empty batch (no lanes).
+    #[must_use]
+    pub fn new() -> BatchPipeline<H> {
+        BatchPipeline { lanes: Vec::new() }
+    }
+
+    /// Adds a lane: one independent run with its own configuration,
+    /// predictor, fetch-customization hooks, program, and input. Returns
+    /// the lane index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidText`] when the program's text fails
+    /// load-time validation, exactly as [`crate::Pipeline::load`] does.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate cache or BTB geometry, as the scalar
+    /// constructor does.
+    pub fn push_lane(
+        &mut self,
+        cfg: PipelineConfig,
+        pred: PredictorKind,
+        hooks: H,
+        program: &Program,
+        input: impl IntoIterator<Item = i32>,
+    ) -> Result<usize, SimError> {
+        let lane = Lane::new(cfg, pred, hooks, program, input.into_iter().collect())?;
+        self.lanes.push(lane);
+        Ok(self.lanes.len() - 1)
+    }
+
+    /// Number of lanes.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Whether every lane has committed `halt`.
+    #[must_use]
+    pub fn all_halted(&self) -> bool {
+        self.lanes.iter().all(|l| l.halted)
+    }
+
+    /// Advances every non-halted lane by exactly one cycle — the strict
+    /// lock-step schedule. Returns `true` while at least one lane is
+    /// still running.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Limit`] when a lane exceeds its configured
+    /// `max_cycles`, or any per-cycle error of the underlying machine.
+    pub fn step_all(&mut self) -> Result<bool, SimError> {
+        let mut running = false;
+        for lane in &mut self.lanes {
+            if lane.halted {
+                continue;
+            }
+            if lane.stats.cycles >= lane.cfg.max_cycles {
+                return Err(SimError::Limit { limit: lane.cfg.max_cycles });
+            }
+            lane.cycle()?;
+            running |= !lane.halted;
+        }
+        Ok(running)
+    }
+
+    /// Runs every lane to `halt` and returns the per-lane summaries (in
+    /// lane order). Lanes are rotated in [`RUN_CHUNK`]-cycle slices for
+    /// host-cache locality; results are identical to [`step_all`]-driven
+    /// execution because lanes are independent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Limit`] when a lane exceeds its configured
+    /// `max_cycles`, or any per-cycle error of the underlying machine.
+    ///
+    /// [`step_all`]: BatchPipeline::step_all
+    pub fn run(&mut self) -> Result<Vec<PipelineSummary>, SimError> {
+        loop {
+            let mut any = false;
+            for lane in &mut self.lanes {
+                if lane.halted {
+                    continue;
+                }
+                any = true;
+                let target = lane.stats.cycles + RUN_CHUNK;
+                while !lane.halted && lane.stats.cycles < target {
+                    if lane.stats.cycles >= lane.cfg.max_cycles {
+                        return Err(SimError::Limit { limit: lane.cfg.max_cycles });
+                    }
+                    lane.cycle()?;
+                }
+            }
+            if !any {
+                break;
+            }
+        }
+        Ok(self.lanes.iter().map(Lane::summary).collect())
+    }
+
+    /// The summary of lane `lane` in its current state (complete only
+    /// once the lane has halted).
+    #[must_use]
+    pub fn summary(&self, lane: usize) -> PipelineSummary {
+        self.lanes[lane].summary()
+    }
+
+    /// The fetch-customization unit of lane `lane`.
+    #[must_use]
+    pub fn hooks(&self, lane: usize) -> &H {
+        &self.lanes[lane].hooks
+    }
+
+    /// Reads an architectural register of lane `lane`.
+    #[must_use]
+    pub fn reg(&self, lane: usize, r: Reg) -> u32 {
+        self.lanes[lane].regs[usize::from(r)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Pipeline;
+    use asbr_asm::assemble;
+    use asbr_bpred::PredictorKind;
+
+    const LOOP: &str = "
+        main:   li   r4, 50
+                li   r2, 0
+        loop:   addi r2, r2, 3
+                addi r4, r4, -1
+                bnez r4, loop
+                halt
+    ";
+
+    #[test]
+    fn lane_matches_scalar_pipeline_exactly() {
+        let prog = assemble(LOOP).unwrap();
+        let mut scalar =
+            Pipeline::new(PipelineConfig::default(), PredictorKind::Bimodal { entries: 64 }.build());
+        let s = scalar.execute(&prog, []).unwrap();
+
+        let mut batch = BatchPipeline::new();
+        batch
+            .push_lane(
+                PipelineConfig::default(),
+                PredictorKind::Bimodal { entries: 64 },
+                NullHooks,
+                &prog,
+                [],
+            )
+            .unwrap();
+        let b = batch.run().unwrap().remove(0);
+
+        assert_eq!(b.stats, s.stats);
+        assert_eq!(b.output, s.output);
+        assert_eq!(batch.reg(0, Reg::V0), scalar.reg(Reg::V0));
+    }
+
+    #[test]
+    fn step_all_equals_run() {
+        let prog = assemble(LOOP).unwrap();
+        let mk = || {
+            let mut batch = BatchPipeline::new();
+            for seed in 0..3u32 {
+                batch
+                    .push_lane(
+                        PipelineConfig::default(),
+                        PredictorKind::Bimodal { entries: 64 },
+                        NullHooks,
+                        &prog,
+                        [seed as i32],
+                    )
+                    .unwrap();
+            }
+            batch
+        };
+        let mut stepped = mk();
+        while stepped.step_all().unwrap() {}
+        let mut ran = mk();
+        let summaries = ran.run().unwrap();
+        for (lane, summary) in summaries.iter().enumerate() {
+            let s = stepped.summary(lane);
+            assert_eq!(s.stats, summary.stats, "lane {lane}");
+            assert_eq!(s.output, summary.output, "lane {lane}");
+        }
+    }
+
+    #[test]
+    fn mmio_and_dense_stat_spill_round_trip() {
+        // Exercises MMIO (penalty-0, D-cache bypassed) and the flat/high
+        // address partition in one program.
+        let src = "
+            main:   li   r8, 0xFFFF0000
+            loop:   lw   r9, 4(r8)
+                    beqz r9, done
+                    lw   r10, 0(r8)
+                    sll  r10, r10, 1
+                    sw   r10, 8(r8)
+                    j    loop
+            done:   halt
+        ";
+        let prog = assemble(src).unwrap();
+        let input: Vec<i32> = (0..40).map(|i| i * 7 - 60).collect();
+
+        let mut scalar =
+            Pipeline::new(PipelineConfig::default(), PredictorKind::NotTaken.build());
+        let s = scalar.execute(&prog, input.iter().copied()).unwrap();
+
+        let mut batch = BatchPipeline::new();
+        batch
+            .push_lane(
+                PipelineConfig::default(),
+                PredictorKind::NotTaken,
+                NullHooks,
+                &prog,
+                input,
+            )
+            .unwrap();
+        let b = batch.run().unwrap().remove(0);
+        assert_eq!(b.stats, s.stats);
+        assert_eq!(b.output, s.output);
+    }
+}

@@ -1,0 +1,107 @@
+//! Architectural checkpoints for sampled simulation.
+//!
+//! A [`Checkpoint`] captures the complete *architectural* state of a run
+//! at an instruction boundary — registers, PC, memory image, MMIO device
+//! state — plus the data-cache contents as warmed by the in-order
+//! architectural access stream. It is taken cheaply by the functional
+//! [`crate::Interp`] and consumed by [`crate::Pipeline::restore`], which
+//! resumes cycle-accurate execution from that point.
+//!
+//! # What carries over exactly, and what does not
+//!
+//! The interpreter and the pipeline drive the D-cache with the *same*
+//! in-order architectural data-access stream (wrong-path instructions
+//! never reach MEM, and MMIO accesses bypass the D-cache in both
+//! engines), so the checkpointed D-cache at instruction `N` is bit-exact
+//! against a detailed run paused at its `N`-th retire — provided the
+//! interpreter was built with the same memory geometry
+//! ([`crate::Interp::with_config`]).
+//!
+//! The I-cache, BTB, return-address stack, and any attached
+//! fetch-customization state are *not* captured: the functional engine
+//! never exercises them (its fast path never touches the I-cache), and
+//! the pipeline additionally trains them on wrong-path fetches that the
+//! interpreter cannot reproduce. A restored pipeline therefore starts
+//! with those structures cold; sampled execution handles this with a
+//! detailed warm-up prefix per window whose measurements are discarded
+//! (see `docs/performance.md`, "Sampling error model").
+//!
+//! The branch *direction* predictor is the exception: warm-up cannot fix
+//! it (saturating counters under alternating patterns orbit their initial
+//! state forever, so a fresh predictor never converges to the long-run
+//! one), and wrong-path lookups don't mutate table predictors — so
+//! [`crate::Interp::warm_predictor`] trains one along the architectural
+//! path and the checkpoint snapshots it for the restored pipeline to
+//! adopt.
+
+use asbr_bpred::Predictor;
+use asbr_mem::MemSystem;
+
+/// Architectural state of a run at an instruction boundary, as captured
+/// by [`crate::Interp::checkpoint`].
+#[derive(Debug)]
+pub struct Checkpoint {
+    /// Dynamic instructions retired up to (and at) this point.
+    pub(crate) icount: u64,
+    /// The 32 architectural registers.
+    pub(crate) regs: [u32; 32],
+    /// Next instruction to execute.
+    pub(crate) pc: u32,
+    /// Whether `halt` has already executed (a terminal checkpoint).
+    pub(crate) halted: bool,
+    /// Full memory-system image: sparse memory, MMIO device (remaining
+    /// input + produced output), and the warmed D-cache.
+    pub(crate) mem: MemSystem,
+    /// Whether the capturing engine's decode-once store still mirrored
+    /// the loaded text exactly (no self-modifying stores, no raw memory
+    /// handed out). When `false`, a restored pipeline distrusts its own
+    /// pre-decoded store so every fetch re-reads memory — slower, but
+    /// exact in the presence of patched text.
+    pub(crate) pristine: bool,
+    /// Functionally warmed branch-predictor state, present when the
+    /// capturing interpreter had [`crate::Interp::warm_predictor`]
+    /// attached. A restored pipeline adopts it in place of its own
+    /// (cold) predictor.
+    pub(crate) pred: Option<Box<dyn Predictor>>,
+}
+
+impl Clone for Checkpoint {
+    fn clone(&self) -> Checkpoint {
+        Checkpoint {
+            icount: self.icount,
+            regs: self.regs,
+            pc: self.pc,
+            halted: self.halted,
+            mem: self.mem.clone(),
+            pristine: self.pristine,
+            pred: self.pred.as_ref().map(|p| p.clone_box()),
+        }
+    }
+}
+
+impl Checkpoint {
+    /// Dynamic instruction count at the capture point.
+    #[must_use]
+    pub fn icount(&self) -> u64 {
+        self.icount
+    }
+
+    /// Program counter at the capture point.
+    #[must_use]
+    pub fn pc(&self) -> u32 {
+        self.pc
+    }
+
+    /// Whether the run had already halted when captured.
+    #[must_use]
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Whether the capturing engine could still prove its pre-decoded
+    /// text mirror exact (see the field docs).
+    #[must_use]
+    pub fn pristine(&self) -> bool {
+        self.pristine
+    }
+}

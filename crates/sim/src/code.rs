@@ -25,6 +25,10 @@ pub(crate) struct SlotMeta {
     pub latency: u32,
     /// How the return-address stack treats this instruction.
     pub ras: RasClass,
+    /// Whether the attached hooks could ever fold a fetch at this PC
+    /// ([`crate::SimHooks::fold_candidate`], sampled at load). `false`
+    /// lets the fetch stage skip the per-fetch `try_fold` call.
+    pub fold_cand: bool,
 }
 
 /// Return-address-stack behaviour of an instruction.
@@ -54,6 +58,7 @@ impl SlotMeta {
             direct_target: instr.direct_jump_target(pc),
             latency,
             ras,
+            fold_cand: true,
         }
     }
 }
@@ -160,6 +165,24 @@ impl CodeStore {
     /// mutably); every subsequent fetch takes the slow path.
     pub(crate) fn distrust(&mut self) {
         self.trusted = false;
+    }
+
+    /// Whether the store still mirrors guest memory exactly: trusted and
+    /// with no word dirtied by a guest store. A pristine store means the
+    /// program text at this point equals the loaded image — the condition
+    /// under which a checkpoint can skip re-verifying text.
+    pub(crate) fn is_pristine(&self) -> bool {
+        self.trusted && !self.dirty.iter().any(|&d| d)
+    }
+
+    /// Re-samples per-PC fold candidacy from `f`
+    /// ([`crate::SimHooks::fold_candidate`]); called once at load so the
+    /// fetch stage can consult a precomputed bit instead of the hooks.
+    pub(crate) fn mark_fold_candidates(&mut self, f: impl Fn(u32) -> bool) {
+        let base = self.decoded.text_base();
+        for (i, meta) in self.metas.iter_mut().enumerate() {
+            meta.fold_cand = f(base.wrapping_add(4 * i as u32));
+        }
     }
 }
 

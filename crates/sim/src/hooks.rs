@@ -133,6 +133,23 @@ pub trait SimHooks {
         None
     }
 
+    /// Whether [`try_fold`](SimHooks::try_fold) could *ever* return `Some`
+    /// for `pc`. Consulted once per static instruction at load time so the
+    /// fetch stage can skip the per-fetch `try_fold` call for instructions
+    /// this unit can never fold (the answer is baked into the pre-decoded
+    /// metadata).
+    ///
+    /// Must be conservative: returning `true` for a never-folding `pc`
+    /// only costs a wasted `try_fold` call; returning `false` for a
+    /// foldable one would silently disable the customization. The default
+    /// says "maybe" for everything, which preserves the pre-existing
+    /// call-every-fetch behaviour for custom hooks. Dynamically fetched
+    /// PCs outside the pre-decoded text always consult `try_fold`.
+    fn fold_candidate(&self, pc: u32) -> bool {
+        let _ = pc;
+        true
+    }
+
     /// An instruction writing `reg` entered the front end.
     fn note_fetch_writer(&mut self, reg: Reg) {}
 
@@ -147,6 +164,17 @@ pub trait SimHooks {
     /// A `ctrlw` wrote `value` to control register `ctrl` (reported by
     /// both engines).
     fn note_ctrl_write(&mut self, ctrl: u8, value: u32) {}
+
+    /// The pipeline's architectural state was replaced wholesale by
+    /// [`crate::Pipeline::restore`]: `regs` is the restored register
+    /// file, the pipeline is empty, and no writers are in flight. Units
+    /// that shadow register values (the ASBR predicate storage) MUST
+    /// rebuild that shadow here — their construction-time state reflects
+    /// the *reset* register file, and stale shadows turn into wrong fold
+    /// directions, i.e. wrong execution, after a mid-run restore.
+    fn note_restore(&mut self, regs: &[u32; 32]) {
+        let _ = regs;
+    }
 
     // --- trace events (pipeline) --------------------------------------
 

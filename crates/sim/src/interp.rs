@@ -1,9 +1,11 @@
 //! Fast functional interpreter.
 
 use asbr_asm::{Program, STACK_TOP};
+use asbr_bpred::Predictor;
 use asbr_isa::{Instr, Reg, INSTR_BYTES};
 use asbr_mem::{MemSystem, MemSystemConfig};
 
+use crate::checkpoint::Checkpoint;
 use crate::code::CodeStore;
 use crate::exec::{execute, extend_load, ControlEffect};
 use crate::hooks::{NullHooks, SimHooks};
@@ -58,6 +60,10 @@ pub struct Interp {
     code: CodeStore,
     halted: bool,
     icount: u64,
+    /// Functionally warmed branch predictor (sampled simulation): trained
+    /// on every architectural branch outcome so checkpoints can carry
+    /// predictor state a restored pipeline adopts. `None` by default.
+    warm_pred: Option<Box<dyn Predictor>>,
 }
 
 impl Interp {
@@ -94,6 +100,7 @@ impl Interp {
             code: CodeStore::new(decoded, 1, 1),
             halted: false,
             icount: 0,
+            warm_pred: None,
         })
     }
 
@@ -126,6 +133,24 @@ impl Interp {
     /// Queues input samples for the MMIO device.
     pub fn feed_input<I: IntoIterator<Item = i32>>(&mut self, samples: I) {
         self.mem.io_mut().extend_input(samples);
+    }
+
+    /// Attaches a branch predictor for *functional warming*: from now on
+    /// every architecturally executed conditional branch trains `pred`
+    /// (one `predict` + one `update`, in program order), and
+    /// [`Interp::checkpoint`] snapshots its state so a restored
+    /// [`crate::Pipeline`] resumes with a predictor warmed by the entire
+    /// run prefix rather than a cold one. Without this, saturating-counter
+    /// predictors never converge to the long-run state on pattern-biased
+    /// branches (2-bit counters under alternating outcomes orbit their
+    /// *initial* state forever), leaving a systematic per-window mispredict
+    /// bias no detailed warm-up can remove.
+    ///
+    /// Exact for stateless and per-branch table predictors (the pipeline's
+    /// wrong-path lookups don't mutate them); approximate for predictors
+    /// with speculative global history.
+    pub fn warm_predictor(&mut self, pred: Box<dyn Predictor>) {
+        self.warm_pred = Some(pred);
     }
 
     /// Current program counter.
@@ -203,6 +228,10 @@ impl Interp {
         if let Some(ctl) = fx.control {
             next_pc = ctl.next_pc(pc);
             if let ControlEffect::Branch { taken, .. } = ctl {
+                if let Some(p) = self.warm_pred.as_mut() {
+                    let _ = p.predict(pc);
+                    p.update(pc, taken);
+                }
                 obs.on_branch(pc, instr, taken, self.icount);
             }
         }
@@ -290,6 +319,41 @@ impl Interp {
     /// See [`Interp::run_observed`].
     pub fn run(&mut self, max_steps: u64) -> Result<RunSummary, SimError> {
         self.run_observed(max_steps, &mut NullHooks)
+    }
+
+    /// Steps until the dynamic instruction count reaches `target_icount`
+    /// (a pause, not a failure — unlike [`Interp::run`]'s budget).
+    ///
+    /// Returns `Ok(true)` when the target was reached with the machine
+    /// still running, `Ok(false)` when `halt` executed first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] on undecodable instructions or memory faults.
+    pub fn run_until(&mut self, target_icount: u64) -> Result<bool, SimError> {
+        while self.icount < target_icount {
+            if !self.step()? {
+                return Ok(false);
+            }
+        }
+        Ok(!self.halted)
+    }
+
+    /// Captures the complete architectural state (plus the warmed
+    /// D-cache) at the current instruction boundary — the producer side
+    /// of sampled simulation. See [`Checkpoint`] for exactly what carries
+    /// over into a restored [`crate::Pipeline`].
+    #[must_use]
+    pub fn checkpoint(&self) -> Checkpoint {
+        Checkpoint {
+            icount: self.icount,
+            regs: self.regs,
+            pc: self.pc,
+            halted: self.halted,
+            mem: self.mem.clone(),
+            pristine: self.code.is_pristine(),
+            pred: self.warm_pred.as_ref().map(|p| p.clone_box()),
+        }
     }
 }
 

@@ -59,6 +59,8 @@
 //! ```
 
 pub mod exec;
+mod batch;
+mod checkpoint;
 mod code;
 mod error;
 mod hooks;
@@ -69,6 +71,8 @@ mod stats;
 pub mod timing;
 mod trace;
 
+pub use batch::BatchPipeline;
+pub use checkpoint::Checkpoint;
 pub use error::SimError;
 pub use hooks::{Folded, NullHooks, PublishPoint, SimHooks};
 pub use interp::{Interp, RunSummary, DEFAULT_MAX_STEPS};

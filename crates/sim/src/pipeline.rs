@@ -30,6 +30,7 @@ use asbr_bpred::{Btb, Predictor, ReturnStack};
 use asbr_isa::{Instr, Reg, INSTR_BYTES};
 use asbr_mem::{MemSystem, MemSystemConfig};
 
+use crate::checkpoint::Checkpoint;
 use crate::code::{CodeStore, RasClass, SlotMeta};
 use crate::exec::{execute, extend_load, ControlEffect, ExecEffect};
 use crate::hooks::{NullHooks, PublishPoint, SimHooks};
@@ -249,6 +250,66 @@ impl<H: SimHooks> Pipeline<H> {
         program.load_into(self.mem.memory_mut());
         self.pc = program.entry();
         self.code = CodeStore::new(decoded, self.cfg.mul_latency, self.cfg.div_latency);
+        // Bake per-PC fold candidacy into the pre-decoded metadata so the
+        // fetch fast path can skip `try_fold` for never-foldable PCs.
+        let hooks = &self.hooks;
+        self.code.mark_fold_candidates(|pc| hooks.fold_candidate(pc));
+        Ok(())
+    }
+
+    /// Loads `program`, then overwrites the architectural state with a
+    /// mid-run [`Checkpoint`] captured by [`crate::Interp::checkpoint`]:
+    /// registers, PC, the full memory image (including MMIO input/output
+    /// progress), and the D-cache as warmed by the architectural access
+    /// stream. The pipeline itself restarts empty — latches, counters,
+    /// predictor, BTB, RAS, and I-cache state are those of a fresh
+    /// machine (see [`crate::Checkpoint`] for why those are not
+    /// capturable), so sampled execution warms them with a discarded
+    /// detailed prefix.
+    ///
+    /// The checkpoint must come from an interpreter built with this
+    /// pipeline's memory geometry (`Interp::with_config(cfg.mem, ..)`)
+    /// over the same `program`; the restored memory image simply replaces
+    /// the loaded one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidText`] as [`Pipeline::load`] does.
+    pub fn restore(&mut self, program: &Program, ckpt: &Checkpoint) -> Result<(), SimError> {
+        self.load(program)?;
+        self.mem = ckpt.mem.clone();
+        self.regs = ckpt.regs;
+        self.pc = ckpt.pc;
+        self.fetching = None;
+        self.if_id = None;
+        self.id_ex = None;
+        self.ex_hold = None;
+        self.ex_mem = None;
+        self.mem_hold = None;
+        self.mem_wb = None;
+        self.gap_if_id = GAP_FILL;
+        self.gap_id_ex = GAP_FILL;
+        self.gap_ex_mem = GAP_FILL;
+        self.gap_mem_wb = GAP_FILL;
+        self.halted = ckpt.halted;
+        self.halt_fetched = ckpt.halted;
+        self.stats = PipelineStats::default();
+        // Adopt the functionally warmed predictor when the checkpoint
+        // carries one — a fresh predictor can *never* converge to the
+        // long-run counter states on alternating-pattern branches, so
+        // detailed warm-up alone leaves a systematic mispredict bias.
+        if let Some(p) = &ckpt.pred {
+            self.pred = p.clone_box();
+        }
+        // The register file just changed under the hooks' feet; let units
+        // that shadow it (the ASBR BDT) resynchronize before any fetch.
+        self.hooks.note_restore(&self.regs);
+        if !ckpt.pristine {
+            // The capturing engine saw text-modifying stores (or raw
+            // memory access): the rebuilt pre-decoded store may not match
+            // the checkpointed image, so take the always-exact slow path.
+            self.code.distrust();
+        }
         Ok(())
     }
 
@@ -366,6 +427,28 @@ impl<H: SimHooks> Pipeline<H> {
             output: self.mem.io().output().to_vec(),
             halted: true,
         })
+    }
+
+    /// Runs until `target` instructions have retired (or `halt` commits
+    /// first) — the windowed form of [`Pipeline::run`] used by sampled
+    /// simulation, where a window is a retire-count interval rather than
+    /// a full run.
+    ///
+    /// Returns `Ok(true)` when the retire target was reached with the
+    /// machine still running, `Ok(false)` when it halted first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Limit`] past the configured `max_cycles`, or
+    /// the decode/memory errors of [`Pipeline::cycle`].
+    pub fn run_until_retired(&mut self, target: u64) -> Result<bool, SimError> {
+        while !self.halted && self.stats.retired < target {
+            if self.stats.cycles >= self.cfg.max_cycles {
+                return Err(SimError::Limit { limit: self.cfg.max_cycles });
+            }
+            self.cycle()?;
+        }
+        Ok(!self.halted)
     }
 
     /// Advances the machine by one cycle.
@@ -739,8 +822,15 @@ impl<H: SimHooks> Pipeline<H> {
             }
         };
 
+        // Precomputed candidacy gate: a fast-path fetch whose load-time
+        // `fold_candidate` answer was `false` skips the hooks entirely.
+        // Slow-path fetches (out-of-text, dirtied, distrusted) always ask.
+        let folded = match predecoded {
+            Some((_, meta)) if !meta.fold_cand => None,
+            _ => self.hooks.try_fold(pc, word),
+        };
         let mut slot;
-        if let Some(folded) = self.hooks.try_fold(pc, word) {
+        if let Some(folded) = folded {
             // The branch is folded out: its replacement enters the pipe in
             // its place and fetch continues past it with certainty.
             self.stats.folded_branches += 1;

@@ -1,0 +1,195 @@
+//! Execution-strategy integration tests: the lock-step batch engine must
+//! be bit-identical to the scalar pipeline, checkpoint restore must
+//! reproduce the architectural tail exactly, and sampled execution must
+//! land within 1% CPI of the full run on every bundled workload.
+
+use std::num::NonZeroU32;
+
+use asbr_bpred::PredictorKind;
+use asbr_harness::{ExecStrategy, RunSpec, PROFILE_PREDICTOR};
+use asbr_isa::Reg;
+use asbr_sim::{Interp, Pipeline, PipelineConfig};
+use asbr_workloads::Workload;
+
+const SAMPLES: usize = 400;
+
+fn nz(v: u32) -> NonZeroU32 {
+    NonZeroU32::new(v).unwrap()
+}
+
+/// A tiny deterministic PRNG so the checkpoint property test probes
+/// arbitrary cut points without a rand dependency.
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+/// Tentpole pin: the batched lane engine retires bit-identical results —
+/// full statistics, attribution, output, and fold counts — for every
+/// workload, baseline and ASBR-customized.
+#[test]
+fn batched_is_bit_identical_to_scalar_everywhere() {
+    for &w in &Workload::ALL {
+        for asbr in [false, true] {
+            let spec = if asbr {
+                RunSpec::asbr(w, PROFILE_PREDICTOR, SAMPLES)
+            } else {
+                RunSpec::baseline(w, PROFILE_PREDICTOR, SAMPLES)
+            };
+            let scalar = spec.execute().unwrap();
+            let batched = spec
+                .with_strategy(ExecStrategy::Batched { width: nz(8) })
+                .execute()
+                .unwrap();
+            assert_eq!(
+                batched.summary.stats, scalar.summary.stats,
+                "{}: batched stats diverge from scalar",
+                spec.label()
+            );
+            assert!(
+                batched.same_result(&scalar),
+                "{}: batched outcome diverges from scalar",
+                spec.label()
+            );
+        }
+    }
+}
+
+/// Checkpoint fidelity: a pipeline restored from an architectural
+/// checkpoint taken at an arbitrary mid-run retire count must produce a
+/// byte-identical tail — same remaining retires, same final registers,
+/// same complete output stream — on every workload. (Timing differs: the
+/// restored pipeline starts with cold caches and predictors; that is the
+/// point of the sampled strategy's warm-up.)
+#[test]
+fn checkpoint_restore_retires_identical_tail() {
+    let mut state = 0x9E37_79B9_7F4A_7C15u64;
+    for &w in &Workload::ALL {
+        let program = w.program();
+        let input = w.input(200);
+
+        // Reference: one uninterrupted cycle-accurate run.
+        let mut reference = Pipeline::new(
+            PipelineConfig::default(),
+            PredictorKind::Bimodal { entries: 2048 }.build(),
+        );
+        let ref_summary = reference.execute(&program, input.iter().copied()).unwrap();
+        let total = ref_summary.stats.retired;
+        assert!(total > 100, "{}: run too short to cut", w.name());
+
+        for _ in 0..3 {
+            let cut = 1 + xorshift(&mut state) % (total - 1);
+            let mut scout = Interp::new(&program).unwrap();
+            scout.feed_input(input.iter().copied());
+            assert!(scout.run_until(cut).unwrap(), "halted before the cut");
+            let ckpt = scout.checkpoint();
+            assert_eq!(ckpt.icount(), cut);
+
+            let mut restored = Pipeline::new(
+                PipelineConfig::default(),
+                PredictorKind::Bimodal { entries: 2048 }.build(),
+            );
+            restored.restore(&program, &ckpt).unwrap();
+            let tail = restored.run().unwrap();
+            assert!(tail.halted, "{} cut {cut}: restored run did not halt", w.name());
+            assert_eq!(
+                tail.stats.retired,
+                total - cut,
+                "{} cut {cut}: tail retire count",
+                w.name()
+            );
+            // The checkpointed MMIO device carries the output produced so
+            // far, so the restored run finishes with the full stream.
+            assert_eq!(tail.output, ref_summary.output, "{} cut {cut}: output", w.name());
+            for r in Reg::all() {
+                assert_eq!(
+                    restored.reg(r),
+                    reference.reg(r),
+                    "{} cut {cut}: final {r:?}",
+                    w.name()
+                );
+            }
+        }
+    }
+}
+
+/// The sampled strategy's headline contract: ≤1% CPI error against the
+/// full cycle-accurate run on all four workloads, with exact
+/// architectural output, and an honest self-reported error bound.
+#[test]
+fn sampled_cpi_error_is_within_one_percent() {
+    for &w in &Workload::ALL {
+        for asbr in [false, true] {
+            let spec = if asbr {
+                RunSpec::asbr(w, PROFILE_PREDICTOR, SAMPLES)
+            } else {
+                RunSpec::baseline(w, PROFILE_PREDICTOR, SAMPLES)
+            };
+            let full = spec.execute().unwrap();
+            let sampled = spec
+                .with_strategy(ExecStrategy::Sampled { windows: nz(8), warmup: 1000 })
+                .execute()
+                .unwrap();
+
+            // Both runs execute the same architectural instruction
+            // stream, so the CPI error is exactly the cycle error.
+            let err = (sampled.cycles() as f64 - full.cycles() as f64).abs()
+                / full.cycles() as f64;
+            assert!(
+                err <= 0.01,
+                "{}: sampled cycles {} vs full {} -> {:.2}% CPI error",
+                spec.label(),
+                sampled.cycles(),
+                full.cycles(),
+                err * 100.0
+            );
+
+            // Architectural results are exact, not sampled.
+            assert_eq!(sampled.summary.output, full.summary.output, "{}", spec.label());
+            if !asbr {
+                // Without folding, retires == architectural instructions:
+                // the sampled total is functional, not estimated.
+                assert_eq!(
+                    sampled.summary.stats.retired, full.summary.stats.retired,
+                    "{}",
+                    spec.label()
+                );
+            }
+
+            let meta = sampled.sampled.expect("sampled runs carry their meta");
+            assert!(meta.windows >= 1 && meta.measured_retires > 0);
+            assert!(meta.measured_retires <= meta.total_instructions);
+            // ASBR folding can push cycles per architectural instruction
+            // below 1.0; it still has to be positive and sane.
+            assert!(meta.cpi_hat > 0.5 && meta.cpi_hat < 10.0, "{}", spec.label());
+            assert!(
+                meta.rel_error_bound.is_finite() && meta.rel_error_bound >= 0.0,
+                "{}: bound {}",
+                spec.label(),
+                meta.rel_error_bound
+            );
+            // The attribution invariant survives reconstruction.
+            let attr = &sampled.summary.stats.attribution;
+            assert_eq!(attr.total(), sampled.cycles(), "{}: bucket sum", spec.label());
+        }
+    }
+}
+
+/// Sampled specs are second-class citizens of the exact world: distinct
+/// label, distinct cache key (covered in the harness unit tests), and an
+/// outcome that can never satisfy `same_result` against the exact run it
+/// approximates unless it happens to be cycle-exact.
+#[test]
+fn sampled_runs_are_visibly_sampled() {
+    let spec = RunSpec::baseline(Workload::AdpcmEncode, PROFILE_PREDICTOR, SAMPLES);
+    let sampled_spec = spec.with_strategy(ExecStrategy::Sampled { windows: nz(4), warmup: 500 });
+    assert_eq!(spec.label() + "/sampled", sampled_spec.label());
+    let out = sampled_spec.execute().unwrap();
+    assert!(out.sampled.is_some());
+    // The scalar spec still reports an exact outcome with no meta.
+    assert!(spec.execute().unwrap().sampled.is_none());
+}
