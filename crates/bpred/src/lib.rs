@@ -51,7 +51,14 @@ pub use predictors::{
 /// branches resolve before the next branch is predicted... except for the
 /// 1–2 cycle window the pipeline itself models; this matches the classic
 /// trace-driven evaluation style of the paper.
-pub trait Predictor: std::fmt::Debug {
+///
+/// Predictors are `Send + Sync` by contract: they are plain table state
+/// (no interior mutability, no shared handles), which is what lets the
+/// batch engine shard lanes across threads and sampled simulation run
+/// its checkpointed windows concurrently — a `Box<dyn Predictor>` rides
+/// inside both a lane and a [`Checkpoint`](see `asbr-sim`), so those
+/// structures inherit thread-safety from this bound.
+pub trait Predictor: std::fmt::Debug + Send + Sync {
     /// Predicted direction (`true` = taken) for a conditional branch at
     /// `pc`.
     fn predict(&mut self, pc: u32) -> bool;

@@ -21,7 +21,7 @@ impl Predictor for NotTaken {
     }
 
     fn clone_box(&self) -> Box<dyn Predictor> {
-        Box::new(self.clone())
+        Box::new(*self)
     }
 }
 
@@ -43,7 +43,7 @@ impl Predictor for Taken {
     }
 
     fn clone_box(&self) -> Box<dyn Predictor> {
-        Box::new(self.clone())
+        Box::new(*self)
     }
 }
 

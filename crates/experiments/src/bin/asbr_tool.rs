@@ -22,6 +22,12 @@
 //!                                             workload, baseline + ASBR, best-of-N
 //!   --samples <n>          input samples (default 4000)
 //!   --reps <n>             timed repetitions, best kept (default 5)
+//!   --batch <width>        also run the lock-step batch engine at this
+//!                          lane width; report the aggregate-MIPS ratio
+//!   --shards <n>           host threads the batch engine shards its
+//!                          lanes across (default 0 = one per core);
+//!                          results are bit-identical at every count
+//!   --sampled              also run the sampled strategy and append it
 //!   --out <path>           write BENCH_throughput.json here
 //!   --check <golden.json>  fail if simulated cycle counts drift from the golden
 //! asbr_tool wcet [options]                    static cycle-bound (WCET) cross-check:
@@ -345,6 +351,9 @@ struct BenchOpts {
     /// Also run every spec through the lock-step batch engine at this
     /// lane width and report the aggregate-throughput ratio.
     batch: Option<u32>,
+    /// Host threads the batch engine shards its lanes across; `0` means
+    /// one shard per available core.
+    shards: usize,
     /// Also run every spec under the sampled (checkpoint + warm-up)
     /// strategy and append the estimates to the report.
     sampled: bool,
@@ -381,13 +390,15 @@ fn cmd_bench(opts: &BenchOpts) -> Result<(), CliError> {
     print_entries(&bench);
     if let Some(width) = opts.batch {
         let width = std::num::NonZeroU32::new(width).ok_or("--batch width must be >= 1")?;
-        let batched = spec.measure_batched(width)?;
+        let batched = spec.measure_batched(width, opts.shards)?;
+        let shards = batched.host.shards;
         print_entries(&batched);
         bench.extend(batched);
         let scalar = bench.aggregate_mips("scalar").unwrap_or(0.0);
         let agg = bench.aggregate_mips(&format!("batched@{width}")).unwrap_or(0.0);
         println!(
-            "aggregate: batched {agg:.1} MIPS vs scalar {scalar:.1} MIPS -> {:.2}x",
+            "aggregate: batched {agg:.1} MIPS ({shards} shards) vs scalar {scalar:.1} MIPS \
+             -> {:.2}x",
             if scalar > 0.0 { agg / scalar } else { 0.0 }
         );
     }
@@ -653,8 +664,8 @@ fn parse_predictor(name: &str) -> Result<PredictorKind, String> {
 fn usage() -> String {
     "usage: asbr_tool <asm|analyze|lint|customize|run> <file.s> [options]\n\
      \x20      asbr_tool trace <workload> [--samples n] [--out path] [--interval n] [--asbr]\n\
-     \x20      asbr_tool bench [--samples n] [--reps n] [--batch width] [--sampled]\n\
-     \x20                      [--out path] [--check golden.json]\n\
+     \x20      asbr_tool bench [--samples n] [--reps n] [--batch width] [--shards n]\n\
+     \x20                      [--sampled] [--out path] [--check golden.json]\n\
      \x20      asbr_tool wcet [--samples n] [--out path]\n\
      \x20      asbr_tool serve [--addr host:port] [--threads n] [--queue n]\n\
      \x20                      [--cache dir|--no-cache] [--refresh] [--stats-every secs]\n\
@@ -795,6 +806,7 @@ fn real_main() -> Result<(), CliError> {
             samples: THROUGHPUT_SAMPLES,
             reps: THROUGHPUT_REPS,
             batch: None,
+            shards: 0,
             sampled: false,
             out: None,
             check: None,
@@ -821,6 +833,13 @@ fn real_main() -> Result<(), CliError> {
                             .and_then(|s| s.parse().ok())
                             .ok_or("bad --batch width")?,
                     );
+                }
+                "--shards" => {
+                    i += 1;
+                    opts.shards = args
+                        .get(i)
+                        .and_then(|s| s.parse().ok())
+                        .ok_or("bad --shards count")?;
                 }
                 "--sampled" => opts.sampled = true,
                 "--out" => {

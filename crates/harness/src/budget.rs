@@ -1,0 +1,128 @@
+//! The one thread-budget authority of the harness.
+//!
+//! Two layers of the system want host parallelism: the
+//! [`SharedExecutor`](crate::shared::SharedExecutor) worker pool (many
+//! independent specs at once) and the *intra-run* shards inside a single
+//! spec (batched lane groups, sampled windows). Left to size themselves
+//! independently they silently oversubscribe: `workers` threads each
+//! spawning `available_parallelism` shards lands `workers × cores`
+//! runnable threads on `cores` cores, and the context-switch churn eats
+//! the throughput the sharding was meant to buy.
+//!
+//! [`ThreadBudget`] fixes the split by construction: the budget is the
+//! host's available parallelism, the pool takes `workers` of it, and
+//! every worker hands its jobs `shards = ⌊total / workers⌋` intra-run
+//! threads, so `workers × shards ≤ total` always. A caller that
+//! *explicitly* oversubscribes the pool (more workers than cores) gets
+//! `shards = 1` — the budget never compounds an oversubscription it did
+//! not create.
+
+use std::thread;
+
+/// The host thread budget and the worker/shard split drawn from it.
+///
+/// # Examples
+///
+/// ```
+/// use asbr_harness::ThreadBudget;
+///
+/// let budget = ThreadBudget::detect();
+/// let workers = budget.workers(0); // 0 = one per available core
+/// let shards = budget.shards_for(workers);
+/// assert!(workers * shards <= budget.total().max(workers));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadBudget {
+    total: usize,
+}
+
+impl ThreadBudget {
+    /// The budget of the current host:
+    /// [`std::thread::available_parallelism`], falling back to 1 when
+    /// the host cannot report it.
+    #[must_use]
+    pub fn detect() -> ThreadBudget {
+        ThreadBudget { total: thread::available_parallelism().map_or(1, usize::from) }
+    }
+
+    /// A budget with a fixed total — for tests and for callers that want
+    /// to reason about a hypothetical host.
+    #[must_use]
+    pub fn with_total(total: usize) -> ThreadBudget {
+        ThreadBudget { total: total.max(1) }
+    }
+
+    /// Total threads the budget will hand out.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Resolves a requested pool worker count: `0` means one worker per
+    /// budgeted thread, anything else is taken literally (explicit
+    /// oversubscription included — the shard side compensates).
+    #[must_use]
+    pub fn workers(&self, requested: usize) -> usize {
+        if requested == 0 { self.total } else { requested }
+    }
+
+    /// Intra-run shards each of `workers` pool workers may use, chosen
+    /// so `workers × shards ≤ total`: `⌊total / workers⌋`, and 1
+    /// whenever the pool alone already covers (or exceeds) the budget.
+    #[must_use]
+    pub fn shards_for(&self, workers: usize) -> usize {
+        (self.total / workers.max(1)).max(1)
+    }
+
+    /// Shards for a run that owns the whole host — the direct
+    /// [`RunSpec::execute`](crate::RunSpec::execute) path and the
+    /// throughput bench, where no worker pool is competing for cores.
+    #[must_use]
+    pub fn solo_shards(&self) -> usize {
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workers_times_shards_never_exceeds_total() {
+        for total in 1..=64 {
+            let budget = ThreadBudget::with_total(total);
+            for requested in 0..=total {
+                let workers = budget.workers(requested);
+                let shards = budget.shards_for(workers);
+                assert!(
+                    workers * shards <= total,
+                    "total {total}, requested {requested}: {workers} workers x {shards} shards"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn explicit_oversubscription_pins_shards_to_one() {
+        let budget = ThreadBudget::with_total(4);
+        assert_eq!(budget.shards_for(8), 1);
+        assert_eq!(budget.shards_for(4), 1);
+        assert_eq!(budget.shards_for(2), 2);
+        assert_eq!(budget.shards_for(1), 4);
+    }
+
+    #[test]
+    fn zero_requests_resolve_to_the_full_budget() {
+        let budget = ThreadBudget::with_total(6);
+        assert_eq!(budget.workers(0), 6);
+        assert_eq!(budget.solo_shards(), 6);
+        assert_eq!(budget.shards_for(budget.workers(0)), 1);
+    }
+
+    #[test]
+    fn detect_is_sane() {
+        let budget = ThreadBudget::detect();
+        assert!(budget.total() >= 1);
+        assert_eq!(budget.shards_for(0), budget.total());
+    }
+}

@@ -22,8 +22,9 @@
 
 use std::collections::HashMap;
 use std::path::PathBuf;
-use std::thread;
+use std::sync::OnceLock;
 
+use crate::budget::ThreadBudget;
 use crate::cache::ResultCache;
 use crate::error::HarnessError;
 use crate::shared::{RunHandle, SharedExecutor};
@@ -77,11 +78,28 @@ impl CacheMode {
 /// assert!(outcomes[1].cycles() < outcomes[0].cycles());
 /// # Ok::<(), asbr_harness::HarnessError>(())
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Default)]
 pub struct Executor {
     threads: usize,
     cache: CacheMode,
     queue: usize,
+    /// The lazily-started pool behind [`Executor::run`]. Earlier
+    /// revisions constructed (and tore down) a whole [`SharedExecutor`]
+    /// — worker threads included — on *every* batch call; memoizing the
+    /// startup makes repeated batches on one executor reuse one pool.
+    pool: OnceLock<SharedExecutor>,
+}
+
+impl Clone for Executor {
+    fn clone(&self) -> Executor {
+        // Configuration only: the clone lazily starts its own pool.
+        Executor {
+            threads: self.threads,
+            cache: self.cache.clone(),
+            queue: self.queue,
+            pool: OnceLock::new(),
+        }
+    }
 }
 
 impl Executor {
@@ -93,17 +111,21 @@ impl Executor {
     }
 
     /// Sets the worker count; `0` (the default) means one per available
-    /// core.
+    /// core. Any pool this executor already started is discarded (drained
+    /// and joined) so the next batch runs at the new width.
     #[must_use]
     pub fn threads(mut self, threads: usize) -> Executor {
         self.threads = threads;
+        self.pool = OnceLock::new();
         self
     }
 
-    /// Sets the cache mode.
+    /// Sets the cache mode. Any pool this executor already started is
+    /// discarded (drained and joined).
     #[must_use]
     pub fn cache(mut self, cache: CacheMode) -> Executor {
         self.cache = cache;
+        self.pool = OnceLock::new();
         self
     }
 
@@ -118,25 +140,22 @@ impl Executor {
         self
     }
 
-    fn effective_threads(&self, jobs: usize) -> usize {
-        let hw = thread::available_parallelism().map_or(1, usize::from);
-        let n = if self.threads == 0 { hw } else { self.threads };
-        n.clamp(1, jobs.max(1))
-    }
-
     /// Builds the long-lived, shareable form of this executor: a
     /// persistent worker pool with `&self` submission, in-flight request
     /// dedup, and bounded-queue backpressure. The batch API
     /// ([`Executor::run`]) is a wrapper over exactly this.
+    ///
+    /// Worker and intra-run shard counts are drawn from one
+    /// [`ThreadBudget`], so `workers × shards` never exceeds the host's
+    /// available parallelism — a pool saturating every core hands each
+    /// job one shard; a deliberately narrow pool hands its jobs the
+    /// leftover cores for sampled-window parallelism.
     #[must_use]
     pub fn shared(&self) -> SharedExecutor {
-        let threads = if self.threads == 0 {
-            thread::available_parallelism().map_or(1, usize::from)
-        } else {
-            self.threads
-        };
+        let budget = ThreadBudget::detect();
+        let workers = budget.workers(self.threads);
         let capacity = if self.queue == 0 { usize::MAX } else { self.queue };
-        SharedExecutor::start(threads, capacity, self.cache.open())
+        SharedExecutor::start(workers, capacity, self.cache.open(), budget.shards_for(workers))
     }
 
     /// Runs every spec and returns outcomes in input order.
@@ -159,14 +178,20 @@ impl Executor {
         for (i, spec) in specs.iter().enumerate() {
             alias_of.push(*first_at.entry(*spec).or_insert(i));
         }
-        let primaries = alias_of.iter().enumerate().filter(|&(i, &p)| i == p).count();
-
-        let shared = Executor {
-            threads: self.effective_threads(primaries),
-            cache: self.cache.clone(),
-            queue: 0, // batch submission must never block or refuse
-        }
-        .shared();
+        // One lazily-started pool serves every batch on this executor
+        // (the old per-call construct/teardown spawned and joined a full
+        // worker pool per `run`). Batch submission must never block or
+        // refuse, so the pool is built with an unbounded queue regardless
+        // of the service-facing `queue` setting.
+        let shared = self.pool.get_or_init(|| {
+            Executor {
+                threads: self.threads,
+                cache: self.cache.clone(),
+                queue: 0,
+                pool: OnceLock::new(),
+            }
+            .shared()
+        });
 
         let mut handles: Vec<Option<RunHandle>> = Vec::with_capacity(specs.len());
         for (i, spec) in specs.iter().enumerate() {
@@ -235,6 +260,39 @@ mod tests {
     fn empty_batch_is_fine() {
         let out = Executor::new().run(&[]).unwrap();
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn run_reuses_one_pool_across_batches() {
+        // Regression: `run` used to construct and tear down a whole
+        // SharedExecutor (threads included) per call. Both batches must
+        // now ride one memoized pool — its counters accumulate — and
+        // results/ordering must be unchanged batch to batch.
+        let ex = Executor::new().threads(2);
+        let first = ex.run(&small_batch()).unwrap();
+        let second = ex.run(&small_batch()).unwrap();
+        assert_eq!(first.len(), second.len());
+        for (i, (a, b)) in first.iter().zip(&second).enumerate() {
+            assert!(a.same_result(b), "spec {i} diverged between batches");
+        }
+        assert!(second[2].cached, "in-batch dedup ordering unchanged");
+        let pool = ex.pool.get().expect("first run starts the pool");
+        let stats = pool.stats();
+        assert_eq!(
+            stats.submitted, 4,
+            "both batches' primaries (2 each) must land on the same pool"
+        );
+        assert_eq!(stats.completed, 4);
+    }
+
+    #[test]
+    fn clone_does_not_share_the_pool() {
+        let ex = Executor::new().threads(1);
+        let _ = ex.run(&small_batch()).unwrap();
+        let cloned = ex.clone();
+        assert!(cloned.pool.get().is_none(), "clones start their own pool lazily");
+        let out = cloned.run(&small_batch()).unwrap();
+        assert_eq!(out.len(), 3);
     }
 
     #[test]

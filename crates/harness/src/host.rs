@@ -28,13 +28,16 @@ pub struct HostInfo {
     pub git_rev: String,
     /// Worker threads the benchmark was configured with.
     pub threads: usize,
+    /// Intra-run shard count (batched lane groups / concurrent sampled
+    /// windows) the benchmark ran with; `1` for unsharded measurements.
+    pub shards: usize,
 }
 
 impl HostInfo {
     /// Collects the metadata, degrading any unavailable field to
     /// `"unknown"`.
     #[must_use]
-    pub fn gather(threads: usize) -> HostInfo {
+    pub fn gather(threads: usize, shards: usize) -> HostInfo {
         HostInfo {
             cpu_model: cpu_model().unwrap_or_else(|| "unknown".to_owned()),
             cores: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
@@ -42,6 +45,7 @@ impl HostInfo {
             git_rev: command_line("git", &["rev-parse", "--short", "HEAD"])
                 .unwrap_or_else(|| "unknown".to_owned()),
             threads,
+            shards: shards.max(1),
         }
     }
 
@@ -51,12 +55,13 @@ impl HostInfo {
     pub fn to_json(&self) -> String {
         format!(
             "{{ \"cpu_model\": \"{}\", \"cores\": {}, \"rustc\": \"{}\", \
-             \"git_rev\": \"{}\", \"threads\": {} }}",
+             \"git_rev\": \"{}\", \"threads\": {}, \"shards\": {} }}",
             json::escape(&self.cpu_model),
             self.cores,
             json::escape(&self.rustc),
             json::escape(&self.git_rev),
             self.threads,
+            self.shards,
         )
     }
 }
@@ -83,13 +88,15 @@ mod tests {
 
     #[test]
     fn gather_never_fails_and_renders_json() {
-        let h = HostInfo::gather(3);
+        let h = HostInfo::gather(3, 2);
         assert!(h.cores >= 1);
         assert_eq!(h.threads, 3);
+        assert_eq!(h.shards, 2);
         assert!(!h.cpu_model.is_empty());
         let json = h.to_json();
         let doc = crate::json::parse(&json).unwrap();
         assert_eq!(doc.get("threads").and_then(crate::json::Value::as_u64), Some(3));
+        assert_eq!(doc.get("shards").and_then(crate::json::Value::as_u64), Some(2));
         assert!(doc.get("cpu_model").and_then(crate::json::Value::as_str).is_some());
         assert!(doc.get("rustc").is_some() && doc.get("git_rev").is_some());
     }

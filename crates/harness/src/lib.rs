@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod bench;
+pub mod budget;
 pub mod cache;
 pub mod error;
 pub mod executor;
@@ -47,6 +48,7 @@ pub mod throughput;
 pub mod wcet;
 
 pub use bench::{BenchEntry, SweepBench, BENCH_SCHEMA};
+pub use budget::ThreadBudget;
 pub use cache::{ResultCache, CACHE_FORMAT};
 pub use error::HarnessError;
 pub use executor::{CacheMode, Executor};

@@ -146,7 +146,7 @@ impl LoadgenReport {
              \"wall_secs\": {:.3},\n  \"runs_per_sec\": {:.3},\n  \"p50_ms\": {:.3},\n  \
              \"p99_ms\": {:.3},\n  \"cache_hit_rate\": {:.4},\n  \"warm_hit_rate\": {:.4},\n  \
              \"server\": {server}\n}}\n",
-            crate::host::HostInfo::gather(self.clients).to_json(),
+            crate::host::HostInfo::gather(self.clients, 1).to_json(),
             self.clients,
             self.requests,
             self.ok,
@@ -185,6 +185,26 @@ impl LoadgenReport {
 ///
 /// Any transport error, or a response the reader cannot frame.
 pub fn http_request(addr: &str, method: &str, path: &str, body: &str) -> io::Result<(u16, String)> {
+    http_request_with_headers(addr, method, path, body).map(|(status, _, body)| (status, body))
+}
+
+/// A parsed HTTP response: status code, lower-cased `(name, value)`
+/// header pairs, and the body.
+pub type HttpResponse = (u16, Vec<(String, String)>, String);
+
+/// As [`http_request`], but also returns the response headers as
+/// lower-cased `(name, value)` pairs — what the `Retry-After` tests
+/// inspect.
+///
+/// # Errors
+///
+/// Any transport error, or a response the reader cannot frame.
+pub fn http_request_with_headers(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> io::Result<HttpResponse> {
     let stream = TcpStream::connect(addr)?;
     stream.set_read_timeout(Some(Duration::from_secs(120)))?;
     let mut writer = stream.try_clone()?;
@@ -204,6 +224,7 @@ pub fn http_request(addr: &str, method: &str, path: &str, body: &str) -> io::Res
         .nth(1)
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, format!("bad status line {line:?}")))?;
+    let mut headers: Vec<(String, String)> = Vec::new();
     let mut content_length: Option<usize> = None;
     loop {
         line.clear();
@@ -214,6 +235,7 @@ pub fn http_request(addr: &str, method: &str, path: &str, body: &str) -> io::Res
             if name.eq_ignore_ascii_case("content-length") {
                 content_length = value.trim().parse().ok();
             }
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
         }
     }
     let mut body = Vec::new();
@@ -227,7 +249,7 @@ pub fn http_request(addr: &str, method: &str, path: &str, body: &str) -> io::Res
         }
     }
     String::from_utf8(body)
-        .map(|text| (status, text))
+        .map(|text| (status, headers, text))
         .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "response body is not UTF-8"))
 }
 

@@ -47,6 +47,9 @@
 
 use std::collections::BTreeMap;
 use std::num::NonZeroU32;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
 
 use asbr_asm::Program;
 use asbr_bpred::{AccuracyTracker, BranchRecord};
@@ -114,7 +117,11 @@ struct Window {
 
 /// Executes `spec` with the sampled strategy. `cfg` is the already-tweaked
 /// pipeline configuration; `report` is required for ASBR specs exactly as
-/// in [`RunSpec::execute_prepared`].
+/// in [`RunSpec::execute_prepared`]. `shards` is the number of host
+/// threads the detailed windows may run on (each window owns its own
+/// restored pipeline, so they are embarrassingly parallel; results are
+/// identical at every shard count).
+#[allow(clippy::too_many_arguments)] // internal: mirrors the spec call site
 pub(crate) fn execute_sampled(
     spec: &RunSpec,
     cfg: PipelineConfig,
@@ -123,6 +130,7 @@ pub(crate) fn execute_sampled(
     report: Option<&ProfileReport>,
     windows: NonZeroU32,
     warmup: u32,
+    shards: usize,
 ) -> Result<RunOutcome, HarnessError> {
     // Pass 1 (functional): exact architectural results and total length.
     let mut interp = Interp::with_config(cfg.mem, program)?;
@@ -190,7 +198,6 @@ pub(crate) fn execute_sampled(
         }
     };
 
-    let mut measured: Vec<Window> = Vec::with_capacity(k as usize);
     // Window 0: from reset — exact, no warm-up. It measures the whole
     // first chunk, not just the sampling fraction: the cold-start
     // transient (fill, cache and predictor warming) decays over thousands
@@ -198,50 +205,70 @@ pub(crate) fn execute_sampled(
     // direction — is what breaks the 1% budget. Measuring it exactly
     // leaves only steady-state code in the extrapolated remainder.
     let len0 = chunk.min(total);
-    measured.push(match make_unit()? {
-        None => run_window(
-            Pipeline::new(cfg, spec.predictor.build()),
-            program,
-            Some(input),
-            None,
-            0,
-            len0,
-            |_| None,
-        )?,
-        Some(unit) => run_window(
-            Pipeline::with_hooks(cfg, spec.predictor.build(), unit),
-            program,
-            Some(input),
-            None,
-            0,
-            len0,
-            |p| Some(p.hooks().stats()),
-        )?,
-    });
-    for (start, ckpt) in &checkpoints {
-        let warm = start - ckpt.icount();
-        let len = measure_len.min(total - start);
-        measured.push(match make_unit()? {
+    // One window is one job; every job builds its pipeline (and ASBR
+    // unit) itself, so a job is self-contained and can run on any host
+    // thread. Windows only *read* shared state (program, input, their
+    // checkpoint), which is why results cannot depend on the shard count.
+    let run_one = |i: usize| -> Result<Window, HarnessError> {
+        let (fresh_input, ckpt, warm, len) = if i == 0 {
+            (Some(input), None, 0, len0)
+        } else {
+            let (start, ckpt) = &checkpoints[i - 1];
+            (None, Some(ckpt), start - ckpt.icount(), measure_len.min(total - start))
+        };
+        match make_unit()? {
             None => run_window(
                 Pipeline::new(cfg, spec.predictor.build()),
                 program,
-                None,
-                Some(ckpt),
+                fresh_input,
+                ckpt,
                 warm,
                 len,
                 |_| None,
-            )?,
+            ),
             Some(unit) => run_window(
                 Pipeline::with_hooks(cfg, spec.predictor.build(), unit),
                 program,
-                None,
-                Some(ckpt),
+                fresh_input,
+                ckpt,
                 warm,
                 len,
                 |p| Some(p.hooks().stats()),
-            )?,
+            ),
+        }
+    };
+
+    let count = 1 + checkpoints.len();
+    let measured: Vec<Window> = if shards.max(1) == 1 || count == 1 {
+        (0..count).map(run_one).collect::<Result<_, _>>()?
+    } else {
+        // Work-queue over window indices: results land in per-index slots
+        // so reconstruction order (and the reported error, the lowest
+        // failing index) never depends on thread scheduling.
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<Result<Window, HarnessError>>>> =
+            (0..count).map(|_| Mutex::new(None)).collect();
+        thread::scope(|scope| {
+            for _ in 0..shards.min(count) {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= count {
+                        break;
+                    }
+                    *slots[i].lock().expect("window slot lock never poisoned") = Some(run_one(i));
+                });
+            }
         });
-    }
+        let mut collected = Vec::with_capacity(count);
+        for slot in slots {
+            let result = slot
+                .into_inner()
+                .expect("window slot lock never poisoned")
+                .expect("every claimed window index is filled");
+            collected.push(result?);
+        }
+        collected
+    };
 
     // Reconstruction, in architectural-instruction space throughout.
     let measured_cycles: u64 = measured.iter().map(|w| w.cycles).sum();

@@ -689,7 +689,15 @@ fn error_response(stream: &mut TcpStream, e: &HarnessError) -> io::Result<()> {
         HarnessError::Spec(_) | HarnessError::SpecParse { .. } => (400, "Bad Request"),
         _ => (500, "Internal Server Error"),
     };
-    let retry: &[(&str, String)] = if status == 503 { &[("Retry-After", "1".to_owned())] } else { &[] };
+    // `Retry-After` is a backpressure hint: an overloaded admission queue
+    // drains, so the same request will shortly be admitted. A shutting-down
+    // server will not come back — both map to 503, but advertising a retry
+    // on `Shutdown` pointed clients into a reconnect loop against a dying
+    // process.
+    let retry: &[(&str, String)] = match e {
+        HarnessError::Overloaded { .. } => &[("Retry-After", "1".to_owned())],
+        _ => &[],
+    };
     write_response(stream, status, reason, retry, &error_body(e))
 }
 
@@ -866,6 +874,30 @@ mod tests {
         assert_eq!(specs[0].workload, Workload::AdpcmEncode);
         assert_eq!(specs[0].btb_entries, BASELINE_BTB);
         assert_eq!(specs[4].btb_entries, AUX_BTB);
+    }
+
+    #[test]
+    fn retry_after_marks_overload_but_not_shutdown() {
+        // Both errors answer 503, but only the transient one may invite a
+        // retry: an overloaded queue drains, a shutdown does not.
+        fn rendered(e: &HarnessError) -> String {
+            use std::io::Read;
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            let addr = listener.local_addr().unwrap();
+            let mut client = TcpStream::connect(addr).unwrap();
+            let (mut server_side, _) = listener.accept().unwrap();
+            error_response(&mut server_side, e).unwrap();
+            drop(server_side);
+            let mut text = String::new();
+            client.read_to_string(&mut text).unwrap();
+            text
+        }
+        let overloaded = rendered(&HarnessError::Overloaded { capacity: 1 });
+        assert!(overloaded.starts_with("HTTP/1.1 503"), "{overloaded}");
+        assert!(overloaded.contains("Retry-After: 1"), "{overloaded}");
+        let shutdown = rendered(&HarnessError::Shutdown);
+        assert!(shutdown.starts_with("HTTP/1.1 503"), "{shutdown}");
+        assert!(!shutdown.contains("Retry-After"), "{shutdown}");
     }
 
     #[test]

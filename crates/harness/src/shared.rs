@@ -154,6 +154,10 @@ struct Inner {
     work_ready: Condvar,
     space_ready: Condvar,
     capacity: usize,
+    /// Intra-run threads each worker may hand its job (sampled windows),
+    /// drawn from the same [`crate::ThreadBudget`] as the worker count so
+    /// `workers × shards` never exceeds the host budget.
+    shards: usize,
     cache: Option<(ResultCache, bool)>,
     prefixes: Mutex<HashMap<(Workload, bool, usize), Arc<Prefix>>>,
     inflight: Mutex<HashMap<String, Arc<JobState>>>,
@@ -201,12 +205,14 @@ impl SharedExecutor {
         threads: usize,
         capacity: usize,
         cache: Option<(ResultCache, bool)>,
+        shards: usize,
     ) -> SharedExecutor {
         let inner = Arc::new(Inner {
             queue: Mutex::new(Queue { jobs: VecDeque::new(), shutdown: false }),
             work_ready: Condvar::new(),
             space_ready: Condvar::new(),
             capacity: capacity.max(1),
+            shards: shards.max(1),
             cache,
             prefixes: Mutex::new(HashMap::new()),
             inflight: Mutex::new(HashMap::new()),
@@ -232,6 +238,14 @@ impl SharedExecutor {
     #[must_use]
     pub fn workers(&self) -> usize {
         self.workers.len()
+    }
+
+    /// Intra-run threads each worker hands its job (sampled windows run
+    /// on up to this many threads), sized so `workers() × shards()` stays
+    /// within the host thread budget.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.inner.shards
     }
 
     /// Jobs currently waiting in the admission queue.
@@ -474,8 +488,12 @@ fn run_job(inner: &Inner, job: &JobState) -> Result<RunOutcome, HarnessError> {
         Some(_) => Some(job.prefix.report()?),
         None => None,
     };
-    let outcome =
-        job.spec.execute_prepared(&job.prefix.program, &job.prefix.input, report.as_deref())?;
+    let outcome = job.spec.execute_prepared_sharded(
+        &job.prefix.program,
+        &job.prefix.input,
+        report.as_deref(),
+        inner.shards,
+    )?;
     if let Some((store, _)) = &inner.cache {
         // Cache write failure degrades to uncached operation.
         let _ = store.store(&job.key, &job.spec.label(), &outcome);

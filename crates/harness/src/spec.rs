@@ -19,6 +19,7 @@ use asbr_profile::{profile, select_branches, ProfileReport, SelectionConfig};
 use asbr_sim::{BatchPipeline, NullHooks, Pipeline, PipelineConfig, PipelineSummary, PublishPoint};
 use asbr_workloads::Workload;
 
+use crate::budget::ThreadBudget;
 use crate::error::HarnessError;
 use crate::sampled::{self, SampledMeta};
 
@@ -315,7 +316,10 @@ impl RunSpec {
             Some(_) => Some(profile(&program, &input, &[PROFILE_PREDICTOR])?),
             None => None,
         };
-        self.execute_prepared(&program, &input, report.as_ref())
+        // A direct execute owns the whole host — no worker pool is
+        // competing for cores — so it may use the full solo shard budget.
+        let shards = ThreadBudget::detect().solo_shards();
+        self.execute_prepared_sharded(&program, &input, report.as_ref(), shards)
     }
 
     /// Executes the spec against an already-assembled program, input
@@ -339,13 +343,44 @@ impl RunSpec {
         input: &[i32],
         report: Option<&ProfileReport>,
     ) -> Result<RunOutcome, HarnessError> {
+        self.execute_prepared_sharded(program, input, report, 1)
+    }
+
+    /// [`execute_prepared`](RunSpec::execute_prepared) with an explicit
+    /// intra-run thread budget: sampled windows run on up to `shards`
+    /// host threads (each window owns its restored pipeline, so results
+    /// are bit-identical at every shard count). Exact strategies ignore
+    /// `shards` — a single spec has one lane; the multi-lane sharded path
+    /// lives in [`crate::ThroughputSpec::measure_batched`].
+    ///
+    /// Callers inside a worker pool must draw `shards` from the pool's
+    /// [`crate::ThreadBudget`] split so `workers × shards` stays within
+    /// the host budget; `1` (what `execute_prepared` passes) is always
+    /// safe.
+    ///
+    /// # Errors
+    ///
+    /// As [`execute_prepared`](RunSpec::execute_prepared).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an ASBR spec is given no profile report (an API-contract
+    /// violation by the caller, not a data-dependent failure).
+    pub fn execute_prepared_sharded(
+        &self,
+        program: &Program,
+        input: &[i32],
+        report: Option<&ProfileReport>,
+        shards: usize,
+    ) -> Result<RunOutcome, HarnessError> {
         let started = Instant::now();
         let cfg = self
             .tweaks
             .apply(PipelineConfig { btb_entries: self.btb_entries, ..PipelineConfig::default() });
 
         if let ExecStrategy::Sampled { windows, warmup } = self.strategy {
-            let mut outcome = sampled::execute_sampled(self, cfg, program, input, report, windows, warmup)?;
+            let mut outcome =
+                sampled::execute_sampled(self, cfg, program, input, report, windows, warmup, shards)?;
             outcome.wall_nanos = nanos_since(started);
             return Ok(outcome);
         }

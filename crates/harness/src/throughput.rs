@@ -19,7 +19,7 @@
 //!   "samples": 4000,
 //!   "reps": 5,
 //!   "host": { "cpu_model": "...", "cores": 1, "rustc": "rustc 1.x",
-//!             "git_rev": "abc1234", "threads": 1 },
+//!             "git_rev": "abc1234", "threads": 1, "shards": 1 },
 //!   "entries": [ { "label": "ADPCM Encode/bimodal/baseline",
 //!                  "workload": "ADPCM Encode", "predictor": "bimodal",
 //!                  "asbr": false, "strategy": "scalar", "samples": 4000,
@@ -57,6 +57,7 @@ use std::time::Instant;
 use asbr_profile::profile;
 use asbr_sim::{BatchPipeline, PipelineConfig};
 
+use crate::budget::ThreadBudget;
 use crate::error::HarnessError;
 use crate::host::HostInfo;
 use crate::json::{self, Value};
@@ -117,6 +118,9 @@ impl ThroughputSpec {
     /// repetition returning a different simulated cycle count is a
     /// simulator bug, not measurement noise.
     pub fn measure(&self) -> Result<ThroughputBench, HarnessError> {
+        // A bench run owns the whole host: exact strategies ignore the
+        // shard count, sampled specs fan their windows across it.
+        let shards = ThreadBudget::detect().solo_shards();
         let mut entries = Vec::with_capacity(self.specs.len());
         for spec in &self.specs {
             // Everything data-dependent happens outside the timed region:
@@ -134,7 +138,7 @@ impl ThroughputSpec {
             let mut retired = 0u64;
             for rep in 0..self.reps {
                 let started = Instant::now();
-                let out = spec.execute_prepared(&program, &input, report.as_ref())?;
+                let out = spec.execute_prepared_sharded(&program, &input, report.as_ref(), shards)?;
                 let nanos =
                     u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX).max(1);
                 if rep == 0 {
@@ -155,15 +159,17 @@ impl ThroughputSpec {
         Ok(ThroughputBench {
             samples: self.samples,
             reps: self.reps,
-            host: HostInfo::gather(1),
+            host: HostInfo::gather(1, shards),
             entries,
         })
     }
 
     /// Measures the *aggregate* throughput of the lock-step lane engine:
     /// for each spec, `width` independent lanes of that run advance one
-    /// cycle at a time inside a single [`BatchPipeline`], and the wall
-    /// clock covers all of them together.
+    /// cycle at a time inside a single [`BatchPipeline`] split across
+    /// `shards` host threads (`0` = one shard per available core, via
+    /// [`ThreadBudget::solo_shards`]), and the wall clock covers all of
+    /// them together.
     ///
     /// Per entry, `cycles` is the per-lane simulated cycle count —
     /// asserted identical across lanes, and bit-identical to what the
@@ -181,11 +187,17 @@ impl ThroughputSpec {
     ///
     /// Panics if two lanes of the same deterministic spec disagree on
     /// simulated cycles — an engine bug, not noise.
-    pub fn measure_batched(&self, width: NonZeroU32) -> Result<ThroughputBench, HarnessError> {
+    pub fn measure_batched(
+        &self,
+        width: NonZeroU32,
+        shards: usize,
+    ) -> Result<ThroughputBench, HarnessError> {
         use asbr_core::{AsbrConfig, AsbrUnit};
         use asbr_profile::{select_branches, SelectionConfig};
         use asbr_sim::NullHooks;
 
+        let shards =
+            if shards == 0 { ThreadBudget::detect().solo_shards() } else { shards };
         let lanes = width.get() as usize;
         let mut entries = Vec::with_capacity(self.specs.len());
         for spec in &self.specs {
@@ -231,7 +243,7 @@ impl ThroughputSpec {
                             )?;
                         }
                         let started = Instant::now();
-                        let summaries = batch.run()?;
+                        let summaries = batch.run_sharded(shards)?;
                         rep_nanos.push(
                             u64::try_from(started.elapsed().as_nanos())
                                 .unwrap_or(u64::MAX)
@@ -261,7 +273,7 @@ impl ThroughputSpec {
                             )?;
                         }
                         let started = Instant::now();
-                        let summaries = batch.run()?;
+                        let summaries = batch.run_sharded(shards)?;
                         rep_nanos.push(
                             u64::try_from(started.elapsed().as_nanos())
                                 .unwrap_or(u64::MAX)
@@ -292,7 +304,7 @@ impl ThroughputSpec {
         Ok(ThroughputBench {
             samples: self.samples,
             reps: self.reps,
-            host: HostInfo::gather(1),
+            host: HostInfo::gather(1, shards),
             entries,
         })
     }
@@ -418,8 +430,11 @@ pub struct ThroughputBench {
 impl ThroughputBench {
     /// Appends another bench's entries (e.g. the batched or sampled
     /// section after the scalar one). Host metadata and scales must
-    /// already agree — both benches came from the same process.
+    /// already agree — both benches came from the same process. The host
+    /// `shards` field keeps the maximum of the two sections, so a
+    /// combined artifact records the sharded configuration.
     pub fn extend(&mut self, other: ThroughputBench) {
+        self.host.shards = self.host.shards.max(other.host.shards);
         self.entries.extend(other.entries);
     }
 
@@ -651,7 +666,8 @@ mod tests {
         };
         let scalar = t.measure().unwrap();
         let width = NonZeroU32::new(3).unwrap();
-        let batched = t.measure_batched(width).unwrap();
+        // Two shards over three lanes: the split is uneven on purpose.
+        let batched = t.measure_batched(width, 2).unwrap();
         assert_eq!(batched.entries.len(), scalar.entries.len());
         for (b, s) in batched.entries.iter().zip(&scalar.entries) {
             assert_eq!(b.label, s.label);
@@ -667,6 +683,23 @@ mod tests {
         assert!(combined.aggregate_mips("scalar").unwrap() > 0.0);
         assert!(combined.aggregate_mips("batched@3").unwrap() > 0.0);
         assert!(combined.aggregate_mips("batched@9").is_none());
+    }
+
+    #[test]
+    fn stddev_is_the_sample_formula_over_repetitions() {
+        // Pins the n-1 divisor: reps [100, 200, 600] have mean 300 and
+        // sample stddev sqrt((200^2 + 100^2 + 300^2) / 2) = sqrt(70000)
+        // ~= 264.6 -> 265. The population formula (divide by n) would
+        // give sqrt(140000 / 3) ~= 216 — a drift this test would catch.
+        let spec = RunSpec::baseline(Workload::AdpcmEncode, PROFILE_PREDICTOR, 10);
+        let e = ThroughputEntry::from_timings(&spec, 1, 1, &[100, 200, 600]);
+        assert_eq!(e.best_nanos, 100);
+        assert_eq!(e.mean_nanos, 300);
+        assert_eq!(e.stddev_nanos, 265);
+        // Fewer than two repetitions have no spread, not a NaN.
+        let single = ThroughputEntry::from_timings(&spec, 1, 1, &[100]);
+        assert_eq!(single.stddev_nanos, 0);
+        assert_eq!(single.spread(), 0.0);
     }
 
     #[test]
@@ -687,7 +720,7 @@ mod tests {
         let mut bench = ThroughputBench {
             samples: 1,
             reps: 3,
-            host: HostInfo::gather(1),
+            host: HostInfo::gather(1, 1),
             entries: vec![e.clone()],
         };
         assert!(bench.spread_warnings().is_empty(), "5% spread is quiet");
@@ -709,7 +742,7 @@ mod tests {
         let bench = ThroughputBench {
             samples: 10,
             reps: 1,
-            host: HostInfo::gather(1),
+            host: HostInfo::gather(1, 1),
             entries: vec![ThroughputEntry {
                 label: "a/b/baseline".to_owned(),
                 workload: String::new(),
@@ -745,7 +778,7 @@ mod tests {
         let bench = ThroughputBench {
             samples: 10,
             reps: 1,
-            host: HostInfo::gather(1),
+            host: HostInfo::gather(1, 1),
             entries: vec![entry("a/b/baseline", 100), entry("a/b/asbr", 90)],
         };
         let json = bench.to_json();
@@ -772,7 +805,7 @@ mod tests {
         let bench = ThroughputBench {
             samples: 10,
             reps: 1,
-            host: HostInfo::gather(1),
+            host: HostInfo::gather(1, 1),
             entries: vec![ThroughputEntry {
                 label: "a/b/baseline".to_owned(),
                 workload: String::new(),

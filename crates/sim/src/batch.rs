@@ -1038,6 +1038,32 @@ impl<H: SimHooks> Lane<H> {
 // BatchPipeline
 // ----------------------------------------------------------------------
 
+/// Drives one group of lanes to completion with the [`RUN_CHUNK`]
+/// rotation — the sequential engine shared by [`BatchPipeline::run`]
+/// (one group of everything) and [`BatchPipeline::run_sharded`] (one
+/// group per host thread).
+fn run_group<H: SimHooks>(lanes: &mut [Lane<H>]) -> Result<(), SimError> {
+    loop {
+        let mut any = false;
+        for lane in lanes.iter_mut() {
+            if lane.halted {
+                continue;
+            }
+            any = true;
+            let target = lane.stats.cycles + RUN_CHUNK;
+            while !lane.halted && lane.stats.cycles < target {
+                if lane.stats.cycles >= lane.cfg.max_cycles {
+                    return Err(SimError::Limit { limit: lane.cfg.max_cycles });
+                }
+                lane.cycle()?;
+            }
+        }
+        if !any {
+            return Ok(());
+        }
+    }
+}
+
 /// N independent cycle-accurate runs in one engine.
 ///
 /// Lanes are added with [`push_lane`] (each with its own configuration,
@@ -1169,24 +1195,52 @@ impl<H: SimHooks> BatchPipeline<H> {
     ///
     /// [`step_all`]: BatchPipeline::step_all
     pub fn run(&mut self) -> Result<Vec<PipelineSummary>, SimError> {
-        loop {
-            let mut any = false;
-            for lane in &mut self.lanes {
-                if lane.halted {
-                    continue;
-                }
-                any = true;
-                let target = lane.stats.cycles + RUN_CHUNK;
-                while !lane.halted && lane.stats.cycles < target {
-                    if lane.stats.cycles >= lane.cfg.max_cycles {
-                        return Err(SimError::Limit { limit: lane.cfg.max_cycles });
-                    }
-                    lane.cycle()?;
-                }
-            }
-            if !any {
-                break;
-            }
+        run_group(&mut self.lanes)?;
+        Ok(self.lanes.iter().map(Lane::summary).collect())
+    }
+
+    /// Runs every lane to `halt` like [`run`], splitting the lanes into
+    /// `shards` contiguous groups stepped on separate host threads.
+    ///
+    /// Lanes never interact, so per-lane results (cycles, full stats,
+    /// output, registers) are **bit-identical** to [`run`] at every shard
+    /// count — the shard count is a host-throughput knob only, invisible
+    /// to the simulated machines. `shards` is clamped to `[1, width]`;
+    /// `run_sharded(1)` is exactly [`run`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Limit`] when a lane exceeds its configured
+    /// `max_cycles`, or any per-cycle error of the underlying machine.
+    /// When several shards fail, the error of the earliest lane group (in
+    /// lane order) is reported, so the chosen error does not depend on
+    /// thread scheduling. (Unlike [`run`], later independent lanes may
+    /// have kept running after the failing one stopped — indistinguishable
+    /// in the result, since an errored batch yields no summaries.)
+    ///
+    /// [`run`]: BatchPipeline::run
+    pub fn run_sharded(&mut self, shards: usize) -> Result<Vec<PipelineSummary>, SimError>
+    where
+        H: Send,
+    {
+        let shards = shards.clamp(1, self.lanes.len().max(1));
+        if shards <= 1 {
+            return self.run();
+        }
+        let per_shard = self.lanes.len().div_ceil(shards);
+        let results: Vec<Result<(), SimError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .lanes
+                .chunks_mut(per_shard)
+                .map(|group| scope.spawn(move || run_group(group)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard thread does not panic"))
+                .collect()
+        });
+        for result in results {
+            result?;
         }
         Ok(self.lanes.iter().map(Lane::summary).collect())
     }
@@ -1277,6 +1331,35 @@ mod tests {
             let s = stepped.summary(lane);
             assert_eq!(s.stats, summary.stats, "lane {lane}");
             assert_eq!(s.output, summary.output, "lane {lane}");
+        }
+    }
+
+    #[test]
+    fn run_sharded_is_bit_identical_at_every_shard_count() {
+        let prog = assemble(LOOP).unwrap();
+        let mk = |width: usize| {
+            let mut batch = BatchPipeline::new();
+            for seed in 0..width {
+                batch
+                    .push_lane(
+                        PipelineConfig::default(),
+                        PredictorKind::Bimodal { entries: 64 },
+                        NullHooks,
+                        &prog,
+                        [seed as i32],
+                    )
+                    .unwrap();
+            }
+            batch
+        };
+        let width = 5; // deliberately not divisible by the shard counts
+        let reference = mk(width).run().unwrap();
+        for shards in [1, 2, 3, width, width + 3] {
+            let summaries = mk(width).run_sharded(shards).unwrap();
+            for (lane, (s, r)) in summaries.iter().zip(&reference).enumerate() {
+                assert_eq!(s.stats, r.stats, "lane {lane} at {shards} shards");
+                assert_eq!(s.output, r.output, "lane {lane} at {shards} shards");
+            }
         }
     }
 

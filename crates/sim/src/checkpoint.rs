@@ -65,6 +65,15 @@ pub struct Checkpoint {
     pub(crate) pred: Option<Box<dyn Predictor>>,
 }
 
+// Sampled execution replays its windows concurrently, every worker
+// restoring from a shared `&Checkpoint` — keep the type provably
+// thread-safe (the `Predictor: Send + Sync` bound carries the boxed
+// predictor snapshot).
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Checkpoint>();
+};
+
 impl Clone for Checkpoint {
     fn clone(&self) -> Checkpoint {
         Checkpoint {

@@ -8,7 +8,7 @@ use std::path::PathBuf;
 use std::time::Duration;
 
 use asbr_bpred::PredictorKind;
-use asbr_experiments::harness::loadgen::http_request;
+use asbr_experiments::harness::loadgen::{http_request, http_request_with_headers};
 use asbr_experiments::harness::serve::outcome_to_json;
 use asbr_experiments::harness::CacheMode;
 use asbr_experiments::runner::{RunSpec, Server, ServerConfig};
@@ -152,17 +152,24 @@ fn full_admission_queue_answers_503() {
         let mut refused = None;
         for samples in 100..120 {
             let body = format!("{{\"workload\": \"adpcm-decode\", \"samples\": {samples}}}");
-            let (status, resp) = post(&addr, "/run", &body);
+            let (status, headers, resp) =
+                http_request_with_headers(&addr, "POST", "/run", &body).expect("transport");
             if status == 503 {
-                refused = Some(resp);
+                refused = Some((headers, resp));
                 break;
             }
             // The blocker may have finished already; keep probing while
             // the queue drains, but never accept a non-200.
             assert_eq!(status, 200, "{resp}");
         }
-        let refusal = refused.expect("no request was refused while the queue was full");
+        let (headers, refusal) =
+            refused.expect("no request was refused while the queue was full");
         assert!(refusal.contains("overloaded"), "{refusal}");
+        // Backpressure is transient, so the refusal invites a retry.
+        assert!(
+            headers.iter().any(|(name, value)| name == "retry-after" && value == "1"),
+            "overload 503 must carry Retry-After: 1, got {headers:?}"
+        );
         assert_eq!(running.join().unwrap().0, 200);
         assert_eq!(queued.join().unwrap().0, 200);
     });

@@ -59,6 +59,72 @@ fn batched_is_bit_identical_to_scalar_everywhere() {
     }
 }
 
+/// Sharding the batch engine across host threads is a pure scheduling
+/// change: per-lane statistics (attribution included), output streams,
+/// and ASBR fold counters must be bit-identical at every shard count —
+/// including counts that divide the width unevenly or exceed it.
+#[test]
+fn sharded_batches_are_bit_identical_at_every_shard_count() {
+    use asbr_core::{AsbrConfig, AsbrUnit};
+    use asbr_profile::{profile, select_branches, SelectionConfig};
+    use asbr_sim::BatchPipeline;
+
+    let hw = std::thread::available_parallelism().map_or(1, usize::from);
+    for width in [3usize, 8] {
+        // Heterogeneous lanes — different workloads and input lengths,
+        // all ASBR-customized — so shards finish at different times.
+        let lanes: Vec<_> = (0..width)
+            .map(|lane| {
+                let w = Workload::ALL[lane % Workload::ALL.len()];
+                let program = w.program();
+                let input = w.input(120 + 40 * (lane % 3));
+                let report = profile(&program, &input, &[PROFILE_PREDICTOR]).unwrap();
+                let selected = select_branches(&report, &program, &SelectionConfig::default());
+                (program, input, selected)
+            })
+            .collect();
+        let build = || {
+            let mut batch = BatchPipeline::new();
+            for (program, input, selected) in &lanes {
+                let unit =
+                    AsbrUnit::for_branches(AsbrConfig::default(), program, selected).unwrap();
+                batch
+                    .push_lane(
+                        PipelineConfig::default(),
+                        PROFILE_PREDICTOR,
+                        unit,
+                        program,
+                        input.iter().copied(),
+                    )
+                    .unwrap();
+            }
+            batch
+        };
+
+        let mut reference = build();
+        let want = reference.run().unwrap();
+        let want_folds: Vec<_> = (0..width).map(|i| reference.hooks(i).stats()).collect();
+
+        for shards in [1usize, 2, hw, width + 2] {
+            let mut sharded = build();
+            let got = sharded.run_sharded(shards).unwrap();
+            assert_eq!(got, want, "width {width}: {shards} shards diverged");
+            for i in 0..width {
+                assert_eq!(
+                    sharded.hooks(i).stats(),
+                    want_folds[i],
+                    "width {width}, {shards} shards: lane {i} fold counters"
+                );
+                assert_eq!(
+                    got[i].stats.attribution.total(),
+                    got[i].stats.cycles,
+                    "width {width}, {shards} shards: lane {i} attribution sum"
+                );
+            }
+        }
+    }
+}
+
 /// Checkpoint fidelity: a pipeline restored from an architectural
 /// checkpoint taken at an arbitrary mid-run retire count must produce a
 /// byte-identical tail — same remaining retires, same final registers,
@@ -175,6 +241,40 @@ fn sampled_cpi_error_is_within_one_percent() {
             // The attribution invariant survives reconstruction.
             let attr = &sampled.summary.stats.attribution;
             assert_eq!(attr.total(), sampled.cycles(), "{}: bucket sum", spec.label());
+        }
+    }
+}
+
+/// Concurrent sampled windows are a scheduling change too: each window
+/// owns its restored pipeline, so the reconstructed estimate (and its
+/// meta) must be bit-identical at every shard count.
+#[test]
+fn sampled_execution_is_shard_count_invariant() {
+    let hw = std::thread::available_parallelism().map_or(1, usize::from);
+    for asbr in [false, true] {
+        let base = if asbr {
+            RunSpec::asbr(Workload::G721Decode, PROFILE_PREDICTOR, SAMPLES)
+        } else {
+            RunSpec::baseline(Workload::AdpcmEncode, PROFILE_PREDICTOR, SAMPLES)
+        };
+        let spec = base.with_strategy(ExecStrategy::Sampled { windows: nz(6), warmup: 800 });
+        let program = spec.program();
+        let input = spec.workload.input(spec.samples);
+        let report = asbr
+            .then(|| asbr_profile::profile(&program, &input, &[PROFILE_PREDICTOR]).unwrap());
+        let want = spec.execute_prepared_sharded(&program, &input, report.as_ref(), 1).unwrap();
+        for shards in [2usize, hw, 16] {
+            let got =
+                spec.execute_prepared_sharded(&program, &input, report.as_ref(), shards).unwrap();
+            assert_eq!(
+                got.cycles(),
+                want.cycles(),
+                "{}: {shards} shards changed the estimate",
+                spec.label()
+            );
+            assert_eq!(got.summary.stats, want.summary.stats, "{}", spec.label());
+            assert_eq!(got.summary.output, want.summary.output, "{}", spec.label());
+            assert_eq!(got.sampled, want.sampled, "{}: sampled meta", spec.label());
         }
     }
 }
