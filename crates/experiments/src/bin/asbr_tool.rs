@@ -35,6 +35,21 @@
 //!                                             if any bound < simulated cycles
 //!   --samples <n>          input samples (default 400)
 //!   --out <path>           write the report here (default results/WCET_report.json)
+//! asbr_tool explore [options]                 multi-objective design-space
+//!                                             exploration; write results/PARETO_*.json
+//!   --space <name>         small (12 points, cycles+area) or default
+//!                          (432 points, cycles+area+energy) (default: default)
+//!   --workload <name>      benchmark the space explores (default adpcm-encode)
+//!   --samples <n>          input samples per point (default 400)
+//!   --seed <n>             RNG seed of the guided search (default 1)
+//!   --budget <n>           guided initial random samples (default 48)
+//!   --rounds <n>           guided neighborhood-refinement passes (default 3)
+//!   --exhaustive           evaluate every point instead of guided search
+//!   --threads <n>          executor workers (default: one per core)
+//!   --cache <dir>          on-disk result cache (default results/cache)
+//!   --no-cache             disable the on-disk cache
+//!   --refresh              ignore existing cache entries but rewrite them
+//!   --out <path>           report path (default results/PARETO_<space>_<workload>.json)
 //! asbr_tool serve [options]                   HTTP simulation service (POST /run,
 //!                                             POST /sweep, GET /healthz, GET /stats);
 //!                                             runs until killed
@@ -63,11 +78,18 @@
 //! Exit codes: `0` success, `2` any error, except `3` for retryable
 //! backpressure ([`HarnessError::Overloaded`]).
 //!
-//! Workload names for `trace` match the benchmark names of the tables
-//! ignoring case and punctuation (`adpcm-encode`, `g721-decode`, …) or
-//! the canonical slugs (`adpcm_enc`, `g721_dec`, …).
+//! Workload names for `trace`/`explore` match the benchmark names of the
+//! tables ignoring case and punctuation (`adpcm-encode`, `g721-decode`,
+//! …) or the canonical slugs (`adpcm_enc`, `g721_dec`, …).
+//!
+//! Flags shared across subcommands (`--out`, `--samples`, `--threads`,
+//! and the `--cache`/`--no-cache`/`--refresh` trio) parse through one
+//! [`CommonOpts`] helper; each subcommand only declares which of them it
+//! accepts plus its own extras, so a new subcommand never re-implements
+//! the shared handling.
 
 use std::fs;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use asbr_asm::{assemble, Program};
@@ -75,8 +97,10 @@ use asbr_bpred::PredictorKind;
 use asbr_core::{decode_image, encode_image, AsbrConfig, AsbrUnit};
 use asbr_flow::{call_aware_depths, candidates, select_static, Cfg};
 use asbr_harness::{
-    CacheMode, HarnessError, LoadgenConfig, Server, ServerConfig, ThroughputSpec, AUX_BTB,
-    PROFILE_PREDICTOR, SAMPLES_SMOKE, THROUGHPUT_REPS, THROUGHPUT_SAMPLES,
+    Axis, CacheMode, Constraint, CostModel, DesignSpace, Executor, Exploration, HarnessError,
+    LoadgenConfig, Metric, Objective, ResultCache, RunSpec, SearchStrategy, Server, ServerConfig,
+    ThroughputSpec, AUX_BTB, PROFILE_PREDICTOR, SAMPLES_SMOKE, THROUGHPUT_REPS,
+    THROUGHPUT_SAMPLES,
 };
 use asbr_profile::{profile, select_branches, SelectionConfig};
 use asbr_sim::{ChromeTracer, CycleBucket, Pipeline, PipelineConfig, PublishPoint};
@@ -106,6 +130,113 @@ impl From<HarnessError> for CliError {
     fn from(e: HarnessError) -> CliError {
         CliError { code: e.exit_code(), msg: e.to_string() }
     }
+}
+
+/// Cursor over a subcommand's argv tail. Flag handlers call
+/// [`ArgCursor::value`]/[`ArgCursor::parse`] to consume a flag's operand
+/// with a uniform error message.
+struct ArgCursor<'a> {
+    args: &'a [String],
+    i: usize,
+}
+
+impl<'a> ArgCursor<'a> {
+    fn value(&mut self, flag: &str) -> Result<&'a String, CliError> {
+        self.i += 1;
+        self.args.get(self.i).ok_or_else(|| format!("missing value after {flag}").into())
+    }
+
+    fn parse<T: std::str::FromStr>(&mut self, flag: &str) -> Result<T, CliError> {
+        self.value(flag)?.parse().map_err(|_| format!("bad value for {flag}").into())
+    }
+}
+
+/// The flags several subcommands share. A subcommand opts into exactly
+/// the ones it supports via [`CommonOpts::accepting`]; everything else
+/// still errors as unknown, so consolidation does not widen any
+/// subcommand's surface.
+struct CommonOpts {
+    accepts: &'static [&'static str],
+    out: Option<String>,
+    samples: Option<usize>,
+    threads: usize,
+    cache_dir: Option<String>,
+    no_cache: bool,
+    refresh: bool,
+}
+
+impl CommonOpts {
+    fn accepting(accepts: &'static [&'static str]) -> CommonOpts {
+        CommonOpts {
+            accepts,
+            out: None,
+            samples: None,
+            threads: 0,
+            cache_dir: None,
+            no_cache: false,
+            refresh: false,
+        }
+    }
+
+    /// Tries to consume `flag`; `Ok(false)` means the flag is not a
+    /// shared one (or not accepted here) and the subcommand's own
+    /// handler should see it.
+    fn take(&mut self, flag: &str, cur: &mut ArgCursor) -> Result<bool, CliError> {
+        if !self.accepts.contains(&flag) {
+            return Ok(false);
+        }
+        match flag {
+            "--out" => self.out = Some(cur.value("--out")?.clone()),
+            "--samples" => self.samples = Some(cur.parse("--samples")?),
+            "--threads" => self.threads = cur.parse("--threads")?,
+            // `--cache dir` and `--no-cache` override each other,
+            // last-one-wins, exactly as the old per-subcommand loops did.
+            "--cache" => {
+                self.cache_dir = Some(cur.value("--cache")?.clone());
+                self.no_cache = false;
+            }
+            "--no-cache" => {
+                self.no_cache = true;
+                self.cache_dir = None;
+            }
+            "--refresh" => self.refresh = true,
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+
+    /// Resolves the `--cache`/`--no-cache`/`--refresh` trio against a
+    /// subcommand default directory.
+    fn cache_mode(&self, default_dir: PathBuf) -> Result<CacheMode, CliError> {
+        if self.no_cache {
+            if self.refresh {
+                return Err("--refresh needs a cache directory (drop --no-cache)".into());
+            }
+            return Ok(CacheMode::Disabled);
+        }
+        let dir = self.cache_dir.clone().map_or(default_dir, PathBuf::from);
+        Ok(if self.refresh { CacheMode::Refresh(dir) } else { CacheMode::Enabled(dir) })
+    }
+}
+
+/// The one flag-parsing loop every subcommand shares: shared flags land
+/// in `common`, everything else is offered to `extra`; a flag neither
+/// claims is an error.
+fn parse_flags(
+    args: &[String],
+    start: usize,
+    common: &mut CommonOpts,
+    mut extra: impl FnMut(&str, &mut ArgCursor) -> Result<bool, CliError>,
+) -> Result<(), CliError> {
+    let mut cur = ArgCursor { args, i: start };
+    while cur.i < args.len() {
+        let flag = args[cur.i].clone();
+        if !common.take(&flag, &mut cur)? && !extra(&flag, &mut cur)? {
+            return Err(format!("unknown option `{flag}`").into());
+        }
+        cur.i += 1;
+    }
+    Ok(())
 }
 
 fn load_program(path: &str) -> Result<Program, String> {
@@ -467,7 +598,7 @@ fn branch_verdicts(program: &Program, selected: &[u32], threshold: u32) -> Vec<S
 }
 
 fn cmd_wcet(opts: &WcetOpts) -> Result<(), CliError> {
-    use asbr_harness::{attach_bound, RunSpec};
+    use asbr_harness::attach_bound;
 
     let mut runs = Vec::new();
     let mut violations = Vec::new();
@@ -536,7 +667,7 @@ fn cmd_wcet(opts: &WcetOpts) -> Result<(), CliError> {
         range_only,
         runs.join(",\n"),
     );
-    if let Some(dir) = std::path::Path::new(&opts.out).parent() {
+    if let Some(dir) = Path::new(&opts.out).parent() {
         if !dir.as_os_str().is_empty() {
             fs::create_dir_all(dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
         }
@@ -555,6 +686,120 @@ fn cmd_wcet(opts: &WcetOpts) -> Result<(), CliError> {
     } else {
         Err(format!("static bound below simulated cycles for: {}", violations.join(", ")).into())
     }
+}
+
+struct ExploreOpts {
+    space: String,
+    workload: Workload,
+    samples: usize,
+    seed: u64,
+    budget: usize,
+    rounds: usize,
+    exhaustive: bool,
+    threads: usize,
+    cache: CacheMode,
+    out: String,
+}
+
+/// Builds the named design space with its objectives and constraints.
+///
+/// Both spaces explore ASBR configurations of one workload and constrain
+/// the front to configurations no larger than the paper's baseline front
+/// end (bimodal-2048 + BTB-2048):
+///
+/// * `small` — predictor {not-taken, bi-256, bi-512} × BTB {256, 512} ×
+///   BIT {8, 16}: 12 points, cycles + area. Small enough that CI's smoke
+///   job can cross-check guided search against exhaustive enumeration.
+/// * `default` — predictor family/size (9) × BTB (4) × BIT (3) × publish
+///   point (2) × cache bytes (2): 432 points, cycles + area + energy.
+///   Guided search visits strictly fewer points than exhaustive fan-out.
+fn explore_space(
+    name: &str,
+    workload: Workload,
+    samples: usize,
+    model: CostModel,
+) -> Result<(DesignSpace, Vec<Objective>, Vec<Constraint>), CliError> {
+    let base = RunSpec::asbr(workload, PredictorKind::Bimodal { entries: 512 }, samples);
+    let baseline_area = model
+        .cost_of(&RunSpec::baseline(
+            workload,
+            PredictorKind::Bimodal { entries: 2048 },
+            samples,
+        ))
+        .total_area();
+    let constraints = vec![Constraint::at_most(Metric::area(model), baseline_area)];
+    match name {
+        "small" => {
+            let space = DesignSpace::new(base)
+                .axis(Axis::predictors([
+                    PredictorKind::NotTaken,
+                    PredictorKind::Bimodal { entries: 256 },
+                    PredictorKind::Bimodal { entries: 512 },
+                ]))
+                .axis(Axis::btb_entries([256, 512]))
+                .axis(Axis::bit_entries([8, 16]));
+            let objectives = vec![
+                Objective::minimize(Metric::cycles()),
+                Objective::minimize(Metric::area(model)),
+            ];
+            Ok((space, objectives, constraints))
+        }
+        "default" => {
+            let space = DesignSpace::new(base)
+                .axis(Axis::predictors([
+                    PredictorKind::NotTaken,
+                    PredictorKind::Bimodal { entries: 64 },
+                    PredictorKind::Bimodal { entries: 128 },
+                    PredictorKind::Bimodal { entries: 256 },
+                    PredictorKind::Bimodal { entries: 512 },
+                    PredictorKind::Bimodal { entries: 1024 },
+                    PredictorKind::Bimodal { entries: 2048 },
+                    PredictorKind::Gshare { hist_bits: 8, entries: 256 },
+                    PredictorKind::Gshare { hist_bits: 11, entries: 2048 },
+                ]))
+                .axis(Axis::btb_entries([64, 256, 512, 2048]))
+                .axis(Axis::bit_entries([4, 8, 16]))
+                .axis(Axis::publish([PublishPoint::Execute, PublishPoint::Mem]))
+                .axis(Axis::cache_bytes([4096, 8192]));
+            let objectives = vec![
+                Objective::minimize(Metric::cycles()),
+                Objective::minimize(Metric::area(model)),
+                Objective::minimize(Metric::energy(model)),
+            ];
+            Ok((space, objectives, constraints))
+        }
+        other => Err(format!("unknown space `{other}` (small|default)").into()),
+    }
+}
+
+fn cmd_explore(opts: &ExploreOpts) -> Result<(), CliError> {
+    let model = CostModel::load(Path::new("results"))?;
+    let (space, objectives, constraints) =
+        explore_space(&opts.space, opts.workload, opts.samples, model)?;
+    let strategy = if opts.exhaustive {
+        SearchStrategy::Exhaustive
+    } else {
+        SearchStrategy::Guided { budget: opts.budget, rounds: opts.rounds, seed: opts.seed }
+    };
+    println!(
+        "exploring the `{}` space of {} ({} points, {} objective(s)) with {}",
+        opts.space,
+        opts.workload.name(),
+        space.len(),
+        objectives.len(),
+        match strategy {
+            SearchStrategy::Exhaustive => "exhaustive enumeration".to_owned(),
+            SearchStrategy::Guided { budget, rounds, seed } =>
+                format!("guided search (budget {budget}, rounds {rounds}, seed {seed})"),
+        }
+    );
+    let exploration = Exploration { space, objectives, constraints, strategy };
+    let executor = Executor::new().threads(opts.threads).cache(opts.cache.clone());
+    let report = exploration.run(&executor)?;
+    print!("{}", report.render());
+    report.write(&opts.out)?;
+    println!("wrote {}", opts.out);
+    Ok(())
 }
 
 struct ServeOpts {
@@ -667,6 +912,10 @@ fn usage() -> String {
      \x20      asbr_tool bench [--samples n] [--reps n] [--batch width] [--shards n]\n\
      \x20                      [--sampled] [--out path] [--check golden.json]\n\
      \x20      asbr_tool wcet [--samples n] [--out path]\n\
+     \x20      asbr_tool explore [--space small|default] [--workload name] [--samples n]\n\
+     \x20                        [--seed n] [--budget n] [--rounds n] [--exhaustive]\n\
+     \x20                        [--threads n] [--cache dir|--no-cache] [--refresh]\n\
+     \x20                        [--out path]\n\
      \x20      asbr_tool serve [--addr host:port] [--threads n] [--queue n]\n\
      \x20                      [--cache dir|--no-cache] [--refresh] [--stats-every secs]\n\
      \x20      asbr_tool loadgen [--addr host:port] [--clients n] [--cold n] [--hot n]\n\
@@ -680,128 +929,58 @@ fn real_main() -> Result<(), CliError> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().ok_or_else(usage)?;
     if cmd == "serve" {
-        let mut opts = ServeOpts {
-            addr: "127.0.0.1:7781".to_owned(),
-            threads: 0,
-            queue: 0,
-            cache: CacheMode::Enabled("results/serve-cache".into()),
-            stats_every: 0,
-        };
-        let mut refresh = false;
-        let mut i = 1;
-        while i < args.len() {
-            match args[i].as_str() {
-                "--addr" => {
-                    i += 1;
-                    opts.addr = args.get(i).ok_or("missing address after --addr")?.clone();
-                }
-                "--threads" => {
-                    i += 1;
-                    opts.threads = args
-                        .get(i)
-                        .and_then(|s| s.parse().ok())
-                        .ok_or("bad --threads count")?;
-                }
-                "--queue" => {
-                    i += 1;
-                    opts.queue =
-                        args.get(i).and_then(|s| s.parse().ok()).ok_or("bad --queue count")?;
-                }
-                "--cache" => {
-                    i += 1;
-                    let dir = args.get(i).ok_or("missing directory after --cache")?;
-                    opts.cache = CacheMode::Enabled(dir.into());
-                }
-                "--no-cache" => opts.cache = CacheMode::Disabled,
-                "--refresh" => refresh = true,
-                "--stats-every" => {
-                    i += 1;
-                    opts.stats_every = args
-                        .get(i)
-                        .and_then(|s| s.parse().ok())
-                        .ok_or("bad --stats-every seconds")?;
-                }
-                other => return Err(format!("unknown option `{other}`").into()),
+        let mut common =
+            CommonOpts::accepting(&["--threads", "--cache", "--no-cache", "--refresh"]);
+        let mut addr = "127.0.0.1:7781".to_owned();
+        let mut queue = 0usize;
+        let mut stats_every = 0u64;
+        parse_flags(&args, 1, &mut common, |flag, cur| {
+            match flag {
+                "--addr" => addr = cur.value("--addr")?.clone(),
+                "--queue" => queue = cur.parse("--queue")?,
+                "--stats-every" => stats_every = cur.parse("--stats-every")?,
+                _ => return Ok(false),
             }
-            i += 1;
-        }
-        if refresh {
-            opts.cache = match opts.cache {
-                CacheMode::Disabled => {
-                    return Err("--refresh needs a cache directory (drop --no-cache)".into())
-                }
-                CacheMode::Enabled(dir) | CacheMode::Refresh(dir) => CacheMode::Refresh(dir),
-            };
-        }
+            Ok(true)
+        })?;
+        let opts = ServeOpts {
+            addr,
+            threads: common.threads,
+            queue,
+            cache: common.cache_mode(PathBuf::from("results/serve-cache"))?,
+            stats_every,
+        };
         return cmd_serve(&opts);
     }
     if cmd == "loadgen" {
+        let mut common = CommonOpts::accepting(&["--samples", "--out"]);
         let mut opts = LoadgenOpts {
             config: LoadgenConfig::default(),
-            out: "results/BENCH_serve.json".to_owned(),
+            out: String::new(),
             require_hits: false,
             max_p99_ms: None,
         };
-        let mut i = 1;
-        while i < args.len() {
-            match args[i].as_str() {
-                "--addr" => {
-                    i += 1;
-                    opts.config.addr =
-                        args.get(i).ok_or("missing address after --addr")?.clone();
-                }
-                "--clients" => {
-                    i += 1;
-                    opts.config.clients = args
-                        .get(i)
-                        .and_then(|s| s.parse().ok())
-                        .ok_or("bad --clients count")?;
-                }
-                "--cold" => {
-                    i += 1;
-                    opts.config.cold =
-                        args.get(i).and_then(|s| s.parse().ok()).ok_or("bad --cold count")?;
-                }
-                "--hot" => {
-                    i += 1;
-                    opts.config.hot =
-                        args.get(i).and_then(|s| s.parse().ok()).ok_or("bad --hot count")?;
-                }
-                "--malformed" => {
-                    i += 1;
-                    opts.config.malformed = args
-                        .get(i)
-                        .and_then(|s| s.parse().ok())
-                        .ok_or("bad --malformed count")?;
-                }
-                "--samples" => {
-                    i += 1;
-                    opts.config.samples = args
-                        .get(i)
-                        .and_then(|s| s.parse().ok())
-                        .ok_or("bad --samples count")?;
-                }
-                "--out" => {
-                    i += 1;
-                    opts.out = args.get(i).ok_or("missing path after --out")?.clone();
-                }
+        parse_flags(&args, 1, &mut common, |flag, cur| {
+            match flag {
+                "--addr" => opts.config.addr = cur.value("--addr")?.clone(),
+                "--clients" => opts.config.clients = cur.parse("--clients")?,
+                "--cold" => opts.config.cold = cur.parse("--cold")?,
+                "--hot" => opts.config.hot = cur.parse("--hot")?,
+                "--malformed" => opts.config.malformed = cur.parse("--malformed")?,
                 "--require-hits" => opts.require_hits = true,
-                "--max-p99-ms" => {
-                    i += 1;
-                    opts.max_p99_ms = Some(
-                        args.get(i)
-                            .and_then(|s| s.parse().ok())
-                            .ok_or("bad --max-p99-ms bound")?,
-                    );
-                }
-                other => return Err(format!("unknown option `{other}`").into()),
+                "--max-p99-ms" => opts.max_p99_ms = Some(cur.parse("--max-p99-ms")?),
+                _ => return Ok(false),
             }
-            i += 1;
+            Ok(true)
+        })?;
+        if let Some(samples) = common.samples {
+            opts.config.samples = samples;
         }
+        opts.out = common.out.unwrap_or_else(|| "results/BENCH_serve.json".to_owned());
         return cmd_loadgen(&opts);
     }
     if cmd == "bench" {
-        // The only file-less subcommand: parse its flags and go.
+        let mut common = CommonOpts::accepting(&["--samples", "--out"]);
         let mut opts = BenchOpts {
             samples: THROUGHPUT_SAMPLES,
             reps: THROUGHPUT_REPS,
@@ -811,76 +990,73 @@ fn real_main() -> Result<(), CliError> {
             out: None,
             check: None,
         };
-        let mut i = 1;
-        while i < args.len() {
-            match args[i].as_str() {
-                "--samples" => {
-                    i += 1;
-                    opts.samples = args
-                        .get(i)
-                        .and_then(|s| s.parse().ok())
-                        .ok_or("bad --samples count")?;
-                }
-                "--reps" => {
-                    i += 1;
-                    opts.reps =
-                        args.get(i).and_then(|s| s.parse().ok()).ok_or("bad --reps count")?;
-                }
-                "--batch" => {
-                    i += 1;
-                    opts.batch = Some(
-                        args.get(i)
-                            .and_then(|s| s.parse().ok())
-                            .ok_or("bad --batch width")?,
-                    );
-                }
-                "--shards" => {
-                    i += 1;
-                    opts.shards = args
-                        .get(i)
-                        .and_then(|s| s.parse().ok())
-                        .ok_or("bad --shards count")?;
-                }
+        parse_flags(&args, 1, &mut common, |flag, cur| {
+            match flag {
+                "--reps" => opts.reps = cur.parse("--reps")?,
+                "--batch" => opts.batch = Some(cur.parse("--batch")?),
+                "--shards" => opts.shards = cur.parse("--shards")?,
                 "--sampled" => opts.sampled = true,
-                "--out" => {
-                    i += 1;
-                    opts.out = Some(args.get(i).ok_or("missing path after --out")?.clone());
-                }
-                "--check" => {
-                    i += 1;
-                    opts.check =
-                        Some(args.get(i).ok_or("missing path after --check")?.clone());
-                }
-                other => return Err(format!("unknown option `{other}`").into()),
+                "--check" => opts.check = Some(cur.value("--check")?.clone()),
+                _ => return Ok(false),
             }
-            i += 1;
-        }
+            Ok(true)
+        })?;
+        opts.samples = common.samples.unwrap_or(THROUGHPUT_SAMPLES);
+        opts.out = common.out;
         return cmd_bench(&opts);
     }
     if cmd == "wcet" {
-        let mut opts = WcetOpts {
-            samples: SAMPLES_SMOKE,
-            out: "results/WCET_report.json".to_owned(),
+        let mut common = CommonOpts::accepting(&["--samples", "--out"]);
+        parse_flags(&args, 1, &mut common, |_, _| Ok(false))?;
+        let opts = WcetOpts {
+            samples: common.samples.unwrap_or(SAMPLES_SMOKE),
+            out: common.out.unwrap_or_else(|| "results/WCET_report.json".to_owned()),
         };
-        let mut i = 1;
-        while i < args.len() {
-            match args[i].as_str() {
-                "--samples" => {
-                    i += 1;
-                    opts.samples = args
-                        .get(i)
-                        .and_then(|s| s.parse().ok())
-                        .ok_or("bad --samples count")?;
-                }
-                "--out" => {
-                    i += 1;
-                    opts.out = args.get(i).ok_or("missing path after --out")?.clone();
-                }
-                other => return Err(format!("unknown option `{other}`").into()),
-            }
-            i += 1;
-        }
         return cmd_wcet(&opts);
+    }
+    if cmd == "explore" {
+        let mut common = CommonOpts::accepting(&[
+            "--samples",
+            "--out",
+            "--threads",
+            "--cache",
+            "--no-cache",
+            "--refresh",
+        ]);
+        let mut space = "default".to_owned();
+        let mut workload = Workload::AdpcmEncode;
+        let mut seed = 1u64;
+        let mut budget = 48usize;
+        let mut rounds = 3usize;
+        let mut exhaustive = false;
+        parse_flags(&args, 1, &mut common, |flag, cur| {
+            match flag {
+                "--space" => space = cur.value("--space")?.clone(),
+                "--workload" => workload = resolve_workload(cur.value("--workload")?)?,
+                "--seed" => seed = cur.parse("--seed")?,
+                "--budget" => budget = cur.parse("--budget")?,
+                "--rounds" => rounds = cur.parse("--rounds")?,
+                "--exhaustive" => exhaustive = true,
+                _ => return Ok(false),
+            }
+            Ok(true)
+        })?;
+        let out = common.out.clone().unwrap_or_else(|| {
+            format!("results/PARETO_{space}_{}.json", workload.slug())
+        });
+        let opts = ExploreOpts {
+            space,
+            workload,
+            samples: common.samples.unwrap_or(SAMPLES_SMOKE),
+            seed,
+            budget,
+            rounds,
+            exhaustive,
+            threads: common.threads,
+            cache: common.cache_mode(ResultCache::default_root())?,
+            out,
+        };
+        return cmd_explore(&opts);
     }
     let file = args.get(1).ok_or_else(usage)?;
     match cmd.as_str() {
@@ -895,6 +1071,7 @@ fn real_main() -> Result<(), CliError> {
             cmd_customize(file, out).map_err(CliError::from)
         }
         "run" => {
+            let mut common = CommonOpts::accepting(&[]);
             let mut opts = RunOpts {
                 input: Vec::new(),
                 image: None,
@@ -902,77 +1079,50 @@ fn real_main() -> Result<(), CliError> {
                 predictor: PredictorKind::Bimodal { entries: 2048 },
                 trace: 0,
             };
-            let mut i = 2;
-            while i < args.len() {
-                match args[i].as_str() {
+            parse_flags(&args, 2, &mut common, |flag, cur| {
+                match flag {
                     "--input" => {
-                        i += 1;
-                        let list = args.get(i).ok_or("missing value after --input")?;
+                        let list = cur.value("--input")?;
                         opts.input = list
                             .split(',')
                             .filter(|s| !s.is_empty())
                             .map(|s| s.trim().parse::<i32>().map_err(|e| e.to_string()))
-                            .collect::<Result<_, _>>()?;
+                            .collect::<Result<_, String>>()?;
                     }
                     "--asbr" => {
-                        i += 1;
-                        let p = args.get(i).ok_or("missing path after --asbr")?;
+                        let p = cur.value("--asbr")?;
                         opts.image =
                             Some(fs::read(p).map_err(|e| format!("cannot read {p}: {e}"))?);
                     }
                     "--asbr-static" => opts.asbr_static = true,
                     "--predictor" => {
-                        i += 1;
-                        opts.predictor =
-                            parse_predictor(args.get(i).ok_or("missing predictor name")?)?;
+                        opts.predictor = parse_predictor(cur.value("--predictor")?)?;
                     }
-                    "--trace" => {
-                        i += 1;
-                        opts.trace = args
-                            .get(i)
-                            .and_then(|s| s.parse().ok())
-                            .ok_or("bad --trace count")?;
-                    }
-                    other => return Err(format!("unknown option `{other}`").into()),
+                    "--trace" => opts.trace = cur.parse("--trace")?,
+                    _ => return Ok(false),
                 }
-                i += 1;
-            }
+                Ok(true)
+            })?;
             cmd_run(file, &opts).map_err(CliError::from)
         }
         "trace" => {
-            let mut opts = TraceOpts {
-                samples: SAMPLES_SMOKE,
-                out: "trace.json".to_owned(),
-                interval: asbr_sim::DEFAULT_TRACE_INTERVAL,
-                asbr: false,
-            };
-            let mut i = 2;
-            while i < args.len() {
-                match args[i].as_str() {
-                    "--samples" => {
-                        i += 1;
-                        opts.samples = args
-                            .get(i)
-                            .and_then(|s| s.parse().ok())
-                            .ok_or("bad --samples count")?;
-                    }
-                    "--out" => {
-                        i += 1;
-                        opts.out =
-                            args.get(i).ok_or("missing path after --out")?.clone();
-                    }
-                    "--interval" => {
-                        i += 1;
-                        opts.interval = args
-                            .get(i)
-                            .and_then(|s| s.parse().ok())
-                            .ok_or("bad --interval count")?;
-                    }
-                    "--asbr" => opts.asbr = true,
-                    other => return Err(format!("unknown option `{other}`").into()),
+            let mut common = CommonOpts::accepting(&["--samples", "--out"]);
+            let mut interval = asbr_sim::DEFAULT_TRACE_INTERVAL;
+            let mut asbr = false;
+            parse_flags(&args, 2, &mut common, |flag, cur| {
+                match flag {
+                    "--interval" => interval = cur.parse("--interval")?,
+                    "--asbr" => asbr = true,
+                    _ => return Ok(false),
                 }
-                i += 1;
-            }
+                Ok(true)
+            })?;
+            let opts = TraceOpts {
+                samples: common.samples.unwrap_or(SAMPLES_SMOKE),
+                out: common.out.unwrap_or_else(|| "trace.json".to_owned()),
+                interval,
+                asbr,
+            };
             cmd_trace(file, &opts).map_err(CliError::from)
         }
         _ => Err(usage().into()),

@@ -284,7 +284,7 @@ fn main() {
         }
         "area" => {
             section("Front-end storage (paper Sec. 6 area claim)");
-            let rows = costs::area_table();
+            let rows = costs::area_table().expect("area model loads");
             for r in &rows {
                 println!(
                     "{:<36} predictor {:>7}  btb {:>7}  asbr {:>6}  total {:>7} bits",

@@ -2,80 +2,42 @@
 //!
 //! *Power* (Sec. 1): "the total number of instructions passing through the
 //! pipeline is reduced … no mispredicted instructions are executed.
-//! Consequently, power consumption is decreased." We charge a fixed energy
-//! per structure *event* (fetch, decode, execute, memory op, register
-//! write, predictor access) plus a table-size-dependent cost for every
-//! predictor/BTB access (bitline energy grows with the array; modelled as
-//! `sqrt(bits)` per CACTI-style scaling), and compare baseline vs ASBR
-//! totals from the pipeline's [`Activity`] counters.
+//! Consequently, power consumption is decreased." *Area* (Sec. 6):
+//! "drastically reduce area and still keep the original branch prediction
+//! rates by using a much more lightweight branch predictor".
 //!
-//! *Area* (Sec. 6): "drastically reduce area and still keep the original
-//! branch prediction rates by using a much more lightweight branch
-//! predictor". We count storage bits of every front-end structure.
-//!
-//! The per-event constants are representative (they set the *units*, not
-//! the conclusions); every comparison reported is a ratio between two
-//! configurations evaluated under the same constants.
+//! The models behind both claims are no longer private to this module:
+//! they were promoted to [`asbr_harness::cost::CostModel`] (per-event
+//! energy entries, per-structure area weights, loadable from
+//! `results/area.json` / `results/power.json`) so that design-space
+//! exploration can optimize over them as first-class objectives. This
+//! experiment is now a thin consumer: it loads the model, runs the
+//! paper's two comparisons through it, and renders the rows.
+
+use std::path::Path;
 
 use serde::Serialize;
 
-use asbr_bpred::{Btb, PredictorKind};
-use asbr_core::AsbrConfig;
-use asbr_sim::Activity;
+use asbr_bpred::PredictorKind;
 use asbr_workloads::Workload;
 
-use crate::runner::{Executor, HarnessError, RunSpec, AUX_BTB, BASELINE_BTB};
+use crate::runner::{CostModel, Executor, HarnessError, RunSpec};
 
-/// Per-event energy constants, in arbitrary picojoule-like units.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
-pub struct EnergyModel {
-    /// Instruction fetch (I-cache read + fetch latch).
-    pub per_fetch: f64,
-    /// Decode stage traversal.
-    pub per_decode: f64,
-    /// Execute stage traversal (ALU).
-    pub per_execute: f64,
-    /// Data-memory operation (D-cache access).
-    pub per_mem_op: f64,
-    /// Register-file write.
-    pub per_reg_write: f64,
-    /// Fixed part of a predictor/BTB/BIT access.
-    pub per_table_access: f64,
-    /// Size-dependent part: multiplied by `sqrt(storage bits)` of the
-    /// accessed table.
-    pub per_sqrt_bit: f64,
-}
+/// Re-exported promoted model (the type `power_table` charges energy
+/// with); kept here so existing `costs::EnergyModel` readers keep
+/// compiling.
+pub use crate::runner::EnergyModel;
 
-impl Default for EnergyModel {
-    fn default() -> EnergyModel {
-        EnergyModel {
-            per_fetch: 6.0,
-            per_decode: 2.0,
-            per_execute: 8.0,
-            per_mem_op: 10.0,
-            per_reg_write: 3.0,
-            per_table_access: 1.0,
-            per_sqrt_bit: 0.15,
-        }
-    }
-}
-
-impl EnergyModel {
-    /// Energy of one access to a table of `bits` storage bits.
-    #[must_use]
-    pub fn table_access(&self, bits: u64) -> f64 {
-        self.per_table_access + self.per_sqrt_bit * (bits as f64).sqrt()
-    }
-
-    /// Core (non-predictor) pipeline energy for an activity profile.
-    #[must_use]
-    pub fn core_energy(&self, a: &Activity) -> f64 {
-        a.fetched as f64 * self.per_fetch
-            + a.decoded as f64 * self.per_decode
-            + a.executed as f64 * self.per_execute
-            + a.mem_ops as f64 * self.per_mem_op
-            + a.reg_writes as f64 * self.per_reg_write
-    }
+/// Loads the cost model the experiments charge against: the shipped
+/// `results/{area,power}.json` when present (and valid), the built-in
+/// defaults otherwise.
+///
+/// # Errors
+///
+/// Propagates [`HarnessError`] for present-but-invalid model files —
+/// a malformed table must fail loudly, not silently fall back.
+pub fn model() -> Result<CostModel, HarnessError> {
+    CostModel::load(Path::new("results"))
 }
 
 /// One row of the power comparison.
@@ -96,16 +58,15 @@ pub struct PowerRow {
 }
 
 /// Runs the power comparison: baseline (bimodal-2048, full BTB) vs ASBR
-/// (BIT-16 + bi-256 + quarter BTB), with the default [`EnergyModel`].
+/// (BIT-16 + bi-256 + quarter BTB), charged through [`model`].
 ///
 /// # Errors
 ///
-/// Propagates any [`SimError`].
+/// Propagates any [`HarnessError`] from the runs or the model load.
 pub fn power_table(samples: usize) -> Result<Vec<PowerRow>, HarnessError> {
-    let model = EnergyModel::default();
+    let model = model()?;
     let baseline_kind = PredictorKind::Bimodal { entries: 2048 };
     let aux_kind = PredictorKind::Bimodal { entries: 256 };
-    let asbr_cfg = AsbrConfig::default();
 
     let specs: Vec<RunSpec> = Workload::ALL
         .into_iter()
@@ -116,40 +77,23 @@ pub fn power_table(samples: usize) -> Result<Vec<PowerRow>, HarnessError> {
     let outcomes = Executor::new().run(&specs)?;
 
     let mut rows = Vec::new();
-    for (w, pair) in Workload::ALL.into_iter().zip(outcomes.chunks_exact(2)) {
+    for (w, (pair_specs, pair)) in Workload::ALL
+        .into_iter()
+        .zip(specs.chunks_exact(2).zip(outcomes.chunks_exact(2)))
+    {
         let (base, asbr) = (&pair[0], &pair[1]);
-        let fold_stats = asbr.asbr.expect("ASBR runs have fold stats");
-
-        let ba = &base.summary.stats.activity;
-        let base_pred_bits = baseline_kind.storage_bits() + Btb::storage_bits(BASELINE_BTB);
-        let baseline_energy = model.core_energy(ba)
-            + (ba.predictor_lookups + ba.predictor_updates) as f64
-                * model.table_access(base_pred_bits);
-
-        let aa = &asbr.summary.stats.activity;
-        let aux_bits = aux_kind.storage_bits() + Btb::storage_bits(AUX_BTB);
-        let asbr_tables = fold_stats.folds() + fold_stats.blocked_invalid; // BIT hits
-        let asbr_energy = model.core_energy(aa)
-            + (aa.predictor_lookups + aa.predictor_updates) as f64
-                * model.table_access(aux_bits)
-            // Every fetch consults the BIT; publishes update the BDT.
-            + aa.fetched as f64 * model.table_access(asbr_cfg.storage_bits())
-            + asbr_tables as f64 * model.table_access(asbr_core_bdt_bits());
-
+        let baseline_energy = model.energy_of(&pair_specs[0], base);
+        let asbr_energy = model.energy_of(&pair_specs[1], asbr);
         rows.push(PowerRow {
             workload: w.name().to_owned(),
             baseline_energy,
             asbr_energy,
-            baseline_squashed: ba.squashed,
-            asbr_squashed: aa.squashed,
+            baseline_squashed: base.summary.stats.activity.squashed,
+            asbr_squashed: asbr.summary.stats.activity.squashed,
             reduction: 1.0 - asbr_energy / baseline_energy,
         });
     }
     Ok(rows)
-}
-
-fn asbr_core_bdt_bits() -> u64 {
-    asbr_core::BDT_BITS
 }
 
 /// One row of the area comparison.
@@ -174,43 +118,43 @@ impl AreaRow {
 }
 
 /// The front-end storage comparison: the paper's baseline predictors vs
-/// the ASBR configurations of Figure 11.
-#[must_use]
-pub fn area_table() -> Vec<AreaRow> {
-    let asbr_bits = AsbrConfig::default().storage_bits();
-    vec![
-        AreaRow {
-            config: "baseline bimodal-2048 + BTB-2048".to_owned(),
-            predictor_bits: PredictorKind::Bimodal { entries: 2048 }.storage_bits(),
-            btb_bits: Btb::storage_bits(BASELINE_BTB),
-            asbr_bits: 0,
-        },
-        AreaRow {
-            config: "baseline gshare-11/2048 + BTB-2048".to_owned(),
-            predictor_bits: PredictorKind::Gshare { hist_bits: 11, entries: 2048 }
-                .storage_bits(),
-            btb_bits: Btb::storage_bits(BASELINE_BTB),
-            asbr_bits: 0,
-        },
-        AreaRow {
-            config: "ASBR-16 + bi-512 + BTB-512".to_owned(),
-            predictor_bits: PredictorKind::Bimodal { entries: 512 }.storage_bits(),
-            btb_bits: Btb::storage_bits(AUX_BTB),
-            asbr_bits,
-        },
-        AreaRow {
-            config: "ASBR-16 + bi-256 + BTB-512".to_owned(),
-            predictor_bits: PredictorKind::Bimodal { entries: 256 }.storage_bits(),
-            btb_bits: Btb::storage_bits(AUX_BTB),
-            asbr_bits,
-        },
-        AreaRow {
-            config: "ASBR-16 + no predictor".to_owned(),
-            predictor_bits: 0,
-            btb_bits: 0,
-            asbr_bits,
-        },
-    ]
+/// the ASBR configurations of Figure 11, each expressed as a [`RunSpec`]
+/// and costed through [`CostModel::cost_of`].
+///
+/// # Errors
+///
+/// Propagates [`HarnessError`] from the model load.
+pub fn area_table() -> Result<Vec<AreaRow>, HarnessError> {
+    let model = model()?;
+    // Workload and samples don't enter the (static) area cost; any
+    // placeholder works.
+    let template = |p| RunSpec::baseline(Workload::AdpcmEncode, p, 0);
+    let asbr_template = |p| RunSpec::asbr(Workload::AdpcmEncode, p, 0);
+    let configs = [
+        (
+            "baseline bimodal-2048 + BTB-2048",
+            template(PredictorKind::Bimodal { entries: 2048 }),
+        ),
+        (
+            "baseline gshare-11/2048 + BTB-2048",
+            template(PredictorKind::Gshare { hist_bits: 11, entries: 2048 }),
+        ),
+        ("ASBR-16 + bi-512 + BTB-512", asbr_template(PredictorKind::Bimodal { entries: 512 })),
+        ("ASBR-16 + bi-256 + BTB-512", asbr_template(PredictorKind::Bimodal { entries: 256 })),
+        ("ASBR-16 + no predictor", asbr_template(PredictorKind::NotTaken).with_btb(0)),
+    ];
+    Ok(configs
+        .into_iter()
+        .map(|(config, spec)| {
+            let c = model.cost_of(&spec);
+            AreaRow {
+                config: config.to_owned(),
+                predictor_bits: c.predictor_bits,
+                btb_bits: c.btb_bits,
+                asbr_bits: c.asbr_bits,
+            }
+        })
+        .collect())
 }
 
 #[cfg(test)]
@@ -219,7 +163,7 @@ mod tests {
 
     #[test]
     fn asbr_configs_are_far_smaller() {
-        let rows = area_table();
+        let rows = area_table().unwrap();
         let baseline = rows[0].total();
         for r in rows.iter().skip(2) {
             assert!(

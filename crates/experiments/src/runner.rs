@@ -14,8 +14,10 @@
 
 pub use asbr_asm::Program;
 pub use asbr_harness::{
-    attach_bound, cross_check, machine_params, AsbrSpec, BenchEntry, CacheMode, Executor,
-    ExecutorStats, HarnessError, LoadgenConfig, LoadgenReport, MicroTweaks, ResultCache,
-    RunHandle, RunMatrix, RunOutcome, RunSpec, Server, ServerConfig, SharedExecutor, SweepBench,
-    WcetRecord, AUX_BTB, BASELINE_BTB, PROFILE_PREDICTOR, SAMPLES_FULL, SAMPLES_SMOKE,
+    attach_bound, cross_check, machine_params, ArmSpec, AsbrSpec, Axis, BenchEntry, CacheMode,
+    Constraint, CostBreakdown, CostModel, DesignSpace, EnergyModel, Executor, ExecutorStats,
+    Exploration, ExploreReport, HarnessError, LoadgenConfig, LoadgenReport, Metric, MicroTweaks,
+    Objective, ResultCache, RunHandle, RunMatrix, RunOutcome, RunSpec, SearchStrategy, Server,
+    ServerConfig, SharedExecutor, SweepBench, WcetRecord, AUX_BTB, BASELINE_BTB,
+    PROFILE_PREDICTOR, SAMPLES_FULL, SAMPLES_SMOKE,
 };

@@ -18,7 +18,11 @@
 //! cycles and instructions per host second, best-of-N — into
 //! `BENCH_throughput.json` (see `docs/performance.md`). The Criterion
 //! figure benches live under `benches/` with shared knobs in
-//! [`figures`].
+//! [`figures`]. On top of the sweep layer, [`explore`] adds declarative
+//! multi-objective design-space exploration — [`DesignSpace`]/[`Axis`]
+//! grammars, [`Objective`]/[`Constraint`] over a typed [`CostModel`],
+//! Pareto-front extraction, and a seeded guided search — behind
+//! `asbr_tool explore` (see `docs/explore.md`).
 //!
 //! The crate is deliberately dependency-free beyond the workspace: the
 //! cache key hash ([`hash::Sha256`]), the cache entry format, and the
@@ -32,8 +36,10 @@
 pub mod bench;
 pub mod budget;
 pub mod cache;
+pub mod cost;
 pub mod error;
 pub mod executor;
+pub mod explore;
 pub mod figures;
 pub mod hash;
 pub mod json;
@@ -50,7 +56,12 @@ pub mod wcet;
 pub use bench::{BenchEntry, SweepBench, BENCH_SCHEMA};
 pub use budget::ThreadBudget;
 pub use cache::{ResultCache, CACHE_FORMAT};
+pub use cost::{AreaModel, CostBreakdown, CostModel, EnergyModel, AREA_SCHEMA, POWER_SCHEMA};
 pub use error::HarnessError;
+pub use explore::{
+    dominates, pareto_indices, ArmSpec, Axis, AxisValues, Constraint, DesignSpace, Exploration,
+    ExplorePoint, ExploreReport, Metric, Objective, SearchStrategy, Sense, PARETO_SCHEMA,
+};
 pub use executor::{CacheMode, Executor};
 pub use loadgen::{LoadgenConfig, LoadgenReport, SERVE_BENCH_SCHEMA};
 pub use serve::{Server, ServerConfig};

@@ -11,23 +11,23 @@
 //!
 //! Workloads vary innermost so a rendered table reads the way the
 //! paper's figures do (one predictor block, all benchmarks, then the
-//! next block). Adding a sweep axis is adding one loop level — see
-//! `docs/harness.md`.
+//! next block).
+//!
+//! Since the [`crate::explore`] redesign the matrix is a thin veneer
+//! over [`DesignSpace`]: the four builder axes become four
+//! [`Axis`] values (samples, tweaks, arms, workloads — listed in that
+//! order so the space's last-axis-fastest enumeration reproduces the
+//! documented loop nest exactly), and [`RunMatrix::specs`] is exhaustive
+//! enumeration of that space. Adding a sweep axis is adding one
+//! [`Axis`] — see `docs/harness.md` and `docs/explore.md`.
 
 use asbr_bpred::PredictorKind;
 use asbr_workloads::Workload;
 
 use crate::error::HarnessError;
 use crate::executor::Executor;
-use crate::spec::{AsbrSpec, MicroTweaks, RunOutcome, RunSpec, AUX_BTB, BASELINE_BTB};
-
-/// One predictor configuration of the matrix: every workload ×
-/// samples × tweaks point runs once per arm.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Arm {
-    Baseline { kind: PredictorKind, btb_entries: usize },
-    Asbr { aux: PredictorKind, knobs: AsbrSpec, btb_entries: usize },
-}
+use crate::explore::{ArmSpec, Axis, DesignSpace};
+use crate::spec::{AsbrSpec, MicroTweaks, RunOutcome, RunSpec, BASELINE_BTB};
 
 /// Builder fanning [`RunSpec`]s over axes. See the module docs for the
 /// expansion order.
@@ -50,7 +50,7 @@ pub struct RunMatrix {
     workloads: Vec<Workload>,
     samples: Vec<usize>,
     tweaks: Vec<MicroTweaks>,
-    arms: Vec<Arm>,
+    arms: Vec<ArmSpec>,
 }
 
 impl RunMatrix {
@@ -95,41 +95,72 @@ impl RunMatrix {
         self
     }
 
+    /// Adds one arm to the arm axis — the canonical entry point; the
+    /// named builders below are shorthands for common [`ArmSpec`]s.
+    #[must_use]
+    pub fn arm(mut self, arm: ArmSpec) -> RunMatrix {
+        self.arms.push(arm);
+        self
+    }
+
     /// Adds a baseline arm with the full-size BTB.
     #[must_use]
     pub fn baseline(self, kind: PredictorKind) -> RunMatrix {
-        self.baseline_with_btb(kind, BASELINE_BTB)
+        self.arm(ArmSpec::baseline(kind))
     }
 
     /// Adds a baseline arm with an explicit BTB capacity.
     #[must_use]
-    pub fn baseline_with_btb(mut self, kind: PredictorKind, btb_entries: usize) -> RunMatrix {
-        self.arms.push(Arm::Baseline { kind, btb_entries });
-        self
+    pub fn baseline_with_btb(self, kind: PredictorKind, btb_entries: usize) -> RunMatrix {
+        self.arm(ArmSpec::baseline_with_btb(kind, btb_entries))
     }
 
     /// Adds an ASBR arm with default knobs and the quarter-size BTB.
     #[must_use]
     pub fn asbr(self, aux: PredictorKind) -> RunMatrix {
-        self.asbr_with(aux, AsbrSpec::default())
+        self.arm(ArmSpec::asbr(aux))
     }
 
     /// Adds an ASBR arm with explicit knobs and the quarter-size BTB.
+    #[deprecated(note = "pass `ArmSpec::asbr_with(aux, knobs, AUX_BTB)` to `RunMatrix::arm`")]
     #[must_use]
     pub fn asbr_with(self, aux: PredictorKind, knobs: AsbrSpec) -> RunMatrix {
-        self.asbr_with_btb(aux, knobs, AUX_BTB)
+        self.arm(ArmSpec::asbr_with(aux, knobs, crate::spec::AUX_BTB))
     }
 
     /// Adds an ASBR arm with explicit knobs and BTB capacity.
     #[must_use]
     pub fn asbr_with_btb(
-        mut self,
+        self,
         aux: PredictorKind,
         knobs: AsbrSpec,
         btb_entries: usize,
     ) -> RunMatrix {
-        self.arms.push(Arm::Asbr { aux, knobs, btb_entries });
-        self
+        self.arm(ArmSpec::asbr_with(aux, knobs, btb_entries))
+    }
+
+    /// The matrix as a [`DesignSpace`]: base spec plus the four builder
+    /// axes in loop-nest order (samples outermost, workloads innermost —
+    /// the space's last axis varies fastest). An empty tweaks axis
+    /// defaults to the single point `MicroTweaks::default()`, exactly as
+    /// the loop nest always has.
+    #[must_use]
+    pub fn design_space(&self) -> DesignSpace {
+        // Every field of the base is overwritten by some axis except the
+        // strategy, which stays Scalar — the matrix has always produced
+        // scalar specs.
+        let base = RunSpec::baseline(Workload::AdpcmEncode, PredictorKind::NotTaken, 0)
+            .with_btb(BASELINE_BTB);
+        let tweaks = if self.tweaks.is_empty() {
+            vec![MicroTweaks::default()]
+        } else {
+            self.tweaks.clone()
+        };
+        DesignSpace::new(base)
+            .axis(Axis::samples(self.samples.iter().copied()))
+            .axis(Axis::tweaks(tweaks))
+            .axis(Axis::arms(self.arms.iter().copied()))
+            .axis(Axis::workloads(self.workloads.iter().copied()))
     }
 
     /// Number of specs the matrix expands to.
@@ -145,34 +176,12 @@ impl RunMatrix {
         self.len() == 0
     }
 
-    /// Expands the matrix into specs, in the documented deterministic
+    /// Expands the matrix into specs — exhaustive enumeration of
+    /// [`RunMatrix::design_space`], in the documented deterministic
     /// order.
     #[must_use]
     pub fn specs(&self) -> Vec<RunSpec> {
-        let default_tweaks = [MicroTweaks::default()];
-        let tweaks: &[MicroTweaks] =
-            if self.tweaks.is_empty() { &default_tweaks } else { &self.tweaks };
-        let mut specs = Vec::with_capacity(self.len());
-        for &samples in &self.samples {
-            for &tweaks in tweaks {
-                for &arm in &self.arms {
-                    for &workload in &self.workloads {
-                        let spec = match arm {
-                            Arm::Baseline { kind, btb_entries } => {
-                                RunSpec::baseline(workload, kind, samples).with_btb(btb_entries)
-                            }
-                            Arm::Asbr { aux, knobs, btb_entries } => RunSpec::asbr(
-                                workload, aux, samples,
-                            )
-                            .with_asbr(knobs)
-                            .with_btb(btb_entries),
-                        };
-                        specs.push(spec.with_tweaks(tweaks));
-                    }
-                }
-            }
-        }
-        specs
+        self.design_space().specs()
     }
 
     /// Expands and executes the matrix on `executor`; outcomes come back
@@ -225,5 +234,45 @@ mod tests {
     fn empty_axes_expand_to_nothing() {
         assert!(RunMatrix::new().is_empty());
         assert!(RunMatrix::new().all_workloads().is_empty());
+    }
+
+    #[test]
+    fn veneer_matches_the_documented_loop_nest() {
+        // The DesignSpace-backed expansion must stay byte-identical to
+        // the original `samples { tweaks { arm { workload } } }` nest.
+        let m = RunMatrix::new()
+            .all_workloads()
+            .samples(10)
+            .samples(20)
+            .tweaks_axis([MicroTweaks::muldiv(1, 1), MicroTweaks::muldiv(4, 16)])
+            .baseline(PredictorKind::NotTaken)
+            .asbr_with_btb(
+                PredictorKind::Bimodal { entries: 256 },
+                AsbrSpec { bit_entries: 8, ..AsbrSpec::default() },
+                256,
+            );
+        let mut by_hand = Vec::new();
+        for &samples in &[10usize, 20] {
+            for &tweaks in &[MicroTweaks::muldiv(1, 1), MicroTweaks::muldiv(4, 16)] {
+                for arm in 0..2 {
+                    for workload in Workload::ALL {
+                        let spec = if arm == 0 {
+                            RunSpec::baseline(workload, PredictorKind::NotTaken, samples)
+                        } else {
+                            RunSpec::asbr(
+                                workload,
+                                PredictorKind::Bimodal { entries: 256 },
+                                samples,
+                            )
+                            .with_asbr(AsbrSpec { bit_entries: 8, ..AsbrSpec::default() })
+                            .with_btb(256)
+                        };
+                        by_hand.push(spec.with_tweaks(tweaks));
+                    }
+                }
+            }
+        }
+        assert_eq!(m.specs(), by_hand);
+        assert_eq!(m.len() as u64, m.design_space().len());
     }
 }

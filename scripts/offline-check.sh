@@ -75,7 +75,7 @@ case "${1:-all}" in
       --test asbr_speedup --test experiment_tables --test scheduling_support \
       --test customization_image --test cli --test config_matrix \
       --test sweep --test attribution --test wcet --test serve --test strategy \
-      --test api_surface -q
+      --test api_surface --test explore -q
     run_cargo test --release -p asbr-check --test static_check -q
     # Bench targets: typecheck only (the criterion stub measures nothing).
     run_cargo check -p asbr-harness --benches
